@@ -1,0 +1,178 @@
+//! Ablations over the design choices Section 5/6 call out:
+//!
+//! * `preProcessing` on/off — the paper: "the preProcessing not only
+//!   increases accuracy but it also improves the scalability";
+//! * the variable-pool size `N` — the paper: "N … has a negligible
+//!   impact on the accuracy … we set N = 2";
+//! * the valuation budget `K` of `RandomChecking`;
+//! * the tuple cap `T` of the instantiated chase.
+
+use condep_bench::{ms, pct, time_once, FigureTable, Scale};
+use condep_chase::ChaseConfig;
+use condep_consistency::{checking, CheckingConfig, ConstraintSet, RandomCheckingConfig};
+use condep_gen::{generate_sigma, random_schema, SchemaGenConfig, SigmaGenConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(seed: u64, cardinality: usize, witness_bias: f64) -> ConstraintSet {
+    let schema_cfg = SchemaGenConfig {
+        relations: 20,
+        attrs_min: 5,
+        attrs_max: 15,
+        finite_ratio: 0.2,
+        finite_dom_min: 2,
+        finite_dom_max: 100,
+    };
+    let schema = random_schema(&schema_cfg, &mut StdRng::seed_from_u64(seed));
+    let (cfds, cinds, _) = generate_sigma(
+        &schema,
+        &SigmaGenConfig {
+            cardinality,
+            cfd_fraction: 0.75,
+            consistent: true,
+            witness_bias,
+            ..SigmaGenConfig::default()
+        },
+        &mut StdRng::seed_from_u64(seed + 1),
+    );
+    ConstraintSet::new(schema, cfds, cinds)
+}
+
+fn run_config(
+    sigma: &ConstraintSet,
+    seed: u64,
+    use_preprocessing: bool,
+    k: usize,
+    pool: u8,
+    cap: usize,
+) -> (bool, f64) {
+    let cfg = CheckingConfig {
+        use_preprocessing,
+        random: RandomCheckingConfig {
+            k,
+            seed,
+            chase: ChaseConfig {
+                pool_size: pool,
+                tuple_cap: cap,
+                ..ChaseConfig::default()
+            },
+        },
+        ..CheckingConfig::default()
+    };
+    let (t, ok) = time_once(|| checking(sigma, &cfg).is_some());
+    (ok, ms(t))
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cardinality = scale.pick(2_000, 10_000);
+    let runs = scale.pick(4, 8);
+
+    // --- preProcessing on/off. ---
+    let mut t = FigureTable::new(
+        "ablation_preprocessing",
+        &["preprocessing", "accuracy_%", "avg_ms"],
+    );
+    for on in [true, false] {
+        let mut hits = 0;
+        let mut total_ms = 0.0;
+        for run in 0..runs {
+            let sigma = workload(70_000 + run as u64, cardinality, 1.0);
+            let (ok, elapsed) = run_config(&sigma, run as u64, on, 20, 2, 2_000);
+            hits += usize::from(ok);
+            total_ms += elapsed;
+        }
+        t.row(&[
+            &on,
+            &format!("{:.1}", pct(hits, runs)),
+            &format!("{:.1}", total_ms / runs as f64),
+        ]);
+    }
+    t.finish("Ablation: preProcessing on/off (consistent sets)");
+
+    // --- Generator hardness: the witness-bias knob. ---
+    // The paper's consistent sets sit at bias 1.0 ("rarely complex
+    // enough … to fail"); lowering the bias scatters conclusion
+    // constants that interlock, showing where the heuristics break.
+    let mut t = FigureTable::new(
+        "ablation_bias",
+        &["witness_bias", "accuracy_%", "avg_ms"],
+    );
+    for bias in [1.0f64, 0.9, 0.5, 0.2, 0.0] {
+        let mut hits = 0;
+        let mut total_ms = 0.0;
+        for run in 0..runs {
+            let sigma = workload(74_000 + run as u64, cardinality, bias);
+            let (ok, elapsed) = run_config(&sigma, run as u64, true, 20, 2, 2_000);
+            hits += usize::from(ok);
+            total_ms += elapsed;
+        }
+        t.row(&[
+            &bias,
+            &format!("{:.1}", pct(hits, runs)),
+            &format!("{:.1}", total_ms / runs as f64),
+        ]);
+    }
+    t.finish("Ablation: generator hardness (witness bias; 1.0 = paper regime)");
+
+    // The remaining sweeps use a slightly adversarial workload so the
+    // knobs have observable effect.
+    let hard = 0.9f64;
+
+    // --- Pool size N. ---
+    let mut t = FigureTable::new("ablation_pool", &["pool_N", "accuracy_%", "avg_ms"]);
+    for pool in [1u8, 2, 4, 8] {
+        let mut hits = 0;
+        let mut total_ms = 0.0;
+        for run in 0..runs {
+            let sigma = workload(71_000 + run as u64, cardinality, hard);
+            let (ok, elapsed) = run_config(&sigma, run as u64, true, 20, pool, 2_000);
+            hits += usize::from(ok);
+            total_ms += elapsed;
+        }
+        t.row(&[
+            &pool,
+            &format!("{:.1}", pct(hits, runs)),
+            &format!("{:.1}", total_ms / runs as f64),
+        ]);
+    }
+    t.finish("Ablation: variable-pool size N (paper: negligible accuracy impact)");
+
+    // --- Valuation budget K. ---
+    let mut t = FigureTable::new("ablation_k", &["K", "accuracy_%", "avg_ms"]);
+    for k in [1usize, 5, 20, 50] {
+        let mut hits = 0;
+        let mut total_ms = 0.0;
+        for run in 0..runs {
+            let sigma = workload(72_000 + run as u64, cardinality, hard);
+            let (ok, elapsed) = run_config(&sigma, run as u64, true, k, 2, 2_000);
+            hits += usize::from(ok);
+            total_ms += elapsed;
+        }
+        t.row(&[
+            &k,
+            &format!("{:.1}", pct(hits, runs)),
+            &format!("{:.1}", total_ms / runs as f64),
+        ]);
+    }
+    t.finish("Ablation: RandomChecking valuation budget K (paper uses K = 20)");
+
+    // --- Tuple cap T. ---
+    let mut t = FigureTable::new("ablation_t", &["tuple_cap_T", "accuracy_%", "avg_ms"]);
+    for cap in [50usize, 500, 2_000, 4_000] {
+        let mut hits = 0;
+        let mut total_ms = 0.0;
+        for run in 0..runs {
+            let sigma = workload(73_000 + run as u64, cardinality, hard);
+            let (ok, elapsed) = run_config(&sigma, run as u64, true, 20, 2, cap);
+            hits += usize::from(ok);
+            total_ms += elapsed;
+        }
+        t.row(&[
+            &cap,
+            &format!("{:.1}", pct(hits, runs)),
+            &format!("{:.1}", total_ms / runs as f64),
+        ]);
+    }
+    t.finish("Ablation: chase tuple cap T (paper uses 2K-4K)");
+}

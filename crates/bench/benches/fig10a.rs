@@ -1,0 +1,105 @@
+//! Figure 10(a): performance of `CFD_Checking` — Chase vs SAT.
+//!
+//! Paper setting: 20 relations, `F = 25%`, x-axis = number of CFDs per
+//! relation (up to 1200), y-axis = runtime in seconds. Expected shape:
+//! both grow with the number of CFDs; **Chase significantly outperforms
+//! SAT**, and SAT's curve bends up faster (the exactly-one encodings over
+//! whole finite domains dominate).
+
+use condep_bench::{ms, time_once, FigureTable, Scale};
+use condep_consistency::{CfdChecker, ChaseCfdChecker, SatCfdChecker};
+use condep_gen::{generate_sigma, random_schema, SchemaGenConfig, SigmaGenConfig};
+use condep_model::RelId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let relations = 20usize;
+    let per_relation: Vec<usize> = match scale {
+        Scale::Quick => vec![25, 50, 100, 200, 400],
+        Scale::Full => vec![100, 200, 400, 600, 800, 1000, 1200],
+    };
+    let runs = scale.pick(3, 6); // paper: "run 6 times and the average"
+    let k_cfd = 2_000_000u64; // "we fixed KCFD = 2000K"
+
+    let schema_cfg = SchemaGenConfig {
+        relations,
+        attrs_min: 5,
+        attrs_max: 15,
+        finite_ratio: 0.25,
+        finite_dom_min: 2,
+        finite_dom_max: 100,
+    };
+
+    let mut table = FigureTable::new(
+        "fig10a",
+        &["cfds_per_relation", "chase_ms", "sat_ms", "agree_%"],
+    );
+    for &n in &per_relation {
+        let mut chase_total = 0.0;
+        let mut sat_total = 0.0;
+        let mut agree = 0usize;
+        let mut checks = 0usize;
+        for run in 0..runs {
+            let seed = 10_000 + run as u64;
+            let schema = random_schema(&schema_cfg, &mut StdRng::seed_from_u64(seed));
+            let (cfds, _, _) = generate_sigma(
+                &schema,
+                &SigmaGenConfig {
+                    cardinality: n * relations,
+                    cfd_fraction: 1.0,
+                    consistent: true,
+                    ..SigmaGenConfig::default()
+                },
+                &mut StdRng::seed_from_u64(seed + 1),
+            );
+            // Chase-based CFD_Checking over every relation.
+            let mut chase = ChaseCfdChecker::new(k_cfd, StdRng::seed_from_u64(seed + 2));
+            let (chase_time, chase_verdicts) = time_once(|| {
+                (0..relations as u32)
+                    .map(|r| {
+                        let rel = RelId(r);
+                        let on_rel: Vec<_> =
+                            cfds.iter().filter(|c| c.rel() == rel).cloned().collect();
+                        chase.check(&schema, rel, &on_rel).is_some()
+                    })
+                    .collect::<Vec<bool>>()
+            });
+            // SAT-based CFD_Checking over every relation.
+            let mut sat = SatCfdChecker;
+            let (sat_time, sat_verdicts) = time_once(|| {
+                (0..relations as u32)
+                    .map(|r| {
+                        let rel = RelId(r);
+                        let on_rel: Vec<_> =
+                            cfds.iter().filter(|c| c.rel() == rel).cloned().collect();
+                        sat.check(&schema, rel, &on_rel).is_some()
+                    })
+                    .collect::<Vec<bool>>()
+            });
+            chase_total += ms(chase_time);
+            sat_total += ms(sat_time);
+            for (a, b) in chase_verdicts.iter().zip(&sat_verdicts) {
+                checks += 1;
+                if a == b {
+                    agree += 1;
+                }
+            }
+        }
+        let runs_f = runs as f64;
+        table.row(&[
+            &n,
+            &format!("{:.2}", chase_total / runs_f),
+            &format!("{:.2}", sat_total / runs_f),
+            &format!("{:.1}", condep_bench::pct(agree, checks)),
+        ]);
+    }
+    table.finish(
+        "Figure 10(a): CFD_Checking runtime, Chase vs SAT (20 relations, F = 25%)",
+    );
+    println!(
+        "\nExpected shape (paper): Chase significantly outperforms SAT and scales\n\
+         to large CFD counts; the two methods agree on (nearly) all verdicts."
+    );
+}

@@ -1,0 +1,505 @@
+//! Exact consistency analysis for CFDs.
+//!
+//! A set of CFDs on a relation `R` is *consistent* iff some nonempty
+//! instance of `R` satisfies it. Because CFD satisfaction is closed under
+//! sub-instances, this holds iff a **single-tuple** witness exists — so
+//! consistency reduces to finding one tuple `t` with
+//! `t[X] ≍ tp[X] → t[A] ≍ tp[A]` for every normal CFD (only constant-RHS
+//! CFDs constrain a single tuple; wildcard-RHS CFDs need a pair to
+//! violate).
+//!
+//! The algorithms here are **exact** (unlike the heuristics of Section 5,
+//! which live in `condep-consistency`):
+//!
+//! * [`consistent_infinite`] — the polynomial fixpoint for constraint
+//!   sets not involving finite-domain attributes ("the consistency …
+//!   problem is in O(n²) time … if the CFDs do not involve attributes
+//!   with a finite domain", Section 4);
+//! * [`consistent_exact`] — exhaustive enumeration of finite-domain
+//!   assignments around the same fixpoint; worst-case exponential, which
+//!   is unavoidable (the problem is NP-complete), with an explicit
+//!   budget;
+//! * [`witness_tuple`] — materializes the witness, used by the
+//!   dependency-graph algorithm of Section 5.3 to instantiate `τ(R)`.
+
+use crate::syntax::NormalCfd;
+use condep_model::{AttrId, PValue, RelId, Schema, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Outcome of a budgeted exact check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// A witness tuple exists.
+    Consistent,
+    /// Provably no witness exists.
+    Inconsistent,
+    /// Budget exhausted before a verdict.
+    Unknown,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Consistent`].
+    pub fn is_consistent(self) -> bool {
+        self == Verdict::Consistent
+    }
+}
+
+/// The propagation fixpoint for one assignment of finite attributes.
+///
+/// `finite` fixes values of finite-domain attributes; `forced` accumulates
+/// values forced on infinite attributes. Returns the forced map on
+/// success, or `None` when the assignment is infeasible.
+fn propagate(
+    cfds: &[&NormalCfd],
+    finite: &BTreeMap<AttrId, Value>,
+    schema: &Schema,
+    rel: RelId,
+) -> Option<HashMap<AttrId, Value>> {
+    let rs = schema.relation(rel).ok()?;
+    let mut forced: HashMap<AttrId, Value> = HashMap::new();
+    let matched = |cfd: &NormalCfd, forced: &HashMap<AttrId, Value>| -> bool {
+        cfd.lhs()
+            .iter()
+            .zip(cfd.lhs_pat().cells())
+            .all(|(a, cell)| match cell {
+                PValue::Any => true,
+                PValue::Const(c) => {
+                    if let Some(v) = finite.get(a) {
+                        v == c
+                    } else if let Some(v) = forced.get(a) {
+                        v == c
+                    } else {
+                        // Unconstrained infinite attribute: the witness
+                        // takes a fresh value, which never equals `c`.
+                        false
+                    }
+                }
+            })
+    };
+    loop {
+        let mut changed = false;
+        for cfd in cfds {
+            let PValue::Const(a_val) = cfd.rhs_pat() else {
+                continue; // wildcard RHS: vacuous on one tuple
+            };
+            if !matched(cfd, &forced) {
+                continue;
+            }
+            let a = cfd.rhs();
+            let is_finite = rs
+                .attribute(a)
+                .map(|at| at.is_finite())
+                .unwrap_or(false);
+            if is_finite {
+                match finite.get(&a) {
+                    Some(v) if v == a_val => {}
+                    // The enumeration fixed a different value, or the
+                    // attribute was (incorrectly) not enumerated.
+                    _ => return None,
+                }
+            } else {
+                match forced.get(&a) {
+                    Some(v) if v == a_val => {}
+                    Some(_) => return None, // two distinct forced constants
+                    None => {
+                        forced.insert(a, a_val.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return Some(forced);
+        }
+    }
+}
+
+/// Finite-domain attributes mentioned anywhere in the constraint set.
+fn mentioned_finite_attrs(schema: &Schema, rel: RelId, cfds: &[&NormalCfd]) -> Vec<AttrId> {
+    let rs = match schema.relation(rel) {
+        Ok(rs) => rs,
+        Err(_) => return Vec::new(),
+    };
+    let mut out: BTreeSet<AttrId> = BTreeSet::new();
+    for cfd in cfds {
+        for a in cfd.lhs().iter().chain([&cfd.rhs()]) {
+            if rs.attribute(*a).map(|at| at.is_finite()).unwrap_or(false) {
+                out.insert(*a);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Exact consistency for CFD sets **not involving finite-domain
+/// attributes** — the O(n²) fixpoint. Panics in debug builds if a finite
+/// attribute is mentioned; use [`consistent_exact`] in the general case.
+pub fn consistent_infinite(schema: &Schema, rel: RelId, cfds: &[NormalCfd]) -> bool {
+    let refs: Vec<&NormalCfd> = cfds.iter().collect();
+    debug_assert!(
+        mentioned_finite_attrs(schema, rel, &refs).is_empty(),
+        "consistent_infinite requires infinite-domain attributes only"
+    );
+    propagate(&refs, &BTreeMap::new(), schema, rel).is_some()
+}
+
+/// Exact consistency in the general setting, enumerating assignments of
+/// the mentioned finite-domain attributes around the propagation
+/// fixpoint. `max_assignments` bounds the enumeration; when exceeded the
+/// verdict is [`Verdict::Unknown`].
+pub fn consistent_exact(
+    schema: &Schema,
+    rel: RelId,
+    cfds: &[NormalCfd],
+    max_assignments: Option<u64>,
+) -> Verdict {
+    let refs: Vec<&NormalCfd> = cfds.iter().collect();
+    match witness_search(schema, rel, &refs, max_assignments) {
+        WitnessOutcome::Found(_) => Verdict::Consistent,
+        WitnessOutcome::Exhausted => Verdict::Inconsistent,
+        WitnessOutcome::BudgetSpent => Verdict::Unknown,
+    }
+}
+
+enum WitnessOutcome {
+    Found(Tuple),
+    Exhausted,
+    BudgetSpent,
+}
+
+/// Enumerates finite-attribute assignments (odometer order) and runs the
+/// fixpoint for each; materializes the first witness found.
+fn witness_search(
+    schema: &Schema,
+    rel: RelId,
+    cfds: &[&NormalCfd],
+    max_assignments: Option<u64>,
+) -> WitnessOutcome {
+    let Ok(rs) = schema.relation(rel) else {
+        return WitnessOutcome::Exhausted;
+    };
+    let finite_attrs = mentioned_finite_attrs(schema, rel, cfds);
+    let domains: Vec<&[Value]> = finite_attrs
+        .iter()
+        .map(|a| {
+            rs.attribute(*a)
+                .expect("attr in range")
+                .domain()
+                .values()
+                .expect("finite attr has values")
+        })
+        .collect();
+
+    let mut counters = vec![0usize; finite_attrs.len()];
+    let mut tried: u64 = 0;
+    loop {
+        if let Some(max) = max_assignments {
+            if tried >= max {
+                return WitnessOutcome::BudgetSpent;
+            }
+        }
+        tried += 1;
+        let assignment: BTreeMap<AttrId, Value> = finite_attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (*a, domains[i][counters[i]].clone()))
+            .collect();
+        if let Some(forced) = propagate(cfds, &assignment, schema, rel) {
+            return WitnessOutcome::Found(build_witness(
+                schema, rel, cfds, &assignment, &forced,
+            ));
+        }
+        // Odometer increment; exhausting the space proves inconsistency.
+        let mut i = 0;
+        loop {
+            if i == counters.len() {
+                return WitnessOutcome::Exhausted;
+            }
+            counters[i] += 1;
+            if counters[i] < domains[i].len() {
+                break;
+            }
+            counters[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Materializes the witness: assigned/forced values where determined,
+/// fresh values (avoiding every constant of the constraint set) elsewhere.
+fn build_witness(
+    schema: &Schema,
+    rel: RelId,
+    cfds: &[&NormalCfd],
+    finite: &BTreeMap<AttrId, Value>,
+    forced: &HashMap<AttrId, Value>,
+) -> Tuple {
+    let rs = schema.relation(rel).expect("relation in range");
+    // Constants per attribute, to steer fresh values away from premises.
+    let mut constants: HashMap<AttrId, Vec<Value>> = HashMap::new();
+    for cfd in cfds {
+        for (a, v) in cfd.pattern_constants() {
+            constants.entry(a).or_default().push(v);
+        }
+    }
+    let values: Vec<Value> = rs
+        .iter()
+        .map(|(a, attr)| {
+            if let Some(v) = finite.get(&a) {
+                v.clone()
+            } else if let Some(v) = forced.get(&a) {
+                v.clone()
+            } else {
+                let avoid = constants.get(&a).map(Vec::as_slice).unwrap_or(&[]);
+                attr.domain()
+                    .fresh_value(avoid)
+                    // A finite domain fully covered by constants: any
+                    // member works only if nothing constrains this
+                    // attribute; fall back to the first member.
+                    .unwrap_or_else(|| {
+                        attr.domain().values().expect("finite")[0].clone()
+                    })
+            }
+        })
+        .collect();
+    Tuple::new(values)
+}
+
+/// Finds a single-tuple witness for `cfds` on relation `rel`, if one
+/// exists within the budget.
+pub fn witness_tuple(
+    schema: &Schema,
+    rel: RelId,
+    cfds: &[NormalCfd],
+    max_assignments: Option<u64>,
+) -> Option<Tuple> {
+    let refs: Vec<&NormalCfd> = cfds.iter().collect();
+    match witness_search(schema, rel, &refs, max_assignments) {
+        WitnessOutcome::Found(t) => Some(t),
+        _ => None,
+    }
+}
+
+/// Consistency of a multi-relation CFD set: `Σ` is consistent iff *some*
+/// relation admits a nonempty instance (other relations may stay empty,
+/// vacuously satisfying their CFDs).
+pub fn set_consistent_exact(
+    schema: &Schema,
+    cfds: &[NormalCfd],
+    max_assignments_per_relation: Option<u64>,
+) -> Verdict {
+    let mut saw_unknown = false;
+    for (rel, _) in schema.iter() {
+        let on_rel: Vec<NormalCfd> = cfds.iter().filter(|c| c.rel() == rel).cloned().collect();
+        match consistent_exact(schema, rel, &on_rel, max_assignments_per_relation) {
+            Verdict::Consistent => return Verdict::Consistent,
+            Verdict::Unknown => saw_unknown = true,
+            Verdict::Inconsistent => {}
+        }
+    }
+    if saw_unknown {
+        Verdict::Unknown
+    } else {
+        Verdict::Inconsistent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::satisfy::satisfies_all;
+    use condep_model::{prow, Database, Domain, PatternRow, Schema};
+    use std::sync::Arc;
+
+    fn ab_schema(a_dom: Domain, b_dom: Domain) -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .relation("r", &[("a", a_dom), ("b", b_dom)])
+                .finish(),
+        )
+    }
+
+    #[test]
+    fn example_3_2_is_inconsistent() {
+        // φ1: (A=true → B=b1), φ2: (A=false → B=b2),
+        // φ3: (B=b1 → A=false), φ4: (B=b2 → A=true) over dom(A)=bool.
+        let (schema, cfds) = fixtures::example_3_2();
+        let rel = schema.rel_id("r").unwrap();
+        assert_eq!(
+            consistent_exact(&schema, rel, &cfds, None),
+            Verdict::Inconsistent
+        );
+    }
+
+    #[test]
+    fn example_3_2_with_infinite_a_is_consistent() {
+        // The paper: "if dom(A) and dom(B) were infinite, we could find a
+        // tuple t …" — the same constraints become consistent.
+        let schema = ab_schema(Domain::string(), Domain::string());
+        let rel = schema.rel_id("r").unwrap();
+        let mk = |lp: PatternRow, rhs: &str, rp: &str| {
+            NormalCfd::parse(&schema, "r", &[if rhs == "b" { "a" } else { "b" }], lp, rhs, PValue::constant(rp)).unwrap()
+        };
+        let cfds = vec![
+            mk(prow!["true"], "b", "b1"),
+            mk(prow!["false"], "b", "b2"),
+            mk(prow!["b1"], "a", "false"),
+            mk(prow!["b2"], "a", "true"),
+        ];
+        assert!(consistent_infinite(&schema, rel, &cfds));
+        let w = witness_tuple(&schema, rel, &cfds, None).unwrap();
+        // The witness satisfies the set as a singleton database.
+        let mut db = Database::empty(schema.clone());
+        db.insert(rel, w).unwrap();
+        assert!(satisfies_all(&db, &cfds));
+    }
+
+    #[test]
+    fn unconditional_conflict_is_caught_without_finite_domains() {
+        // (nil → A, a) and (nil → A, b): both fire on every tuple.
+        let schema = ab_schema(Domain::string(), Domain::string());
+        let rel = schema.rel_id("r").unwrap();
+        let c1 = NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("x"))
+            .unwrap();
+        let c2 = NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("y"))
+            .unwrap();
+        assert!(!consistent_infinite(&schema, rel, &[c1.clone(), c2.clone()]));
+        assert!(consistent_infinite(&schema, rel, &[c1]));
+    }
+
+    #[test]
+    fn propagation_chains_through_forced_values() {
+        // (nil → A, a) then (A=a → B, b1) and (A=a → B, b2): conflict.
+        let schema = ab_schema(Domain::string(), Domain::string());
+        let rel = schema.rel_id("r").unwrap();
+        let force_a =
+            NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("a")).unwrap();
+        let b1 = NormalCfd::parse(&schema, "r", &["a"], prow!["a"], "b", PValue::constant("b1"))
+            .unwrap();
+        let b2 = NormalCfd::parse(&schema, "r", &["a"], prow!["a"], "b", PValue::constant("b2"))
+            .unwrap();
+        assert!(!consistent_infinite(
+            &schema,
+            rel,
+            &[force_a.clone(), b1.clone(), b2.clone()]
+        ));
+        // Without the forcing CFD the premises never fire: consistent.
+        assert!(consistent_infinite(&schema, rel, &[b1, b2]));
+    }
+
+    #[test]
+    fn wildcard_rhs_never_blocks_a_single_tuple() {
+        let schema = ab_schema(Domain::string(), Domain::string());
+        let rel = schema.rel_id("r").unwrap();
+        let fd = NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::Any).unwrap();
+        assert!(consistent_infinite(&schema, rel, &[fd]));
+    }
+
+    #[test]
+    fn finite_enumeration_finds_the_one_good_value() {
+        // dom(A) = {0,1,2}; A=0 and A=1 both force conflicts; A=2 is free.
+        let schema = ab_schema(Domain::finite_ints(3), Domain::string());
+        let rel = schema.rel_id("r").unwrap();
+        let mk = |av: i64, b: &str| {
+            NormalCfd::parse(
+                &schema,
+                "r",
+                &["a"],
+                PatternRow::new([PValue::constant(Value::int(av))]),
+                "b",
+                PValue::constant(b),
+            )
+            .unwrap()
+        };
+        let cfds = vec![mk(0, "x"), mk(0, "y"), mk(1, "u"), mk(1, "v")];
+        assert_eq!(
+            consistent_exact(&schema, rel, &cfds, None),
+            Verdict::Consistent
+        );
+        let w = witness_tuple(&schema, rel, &cfds, None).unwrap();
+        assert_eq!(w[AttrId(0)], Value::int(2));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let (schema, cfds) = fixtures::example_3_2();
+        let rel = schema.rel_id("r").unwrap();
+        // One assignment tried out of two: not enough to conclude.
+        assert_eq!(
+            consistent_exact(&schema, rel, &cfds, Some(1)),
+            Verdict::Unknown
+        );
+    }
+
+    #[test]
+    fn empty_set_is_consistent_everywhere() {
+        let (schema, _) = fixtures::example_3_2();
+        let rel = schema.rel_id("r").unwrap();
+        assert_eq!(consistent_exact(&schema, rel, &[], None), Verdict::Consistent);
+        assert_eq!(set_consistent_exact(&schema, &[], None), Verdict::Consistent);
+    }
+
+    #[test]
+    fn set_consistency_needs_only_one_relation() {
+        // Two relations; CFDs inconsistent on r but absent on s → the set
+        // is consistent (s can be nonempty, r empty).
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("r", &[("a", Domain::boolean()), ("b", Domain::string())])
+                .relation("s", &[("c", Domain::string())])
+                .finish(),
+        );
+        let (_, cfds32) = fixtures::example_3_2();
+        // Re-target the Example 3.2 CFDs onto this schema's `r` (same
+        // attribute layout).
+        let cfds: Vec<NormalCfd> = cfds32
+            .iter()
+            .map(|c| {
+                NormalCfd::new(
+                    schema.rel_id("r").unwrap(),
+                    c.lhs().to_vec(),
+                    c.lhs_pat().clone(),
+                    c.rhs(),
+                    c.rhs_pat().clone(),
+                )
+            })
+            .collect();
+        let r = schema.rel_id("r").unwrap();
+        assert_eq!(
+            consistent_exact(&schema, r, &cfds, None),
+            Verdict::Inconsistent
+        );
+        assert_eq!(set_consistent_exact(&schema, &cfds, None), Verdict::Consistent);
+    }
+
+    #[test]
+    fn witness_satisfies_random_style_mix() {
+        let schema = ab_schema(Domain::boolean(), Domain::string());
+        let rel = schema.rel_id("r").unwrap();
+        let cfds = vec![
+            NormalCfd::parse(
+                &schema,
+                "r",
+                &["a"],
+                PatternRow::new([PValue::constant(Value::bool(true))]),
+                "b",
+                PValue::constant("yes"),
+            )
+            .unwrap(),
+            NormalCfd::parse(
+                &schema,
+                "r",
+                &["b"],
+                prow!["yes"],
+                "a",
+                PValue::constant(Value::bool(true)),
+            )
+            .unwrap(),
+        ];
+        let w = witness_tuple(&schema, rel, &cfds, None).unwrap();
+        let mut db = Database::empty(schema.clone());
+        db.insert(rel, w).unwrap();
+        assert!(satisfies_all(&db, &cfds));
+    }
+}

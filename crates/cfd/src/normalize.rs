@@ -1,0 +1,116 @@
+//! Normalization of CFDs.
+//!
+//! Section 4 of the paper: "we say that a CFD `φ = (R: X → Y, Tp)` is in
+//! the normal form if `Tp` consists of a single tuple `tp` and `Y`
+//! contains a single attribute `A` … We can always rewrite a CFD into an
+//! equivalent set of CFDs in the normal form." The rewrite splits the
+//! tableau into one CFD per row and the RHS into one CFD per attribute —
+//! the conjunction of the pieces is equivalent to the original, and the
+//! output size is linear in the input size.
+
+use crate::syntax::{Cfd, NormalCfd};
+use condep_model::PatternRow;
+
+/// Rewrites a CFD into the equivalent set of normal-form CFDs (one per
+/// tableau row per RHS attribute).
+pub fn normalize(cfd: &Cfd) -> Vec<NormalCfd> {
+    let mut out = Vec::with_capacity(cfd.tableau().len() * cfd.rhs().len());
+    for row in cfd.tableau() {
+        let (x_cells, y_cells) = cfd.split_row(row);
+        let lhs_pat: PatternRow = x_cells.iter().cloned().collect();
+        for (j, a) in cfd.rhs().iter().enumerate() {
+            out.push(NormalCfd::new(
+                cfd.rel(),
+                cfd.lhs().to_vec(),
+                lhs_pat.clone(),
+                *a,
+                y_cells[j].clone(),
+            ));
+        }
+    }
+    out
+}
+
+/// Normalizes a whole set.
+pub fn normalize_all<'a, I>(cfds: I) -> Vec<NormalCfd>
+where
+    I: IntoIterator<Item = &'a Cfd>,
+{
+    cfds.into_iter().flat_map(normalize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condep_model::fixtures::bank_schema;
+    use condep_model::{prow, PValue};
+
+    #[test]
+    fn one_normal_cfd_per_row_per_rhs_attr() {
+        let schema = bank_schema();
+        let cfd = Cfd::parse(
+            &schema,
+            "saving",
+            &["an", "ab"],
+            &["cn", "ca", "cp"],
+            vec![prow![_, _, _, _, _], prow!["01", _, _, _, _]],
+        )
+        .unwrap();
+        let normal = normalize(&cfd);
+        // 2 rows × 3 RHS attributes.
+        assert_eq!(normal.len(), 6);
+        // Size is linear: every normal CFD references the same X list.
+        for n in &normal {
+            assert_eq!(n.lhs(), cfd.lhs());
+        }
+    }
+
+    #[test]
+    fn patterns_are_split_correctly() {
+        let schema = bank_schema();
+        let cfd = Cfd::parse(
+            &schema,
+            "interest",
+            &["ct", "at"],
+            &["rt"],
+            vec![prow!["UK", "checking", "1.5%"]],
+        )
+        .unwrap();
+        let normal = normalize(&cfd);
+        assert_eq!(normal.len(), 1);
+        let n = &normal[0];
+        assert_eq!(n.lhs_pat(), &prow!["UK", "checking"]);
+        assert_eq!(n.rhs_pat(), &PValue::constant("1.5%"));
+    }
+
+    #[test]
+    fn normalize_all_flattens() {
+        let schema = bank_schema();
+        let fd1 = Cfd::parse(
+            &schema,
+            "saving",
+            &["an", "ab"],
+            &["cn"],
+            vec![prow![_, _, _]],
+        )
+        .unwrap();
+        let fd3 = Cfd::parse(
+            &schema,
+            "interest",
+            &["ct", "at"],
+            &["rt"],
+            vec![prow![_, _, _], prow!["UK", "saving", "4.5%"]],
+        )
+        .unwrap();
+        let all = normalize_all([&fd1, &fd3]);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn empty_tableau_normalizes_to_nothing() {
+        // A CFD with no pattern rows imposes no constraint.
+        let schema = bank_schema();
+        let cfd = Cfd::parse(&schema, "interest", &["ct"], &["rt"], vec![]).unwrap();
+        assert!(normalize(&cfd).is_empty());
+    }
+}

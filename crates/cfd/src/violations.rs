@@ -1,0 +1,214 @@
+//! Violation detection for CFDs.
+//!
+//! Beyond the boolean check of [`crate::satisfy`], data cleaning needs
+//! the offending tuples themselves (paper, Examples 1.2 and 4.1 — tuple
+//! `t12` is the culprit). Two detector implementations are provided:
+//!
+//! * [`find_violations`] — direct group-by detection, returning every
+//!   violation with its witnesses;
+//! * [`violation_plans`] — compiles a normal CFD to two [`Plan`]s in the
+//!   spirit of the SQL technique of the companion CFD paper: one
+//!   selection query for single-tuple violations and one self-join query
+//!   for pair violations.
+
+use crate::syntax::NormalCfd;
+use condep_model::{AttrId, Database, PValue, Value};
+use condep_query::{Plan, Predicate};
+
+/// A single CFD violation with its witnessing tuple positions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CfdViolation {
+    /// One tuple matches `tp[X]` but its `A` value differs from the
+    /// constant `tp[A]`.
+    SingleTuple {
+        /// Dense position of the offending tuple in its relation.
+        tuple: usize,
+        /// The value found.
+        found: Value,
+        /// The constant the pattern demands.
+        expected: Value,
+    },
+    /// Two tuples agree on `X` (matching `tp[X]`) but disagree on `A`.
+    Pair {
+        /// Position of the first witness.
+        left: usize,
+        /// Position of the second witness.
+        right: usize,
+    },
+}
+
+/// Finds all violations of a normal-form CFD in `db`.
+///
+/// For wildcard-RHS CFDs, pairs are reported per group against the first
+/// tuple carrying each distinct conflicting value (reporting all `k·(k-1)/2`
+/// pairs in a group would be quadratic noise; one witness per conflicting
+/// tuple is what a repair tool needs).
+pub fn find_violations(db: &Database, cfd: &NormalCfd) -> Vec<CfdViolation> {
+    let rel = db.relation(cfd.rel());
+    let idx = condep_query::HashIndex::build_filtered(rel, cfd.lhs(), |t| {
+        cfd.lhs_pat().matches_tuple(t, cfd.lhs())
+    });
+    let mut out = Vec::new();
+    for (_, group) in idx.groups() {
+        match cfd.rhs_pat() {
+            PValue::Const(expected) => {
+                for &pos in group {
+                    let t = rel.get(pos).expect("indexed position valid");
+                    let found = &t[cfd.rhs()];
+                    if found != expected {
+                        out.push(CfdViolation::SingleTuple {
+                            tuple: pos,
+                            found: found.clone(),
+                            expected: expected.clone(),
+                        });
+                    }
+                }
+            }
+            PValue::Any => {
+                let mut first_pos: Option<(usize, &Value)> = None;
+                for &pos in group {
+                    let t = rel.get(pos).expect("indexed position valid");
+                    let v = &t[cfd.rhs()];
+                    match first_pos {
+                        None => first_pos = Some((pos, v)),
+                        Some((fp, fv)) => {
+                            if fv != v {
+                                out.push(CfdViolation::Pair {
+                                    left: fp,
+                                    right: pos,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Deterministic order for tests and reports.
+    out.sort_by_key(|v| match v {
+        CfdViolation::SingleTuple { tuple, .. } => (0usize, *tuple, 0usize),
+        CfdViolation::Pair { left, right } => (1usize, *left, *right),
+    });
+    out
+}
+
+/// Compiles a normal CFD into `(single_tuple_plan, pair_plan)` — the
+/// SQL-style violation queries.
+///
+/// * `single_tuple_plan` (only for constant-RHS CFDs, otherwise a plan
+///   returning nothing): `σ_{X ≍ tp[X] ∧ A ≠ a}(R)`.
+/// * `pair_plan`: `σ_{A_left ≠ A_right}(σ_{X ≍ tp[X]}(R) ⋈_{X=X} σ_{X ≍ tp[X]}(R))`
+///   (only meaningful for wildcard-RHS CFDs; constant-RHS pair conflicts
+///   are subsumed by single-tuple violations).
+pub fn violation_plans(cfd: &NormalCfd, rel_arity: usize) -> (Plan, Plan) {
+    let match_x = Predicate::matches(cfd.lhs().to_vec(), cfd.lhs_pat().clone());
+    let single = match cfd.rhs_pat() {
+        PValue::Const(a) => Plan::scan(cfd.rel())
+            .filter(Predicate::and([
+                match_x.clone(),
+                Predicate::AttrNe(cfd.rhs(), a.clone()),
+            ])),
+        PValue::Any => Plan::scan(cfd.rel()).filter(Predicate::False),
+    };
+    let pair = match cfd.rhs_pat() {
+        PValue::Any => {
+            let left = Plan::scan(cfd.rel()).filter(match_x.clone());
+            let right = Plan::scan(cfd.rel()).filter(match_x);
+            let rhs_right = AttrId((cfd.rhs().index() + rel_arity) as u32);
+            left.join(right, cfd.lhs().to_vec(), cfd.lhs().to_vec())
+                .filter(Predicate::Not(Box::new(Predicate::AttrsEq(
+                    cfd.rhs(),
+                    rhs_right,
+                ))))
+        }
+        PValue::Const(_) => Plan::scan(cfd.rel()).filter(Predicate::False),
+    };
+    (single, pair)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::normalize::normalize;
+    use condep_model::fixtures::bank_database;
+    use condep_model::tuple;
+
+    #[test]
+    fn t12_is_the_only_phi3_violation() {
+        // Example 4.1: tuple t12 violates the (UK, checking || 1.5%) row.
+        let db = bank_database();
+        let normal = normalize(&fixtures::phi3());
+        let mut all = Vec::new();
+        for n in &normal {
+            all.extend(find_violations(&db, n));
+        }
+        assert_eq!(all.len(), 1);
+        match &all[0] {
+            CfdViolation::SingleTuple {
+                tuple,
+                found,
+                expected,
+            } => {
+                let interest = db.schema().rel_id("interest").unwrap();
+                let t = db.relation(interest).get(*tuple).unwrap();
+                assert_eq!(t, &tuple!["EDI", "UK", "checking", "10.5%"]);
+                assert_eq!(found, &Value::str("10.5%"));
+                assert_eq!(expected, &Value::str("1.5%"));
+            }
+            other => panic!("expected single-tuple violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plans_agree_with_direct_detector_on_singles() {
+        let db = bank_database();
+        let interest_arity = 4;
+        let normal = normalize(&fixtures::phi3());
+        for n in &normal {
+            let (single, _) = violation_plans(n, interest_arity);
+            let rows = single.execute(&db);
+            let direct = find_violations(&db, n);
+            let direct_singles = direct
+                .iter()
+                .filter(|v| matches!(v, CfdViolation::SingleTuple { .. }))
+                .count();
+            assert_eq!(rows.len(), direct_singles);
+        }
+    }
+
+    #[test]
+    fn pair_plan_finds_fd_conflicts() {
+        use condep_model::{prow, Database, Domain, PValue, Schema};
+        use std::sync::Arc;
+        let schema = Arc::new(
+            Schema::builder()
+                .relation(
+                    "r",
+                    &[("a", Domain::string()), ("b", Domain::string())],
+                )
+                .finish(),
+        );
+        let n = NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::Any).unwrap();
+        let mut db = Database::empty(schema);
+        db.insert_into("r", tuple!["k", "v1"]).unwrap();
+        db.insert_into("r", tuple!["k", "v2"]).unwrap();
+        db.insert_into("r", tuple!["j", "v1"]).unwrap();
+        let (_, pair) = violation_plans(&n, 2);
+        let rows = pair.execute(&db);
+        // (t0,t1) and (t1,t0) both qualify in the symmetric self-join.
+        assert_eq!(rows.len(), 2);
+        let direct = find_violations(&db, &n);
+        assert_eq!(direct, vec![CfdViolation::Pair { left: 0, right: 1 }]);
+    }
+
+    #[test]
+    fn no_violations_on_satisfying_instance() {
+        let db = condep_model::fixtures::clean_bank_database();
+        for cfd in [fixtures::phi1(), fixtures::phi2(), fixtures::phi3()] {
+            for n in normalize(&cfd) {
+                assert!(find_violations(&db, &n).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Chase configuration — the knobs of Sections 5.1/5.2 and 6.
+
+/// Parameters of the (instantiated) chase.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaseConfig {
+    /// `N` — the maximum size of each variable pool `var[A]`. The
+    /// experiments found "N has a negligible impact on the accuracy" and
+    /// fixed `N = 2` (Section 6).
+    pub pool_size: u8,
+    /// `T` — the maximum number of tuples per relation during the chase;
+    /// exceeding it makes the chase undefined (Section 5.2's second
+    /// simplification; 2K–4K in the experiments).
+    pub tuple_cap: usize,
+    /// The instantiated chase `chaseI`: draw finite-domain fields of
+    /// newly created tuples from their domains instead of the pools
+    /// (Section 5.2's first simplification).
+    pub instantiate_finite: bool,
+    /// Engineering safety net: overall step budget (the paper argues
+    /// termination from the finite pools; the cap guards against
+    /// pathological thrashing and is never hit in the experiments).
+    pub max_steps: usize,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig {
+            pool_size: 2,
+            tuple_cap: 2_000,
+            instantiate_finite: true,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+impl ChaseConfig {
+    /// A configuration for plain (non-instantiated) chasing.
+    pub fn plain() -> Self {
+        ChaseConfig {
+            instantiate_finite: false,
+            ..ChaseConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = ChaseConfig::default();
+        assert_eq!(c.pool_size, 2, "Section 6 sets N = 2");
+        assert!(c.tuple_cap >= 2_000, "Section 6 uses T between 2K and 4K");
+        assert!(c.instantiate_finite);
+    }
+
+    #[test]
+    fn plain_disables_instantiation() {
+        assert!(!ChaseConfig::plain().instantiate_finite);
+    }
+}

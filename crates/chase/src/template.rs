@@ -1,0 +1,384 @@
+//! Database templates: databases over constants and pool variables.
+
+use condep_model::{AttrId, RelId, Schema, Tuple, Value};
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A pool variable: the `idx`-th member of `var[A]` for attribute `A`
+/// of relation `rel` (the paper's per-attribute variable sets).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarRef {
+    /// The relation whose attribute owns the pool.
+    pub rel: RelId,
+    /// The attribute owning the pool.
+    pub attr: AttrId,
+    /// Index within `var[A]` (bounded by the pool size `N`).
+    pub idx: u8,
+}
+
+impl fmt::Display for VarRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}_{}_{}", self.rel.0, self.attr.0, self.idx)
+    }
+}
+
+/// A template cell: a pool variable or a constant.
+///
+/// The paper's order: variables precede constants (`v < a` for every
+/// variable `v` and constant `a`), variables are ordered among
+/// themselves, and constants are left unordered by `<` (our derived
+/// order on [`Value`] is a harmless refinement used only for
+/// determinism). Matching: `v ≭ a` but `v ≍ _`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum TplValue {
+    /// A pool variable (sorts before every constant).
+    Var(VarRef),
+    /// A concrete constant.
+    Const(Value),
+}
+
+impl TplValue {
+    /// Is this a variable?
+    pub fn is_var(&self) -> bool {
+        matches!(self, TplValue::Var(_))
+    }
+
+    /// The constant payload, if any.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            TplValue::Const(v) => Some(v),
+            TplValue::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for TplValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TplValue::Var(v) => write!(f, "{v}"),
+            TplValue::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A template tuple.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TplTuple(pub Vec<TplValue>);
+
+impl TplTuple {
+    /// The cell at `attr`.
+    pub fn get(&self, attr: AttrId) -> &TplValue {
+        &self.0[attr.index()]
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[TplValue] {
+        &self.0
+    }
+
+    /// Does every `(attr, const)` pair hold exactly? (Template matching:
+    /// variables never equal constants.)
+    pub fn matches_consts(&self, pairs: &[(AttrId, Value)]) -> bool {
+        pairs
+            .iter()
+            .all(|(a, v)| self.get(*a) == &TplValue::Const(v.clone()))
+    }
+
+    /// Converts to a concrete [`Tuple`] if no variables remain.
+    pub fn to_concrete(&self) -> Option<Tuple> {
+        let values: Option<Vec<Value>> = self
+            .0
+            .iter()
+            .map(|c| c.as_const().cloned())
+            .collect();
+        values.map(Tuple::new)
+    }
+}
+
+impl fmt::Display for TplTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A database template `D` (paper: "a chasing sequence of database
+/// templates (with variables)"). Relations are tuple sets with
+/// deterministic iteration order.
+#[derive(Clone, Debug)]
+pub struct TemplateDb {
+    schema: Arc<Schema>,
+    relations: Vec<Vec<TplTuple>>,
+}
+
+impl TemplateDb {
+    /// An empty template over `schema`.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        let relations = (0..schema.len()).map(|_| Vec::new()).collect();
+        TemplateDb { schema, relations }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Tuples of relation `rel`.
+    pub fn relation(&self, rel: RelId) -> &[TplTuple] {
+        &self.relations[rel.index()]
+    }
+
+    /// Inserts a tuple (set semantics); returns whether it was new.
+    pub fn insert(&mut self, rel: RelId, t: TplTuple) -> bool {
+        debug_assert_eq!(
+            t.0.len(),
+            self.schema.relation(rel).map(|r| r.arity()).unwrap_or(0)
+        );
+        let tuples = &mut self.relations[rel.index()];
+        if tuples.contains(&t) {
+            return false;
+        }
+        tuples.push(t);
+        true
+    }
+
+    /// Total tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Vec::len).sum()
+    }
+
+    /// Is the whole template empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.iter().all(Vec::is_empty)
+    }
+
+    /// Substitutes variable `v := to` everywhere, then deduplicates
+    /// collapsed tuples. Returns whether anything changed.
+    pub fn substitute(&mut self, v: VarRef, to: &TplValue) -> bool {
+        let mut changed = false;
+        for tuples in &mut self.relations {
+            for t in tuples.iter_mut() {
+                for cell in &mut t.0 {
+                    if *cell == TplValue::Var(v) {
+                        *cell = to.clone();
+                        changed = true;
+                    }
+                }
+            }
+            if changed {
+                let mut seen = HashSet::with_capacity(tuples.len());
+                tuples.retain(|t| seen.insert(t.clone()));
+            }
+        }
+        changed
+    }
+
+    /// All distinct variables occurring in the template.
+    pub fn variables(&self) -> Vec<VarRef> {
+        let mut seen = std::collections::BTreeSet::new();
+        for tuples in &self.relations {
+            for t in tuples {
+                for cell in &t.0 {
+                    if let TplValue::Var(v) = cell {
+                        seen.insert(*v);
+                    }
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// The variables whose attribute has a finite domain — the set `V`
+    /// the valuations of Section 5.2 range over.
+    pub fn finite_variables(&self) -> Vec<VarRef> {
+        self.variables()
+            .into_iter()
+            .filter(|v| {
+                self.schema
+                    .relation(v.rel)
+                    .ok()
+                    .and_then(|rs| rs.attribute(v.attr).ok().map(|a| a.is_finite()))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Converts to a concrete [`condep_model::Database`], mapping every
+    /// remaining variable to a fresh value of its attribute's domain
+    /// (distinct per variable, avoiding `avoid_constants`). Returns
+    /// `None` if some finite-domain variable cannot receive a fresh
+    /// value — callers should have instantiated those via valuations.
+    pub fn instantiate_fresh(
+        &self,
+        avoid_constants: &[Value],
+    ) -> Option<condep_model::Database> {
+        let mut db = condep_model::Database::empty(self.schema.clone());
+        let mut assigned: std::collections::HashMap<VarRef, Value> =
+            std::collections::HashMap::new();
+        let mut used: Vec<Value> = avoid_constants.to_vec();
+        for v in self.variables() {
+            let dom = self
+                .schema
+                .relation(v.rel)
+                .ok()?
+                .attribute(v.attr)
+                .ok()?
+                .domain()
+                .clone();
+            let fresh = dom.fresh_value(used.iter())?;
+            used.push(fresh.clone());
+            assigned.insert(v, fresh);
+        }
+        for (i, tuples) in self.relations.iter().enumerate() {
+            let rel = RelId(i as u32);
+            for t in tuples {
+                let concrete = Tuple::new(t.0.iter().map(|c| match c {
+                    TplValue::Const(v) => v.clone(),
+                    TplValue::Var(v) => assigned[v].clone(),
+                }));
+                db.insert(rel, concrete).ok()?;
+            }
+        }
+        Some(db)
+    }
+}
+
+impl fmt::Display for TemplateDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, tuples) in self.relations.iter().enumerate() {
+            let name = self
+                .schema
+                .relation(RelId(i as u32))
+                .map(|r| r.name().to_string())
+                .unwrap_or_else(|_| format!("R{i}"));
+            writeln!(f, "{name}:")?;
+            for t in tuples {
+                writeln!(f, "  {t}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condep_core::fixtures::example_5_1_schema;
+
+    fn var(rel: u32, attr: u32, idx: u8) -> VarRef {
+        VarRef {
+            rel: RelId(rel),
+            attr: AttrId(attr),
+            idx,
+        }
+    }
+
+    #[test]
+    fn ordering_vars_before_consts() {
+        let v = TplValue::Var(var(0, 0, 0));
+        let c = TplValue::Const(Value::str("a"));
+        assert!(v < c, "the paper's order requires v < a");
+        let v2 = TplValue::Var(var(0, 0, 1));
+        assert!(v < v2);
+    }
+
+    #[test]
+    fn insert_dedups_and_counts() {
+        let schema = example_5_1_schema(false);
+        let mut db = TemplateDb::empty(schema.clone());
+        let r1 = schema.rel_id("r1").unwrap();
+        let t = TplTuple(vec![
+            TplValue::Var(var(0, 0, 0)),
+            TplValue::Var(var(0, 1, 0)),
+        ]);
+        assert!(db.insert(r1, t.clone()));
+        assert!(!db.insert(r1, t));
+        assert_eq!(db.total_tuples(), 1);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn substitution_is_global_and_dedups() {
+        let schema = example_5_1_schema(false);
+        let mut db = TemplateDb::empty(schema.clone());
+        let r1 = schema.rel_id("r1").unwrap();
+        let v0 = var(0, 0, 0);
+        db.insert(
+            r1,
+            TplTuple(vec![TplValue::Var(v0), TplValue::Const(Value::str("x"))]),
+        );
+        db.insert(
+            r1,
+            TplTuple(vec![
+                TplValue::Const(Value::str("c")),
+                TplValue::Const(Value::str("x")),
+            ]),
+        );
+        assert_eq!(db.relation(r1).len(), 2);
+        // v0 := c collapses the two tuples into one.
+        assert!(db.substitute(v0, &TplValue::Const(Value::str("c"))));
+        assert_eq!(db.relation(r1).len(), 1);
+        assert!(db.variables().is_empty());
+    }
+
+    #[test]
+    fn finite_variables_filters_by_domain() {
+        let schema = example_5_1_schema(true); // dom(H) = {0, 1}
+        let mut db = TemplateDb::empty(schema.clone());
+        let r2 = schema.rel_id("r2").unwrap();
+        let vg = var(1, 0, 0);
+        let vh = var(1, 1, 0);
+        db.insert(r2, TplTuple(vec![TplValue::Var(vg), TplValue::Var(vh)]));
+        assert_eq!(db.variables().len(), 2);
+        assert_eq!(db.finite_variables(), vec![vh]);
+    }
+
+    #[test]
+    fn instantiate_fresh_avoids_constants_and_distinguishes_vars() {
+        let schema = example_5_1_schema(false);
+        let mut db = TemplateDb::empty(schema.clone());
+        let r1 = schema.rel_id("r1").unwrap();
+        db.insert(
+            r1,
+            TplTuple(vec![
+                TplValue::Var(var(0, 0, 0)),
+                TplValue::Var(var(0, 1, 0)),
+            ]),
+        );
+        let avoid = vec![Value::str("a"), Value::str("b")];
+        let concrete = db.instantiate_fresh(&avoid).unwrap();
+        let inst = concrete.relation(r1);
+        assert_eq!(inst.len(), 1);
+        let t = inst.get(0).unwrap();
+        // Fresh values avoid the constants and are pairwise distinct.
+        assert!(!avoid.contains(&t[AttrId(0)]));
+        assert!(!avoid.contains(&t[AttrId(1)]));
+        assert_ne!(t[AttrId(0)], t[AttrId(1)]);
+    }
+
+    #[test]
+    fn matches_consts_requires_exact_constants() {
+        let t = TplTuple(vec![
+            TplValue::Const(Value::str("0")),
+            TplValue::Var(var(1, 1, 0)),
+        ]);
+        assert!(t.matches_consts(&[(AttrId(0), Value::str("0"))]));
+        // A variable never matches a constant (v ≭ a).
+        assert!(!t.matches_consts(&[(AttrId(1), Value::str("0"))]));
+    }
+
+    #[test]
+    fn to_concrete_requires_groundness() {
+        let ground = TplTuple(vec![TplValue::Const(Value::str("x"))]);
+        assert!(ground.to_concrete().is_some());
+        let open = TplTuple(vec![TplValue::Var(var(0, 0, 0))]);
+        assert!(open.to_concrete().is_none());
+    }
+}

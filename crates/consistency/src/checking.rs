@@ -1,0 +1,237 @@
+//! Algorithm `Checking` — Figure 9: `preProcessing` + per-component
+//! `RandomChecking`.
+
+use crate::cfd_checking::{CfdChecker, ChaseCfdChecker, SatCfdChecker};
+use crate::graph::DepGraph;
+use crate::preprocessing::{pre_processing, PreVerdict};
+use crate::random_checking::{random_checking, RandomCheckingConfig};
+use crate::sigma::ConstraintSet;
+use condep_core::NormalCind;
+use condep_model::{Database, RelId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Which `CFD_Checking` implementation to use inside `preProcessing`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CfdCheckerKind {
+    /// Chase-based (the paper adopts this one after Figure 10(a)).
+    Chase,
+    /// SAT-based (stands in for SAT4j).
+    Sat,
+}
+
+/// Parameters of `Checking`.
+#[derive(Clone, Debug)]
+pub struct CheckingConfig {
+    /// Parameters forwarded to the per-component `RandomChecking`.
+    pub random: RandomCheckingConfig,
+    /// `K_CFD` for the chase-based `CFD_Checking`.
+    pub k_cfd: u64,
+    /// Which `CFD_Checking` to use.
+    pub checker: CfdCheckerKind,
+    /// Skip `preProcessing` entirely (the ablation knob: `Checking`
+    /// degenerates to `RandomChecking` over the whole schema).
+    pub use_preprocessing: bool,
+}
+
+impl Default for CheckingConfig {
+    fn default() -> Self {
+        CheckingConfig {
+            random: RandomCheckingConfig::default(),
+            k_cfd: 2_000_000,
+            checker: CfdCheckerKind::Chase,
+            use_preprocessing: true,
+        }
+    }
+}
+
+/// Algorithm `Checking`: returns a witness database when Σ is found
+/// consistent (sound, Theorem 5.1), `None` when no witness could be
+/// built (which does not prove inconsistency).
+pub fn checking(sigma: &ConstraintSet, config: &CheckingConfig) -> Option<Database> {
+    if !config.use_preprocessing {
+        return random_checking(sigma, &config.random, None);
+    }
+    // Lines 1–5.
+    let mut graph = DepGraph::build(sigma);
+    let mut chase_checker;
+    let mut sat_checker;
+    let checker: &mut dyn CfdChecker = match config.checker {
+        CfdCheckerKind::Chase => {
+            chase_checker =
+                ChaseCfdChecker::new(config.k_cfd, StdRng::seed_from_u64(config.random.seed));
+            &mut chase_checker
+        }
+        CfdCheckerKind::Sat => {
+            sat_checker = SatCfdChecker;
+            &mut sat_checker
+        }
+    };
+    match pre_processing(&mut graph, sigma, checker) {
+        PreVerdict::Consistent(db) => return Some(db),
+        PreVerdict::Inconsistent => return None,
+        PreVerdict::Undecided => {}
+    }
+    // Lines 6–9: each connected component of the reduced graph, with the
+    // *augmented* CFD sets (non-triggering CFDs included) and the
+    // surviving CINDs.
+    for component in graph.connected_components() {
+        let sigma_prime = component_sigma(&graph, sigma, &component);
+        let rels: Vec<RelId> = component.iter().copied().collect();
+        if let Some(witness) = random_checking(&sigma_prime, &config.random, Some(&rels)) {
+            // The witness satisfies Σ' by construction; it satisfies the
+            // full Σ as well because every other relation is empty and
+            // cross-component CINDs were severed only by deleting
+            // relations that must be empty anyway.
+            if sigma.satisfied_by(&witness) {
+                return Some(witness);
+            }
+        }
+    }
+    None
+}
+
+/// Σ' for one component: the component relations' (augmented) CFDs plus
+/// the CINDs among them.
+fn component_sigma(
+    graph: &DepGraph,
+    sigma: &ConstraintSet,
+    component: &BTreeSet<RelId>,
+) -> ConstraintSet {
+    let mut cfds = Vec::new();
+    for rel in component {
+        cfds.extend(graph.node(*rel).cfds.iter().cloned());
+    }
+    let mut cinds: Vec<NormalCind> = Vec::new();
+    for ri in component {
+        for rj in component {
+            cinds.extend(graph.edge_cinds(*ri, *rj).iter().cloned());
+        }
+    }
+    ConstraintSet::new(sigma.schema().clone(), cfds, cinds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condep_cfd::NormalCfd;
+    use condep_core::fixtures::{
+        example_5_4_cinds, example_5_4_schema, example_5_5_psi4_prime,
+    };
+    use condep_model::{prow, PValue};
+
+    fn config() -> CheckingConfig {
+        CheckingConfig {
+            random: RandomCheckingConfig {
+                k: 20,
+                seed: 17,
+                ..RandomCheckingConfig::default()
+            },
+            ..CheckingConfig::default()
+        }
+    }
+
+    fn example_5_4_cfds(schema: &condep_model::Schema) -> Vec<NormalCfd> {
+        vec![
+            NormalCfd::parse(schema, "r1", &["e"], prow![_], "f", PValue::Any).unwrap(),
+            NormalCfd::parse(schema, "r2", &["h"], prow![_], "g", PValue::constant("c"))
+                .unwrap(),
+            NormalCfd::parse(schema, "r3", &["a"], prow!["c"], "b", PValue::Any).unwrap(),
+            NormalCfd::parse(schema, "r4", &["c"], prow![_], "d", PValue::constant("a"))
+                .unwrap(),
+            NormalCfd::parse(schema, "r4", &["c"], prow![_], "d", PValue::constant("b"))
+                .unwrap(),
+            NormalCfd::parse(schema, "r5", &["i"], prow![_], "j", PValue::constant("c"))
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn example_5_6_checking_succeeds_via_random_checking() {
+        // Σ of Example 5.4 with ψ4' (Example 5.5's variant):
+        // preProcessing reduces to {R1, R2} and returns −1; Checking then
+        // runs RandomChecking on the component (Example 5.6) and finds a
+        // witness.
+        let schema = example_5_4_schema();
+        let mut cinds = example_5_4_cinds(&schema);
+        cinds[3] = example_5_5_psi4_prime(&schema);
+        let sigma = ConstraintSet::new(schema.clone(), example_5_4_cfds(&schema), cinds);
+        let witness = checking(&sigma, &config()).expect("Example 5.6: consistent");
+        assert!(sigma.satisfied_by(&witness));
+        // The witness lives in the {r1, r2} component.
+        let r1 = schema.rel_id("r1").unwrap();
+        let r2 = schema.rel_id("r2").unwrap();
+        assert!(!witness.relation(r1).is_empty() || !witness.relation(r2).is_empty());
+    }
+
+    #[test]
+    fn example_5_4_checking_succeeds_via_preprocessing() {
+        // With the original ψ4, preProcessing already returns 1
+        // (Example 5.5 first variant).
+        let schema = example_5_4_schema();
+        let sigma = ConstraintSet::new(
+            schema.clone(),
+            example_5_4_cfds(&schema),
+            example_5_4_cinds(&schema),
+        );
+        let witness = checking(&sigma, &config()).expect("consistent");
+        assert!(sigma.satisfied_by(&witness));
+    }
+
+    #[test]
+    fn example_4_2_is_rejected() {
+        let (schema, cind) = condep_core::fixtures::example_4_2_cind();
+        let phi =
+            NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::constant("a"))
+                .unwrap();
+        let sigma = ConstraintSet::new(schema, vec![phi], vec![cind]);
+        assert!(checking(&sigma, &config()).is_none());
+    }
+
+    #[test]
+    fn sat_checker_variant_agrees_on_the_examples() {
+        let schema = example_5_4_schema();
+        let sigma = ConstraintSet::new(
+            schema.clone(),
+            example_5_4_cfds(&schema),
+            example_5_4_cinds(&schema),
+        );
+        let cfg = CheckingConfig {
+            checker: CfdCheckerKind::Sat,
+            ..config()
+        };
+        assert!(checking(&sigma, &cfg).is_some());
+    }
+
+    #[test]
+    fn preprocessing_ablation_still_sound() {
+        // Without preProcessing, Checking = RandomChecking; answers stay
+        // sound, possibly slower/less accurate.
+        let schema = example_5_4_schema();
+        let sigma = ConstraintSet::new(
+            schema.clone(),
+            example_5_4_cfds(&schema),
+            example_5_4_cinds(&schema),
+        );
+        let cfg = CheckingConfig {
+            use_preprocessing: false,
+            random: RandomCheckingConfig {
+                k: 50,
+                seed: 23,
+                ..RandomCheckingConfig::default()
+            },
+            ..config()
+        };
+        if let Some(witness) = checking(&sigma, &cfg) {
+            assert!(sigma.satisfied_by(&witness));
+        }
+    }
+
+    #[test]
+    fn empty_sigma_is_consistent() {
+        let schema = example_5_4_schema();
+        let sigma = ConstraintSet::new(schema, vec![], vec![]);
+        assert!(checking(&sigma, &config()).is_some());
+    }
+}

@@ -1,0 +1,326 @@
+//! The dependency graph `G[Σ]` — Section 5.3.
+//!
+//! One vertex per relation, carrying `CFD(R)` (mutable: `preProcessing`
+//! adds non-triggering CFDs) and the instantiated template `τ(R)` once
+//! known; one edge `Ri → Rj` when some CIND goes from `Ri` to `Rj`,
+//! labelled with `CIND(Ri, Rj)`. Plus Tarjan SCCs, the targets-first
+//! topological order the paper's queue `Q` uses, and (weakly) connected
+//! components for `Checking`.
+
+use crate::sigma::ConstraintSet;
+use condep_cfd::NormalCfd;
+use condep_core::NormalCind;
+use condep_model::{RelId, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A vertex of `G[Σ]`.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Deleted nodes stay in the vector but are skipped everywhere.
+    pub alive: bool,
+    /// `CFD(R)` — grows when non-triggering CFDs are added.
+    pub cfds: Vec<NormalCfd>,
+    /// The instantiated tuple template `τ(R)`, once `CFD_Checking`
+    /// succeeds.
+    pub tau: Option<Tuple>,
+}
+
+/// The dependency graph `G[Σ]`.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    nodes: Vec<Node>,
+    /// `CIND(Ri, Rj)` per surviving edge.
+    edges: BTreeMap<(RelId, RelId), Vec<NormalCind>>,
+}
+
+impl DepGraph {
+    /// Builds `G[Σ]`.
+    pub fn build(sigma: &ConstraintSet) -> Self {
+        let n = sigma.schema().len();
+        let nodes = (0..n)
+            .map(|i| Node {
+                alive: true,
+                cfds: sigma.cfds_on(RelId(i as u32)),
+                tau: None,
+            })
+            .collect();
+        let mut edges: BTreeMap<(RelId, RelId), Vec<NormalCind>> = BTreeMap::new();
+        for cind in sigma.cinds() {
+            edges
+                .entry((cind.lhs_rel(), cind.rhs_rel()))
+                .or_default()
+                .push(cind.clone());
+        }
+        DepGraph { nodes, edges }
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Is the (live) graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.live_count() == 0
+    }
+
+    /// Is `rel` still in the graph?
+    pub fn is_alive(&self, rel: RelId) -> bool {
+        self.nodes
+            .get(rel.index())
+            .map(|n| n.alive)
+            .unwrap_or(false)
+    }
+
+    /// Live relations.
+    pub fn live_rels(&self) -> Vec<RelId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| RelId(i as u32))
+            .collect()
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, rel: RelId) -> &mut Node {
+        &mut self.nodes[rel.index()]
+    }
+
+    /// Read access to a node.
+    pub fn node(&self, rel: RelId) -> &Node {
+        &self.nodes[rel.index()]
+    }
+
+    /// Deletes a node and its incident edges.
+    pub fn delete_node(&mut self, rel: RelId) {
+        self.nodes[rel.index()].alive = false;
+        self.edges.retain(|(a, b), _| *a != rel && *b != rel);
+    }
+
+    /// Live out-neighbours of `rel`.
+    pub fn successors(&self, rel: RelId) -> Vec<RelId> {
+        self.edges
+            .keys()
+            .filter(|(a, b)| *a == rel && self.is_alive(*b))
+            .map(|(_, b)| *b)
+            .collect()
+    }
+
+    /// Live in-neighbours of `rel` (the `Rj` with `(Rj, R) ∈ E`).
+    pub fn predecessors(&self, rel: RelId) -> Vec<RelId> {
+        self.edges
+            .keys()
+            .filter(|(a, b)| *b == rel && self.is_alive(*a))
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// The CINDs labelling the edge `ri → rj`.
+    pub fn edge_cinds(&self, ri: RelId, rj: RelId) -> &[NormalCind] {
+        self.edges
+            .get(&(ri, rj))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// In-degree of a live node (counting only live predecessors).
+    pub fn indegree(&self, rel: RelId) -> usize {
+        self.predecessors(rel).len()
+    }
+
+    /// Tarjan's strongly connected components over the live graph,
+    /// emitted in reverse topological order — i.e. **targets before
+    /// sources**, which is exactly the order the paper's queue `Q`
+    /// requires ("if there is edge from Ri to Rj then Rj precedes Ri").
+    pub fn sccs_targets_first(&self) -> Vec<Vec<RelId>> {
+        struct Tarjan<'a> {
+            graph: &'a DepGraph,
+            index: BTreeMap<RelId, usize>,
+            low: BTreeMap<RelId, usize>,
+            on_stack: BTreeSet<RelId>,
+            stack: Vec<RelId>,
+            next: usize,
+            out: Vec<Vec<RelId>>,
+        }
+        impl Tarjan<'_> {
+            fn strongconnect(&mut self, v: RelId) {
+                self.index.insert(v, self.next);
+                self.low.insert(v, self.next);
+                self.next += 1;
+                self.stack.push(v);
+                self.on_stack.insert(v);
+                for w in self.graph.successors(v) {
+                    if !self.index.contains_key(&w) {
+                        self.strongconnect(w);
+                        let lw = self.low[&w];
+                        let lv = self.low.get_mut(&v).expect("v indexed");
+                        *lv = (*lv).min(lw);
+                    } else if self.on_stack.contains(&w) {
+                        let iw = self.index[&w];
+                        let lv = self.low.get_mut(&v).expect("v indexed");
+                        *lv = (*lv).min(iw);
+                    }
+                }
+                if self.low[&v] == self.index[&v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = self.stack.pop().expect("stack nonempty");
+                        self.on_stack.remove(&w);
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort();
+                    self.out.push(component);
+                }
+            }
+        }
+        let mut t = Tarjan {
+            graph: self,
+            index: BTreeMap::new(),
+            low: BTreeMap::new(),
+            on_stack: BTreeSet::new(),
+            stack: Vec::new(),
+            next: 0,
+            out: Vec::new(),
+        };
+        for v in self.live_rels() {
+            if !t.index.contains_key(&v) {
+                t.strongconnect(v);
+            }
+        }
+        t.out
+    }
+
+    /// The queue `Q`: relations in targets-first order (SCC-condensation
+    /// reverse-topological; arbitrary order inside an SCC).
+    pub fn topological_queue(&self) -> Vec<RelId> {
+        self.sccs_targets_first().into_iter().flatten().collect()
+    }
+
+    /// Weakly connected components of the live graph — `Checking`
+    /// processes each separately.
+    pub fn connected_components(&self) -> Vec<BTreeSet<RelId>> {
+        let mut seen: BTreeSet<RelId> = BTreeSet::new();
+        let mut out = Vec::new();
+        for start in self.live_rels() {
+            if seen.contains(&start) {
+                continue;
+            }
+            let mut comp = BTreeSet::new();
+            let mut stack = vec![start];
+            while let Some(v) = stack.pop() {
+                if !comp.insert(v) {
+                    continue;
+                }
+                seen.insert(v);
+                for w in self.successors(v).into_iter().chain(self.predecessors(v)) {
+                    if !comp.contains(&w) {
+                        stack.push(w);
+                    }
+                }
+            }
+            out.push(comp);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condep_core::fixtures::{example_5_4_cinds, example_5_4_schema};
+    use std::sync::Arc;
+
+    fn example_graph() -> (Arc<condep_model::Schema>, DepGraph) {
+        let schema = example_5_4_schema();
+        let cinds = example_5_4_cinds(&schema);
+        let sigma = ConstraintSet::new(schema.clone(), vec![], cinds);
+        (schema, DepGraph::build(&sigma))
+    }
+
+    #[test]
+    fn figure_6_edges() {
+        // G[Σ] of Example 5.4: R1 → R2 (ψ1), R2 → R1 (ψ2, ψ3),
+        // R3 → R4 (ψ4), R5 → R2 (ψ5).
+        let (schema, g) = example_graph();
+        let r = |n: &str| schema.rel_id(n).unwrap();
+        assert_eq!(g.successors(r("r1")), vec![r("r2")]);
+        assert_eq!(g.successors(r("r2")), vec![r("r1")]);
+        assert_eq!(g.successors(r("r3")), vec![r("r4")]);
+        assert_eq!(g.successors(r("r5")), vec![r("r2")]);
+        assert_eq!(g.edge_cinds(r("r2"), r("r1")).len(), 2);
+        assert_eq!(g.indegree(r("r2")), 2);
+        assert_eq!(g.indegree(r("r5")), 0);
+    }
+
+    #[test]
+    fn queue_puts_targets_first() {
+        // "One possible output is Q = [R4, R3, R1, R2, R5]" — any valid
+        // order places R4 before R3, and {R1, R2} before R5.
+        let (schema, g) = example_graph();
+        let q = g.topological_queue();
+        let pos = |n: &str| {
+            let rel = schema.rel_id(n).unwrap();
+            q.iter().position(|r| *r == rel).unwrap()
+        };
+        assert!(pos("r4") < pos("r3"));
+        assert!(pos("r1") < pos("r5"));
+        assert!(pos("r2") < pos("r5"));
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn sccs_group_the_r1_r2_cycle() {
+        let (schema, g) = example_graph();
+        let sccs = g.sccs_targets_first();
+        let r1 = schema.rel_id("r1").unwrap();
+        let r2 = schema.rel_id("r2").unwrap();
+        let cycle = sccs
+            .iter()
+            .find(|c| c.contains(&r1))
+            .expect("r1 somewhere");
+        assert!(cycle.contains(&r2), "r1 and r2 form one SCC");
+        assert_eq!(sccs.len(), 4); // {r1,r2}, {r3}, {r4}, {r5}
+    }
+
+    #[test]
+    fn deletion_removes_incident_edges() {
+        let (schema, mut g) = example_graph();
+        let r4 = schema.rel_id("r4").unwrap();
+        let r3 = schema.rel_id("r3").unwrap();
+        g.delete_node(r4);
+        assert!(!g.is_alive(r4));
+        assert!(g.successors(r3).is_empty());
+        assert_eq!(g.live_count(), 4);
+    }
+
+    #[test]
+    fn connected_components_split_correctly() {
+        let (schema, g) = example_graph();
+        let comps = g.connected_components();
+        // {r1, r2, r5} and {r3, r4}.
+        assert_eq!(comps.len(), 2);
+        let r5 = schema.rel_id("r5").unwrap();
+        let with_r5 = comps.iter().find(|c| c.contains(&r5)).unwrap();
+        assert_eq!(with_r5.len(), 3);
+    }
+
+    #[test]
+    fn figure_8_shape_after_deletions() {
+        // Example 5.5 (second variant) ends with R1, R2 and their edges.
+        let (schema, mut g) = example_graph();
+        for n in ["r3", "r4", "r5"] {
+            g.delete_node(schema.rel_id(n).unwrap());
+        }
+        let live = g.live_rels();
+        assert_eq!(live.len(), 2);
+        let r1 = schema.rel_id("r1").unwrap();
+        let r2 = schema.rel_id("r2").unwrap();
+        assert_eq!(g.successors(r1), vec![r2]);
+        assert_eq!(g.successors(r2), vec![r1]);
+        assert_eq!(g.connected_components().len(), 1);
+    }
+}

@@ -1,0 +1,358 @@
+//! Algorithm `preProcessing` — Figure 7.
+//!
+//! Reduces `G[Σ]` by deleting relations whose `CFD(R)` is inconsistent
+//! (after shielding their in-neighbours with *non-triggering CFDs*
+//! `CIND(Rj, R)⊥`) and relations nothing points at. Returns:
+//!
+//! * `1` (consistent) as soon as some relation's instantiated template
+//!   `τ(R)` satisfies `CFD(R)` and triggers no CIND — the single-tuple
+//!   database `{τ(R)}` is then a witness;
+//! * `0` (inconsistent) when the graph empties — no relation can anchor
+//!   a nonempty instance;
+//! * `−1` (undecided) otherwise, leaving the reduced graph (only
+//!   strongly connected cores) for `RandomChecking`.
+
+use crate::cfd_checking::CfdChecker;
+use crate::graph::DepGraph;
+use crate::sigma::ConstraintSet;
+use condep_cfd::NormalCfd;
+use condep_core::NormalCind;
+use condep_model::{Database, PValue, PatternRow, RelId, Schema};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Outcome of `preProcessing`.
+#[derive(Clone, Debug)]
+pub enum PreVerdict {
+    /// Return value `1`: Σ is consistent, with the witness database.
+    Consistent(Database),
+    /// Return value `0`: Σ is (reported) inconsistent.
+    Inconsistent,
+    /// Return value `−1`: undecided; the reduced graph remains.
+    Undecided,
+}
+
+impl PreVerdict {
+    /// The paper's numeric return value.
+    pub fn code(&self) -> i8 {
+        match self {
+            PreVerdict::Consistent(_) => 1,
+            PreVerdict::Inconsistent => 0,
+            PreVerdict::Undecided => -1,
+        }
+    }
+}
+
+/// Builds the non-triggering CFDs `CIND(Rj, R)⊥` for one CIND: two CFDs
+/// `(Rj: Xp → A, (tp[Xp] ‖ c1))`, `(Rj: Xp → A, (tp[Xp] ‖ c2))` with
+/// distinct `c1, c2 ∈ dom(A)` — together they deny every `Rj` tuple
+/// matching `tp[Xp]`.
+pub fn non_triggering_cfds(schema: &Schema, cind: &NormalCind) -> Vec<NormalCfd> {
+    let rel = cind.lhs_rel();
+    let Ok(rs) = schema.relation(rel) else {
+        return Vec::new();
+    };
+    // Pick an attribute with at least two values.
+    let target = rs.iter().find(|(_, a)| match a.domain().size() {
+        None => true,
+        Some(n) => n >= 2,
+    });
+    let Some((attr, a_meta)) = target else {
+        // Degenerate relation where every domain is a singleton: no CFD
+        // can deny a tuple. Such schemas cannot arise from our
+        // generators; shield with an (ineffective) tautology and let the
+        // downstream chase catch the conflict.
+        return Vec::new();
+    };
+    let dom = a_meta.domain();
+    let c1 = dom
+        .fresh_value(std::iter::empty())
+        .expect("domain has at least one value");
+    let c2 = dom
+        .fresh_value([&c1])
+        .expect("domain has at least two values");
+    let lhs: Vec<_> = cind.xp().iter().map(|(a, _)| *a).collect();
+    let lhs_pat = PatternRow::new(
+        cind.xp()
+            .iter()
+            .map(|(_, v)| PValue::Const(v.clone()))
+            .collect::<Vec<_>>(),
+    );
+    vec![
+        NormalCfd::new(rel, lhs.clone(), lhs_pat.clone(), attr, PValue::Const(c1)),
+        NormalCfd::new(rel, lhs, lhs_pat, attr, PValue::Const(c2)),
+    ]
+}
+
+/// Does `tau` (a tuple of `rel`) trigger any CIND of Σ?
+fn triggers_any(sigma: &ConstraintSet, rel: RelId, tau: &condep_model::Tuple) -> bool {
+    sigma
+        .cinds()
+        .iter()
+        .any(|c| c.lhs_rel() == rel && c.triggers(tau))
+}
+
+/// Algorithm `preProcessing` (Figure 7). Mutates `graph` in place —
+/// `Checking` reads the reduced graph on the `Undecided` path.
+pub fn pre_processing(
+    graph: &mut DepGraph,
+    sigma: &ConstraintSet,
+    checker: &mut dyn CfdChecker,
+) -> PreVerdict {
+    let schema = sigma.schema().clone();
+    // Line 1: Q := topological order (targets first).
+    let mut queue: VecDeque<RelId> = graph.topological_queue().into();
+    let mut in_queue: BTreeSet<RelId> = queue.iter().copied().collect();
+
+    // Lines 2–12.
+    while let Some(rel) = queue.pop_front() {
+        in_queue.remove(&rel);
+        if !graph.is_alive(rel) {
+            continue;
+        }
+        let cfds = graph.node(rel).cfds.clone();
+        match checker.check(&schema, rel, &cfds) {
+            Some(tau) => {
+                // Lines 4–6.
+                graph.node_mut(rel).tau = Some(tau.clone());
+                if !triggers_any(sigma, rel, &tau) {
+                    let mut db = Database::empty(schema.clone());
+                    db.insert(rel, tau).expect("witness well-typed");
+                    debug_assert!(sigma.satisfied_by(&db));
+                    return PreVerdict::Consistent(db);
+                }
+            }
+            None => {
+                // Lines 7–12: shield the in-neighbours, delete R.
+                for rj in graph.predecessors(rel) {
+                    let mut shield = Vec::new();
+                    for cind in graph.edge_cinds(rj, rel) {
+                        shield.extend(non_triggering_cfds(&schema, cind));
+                    }
+                    graph.node_mut(rj).cfds.extend(shield);
+                    if !in_queue.contains(&rj) {
+                        queue.push_back(rj);
+                        in_queue.insert(rj);
+                    }
+                }
+                graph.delete_node(rel);
+            }
+        }
+    }
+
+    // Line 13: delete nodes with indegree 0, iterating so the remnant
+    // "consists of strongly connected components".
+    loop {
+        let removable: Vec<RelId> = graph
+            .live_rels()
+            .into_iter()
+            .filter(|r| graph.indegree(*r) == 0)
+            .collect();
+        if removable.is_empty() {
+            break;
+        }
+        for r in removable {
+            graph.delete_node(r);
+        }
+    }
+
+    // Lines 14–16.
+    if graph.is_empty() {
+        PreVerdict::Inconsistent
+    } else {
+        PreVerdict::Undecided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfd_checking::ChaseCfdChecker;
+    use condep_core::fixtures::{
+        example_5_4_cinds, example_5_4_schema, example_5_5_psi4_prime,
+    };
+    use condep_model::{prow, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn checker() -> ChaseCfdChecker<StdRng> {
+        ChaseCfdChecker::new(64, StdRng::seed_from_u64(5))
+    }
+
+    /// The CFDs of Example 5.4: φ1, φ2 from Example 5.1 plus φ3–φ6.
+    fn example_5_4_cfds(schema: &condep_model::Schema) -> Vec<NormalCfd> {
+        vec![
+            NormalCfd::parse(schema, "r1", &["e"], prow![_], "f", PValue::Any).unwrap(),
+            NormalCfd::parse(schema, "r2", &["h"], prow![_], "g", PValue::constant("c"))
+                .unwrap(),
+            // φ3 = (R3: A → B, (c || _))
+            NormalCfd::parse(schema, "r3", &["a"], prow!["c"], "b", PValue::Any).unwrap(),
+            // φ4, φ5 = (R4: C → D, (_ || a)), (_ || b): inconsistent pair.
+            NormalCfd::parse(schema, "r4", &["c"], prow![_], "d", PValue::constant("a"))
+                .unwrap(),
+            NormalCfd::parse(schema, "r4", &["c"], prow![_], "d", PValue::constant("b"))
+                .unwrap(),
+            // φ6 = (R5: I → J, (_ || c))
+            NormalCfd::parse(schema, "r5", &["i"], prow![_], "j", PValue::constant("c"))
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn example_5_5_first_variant_returns_consistent() {
+        // With ψ4 = (R3[A; B=b] ⊆ R4[C; nil]): R4's CFDs are
+        // inconsistent, R4 is deleted, non-triggering CFDs land on R3 —
+        // which then has a witness triggering nothing: return 1.
+        let schema = example_5_4_schema();
+        let sigma = ConstraintSet::new(
+            schema.clone(),
+            example_5_4_cfds(&schema),
+            example_5_4_cinds(&schema),
+        );
+        let mut graph = DepGraph::build(&sigma);
+        let verdict = pre_processing(&mut graph, &sigma, &mut checker());
+        match verdict {
+            PreVerdict::Consistent(db) => {
+                assert!(!db.is_empty());
+                assert!(sigma.satisfied_by(&db));
+            }
+            other => panic!("expected Consistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example_5_5_second_variant_reduces_to_r1_r2() {
+        // With ψ4' = (R3[A; nil] ⊆ R4[C; nil]) the shield CFDs on R3 are
+        // unconditional and inconsistent: R3 dies too; R5 is deleted at
+        // line 13; the reduced graph is Figure 8 ({R1, R2}) and the
+        // verdict −1.
+        let schema = example_5_4_schema();
+        let mut cinds = example_5_4_cinds(&schema);
+        cinds[3] = example_5_5_psi4_prime(&schema); // replace ψ4
+        let sigma =
+            ConstraintSet::new(schema.clone(), example_5_4_cfds(&schema), cinds);
+        let mut graph = DepGraph::build(&sigma);
+        let verdict = pre_processing(&mut graph, &sigma, &mut checker());
+        assert_eq!(verdict.code(), -1);
+        let live: Vec<RelId> = graph.live_rels();
+        let r1 = schema.rel_id("r1").unwrap();
+        let r2 = schema.rel_id("r2").unwrap();
+        assert_eq!(live, vec![r1, r2]);
+        assert_eq!(graph.connected_components().len(), 1);
+    }
+
+    #[test]
+    fn all_relations_inconsistent_returns_inconsistent() {
+        // A single relation whose CFDs conflict unconditionally, plus a
+        // self-loop CIND so the empty-trigger early exit cannot fire.
+        let schema = Arc::new(
+            condep_model::Schema::builder()
+                .relation_str("r", &["a", "b"])
+                .finish(),
+        );
+        let cfds = vec![
+            NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("x"))
+                .unwrap(),
+            NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("y"))
+                .unwrap(),
+        ];
+        let cind =
+            NormalCind::parse(&schema, "r", &["a"], &[], "r", &["b"], &[]).unwrap();
+        let sigma = ConstraintSet::new(schema.clone(), cfds, vec![cind]);
+        let mut graph = DepGraph::build(&sigma);
+        let verdict = pre_processing(&mut graph, &sigma, &mut checker());
+        assert_eq!(verdict.code(), 0);
+        assert!(graph.is_empty());
+    }
+
+    #[test]
+    fn trigger_free_witness_short_circuits() {
+        // One relation, satisfiable CFDs, no CINDs at all: immediate 1.
+        let schema = Arc::new(
+            condep_model::Schema::builder()
+                .relation_str("r", &["a"])
+                .finish(),
+        );
+        let cfds = vec![NormalCfd::parse(
+            &schema,
+            "r",
+            &[],
+            prow![],
+            "a",
+            PValue::constant("v"),
+        )
+        .unwrap()];
+        let sigma = ConstraintSet::new(schema.clone(), cfds, vec![]);
+        let mut graph = DepGraph::build(&sigma);
+        match pre_processing(&mut graph, &sigma, &mut checker()) {
+            PreVerdict::Consistent(db) => {
+                let rel = schema.rel_id("r").unwrap();
+                assert_eq!(db.relation(rel).len(), 1);
+            }
+            other => panic!("expected Consistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_triggering_cfds_deny_exactly_the_pattern() {
+        let schema = example_5_4_schema();
+        let cinds = example_5_4_cinds(&schema);
+        // ψ4 = (R3[A; B=b] ⊆ R4[C; nil]).
+        let shield = non_triggering_cfds(&schema, &cinds[3]);
+        assert_eq!(shield.len(), 2);
+        // Both shields share the premise B = b and force different
+        // constants on the same attribute.
+        assert_eq!(shield[0].lhs_pat(), shield[1].lhs_pat());
+        assert_eq!(shield[0].rhs(), shield[1].rhs());
+        assert_ne!(shield[0].rhs_pat(), shield[1].rhs_pat());
+        // A tuple matching B = b violates the pair; one not matching is
+        // free.
+        use condep_model::{tuple, Database};
+        let r3 = schema.rel_id("r3").unwrap();
+        let mut db = Database::empty(schema.clone());
+        db.insert(r3, tuple!["anything", "b"]).unwrap();
+        assert!(!condep_cfd::satisfy::satisfies_all(&db, &shield));
+        let mut db2 = Database::empty(schema.clone());
+        db2.insert(r3, tuple!["anything", "not-b"]).unwrap();
+        assert!(condep_cfd::satisfy::satisfies_all(&db2, &shield));
+    }
+
+    #[test]
+    fn unconditional_cind_shield_is_inconsistent() {
+        // ψ4' has empty Xp: the shields conflict on every tuple.
+        let schema = example_5_4_schema();
+        let psi4p = example_5_5_psi4_prime(&schema);
+        let shield = non_triggering_cfds(&schema, &psi4p);
+        let r3 = schema.rel_id("r3").unwrap();
+        assert!(checker().check(&schema, r3, &shield).is_none());
+    }
+
+    #[test]
+    fn empty_sigma_is_consistent() {
+        let schema = example_5_4_schema();
+        let sigma = ConstraintSet::new(schema.clone(), vec![], vec![]);
+        let mut graph = DepGraph::build(&sigma);
+        assert_eq!(
+            pre_processing(&mut graph, &sigma, &mut checker()).code(),
+            1
+        );
+    }
+
+    #[test]
+    fn example_4_2_conflict_is_detected() {
+        // φ = (R: A → B, (_ ‖ a)) and ψ = (R[nil; nil] ⊆ R[nil; B = b]):
+        // individually fine, jointly inconsistent (Example 4.2).
+        let (schema, cind) = condep_core::fixtures::example_4_2_cind();
+        let phi =
+            NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::constant("a"))
+                .unwrap();
+        let sigma = ConstraintSet::new(schema.clone(), vec![phi], vec![cind]);
+        let mut graph = DepGraph::build(&sigma);
+        let verdict = pre_processing(&mut graph, &sigma, &mut checker());
+        // CFD(R) alone is consistent and τ(R) always triggers ψ (empty
+        // Xp), so preProcessing cannot answer 1; the self-loop keeps R
+        // alive: −1, passed on to RandomChecking.
+        assert_eq!(verdict.code(), -1);
+        let _ = Value::str("b");
+    }
+}

@@ -1,0 +1,146 @@
+//! Minimal covers of CIND sets — the Section 8 extension.
+//!
+//! "In practice one often needs to find a minimal cover of a given set Σ
+//! of constraints, namely, a set Σmc that is equivalent to Σ but contains
+//! no redundancy. The computation of Σmc involves implication analysis."
+//! For CINDs alone implication is decidable (Section 3), so a cover can
+//! be computed exactly subject to the implication budget; whenever the
+//! budget forces an `Unknown`, the candidate is conservatively kept, so
+//! the result is always equivalent to the input.
+
+use crate::implication::{implies, Implication, ImplicationConfig};
+use crate::syntax::NormalCind;
+use condep_model::Schema;
+
+/// Outcome of a cover computation.
+#[derive(Clone, Debug)]
+pub struct Cover {
+    /// The retained CINDs (equivalent to the input set).
+    pub kept: Vec<NormalCind>,
+    /// Indices (into the input) of CINDs removed as implied by the rest.
+    pub removed: Vec<usize>,
+    /// Indices whose implication check hit the budget (kept
+    /// conservatively).
+    pub undecided: Vec<usize>,
+}
+
+/// Greedily removes CINDs implied by the remaining ones.
+///
+/// Candidates are examined in input order; each removal re-examines
+/// against the *current* (already reduced) set, so the result is a
+/// non-redundant cover with respect to the implication procedure.
+pub fn minimal_cover(
+    schema: &Schema,
+    sigma: &[NormalCind],
+    config: ImplicationConfig,
+) -> Cover {
+    let mut kept: Vec<(usize, NormalCind)> =
+        sigma.iter().cloned().enumerate().collect();
+    let mut removed = Vec::new();
+    let mut undecided = Vec::new();
+    let mut i = 0;
+    while i < kept.len() {
+        let candidate = kept[i].1.clone();
+        let rest: Vec<NormalCind> = kept
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, (_, c))| c.clone())
+            .collect();
+        match implies(schema, &rest, &candidate, config) {
+            Implication::Implied => {
+                removed.push(kept.remove(i).0);
+                // Do not advance: the element now at `i` is unexamined.
+            }
+            Implication::NotImplied => {
+                i += 1;
+            }
+            Implication::Unknown => {
+                undecided.push(kept[i].0);
+                i += 1;
+            }
+        }
+    }
+    Cover {
+        kept: kept.into_iter().map(|(_, c)| c).collect(),
+        removed,
+        undecided,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::normalize::normalize_all;
+    use crate::syntax::NormalCind;
+
+    fn cfg() -> ImplicationConfig {
+        ImplicationConfig::default()
+    }
+
+    #[test]
+    fn duplicate_cinds_are_deduplicated() {
+        let schema = fixtures::example_5_1_schema(false);
+        let c = NormalCind::parse(&schema, "r1", &["e"], &[], "r2", &["g"], &[]).unwrap();
+        let cover = minimal_cover(&schema, &[c.clone(), c.clone()], cfg());
+        assert_eq!(cover.kept.len(), 1);
+        assert_eq!(cover.removed, vec![0]);
+    }
+
+    #[test]
+    fn projection_redundancy_is_removed() {
+        let schema = fixtures::example_5_1_schema(false);
+        let full = NormalCind::parse(&schema, "r1", &["e", "f"], &[], "r2", &["g", "h"], &[])
+            .unwrap();
+        let projected =
+            NormalCind::parse(&schema, "r1", &["e"], &[], "r2", &["g"], &[]).unwrap();
+        let cover = minimal_cover(&schema, &[full.clone(), projected], cfg());
+        assert_eq!(cover.kept, vec![full]);
+        assert_eq!(cover.removed, vec![1]);
+    }
+
+    #[test]
+    fn independent_cinds_are_all_kept() {
+        let schema = fixtures::example_5_4_schema();
+        let sigma = fixtures::example_5_4_cinds(&schema);
+        let n = sigma.len();
+        let cover = minimal_cover(&schema, &sigma, cfg());
+        assert_eq!(cover.kept.len(), n);
+        assert!(cover.removed.is_empty());
+    }
+
+    #[test]
+    fn transitive_closure_member_is_removed() {
+        let schema = std::sync::Arc::new(
+            condep_model::Schema::builder()
+                .relation_str("r", &["a"])
+                .relation_str("s", &["b"])
+                .relation_str("t", &["c"])
+                .finish(),
+        );
+        let rs = NormalCind::parse(&schema, "r", &["a"], &[], "s", &["b"], &[]).unwrap();
+        let st = NormalCind::parse(&schema, "s", &["b"], &[], "t", &["c"], &[]).unwrap();
+        let rt = NormalCind::parse(&schema, "r", &["a"], &[], "t", &["c"], &[]).unwrap();
+        let cover = minimal_cover(&schema, &[rt.clone(), rs.clone(), st.clone()], cfg());
+        // rt is implied by {rs, st} and examined first.
+        assert_eq!(cover.removed, vec![0]);
+        assert_eq!(cover.kept.len(), 2);
+    }
+
+    #[test]
+    fn figure_2_cover_keeps_the_specific_cinds() {
+        // ψ3 (saving[ab] ⊆ interest[ab]) is implied by ψ5 relaxed? No:
+        // ψ5 only constrains EDI/NYC branches, ψ3 all branches — nothing
+        // in Figure 2 is redundant except nothing; the cover keeps all.
+        let schema = condep_model::fixtures::bank_schema();
+        let sigma = normalize_all(&[
+            fixtures::psi3(),
+            fixtures::psi5(),
+            fixtures::psi6(),
+        ]);
+        let cover = minimal_cover(&schema, &sigma, cfg());
+        assert!(cover.removed.is_empty());
+        assert_eq!(cover.kept.len(), sigma.len());
+    }
+}

@@ -1,0 +1,340 @@
+//! The paper's CIND fixtures: Figure 2 (ψ1–ψ6) and the constraint sets
+//! of Examples 4.2, 5.1 and 5.4.
+
+use crate::syntax::{Cind, NormalCind};
+use condep_model::fixtures::bank_schema;
+use condep_model::{prow, Domain, Schema, Value};
+use std::sync::Arc;
+
+fn account_cind(branch: &str, target: &str, at: &str) -> Cind {
+    let schema = bank_schema();
+    let rel = format!("account_{branch}");
+    let ab_owned = branch.to_uppercase();
+    let ab = ab_owned.as_str();
+    Cind::parse(
+        &schema,
+        &rel,
+        &["an", "cn", "ca", "cp"],
+        &["at"],
+        target,
+        &["an", "cn", "ca", "cp"],
+        &["ab"],
+        vec![prow![_, _, _, _, at, _, _, _, _, ab]],
+    )
+    .expect("fixture well-formed")
+}
+
+/// `ψ1` for the EDI branch: saving accounts migrate to `saving` with
+/// `ab = EDI`.
+pub fn psi1_edi() -> Cind {
+    account_cind("edi", "saving", "saving")
+}
+
+/// `ψ1` for the NYC branch.
+pub fn psi1_nyc() -> Cind {
+    account_cind("nyc", "saving", "saving")
+}
+
+/// `ψ2` for the EDI branch: checking accounts migrate to `checking` with
+/// `ab = EDI`.
+pub fn psi2_edi() -> Cind {
+    account_cind("edi", "checking", "checking")
+}
+
+/// `ψ2` for the NYC branch.
+pub fn psi2_nyc() -> Cind {
+    account_cind("nyc", "checking", "checking")
+}
+
+/// `ψ3 = (saving[ab; nil] ⊆ interest[ab; nil], {(_ || _)})` — a
+/// traditional IND.
+pub fn psi3() -> Cind {
+    let schema = bank_schema();
+    Cind::parse(
+        &schema,
+        "saving",
+        &["ab"],
+        &[],
+        "interest",
+        &["ab"],
+        &[],
+        vec![prow![_, _]],
+    )
+    .expect("fixture well-formed")
+}
+
+/// `ψ4 = (checking[ab; nil] ⊆ interest[ab; nil], {(_ || _)})`.
+pub fn psi4() -> Cind {
+    let schema = bank_schema();
+    Cind::parse(
+        &schema,
+        "checking",
+        &["ab"],
+        &[],
+        "interest",
+        &["ab"],
+        &[],
+        vec![prow![_, _]],
+    )
+    .expect("fixture well-formed")
+}
+
+/// `ψ5 = (saving[nil; ab] ⊆ interest[nil; ab, at, ct, rt], T5)` with the
+/// two rows `(EDI ‖ EDI, saving, UK, 4.5%)` and `(NYC ‖ NYC, saving, US, 4%)`.
+pub fn psi5() -> Cind {
+    let schema = bank_schema();
+    Cind::parse(
+        &schema,
+        "saving",
+        &[],
+        &["ab"],
+        "interest",
+        &[],
+        &["ab", "at", "ct", "rt"],
+        vec![
+            prow!["EDI", "EDI", "saving", "UK", "4.5%"],
+            prow!["NYC", "NYC", "saving", "US", "4%"],
+        ],
+    )
+    .expect("fixture well-formed")
+}
+
+/// `ψ6 = (checking[nil; ab] ⊆ interest[nil; ab, at, ct, rt], T6)` with
+/// rows `(EDI ‖ EDI, checking, UK, 1.5%)` and `(NYC ‖ NYC, checking, US, 1%)`.
+pub fn psi6() -> Cind {
+    let schema = bank_schema();
+    Cind::parse(
+        &schema,
+        "checking",
+        &[],
+        &["ab"],
+        "interest",
+        &[],
+        &["ab", "at", "ct", "rt"],
+        vec![
+            prow!["EDI", "EDI", "checking", "UK", "1.5%"],
+            prow!["NYC", "NYC", "checking", "US", "1%"],
+        ],
+    )
+    .expect("fixture well-formed")
+}
+
+/// All of Figure 2 (with ψ1/ψ2 instantiated for both branches).
+pub fn figure_2() -> Vec<Cind> {
+    vec![
+        psi1_edi(),
+        psi1_nyc(),
+        psi2_edi(),
+        psi2_nyc(),
+        psi3(),
+        psi4(),
+        psi5(),
+        psi6(),
+    ]
+}
+
+/// Example 3.3's goal CIND for the EDI branch:
+/// `ψ = (account_edi[at; nil] ⊆ interest[at; nil], (_ || _))`.
+pub fn example_3_3_goal() -> Cind {
+    let schema = bank_schema();
+    Cind::parse(
+        &schema,
+        "account_edi",
+        &["at"],
+        &[],
+        "interest",
+        &["at"],
+        &[],
+        vec![prow![_, _]],
+    )
+    .expect("fixture well-formed")
+}
+
+/// Example 4.2: schema `R(A, B)` with
+/// `φ = (R: A → B, (_ ‖ a))` and `ψ = (R[nil; B] ⊆ R[nil; B], (_ ‖ b))`
+/// — wait: the paper's ψ has pattern `(b ‖ b)`? Its statement reads
+/// `ψ = (R[nil; B] ⊆ R[nil; B], (_ || b))`, i.e. *any* nonempty `R`
+/// must contain a tuple with `B = b`, while φ forces `B = a` everywhere.
+/// We encode ψ with an empty `Xp` (always triggered) and `Yp = {B = b}`.
+///
+/// Returns `(schema, cfd-as-(attr,const) forcing, cind)` where the CFD is
+/// expressed in `condep-cfd` terms by the caller; here we only provide
+/// schema and the CIND. See `condep-consistency` tests for the combined
+/// conflict.
+pub fn example_4_2_cind() -> (Arc<Schema>, NormalCind) {
+    let schema = Arc::new(
+        Schema::builder()
+            .relation_str("r", &["a", "b"])
+            .finish(),
+    );
+    let cind = NormalCind::parse(
+        &schema,
+        "r",
+        &[],
+        &[],
+        "r",
+        &[],
+        &[("b", Value::str("b"))],
+    )
+    .expect("fixture well-formed");
+    (schema, cind)
+}
+
+/// Example 5.1 / 5.2 schema: `R1(E, F)`, `R2(G, H)`; all attributes
+/// infinite strings unless `finite_h` asks for `dom(H) = {0, 1}`.
+pub fn example_5_1_schema(finite_h: bool) -> Arc<Schema> {
+    let h_dom = if finite_h {
+        Domain::finite_strs(&["0", "1"])
+    } else {
+        Domain::string()
+    };
+    Arc::new(
+        Schema::builder()
+            .relation_str("r1", &["e", "f"])
+            .relation("r2", &[("g", Domain::string()), ("h", h_dom)])
+            .finish(),
+    )
+}
+
+/// Example 5.1 CINDs:
+/// `ψ1 = (R1[E; nil] ⊆ R2[G; nil], (_ ‖ _))`,
+/// `ψ2 = (R2[nil; H] ⊆ R1[nil; F], (0 ‖ a))`,
+/// `ψ3 = (R2[nil; H] ⊆ R1[nil; F], (1 ‖ b))`.
+pub fn example_5_1_cinds(schema: &Schema) -> Vec<NormalCind> {
+    vec![
+        NormalCind::parse(schema, "r1", &["e"], &[], "r2", &["g"], &[])
+            .expect("fixture well-formed"),
+        NormalCind::parse(
+            schema,
+            "r2",
+            &[],
+            &[("h", Value::str("0"))],
+            "r1",
+            &[],
+            &[("f", Value::str("a"))],
+        )
+        .expect("fixture well-formed"),
+        NormalCind::parse(
+            schema,
+            "r2",
+            &[],
+            &[("h", Value::str("1"))],
+            "r1",
+            &[],
+            &[("f", Value::str("b"))],
+        )
+        .expect("fixture well-formed"),
+    ]
+}
+
+/// Example 5.4 schema: `R1(E,F)`, `R2(G,H)`, `R3(A,B)`, `R4(C,D)`,
+/// `R5(I,J)`, with `finattr = {H}` and `dom(H) = bool`.
+pub fn example_5_4_schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::builder()
+            .relation_str("r1", &["e", "f"])
+            .relation("r2", &[("g", Domain::string()), ("h", Domain::boolean())])
+            .relation_str("r3", &["a", "b"])
+            .relation_str("r4", &["c", "d"])
+            .relation_str("r5", &["i", "j"])
+            .finish(),
+    )
+}
+
+/// Example 5.4 CINDs ψ1–ψ5 (with ψ2/ψ3 adapted to `dom(H) = bool`):
+/// `ψ1 = (R1[E; nil] ⊆ R2[G; nil])`,
+/// `ψ2 = (R2[nil; H] ⊆ R1[nil; F], (false ‖ a))`,
+/// `ψ3 = (R2[nil; H] ⊆ R1[nil; F], (true ‖ b))`,
+/// `ψ4 = (R3[A; B] ⊆ R4[C; nil], (_ ; b ‖ _))`,
+/// `ψ5 = (R5[nil; J] ⊆ R2[nil; G], (c ‖ d))`.
+pub fn example_5_4_cinds(schema: &Schema) -> Vec<NormalCind> {
+    vec![
+        NormalCind::parse(schema, "r1", &["e"], &[], "r2", &["g"], &[])
+            .expect("fixture well-formed"),
+        NormalCind::parse(
+            schema,
+            "r2",
+            &[],
+            &[("h", Value::bool(false))],
+            "r1",
+            &[],
+            &[("f", Value::str("a"))],
+        )
+        .expect("fixture well-formed"),
+        NormalCind::parse(
+            schema,
+            "r2",
+            &[],
+            &[("h", Value::bool(true))],
+            "r1",
+            &[],
+            &[("f", Value::str("b"))],
+        )
+        .expect("fixture well-formed"),
+        NormalCind::parse(
+            schema,
+            "r3",
+            &["a"],
+            &[("b", Value::str("b"))],
+            "r4",
+            &["c"],
+            &[],
+        )
+        .expect("fixture well-formed"),
+        NormalCind::parse(
+            schema,
+            "r5",
+            &[],
+            &[("j", Value::str("c"))],
+            "r2",
+            &[],
+            &[("g", Value::str("d"))],
+        )
+        .expect("fixture well-formed"),
+    ]
+}
+
+/// Example 5.5's variant `ψ4' = (R3[A; nil] ⊆ R4[C; nil], (_ ‖ _))` — an
+/// unconditional IND that cannot be "switched off" by non-triggering
+/// CFDs.
+pub fn example_5_5_psi4_prime(schema: &Schema) -> NormalCind {
+    NormalCind::parse(schema, "r3", &["a"], &[], "r4", &["c"], &[])
+        .expect("fixture well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2_has_eight_cinds() {
+        assert_eq!(figure_2().len(), 8);
+    }
+
+    #[test]
+    fn psi5_rows_match_paper() {
+        let psi5 = psi5();
+        assert_eq!(psi5.tableau().len(), 2);
+        assert!(psi5.x().is_empty());
+        assert_eq!(psi5.xp().len(), 1);
+        assert_eq!(psi5.yp().len(), 4);
+    }
+
+    #[test]
+    fn example_5_4_has_five_cinds_on_five_relations() {
+        let schema = example_5_4_schema();
+        let cinds = example_5_4_cinds(&schema);
+        assert_eq!(cinds.len(), 5);
+        assert_eq!(schema.len(), 5);
+        // H is the only finite attribute.
+        let r2 = schema.rel_id("r2").unwrap();
+        assert_eq!(schema.relation(r2).unwrap().finite_attrs().len(), 1);
+    }
+
+    #[test]
+    fn example_4_2_cind_triggers_on_everything() {
+        use condep_model::tuple;
+        let (_, cind) = example_4_2_cind();
+        assert!(cind.triggers(&tuple!["anything", "whatever"]));
+    }
+}

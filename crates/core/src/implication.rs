@@ -1,0 +1,780 @@
+//! Implication of CINDs — Theorems 3.4 and 3.5.
+//!
+//! `Σ |= ψ` iff every instance satisfying `Σ` satisfies `ψ`. The paper
+//! proves this EXPTIME-complete in general and PSPACE-complete when no
+//! finite-domain attribute occurs. We implement a decision procedure for
+//! both regimes as a **chase game**:
+//!
+//! Consider the most general tuple `t0` of `R1` triggering `ψ`: pattern
+//! constants on `Xp`, a fresh *marker* per infinite `X` attribute, and
+//! generic *junk* elsewhere. Whoever wants to refute the implication —
+//! the *adversary* — must build a database containing `t0`, closed under
+//! Σ (every triggered CIND forces a target tuple to exist), yet with no
+//! tuple witnessing `ψ`'s conclusion. The adversary's only freedom is
+//! the value of unconstrained finite-domain fields of forced tuples
+//! (infinite fields are generically fresh, which is adversary-optimal —
+//! extra coincidences only trigger more obligations). This is a
+//! reachability game over *abstract tuples* (cells are constants,
+//! markers, or junk):
+//!
+//! > `bad(t) = goal(t) ∨ ∃σ triggered by t. ∀ adversary choices u: bad(u)`
+//!
+//! `Σ |= ψ` iff `bad(t0)` for **every** choice of `t0`'s own finite
+//! fields (including finite `X` markers, which range over their domain).
+//! With no finite attributes there are no choices and the game
+//! degenerates to plain reachability — the PSPACE regime of Thm 3.5; the
+//! alternation over finite-domain choices is exactly what CIND7/CIND8
+//! axiomatize and what makes the general problem EXPTIME (Thm 3.4).
+//!
+//! [`implies_exhaustive_finite`] is an independent brute-force oracle
+//! for all-finite tiny schemas, used to cross-validate the game solver.
+
+use crate::satisfy::satisfies_all;
+use crate::syntax::NormalCind;
+use condep_model::{AttrId, Database, RelId, Schema, Tuple, Value};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Verdict of an implication check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Implication {
+    /// `Σ |= ψ`.
+    Implied,
+    /// A counterexample construction exists.
+    NotImplied,
+    /// Budget exhausted before a verdict.
+    Unknown,
+}
+
+/// Budgets for the implication game.
+#[derive(Clone, Copy, Debug)]
+pub struct ImplicationConfig {
+    /// Cap on distinct abstract tuples explored per game.
+    pub max_states: usize,
+    /// Cap on initial assignments of `t0`'s finite fields.
+    pub max_initial_assignments: u64,
+}
+
+impl Default for ImplicationConfig {
+    fn default() -> Self {
+        ImplicationConfig {
+            max_states: 200_000,
+            max_initial_assignments: 4_096,
+        }
+    }
+}
+
+/// A cell of an abstract tuple.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Cell {
+    /// A known constant.
+    Const(Value),
+    /// The `i`-th tracked value of `t0[X]` (infinite-domain attributes
+    /// only; generic, distinct from every constant and from junk).
+    Marker(usize),
+    /// A generically fresh, unconstrained value of an infinite domain.
+    Junk,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct AbsTuple {
+    rel: RelId,
+    cells: Vec<Cell>,
+}
+
+impl AbsTuple {
+    fn matches_consts(&self, pairs: &[(AttrId, Value)]) -> bool {
+        pairs
+            .iter()
+            .all(|(a, v)| self.cells[a.index()] == Cell::Const(v.clone()))
+    }
+}
+
+/// Is attribute `a` of relation `rel` finite-domain?
+fn is_finite(schema: &Schema, rel: RelId, a: AttrId) -> bool {
+    schema
+        .relation(rel)
+        .ok()
+        .and_then(|rs| rs.attribute(a).ok().map(|at| at.is_finite()))
+        .unwrap_or(false)
+}
+
+fn domain_values(schema: &Schema, rel: RelId, a: AttrId) -> Vec<Value> {
+    schema
+        .relation(rel)
+        .ok()
+        .and_then(|rs| rs.attribute(a).ok().map(|at| {
+            at.domain().values().map(<[Value]>::to_vec).unwrap_or_default()
+        }))
+        .unwrap_or_default()
+}
+
+/// Builds the adversary's choices for the tuple forced by `sigma` when
+/// triggered by `t`: one [`AbsTuple`] per assignment of the forced
+/// tuple's free finite-domain fields. An empty vector means the
+/// obligation is unsatisfiable (conflicting constants), which dooms the
+/// adversary.
+fn forced_tuples(schema: &Schema, sigma: &NormalCind, t: &AbsTuple) -> Vec<AbsTuple> {
+    let rel = sigma.rhs_rel();
+    let Ok(rs) = schema.relation(rel) else {
+        return Vec::new();
+    };
+    let arity = rs.arity();
+    // Determined cells first: Y-flows and Yp constants.
+    let mut cells: Vec<Option<Cell>> = vec![None; arity];
+    for (xi, yi) in sigma.x().iter().zip(sigma.y()) {
+        let incoming = t.cells[xi.index()].clone();
+        match &cells[yi.index()] {
+            None => cells[yi.index()] = Some(incoming),
+            Some(existing) if *existing == incoming => {}
+            Some(_) => return Vec::new(), // duplicate target with conflicting flows
+        }
+    }
+    for (a, v) in sigma.yp() {
+        let c = Cell::Const(v.clone());
+        match &cells[a.index()] {
+            None => cells[a.index()] = Some(c),
+            Some(existing) if *existing == c => {}
+            Some(_) => return Vec::new(),
+        }
+    }
+    // Domain check on determined constant cells.
+    for (i, c) in cells.iter().enumerate() {
+        if let Some(Cell::Const(v)) = c {
+            let Ok(at) = rs.attribute(AttrId(i as u32)) else {
+                return Vec::new();
+            };
+            if !at.domain().contains(v) {
+                return Vec::new();
+            }
+        }
+    }
+    // Free fields: finite → adversary's choice, infinite → junk.
+    let mut free_finite: Vec<(usize, Vec<Value>)> = Vec::new();
+    for (i, c) in cells.iter_mut().enumerate() {
+        if c.is_none() {
+            if is_finite(schema, rel, AttrId(i as u32)) {
+                free_finite.push((i, domain_values(schema, rel, AttrId(i as u32))));
+            } else {
+                *c = Some(Cell::Junk);
+            }
+        }
+    }
+    // Enumerate finite choices (odometer).
+    let mut out = Vec::new();
+    let mut counters = vec![0usize; free_finite.len()];
+    'outer: loop {
+        let mut concrete = cells.clone();
+        for (k, (i, vals)) in free_finite.iter().enumerate() {
+            concrete[*i] = Some(Cell::Const(vals[counters[k]].clone()));
+        }
+        out.push(AbsTuple {
+            rel,
+            cells: concrete.into_iter().map(|c| c.expect("all cells set")).collect(),
+        });
+        let mut k = 0;
+        loop {
+            if k == counters.len() {
+                break 'outer;
+            }
+            counters[k] += 1;
+            if counters[k] < free_finite[k].1.len() {
+                break;
+            }
+            counters[k] = 0;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Solves one game instance: does every adversary strategy starting from
+/// `t0` hit a goal tuple? `None` when the state cap is exceeded.
+fn solve_game(
+    schema: &Schema,
+    sigma: &[NormalCind],
+    psi: &NormalCind,
+    t0: &AbsTuple,
+    expected: &[Cell],
+    max_states: usize,
+) -> Option<bool> {
+    let is_goal = |t: &AbsTuple| -> bool {
+        t.rel == psi.rhs_rel()
+            && psi
+                .y()
+                .iter()
+                .zip(expected)
+                .all(|(yi, e)| &t.cells[yi.index()] == e)
+            && t.matches_consts(psi.yp())
+    };
+
+    // Explore the reachable abstract-tuple graph.
+    let mut ids: HashMap<AbsTuple, usize> = HashMap::new();
+    let mut tuples: Vec<AbsTuple> = Vec::new();
+    // successors[t] = one entry per triggered CIND: the adversary's
+    // choice set (indices).
+    let mut successors: Vec<Vec<Vec<usize>>> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    let intern = |t: AbsTuple,
+                      ids: &mut HashMap<AbsTuple, usize>,
+                      tuples: &mut Vec<AbsTuple>,
+                      queue: &mut VecDeque<usize>| {
+        if let Some(&i) = ids.get(&t) {
+            return i;
+        }
+        let i = tuples.len();
+        ids.insert(t.clone(), i);
+        tuples.push(t);
+        queue.push_back(i);
+        i
+    };
+
+    intern(t0.clone(), &mut ids, &mut tuples, &mut queue);
+    while let Some(i) = queue.pop_front() {
+        if tuples.len() > max_states {
+            return None;
+        }
+        let t = tuples[i].clone();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for s in sigma {
+            if s.lhs_rel() != t.rel || !t.matches_consts(s.xp()) {
+                continue;
+            }
+            let children = forced_tuples(schema, s, &t);
+            let child_ids = children
+                .into_iter()
+                .map(|u| intern(u, &mut ids, &mut tuples, &mut queue))
+                .collect();
+            groups.push(child_ids);
+        }
+        if successors.len() <= i {
+            successors.resize_with(tuples.len().max(i + 1), Vec::new);
+        }
+        successors[i] = groups;
+    }
+    successors.resize_with(tuples.len(), Vec::new);
+
+    // Least fixpoint of `bad` (backward induction over the game graph).
+    let n = tuples.len();
+    let mut bad = vec![false; n];
+    for (i, t) in tuples.iter().enumerate() {
+        if is_goal(t) {
+            bad[i] = true;
+        }
+    }
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if bad[i] {
+                continue;
+            }
+            let doomed = successors[i]
+                .iter()
+                .any(|choices| choices.iter().all(|&c| bad[c]));
+            if doomed {
+                bad[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Some(bad[0])
+}
+
+/// The general implication check (Thm 3.4 regime): alternates over the
+/// finite-domain choices of the initial tuple and solves the chase game
+/// for each.
+pub fn implies(
+    schema: &Schema,
+    sigma: &[NormalCind],
+    psi: &NormalCind,
+    config: ImplicationConfig,
+) -> Implication {
+    // The abstraction (generic markers/junk on infinite attributes)
+    // relies on the paper's standing assumption dom(Ai) ⊆ dom(Bi); an
+    // infinite source flowing into a finite target violates it and the
+    // game would no longer be sound, so refuse such inputs.
+    for c in sigma.iter().chain([psi]) {
+        for (xa, ya) in c.x().iter().zip(c.y()) {
+            if !is_finite(schema, c.lhs_rel(), *xa) && is_finite(schema, c.rhs_rel(), *ya) {
+                return Implication::Unknown;
+            }
+        }
+    }
+    let rel = psi.lhs_rel();
+    let Ok(rs) = schema.relation(rel) else {
+        return Implication::Unknown;
+    };
+    let arity = rs.arity();
+
+    // Template for t0: Xp constants fixed; X attributes become markers
+    // (infinite) or enumerated constants (finite); the rest junk
+    // (infinite) or enumerated constants (finite).
+    #[derive(Clone)]
+    enum Slot {
+        Fixed(Cell),
+        /// Free or matched finite-domain field: enumerated over its
+        /// domain (the adversary's choice for free fields; the universal
+        /// quantification over `t0[X]` for matched ones).
+        Finite(Vec<Value>),
+    }
+    let mut slots: Vec<Slot> = (0..arity)
+        .map(|i| {
+            let a = AttrId(i as u32);
+            if is_finite(schema, rel, a) {
+                Slot::Finite(domain_values(schema, rel, a))
+            } else {
+                Slot::Fixed(Cell::Junk)
+            }
+        })
+        .collect();
+    for (a, v) in psi.xp() {
+        slots[a.index()] = Slot::Fixed(Cell::Const(v.clone()));
+    }
+    for (i, a) in psi.x().iter().enumerate() {
+        if !is_finite(schema, rel, *a) {
+            slots[a.index()] = Slot::Fixed(Cell::Marker(i));
+        }
+    }
+
+    // Enumerate the finite assignments of t0.
+    let finite_slots: Vec<(usize, Vec<Value>)> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| match s {
+            Slot::Fixed(_) => None,
+            Slot::Finite(vals) => Some((i, vals.clone())),
+        })
+        .collect();
+    // A finite domain is never empty, but guard against a degenerate
+    // schema lookup failure.
+    if finite_slots.iter().any(|(_, vals)| vals.is_empty()) {
+        return Implication::Unknown;
+    }
+    let mut counters = vec![0usize; finite_slots.len()];
+    let mut assignments_tried: u64 = 0;
+    loop {
+        if assignments_tried >= config.max_initial_assignments {
+            return Implication::Unknown;
+        }
+        assignments_tried += 1;
+
+        let mut cells: Vec<Cell> = slots
+            .iter()
+            .map(|slot| match slot {
+                Slot::Fixed(c) => c.clone(),
+                _ => Cell::Junk, // placeholder, overwritten below
+            })
+            .collect();
+        for (k, (i, vals)) in finite_slots.iter().enumerate() {
+            cells[*i] = Cell::Const(vals[counters[k]].clone());
+        }
+        let expected: Vec<Cell> = psi.x().iter().map(|a| cells[a.index()].clone()).collect();
+        let t0 = AbsTuple { rel, cells };
+        match solve_game(schema, sigma, psi, &t0, &expected, config.max_states) {
+            None => return Implication::Unknown,
+            Some(false) => return Implication::NotImplied,
+            Some(true) => {}
+        }
+
+        // Next assignment.
+        let mut k = 0;
+        loop {
+            if k == counters.len() {
+                return Implication::Implied;
+            }
+            counters[k] += 1;
+            if counters[k] < finite_slots[k].1.len() {
+                break;
+            }
+            counters[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// The no-finite-domain regime (Thm 3.5): plain reachability, complete
+/// whenever neither Σ nor ψ mentions a finite-domain attribute *and* the
+/// involved relations have none.
+pub fn implies_infinite(schema: &Schema, sigma: &[NormalCind], psi: &NormalCind) -> bool {
+    match implies(
+        schema,
+        sigma,
+        psi,
+        ImplicationConfig {
+            max_states: usize::MAX,
+            max_initial_assignments: u64::MAX,
+        },
+    ) {
+        Implication::Implied => true,
+        Implication::NotImplied => false,
+        Implication::Unknown => panic!(
+            "implies_infinite requires the domain-compatibility assumption \
+             dom(Ai) ⊆ dom(Bi) of Section 2"
+        ),
+    }
+}
+
+/// Brute-force implication oracle for **all-finite** schemas: enumerates
+/// every sub-database of the full cross-product instance. Only feasible
+/// when the total number of possible tuples is ≤ `max_universe` (the
+/// search is `2^universe`); returns `None` otherwise. Used to
+/// cross-validate the game solver in tests.
+pub fn implies_exhaustive_finite(
+    schema: &Arc<Schema>,
+    sigma: &[NormalCind],
+    psi: &NormalCind,
+    max_universe: usize,
+) -> Option<bool> {
+    // Build the universe of all possible tuples.
+    let mut universe: Vec<(RelId, Tuple)> = Vec::new();
+    for (rel, rs) in schema.iter() {
+        let doms: Vec<Vec<Value>> = rs
+            .iter()
+            .map(|(_, a)| a.domain().values().map(<[Value]>::to_vec))
+            .collect::<Option<Vec<_>>>()?;
+        let mut counters = vec![0usize; doms.len()];
+        'outer: loop {
+            universe.push((
+                rel,
+                Tuple::new(
+                    counters
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| doms[i][c].clone()),
+                ),
+            ));
+            if universe.len() > max_universe {
+                return None;
+            }
+            let mut i = 0;
+            loop {
+                if i == counters.len() {
+                    break 'outer;
+                }
+                counters[i] += 1;
+                if counters[i] < doms[i].len() {
+                    break;
+                }
+                counters[i] = 0;
+                i += 1;
+            }
+        }
+    }
+    let n = universe.len();
+    for mask in 0u64..(1 << n) {
+        let mut db = Database::empty(schema.clone());
+        for (bit, (rel, t)) in universe.iter().enumerate() {
+            if mask >> bit & 1 == 1 {
+                db.insert(*rel, t.clone()).expect("universe well-typed");
+            }
+        }
+        if satisfies_all(&db, sigma) && !crate::satisfy::satisfies_normal(&db, psi) {
+            return Some(false);
+        }
+    }
+    Some(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::normalize::{normalize, normalize_all};
+    use condep_model::fixtures::bank_schema;
+    use condep_model::Domain;
+
+    fn cfg() -> ImplicationConfig {
+        ImplicationConfig::default()
+    }
+
+    #[test]
+    fn example_3_3_sigma_implies_psi() {
+        // Σ = Figure 2 (EDI instantiation), dom(at) = {checking, saving}:
+        // Σ |= (account_edi[at; nil] ⊆ interest[at; nil]).
+        let schema = bank_schema();
+        let sigma = normalize_all(&[
+            fixtures::psi1_edi(),
+            fixtures::psi2_edi(),
+            fixtures::psi5(),
+            fixtures::psi6(),
+        ]);
+        let psi = normalize(&fixtures::example_3_3_goal()).remove(0);
+        assert_eq!(implies(&schema, &sigma, &psi, cfg()), Implication::Implied);
+    }
+
+    #[test]
+    fn example_3_3_needs_both_branches() {
+        // Dropping ψ2/ψ6 breaks the checking case: not implied.
+        let schema = bank_schema();
+        let sigma = normalize_all(&[fixtures::psi1_edi(), fixtures::psi5()]);
+        let psi = normalize(&fixtures::example_3_3_goal()).remove(0);
+        assert_eq!(
+            implies(&schema, &sigma, &psi, cfg()),
+            Implication::NotImplied
+        );
+    }
+
+    #[test]
+    fn reflexivity_is_implied_from_nothing() {
+        let schema = fixtures::example_5_1_schema(false);
+        let psi = NormalCind::parse(&schema, "r1", &["e", "f"], &[], "r1", &["e", "f"], &[])
+            .unwrap();
+        assert!(implies_infinite(&schema, &[], &psi));
+    }
+
+    #[test]
+    fn projection_of_an_axiom_is_implied() {
+        let schema = fixtures::example_5_1_schema(false);
+        let full = NormalCind::parse(&schema, "r1", &["e", "f"], &[], "r2", &["g", "h"], &[])
+            .unwrap();
+        let projected =
+            NormalCind::parse(&schema, "r1", &["e"], &[], "r2", &["g"], &[]).unwrap();
+        assert!(implies_infinite(&schema, std::slice::from_ref(&full), &projected));
+        // The reverse does not hold.
+        assert!(!implies_infinite(&schema, &[projected], &full));
+    }
+
+    #[test]
+    fn transitivity_is_implied() {
+        let schema = std::sync::Arc::new(
+            condep_model::Schema::builder()
+                .relation_str("r", &["a"])
+                .relation_str("s", &["b"])
+                .relation_str("t", &["c"])
+                .finish(),
+        );
+        let rs = NormalCind::parse(&schema, "r", &["a"], &[], "s", &["b"], &[]).unwrap();
+        let st = NormalCind::parse(&schema, "s", &["b"], &[], "t", &["c"], &[]).unwrap();
+        let rt = NormalCind::parse(&schema, "r", &["a"], &[], "t", &["c"], &[]).unwrap();
+        assert!(implies_infinite(&schema, &[rs.clone(), st.clone()], &rt));
+        assert!(!implies_infinite(&schema, &[rs], &rt));
+    }
+
+    #[test]
+    fn patterns_block_naive_transitivity() {
+        // r ⊆ s with Yp = {b2 = "x"} chains with (s; b2 = "x") ⊆ t, but
+        // NOT with (s; b2 = "y") ⊆ t.
+        let schema = std::sync::Arc::new(
+            condep_model::Schema::builder()
+                .relation_str("r", &["a1", "a2"])
+                .relation_str("s", &["b1", "b2"])
+                .relation_str("t", &["c1"])
+                .finish(),
+        );
+        let r_s = NormalCind::parse(
+            &schema,
+            "r",
+            &["a1"],
+            &[],
+            "s",
+            &["b1"],
+            &[("b2", Value::str("x"))],
+        )
+        .unwrap();
+        let s_t_x = NormalCind::parse(
+            &schema,
+            "s",
+            &["b1"],
+            &[("b2", Value::str("x"))],
+            "t",
+            &["c1"],
+            &[],
+        )
+        .unwrap();
+        let s_t_y = NormalCind::parse(
+            &schema,
+            "s",
+            &["b1"],
+            &[("b2", Value::str("y"))],
+            "t",
+            &["c1"],
+            &[],
+        )
+        .unwrap();
+        let goal = NormalCind::parse(&schema, "r", &["a1"], &[], "t", &["c1"], &[]).unwrap();
+        assert!(implies_infinite(&schema, &[r_s.clone(), s_t_x], &goal));
+        assert!(!implies_infinite(&schema, &[r_s, s_t_y], &goal));
+    }
+
+    #[test]
+    fn finite_domain_case_split_changes_the_answer() {
+        // dom(h) = {0, 1} (as strings):
+        // Σ = {(r2[g; h=0] ⊆ r1[e; nil]), (r2[g; h=1] ⊆ r1[e; nil])}.
+        // Over a finite dom(h): Σ |= (r2[g; nil] ⊆ r1[e; nil]).
+        // Over an infinite dom(h): not implied.
+        for (finite_h, expect) in [(true, Implication::Implied), (false, Implication::NotImplied)]
+        {
+            let schema = fixtures::example_5_1_schema(finite_h);
+            let mk = |v: &str| {
+                NormalCind::parse(
+                    &schema,
+                    "r2",
+                    &["g"],
+                    &[("h", Value::str(v))],
+                    "r1",
+                    &["e"],
+                    &[],
+                )
+                .unwrap()
+            };
+            let sigma = vec![mk("0"), mk("1")];
+            let psi =
+                NormalCind::parse(&schema, "r2", &["g"], &[], "r1", &["e"], &[]).unwrap();
+            assert_eq!(
+                implies(&schema, &sigma, &psi, cfg()),
+                expect,
+                "finite_h = {finite_h}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_obligation_makes_implication_vacuous() {
+        // dom(r.a) = {x, y} but dom(s.b) = {x}: the IND r[a] ⊆ s[b]
+        // forbids any r-tuple with a = y, so a ψ triggering only on
+        // a = y is vacuously implied.
+        let schema = std::sync::Arc::new(
+            condep_model::Schema::builder()
+                .relation("r", &[("a", Domain::finite_strs(&["x", "y"]))])
+                .relation("s", &[("b", Domain::finite_strs(&["x"]))])
+                .finish(),
+        );
+        let ind = NormalCind::parse(&schema, "r", &["a"], &[], "s", &["b"], &[]).unwrap();
+        let psi = NormalCind::parse(
+            &schema,
+            "r",
+            &[],
+            &[("a", Value::str("y"))],
+            "s",
+            &[],
+            &[("b", Value::str("x"))],
+        )
+        .unwrap();
+        // Without the IND, ψ is refutable (a tuple with a = y and an
+        // empty s); with it, the trigger is impossible.
+        assert_eq!(implies(&schema, &[], &psi, cfg()), Implication::NotImplied);
+        assert_eq!(
+            implies(&schema, &[ind], &psi, cfg()),
+            Implication::Implied
+        );
+    }
+
+    #[test]
+    fn incompatible_infinite_to_finite_flow_is_refused() {
+        let schema = std::sync::Arc::new(
+            condep_model::Schema::builder()
+                .relation("r", &[("a", Domain::string())])
+                .relation("s", &[("b", Domain::finite_strs(&["x"]))])
+                .finish(),
+        );
+        let bad = NormalCind::parse(&schema, "r", &["a"], &[], "s", &["b"], &[]).unwrap();
+        assert_eq!(
+            implies(&schema, std::slice::from_ref(&bad), &bad, cfg()),
+            Implication::Unknown
+        );
+    }
+
+    #[test]
+    fn game_agrees_with_exhaustive_oracle_on_tiny_finite_schemas() {
+        // dom sizes kept tiny so 2^universe stays manageable.
+        let schema = std::sync::Arc::new(
+            condep_model::Schema::builder()
+                .relation("r", &[("a", Domain::finite_strs(&["0", "1"]))])
+                .relation("s", &[("b", Domain::finite_strs(&["0", "1"]))])
+                .finish(),
+        );
+        let r_s = NormalCind::parse(&schema, "r", &["a"], &[], "s", &["b"], &[]).unwrap();
+        let r_s0 = NormalCind::parse(
+            &schema,
+            "r",
+            &[],
+            &[("a", Value::str("0"))],
+            "s",
+            &[],
+            &[("b", Value::str("0"))],
+        )
+        .unwrap();
+        let r_s1 = NormalCind::parse(
+            &schema,
+            "r",
+            &[],
+            &[("a", Value::str("1"))],
+            "s",
+            &[],
+            &[("b", Value::str("1"))],
+        )
+        .unwrap();
+        let cases: Vec<(Vec<NormalCind>, NormalCind)> = vec![
+            (vec![r_s0.clone(), r_s1.clone()], r_s.clone()),
+            (vec![r_s0.clone()], r_s.clone()),
+            (vec![r_s.clone()], r_s0.clone()),
+            (vec![], r_s.clone()),
+            (vec![r_s.clone()], r_s.clone()),
+        ];
+        for (sigma, psi) in cases {
+            let game = implies(&schema, &sigma, &psi, cfg());
+            let oracle = implies_exhaustive_finite(&schema, &sigma, &psi, 4)
+                .expect("universe small enough");
+            assert_eq!(
+                game == Implication::Implied,
+                oracle,
+                "game vs oracle on {sigma:?} |= {psi:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        // The full Example 3.3 Σ is implied, needing one game per value
+        // of the finite dom(at); a budget of one assignment cannot
+        // conclude.
+        let schema = bank_schema();
+        let sigma = normalize_all(&[
+            fixtures::psi1_edi(),
+            fixtures::psi2_edi(),
+            fixtures::psi5(),
+            fixtures::psi6(),
+        ]);
+        let psi = normalize(&fixtures::example_3_3_goal()).remove(0);
+        let tiny = ImplicationConfig {
+            max_states: usize::MAX,
+            max_initial_assignments: 1,
+        };
+        assert_eq!(implies(&schema, &sigma, &psi, tiny), Implication::Unknown);
+        // A state cap of one blocks even the first game.
+        let cramped = ImplicationConfig {
+            max_states: 1,
+            max_initial_assignments: u64::MAX,
+        };
+        assert_eq!(
+            implies(&schema, &sigma, &psi, cramped),
+            Implication::Unknown
+        );
+    }
+
+    #[test]
+    fn cyclic_inds_terminate() {
+        // r[a] ⊆ s[b], s[b] ⊆ r[a]: the classic infinite chase loops in
+        // the concrete world but the abstract state space is finite.
+        let schema = std::sync::Arc::new(
+            condep_model::Schema::builder()
+                .relation_str("r", &["a", "a2"])
+                .relation_str("s", &["b", "b2"])
+                .finish(),
+        );
+        let rs = NormalCind::parse(&schema, "r", &["a"], &[], "s", &["b"], &[]).unwrap();
+        let sr = NormalCind::parse(&schema, "s", &["b"], &[], "r", &["a"], &[]).unwrap();
+        let goal =
+            NormalCind::parse(&schema, "r", &["a"], &[], "r", &["a"], &[]).unwrap();
+        // r[a] ⊆ r[a] is reflexively implied even through the cycle.
+        assert!(implies_infinite(&schema, &[rs.clone(), sr.clone()], &goal));
+        // r[a2] ⊆ s[b2] is not implied by the cycle on the other columns.
+        let other =
+            NormalCind::parse(&schema, "r", &["a2"], &[], "s", &["b2"], &[]).unwrap();
+        assert!(!implies_infinite(&schema, &[rs, sr], &other));
+    }
+}

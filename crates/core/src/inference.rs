@@ -1,0 +1,884 @@
+//! The inference system `I` for CINDs — Figure 3 and Theorem 3.3.
+//!
+//! Eight rules, each implemented as a checked constructor from premises
+//! to conclusion. CIND1–CIND3 lift the classical IND axioms (reflexivity,
+//! projection-permutation, transitivity) to patterns; CIND4–CIND6
+//! manipulate the pattern parts (instantiation, LHS weakening, RHS
+//! relaxation); CIND7–CIND8 perform case analysis over finite domains —
+//! they are what pushes implication from PSPACE to EXPTIME, and are only
+//! sound because a finite domain can be *covered* by finitely many
+//! pattern constants.
+//!
+//! A [`Proof`] records a derivation `Σ ⊢I ψ` step by step, replaying
+//! Example 3.4 verbatim; soundness of every rule is exercised by unit
+//! tests here and property tests in the workspace test suite.
+
+use crate::syntax::NormalCind;
+use condep_model::{AttrId, RelId, Schema, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a rule application was rejected.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InferenceError {
+    /// Attribute list for CIND1 contains duplicates.
+    DuplicateAttrs,
+    /// An index is out of range for the premise.
+    IndexOutOfRange(usize),
+    /// CIND3's middle parts do not line up.
+    TransitivityMismatch(String),
+    /// A value lies outside the attribute's domain.
+    ValueOutsideDomain(String),
+    /// CIND5's new attribute already occurs in `X ∪ Xp`.
+    AttrAlreadyConstrained,
+    /// CIND7/CIND8 premises are not identical up to the case-split pair.
+    PremisesNotParallel(String),
+    /// CIND7/CIND8 premise values do not cover the finite domain.
+    DomainNotCovered,
+    /// CIND7/CIND8 require a finite-domain attribute.
+    NotFiniteDomain,
+    /// Unknown relation or attribute.
+    BadReference(String),
+}
+
+impl fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferenceError::DuplicateAttrs => write!(f, "CIND1 needs distinct attributes"),
+            InferenceError::IndexOutOfRange(i) => write!(f, "index {i} out of range"),
+            InferenceError::TransitivityMismatch(m) => write!(f, "CIND3 mismatch: {m}"),
+            InferenceError::ValueOutsideDomain(v) => {
+                write!(f, "value {v} outside the attribute domain")
+            }
+            InferenceError::AttrAlreadyConstrained => {
+                write!(f, "attribute already occurs in X ∪ Xp")
+            }
+            InferenceError::PremisesNotParallel(m) => {
+                write!(f, "premises differ beyond the case split: {m}")
+            }
+            InferenceError::DomainNotCovered => {
+                write!(f, "premise values do not cover the finite domain")
+            }
+            InferenceError::NotFiniteDomain => {
+                write!(f, "case-split attribute must have a finite domain")
+            }
+            InferenceError::BadReference(m) => write!(f, "bad reference: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {}
+
+type Result<T> = std::result::Result<T, InferenceError>;
+
+/// **CIND1** (reflexivity): `(R[X; nil] ⊆ R[X; nil], (_, ..., _))` for any
+/// sequence `X` of distinct attributes of `R`.
+pub fn cind1(schema: &Schema, rel: RelId, x: Vec<AttrId>) -> Result<NormalCind> {
+    let rs = schema
+        .relation(rel)
+        .map_err(|e| InferenceError::BadReference(e.to_string()))?;
+    let mut seen = BTreeSet::new();
+    for a in &x {
+        if a.index() >= rs.arity() {
+            return Err(InferenceError::IndexOutOfRange(a.index()));
+        }
+        if !seen.insert(*a) {
+            return Err(InferenceError::DuplicateAttrs);
+        }
+    }
+    Ok(NormalCind::new(rel, rel, x.clone(), x, vec![], vec![]))
+}
+
+/// **CIND2** (projection & permutation): keep the matched pairs at the
+/// given positions, in the given order (repeats allowed, as the paper's
+/// "sequence in {1..m}"). Pattern parts `Xp`/`Yp` may be permuted, which
+/// is a representation no-op here (they are stored as sets of pairs).
+pub fn cind2(psi: &NormalCind, keep: &[usize]) -> Result<NormalCind> {
+    for &i in keep {
+        if i >= psi.x().len() {
+            return Err(InferenceError::IndexOutOfRange(i));
+        }
+    }
+    let x = keep.iter().map(|&i| psi.x()[i]).collect();
+    let y = keep.iter().map(|&i| psi.y()[i]).collect();
+    Ok(NormalCind::new(
+        psi.lhs_rel(),
+        psi.rhs_rel(),
+        x,
+        y,
+        psi.xp().to_vec(),
+        psi.yp().to_vec(),
+    ))
+}
+
+/// **CIND3** (transitivity): from `(Ra[X; Xp] ⊆ Rb[Y; Yp], t1)` and
+/// `(Rb[Y; Yp] ⊆ Rc[Z; Zp], t2)` with `t1[Yp] = t2[Yp]`, conclude
+/// `(Ra[X; Xp] ⊆ Rc[Z; Zp], t3)`.
+pub fn cind3(psi1: &NormalCind, psi2: &NormalCind) -> Result<NormalCind> {
+    if psi1.rhs_rel() != psi2.lhs_rel() {
+        return Err(InferenceError::TransitivityMismatch(
+            "middle relation differs".into(),
+        ));
+    }
+    if psi1.y() != psi2.x() {
+        return Err(InferenceError::TransitivityMismatch(
+            "Y of the first premise must be the X of the second".into(),
+        ));
+    }
+    // In normal form t1[Y] = t2[Y] is automatic (all wildcards); the
+    // pattern condition is set equality of the Yp/Xp constants.
+    let yp1: BTreeSet<(AttrId, Value)> = psi1.yp().iter().cloned().collect();
+    let xp2: BTreeSet<(AttrId, Value)> = psi2.xp().iter().cloned().collect();
+    if yp1 != xp2 {
+        return Err(InferenceError::TransitivityMismatch(
+            "t1[Yp] must equal t2[Yp] (as the second premise's LHS pattern)".into(),
+        ));
+    }
+    Ok(NormalCind::new(
+        psi1.lhs_rel(),
+        psi2.rhs_rel(),
+        psi1.x().to_vec(),
+        psi2.y().to_vec(),
+        psi1.xp().to_vec(),
+        psi2.yp().to_vec(),
+    ))
+}
+
+/// **CIND4** (instantiation): pick a matched pair `(Aj, Bj)` and a
+/// constant `c ∈ dom(Aj)`; move the pair into the pattern parts with
+/// value `c`.
+pub fn cind4(schema: &Schema, psi: &NormalCind, j: usize, c: Value) -> Result<NormalCind> {
+    if j >= psi.x().len() {
+        return Err(InferenceError::IndexOutOfRange(j));
+    }
+    let aj = psi.x()[j];
+    let bj = psi.y()[j];
+    let rs = schema
+        .relation(psi.lhs_rel())
+        .map_err(|e| InferenceError::BadReference(e.to_string()))?;
+    let dom = rs
+        .attribute(aj)
+        .map_err(|e| InferenceError::BadReference(e.to_string()))?
+        .domain();
+    if !dom.contains(&c) {
+        return Err(InferenceError::ValueOutsideDomain(c.to_string()));
+    }
+    let mut x = psi.x().to_vec();
+    let mut y = psi.y().to_vec();
+    x.remove(j);
+    y.remove(j);
+    let mut xp = psi.xp().to_vec();
+    let mut yp = psi.yp().to_vec();
+    xp.push((aj, c.clone()));
+    yp.push((bj, c));
+    Ok(NormalCind::new(
+        psi.lhs_rel(),
+        psi.rhs_rel(),
+        x,
+        y,
+        xp,
+        yp,
+    ))
+}
+
+/// **CIND5** (LHS weakening): add a fresh pattern condition `A = c` on
+/// the source side, for `A ∈ attr(Ra) − (X ∪ Xp)` and `c ∈ dom(A)`.
+pub fn cind5(schema: &Schema, psi: &NormalCind, a: AttrId, c: Value) -> Result<NormalCind> {
+    if psi.x().contains(&a) || psi.xp().iter().any(|(b, _)| *b == a) {
+        return Err(InferenceError::AttrAlreadyConstrained);
+    }
+    let rs = schema
+        .relation(psi.lhs_rel())
+        .map_err(|e| InferenceError::BadReference(e.to_string()))?;
+    let dom = rs
+        .attribute(a)
+        .map_err(|e| InferenceError::BadReference(e.to_string()))?
+        .domain();
+    if !dom.contains(&c) {
+        return Err(InferenceError::ValueOutsideDomain(c.to_string()));
+    }
+    let mut xp = psi.xp().to_vec();
+    xp.push((a, c));
+    Ok(NormalCind::new(
+        psi.lhs_rel(),
+        psi.rhs_rel(),
+        psi.x().to_vec(),
+        psi.y().to_vec(),
+        xp,
+        psi.yp().to_vec(),
+    ))
+}
+
+/// **CIND6** (RHS relaxation): keep only the `Yp` conditions at the given
+/// positions (`Y'p ⊆ Yp`).
+pub fn cind6(psi: &NormalCind, keep_yp: &[usize]) -> Result<NormalCind> {
+    let mut yp = Vec::with_capacity(keep_yp.len());
+    let mut seen = BTreeSet::new();
+    for &i in keep_yp {
+        if i >= psi.yp().len() {
+            return Err(InferenceError::IndexOutOfRange(i));
+        }
+        if seen.insert(i) {
+            yp.push(psi.yp()[i].clone());
+        }
+    }
+    Ok(NormalCind::new(
+        psi.lhs_rel(),
+        psi.rhs_rel(),
+        psi.x().to_vec(),
+        psi.y().to_vec(),
+        psi.xp().to_vec(),
+        yp,
+    ))
+}
+
+/// Checks that two normal CINDs are identical except for the `Xp` entry
+/// on `a` (and, when `b` is given, the `Yp` entry on `b`); returns the
+/// case-split values `(tp[a], tp[b])`.
+fn split_values(
+    psi: &NormalCind,
+    a: AttrId,
+    b: Option<AttrId>,
+) -> Result<(Value, Option<Value>)> {
+    let va = psi
+        .xp()
+        .iter()
+        .find(|(x, _)| *x == a)
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| {
+            InferenceError::PremisesNotParallel(format!("no Xp entry on {a}"))
+        })?;
+    let vb = match b {
+        None => None,
+        Some(b) => Some(
+            psi.yp()
+                .iter()
+                .find(|(y, _)| *y == b)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| {
+                    InferenceError::PremisesNotParallel(format!("no Yp entry on {b}"))
+                })?,
+        ),
+    };
+    Ok((va, vb))
+}
+
+/// The premise with its case-split entries removed, for parallelism
+/// comparison.
+fn strip(psi: &NormalCind, a: AttrId, b: Option<AttrId>) -> NormalCind {
+    let xp = psi
+        .xp()
+        .iter()
+        .filter(|(x, _)| *x != a)
+        .cloned()
+        .collect();
+    let yp = psi
+        .yp()
+        .iter()
+        .filter(|(y, _)| Some(*y) != b)
+        .cloned()
+        .collect();
+    NormalCind::new(
+        psi.lhs_rel(),
+        psi.rhs_rel(),
+        psi.x().to_vec(),
+        psi.y().to_vec(),
+        xp,
+        yp,
+    )
+}
+
+fn check_cover(schema: &Schema, rel: RelId, a: AttrId, values: &BTreeSet<Value>) -> Result<()> {
+    let rs = schema
+        .relation(rel)
+        .map_err(|e| InferenceError::BadReference(e.to_string()))?;
+    let dom = rs
+        .attribute(a)
+        .map_err(|e| InferenceError::BadReference(e.to_string()))?
+        .domain();
+    let Some(domain_values) = dom.values() else {
+        return Err(InferenceError::NotFiniteDomain);
+    };
+    if domain_values.iter().all(|v| values.contains(v)) {
+        Ok(())
+    } else {
+        Err(InferenceError::DomainNotCovered)
+    }
+}
+
+/// **CIND7** (finite-domain LHS case elimination): if the premises agree
+/// everywhere except the `Xp` value of the finite-domain attribute `A`,
+/// and those values cover `dom(A)`, then the condition on `A` can be
+/// dropped altogether.
+pub fn cind7(schema: &Schema, premises: &[NormalCind], a: AttrId) -> Result<NormalCind> {
+    let first = premises
+        .first()
+        .ok_or_else(|| InferenceError::PremisesNotParallel("no premises".into()))?;
+    let base = strip(first, a, None);
+    let mut values = BTreeSet::new();
+    for p in premises {
+        let (va, _) = split_values(p, a, None)?;
+        values.insert(va);
+        if strip(p, a, None) != base {
+            return Err(InferenceError::PremisesNotParallel(
+                "premises differ beyond tp[A]".into(),
+            ));
+        }
+    }
+    check_cover(schema, first.lhs_rel(), a, &values)?;
+    Ok(base)
+}
+
+/// **CIND8** (finite-domain un-instantiation, the inverse of CIND4): if
+/// the premises agree everywhere except matching `Xp`/`Yp` entries
+/// `A = v_i` / `B = v_i` with `t_i[A] = t_i[B]`, and the `v_i` cover
+/// `dom(A)`, then `(A, B)` can be restored as a matched pair:
+/// `(Ra[X·A; Xp] ⊆ Rb[Y·B; Yp], tp)`.
+pub fn cind8(
+    schema: &Schema,
+    premises: &[NormalCind],
+    a: AttrId,
+    b: AttrId,
+) -> Result<NormalCind> {
+    let first = premises
+        .first()
+        .ok_or_else(|| InferenceError::PremisesNotParallel("no premises".into()))?;
+    let base = strip(first, a, Some(b));
+    let mut values = BTreeSet::new();
+    for p in premises {
+        let (va, vb) = split_values(p, a, Some(b))?;
+        if Some(&va) != vb.as_ref() {
+            return Err(InferenceError::PremisesNotParallel(
+                "t_i[A] must equal t_i[B]".into(),
+            ));
+        }
+        values.insert(va);
+        if strip(p, a, Some(b)) != base {
+            return Err(InferenceError::PremisesNotParallel(
+                "premises differ beyond the (A, B) pair".into(),
+            ));
+        }
+    }
+    check_cover(schema, first.lhs_rel(), a, &values)?;
+    let mut x = base.x().to_vec();
+    let mut y = base.y().to_vec();
+    x.push(a);
+    y.push(b);
+    Ok(NormalCind::new(
+        base.lhs_rel(),
+        base.rhs_rel(),
+        x,
+        y,
+        base.xp().to_vec(),
+        base.yp().to_vec(),
+    ))
+}
+
+/// The rule used at a proof step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Justification {
+    /// Member of Σ.
+    Axiom,
+    /// CIND1 with no premises.
+    Cind1,
+    /// CIND2 applied to a prior step.
+    Cind2 {
+        /// Premise step index.
+        from: usize,
+    },
+    /// CIND3 applied to two prior steps.
+    Cind3 {
+        /// Premise step indices.
+        from: (usize, usize),
+    },
+    /// CIND4 applied to a prior step.
+    Cind4 {
+        /// Premise step index.
+        from: usize,
+    },
+    /// CIND5 applied to a prior step.
+    Cind5 {
+        /// Premise step index.
+        from: usize,
+    },
+    /// CIND6 applied to a prior step.
+    Cind6 {
+        /// Premise step index.
+        from: usize,
+    },
+    /// CIND7 applied to prior steps.
+    Cind7 {
+        /// Premise step indices.
+        from: Vec<usize>,
+    },
+    /// CIND8 applied to prior steps.
+    Cind8 {
+        /// Premise step indices.
+        from: Vec<usize>,
+    },
+}
+
+impl fmt::Display for Justification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Justification::Axiom => write!(f, "axiom"),
+            Justification::Cind1 => write!(f, "CIND1"),
+            Justification::Cind2 { from } => write!(f, "CIND2 on ({})", from + 1),
+            Justification::Cind3 { from } => {
+                write!(f, "CIND3 on ({}),({})", from.0 + 1, from.1 + 1)
+            }
+            Justification::Cind4 { from } => write!(f, "CIND4 on ({})", from + 1),
+            Justification::Cind5 { from } => write!(f, "CIND5 on ({})", from + 1),
+            Justification::Cind6 { from } => write!(f, "CIND6 on ({})", from + 1),
+            Justification::Cind7 { from } => {
+                write!(f, "CIND7 on {:?}", from.iter().map(|i| i + 1).collect::<Vec<_>>())
+            }
+            Justification::Cind8 { from } => {
+                write!(f, "CIND8 on {:?}", from.iter().map(|i| i + 1).collect::<Vec<_>>())
+            }
+        }
+    }
+}
+
+/// One step of a derivation: a CIND and how it was obtained.
+#[derive(Clone, Debug)]
+pub struct ProofStep {
+    /// The derived (or assumed) CIND.
+    pub cind: NormalCind,
+    /// The justification.
+    pub rule: Justification,
+}
+
+/// A derivation `Σ ⊢I ψ`: a checked sequence of rule applications.
+///
+/// Rules are applied through the builder methods, which re-verify every
+/// precondition, so a constructed `Proof` is correct by construction.
+#[derive(Clone, Debug, Default)]
+pub struct Proof {
+    steps: Vec<ProofStep>,
+}
+
+impl Proof {
+    /// An empty proof.
+    pub fn new() -> Self {
+        Proof::default()
+    }
+
+    /// The steps so far.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// The final conclusion, if any step exists.
+    pub fn conclusion(&self) -> Option<&NormalCind> {
+        self.steps.last().map(|s| &s.cind)
+    }
+
+    fn push(&mut self, cind: NormalCind, rule: Justification) -> usize {
+        self.steps.push(ProofStep { cind, rule });
+        self.steps.len() - 1
+    }
+
+    fn get(&self, i: usize) -> Result<&NormalCind> {
+        self.steps
+            .get(i)
+            .map(|s| &s.cind)
+            .ok_or(InferenceError::IndexOutOfRange(i))
+    }
+
+    /// Assumes a member of Σ.
+    pub fn axiom(&mut self, psi: NormalCind) -> usize {
+        self.push(psi, Justification::Axiom)
+    }
+
+    /// Applies CIND1.
+    pub fn cind1(&mut self, schema: &Schema, rel: RelId, x: Vec<AttrId>) -> Result<usize> {
+        let c = cind1(schema, rel, x)?;
+        Ok(self.push(c, Justification::Cind1))
+    }
+
+    /// Applies CIND2 to step `i`.
+    pub fn cind2(&mut self, i: usize, keep: &[usize]) -> Result<usize> {
+        let c = cind2(self.get(i)?, keep)?;
+        Ok(self.push(c, Justification::Cind2 { from: i }))
+    }
+
+    /// Applies CIND3 to steps `i` and `j`.
+    pub fn cind3(&mut self, i: usize, j: usize) -> Result<usize> {
+        let c = cind3(self.get(i)?, self.get(j)?)?;
+        Ok(self.push(c, Justification::Cind3 { from: (i, j) }))
+    }
+
+    /// Applies CIND4 to step `i`.
+    pub fn cind4(&mut self, schema: &Schema, i: usize, j: usize, c: Value) -> Result<usize> {
+        let d = cind4(schema, self.get(i)?, j, c)?;
+        Ok(self.push(d, Justification::Cind4 { from: i }))
+    }
+
+    /// Applies CIND5 to step `i`.
+    pub fn cind5(&mut self, schema: &Schema, i: usize, a: AttrId, c: Value) -> Result<usize> {
+        let d = cind5(schema, self.get(i)?, a, c)?;
+        Ok(self.push(d, Justification::Cind5 { from: i }))
+    }
+
+    /// Applies CIND6 to step `i`.
+    pub fn cind6(&mut self, i: usize, keep_yp: &[usize]) -> Result<usize> {
+        let c = cind6(self.get(i)?, keep_yp)?;
+        Ok(self.push(c, Justification::Cind6 { from: i }))
+    }
+
+    /// Applies CIND7 to the given steps.
+    pub fn cind7(&mut self, schema: &Schema, from: &[usize], a: AttrId) -> Result<usize> {
+        let premises: Vec<NormalCind> = from
+            .iter()
+            .map(|&i| self.get(i).cloned())
+            .collect::<Result<_>>()?;
+        let c = cind7(schema, &premises, a)?;
+        Ok(self.push(c, Justification::Cind7 { from: from.to_vec() }))
+    }
+
+    /// Applies CIND8 to the given steps.
+    pub fn cind8(
+        &mut self,
+        schema: &Schema,
+        from: &[usize],
+        a: AttrId,
+        b: AttrId,
+    ) -> Result<usize> {
+        let premises: Vec<NormalCind> = from
+            .iter()
+            .map(|&i| self.get(i).cloned())
+            .collect::<Result<_>>()?;
+        let c = cind8(schema, &premises, a, b)?;
+        Ok(self.push(c, Justification::Cind8 { from: from.to_vec() }))
+    }
+
+    /// Soundness spot-check (Theorem 3.3, soundness direction): on a
+    /// database satisfying every axiom step, every derived step must hold
+    /// as well. Returns the index of the first failing step, if any.
+    pub fn check_soundness(&self, db: &condep_model::Database) -> Option<usize> {
+        use crate::satisfy::satisfies_normal;
+        let axioms_hold = self
+            .steps
+            .iter()
+            .filter(|s| s.rule == Justification::Axiom)
+            .all(|s| satisfies_normal(db, &s.cind));
+        if !axioms_hold {
+            return None; // premise of the soundness statement not met
+        }
+        self.steps
+            .iter()
+            .position(|s| !satisfies_normal(db, &s.cind))
+    }
+
+    /// Renders the proof with names resolved against `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        ProofDisplay { proof: self, schema }
+    }
+}
+
+struct ProofDisplay<'a> {
+    proof: &'a Proof,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for ProofDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.proof.steps.iter().enumerate() {
+            writeln!(
+                f,
+                "({}) {}    [{}]",
+                i + 1,
+                step.cind.display(self.schema),
+                step.rule
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::normalize::normalize;
+    use condep_model::fixtures::bank_schema;
+
+    fn attr(schema: &Schema, rel: &str, name: &str) -> AttrId {
+        schema
+            .relation(schema.rel_id(rel).unwrap())
+            .unwrap()
+            .attr_id(name)
+            .unwrap()
+    }
+
+    /// Example 3.4: Σ ⊢I ψ with ψ = (account_edi[at; nil] ⊆
+    /// interest[at; nil]) under dom(at) = {checking, saving}.
+    fn example_3_4_proof() -> (std::sync::Arc<Schema>, Proof) {
+        let schema = bank_schema();
+        let mut p = Proof::new();
+        let psi1 = p.axiom(normalize(&fixtures::psi1_edi()).remove(0));
+        let psi2 = p.axiom(normalize(&fixtures::psi2_edi()).remove(0));
+        let psi5_edi = p.axiom(normalize(&fixtures::psi5()).remove(0));
+        let psi6_edi = p.axiom(normalize(&fixtures::psi6()).remove(0));
+        // (1),(2): project away the matched an,cn,ca,cp pairs (CIND2).
+        let s1 = p.cind2(psi1, &[]).unwrap();
+        let s2 = p.cind2(psi2, &[]).unwrap();
+        // (3),(4): relax the RHS pattern to keep only `at` (CIND6).
+        // ψ5/ψ6 normal form Yp order: [ab, at, ct, rt] — keep index 1.
+        let s3 = p.cind6(psi5_edi, &[1]).unwrap();
+        let s4 = p.cind6(psi6_edi, &[1]).unwrap();
+        // (5),(6): transitivity (CIND3).
+        let s5 = p.cind3(s1, s3).unwrap();
+        let s6 = p.cind3(s2, s4).unwrap();
+        // (7): merge the finite-domain cases (CIND8).
+        let at_l = attr(&schema, "account_edi", "at");
+        let at_r = attr(&schema, "interest", "at");
+        p.cind8(&schema, &[s5, s6], at_l, at_r).unwrap();
+        (schema, p)
+    }
+
+    #[test]
+    fn example_3_4_derives_the_goal() {
+        let (schema, proof) = example_3_4_proof();
+        let goal = normalize(&fixtures::example_3_3_goal()).remove(0);
+        assert_eq!(proof.conclusion(), Some(&goal));
+        let rendered = proof.display(&schema).to_string();
+        assert!(rendered.contains("CIND8"));
+        assert!(rendered.contains("CIND3"));
+    }
+
+    #[test]
+    fn example_3_4_proof_is_sound_on_the_clean_instance() {
+        let (_, proof) = example_3_4_proof();
+        let db = condep_model::fixtures::clean_bank_database();
+        assert_eq!(
+            proof.check_soundness(&db),
+            None,
+            "every derived CIND must hold wherever the axioms hold"
+        );
+    }
+
+    #[test]
+    fn cind1_requires_distinct_attrs() {
+        let schema = bank_schema();
+        let rel = schema.rel_id("saving").unwrap();
+        assert!(cind1(&schema, rel, vec![AttrId(0), AttrId(1)]).is_ok());
+        assert_eq!(
+            cind1(&schema, rel, vec![AttrId(0), AttrId(0)]),
+            Err(InferenceError::DuplicateAttrs)
+        );
+        assert!(matches!(
+            cind1(&schema, rel, vec![AttrId(99)]),
+            Err(InferenceError::IndexOutOfRange(99))
+        ));
+    }
+
+    #[test]
+    fn cind2_projects_and_permutes() {
+        let psi = normalize(&fixtures::psi1_edi()).remove(0);
+        // Reverse the four matched pairs.
+        let rev = cind2(&psi, &[3, 2, 1, 0]).unwrap();
+        assert_eq!(rev.x()[0], psi.x()[3]);
+        assert_eq!(rev.y()[0], psi.y()[3]);
+        // Repeats are allowed (the paper's "sequence").
+        let dup = cind2(&psi, &[0, 0]).unwrap();
+        assert_eq!(dup.x().len(), 2);
+        assert!(cind2(&psi, &[9]).is_err());
+    }
+
+    #[test]
+    fn cind3_requires_matching_middle() {
+        let schema = bank_schema();
+        let s1 = normalize(&fixtures::psi1_edi()).remove(0);
+        let s3 = normalize(&fixtures::psi3()).remove(0);
+        // saving[an,cn,ca,cp] vs saving[ab]: Y ≠ X — rejected.
+        assert!(cind3(&s1, &s3).is_err());
+        // ψ3 ∘ ψ3 does not chain (interest ≠ saving).
+        assert!(cind3(&s3, &s3).is_err());
+        // A valid chain: project ψ1 to [ab]-free form first.
+        let mut p = Proof::new();
+        let a = p.axiom(s1);
+        let pr = p.cind2(a, &[]).unwrap();
+        let b = p.axiom(normalize(&fixtures::psi5()).remove(0));
+        let rel = p.cind6(b, &[1]).unwrap();
+        assert!(p.cind3(pr, rel).is_ok());
+        let _ = schema;
+    }
+
+    #[test]
+    fn cind4_moves_a_matched_pair_into_patterns() {
+        let schema = bank_schema();
+        let psi = normalize(&fixtures::psi3()).remove(0);
+        let inst = cind4(&schema, &psi, 0, Value::str("EDI")).unwrap();
+        assert!(inst.x().is_empty());
+        assert_eq!(inst.xp().len(), 1);
+        assert_eq!(inst.yp().len(), 1);
+        assert_eq!(inst.xp()[0].1, Value::str("EDI"));
+        // Value outside a finite domain is rejected.
+        let psi1 = normalize(&fixtures::psi1_edi()).remove(0);
+        let at_pos = 0; // an — infinite, any string fine
+        assert!(cind4(&schema, &psi1, at_pos, Value::str("whatever")).is_ok());
+    }
+
+    #[test]
+    fn cind4_rejects_out_of_domain_values() {
+        // Build an IND on the finite `at` attribute and instantiate it
+        // with a non-domain value.
+        let schema = bank_schema();
+        let account = schema.rel_id("account_edi").unwrap();
+        let interest = schema.rel_id("interest").unwrap();
+        let at_l = attr(&schema, "account_edi", "at");
+        let at_r = attr(&schema, "interest", "at");
+        let psi = NormalCind::new(account, interest, vec![at_l], vec![at_r], vec![], vec![]);
+        assert!(matches!(
+            cind4(&schema, &psi, 0, Value::str("mortgage")),
+            Err(InferenceError::ValueOutsideDomain(_))
+        ));
+        assert!(cind4(&schema, &psi, 0, Value::str("saving")).is_ok());
+    }
+
+    #[test]
+    fn cind5_adds_lhs_conditions_only_on_free_attrs() {
+        let schema = bank_schema();
+        let psi = normalize(&fixtures::psi3()).remove(0);
+        let an = attr(&schema, "saving", "an");
+        let widened = cind5(&schema, &psi, an, Value::str("01")).unwrap();
+        assert_eq!(widened.xp().len(), 1);
+        // The constrained attribute cannot be conditioned again.
+        assert_eq!(
+            cind5(&schema, &widened, an, Value::str("02")),
+            Err(InferenceError::AttrAlreadyConstrained)
+        );
+        // Nor can a matched attribute.
+        let ab = attr(&schema, "saving", "ab");
+        assert_eq!(
+            cind5(&schema, &psi, ab, Value::str("EDI")),
+            Err(InferenceError::AttrAlreadyConstrained)
+        );
+    }
+
+    #[test]
+    fn cind6_drops_rhs_conditions() {
+        let psi = normalize(&fixtures::psi5()).remove(0);
+        assert_eq!(psi.yp().len(), 4);
+        let relaxed = cind6(&psi, &[0]).unwrap();
+        assert_eq!(relaxed.yp().len(), 1);
+        let dropped_all = cind6(&psi, &[]).unwrap();
+        assert!(dropped_all.yp().is_empty());
+        assert!(cind6(&psi, &[7]).is_err());
+    }
+
+    #[test]
+    fn cind7_eliminates_a_covered_finite_condition() {
+        let schema = bank_schema();
+        // Premises: (account_edi[nil; at=saving] ⊆ interest[nil; ct=UK])
+        //       and (account_edi[nil; at=checking] ⊆ interest[nil; ct=UK]).
+        let at_l = attr(&schema, "account_edi", "at");
+        let ct = attr(&schema, "interest", "ct");
+        let account = schema.rel_id("account_edi").unwrap();
+        let interest = schema.rel_id("interest").unwrap();
+        let mk = |v: &str| {
+            NormalCind::new(
+                account,
+                interest,
+                vec![],
+                vec![],
+                vec![(at_l, Value::str(v))],
+                vec![(ct, Value::str("UK"))],
+            )
+        };
+        let merged = cind7(&schema, &[mk("saving"), mk("checking")], at_l).unwrap();
+        assert!(merged.xp().is_empty());
+        assert_eq!(merged.yp().len(), 1);
+        // Missing a domain value: rejected.
+        assert_eq!(
+            cind7(&schema, &[mk("saving")], at_l),
+            Err(InferenceError::DomainNotCovered)
+        );
+        // Infinite-domain attribute: rejected.
+        let an = attr(&schema, "account_edi", "an");
+        let with_an = NormalCind::new(
+            account,
+            interest,
+            vec![],
+            vec![],
+            vec![(an, Value::str("01"))],
+            vec![],
+        );
+        assert_eq!(
+            cind7(&schema, &[with_an], an),
+            Err(InferenceError::NotFiniteDomain)
+        );
+    }
+
+    #[test]
+    fn cind8_restores_a_matched_pair() {
+        let schema = bank_schema();
+        let at_l = attr(&schema, "account_edi", "at");
+        let at_r = attr(&schema, "interest", "at");
+        let account = schema.rel_id("account_edi").unwrap();
+        let interest = schema.rel_id("interest").unwrap();
+        let mk = |v: &str| {
+            NormalCind::new(
+                account,
+                interest,
+                vec![],
+                vec![],
+                vec![(at_l, Value::str(v))],
+                vec![(at_r, Value::str(v))],
+            )
+        };
+        let merged = cind8(&schema, &[mk("saving"), mk("checking")], at_l, at_r).unwrap();
+        assert_eq!(merged.x(), &[at_l]);
+        assert_eq!(merged.y(), &[at_r]);
+        assert!(merged.xp().is_empty());
+        assert!(merged.yp().is_empty());
+        // Values disagreeing between A and B: rejected.
+        let skew = NormalCind::new(
+            account,
+            interest,
+            vec![],
+            vec![],
+            vec![(at_l, Value::str("saving"))],
+            vec![(at_r, Value::str("checking"))],
+        );
+        assert!(matches!(
+            cind8(&schema, &[skew, mk("checking")], at_l, at_r),
+            Err(InferenceError::PremisesNotParallel(_))
+        ));
+    }
+
+    #[test]
+    fn rules_are_sound_on_the_clean_instance() {
+        // Apply each pattern-manipulation rule to a satisfied CIND and
+        // check the conclusion still holds.
+        use crate::satisfy::satisfies_normal;
+        let schema = bank_schema();
+        let db = condep_model::fixtures::clean_bank_database();
+        let psi3 = normalize(&fixtures::psi3()).remove(0);
+        assert!(satisfies_normal(&db, &psi3));
+        // CIND2.
+        assert!(satisfies_normal(&db, &cind2(&psi3, &[0, 0]).unwrap()));
+        // CIND4.
+        assert!(satisfies_normal(
+            &db,
+            &cind4(&schema, &psi3, 0, Value::str("EDI")).unwrap()
+        ));
+        // CIND5.
+        let an = attr(&schema, "saving", "an");
+        assert!(satisfies_normal(
+            &db,
+            &cind5(&schema, &psi3, an, Value::str("01")).unwrap()
+        ));
+        // CIND6 on ψ5.
+        let psi5 = normalize(&fixtures::psi5()).remove(0);
+        assert!(satisfies_normal(&db, &cind6(&psi5, &[0, 1]).unwrap()));
+        // CIND1 reflexivity holds on any instance.
+        let saving = schema.rel_id("saving").unwrap();
+        assert!(satisfies_normal(
+            &db,
+            &cind1(&schema, saving, vec![AttrId(0), AttrId(4)]).unwrap()
+        ));
+    }
+}

@@ -1,0 +1,221 @@
+//! Normalization of CINDs — Proposition 3.1.
+//!
+//! Every CIND rewrites to an equivalent set of normal-form CINDs, of
+//! total size linear in the input, by three steps (paper, Section 3):
+//!
+//! 1. split the tableau into one CIND per pattern tuple;
+//! 2. drop from `Xp`/`Yp` any attribute whose pattern cell is `_`
+//!    (a wildcard pattern attribute poses no constraint);
+//! 3. move every pair `(Ai, Bi)` with a constant pattern cell from
+//!    `X`/`Y` into `Xp`/`Yp` (recall `tp[X] = tp[Y]`, so the constant is
+//!    shared: `t1[Ai] = c` is an LHS condition and `t2[Bi] = c` an RHS
+//!    obligation).
+
+use crate::syntax::{Cind, NormalCind};
+use condep_model::PValue;
+
+/// Rewrites a general CIND into the equivalent set of normal-form CINDs
+/// (one per pattern row).
+pub fn normalize(cind: &Cind) -> Vec<NormalCind> {
+    cind.tableau()
+        .iter()
+        .map(|row| {
+            let (x_cells, xp_cells, _y_cells, yp_cells) = cind.split_row(row);
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            let mut xp = Vec::new();
+            let mut yp = Vec::new();
+            // Step 3: constants on matched pairs move to the pattern
+            // parts; wildcards stay matched.
+            for (i, cell) in x_cells.iter().enumerate() {
+                match cell {
+                    PValue::Any => {
+                        x.push(cind.x()[i]);
+                        y.push(cind.y()[i]);
+                    }
+                    PValue::Const(c) => {
+                        xp.push((cind.x()[i], c.clone()));
+                        yp.push((cind.y()[i], c.clone()));
+                    }
+                }
+            }
+            // Step 2: wildcard pattern attributes are dropped.
+            for (i, cell) in xp_cells.iter().enumerate() {
+                if let PValue::Const(c) = cell {
+                    xp.push((cind.xp()[i], c.clone()));
+                }
+            }
+            for (i, cell) in yp_cells.iter().enumerate() {
+                if let PValue::Const(c) = cell {
+                    yp.push((cind.yp()[i], c.clone()));
+                }
+            }
+            NormalCind::new(cind.lhs_rel(), cind.rhs_rel(), x, y, xp, yp)
+        })
+        .collect()
+}
+
+/// Normalizes a whole set of CINDs.
+pub fn normalize_all<'a, I>(cinds: I) -> Vec<NormalCind>
+where
+    I: IntoIterator<Item = &'a Cind>,
+{
+    cinds.into_iter().flat_map(normalize).collect()
+}
+
+/// Total size of a set of normal CINDs (number of attribute/constant
+/// slots) — used to check the "linear in the size of Σ" claim of
+/// Proposition 3.1.
+pub fn size_of_normal(cinds: &[NormalCind]) -> usize {
+    cinds
+        .iter()
+        .map(|c| c.x().len() + c.y().len() + c.xp().len() + c.yp().len() + 2)
+        .sum()
+}
+
+/// Total size of a set of general CINDs under the same measure.
+pub fn size_of_general(cinds: &[Cind]) -> usize {
+    cinds
+        .iter()
+        .map(|c| {
+            let row_width = c.x().len() + c.xp().len() + c.y().len() + c.yp().len();
+            2 + row_width * c.tableau().len().max(1)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use condep_model::fixtures::bank_schema;
+    use condep_model::{prow, Value};
+
+    #[test]
+    fn psi5_splits_into_two_normal_cinds() {
+        // Example 3.1: "We can transform ψ5 into the normal form by
+        // separating it into two CINDs, each carrying only one pattern
+        // tuple of ψ5."
+        let psi5 = fixtures::psi5();
+        let normal = normalize(&psi5);
+        assert_eq!(normal.len(), 2);
+        for n in &normal {
+            // X and Y were nil already; Xp = [ab], Yp = [ab, at, ct, rt].
+            assert!(n.x().is_empty());
+            assert_eq!(n.xp().len(), 1);
+            assert_eq!(n.yp().len(), 4);
+        }
+        assert_eq!(normal[0].xp()[0].1, Value::str("EDI"));
+        assert_eq!(normal[1].xp()[0].1, Value::str("NYC"));
+    }
+
+    #[test]
+    fn psi1_through_psi4_are_already_normal() {
+        // Example 3.1: ψ1–ψ4 are in the normal form; normalization must
+        // be the identity modulo representation.
+        for (psi, expect_x, expect_xp, expect_yp) in [
+            (fixtures::psi1_edi(), 4usize, 1usize, 1usize),
+            (fixtures::psi2_edi(), 4, 1, 1),
+            (fixtures::psi3(), 1, 0, 0),
+            (fixtures::psi4(), 1, 0, 0),
+        ] {
+            let normal = normalize(&psi);
+            assert_eq!(normal.len(), 1);
+            assert_eq!(normal[0].x().len(), expect_x);
+            assert_eq!(normal[0].xp().len(), expect_xp);
+            assert_eq!(normal[0].yp().len(), expect_yp);
+        }
+    }
+
+    #[test]
+    fn example_3_1_constant_on_matched_pair_moves_to_pattern() {
+        // (R[A,B; C,D] ⊆ S[E,F; G], ( _, h; i, _ || _, h; o )) rewrites to
+        // (R[A; B,C] ⊆ S[E; F,G], ( _; h, i || _; h, o )).
+        let schema = condep_model::Schema::builder()
+            .relation_str("r", &["a", "b", "c", "d"])
+            .relation_str("s", &["e", "f", "g"])
+            .finish();
+        let cind = Cind::parse(
+            &schema,
+            "r",
+            &["a", "b"],
+            &["c", "d"],
+            "s",
+            &["e", "f"],
+            &["g"],
+            // X = (_, h), Xp = (i, _), Y = (_, h), Yp = (o)
+            vec![prow![_, "h", "i", _, _, "h", "o"]],
+        )
+        .unwrap();
+        let normal = normalize(&cind);
+        assert_eq!(normal.len(), 1);
+        let n = &normal[0];
+        // X shrinks to [a], Y to [e].
+        assert_eq!(n.x().len(), 1);
+        assert_eq!(n.y().len(), 1);
+        // Xp = {B=h, C=i} (D dropped: wildcard), Yp = {F=h, G=o}.
+        let xp: Vec<(String, String)> = n
+            .xp()
+            .iter()
+            .map(|(a, v)| {
+                let rs = schema.relation(n.lhs_rel()).unwrap();
+                (rs.attribute(*a).unwrap().name().to_string(), v.to_string())
+            })
+            .collect();
+        assert_eq!(
+            xp,
+            vec![("b".to_string(), "h".to_string()), ("c".to_string(), "i".to_string())]
+        );
+        let yp: Vec<(String, String)> = n
+            .yp()
+            .iter()
+            .map(|(a, v)| {
+                let rs = schema.relation(n.rhs_rel()).unwrap();
+                (rs.attribute(*a).unwrap().name().to_string(), v.to_string())
+            })
+            .collect();
+        assert_eq!(
+            yp,
+            vec![("f".to_string(), "h".to_string()), ("g".to_string(), "o".to_string())]
+        );
+    }
+
+    #[test]
+    fn output_size_is_linear() {
+        // Proposition 3.1: |Σ'| is linear in |Σ|.
+        let sigma = fixtures::figure_2();
+        let normal = normalize_all(&sigma);
+        let in_size = size_of_general(&sigma);
+        let out_size = size_of_normal(&normal);
+        assert!(
+            out_size <= 2 * in_size,
+            "normal form must stay linear: {out_size} vs input {in_size}"
+        );
+    }
+
+    #[test]
+    fn figure_2_normalizes_to_eight_cinds() {
+        // ψ1–ψ4 are single-row; ψ5 and ψ6 carry two rows each: 4 + 4.
+        let schema = bank_schema();
+        let mut sigma = Vec::new();
+        for b in ["edi", "nyc"] {
+            sigma.push(if b == "edi" {
+                fixtures::psi1_edi()
+            } else {
+                fixtures::psi1_nyc()
+            });
+        }
+        sigma.extend([fixtures::psi3(), fixtures::psi4(), fixtures::psi5(), fixtures::psi6()]);
+        let normal = normalize_all(&sigma);
+        assert_eq!(normal.len(), 2 + 1 + 1 + 2 + 2);
+        for n in &normal {
+            // Normal form invariant: constants exactly on Xp ∪ Yp.
+            assert!(n
+                .constants()
+                .all(|(rel, a, _)| {
+                    let rs = schema.relation(rel).unwrap();
+                    a.index() < rs.arity()
+                }));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Violation detection for CINDs.
+//!
+//! Data cleaning needs the offending tuples, not just a boolean
+//! (Example 1.2: `t10` is the dirty tuple ψ6 flags). Two detectors:
+//!
+//! * [`find_violations`] — hash anti-join over the normal form;
+//! * [`violation_plan`] — compiles a normal CIND to a [`Plan`]
+//!   (`AntiJoin(σ_{tp[Xp]}(R1), σ_{tp[Yp]}(R2), X = Y)`), realizing the
+//!   "SQL-based techniques for detecting CIND violations" the paper
+//!   leaves as future work (Section 8).
+
+use crate::syntax::NormalCind;
+use condep_model::{Database, Tuple};
+use condep_query::{ops, Plan, Predicate};
+
+/// A CIND violation: a triggered source tuple with no matching target.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CindViolation {
+    /// Dense position of the violating tuple in the source relation.
+    pub tuple: usize,
+    /// The values `t1[X]` that found no partner `t2[Y]`.
+    pub key: Vec<condep_model::Value>,
+}
+
+/// Finds all violations of a normal-form CIND in `db`.
+pub fn find_violations(db: &Database, cind: &NormalCind) -> Vec<CindViolation> {
+    let source = db.relation(cind.lhs_rel());
+    let target = db.relation(cind.rhs_rel());
+    let idx =
+        condep_query::HashIndex::build_filtered(target, cind.y(), |t2| cind.rhs_matches(t2));
+    let mut out = Vec::new();
+    for (pos, t1) in source.iter().enumerate() {
+        if !cind.triggers(t1) {
+            continue;
+        }
+        let key = t1.project(cind.x());
+        if !idx.contains_key(&key) {
+            out.push(CindViolation { tuple: pos, key });
+        }
+    }
+    out
+}
+
+/// Compiles the violation query of a normal CIND into a logical plan.
+///
+/// The returned plan yields exactly the violating source tuples:
+/// `σ_{tp[Xp]}(R1) ⋉̸_{X=Y} σ_{tp[Yp]}(R2)` (anti-join).
+pub fn violation_plan(cind: &NormalCind) -> Plan {
+    let lhs_filter = Predicate::and(
+        cind.xp()
+            .iter()
+            .map(|(a, v)| Predicate::AttrEq(*a, v.clone())),
+    );
+    let rhs_filter = Predicate::and(
+        cind.yp()
+            .iter()
+            .map(|(a, v)| Predicate::AttrEq(*a, v.clone())),
+    );
+    Plan::scan(cind.lhs_rel())
+        .filter(lhs_filter)
+        .anti_join(
+            Plan::scan(cind.rhs_rel()).filter(rhs_filter),
+            cind.x().to_vec(),
+            cind.y().to_vec(),
+        )
+}
+
+/// Executes [`violation_plan`] and returns the violating tuples — the
+/// plan-based counterpart of [`find_violations`], used to cross-check
+/// the two code paths.
+pub fn find_violations_via_plan(db: &Database, cind: &NormalCind) -> Vec<Tuple> {
+    ops::distinct(violation_plan(cind).execute(db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::normalize::normalize;
+    use condep_model::fixtures::{bank_database, clean_bank_database};
+    use condep_model::tuple;
+
+    #[test]
+    fn t10_is_the_psi6_violation() {
+        let db = bank_database();
+        let normal = normalize(&fixtures::psi6());
+        // Row 0 is the EDI row of T6.
+        let violations = find_violations(&db, &normal[0]);
+        assert_eq!(violations.len(), 1);
+        let checking = db.schema().rel_id("checking").unwrap();
+        let t = db.relation(checking).get(violations[0].tuple).unwrap();
+        assert_eq!(
+            t,
+            &tuple!["02", "I. Stark", "EDI, EH1 4FE", "131-6693423", "EDI"],
+            "the violating tuple must be t10"
+        );
+        // The NYC row is satisfied.
+        assert!(find_violations(&db, &normal[1]).is_empty());
+    }
+
+    #[test]
+    fn plan_detector_agrees_with_direct_detector() {
+        let db = bank_database();
+        for psi in fixtures::figure_2() {
+            for n in normalize(&psi) {
+                let direct = find_violations(&db, &n);
+                let via_plan = find_violations_via_plan(&db, &n);
+                assert_eq!(
+                    direct.len(),
+                    via_plan.len(),
+                    "plan and direct detectors must agree on {psi:?}"
+                );
+                let source = db.relation(n.lhs_rel());
+                for v in &direct {
+                    let t = source.get(v.tuple).unwrap();
+                    assert!(via_plan.contains(t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clean_database_has_no_violations() {
+        let db = clean_bank_database();
+        for psi in fixtures::figure_2() {
+            for n in normalize(&psi) {
+                assert!(find_violations(&db, &n).is_empty());
+                assert!(find_violations_via_plan(&db, &n).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn violation_key_reports_the_missing_join_values() {
+        let db = bank_database();
+        let schema = db.schema();
+        // An IND that cannot be satisfied: saving[an] ⊆ interest[ab].
+        let n = crate::syntax::NormalCind::parse(
+            schema,
+            "saving",
+            &["an"],
+            &[],
+            "interest",
+            &["ab"],
+            &[],
+        )
+        .unwrap();
+        let vs = find_violations(&db, &n);
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].key, vec![condep_model::Value::str("01")]);
+    }
+}

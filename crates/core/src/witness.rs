@@ -1,0 +1,412 @@
+//! Consistency of CINDs — Theorem 3.2, constructively.
+//!
+//! "For any set Σ of CINDs defined on a schema R, there exists a nonempty
+//! instance D of R such that D |= Σ." The proof builds D explicitly:
+//! give every attribute an *active domain* (the constants appearing in Σ
+//! plus at most one extra value) and take each relation to be the cross
+//! product of its attributes' active domains.
+//!
+//! Two engineering details the proof sketch glosses over:
+//!
+//! * the extra value must be *shared* along the flows `Ai → Bi` of the
+//!   embedded INDs, so we close the active domains under those flows
+//!   (a fixpoint, finite because only finitely many values circulate);
+//! * the paper assumes w.l.o.g. `dom(Ai) ⊆ dom(Bi)`; we *check* that
+//!   compatibility ([`domains_compatible`]) and report an error instead
+//!   of building an ill-typed instance.
+
+use crate::syntax::NormalCind;
+use condep_model::{AttrId, Database, Domain, RelId, Schema, Tuple, Value};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a witness could not be built.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WitnessError {
+    /// `dom(Ai) ⊆ dom(Bi)` fails for a matched pair of some CIND, so the
+    /// paper's w.l.o.g. assumption does not hold for this input.
+    IncompatibleDomains {
+        /// The source attribute.
+        lhs: (RelId, AttrId),
+        /// The target attribute.
+        rhs: (RelId, AttrId),
+    },
+    /// A pattern constant lies outside its attribute's domain.
+    ConstantOutsideDomain {
+        /// The constrained attribute.
+        attr: (RelId, AttrId),
+        /// Rendered constant.
+        value: String,
+    },
+    /// The cross product would exceed `max_tuples`.
+    TooLarge {
+        /// The relation whose product blew up.
+        rel: RelId,
+        /// The configured cap.
+        max_tuples: usize,
+    },
+}
+
+impl fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WitnessError::IncompatibleDomains { lhs, rhs } => write!(
+                f,
+                "dom({}.{}) ⊄ dom({}.{}): the w.l.o.g. assumption of Section 2 fails",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            WitnessError::ConstantOutsideDomain { attr, value } => {
+                write!(f, "pattern constant {value} outside dom({}.{})", attr.0, attr.1)
+            }
+            WitnessError::TooLarge { rel, max_tuples } => {
+                write!(f, "witness for {rel} exceeds {max_tuples} tuples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WitnessError {}
+
+/// Is `sub ⊆ sup` as domains? (Same base type; finite ⊆ finite by value
+/// inclusion; finite ⊆ infinite always; infinite ⊆ finite never.)
+pub fn domain_contained(sub: &Domain, sup: &Domain) -> bool {
+    if sub.base_type() != sup.base_type() {
+        return false;
+    }
+    match (sub.values(), sup.values()) {
+        (_, None) => true,
+        (None, Some(_)) => false,
+        (Some(vs), Some(_)) => vs.iter().all(|v| sup.contains(v)),
+    }
+}
+
+/// Checks the w.l.o.g. domain-compatibility assumption
+/// `dom(Ai) ⊆ dom(Bi)` for every matched pair of `cind`.
+pub fn domains_compatible(schema: &Schema, cind: &NormalCind) -> bool {
+    let (Ok(ls), Ok(rs)) = (
+        schema.relation(cind.lhs_rel()),
+        schema.relation(cind.rhs_rel()),
+    ) else {
+        return false;
+    };
+    cind.x().iter().zip(cind.y()).all(|(xa, ya)| {
+        match (ls.attribute(*xa), rs.attribute(*ya)) {
+            (Ok(a), Ok(b)) => domain_contained(a.domain(), b.domain()),
+            _ => false,
+        }
+    })
+}
+
+/// Builds the Theorem 3.2 witness: a nonempty instance satisfying every
+/// CIND in `sigma`, as the cross product of per-attribute active domains.
+///
+/// `max_tuples` caps each relation's size (the construction is
+/// exponential in arity by design; the theorem is about existence, and
+/// callers exercising it should use small schemas).
+pub fn build_witness_bounded(
+    schema: &Arc<Schema>,
+    sigma: &[NormalCind],
+    max_tuples: usize,
+) -> Result<Database, WitnessError> {
+    // Validate the w.l.o.g. assumptions first.
+    for cind in sigma {
+        let (Ok(ls), Ok(rs)) = (
+            schema.relation(cind.lhs_rel()),
+            schema.relation(cind.rhs_rel()),
+        ) else {
+            continue;
+        };
+        for (xa, ya) in cind.x().iter().zip(cind.y()) {
+            let (a, b) = (
+                ls.attribute(*xa).expect("attr in range"),
+                rs.attribute(*ya).expect("attr in range"),
+            );
+            if !domain_contained(a.domain(), b.domain()) {
+                return Err(WitnessError::IncompatibleDomains {
+                    lhs: (cind.lhs_rel(), *xa),
+                    rhs: (cind.rhs_rel(), *ya),
+                });
+            }
+        }
+        for (rel, attr, v) in cind.constants() {
+            let rs = schema.relation(rel).expect("rel in range");
+            let at = rs.attribute(attr).expect("attr in range");
+            if !at.domain().contains(v) {
+                return Err(WitnessError::ConstantOutsideDomain {
+                    attr: (rel, attr),
+                    value: v.to_string(),
+                });
+            }
+        }
+    }
+
+    // Seed active domains: the constants of Σ, plus one extra value —
+    // the whole domain when finite, a shared fresh value per base type
+    // when infinite.
+    let mut all_consts: BTreeSet<Value> = BTreeSet::new();
+    for cind in sigma {
+        for (_, _, v) in cind.constants() {
+            all_consts.insert(v.clone());
+        }
+    }
+    let fresh_str = Domain::string()
+        .fresh_value(&all_consts)
+        .expect("infinite domain");
+    let fresh_int = Domain::integer()
+        .fresh_value(&all_consts)
+        .expect("infinite domain");
+
+    let mut active: HashMap<(RelId, AttrId), BTreeSet<Value>> = HashMap::new();
+    for (rel, rs) in schema.iter() {
+        for (attr, a) in rs.iter() {
+            let set: BTreeSet<Value> = match a.domain().values() {
+                // Finite: take the whole (small) domain — trivially closed.
+                Some(vs) => vs.iter().cloned().collect(),
+                // Infinite: the constants of Σ that fit, plus the shared
+                // fresh value of the base type.
+                None => {
+                    let mut s: BTreeSet<Value> = all_consts
+                        .iter()
+                        .filter(|v| a.domain().contains(v))
+                        .cloned()
+                        .collect();
+                    s.insert(match a.domain().base_type() {
+                        condep_model::BaseType::Str => fresh_str.clone(),
+                        condep_model::BaseType::Int => fresh_int.clone(),
+                        condep_model::BaseType::Bool => Value::bool(true),
+                    });
+                    s
+                }
+            };
+            debug_assert!(!set.is_empty());
+            active.insert((rel, attr), set);
+        }
+    }
+
+    // Close under the IND flows Ai → Bi.
+    loop {
+        let mut changed = false;
+        for cind in sigma {
+            for (xa, ya) in cind.x().iter().zip(cind.y()) {
+                let src = active[&(cind.lhs_rel(), *xa)].clone();
+                let dst = active
+                    .get_mut(&(cind.rhs_rel(), *ya))
+                    .expect("attr seeded");
+                for v in src {
+                    if dst.insert(v) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Cross product per relation.
+    let mut db = Database::empty(schema.clone());
+    for (rel, rs) in schema.iter() {
+        let doms: Vec<Vec<Value>> = rs
+            .iter()
+            .map(|(attr, _)| active[&(rel, attr)].iter().cloned().collect())
+            .collect();
+        let mut size: usize = 1;
+        for d in &doms {
+            size = size.saturating_mul(d.len());
+            if size > max_tuples {
+                return Err(WitnessError::TooLarge { rel, max_tuples });
+            }
+        }
+        for t in cross_product(&doms) {
+            db.insert(rel, t).expect("active domain values well-typed");
+        }
+    }
+    Ok(db)
+}
+
+/// All tuples over the given per-attribute value lists (odometer order).
+fn cross_product(doms: &[Vec<Value>]) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    let mut counters = vec![0usize; doms.len()];
+    'outer: loop {
+        out.push(Tuple::new(
+            counters
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| doms[i][c].clone()),
+        ));
+        let mut i = 0;
+        loop {
+            if i == counters.len() {
+                break 'outer;
+            }
+            counters[i] += 1;
+            if counters[i] < doms[i].len() {
+                break;
+            }
+            counters[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+/// [`build_witness_bounded`] with a default cap of 2^20 tuples per
+/// relation.
+pub fn build_witness(
+    schema: &Arc<Schema>,
+    sigma: &[NormalCind],
+) -> Result<Database, WitnessError> {
+    build_witness_bounded(schema, sigma, 1 << 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::normalize::normalize_all;
+    use crate::satisfy::satisfies_all;
+
+    #[test]
+    fn witness_for_figure_2_satisfies_sigma() {
+        let schema = condep_model::fixtures::bank_schema();
+        let sigma = normalize_all(&fixtures::figure_2());
+        let db = build_witness(&schema, &sigma).expect("Theorem 3.2");
+        assert!(!db.is_empty(), "the witness must be nonempty");
+        assert!(satisfies_all(&db, &sigma), "the witness must satisfy Σ");
+    }
+
+    #[test]
+    fn witness_for_empty_sigma_is_single_tuples() {
+        let schema = fixtures::example_5_1_schema(false);
+        let db = build_witness(&schema, &[]).unwrap();
+        assert!(!db.is_empty());
+        // One fresh value per infinite attribute ⇒ one tuple per relation.
+        for (_, inst) in db.iter() {
+            assert_eq!(inst.len(), 1);
+        }
+    }
+
+    #[test]
+    fn witness_for_example_5_1_and_5_4() {
+        for (schema, cinds) in [
+            {
+                let s = fixtures::example_5_1_schema(true);
+                let c = fixtures::example_5_1_cinds(&s);
+                (s, c)
+            },
+            {
+                let s = fixtures::example_5_4_schema();
+                let c = fixtures::example_5_4_cinds(&s);
+                (s, c)
+            },
+        ] {
+            let db = build_witness(&schema, &cinds).expect("always consistent");
+            assert!(!db.is_empty());
+            assert!(satisfies_all(&db, &cinds));
+        }
+    }
+
+    #[test]
+    fn incompatible_domains_are_rejected() {
+        // X attribute infinite, Y attribute finite: dom(A) ⊄ dom(B).
+        let schema = std::sync::Arc::new(
+            condep_model::Schema::builder()
+                .relation("r", &[("a", Domain::string())])
+                .relation("s", &[("b", Domain::finite_strs(&["x"]))])
+                .finish(),
+        );
+        let cind = NormalCind::parse(&schema, "r", &["a"], &[], "s", &["b"], &[]).unwrap();
+        assert!(!domains_compatible(&schema, &cind));
+        assert!(matches!(
+            build_witness(&schema, &[cind]),
+            Err(WitnessError::IncompatibleDomains { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_outside_domain_is_rejected() {
+        let schema = std::sync::Arc::new(
+            condep_model::Schema::builder()
+                .relation("r", &[("a", Domain::finite_strs(&["x", "y"]))])
+                .finish(),
+        );
+        // Pattern demands a = "z", which is not in the domain. Build the
+        // CIND without `parse` validation on values.
+        let rel = schema.rel_id("r").unwrap();
+        let a = schema.relation(rel).unwrap().attr_id("a").unwrap();
+        let cind = NormalCind::new(
+            rel,
+            rel,
+            vec![],
+            vec![],
+            vec![(a, Value::str("z"))],
+            vec![],
+        );
+        assert!(matches!(
+            build_witness(&schema, &[cind]),
+            Err(WitnessError::ConstantOutsideDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn size_cap_is_enforced() {
+        let schema = std::sync::Arc::new(
+            condep_model::Schema::builder()
+                .relation(
+                    "r",
+                    &[
+                        ("a", Domain::finite_ints(10)),
+                        ("b", Domain::finite_ints(10)),
+                        ("c", Domain::finite_ints(10)),
+                    ],
+                )
+                .finish(),
+        );
+        assert!(matches!(
+            build_witness_bounded(&schema, &[], 100),
+            Err(WitnessError::TooLarge { .. })
+        ));
+        assert!(build_witness_bounded(&schema, &[], 1000).is_ok());
+    }
+
+    #[test]
+    fn flow_closure_shares_values_across_relations() {
+        // r.a (infinite) flows into s.b (infinite): the fresh value of
+        // r.a must appear in s.b's active domain, or the IND would fail.
+        let schema = std::sync::Arc::new(
+            condep_model::Schema::builder()
+                .relation_str("r", &["a"])
+                .relation_str("s", &["b"])
+                .finish(),
+        );
+        let cind = NormalCind::parse(&schema, "r", &["a"], &[], "s", &["b"], &[]).unwrap();
+        let db = build_witness(&schema, std::slice::from_ref(&cind)).unwrap();
+        assert!(satisfies_all(&db, &[cind]));
+    }
+
+    #[test]
+    fn domain_containment_cases() {
+        use condep_model::BaseType;
+        assert!(domain_contained(&Domain::string(), &Domain::string()));
+        assert!(domain_contained(
+            &Domain::finite_strs(&["a"]),
+            &Domain::string()
+        ));
+        assert!(domain_contained(
+            &Domain::finite_strs(&["a"]),
+            &Domain::finite_strs(&["a", "b"])
+        ));
+        assert!(!domain_contained(
+            &Domain::finite_strs(&["a", "c"]),
+            &Domain::finite_strs(&["a", "b"])
+        ));
+        assert!(!domain_contained(&Domain::string(), &Domain::finite_strs(&["a"])));
+        assert!(!domain_contained(
+            &Domain::integer(),
+            &Domain::Infinite(BaseType::Str)
+        ));
+    }
+}

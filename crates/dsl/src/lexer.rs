@@ -1,0 +1,418 @@
+//! Tokenizer for the dependency-definition language.
+
+use std::fmt;
+
+/// A source position (1-based line and column), carried on every token
+/// and every parse error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Bare identifier / keyword (`relation`, `cfd`, attribute names, …).
+    Ident(String),
+    /// Quoted string literal (supports `\"` and `\\` escapes).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `_`
+    Underscore,
+    /// `->`
+    Arrow,
+    /// `||`
+    Bars,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Underscore => write!(f, "`_`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::Bars => write!(f, "`||`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A positioned token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// A lexical error with its position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the problem is.
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+/// Tokenizes `src`. `//` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        let pos = Pos { line, col };
+        let Some(&c) = chars.peek() else {
+            out.push(Token { tok: Tok::Eof, pos });
+            return Ok(out);
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&n) = chars.peek() {
+                        if n == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    return Err(LexError {
+                        message: "expected `//` comment".into(),
+                        pos,
+                    });
+                }
+            }
+            '(' => {
+                bump!();
+                out.push(Token { tok: Tok::LParen, pos });
+            }
+            ')' => {
+                bump!();
+                out.push(Token { tok: Tok::RParen, pos });
+            }
+            '{' => {
+                bump!();
+                out.push(Token { tok: Tok::LBrace, pos });
+            }
+            '}' => {
+                bump!();
+                out.push(Token { tok: Tok::RBrace, pos });
+            }
+            '[' => {
+                bump!();
+                out.push(Token { tok: Tok::LBracket, pos });
+            }
+            ']' => {
+                bump!();
+                out.push(Token { tok: Tok::RBracket, pos });
+            }
+            ',' => {
+                bump!();
+                out.push(Token { tok: Tok::Comma, pos });
+            }
+            ';' => {
+                bump!();
+                out.push(Token { tok: Tok::Semi, pos });
+            }
+            ':' => {
+                bump!();
+                out.push(Token { tok: Tok::Colon, pos });
+            }
+            '|' => {
+                bump!();
+                if chars.peek() == Some(&'|') {
+                    bump!();
+                    out.push(Token { tok: Tok::Bars, pos });
+                } else {
+                    return Err(LexError {
+                        message: "expected `||`".into(),
+                        pos,
+                    });
+                }
+            }
+            '-' => {
+                bump!();
+                match chars.peek() {
+                    Some(&'>') => {
+                        bump!();
+                        out.push(Token { tok: Tok::Arrow, pos });
+                    }
+                    Some(&d) if d.is_ascii_digit() => {
+                        let mut n = String::from("-");
+                        while let Some(&d) = chars.peek() {
+                            if d.is_ascii_digit() {
+                                n.push(d);
+                                bump!();
+                            } else {
+                                break;
+                            }
+                        }
+                        let value = n.parse().map_err(|_| LexError {
+                            message: format!("integer literal `{n}` out of range"),
+                            pos,
+                        })?;
+                        out.push(Token {
+                            tok: Tok::Int(value),
+                            pos,
+                        });
+                    }
+                    _ => {
+                        return Err(LexError {
+                            message: "expected `->` or a negative integer".into(),
+                            pos,
+                        })
+                    }
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                pos,
+                            })
+                        }
+                        Some('"') => break,
+                        Some('\\') => match bump!() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some(other) => {
+                                return Err(LexError {
+                                    message: format!("unknown escape `\\{other}`"),
+                                    pos,
+                                })
+                            }
+                            None => {
+                                return Err(LexError {
+                                    message: "unterminated string literal".into(),
+                                    pos,
+                                })
+                            }
+                        },
+                        Some(other) => s.push(other),
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    pos,
+                });
+            }
+            d if d.is_ascii_digit() => {
+                let mut n = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        n.push(d);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let value = n.parse().map_err(|_| LexError {
+                    message: format!("integer literal `{n}` out of range"),
+                    pos,
+                })?;
+                out.push(Token {
+                    tok: Tok::Int(value),
+                    pos,
+                });
+            }
+            '_' => {
+                // `_` alone is the wildcard; `_foo` is an identifier.
+                let mut s = String::new();
+                while let Some(&a) = chars.peek() {
+                    if a.is_ascii_alphanumeric() || a == '_' {
+                        s.push(a);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                if s == "_" {
+                    out.push(Token {
+                        tok: Tok::Underscore,
+                        pos,
+                    });
+                } else {
+                    out.push(Token {
+                        tok: Tok::Ident(s),
+                        pos,
+                    });
+                }
+            }
+            a if a.is_ascii_alphabetic() => {
+                let mut s = String::new();
+                while let Some(&a) = chars.peek() {
+                    if a.is_ascii_alphanumeric() || a == '_' {
+                        s.push(a);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Ident(s),
+                    pos,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    pos,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        assert_eq!(
+            toks("relation r(a: string);"),
+            vec![
+                Tok::Ident("relation".into()),
+                Tok::Ident("r".into()),
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::Colon,
+                Tok::Ident("string".into()),
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_ints_wildcards_and_bars() {
+        assert_eq!(
+            toks(r#"(_, "4.5%" || -3, x_1)"#),
+            vec![
+                Tok::LParen,
+                Tok::Underscore,
+                Tok::Comma,
+                Tok::Str("4.5%".into()),
+                Tok::Bars,
+                Tok::Int(-3),
+                Tok::Comma,
+                Tok::Ident("x_1".into()),
+                Tok::RParen,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_comments() {
+        assert_eq!(
+            toks("a -> b // trailing comment\nc"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn escapes_in_strings() {
+        assert_eq!(
+            toks(r#""he said \"hi\" \\once""#),
+            vec![Tok::Str(r#"he said "hi" \once"#.into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(tokens[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = lex("abc $").unwrap_err();
+        assert_eq!(err.pos, Pos { line: 1, col: 5 });
+        assert!(err.message.contains('$'));
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("| alone").is_err());
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # condep-dsl
+//!
+//! A small textual language for defining schemas and conditional
+//! dependencies — the configuration-file front end a deployed
+//! data-quality tool needs (the paper's tableaux are exactly this kind
+//! of notation, typeset).
+//!
+//! ```text
+//! relation interest(ab: string, ct: string,
+//!                   at: {checking, saving}, rt: string);
+//! relation saving(an: string, cn: string, ca: string,
+//!                 cp: string, ab: string);
+//!
+//! // fd3 refined by constants — ϕ3 of Figure 4:
+//! cfd phi3: interest(ct, at -> rt) {
+//!     (_, _ || _);
+//!     (UK, saving || "4.5%");
+//! }
+//!
+//! // ψ5 of Figure 2:
+//! cind psi5: saving[; ab] subset interest[; ab, at, ct, rt] {
+//!     (EDI || EDI, saving, UK, "4.5%");
+//! }
+//! ```
+//!
+//! * [`parse_document`] turns source text into a [`Document`] (schema +
+//!   named dependencies), with line/column-positioned errors;
+//! * [`print_document`] renders a document back to canonical text; the
+//!   round trip is identity on the canonical form (tested).
+
+mod lexer;
+mod parser;
+mod printer;
+
+pub use parser::{parse_document, Document, ParseError};
+pub use printer::print_document;

@@ -1,0 +1,195 @@
+//! Canonical printing of documents — the inverse of the parser.
+
+use crate::parser::Document;
+use condep_model::{Domain, PValue, Value};
+use std::fmt::Write;
+
+fn value(v: &Value) -> String {
+    match v {
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        // Bare identifiers stay bare; anything else is quoted.
+        Value::Str(s) => {
+            let s: &str = s;
+            let bare = !s.is_empty()
+                && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+                && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && s != "true"
+                && s != "false";
+            if bare {
+                s.to_string()
+            } else {
+                format!("{s:?}")
+            }
+        }
+    }
+}
+
+fn cell(c: &PValue) -> String {
+    match c {
+        PValue::Any => "_".to_string(),
+        PValue::Const(v) => value(v),
+    }
+}
+
+fn domain(d: &Domain) -> String {
+    match d.values() {
+        None => match d.base_type() {
+            condep_model::BaseType::Str => "string".to_string(),
+            condep_model::BaseType::Int => "int".to_string(),
+            condep_model::BaseType::Bool => "bool".to_string(),
+        },
+        Some(vs) => {
+            // The two-element boolean domain prints as `bool`.
+            if vs == [Value::bool(false), Value::bool(true)] {
+                return "bool".to_string();
+            }
+            let items: Vec<String> = vs.iter().map(value).collect();
+            format!("{{{}}}", items.join(", "))
+        }
+    }
+}
+
+/// Renders a document in the canonical form accepted by
+/// [`crate::parse_document`]; `parse ∘ print` is the identity on the
+/// data (round-trip tested).
+pub fn print_document(doc: &Document) -> String {
+    let mut out = String::new();
+    for (_, rs) in doc.schema.iter() {
+        let attrs: Vec<String> = rs
+            .attributes()
+            .iter()
+            .map(|a| format!("{}: {}", a.name(), domain(a.domain())))
+            .collect();
+        let _ = writeln!(out, "relation {}({});", rs.name(), attrs.join(", "));
+    }
+    for (name, cfd) in &doc.cfds {
+        let rs = doc
+            .schema
+            .relation(cfd.rel())
+            .expect("document schemas are closed");
+        let names = |attrs: &[condep_model::AttrId]| {
+            attrs
+                .iter()
+                .map(|a| rs.attribute(*a).expect("attr in range").name().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(
+            out,
+            "cfd {name}: {}({} -> {}) {{",
+            rs.name(),
+            names(cfd.lhs()),
+            names(cfd.rhs())
+        );
+        for row in cfd.tableau() {
+            let (l, r) = cfd.split_row(row);
+            let fmt_cells =
+                |cs: &[PValue]| cs.iter().map(cell).collect::<Vec<_>>().join(", ");
+            let _ = writeln!(out, "    ({} || {});", fmt_cells(l), fmt_cells(r));
+        }
+        let _ = writeln!(out, "}}");
+    }
+    for (name, cind) in &doc.cinds {
+        let (Ok(ls), Ok(rs)) = (
+            doc.schema.relation(cind.lhs_rel()),
+            doc.schema.relation(cind.rhs_rel()),
+        ) else {
+            continue;
+        };
+        let names = |rel: &condep_model::RelationSchema, attrs: &[condep_model::AttrId]| {
+            attrs
+                .iter()
+                .map(|a| rel.attribute(*a).expect("attr in range").name().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(
+            out,
+            "cind {name}: {}[{}; {}] subset {}[{}; {}] {{",
+            ls.name(),
+            names(ls, cind.x()),
+            names(ls, cind.xp()),
+            rs.name(),
+            names(rs, cind.y()),
+            names(rs, cind.yp())
+        );
+        for row in cind.tableau() {
+            let (x, xp, y, yp) = cind.split_row(row);
+            let fmt_cells =
+                |cs: &[PValue]| cs.iter().map(cell).collect::<Vec<_>>().join(", ");
+            let lhs = [fmt_cells(x), fmt_cells(xp)]
+                .into_iter()
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let rhs = [fmt_cells(y), fmt_cells(yp)]
+                .into_iter()
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "    ({lhs} || {rhs});");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_document;
+
+    const SRC: &str = r#"
+        relation checking(an: string, cn: string, ca: string,
+                          cp: string, ab: string);
+        relation interest(ab: string, ct: string,
+                          at: {checking, saving}, rt: string);
+        cfd phi: interest(ct, at -> rt) {
+            (_, _ || _);
+            (UK, checking || "1.5%");
+        }
+        cind psi: checking[; ab] subset interest[; ab, at, ct, rt] {
+            (EDI || EDI, checking, UK, "1.5%");
+        }
+    "#;
+
+    #[test]
+    fn round_trip_is_stable() {
+        let doc1 = parse_document(SRC).unwrap();
+        let text1 = print_document(&doc1);
+        let doc2 = parse_document(&text1).unwrap();
+        let text2 = print_document(&doc2);
+        assert_eq!(text1, text2, "print ∘ parse must be idempotent");
+        // And the parsed artifacts are identical.
+        assert_eq!(doc1.schema.len(), doc2.schema.len());
+        assert_eq!(doc1.cfds.len(), doc2.cfds.len());
+        assert_eq!(doc1.cinds.len(), doc2.cinds.len());
+        assert_eq!(doc1.cfd("phi"), doc2.cfd("phi"));
+        assert_eq!(doc1.cind("psi"), doc2.cind("psi"));
+    }
+
+    #[test]
+    fn strings_needing_quotes_are_quoted() {
+        let doc = parse_document(
+            "relation r(a: string, b: string);\n\
+             cfd r(a -> b) { (\"with space\" || \"4.5%\"); }",
+        )
+        .unwrap();
+        let text = print_document(&doc);
+        assert!(text.contains("\"with space\""));
+        assert!(text.contains("\"4.5%\""));
+        // Round trip preserves them.
+        let doc2 = parse_document(&text).unwrap();
+        assert_eq!(doc.cfd("cfd0"), doc2.cfd("cfd0"));
+    }
+
+    #[test]
+    fn bool_and_int_domains_print_canonically() {
+        let doc = parse_document("relation r(a: bool, b: int, c: {1, 2});").unwrap();
+        let text = print_document(&doc);
+        assert!(text.contains("a: bool"));
+        assert!(text.contains("b: int"));
+        assert!(text.contains("c: {1, 2}"));
+    }
+}

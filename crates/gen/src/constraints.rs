@@ -1,0 +1,485 @@
+//! Random constraint-set generation (Section 6).
+//!
+//! Two modes:
+//!
+//! * **consistent** — constraints are generated around a *hidden
+//!   witness*: one tuple per relation, drawn first; every emitted CFD
+//!   and CIND is checked (by construction) to hold on the witness
+//!   database, so the set is consistent with a known certificate. This
+//!   matches the paper's "ensuring that there exists at least one
+//!   possible value for each attribute so as to make a witness database
+//!   of Σ".
+//! * **random** — the same shapes with unconstrained constants; such
+//!   sets may or may not be consistent (Figure 11(c) feeds them to the
+//!   checkers).
+
+use condep_cfd::NormalCfd;
+use condep_core::NormalCind;
+use condep_model::{
+    AttrId, Database, PValue, PatternRow, RelId, Schema, Tuple, Value,
+};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Parameters of the Σ generator.
+#[derive(Clone, Copy, Debug)]
+pub struct SigmaGenConfig {
+    /// `card(Σ)` — total number of constraints.
+    pub cardinality: usize,
+    /// Fraction of CFDs ("Σ consisted of 75% of CFDs and 25% of CINDs").
+    pub cfd_fraction: f64,
+    /// Generate a guaranteed-consistent set around a hidden witness.
+    pub consistent: bool,
+    /// Size of the shared constant pool for infinite-domain attributes
+    /// (small pools create value coincidences, which make CINDs with
+    /// non-empty `X` lists generable).
+    pub constant_pool: usize,
+    /// In consistent mode, the probability that a conclusion constant on
+    /// a *witness-missing* branch still copies the hidden witness value.
+    ///
+    /// At `1.0` (the default) all conclusion constants agree with the
+    /// witness, so forced values never interlock — this reproduces the
+    /// paper's regime ("the difficulty of generating consistent datasets
+    /// that were complex enough for the algorithm to fail"). Lowering it
+    /// scatters random conclusions that interact into near-traps, making
+    /// consistent sets adversarially hard while still consistent — the
+    /// `ablation` bench sweeps this.
+    pub witness_bias: f64,
+}
+
+impl Default for SigmaGenConfig {
+    fn default() -> Self {
+        SigmaGenConfig {
+            cardinality: 1_000,
+            cfd_fraction: 0.75,
+            consistent: true,
+            constant_pool: 10,
+            witness_bias: 1.0,
+        }
+    }
+}
+
+/// The hidden witness: one tuple per relation. The database placing each
+/// tuple in its relation satisfies every constraint of a `consistent`
+/// generation run.
+#[derive(Clone, Debug)]
+pub struct HiddenWitness {
+    tuples: Vec<Tuple>,
+}
+
+impl HiddenWitness {
+    /// The witness tuple of `rel`.
+    pub fn tuple(&self, rel: RelId) -> &Tuple {
+        &self.tuples[rel.index()]
+    }
+
+    /// Materializes the witness database.
+    pub fn database(&self, schema: &Arc<Schema>) -> Database {
+        let mut db = Database::empty(schema.clone());
+        for (i, t) in self.tuples.iter().enumerate() {
+            db.insert(RelId(i as u32), t.clone())
+                .expect("witness well-typed");
+        }
+        db
+    }
+}
+
+fn pool_value<R: Rng>(pool: usize, rng: &mut R) -> Value {
+    Value::str(format!("c{}", rng.gen_range(0..pool.max(1))))
+}
+
+fn random_domain_value<R: Rng>(schema: &Schema, rel: RelId, attr: AttrId, pool: usize, rng: &mut R) -> Value {
+    let dom = schema
+        .relation(rel)
+        .expect("rel in range")
+        .attribute(attr)
+        .expect("attr in range")
+        .domain()
+        .clone();
+    match dom.values() {
+        Some(vs) => vs[rng.gen_range(0..vs.len())].clone(),
+        None => pool_value(pool, rng),
+    }
+}
+
+fn draw_witness<R: Rng>(schema: &Schema, pool: usize, rng: &mut R) -> HiddenWitness {
+    let tuples = schema
+        .iter()
+        .map(|(rel, rs)| {
+            Tuple::new(
+                rs.iter()
+                    .map(|(a, _)| random_domain_value(schema, rel, a, pool, rng))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    HiddenWitness { tuples }
+}
+
+/// Generates one CFD. In consistent mode the hidden witness tuple `w`
+/// must satisfy it: either the premise misses `w`, or the conclusion
+/// agrees with `w`.
+fn generate_cfd<R: Rng>(
+    schema: &Schema,
+    witness: Option<&HiddenWitness>,
+    cfg: &SigmaGenConfig,
+    rng: &mut R,
+) -> NormalCfd {
+    let pool = cfg.constant_pool;
+    let rel = RelId(rng.gen_range(0..schema.len()) as u32);
+    let rs = schema.relation(rel).expect("rel in range");
+    let arity = rs.arity();
+    // LHS: 1–3 distinct attributes; RHS: another attribute.
+    let mut attrs: Vec<u32> = (0..arity as u32).collect();
+    attrs.shuffle(rng);
+    let lhs_len = rng.gen_range(1..=3.min(arity.saturating_sub(1)).max(1));
+    let lhs: Vec<AttrId> = attrs[..lhs_len].iter().map(|a| AttrId(*a)).collect();
+    let rhs = AttrId(attrs[lhs_len.min(attrs.len() - 1)]);
+
+    let w = witness.map(|h| h.tuple(rel));
+    // Decide whether the premise should match the witness.
+    let premise_matches = w.is_none() || rng.gen_bool(0.5);
+    let mut cells = Vec::with_capacity(lhs.len());
+    let mut actually_matches = true;
+    for a in &lhs {
+        let wildcard = rng.gen_bool(0.5);
+        if wildcard {
+            cells.push(PValue::Any);
+            continue;
+        }
+        let v = match (w, premise_matches) {
+            (Some(w), true) => w[*a].clone(),
+            (Some(w), false) => {
+                // A constant different from the witness value, if the
+                // domain offers one.
+                let dom = rs.attribute(*a).expect("attr").domain().clone();
+                dom.fresh_value([&w[*a]])
+                    .unwrap_or_else(|| w[*a].clone())
+            }
+            (None, _) => random_domain_value(schema, rel, *a, pool, rng),
+        };
+        if let Some(w) = w {
+            if w[*a] != v {
+                actually_matches = false;
+            }
+        }
+        cells.push(PValue::Const(v));
+    }
+    let rhs_pat = if rng.gen_bool(0.4) {
+        PValue::Any
+    } else {
+        match (w, actually_matches) {
+            (Some(w), true) => PValue::Const(w[rhs].clone()),
+            // Premise misses the witness: any conclusion keeps the set
+            // consistent, but conclusions that disagree with the witness
+            // interlock into near-traps. `witness_bias` controls how
+            // often that happens (1.0 = never, the paper's regime).
+            (Some(w), false) if rng.gen_bool(cfg.witness_bias.clamp(0.0, 1.0)) => {
+                PValue::Const(w[rhs].clone())
+            }
+            _ => PValue::Const(random_domain_value(schema, rel, rhs, pool, rng)),
+        }
+    };
+    NormalCfd::new(rel, lhs, PatternRow::new(cells), rhs, rhs_pat)
+}
+
+/// Picks up to `want` matched column pairs `(xi, yi)` between two
+/// relations such that both sides are infinite-domain (always
+/// join-compatible) and — in consistent mode — the witness values agree.
+fn matched_columns<R: Rng>(
+    schema: &Schema,
+    lhs_rel: RelId,
+    rhs_rel: RelId,
+    witness: Option<&HiddenWitness>,
+    want: usize,
+    rng: &mut R,
+) -> Vec<(AttrId, AttrId)> {
+    let ls = schema.relation(lhs_rel).expect("rel");
+    let rs = schema.relation(rhs_rel).expect("rel");
+    let mut candidates: Vec<(AttrId, AttrId)> = Vec::new();
+    for (xa, x_attr) in ls.iter() {
+        if x_attr.is_finite() {
+            continue;
+        }
+        for (ya, y_attr) in rs.iter() {
+            if y_attr.is_finite() {
+                continue;
+            }
+            if lhs_rel == rhs_rel && xa == ya {
+                continue;
+            }
+            let ok = match witness {
+                None => true,
+                Some(h) => h.tuple(lhs_rel)[xa] == h.tuple(rhs_rel)[ya],
+            };
+            if ok {
+                candidates.push((xa, ya));
+            }
+        }
+    }
+    candidates.shuffle(rng);
+    // Keep distinct attributes on both sides.
+    let mut out: Vec<(AttrId, AttrId)> = Vec::new();
+    for (xa, ya) in candidates {
+        if out.len() >= want {
+            break;
+        }
+        if out.iter().any(|(x, y)| *x == xa || *y == ya) {
+            continue;
+        }
+        out.push((xa, ya));
+    }
+    out
+}
+
+/// Generates one CIND. In consistent mode the hidden witness database
+/// must satisfy it: either the trigger misses the source witness
+/// (guaranteed by an explicit trigger-breaking `Xp` entry), or the
+/// matched columns and RHS pattern agree with the target witness.
+fn generate_cind<R: Rng>(
+    schema: &Schema,
+    witness: Option<&HiddenWitness>,
+    cfg: &SigmaGenConfig,
+    rng: &mut R,
+) -> NormalCind {
+    let pool = cfg.constant_pool;
+    let lhs_rel = RelId(rng.gen_range(0..schema.len()) as u32);
+    let rhs_rel = RelId(rng.gen_range(0..schema.len()) as u32);
+    let ls = schema.relation(lhs_rel).expect("rel");
+    let rs = schema.relation(rhs_rel).expect("rel");
+
+    // Decide whether the CIND should trigger on the witness. A
+    // non-triggering CIND needs an Xp entry whose constant differs from
+    // the witness value; find one up front, falling back to triggering
+    // when no attribute offers an alternative value.
+    let mut triggering = witness.is_none() || rng.gen_bool(0.5);
+    let mut forced_break: Option<(AttrId, Value)> = None;
+    if !triggering {
+        let h = witness.expect("non-triggering implies consistent mode");
+        let mut cands: Vec<AttrId> = ls.iter().map(|(a, _)| a).collect();
+        cands.shuffle(rng);
+        for a in cands {
+            let dom = ls.attribute(a).expect("attr").domain().clone();
+            if let Some(v) = dom.fresh_value([&h.tuple(lhs_rel)[a]]) {
+                forced_break = Some((a, v));
+                break;
+            }
+        }
+        if forced_break.is_none() {
+            triggering = true;
+        }
+    }
+
+    // Matched columns. For triggering consistent CINDs the witness values
+    // must agree across the pair; otherwise any infinite pair works.
+    let want_x = rng.gen_range(0..=2usize);
+    let witness_for_pairs = if triggering { witness } else { None };
+    let mut pairs = matched_columns(schema, lhs_rel, rhs_rel, witness_for_pairs, want_x, rng);
+    if let Some((break_attr, _)) = &forced_break {
+        pairs.retain(|(xa, _)| xa != break_attr);
+    }
+    let x: Vec<AttrId> = pairs.iter().map(|(a, _)| *a).collect();
+    let y: Vec<AttrId> = pairs.iter().map(|(_, b)| *b).collect();
+
+    // Xp: the trigger-breaking entry (if any) plus 0–2 extra conditions.
+    let mut xp: Vec<(AttrId, Value)> = Vec::new();
+    if let Some(pair) = forced_break.clone() {
+        xp.push(pair);
+    }
+    let mut xp_candidates: Vec<AttrId> = ls
+        .iter()
+        .map(|(a, _)| a)
+        .filter(|a| !x.contains(a) && !xp.iter().any(|(b, _)| b == a))
+        .collect();
+    xp_candidates.shuffle(rng);
+    let xp_len = rng.gen_range(0..=2.min(xp_candidates.len()));
+    for a in xp_candidates.into_iter().take(xp_len) {
+        let v = match (witness, triggering) {
+            // Triggering: the condition must hold on the witness.
+            (Some(h), true) => h.tuple(lhs_rel)[a].clone(),
+            // Non-triggering: the break is already in place, anything
+            // goes.
+            _ => random_domain_value(schema, lhs_rel, a, pool, rng),
+        };
+        xp.push((a, v));
+    }
+
+    // Yp: 0–3 conditions on attributes outside Y; for a triggering
+    // consistent CIND they must hold on the target witness.
+    let mut yp: Vec<(AttrId, Value)> = Vec::new();
+    let mut yp_candidates: Vec<AttrId> = rs
+        .iter()
+        .map(|(a, _)| a)
+        .filter(|a| !y.contains(a))
+        .collect();
+    yp_candidates.shuffle(rng);
+    let yp_len = rng.gen_range(0..=3.min(yp_candidates.len()));
+    for a in yp_candidates.into_iter().take(yp_len) {
+        let v = match (witness, triggering) {
+            (Some(h), true) => h.tuple(rhs_rel)[a].clone(),
+            // Non-triggering CINDs may demand arbitrary target patterns,
+            // but witness-disagreeing demands interlock with the CFDs
+            // during the chase — `witness_bias` controls them too.
+            (Some(h), false) if rng.gen_bool(cfg.witness_bias.clamp(0.0, 1.0)) => {
+                h.tuple(rhs_rel)[a].clone()
+            }
+            _ => random_domain_value(schema, rhs_rel, a, pool, rng),
+        };
+        yp.push((a, v));
+    }
+
+    NormalCind::new(lhs_rel, rhs_rel, x, y, xp, yp)
+}
+
+/// Generates Σ. Returns the CFDs, the CINDs, and — in consistent mode —
+/// the hidden witness certifying consistency.
+pub fn generate_sigma<R: Rng>(
+    schema: &Arc<Schema>,
+    cfg: &SigmaGenConfig,
+    rng: &mut R,
+) -> (Vec<NormalCfd>, Vec<NormalCind>, Option<HiddenWitness>) {
+    let witness = cfg
+        .consistent
+        .then(|| draw_witness(schema, cfg.constant_pool, rng));
+    let n_cfds = ((cfg.cardinality as f64) * cfg.cfd_fraction.clamp(0.0, 1.0)).round() as usize;
+    let n_cinds = cfg.cardinality.saturating_sub(n_cfds);
+    let mut cfds = Vec::with_capacity(n_cfds);
+    for _ in 0..n_cfds {
+        cfds.push(generate_cfd(schema, witness.as_ref(), cfg, rng));
+    }
+    let mut cinds = Vec::with_capacity(n_cinds);
+    for _ in 0..n_cinds {
+        cinds.push(generate_cind(schema, witness.as_ref(), cfg, rng));
+    }
+    (cfds, cinds, witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{random_schema, SchemaGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema(seed: u64, finite_ratio: f64) -> Arc<Schema> {
+        let cfg = SchemaGenConfig {
+            relations: 8,
+            attrs_min: 3,
+            attrs_max: 8,
+            finite_ratio,
+            finite_dom_min: 2,
+            finite_dom_max: 10,
+        };
+        random_schema(&cfg, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn consistent_sigma_is_satisfied_by_its_witness() {
+        for seed in 0..10u64 {
+            let schema = schema(seed, 0.25);
+            let cfg = SigmaGenConfig {
+                cardinality: 120,
+                consistent: true,
+                ..SigmaGenConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed * 31 + 1);
+            let (cfds, cinds, witness) = generate_sigma(&schema, &cfg, &mut rng);
+            let witness = witness.expect("consistent mode");
+            let db = witness.database(&schema);
+            assert!(
+                condep_cfd::satisfy::satisfies_all(&db, &cfds),
+                "witness must satisfy all generated CFDs (seed {seed})"
+            );
+            assert!(
+                condep_core::satisfy::satisfies_all(&db, &cinds),
+                "witness must satisfy all generated CINDs (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn cardinality_split_matches_the_fraction() {
+        let schema = schema(1, 0.2);
+        let cfg = SigmaGenConfig {
+            cardinality: 200,
+            cfd_fraction: 0.75,
+            ..SigmaGenConfig::default()
+        };
+        let (cfds, cinds, _) =
+            generate_sigma(&schema, &cfg, &mut StdRng::seed_from_u64(2));
+        assert_eq!(cfds.len(), 150);
+        assert_eq!(cinds.len(), 50);
+    }
+
+    #[test]
+    fn random_mode_emits_no_witness() {
+        let schema = schema(3, 0.25);
+        let cfg = SigmaGenConfig {
+            cardinality: 50,
+            consistent: false,
+            ..SigmaGenConfig::default()
+        };
+        let (cfds, cinds, witness) =
+            generate_sigma(&schema, &cfg, &mut StdRng::seed_from_u64(4));
+        assert!(witness.is_none());
+        assert_eq!(cfds.len() + cinds.len(), 50);
+    }
+
+    #[test]
+    fn cind_matched_columns_are_infinite_and_distinct() {
+        let schema = schema(5, 0.5);
+        let cfg = SigmaGenConfig {
+            cardinality: 200,
+            consistent: false,
+            ..SigmaGenConfig::default()
+        };
+        let (_, cinds, _) = generate_sigma(&schema, &cfg, &mut StdRng::seed_from_u64(6));
+        for c in &cinds {
+            let ls = schema.relation(c.lhs_rel()).unwrap();
+            let rs = schema.relation(c.rhs_rel()).unwrap();
+            for (xa, ya) in c.x().iter().zip(c.y()) {
+                assert!(!ls.attribute(*xa).unwrap().is_finite());
+                assert!(!rs.attribute(*ya).unwrap().is_finite());
+            }
+            // Distinct x attrs and distinct y attrs.
+            let mut xs = c.x().to_vec();
+            xs.dedup();
+            assert_eq!(xs.len(), c.x().len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let schema = schema(7, 0.25);
+        let cfg = SigmaGenConfig::default();
+        let (c1, i1, _) = generate_sigma(&schema, &cfg, &mut StdRng::seed_from_u64(9));
+        let (c2, i2, _) = generate_sigma(&schema, &cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(c1, c2);
+        assert_eq!(i1, i2);
+    }
+
+    #[test]
+    fn constants_lie_in_their_domains() {
+        let schema = schema(11, 0.4);
+        let cfg = SigmaGenConfig {
+            cardinality: 150,
+            consistent: false,
+            ..SigmaGenConfig::default()
+        };
+        let (cfds, cinds, _) =
+            generate_sigma(&schema, &cfg, &mut StdRng::seed_from_u64(12));
+        for cfd in &cfds {
+            let rs = schema.relation(cfd.rel()).unwrap();
+            for (a, v) in cfd.pattern_constants() {
+                assert!(rs.attribute(a).unwrap().domain().contains(&v));
+            }
+        }
+        for cind in &cinds {
+            for (rel, a, v) in cind.constants() {
+                let rs = schema.relation(rel).unwrap();
+                assert!(rs.attribute(a).unwrap().domain().contains(v));
+            }
+        }
+    }
+}

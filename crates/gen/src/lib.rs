@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # condep-gen
+//!
+//! Seeded workload generators reproducing the experimental setting of
+//! Section 6:
+//!
+//! * schemas with up to 100 relations, at most 15 attributes each, a
+//!   configurable ratio `F` of finite-domain attributes, and finite
+//!   domains of 2–100 elements ([`schema`]);
+//! * random sets Σ of 75% CFDs / 25% CINDs of any cardinality
+//!   ([`constraints`]), in two flavours:
+//!   - **consistent** sets, built around a hidden single-tuple-per-
+//!     relation witness ("we took care to generate a consistent set Σ …
+//!     by ensuring that there exists at least one possible value for
+//!     each attribute so as to make a witness database");
+//!   - **random** sets with no consistency guarantee;
+//! * dirty databases for the data-cleaning example and benches
+//!   ([`data`]): an instance satisfying Σ with a controlled fraction of
+//!   injected violations.
+//!
+//! All generators take an explicit [`rand::rngs::StdRng`], so every
+//! experiment is reproducible from its seed.
+
+pub mod constraints;
+pub mod data;
+pub mod schema;
+
+pub use constraints::{generate_sigma, HiddenWitness, SigmaGenConfig};
+pub use data::{dirty_database, DirtyDataConfig};
+pub use schema::{random_schema, SchemaGenConfig};

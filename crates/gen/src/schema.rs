@@ -1,0 +1,130 @@
+//! Random schema generation (Section 6 experimental setting).
+
+use condep_model::{Attribute, Domain, RelationSchema, Schema};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Parameters of the schema generator.
+#[derive(Clone, Copy, Debug)]
+pub struct SchemaGenConfig {
+    /// Number of relations (20 in most experiments, up to 100 in
+    /// Figure 11(d)).
+    pub relations: usize,
+    /// Minimum attributes per relation.
+    pub attrs_min: usize,
+    /// Maximum attributes per relation ("at most 15 attributes").
+    pub attrs_max: usize,
+    /// `F` — the ratio of finite-domain attributes (0%–25%).
+    pub finite_ratio: f64,
+    /// Smallest finite-domain size ("2 to 100 elements").
+    pub finite_dom_min: usize,
+    /// Largest finite-domain size.
+    pub finite_dom_max: usize,
+}
+
+impl Default for SchemaGenConfig {
+    fn default() -> Self {
+        SchemaGenConfig {
+            relations: 20,
+            attrs_min: 3,
+            attrs_max: 15,
+            finite_ratio: 0.25,
+            finite_dom_min: 2,
+            finite_dom_max: 100,
+        }
+    }
+}
+
+/// Generates a random schema.
+///
+/// Every relation keeps its first attribute infinite (a guaranteed
+/// join-compatible column for CIND generation); the remaining attributes
+/// are finite with probability `F`. Finite domains are integer ranges
+/// `{0, …, n−1}`, matching the paper's "each finite domain was set to
+/// have 2 to 100 elements".
+pub fn random_schema<R: Rng>(cfg: &SchemaGenConfig, rng: &mut R) -> Arc<Schema> {
+    let mut relations = Vec::with_capacity(cfg.relations);
+    for r in 0..cfg.relations {
+        let arity = rng.gen_range(cfg.attrs_min..=cfg.attrs_max.max(cfg.attrs_min));
+        let mut attrs = Vec::with_capacity(arity);
+        for a in 0..arity {
+            let finite = a > 0 && rng.gen_bool(cfg.finite_ratio.clamp(0.0, 1.0));
+            let domain = if finite {
+                let n = rng.gen_range(cfg.finite_dom_min..=cfg.finite_dom_max);
+                Domain::finite_ints(n.max(2))
+            } else {
+                Domain::string()
+            };
+            attrs.push(Attribute::new(format!("a{a}"), domain));
+        }
+        relations.push(
+            RelationSchema::new(format!("rel{r}"), attrs).expect("generated names unique"),
+        );
+    }
+    Arc::new(Schema::new(relations).expect("generated names unique"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_relation_and_arity_bounds() {
+        let cfg = SchemaGenConfig {
+            relations: 20,
+            attrs_min: 3,
+            attrs_max: 15,
+            ..SchemaGenConfig::default()
+        };
+        let schema = random_schema(&cfg, &mut StdRng::seed_from_u64(1));
+        assert_eq!(schema.len(), 20);
+        for (_, rs) in schema.iter() {
+            assert!(rs.arity() >= 3 && rs.arity() <= 15);
+            // First attribute always infinite.
+            assert!(!rs.attributes()[0].is_finite());
+        }
+    }
+
+    #[test]
+    fn finite_ratio_zero_gives_all_infinite() {
+        let cfg = SchemaGenConfig {
+            finite_ratio: 0.0,
+            ..SchemaGenConfig::default()
+        };
+        let schema = random_schema(&cfg, &mut StdRng::seed_from_u64(2));
+        assert!(!schema.has_finite_attrs());
+    }
+
+    #[test]
+    fn finite_ratio_produces_finite_attrs() {
+        let cfg = SchemaGenConfig {
+            finite_ratio: 0.5,
+            relations: 10,
+            ..SchemaGenConfig::default()
+        };
+        let schema = random_schema(&cfg, &mut StdRng::seed_from_u64(3));
+        assert!(schema.has_finite_attrs());
+        // Domain sizes in [2, 100].
+        for (_, rs) in schema.iter() {
+            for a in rs.attributes() {
+                if let Some(n) = a.domain().size() {
+                    assert!((2..=100).contains(&n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = SchemaGenConfig::default();
+        let s1 = random_schema(&cfg, &mut StdRng::seed_from_u64(7));
+        let s2 = random_schema(&cfg, &mut StdRng::seed_from_u64(7));
+        assert_eq!(s1.len(), s2.len());
+        for ((_, a), (_, b)) in s1.iter().zip(s2.iter()) {
+            assert_eq!(a.arity(), b.arity());
+            assert_eq!(a.name(), b.name());
+        }
+    }
+}

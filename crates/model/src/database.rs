@@ -1,0 +1,198 @@
+//! Database instances.
+
+use crate::error::ModelError;
+use crate::relation::Relation;
+use crate::schema::{RelId, Schema};
+use crate::tuple::Tuple;
+use std::fmt;
+use std::sync::Arc;
+
+/// A database instance `D = (I1, ..., In)` of a [`Schema`].
+///
+/// Insertion validates arity and domain membership, so a `Database` is
+/// well-typed by construction — dependency checkers can index fields
+/// without re-validating.
+#[derive(Clone, Debug)]
+pub struct Database {
+    schema: Arc<Schema>,
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// An empty instance of `schema`.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        let relations = (0..schema.len()).map(|_| Relation::new()).collect();
+        Database { schema, relations }
+    }
+
+    /// The schema this instance conforms to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The instance of relation `rel`.
+    pub fn relation(&self, rel: RelId) -> &Relation {
+        &self.relations[rel.index()]
+    }
+
+    /// Validates and inserts a tuple into relation `rel`. Returns
+    /// whether the tuple was new.
+    pub fn insert(&mut self, rel: RelId, t: Tuple) -> crate::Result<bool> {
+        let rs = self.schema.relation(rel)?;
+        if t.arity() != rs.arity() {
+            return Err(ModelError::ArityMismatch {
+                relation: rs.name().to_string(),
+                expected: rs.arity(),
+                actual: t.arity(),
+            });
+        }
+        for (attr_id, attr) in rs.iter() {
+            let v = &t[attr_id];
+            if !attr.domain().contains(v) {
+                return Err(ModelError::DomainViolation {
+                    relation: rs.name().to_string(),
+                    attribute: attr.name().to_string(),
+                    value: v.to_string(),
+                });
+            }
+        }
+        Ok(self.relations[rel.index()].insert(t))
+    }
+
+    /// Inserts resolving the relation by name — convenient for fixtures.
+    pub fn insert_into(&mut self, rel_name: &str, t: Tuple) -> crate::Result<bool> {
+        let rel = self.schema.rel_id(rel_name)?;
+        self.insert(rel, t)
+    }
+
+    /// Inserts many tuples into one relation.
+    pub fn insert_all<I>(&mut self, rel: RelId, tuples: I) -> crate::Result<usize>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut added = 0;
+        for t in tuples {
+            if self.insert(rel, t)? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Is every relation empty?
+    ///
+    /// The consistency problem asks for a **nonempty** instance (Section
+    /// 3.1): the empty database vacuously satisfies every CIND and CFD,
+    /// so algorithms must rule it out explicitly.
+    pub fn is_empty(&self) -> bool {
+        self.relations.iter().all(Relation::is_empty)
+    }
+
+    /// Iterator over `(RelId, &Relation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Relation)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r))
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (rel, inst) in self.iter() {
+            let rs = self.schema.relation(rel).expect("relation in range");
+            writeln!(f, "{} ({} tuples):", rs.name(), inst.len())?;
+            write!(f, "{inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::tuple;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .relation(
+                    "interest",
+                    &[
+                        ("ab", Domain::string()),
+                        ("ct", Domain::finite_strs(&["UK", "US"])),
+                    ],
+                )
+                .finish(),
+        )
+    }
+
+    #[test]
+    fn insert_validates_arity() {
+        let mut db = Database::empty(schema());
+        let err = db.insert_into("interest", tuple!["EDI"]).unwrap_err();
+        assert!(matches!(err, ModelError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn insert_validates_domains() {
+        let mut db = Database::empty(schema());
+        let err = db
+            .insert_into("interest", tuple!["EDI", "FR"])
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DomainViolation { .. }));
+        // Type errors are domain violations too.
+        let err = db
+            .insert_into("interest", tuple![1i64, "UK"])
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DomainViolation { .. }));
+    }
+
+    #[test]
+    fn insert_ok_and_dedup() {
+        let mut db = Database::empty(schema());
+        assert!(db.insert_into("interest", tuple!["EDI", "UK"]).unwrap());
+        assert!(!db.insert_into("interest", tuple!["EDI", "UK"]).unwrap());
+        assert_eq!(db.total_tuples(), 1);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn empty_database_is_empty() {
+        let db = Database::empty(schema());
+        assert!(db.is_empty());
+        assert_eq!(db.total_tuples(), 0);
+    }
+
+    #[test]
+    fn unknown_relation_name() {
+        let mut db = Database::empty(schema());
+        assert!(matches!(
+            db.insert_into("nope", tuple!["x", "UK"]),
+            Err(ModelError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn insert_all_counts_new_tuples() {
+        let mut db = Database::empty(schema());
+        let rel = db.schema().rel_id("interest").unwrap();
+        let n = db
+            .insert_all(
+                rel,
+                vec![
+                    tuple!["EDI", "UK"],
+                    tuple!["NYC", "US"],
+                    tuple!["EDI", "UK"],
+                ],
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,262 @@
+//! Attribute domains.
+//!
+//! The paper distinguishes attributes with a **finite** domain
+//! (`finattr(R)`) from those with an infinite one; the distinction is
+//! load-bearing: CIND implication is PSPACE-complete without
+//! finite-domain attributes (Theorem 3.5) and EXPTIME-complete with them
+//! (Theorem 3.4), and the inference rules CIND7/CIND8 exist solely to
+//! reason over finite domains.
+
+use crate::value::Value;
+use std::fmt;
+
+/// The underlying carrier type of a domain.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum BaseType {
+    /// Booleans — inherently finite (`{false, true}`).
+    Bool,
+    /// 64-bit integers — treated as an infinite carrier.
+    Int,
+    /// Strings — treated as an infinite carrier.
+    Str,
+}
+
+impl fmt::Display for BaseType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseType::Bool => write!(f, "bool"),
+            BaseType::Int => write!(f, "int"),
+            BaseType::Str => write!(f, "string"),
+        }
+    }
+}
+
+/// The domain `dom(A)` of an attribute.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Domain {
+    /// An infinite domain over the given carrier. `Infinite(Bool)` is not
+    /// representable — construct domains through the smart constructors,
+    /// which normalize booleans to the finite two-element domain.
+    Infinite(BaseType),
+    /// A finite domain: a sorted, deduplicated, non-empty list of values
+    /// sharing one base type.
+    Finite(Vec<Value>),
+}
+
+impl Domain {
+    /// The infinite string domain.
+    pub fn string() -> Self {
+        Domain::Infinite(BaseType::Str)
+    }
+
+    /// The infinite integer domain.
+    pub fn integer() -> Self {
+        Domain::Infinite(BaseType::Int)
+    }
+
+    /// The two-element boolean domain (always finite).
+    pub fn boolean() -> Self {
+        Domain::Finite(vec![Value::Bool(false), Value::Bool(true)])
+    }
+
+    /// A finite domain from an explicit value list.
+    ///
+    /// Values are sorted and deduplicated. Returns an error if the list is
+    /// empty or mixes base types (a domain must be homogeneous for the
+    /// match order `≍` and the chase to be meaningful).
+    pub fn finite<I>(values: I) -> crate::Result<Self>
+    where
+        I: IntoIterator,
+        I::Item: Into<Value>,
+    {
+        let mut vs: Vec<Value> = values.into_iter().map(Into::into).collect();
+        if vs.is_empty() {
+            return Err(crate::ModelError::EmptyDomain);
+        }
+        vs.sort();
+        vs.dedup();
+        let bt = vs[0].base_type();
+        if vs.iter().any(|v| v.base_type() != bt) {
+            return Err(crate::ModelError::MixedDomain);
+        }
+        Ok(Domain::Finite(vs))
+    }
+
+    /// A finite domain of string values. Panics on empty input; intended
+    /// for literal schema definitions (use [`Domain::finite`] for dynamic
+    /// input).
+    pub fn finite_strs(values: &[&str]) -> Self {
+        Domain::finite(values.iter().copied()).expect("finite_strs: non-empty homogeneous input")
+    }
+
+    /// A finite integer domain `{0, 1, ..., n-1}` — handy for generators.
+    pub fn finite_ints(n: usize) -> Self {
+        Domain::finite((0..n as i64).map(Value::Int)).expect("finite_ints: n > 0")
+    }
+
+    /// Is this a finite domain? (`A ∈ finattr(R)` in the paper.)
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Domain::Finite(_))
+    }
+
+    /// The number of elements, or `None` for infinite domains.
+    pub fn size(&self) -> Option<usize> {
+        match self {
+            Domain::Infinite(_) => None,
+            Domain::Finite(vs) => Some(vs.len()),
+        }
+    }
+
+    /// The values of a finite domain (`None` when infinite).
+    pub fn values(&self) -> Option<&[Value]> {
+        match self {
+            Domain::Infinite(_) => None,
+            Domain::Finite(vs) => Some(vs),
+        }
+    }
+
+    /// The base type of elements of this domain.
+    pub fn base_type(&self) -> BaseType {
+        match self {
+            Domain::Infinite(bt) => *bt,
+            Domain::Finite(vs) => vs[0].base_type(),
+        }
+    }
+
+    /// Membership test `v ∈ dom(A)`.
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            Domain::Infinite(bt) => v.base_type() == *bt,
+            Domain::Finite(vs) => vs.binary_search(v).is_ok(),
+        }
+    }
+
+    /// Produces a value of this domain distinct from everything in
+    /// `avoid`, if one exists.
+    ///
+    /// For infinite domains this always succeeds (the proof of Theorem 3.2
+    /// relies on picking "at most one distinct value in `dom(A)`" beyond
+    /// the constants of Σ). For finite domains it returns the smallest
+    /// unused member, or `None` when `avoid` covers the domain — exactly
+    /// the situation that makes consistency of CFDs hard (Example 3.2).
+    pub fn fresh_value<'a, I>(&self, avoid: I) -> Option<Value>
+    where
+        I: IntoIterator<Item = &'a Value>,
+    {
+        let avoid: std::collections::HashSet<&Value> = avoid.into_iter().collect();
+        match self {
+            Domain::Finite(vs) => vs.iter().find(|v| !avoid.contains(v)).cloned(),
+            Domain::Infinite(BaseType::Int) => {
+                let max = avoid
+                    .iter()
+                    .filter_map(|v| v.as_int())
+                    .max()
+                    .unwrap_or(-1);
+                Some(Value::Int(max.checked_add(1)?))
+            }
+            Domain::Infinite(BaseType::Str) => {
+                for k in 0.. {
+                    let cand = Value::str(format!("_fresh{k}"));
+                    if !avoid.contains(&cand) {
+                        return Some(cand);
+                    }
+                }
+                unreachable!("infinite string domain exhausted")
+            }
+            Domain::Infinite(BaseType::Bool) => {
+                // Unreachable through smart constructors, but handle it:
+                // booleans form a two-element domain.
+                [Value::Bool(false), Value::Bool(true)]
+                    .into_iter()
+                    .find(|v| !avoid.contains(v))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Infinite(bt) => write!(f, "{bt}"),
+            Domain::Finite(vs) => {
+                write!(f, "{{")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_domain_is_finite_with_two_values() {
+        let d = Domain::boolean();
+        assert!(d.is_finite());
+        assert_eq!(d.size(), Some(2));
+        assert!(d.contains(&Value::Bool(true)));
+        assert!(!d.contains(&Value::Int(0)));
+    }
+
+    #[test]
+    fn finite_domain_sorts_and_dedups() {
+        let d = Domain::finite(["b", "a", "b"]).unwrap();
+        assert_eq!(d.values().unwrap(), &[Value::str("a"), Value::str("b")]);
+    }
+
+    #[test]
+    fn finite_domain_rejects_empty_and_mixed() {
+        assert!(Domain::finite(Vec::<Value>::new()).is_err());
+        assert!(Domain::finite([Value::str("a"), Value::int(1)]).is_err());
+    }
+
+    #[test]
+    fn infinite_membership_is_by_base_type() {
+        assert!(Domain::string().contains(&Value::str("anything")));
+        assert!(!Domain::string().contains(&Value::int(3)));
+        assert!(Domain::integer().contains(&Value::int(3)));
+    }
+
+    #[test]
+    fn fresh_value_infinite_always_succeeds() {
+        let d = Domain::string();
+        let used = vec![Value::str("_fresh0"), Value::str("_fresh1")];
+        let v = d.fresh_value(&used).unwrap();
+        assert!(!used.contains(&v));
+
+        let d = Domain::integer();
+        let used = vec![Value::int(5)];
+        assert_eq!(d.fresh_value(&used), Some(Value::int(6)));
+        assert_eq!(d.fresh_value(&[]), Some(Value::int(0)));
+    }
+
+    #[test]
+    fn fresh_value_finite_can_fail() {
+        // Example 3.2's trap: a finite domain can be exhausted.
+        let d = Domain::boolean();
+        let used = vec![Value::Bool(false), Value::Bool(true)];
+        assert_eq!(d.fresh_value(&used), None);
+        assert_eq!(d.fresh_value(&used[..1]), Some(Value::Bool(true)));
+    }
+
+    #[test]
+    fn finite_ints_enumerates_prefix() {
+        let d = Domain::finite_ints(3);
+        assert_eq!(d.size(), Some(3));
+        assert!(d.contains(&Value::int(2)));
+        assert!(!d.contains(&Value::int(3)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Domain::string().to_string(), "string");
+        assert_eq!(Domain::finite_strs(&["a", "b"]).to_string(), "{a, b}");
+    }
+}

@@ -1,0 +1,155 @@
+//! The paper's running example as reusable fixtures.
+//!
+//! Figure 1 of the paper shows a bank's source relation `account` at two
+//! branches (NYC, EDI) and a target database (`saving`, `checking`,
+//! `interest`). The instance is deliberately *dirty*: tuple `t12` records
+//! a 10.5% interest rate for UK checking accounts where the correct rate
+//! is 1.5%, an error that traditional FDs/INDs cannot catch but ψ6/ϕ3 can.
+//!
+//! Dependency fixtures built over these schemas live in the `condep-cfd`
+//! and `condep-core` crates (Figures 2 and 4).
+
+use crate::database::Database;
+use crate::domain::Domain;
+use crate::schema::Schema;
+use crate::tuple;
+use std::sync::Arc;
+
+/// Names of the attributes shared by `account`, `saving` and `checking`.
+pub const ACCOUNT_ATTRS: [&str; 4] = ["an", "cn", "ca", "cp"];
+
+/// The account-type domain `dom(at) = {checking, saving}` (finite, as
+/// assumed in Example 3.3).
+pub fn at_domain() -> Domain {
+    Domain::finite_strs(&["checking", "saving"])
+}
+
+/// The bank schema of Figure 1: two source `account` relations plus the
+/// target `saving` / `checking` / `interest` relations.
+pub fn bank_schema() -> Arc<Schema> {
+    let account_attrs = [
+        ("an", Domain::string()),
+        ("cn", Domain::string()),
+        ("ca", Domain::string()),
+        ("cp", Domain::string()),
+        ("at", at_domain()),
+    ];
+    let target_attrs = [
+        ("an", Domain::string()),
+        ("cn", Domain::string()),
+        ("ca", Domain::string()),
+        ("cp", Domain::string()),
+        ("ab", Domain::string()),
+    ];
+    Arc::new(
+        Schema::builder()
+            .relation("account_nyc", &account_attrs)
+            .relation("account_edi", &account_attrs)
+            .relation("saving", &target_attrs)
+            .relation("checking", &target_attrs)
+            .relation(
+                "interest",
+                &[
+                    ("ab", Domain::string()),
+                    ("ct", Domain::string()),
+                    ("at", at_domain()),
+                    ("rt", Domain::string()),
+                ],
+            )
+            .finish(),
+    )
+}
+
+/// The (dirty) instance of Figure 1, tuples `t1`–`t14`.
+///
+/// `t12 = (EDI, UK, checking, 10.5%)` carries the wrong rate; see
+/// [`clean_bank_database`] for the corrected instance.
+pub fn bank_database() -> Database {
+    let mut db = Database::empty(bank_schema());
+    let ins = |db: &mut Database, rel: &str, t| {
+        db.insert_into(rel, t).expect("fixture tuple well-typed");
+    };
+    // Figure 1(a): account in NYC branch.
+    ins(&mut db, "account_nyc", tuple!["01", "J. Smith", "NYC, 19087", "212-5820844", "saving"]);
+    ins(&mut db, "account_nyc", tuple!["02", "G. King", "NYC, 19022", "212-3963455", "checking"]);
+    ins(&mut db, "account_nyc", tuple!["03", "J. Lee", "NYC, 02284", "212-5679844", "checking"]);
+    // Figure 1(b): account in EDI branch.
+    ins(&mut db, "account_edi", tuple!["01", "S. Bundy", "EDI, EH8 9LE", "131-6516501", "saving"]);
+    ins(&mut db, "account_edi", tuple!["02", "I. Stark", "EDI, EH1 4FE", "131-6693423", "checking"]);
+    // Figure 1(c): saving.
+    ins(&mut db, "saving", tuple!["01", "J. Smith", "NYC, 19087", "212-5820844", "NYC"]);
+    ins(&mut db, "saving", tuple!["01", "S. Bundy", "EDI, EH8 9LE", "131-6516501", "EDI"]);
+    // Figure 1(d): checking.
+    ins(&mut db, "checking", tuple!["02", "G. King", "NYC, 19022", "212-3963455", "NYC"]);
+    ins(&mut db, "checking", tuple!["03", "J. Lee", "NYC, 02284", "212-5679844", "NYC"]);
+    ins(&mut db, "checking", tuple!["02", "I. Stark", "EDI, EH1 4FE", "131-6693423", "EDI"]);
+    // Figure 1(e): interest — t12 is the seeded error (10.5% vs 1.5%).
+    ins(&mut db, "interest", tuple!["EDI", "UK", "saving", "4.5%"]);
+    ins(&mut db, "interest", tuple!["EDI", "UK", "checking", "10.5%"]);
+    ins(&mut db, "interest", tuple!["NYC", "US", "saving", "4%"]);
+    ins(&mut db, "interest", tuple!["NYC", "US", "checking", "1%"]);
+    db
+}
+
+/// The corrected instance: identical to [`bank_database`] except `t12`
+/// records the correct 1.5% UK checking rate.
+pub fn clean_bank_database() -> Database {
+    let mut db = Database::empty(bank_schema());
+    let dirty = bank_database();
+    for (rel, inst) in dirty.iter() {
+        for t in inst {
+            let t = if t.values().contains(&crate::Value::str("10.5%")) {
+                tuple!["EDI", "UK", "checking", "1.5%"]
+            } else {
+                t.clone()
+            };
+            db.insert(rel, t).expect("fixture tuple well-typed");
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn bank_schema_shape() {
+        let s = bank_schema();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.relation(s.rel_id("interest").unwrap()).unwrap().arity(), 4);
+        assert!(s.has_finite_attrs()); // `at` is finite
+    }
+
+    #[test]
+    fn bank_database_has_fourteen_tuples() {
+        let db = bank_database();
+        assert_eq!(db.total_tuples(), 14);
+        let interest = db.schema().rel_id("interest").unwrap();
+        assert_eq!(db.relation(interest).len(), 4);
+    }
+
+    #[test]
+    fn dirty_tuple_t12_present() {
+        let db = bank_database();
+        let interest = db.schema().rel_id("interest").unwrap();
+        assert!(db.relation(interest).contains(&tuple![
+            "EDI", "UK", "checking", "10.5%"
+        ]));
+    }
+
+    #[test]
+    fn clean_database_fixes_t12_only() {
+        let clean = clean_bank_database();
+        let interest = clean.schema().rel_id("interest").unwrap();
+        assert!(clean
+            .relation(interest)
+            .contains(&tuple!["EDI", "UK", "checking", "1.5%"]));
+        assert!(!clean
+            .relation(interest)
+            .iter()
+            .any(|t| t.values().contains(&Value::str("10.5%"))));
+        assert_eq!(clean.total_tuples(), 14);
+    }
+}

@@ -1,0 +1,299 @@
+//! Pattern values, pattern rows, and the match order `≍`.
+//!
+//! Section 2 of the paper: a pattern tableau entry `tp[A]` is either a
+//! constant from `dom(A)` or the unnamed variable `_`, and the order `≍`
+//! on values/patterns is defined by `η1 ≍ η2` iff `η1 = η2`, or `η1` is a
+//! data value and `η2` is `_`. We say `t1` *matches* `t2` when `t1 ≍ t2`.
+
+use crate::schema::AttrId;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// One cell of a pattern tuple: a constant or the unnamed variable `_`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum PValue {
+    /// The unnamed variable `_`; matches every data value.
+    Any,
+    /// A constant; matches only itself.
+    Const(Value),
+}
+
+impl PValue {
+    /// Builds a constant pattern cell.
+    pub fn constant(v: impl Into<Value>) -> Self {
+        PValue::Const(v.into())
+    }
+
+    /// `v ≍ self` — does the data value match this pattern cell?
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            PValue::Any => true,
+            PValue::Const(c) => c == v,
+        }
+    }
+
+    /// `self ≍ other` on pattern cells: used when comparing pattern rows
+    /// (e.g. `(EDI, UK, 1.5%) ≍ (EDI, UK, _)` in the paper).
+    pub fn subsumed_by(&self, other: &PValue) -> bool {
+        match (self, other) {
+            (_, PValue::Any) => true,
+            (PValue::Const(a), PValue::Const(b)) => a == b,
+            (PValue::Any, PValue::Const(_)) => false,
+        }
+    }
+
+    /// Is this a constant cell?
+    pub fn is_const(&self) -> bool {
+        matches!(self, PValue::Const(_))
+    }
+
+    /// The constant payload, if any.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            PValue::Const(v) => Some(v),
+            PValue::Any => None,
+        }
+    }
+}
+
+impl From<Value> for PValue {
+    fn from(v: Value) -> Self {
+        PValue::Const(v)
+    }
+}
+
+impl From<&str> for PValue {
+    fn from(s: &str) -> Self {
+        PValue::Const(Value::str(s))
+    }
+}
+
+impl fmt::Display for PValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PValue::Any => write!(f, "_"),
+            PValue::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A pattern row: a vector of pattern cells aligned with some attribute
+/// list (`tp[A1, ..., Ak]`).
+///
+/// Dependencies store their pattern rows aligned with their attribute
+/// lists, not with the full relation schema, mirroring the paper's
+/// tableaux (Figures 2 and 4).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PatternRow(Box<[PValue]>);
+
+impl PatternRow {
+    /// Creates a pattern row.
+    pub fn new<I>(cells: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<PValue>,
+    {
+        PatternRow(cells.into_iter().map(Into::into).collect())
+    }
+
+    /// A row of `k` unnamed variables (the shape embedding a traditional
+    /// dependency into its conditional class).
+    pub fn all_any(k: usize) -> Self {
+        PatternRow(vec![PValue::Any; k].into_boxed_slice())
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the row has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The cells in order.
+    pub fn cells(&self) -> &[PValue] {
+        &self.0
+    }
+
+    /// The cell at position `i`.
+    pub fn cell(&self, i: usize) -> &PValue {
+        &self.0[i]
+    }
+
+    /// `t[attrs] ≍ self` — does the projection of `t` onto `attrs` match
+    /// this row, cell for cell?
+    pub fn matches_tuple(&self, t: &Tuple, attrs: &[AttrId]) -> bool {
+        debug_assert_eq!(self.0.len(), attrs.len());
+        attrs
+            .iter()
+            .zip(self.0.iter())
+            .all(|(a, p)| p.matches(&t[*a]))
+    }
+
+    /// `values ≍ self` for an already-projected slice of values.
+    pub fn matches_values(&self, values: &[Value]) -> bool {
+        debug_assert_eq!(self.0.len(), values.len());
+        values.iter().zip(self.0.iter()).all(|(v, p)| p.matches(v))
+    }
+
+    /// `self ≍ other` lifted to rows (pointwise subsumption).
+    pub fn subsumed_by(&self, other: &PatternRow) -> bool {
+        self.0.len() == other.0.len()
+            && self
+                .0
+                .iter()
+                .zip(other.0.iter())
+                .all(|(a, b)| a.subsumed_by(b))
+    }
+
+    /// Concatenation: `[self || other]`, mirroring the paper's `‖`
+    /// separator between LHS and RHS pattern parts.
+    pub fn concat(&self, other: &PatternRow) -> PatternRow {
+        PatternRow(
+            self.0
+                .iter()
+                .chain(other.0.iter())
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// Sub-row at the given positions (positions index into this row, not
+    /// into a schema).
+    pub fn select(&self, positions: &[usize]) -> PatternRow {
+        PatternRow(positions.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// All constants mentioned in the row.
+    pub fn constants(&self) -> impl Iterator<Item = &Value> {
+        self.0.iter().filter_map(PValue::as_const)
+    }
+
+    /// Is every cell a constant?
+    pub fn all_const(&self) -> bool {
+        self.0.iter().all(PValue::is_const)
+    }
+
+    /// Is every cell the unnamed variable?
+    pub fn is_all_any(&self) -> bool {
+        self.0.iter().all(|p| matches!(p, PValue::Any))
+    }
+}
+
+impl<P: Into<PValue>> FromIterator<P> for PatternRow {
+    fn from_iter<I: IntoIterator<Item = P>>(iter: I) -> Self {
+        PatternRow::new(iter)
+    }
+}
+
+impl fmt::Display for PatternRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builds a [`PatternRow`]; use `_` for the unnamed variable:
+/// `prow![_, "EDI", _]`.
+#[macro_export]
+macro_rules! prow {
+    (@cell _) => { $crate::PValue::Any };
+    (@cell $v:expr) => { $crate::PValue::from($v) };
+    () => {
+        $crate::PatternRow::new(::std::vec::Vec::<$crate::PValue>::new())
+    };
+    ($($cell:tt),+ $(,)?) => {
+        $crate::PatternRow::new(vec![$($crate::prow!(@cell $cell)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn pvalue_match_order() {
+        // η1 ≍ η2 iff η1 = η2 or η2 = `_`.
+        assert!(PValue::Any.matches(&Value::str("EDI")));
+        assert!(PValue::constant("EDI").matches(&Value::str("EDI")));
+        assert!(!PValue::constant("EDI").matches(&Value::str("NYC")));
+    }
+
+    #[test]
+    fn paper_example_row_matching() {
+        // (EDI, UK, 1.5%) ≍ (EDI, UK, _), but (EDI, UK, 4.5%) ≭ (EDI, UK, 10.5%).
+        let data = tuple!["EDI", "UK", "1.5%"];
+        let attrs = [AttrId(0), AttrId(1), AttrId(2)];
+        let pat = prow!["EDI", "UK", _];
+        assert!(pat.matches_tuple(&data, &attrs));
+
+        let pat2 = prow!["EDI", "UK", "10.5%"];
+        let data2 = tuple!["EDI", "UK", "4.5%"];
+        assert!(!pat2.matches_tuple(&data2, &attrs));
+    }
+
+    #[test]
+    fn row_subsumption() {
+        let concrete = prow!["EDI", "UK", "1.5%"];
+        let wild = prow!["EDI", "UK", _];
+        assert!(concrete.subsumed_by(&wild));
+        assert!(!wild.subsumed_by(&concrete));
+        assert!(wild.subsumed_by(&wild));
+        // Length mismatch is never subsumed.
+        assert!(!concrete.subsumed_by(&prow!["EDI", "UK"]));
+    }
+
+    #[test]
+    fn concat_and_select() {
+        let lhs = prow![_, "saving"];
+        let rhs = prow![_, "B"];
+        let both = lhs.concat(&rhs);
+        assert_eq!(both.len(), 4);
+        assert_eq!(both.cell(1), &PValue::constant("saving"));
+        assert_eq!(both.cell(3), &PValue::constant("B"));
+        let sel = both.select(&[3, 0]);
+        assert_eq!(sel, prow!["B", _]);
+    }
+
+    #[test]
+    fn constants_iterator_and_predicates() {
+        let row = prow![_, "a", _, "b"];
+        let cs: Vec<_> = row.constants().cloned().collect();
+        assert_eq!(cs, vec![Value::str("a"), Value::str("b")]);
+        assert!(!row.all_const());
+        assert!(!row.is_all_any());
+        assert!(PatternRow::all_any(3).is_all_any());
+        assert!(prow!["x"].all_const());
+    }
+
+    #[test]
+    fn matches_values_on_projected_slices() {
+        let row = prow!["EDI", _];
+        assert!(row.matches_values(&[Value::str("EDI"), Value::str("z")]));
+        assert!(!row.matches_values(&[Value::str("NYC"), Value::str("z")]));
+    }
+
+    #[test]
+    fn empty_rows_match_trivially() {
+        // CINDs like ψ5 have X = nil; the X-part row is empty and matches.
+        let row = PatternRow::new(Vec::<PValue>::new());
+        assert!(row.is_empty());
+        assert!(row.matches_values(&[]));
+        assert!(row.subsumed_by(&PatternRow::all_any(0)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(prow![_, "EDI"].to_string(), "(_, EDI)");
+    }
+}

@@ -1,0 +1,160 @@
+//! Relation instances.
+
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An instance of a relation schema: a **set** of tuples (paper,
+/// Section 2) with deterministic (insertion-order) iteration.
+///
+/// Internally an insertion-ordered set: a dense tuple vector plus a map
+/// for O(1) duplicate elimination and membership tests. Iteration order
+/// is stable, which keeps the chase, the generators and every test
+/// reproducible.
+#[derive(Clone, Default, Debug)]
+pub struct Relation {
+    tuples: Vec<Tuple>,
+    positions: HashMap<Tuple, usize>,
+}
+
+impl Relation {
+    /// An empty instance.
+    pub fn new() -> Self {
+        Relation::default()
+    }
+
+    /// An empty instance with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Relation {
+            tuples: Vec::with_capacity(n),
+            positions: HashMap::with_capacity(n),
+        }
+    }
+
+    /// Inserts a tuple; returns `true` if it was not already present
+    /// (set semantics).
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        if self.positions.contains_key(&t) {
+            return false;
+        }
+        self.positions.insert(t.clone(), self.tuples.len());
+        self.tuples.push(t);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.positions.contains_key(t)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterator over the tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuple at a dense index (insertion order).
+    pub fn get(&self, i: usize) -> Option<&Tuple> {
+        self.tuples.get(i)
+    }
+
+    /// Removes all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.positions.clear();
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        let mut r = Relation::new();
+        for t in iter {
+            r.insert(t);
+        }
+        r
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+impl PartialEq for Relation {
+    /// Set equality: same tuples regardless of insertion order.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().all(|t| other.contains(t))
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new();
+        assert!(r.insert(tuple!["a", "b"]));
+        assert!(!r.insert(tuple!["a", "b"]));
+        assert!(r.insert(tuple!["a", "c"]));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered() {
+        let mut r = Relation::new();
+        r.insert(tuple!["z"]);
+        r.insert(tuple!["a"]);
+        r.insert(tuple!["m"]);
+        let seen: Vec<String> = r.iter().map(|t| t.to_string()).collect();
+        assert_eq!(seen, vec!["(z)", "(a)", "(m)"]);
+        assert_eq!(r.get(1), Some(&tuple!["a"]));
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let r1: Relation = [tuple!["a"], tuple!["b"]].into_iter().collect();
+        let r2: Relation = [tuple!["b"], tuple!["a"]].into_iter().collect();
+        assert_eq!(r1, r2);
+        let r3: Relation = [tuple!["a"]].into_iter().collect();
+        assert_ne!(r1, r3);
+    }
+
+    #[test]
+    fn contains_and_clear() {
+        let mut r: Relation = [tuple!["a"]].into_iter().collect();
+        assert!(r.contains(&tuple!["a"]));
+        r.clear();
+        assert!(r.is_empty());
+        assert!(!r.contains(&tuple!["a"]));
+    }
+}

@@ -1,0 +1,413 @@
+//! Relation schemas and database schemas.
+//!
+//! A database schema `R = (R1, ..., Rn)` (paper, Section 2). Relations
+//! and attributes are addressed by dense integer ids ([`RelId`],
+//! [`AttrId`]) so that dependency definitions, the chase, and the query
+//! engine can use vector indexing everywhere; names resolve to ids once,
+//! at construction time.
+
+use crate::domain::Domain;
+use crate::error::ModelError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a relation within a [`Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Index of an attribute within its relation schema (a column position).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A named, typed attribute.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Attribute {
+    name: String,
+    domain: Domain,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        Attribute {
+            name: name.into(),
+            domain,
+        }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Is the domain finite (`A ∈ finattr(R)`)?
+    pub fn is_finite(&self) -> bool {
+        self.domain.is_finite()
+    }
+}
+
+/// A relation schema `R(A1, ..., Ak)`.
+#[derive(Clone, Debug)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<Attribute>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl RelationSchema {
+    /// Creates a relation schema, rejecting duplicate attribute names.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: Vec<Attribute>,
+    ) -> crate::Result<Self> {
+        let name = name.into();
+        let mut by_name = HashMap::with_capacity(attributes.len());
+        for (i, a) in attributes.iter().enumerate() {
+            if by_name
+                .insert(a.name().to_string(), AttrId(i as u32))
+                .is_some()
+            {
+                return Err(ModelError::DuplicateName(format!("{name}.{}", a.name())));
+            }
+        }
+        Ok(RelationSchema {
+            name,
+            attributes,
+            by_name,
+        })
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes (the relation's arity).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// All attributes, in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// The attribute at `id`, or an error when out of range.
+    pub fn attribute(&self, id: AttrId) -> crate::Result<&Attribute> {
+        self.attributes
+            .get(id.index())
+            .ok_or_else(|| ModelError::AttrOutOfRange {
+                relation: self.name.clone(),
+                index: id.index(),
+            })
+    }
+
+    /// Resolves an attribute name to its id.
+    pub fn attr_id(&self, name: &str) -> crate::Result<AttrId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: name.to_string(),
+            })
+    }
+
+    /// Resolves several attribute names at once (order preserved).
+    pub fn attr_ids(&self, names: &[&str]) -> crate::Result<Vec<AttrId>> {
+        names.iter().map(|n| self.attr_id(n)).collect()
+    }
+
+    /// Iterator over `(AttrId, &Attribute)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i as u32), a))
+    }
+
+    /// Ids of the finite-domain attributes (`finattr` restricted to this
+    /// relation).
+    pub fn finite_attrs(&self) -> Vec<AttrId> {
+        self.iter()
+            .filter(|(_, a)| a.is_finite())
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name(), a.domain())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A database schema: an ordered collection of relation schemas with
+/// name-based lookup.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    relations: Vec<RelationSchema>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// Creates a schema, rejecting duplicate relation names.
+    pub fn new(relations: Vec<RelationSchema>) -> crate::Result<Self> {
+        let mut by_name = HashMap::with_capacity(relations.len());
+        for (i, r) in relations.iter().enumerate() {
+            if by_name
+                .insert(r.name().to_string(), RelId(i as u32))
+                .is_some()
+            {
+                return Err(ModelError::DuplicateName(r.name().to_string()));
+            }
+        }
+        Ok(Schema {
+            relations,
+            by_name,
+        })
+    }
+
+    /// Starts a fluent [`SchemaBuilder`].
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// All relation schemas, in declaration order.
+    pub fn relations(&self) -> &[RelationSchema] {
+        &self.relations
+    }
+
+    /// The relation schema at `id`, or an error when out of range.
+    pub fn relation(&self, id: RelId) -> crate::Result<&RelationSchema> {
+        self.relations
+            .get(id.index())
+            .ok_or(ModelError::RelOutOfRange(id.index()))
+    }
+
+    /// Resolves a relation name to its id.
+    pub fn rel_id(&self, name: &str) -> crate::Result<RelId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ModelError::UnknownRelation(name.to_string()))
+    }
+
+    /// Iterator over `(RelId, &RelationSchema)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationSchema)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r))
+    }
+
+    /// Does any relation have a finite-domain attribute? Decides which
+    /// complexity regime (Table 1 vs Table 2) a constraint set falls in.
+    pub fn has_finite_attrs(&self) -> bool {
+        self.relations
+            .iter()
+            .any(|r| r.attributes().iter().any(Attribute::is_finite))
+    }
+
+    /// The maximum arity over all relations (the `a` of the complexity
+    /// bounds in Section 5).
+    pub fn max_arity(&self) -> usize {
+        self.relations.iter().map(RelationSchema::arity).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.relations {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Schema`]; panics on invalid definitions, which is
+/// the right trade-off for statically known schemas in examples and
+/// tests. Use [`Schema::new`] for dynamically constructed schemas.
+#[derive(Default)]
+pub struct SchemaBuilder {
+    relations: Vec<RelationSchema>,
+}
+
+impl SchemaBuilder {
+    /// Adds a relation with the given `(name, domain)` attribute list.
+    pub fn relation(
+        mut self,
+        name: &str,
+        attrs: &[(&str, Domain)],
+    ) -> Self {
+        let attributes = attrs
+            .iter()
+            .map(|(n, d)| Attribute::new(*n, d.clone()))
+            .collect();
+        let rel = RelationSchema::new(name, attributes)
+            .unwrap_or_else(|e| panic!("invalid relation `{name}`: {e}"));
+        self.relations.push(rel);
+        self
+    }
+
+    /// Adds a relation whose attributes are all infinite strings.
+    pub fn relation_str(self, name: &str, attrs: &[&str]) -> Self {
+        let list: Vec<(&str, Domain)> =
+            attrs.iter().map(|a| (*a, Domain::string())).collect();
+        self.relation(name, &list)
+    }
+
+    /// Finishes the schema.
+    pub fn finish(self) -> Schema {
+        Schema::new(self.relations).unwrap_or_else(|e| panic!("invalid schema: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_rel_schema() -> Schema {
+        Schema::builder()
+            .relation(
+                "saving",
+                &[
+                    ("an", Domain::string()),
+                    ("ab", Domain::finite_strs(&["EDI", "NYC"])),
+                ],
+            )
+            .relation_str("interest", &["ab", "rt"])
+            .finish()
+    }
+
+    #[test]
+    fn name_resolution_round_trips() {
+        let s = two_rel_schema();
+        let saving = s.rel_id("saving").unwrap();
+        assert_eq!(s.relation(saving).unwrap().name(), "saving");
+        let ab = s.relation(saving).unwrap().attr_id("ab").unwrap();
+        assert_eq!(s.relation(saving).unwrap().attribute(ab).unwrap().name(), "ab");
+    }
+
+    #[test]
+    fn unknown_lookups_fail() {
+        let s = two_rel_schema();
+        assert!(matches!(
+            s.rel_id("nope"),
+            Err(ModelError::UnknownRelation(_))
+        ));
+        let saving = s.rel_id("saving").unwrap();
+        assert!(matches!(
+            s.relation(saving).unwrap().attr_id("nope"),
+            Err(ModelError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = RelationSchema::new(
+            "r",
+            vec![
+                Attribute::new("a", Domain::string()),
+                Attribute::new("a", Domain::string()),
+            ],
+        );
+        assert!(matches!(r, Err(ModelError::DuplicateName(_))));
+
+        let r1 = RelationSchema::new("r", vec![Attribute::new("a", Domain::string())]).unwrap();
+        let r2 = r1.clone();
+        assert!(matches!(
+            Schema::new(vec![r1, r2]),
+            Err(ModelError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn finite_attr_detection() {
+        let s = two_rel_schema();
+        assert!(s.has_finite_attrs());
+        let saving = s.rel_id("saving").unwrap();
+        assert_eq!(
+            s.relation(saving).unwrap().finite_attrs(),
+            vec![AttrId(1)]
+        );
+
+        let all_inf = Schema::builder()
+            .relation_str("r", &["a", "b"])
+            .finish();
+        assert!(!all_inf.has_finite_attrs());
+    }
+
+    #[test]
+    fn attr_ids_resolves_in_order() {
+        let s = two_rel_schema();
+        let saving = s.rel_id("saving").unwrap();
+        let ids = s.relation(saving).unwrap().attr_ids(&["ab", "an"]).unwrap();
+        assert_eq!(ids, vec![AttrId(1), AttrId(0)]);
+    }
+
+    #[test]
+    fn max_arity_and_len() {
+        let s = two_rel_schema();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.max_arity(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn display_contains_names() {
+        let s = two_rel_schema();
+        let out = s.to_string();
+        assert!(out.contains("saving"));
+        assert!(out.contains("interest"));
+        assert!(out.contains("{EDI, NYC}"));
+    }
+}

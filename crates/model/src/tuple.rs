@@ -1,0 +1,150 @@
+//! Tuples.
+
+use crate::schema::AttrId;
+use crate::value::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// An immutable tuple of data values.
+///
+/// Width always equals the arity of the relation it lives in (enforced by
+/// [`crate::Database::insert`]). Fields are addressed positionally by
+/// [`AttrId`].
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new<I>(values: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<Value>,
+    {
+        Tuple(values.into_iter().map(Into::into).collect())
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The field at `attr`, or `None` when out of range.
+    pub fn get(&self, attr: AttrId) -> Option<&Value> {
+        self.0.get(attr.index())
+    }
+
+    /// All fields in order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Projection `t[A1, ..., Ak]`: the listed fields, in list order.
+    ///
+    /// The paper writes `t[X]` for a list `X` of attributes; projections
+    /// preserve the order of `X`, not of the schema, which matters for
+    /// the permutation rule CIND2.
+    pub fn project(&self, attrs: &[AttrId]) -> Vec<Value> {
+        attrs.iter().map(|a| self.0[a.index()].clone()).collect()
+    }
+
+    /// Like [`Tuple::project`] but borrowing — avoids clones on hot
+    /// violation-detection paths.
+    pub fn project_ref<'a>(&'a self, attrs: &[AttrId]) -> Vec<&'a Value> {
+        attrs.iter().map(|a| &self.0[a.index()]).collect()
+    }
+
+    /// Returns a copy with field `attr` replaced by `v`.
+    pub fn with(&self, attr: AttrId, v: Value) -> Tuple {
+        let mut vs = self.0.to_vec();
+        vs[attr.index()] = v;
+        Tuple(vs.into_boxed_slice())
+    }
+}
+
+impl Index<AttrId> for Tuple {
+    type Output = Value;
+    fn index(&self, attr: AttrId) -> &Value {
+        &self.0[attr.index()]
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Tuple {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Tuple::new(iter)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builds a [`Tuple`] from a heterogeneous list of values, e.g.
+/// `tuple!["01", "J. Smith", 212]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple!["01", "J. Smith", 19087i64, true];
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t[AttrId(0)], Value::str("01"));
+        assert_eq!(t.get(AttrId(3)), Some(&Value::bool(true)));
+        assert_eq!(t.get(AttrId(4)), None);
+    }
+
+    #[test]
+    fn projection_preserves_list_order() {
+        let t = tuple!["a", "b", "c"];
+        assert_eq!(
+            t.project(&[AttrId(2), AttrId(0)]),
+            vec![Value::str("c"), Value::str("a")]
+        );
+        let refs = t.project_ref(&[AttrId(1)]);
+        assert_eq!(refs, vec![&Value::str("b")]);
+    }
+
+    #[test]
+    fn with_replaces_one_field() {
+        let t = tuple!["a", "b"];
+        let t2 = t.with(AttrId(1), Value::str("z"));
+        assert_eq!(t2, tuple!["a", "z"]);
+        assert_eq!(t, tuple!["a", "b"]); // original untouched
+    }
+
+    #[test]
+    fn equality_and_hash_by_content() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(tuple!["x", 1i64]);
+        assert!(s.contains(&tuple!["x", 1i64]));
+        assert!(!s.contains(&tuple!["x", 2i64]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple!["EDI", "UK"].to_string(), "(EDI, UK)");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: Tuple = ["a", "b"].into_iter().collect();
+        assert_eq!(t, tuple!["a", "b"]);
+    }
+}

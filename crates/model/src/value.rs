@@ -1,0 +1,193 @@
+//! Concrete data values.
+//!
+//! A [`Value`] is an element of some attribute domain (`dom(A)` in the
+//! paper). Values are cheap to clone (strings are reference counted),
+//! hashable, and totally ordered so that relations, chase variable
+//! orderings and test output are all deterministic.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A concrete data value stored in a tuple or appearing as a constant in
+/// a pattern tableau.
+///
+/// The paper is agnostic about base types; three cover every construction
+/// it uses: booleans (Example 3.2 uses `dom(A) = bool`), integers, and
+/// strings (branch names, interest rates, ...).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A boolean constant. `bool` is the canonical *finite* domain of the
+    /// paper's counterexamples.
+    Bool(bool),
+    /// A 64-bit integer constant.
+    Int(i64),
+    /// An interned string constant.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Builds a boolean value.
+    pub fn bool(b: bool) -> Self {
+        Value::Bool(b)
+    }
+
+    /// Returns the string payload if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload if this is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The [`crate::domain::BaseType`] this value belongs to.
+    pub fn base_type(&self) -> crate::domain::BaseType {
+        match self {
+            Value::Bool(_) => crate::domain::BaseType::Bool,
+            Value::Int(_) => crate::domain::BaseType::Int,
+            Value::Str(_) => crate::domain::BaseType::Str,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn constructors_and_accessors_round_trip() {
+        assert_eq!(Value::str("EDI").as_str(), Some("EDI"));
+        assert_eq!(Value::int(42).as_int(), Some(42));
+        assert_eq!(Value::bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("x").as_int(), None);
+        assert_eq!(Value::int(1).as_bool(), None);
+        assert_eq!(Value::bool(false).as_str(), None);
+    }
+
+    #[test]
+    fn from_impls_agree_with_constructors() {
+        assert_eq!(Value::from("a"), Value::str("a"));
+        assert_eq!(Value::from("a".to_string()), Value::str("a"));
+        assert_eq!(Value::from(7i64), Value::int(7));
+        assert_eq!(Value::from(true), Value::bool(true));
+    }
+
+    #[test]
+    fn equality_is_by_content_not_allocation() {
+        let a = Value::str("saving");
+        let b = Value::str(String::from("sav") + "ing");
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::int(10),
+            Value::bool(true),
+            Value::str("a"),
+            Value::int(2),
+            Value::bool(false),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::bool(false),
+                Value::bool(true),
+                Value::int(2),
+                Value::int(10),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_is_plain() {
+        assert_eq!(Value::str("NYC").to_string(), "NYC");
+        assert_eq!(Value::int(-3).to_string(), "-3");
+        assert_eq!(Value::bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn base_types() {
+        use crate::domain::BaseType;
+        assert_eq!(Value::str("x").base_type(), BaseType::Str);
+        assert_eq!(Value::int(0).base_type(), BaseType::Int);
+        assert_eq!(Value::bool(false).base_type(), BaseType::Bool);
+    }
+}

@@ -1,0 +1,148 @@
+//! Hash indexes over relations.
+
+use condep_model::{AttrId, Relation, Tuple, Value};
+use std::collections::HashMap;
+
+/// A hash index mapping a key (projection onto an attribute list) to the
+/// dense positions of the tuples carrying that key.
+///
+/// This is the workhorse of CIND checking: for a normal CIND
+/// `(R1[X; Xp] ⊆ R2[Y; Yp], tp)` we index the `tp[Yp]`-matching tuples of
+/// `R2` on `Y` once, then probe with `t1[X]` for every candidate `t1` —
+/// turning the naive `O(|I1| · |I2|)` scan into `O(|I1| + |I2|)`.
+#[derive(Clone, Debug, Default)]
+pub struct HashIndex {
+    map: HashMap<Vec<Value>, Vec<usize>>,
+    key_len: usize,
+}
+
+impl HashIndex {
+    /// Builds an index over all tuples of `rel`, keyed by `key_attrs`.
+    pub fn build(rel: &Relation, key_attrs: &[AttrId]) -> Self {
+        Self::build_filtered(rel, key_attrs, |_| true)
+    }
+
+    /// Builds an index over the tuples of `rel` that pass `filter`.
+    pub fn build_filtered<F>(rel: &Relation, key_attrs: &[AttrId], filter: F) -> Self
+    where
+        F: Fn(&Tuple) -> bool,
+    {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (pos, t) in rel.iter().enumerate() {
+            if filter(t) {
+                map.entry(t.project(key_attrs)).or_default().push(pos);
+            }
+        }
+        HashIndex {
+            map,
+            key_len: key_attrs.len(),
+        }
+    }
+
+    /// The positions of tuples whose key equals `key` (empty when none).
+    pub fn probe(&self, key: &[Value]) -> &[usize] {
+        debug_assert_eq!(key.len(), self.key_len);
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Does any indexed tuple carry `key`?
+    pub fn contains_key(&self, key: &[Value]) -> bool {
+        !self.probe(key).is_empty()
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Whether the index holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterator over `(key, positions)` groups — the group-by view used
+    /// by the CFD checker (group on `X`, inspect the `A` column).
+    pub fn groups(&self) -> impl Iterator<Item = (&Vec<Value>, &[usize])> {
+        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// The arity of keys in this index.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condep_model::tuple;
+
+    fn rel() -> Relation {
+        [
+            tuple!["EDI", "UK", "saving"],
+            tuple!["EDI", "UK", "checking"],
+            tuple!["NYC", "US", "saving"],
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn probe_finds_all_positions() {
+        let idx = HashIndex::build(&rel(), &[AttrId(0)]);
+        assert_eq!(idx.probe(&[Value::str("EDI")]), &[0, 1]);
+        assert_eq!(idx.probe(&[Value::str("NYC")]), &[2]);
+        assert!(idx.probe(&[Value::str("LON")]).is_empty());
+        assert!(idx.contains_key(&[Value::str("EDI")]));
+        assert!(!idx.contains_key(&[Value::str("LON")]));
+    }
+
+    #[test]
+    fn composite_keys() {
+        let idx = HashIndex::build(&rel(), &[AttrId(1), AttrId(0)]);
+        // Key order follows the attribute list, not the schema.
+        assert_eq!(idx.probe(&[Value::str("UK"), Value::str("EDI")]), &[0, 1]);
+        assert_eq!(idx.key_len(), 2);
+    }
+
+    #[test]
+    fn filtered_build_skips_tuples() {
+        let idx = HashIndex::build_filtered(&rel(), &[AttrId(0)], |t| {
+            t[AttrId(2)] == Value::str("saving")
+        });
+        assert_eq!(idx.probe(&[Value::str("EDI")]), &[0]);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn empty_key_groups_everything() {
+        // A zero-length key indexes the whole relation under one group —
+        // needed for CINDs whose X list is nil (ψ5, ψ6 in the paper).
+        let idx = HashIndex::build(&rel(), &[]);
+        assert_eq!(idx.probe(&[]), &[0, 1, 2]);
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn empty_relation_builds_empty_index() {
+        let idx = HashIndex::build(&Relation::new(), &[AttrId(0)]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn groups_cover_all_tuples() {
+        let idx = HashIndex::build(&rel(), &[AttrId(1)]);
+        let mut total = 0;
+        for (_, positions) in idx.groups() {
+            total += positions.len();
+        }
+        assert_eq!(total, 3);
+    }
+}

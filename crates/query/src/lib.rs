@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # condep-query
+//!
+//! A minimal in-memory relational execution engine.
+//!
+//! The paper (Section 8 and its companion work on CFDs, Bohannon et al.
+//! ICDE 2007) detects dependency violations with SQL queries over the
+//! pattern tableaux. We have no SQL engine to lean on, so this crate
+//! provides the needed fragment from scratch:
+//!
+//! * [`predicate::Predicate`] — conjunctive selection conditions over
+//!   attributes (equality with constants, pattern-row matching,
+//!   attr-to-attr equality, boolean combinators);
+//! * [`index::HashIndex`] — hash indexes on attribute lists, the backbone
+//!   of equi-joins;
+//! * [`ops`] — free-standing select / project / join / semi-join /
+//!   anti-join / group-by operators;
+//! * [`plan`] — a tiny composable logical plan (scan → filter → project →
+//!   join …) with an executor, used by the SQL-style CIND/CFD violation
+//!   compilers in the dependency crates.
+//!
+//! Everything operates on `condep-model` relations and keeps iteration
+//! deterministic.
+
+pub mod index;
+pub mod ops;
+pub mod plan;
+pub mod predicate;
+
+pub use index::HashIndex;
+pub use plan::{Plan, Rows};
+pub use predicate::Predicate;

@@ -1,0 +1,209 @@
+//! Free-standing relational operators.
+//!
+//! These operate directly on [`Relation`]s and position lists; the
+//! [`crate::plan`] module composes them into executable plans. Join
+//! outputs concatenate the left and right tuples, so downstream
+//! predicates address right-hand attributes at offset `left_arity`.
+
+use crate::index::HashIndex;
+use crate::predicate::Predicate;
+use condep_model::{AttrId, Relation, Tuple, Value};
+use std::collections::HashMap;
+
+/// `σ_pred(rel)` — positions of tuples satisfying `pred`.
+pub fn select_positions(rel: &Relation, pred: &Predicate) -> Vec<usize> {
+    rel.iter()
+        .enumerate()
+        .filter(|(_, t)| pred.eval(t))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// `σ_pred(rel)` — the selected tuples, cloned.
+pub fn select(rel: &Relation, pred: &Predicate) -> Vec<Tuple> {
+    rel.iter().filter(|t| pred.eval(t)).cloned().collect()
+}
+
+/// `π_attrs(rows)` — projection of each row onto `attrs` (duplicates
+/// preserved; compose with [`distinct`] for set semantics).
+pub fn project(rows: &[Tuple], attrs: &[AttrId]) -> Vec<Tuple> {
+    rows.iter().map(|t| Tuple::new(t.project(attrs))).collect()
+}
+
+/// Removes duplicate rows, keeping first occurrences (stable).
+pub fn distinct(rows: Vec<Tuple>) -> Vec<Tuple> {
+    let mut seen = std::collections::HashSet::with_capacity(rows.len());
+    rows.into_iter().filter(|t| seen.insert(t.clone())).collect()
+}
+
+/// Hash equi-join: pairs `(l, r)` with `l[left_keys] = r[right_keys]`,
+/// emitted as concatenated tuples (left fields then right fields).
+pub fn hash_join(
+    left: &[Tuple],
+    right: &Relation,
+    left_keys: &[AttrId],
+    right_keys: &[AttrId],
+) -> Vec<Tuple> {
+    debug_assert_eq!(left_keys.len(), right_keys.len());
+    let idx = HashIndex::build(right, right_keys);
+    let mut out = Vec::new();
+    for l in left {
+        let key = l.project(left_keys);
+        for &pos in idx.probe(&key) {
+            let r = right.get(pos).expect("index position valid");
+            out.push(Tuple::new(
+                l.values().iter().chain(r.values().iter()).cloned(),
+            ));
+        }
+    }
+    out
+}
+
+/// Semi-join: the left tuples that have at least one key-partner on the
+/// right (right side optionally pre-filtered).
+pub fn semi_join<F>(
+    left: &[Tuple],
+    right: &Relation,
+    left_keys: &[AttrId],
+    right_keys: &[AttrId],
+    right_filter: F,
+) -> Vec<Tuple>
+where
+    F: Fn(&Tuple) -> bool,
+{
+    let idx = HashIndex::build_filtered(right, right_keys, right_filter);
+    left.iter()
+        .filter(|l| idx.contains_key(&l.project(left_keys)))
+        .cloned()
+        .collect()
+}
+
+/// Anti-join: the left tuples with **no** key-partner on the right.
+///
+/// This is the violation query for inclusion dependencies: tuples
+/// required to have a match in the target, but lacking one.
+pub fn anti_join<F>(
+    left: &[Tuple],
+    right: &Relation,
+    left_keys: &[AttrId],
+    right_keys: &[AttrId],
+    right_filter: F,
+) -> Vec<Tuple>
+where
+    F: Fn(&Tuple) -> bool,
+{
+    let idx = HashIndex::build_filtered(right, right_keys, right_filter);
+    left.iter()
+        .filter(|l| !idx.contains_key(&l.project(left_keys)))
+        .cloned()
+        .collect()
+}
+
+/// Groups row positions by their projection onto `attrs` — the group-by
+/// used for FD/CFD checking (group on `X`, inspect `A` within groups).
+pub fn group_by(rows: &[Tuple], attrs: &[AttrId]) -> HashMap<Vec<Value>, Vec<usize>> {
+    let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, t) in rows.iter().enumerate() {
+        groups.entry(t.project(attrs)).or_default().push(i);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condep_model::{prow, tuple};
+
+    fn saving() -> Relation {
+        [
+            tuple!["01", "NYC"],
+            tuple!["01", "EDI"],
+            tuple!["02", "EDI"],
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn interest() -> Relation {
+        [tuple!["EDI", "UK"], tuple!["NYC", "US"]].into_iter().collect()
+    }
+
+    #[test]
+    fn select_filters() {
+        let rel = saving();
+        let pred = Predicate::AttrEq(AttrId(1), Value::str("EDI"));
+        assert_eq!(select_positions(&rel, &pred), vec![1, 2]);
+        assert_eq!(select(&rel, &pred).len(), 2);
+        assert_eq!(select_positions(&rel, &Predicate::True).len(), 3);
+    }
+
+    #[test]
+    fn project_and_distinct() {
+        let rows = select(&saving(), &Predicate::True);
+        let projected = project(&rows, &[AttrId(1)]);
+        assert_eq!(projected.len(), 3);
+        let d = distinct(projected);
+        assert_eq!(d, vec![tuple!["NYC"], tuple!["EDI"]]);
+    }
+
+    #[test]
+    fn hash_join_concatenates() {
+        let left = select(&saving(), &Predicate::True);
+        let joined = hash_join(&left, &interest(), &[AttrId(1)], &[AttrId(0)]);
+        assert_eq!(joined.len(), 3);
+        assert!(joined.contains(&tuple!["01", "EDI", "EDI", "UK"]));
+        assert!(joined.contains(&tuple!["01", "NYC", "NYC", "US"]));
+        // Right-hand attributes are addressable at offset = left arity.
+        for row in &joined {
+            assert_eq!(row[AttrId(1)], row[AttrId(2)]);
+        }
+    }
+
+    #[test]
+    fn semi_and_anti_join_partition() {
+        let left = select(&saving(), &Predicate::True);
+        // Only UK rows on the right.
+        let uk = |t: &Tuple| t[AttrId(1)] == Value::str("UK");
+        let semi = semi_join(&left, &interest(), &[AttrId(1)], &[AttrId(0)], uk);
+        let anti = anti_join(&left, &interest(), &[AttrId(1)], &[AttrId(0)], uk);
+        assert_eq!(semi.len(), 2); // the two EDI rows
+        assert_eq!(anti, vec![tuple!["01", "NYC"]]);
+        assert_eq!(semi.len() + anti.len(), left.len());
+    }
+
+    #[test]
+    fn anti_join_against_empty_right_keeps_everything() {
+        let left = select(&saving(), &Predicate::True);
+        let anti = anti_join(&left, &Relation::new(), &[AttrId(1)], &[AttrId(0)], |_| true);
+        assert_eq!(anti.len(), 3);
+    }
+
+    #[test]
+    fn group_by_partitions_positions() {
+        let rows = select(&saving(), &Predicate::True);
+        let groups = group_by(&rows, &[AttrId(0)]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&vec![Value::str("01")]], vec![0, 1]);
+        assert_eq!(groups[&vec![Value::str("02")]], vec![2]);
+    }
+
+    #[test]
+    fn pattern_select_composes_with_anti_join() {
+        // The violation query of ψ6-style CINDs in miniature: EDI rows of
+        // `saving` with no UK partner in `interest`.
+        let rel = saving();
+        let left = select(
+            &rel,
+            &Predicate::matches(vec![AttrId(0), AttrId(1)], prow![_, "EDI"]),
+        );
+        let anti = anti_join(
+            &left,
+            &interest(),
+            &[AttrId(1)],
+            &[AttrId(0)],
+            |t: &Tuple| t[AttrId(1)] == Value::str("US"),
+        );
+        // Both EDI rows violate: the only EDI interest row is UK.
+        assert_eq!(anti.len(), 2);
+    }
+}

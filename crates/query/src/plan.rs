@@ -1,0 +1,342 @@
+//! Composable logical plans.
+//!
+//! A [`Plan`] is a small tree of relational operators executed against a
+//! [`Database`]. The dependency crates compile CFDs and CINDs into plans
+//! (the "SQL techniques" of the paper's related work): e.g. the
+//! violations of a normal CIND compile to
+//! `AntiJoin(Filter(Scan R1, tp[Xp]), Filter(Scan R2, tp[Yp]), X = Y)`.
+
+use crate::ops;
+use crate::predicate::Predicate;
+use condep_model::{AttrId, Database, RelId, Relation, Tuple};
+use std::fmt;
+
+/// Materialized rows produced by plan execution.
+pub type Rows = Vec<Tuple>;
+
+/// A logical query plan.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// All tuples of a stored relation.
+    Scan(RelId),
+    /// `σ_pred(input)`.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Selection condition.
+        pred: Predicate,
+    },
+    /// `π_attrs(input)` (bag semantics).
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output attribute list.
+        attrs: Vec<AttrId>,
+    },
+    /// Duplicate elimination.
+    Distinct(Box<Plan>),
+    /// Hash equi-join of two plans; output rows are left ++ right.
+    HashJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join key attributes on the left rows.
+        left_keys: Vec<AttrId>,
+        /// Join key attributes on the right rows.
+        right_keys: Vec<AttrId>,
+    },
+    /// Left rows with at least one right partner.
+    SemiJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join key attributes on the left rows.
+        left_keys: Vec<AttrId>,
+        /// Join key attributes on the right rows.
+        right_keys: Vec<AttrId>,
+    },
+    /// Left rows with **no** right partner — the inclusion-violation
+    /// operator.
+    AntiJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join key attributes on the left rows.
+        left_keys: Vec<AttrId>,
+        /// Join key attributes on the right rows.
+        right_keys: Vec<AttrId>,
+    },
+}
+
+impl Plan {
+    /// Scan shorthand.
+    pub fn scan(rel: RelId) -> Plan {
+        Plan::Scan(rel)
+    }
+
+    /// Filter shorthand; a `True` predicate is a no-op.
+    pub fn filter(self, pred: Predicate) -> Plan {
+        if pred == Predicate::True {
+            self
+        } else {
+            Plan::Filter {
+                input: Box::new(self),
+                pred,
+            }
+        }
+    }
+
+    /// Projection shorthand.
+    pub fn project(self, attrs: Vec<AttrId>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            attrs,
+        }
+    }
+
+    /// Distinct shorthand.
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct(Box::new(self))
+    }
+
+    /// Anti-join shorthand.
+    pub fn anti_join(self, right: Plan, left_keys: Vec<AttrId>, right_keys: Vec<AttrId>) -> Plan {
+        Plan::AntiJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_keys,
+            right_keys,
+        }
+    }
+
+    /// Semi-join shorthand.
+    pub fn semi_join(self, right: Plan, left_keys: Vec<AttrId>, right_keys: Vec<AttrId>) -> Plan {
+        Plan::SemiJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_keys,
+            right_keys,
+        }
+    }
+
+    /// Join shorthand.
+    pub fn join(self, right: Plan, left_keys: Vec<AttrId>, right_keys: Vec<AttrId>) -> Plan {
+        Plan::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_keys,
+            right_keys,
+        }
+    }
+
+    /// Executes the plan against `db`, materializing the result.
+    pub fn execute(&self, db: &Database) -> Rows {
+        match self {
+            Plan::Scan(rel) => db.relation(*rel).tuples().to_vec(),
+            Plan::Filter { input, pred } => input
+                .execute(db)
+                .into_iter()
+                .filter(|t| pred.eval(t))
+                .collect(),
+            Plan::Project { input, attrs } => ops::project(&input.execute(db), attrs),
+            Plan::Distinct(input) => ops::distinct(input.execute(db)),
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
+                let l = left.execute(db);
+                let r: Relation = right.execute(db).into_iter().collect();
+                ops::hash_join(&l, &r, left_keys, right_keys)
+            }
+            Plan::SemiJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
+                let l = left.execute(db);
+                let r: Relation = right.execute(db).into_iter().collect();
+                ops::semi_join(&l, &r, left_keys, right_keys, |_| true)
+            }
+            Plan::AntiJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
+                let l = left.execute(db);
+                let r: Relation = right.execute(db).into_iter().collect();
+                ops::anti_join(&l, &r, left_keys, right_keys, |_| true)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn keys(ks: &[AttrId]) -> String {
+            ks.iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        match self {
+            Plan::Scan(rel) => write!(f, "scan({rel})"),
+            Plan::Filter { input, pred } => write!(f, "filter[{pred}]({input})"),
+            Plan::Project { input, attrs } => {
+                write!(f, "project[{}]({input})", keys(attrs))
+            }
+            Plan::Distinct(input) => write!(f, "distinct({input})"),
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => write!(
+                f,
+                "join[{}={}]({left}, {right})",
+                keys(left_keys),
+                keys(right_keys)
+            ),
+            Plan::SemiJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => write!(
+                f,
+                "semijoin[{}={}]({left}, {right})",
+                keys(left_keys),
+                keys(right_keys)
+            ),
+            Plan::AntiJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => write!(
+                f,
+                "antijoin[{}={}]({left}, {right})",
+                keys(left_keys),
+                keys(right_keys)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condep_model::{prow, tuple, Database, Domain, Schema, Value};
+    use std::sync::Arc;
+
+    fn db() -> Database {
+        let schema = Arc::new(
+            Schema::builder()
+                .relation(
+                    "saving",
+                    &[("an", Domain::string()), ("ab", Domain::string())],
+                )
+                .relation(
+                    "interest",
+                    &[("ab", Domain::string()), ("ct", Domain::string())],
+                )
+                .finish(),
+        );
+        let mut db = Database::empty(schema);
+        for t in [tuple!["01", "NYC"], tuple!["01", "EDI"], tuple!["02", "EDI"]] {
+            db.insert_into("saving", t).unwrap();
+        }
+        db.insert_into("interest", tuple!["EDI", "UK"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn scan_filter_project_distinct() {
+        let db = db();
+        let saving = db.schema().rel_id("saving").unwrap();
+        let plan = Plan::scan(saving)
+            .filter(Predicate::matches(
+                vec![AttrId(0), AttrId(1)],
+                prow![_, "EDI"],
+            ))
+            .project(vec![AttrId(1)])
+            .distinct();
+        assert_eq!(plan.execute(&db), vec![tuple!["EDI"]]);
+    }
+
+    #[test]
+    fn anti_join_finds_missing_partners() {
+        let db = db();
+        let saving = db.schema().rel_id("saving").unwrap();
+        let interest = db.schema().rel_id("interest").unwrap();
+        // saving rows whose branch has no interest row: the NYC row.
+        let plan = Plan::scan(saving).anti_join(
+            Plan::scan(interest),
+            vec![AttrId(1)],
+            vec![AttrId(0)],
+        );
+        assert_eq!(plan.execute(&db), vec![tuple!["01", "NYC"]]);
+    }
+
+    #[test]
+    fn join_concatenates_rows() {
+        let db = db();
+        let saving = db.schema().rel_id("saving").unwrap();
+        let interest = db.schema().rel_id("interest").unwrap();
+        let plan = Plan::scan(saving).join(
+            Plan::scan(interest),
+            vec![AttrId(1)],
+            vec![AttrId(0)],
+        );
+        let rows = plan.execute(&db);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.arity(), 4);
+            assert_eq!(row[AttrId(3)], Value::str("UK"));
+        }
+    }
+
+    #[test]
+    fn semi_join_keeps_matched_rows() {
+        let db = db();
+        let saving = db.schema().rel_id("saving").unwrap();
+        let interest = db.schema().rel_id("interest").unwrap();
+        let plan = Plan::scan(saving).semi_join(
+            Plan::scan(interest),
+            vec![AttrId(1)],
+            vec![AttrId(0)],
+        );
+        assert_eq!(plan.execute(&db).len(), 2);
+    }
+
+    #[test]
+    fn filter_true_is_identity() {
+        let db = db();
+        let saving = db.schema().rel_id("saving").unwrap();
+        let plan = Plan::scan(saving).filter(Predicate::True);
+        // No Filter node is introduced.
+        assert!(matches!(plan, Plan::Scan(_)));
+        assert_eq!(plan.execute(&db).len(), 3);
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let db = db();
+        let saving = db.schema().rel_id("saving").unwrap();
+        let interest = db.schema().rel_id("interest").unwrap();
+        let plan = Plan::scan(saving).anti_join(
+            Plan::scan(interest),
+            vec![AttrId(1)],
+            vec![AttrId(0)],
+        );
+        let s = plan.to_string();
+        assert!(s.starts_with("antijoin"));
+        assert!(s.contains("scan(R0)"));
+    }
+}

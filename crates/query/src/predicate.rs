@@ -1,0 +1,240 @@
+//! Selection predicates.
+
+use condep_model::{AttrId, PValue, PatternRow, Tuple, Value};
+use std::fmt;
+
+/// A boolean condition over a single tuple.
+///
+/// Rich enough to express every selection the dependency checkers need:
+/// constant equality (`σ_{A = a}`), pattern matching against a tableau
+/// row (`t[X] ≍ tp[X]`), attribute equality (`A = B`, used after joins),
+/// and the boolean combinators.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Predicate {
+    /// Always true (the neutral selection).
+    True,
+    /// Always false.
+    False,
+    /// `t[attr] = value`.
+    AttrEq(AttrId, Value),
+    /// `t[attr] ≠ value`.
+    AttrNe(AttrId, Value),
+    /// `t[a] = t[b]` (within one, possibly concatenated, row).
+    AttrsEq(AttrId, AttrId),
+    /// `t[attrs] ≍ row` — the pattern-match selection that makes
+    /// conditional dependencies "conditional".
+    Matches {
+        /// The attribute list the row is aligned with.
+        attrs: Vec<AttrId>,
+        /// The pattern row.
+        row: PatternRow,
+    },
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Conjunction over all children.
+    And(Vec<Predicate>),
+    /// Disjunction over all children.
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// `t[attrs] ≍ row` as a predicate; collapses to [`Predicate::True`]
+    /// when the row is all wildcards (a useful normalization: traditional
+    /// dependencies select everything).
+    pub fn matches(attrs: Vec<AttrId>, row: PatternRow) -> Predicate {
+        debug_assert_eq!(attrs.len(), row.len());
+        if row.is_all_any() {
+            Predicate::True
+        } else {
+            Predicate::Matches { attrs, row }
+        }
+    }
+
+    /// Conjunction builder that flattens nested `And`s and drops `True`s.
+    pub fn and(parts: impl IntoIterator<Item = Predicate>) -> Predicate {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Predicate::True => {}
+                Predicate::False => return Predicate::False,
+                Predicate::And(children) => flat.extend(children),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Predicate::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Predicate::And(flat),
+        }
+    }
+
+    /// Disjunction builder that flattens nested `Or`s and drops `False`s.
+    pub fn or(parts: impl IntoIterator<Item = Predicate>) -> Predicate {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Predicate::False => {}
+                Predicate::True => return Predicate::True,
+                Predicate::Or(children) => flat.extend(children),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Predicate::False,
+            1 => flat.pop().expect("len checked"),
+            _ => Predicate::Or(flat),
+        }
+    }
+
+    /// Evaluates the predicate on one tuple.
+    pub fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::AttrEq(a, v) => &t[*a] == v,
+            Predicate::AttrNe(a, v) => &t[*a] != v,
+            Predicate::AttrsEq(a, b) => t[*a] == t[*b],
+            Predicate::Matches { attrs, row } => row.matches_tuple(t, attrs),
+            Predicate::Not(p) => !p.eval(t),
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(t)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(t)),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::False => write!(f, "false"),
+            Predicate::AttrEq(a, v) => write!(f, "{a} = {v}"),
+            Predicate::AttrNe(a, v) => write!(f, "{a} != {v}"),
+            Predicate::AttrsEq(a, b) => write!(f, "{a} = {b}"),
+            Predicate::Matches { attrs, row } => {
+                write!(f, "[")?;
+                for (i, a) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "] ~ {row}")
+            }
+            Predicate::Not(p) => write!(f, "not ({p})"),
+            Predicate::And(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    write!(f, "({p})")?;
+                }
+                Ok(())
+            }
+            Predicate::Or(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " or ")?;
+                    }
+                    write!(f, "({p})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Builds the selection `t[attrs] ≍ row` restricted to the *constant*
+/// cells of the row — the wildcard cells impose no condition, so this is
+/// semantically identical to [`Predicate::matches`] but often produces a
+/// smaller predicate.
+pub fn constant_cells_predicate(attrs: &[AttrId], row: &PatternRow) -> Predicate {
+    debug_assert_eq!(attrs.len(), row.len());
+    Predicate::and(
+        attrs
+            .iter()
+            .zip(row.cells())
+            .filter_map(|(a, cell)| match cell {
+                PValue::Any => None,
+                PValue::Const(v) => Some(Predicate::AttrEq(*a, v.clone())),
+            }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condep_model::{prow, tuple};
+
+    #[test]
+    fn atoms_evaluate() {
+        let t = tuple!["EDI", "UK", "1.5%"];
+        assert!(Predicate::AttrEq(AttrId(0), Value::str("EDI")).eval(&t));
+        assert!(Predicate::AttrNe(AttrId(0), Value::str("NYC")).eval(&t));
+        assert!(!Predicate::AttrsEq(AttrId(0), AttrId(1)).eval(&t));
+        assert!(Predicate::AttrsEq(AttrId(2), AttrId(2)).eval(&t));
+        assert!(Predicate::True.eval(&t));
+        assert!(!Predicate::False.eval(&t));
+    }
+
+    #[test]
+    fn matches_predicate_and_normalization() {
+        let t = tuple!["EDI", "UK"];
+        let p = Predicate::matches(vec![AttrId(0), AttrId(1)], prow!["EDI", _]);
+        assert!(p.eval(&t));
+        // All-wildcard rows normalize away.
+        assert_eq!(
+            Predicate::matches(vec![AttrId(0)], prow![_]),
+            Predicate::True
+        );
+    }
+
+    #[test]
+    fn combinators_flatten_and_shortcut() {
+        let a = Predicate::AttrEq(AttrId(0), Value::str("x"));
+        let b = Predicate::AttrEq(AttrId(1), Value::str("y"));
+        let and = Predicate::and([a.clone(), Predicate::True, b.clone()]);
+        assert_eq!(and, Predicate::And(vec![a.clone(), b.clone()]));
+        assert_eq!(Predicate::and([Predicate::True]), Predicate::True);
+        assert_eq!(
+            Predicate::and([a.clone(), Predicate::False]),
+            Predicate::False
+        );
+        assert_eq!(Predicate::or([Predicate::False]), Predicate::False);
+        assert_eq!(Predicate::or([a.clone(), Predicate::True]), Predicate::True);
+        // Single child unwraps.
+        assert_eq!(Predicate::or([b.clone()]), b);
+    }
+
+    #[test]
+    fn not_negates() {
+        let t = tuple!["a"];
+        let p = Predicate::Not(Box::new(Predicate::AttrEq(AttrId(0), Value::str("a"))));
+        assert!(!p.eval(&t));
+    }
+
+    #[test]
+    fn constant_cells_predicate_ignores_wildcards() {
+        let attrs = [AttrId(0), AttrId(1), AttrId(2)];
+        let row = prow![_, "UK", _];
+        let p = constant_cells_predicate(&attrs, &row);
+        assert_eq!(p, Predicate::AttrEq(AttrId(1), Value::str("UK")));
+        assert!(p.eval(&tuple!["anything", "UK", "zzz"]));
+        assert!(!p.eval(&tuple!["anything", "US", "zzz"]));
+        // All-wildcard row yields the neutral selection.
+        assert_eq!(
+            constant_cells_predicate(&attrs, &prow![_, _, _]),
+            Predicate::True
+        );
+    }
+
+    #[test]
+    fn display_round_trip_smoke() {
+        let p = Predicate::and([
+            Predicate::AttrEq(AttrId(0), Value::str("x")),
+            Predicate::Not(Box::new(Predicate::AttrsEq(AttrId(1), AttrId(2)))),
+        ]);
+        let s = p.to_string();
+        assert!(s.contains("#0 = x"));
+        assert!(s.contains("not"));
+    }
+}

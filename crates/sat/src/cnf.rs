@@ -1,0 +1,225 @@
+//! CNF formulas and encoding helpers.
+
+use crate::lit::{Lit, Var};
+use std::fmt;
+
+/// A formula in conjunctive normal form.
+///
+/// Clauses are normalized on insertion: duplicate literals are removed
+/// and tautological clauses (containing `x` and `¬x`) are dropped. The
+/// builder also tracks the variable count, growing it as literals are
+/// mentioned, and offers the cardinality encodings used by the CFD
+/// consistency reduction (exactly-one over domain values).
+#[derive(Clone, Debug, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+    /// Set when an empty clause was added; the formula is trivially UNSAT.
+    has_empty_clause: bool,
+}
+
+impl Cnf {
+    /// An empty (trivially satisfiable) formula.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Allocates `n` fresh variables.
+    pub fn fresh_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.fresh_var()).collect()
+    }
+
+    /// Number of variables mentioned or allocated so far.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// The clauses (normalized).
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Number of clauses (the empty clause, if present, is counted via
+    /// [`Cnf::is_trivially_unsat`] instead).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether an empty clause was added.
+    pub fn is_trivially_unsat(&self) -> bool {
+        self.has_empty_clause
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    pub fn add_clause<I>(&mut self, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let mut c: Vec<Lit> = lits.into_iter().collect();
+        c.sort();
+        c.dedup();
+        // Tautology: sorted order places x_i¬ and x_i+ adjacently.
+        if c.windows(2).any(|w| w[0] == !w[1]) {
+            return;
+        }
+        if c.is_empty() {
+            self.has_empty_clause = true;
+            return;
+        }
+        for l in &c {
+            self.num_vars = self.num_vars.max(l.var().0 + 1);
+        }
+        self.clauses.push(c);
+    }
+
+    /// Adds the unit clause `{lit}`.
+    pub fn add_unit(&mut self, lit: Lit) {
+        self.add_clause([lit]);
+    }
+
+    /// Adds `a → b` (i.e. `¬a ∨ b`).
+    pub fn add_implies(&mut self, a: Lit, b: Lit) {
+        self.add_clause([!a, b]);
+    }
+
+    /// Adds `(a1 ∧ ... ∧ ak) → b`.
+    pub fn add_implies_all(&mut self, antecedent: &[Lit], b: Lit) {
+        self.add_clause(antecedent.iter().map(|l| !*l).chain([b]));
+    }
+
+    /// Adds `a ↔ b`.
+    pub fn add_iff(&mut self, a: Lit, b: Lit) {
+        self.add_implies(a, b);
+        self.add_implies(b, a);
+    }
+
+    /// Adds "at least one of `lits`".
+    pub fn add_at_least_one(&mut self, lits: &[Lit]) {
+        self.add_clause(lits.iter().copied());
+    }
+
+    /// Adds "at most one of `lits`" (pairwise encoding — fine for the
+    /// small domains of CFD patterns; the paper's finite domains hold 2
+    /// to 100 elements).
+    pub fn add_at_most_one(&mut self, lits: &[Lit]) {
+        for i in 0..lits.len() {
+            for j in (i + 1)..lits.len() {
+                self.add_clause([!lits[i], !lits[j]]);
+            }
+        }
+    }
+
+    /// Adds "exactly one of `lits`".
+    pub fn add_exactly_one(&mut self, lits: &[Lit]) {
+        self.add_at_least_one(lits);
+        self.add_at_most_one(lits);
+    }
+
+    /// Evaluates the formula under a total assignment (for testing and
+    /// model verification).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        !self.has_empty_clause
+            && self.clauses.iter().all(|c| {
+                c.iter()
+                    .any(|l| l.eval(assignment[l.var().index()]))
+            })
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "p cnf {} {}", self.num_vars, self.clauses.len())?;
+        for c in &self.clauses {
+            for l in c {
+                let v = l.var().0 as i64 + 1;
+                write!(f, "{} ", if l.is_positive() { v } else { -v })?;
+            }
+            writeln!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clause_normalization() {
+        let mut cnf = Cnf::new();
+        let a = Var(0).pos();
+        // Duplicates collapse.
+        cnf.add_clause([a, a]);
+        assert_eq!(cnf.clauses()[0], vec![a]);
+        // Tautologies vanish.
+        cnf.add_clause([a, !a]);
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+
+    #[test]
+    fn empty_clause_marks_unsat() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([]);
+        assert!(cnf.is_trivially_unsat());
+        assert!(!cnf.eval(&[]));
+    }
+
+    #[test]
+    fn var_count_tracks_mentions_and_allocations() {
+        let mut cnf = Cnf::new();
+        let v = cnf.fresh_var();
+        assert_eq!(v, Var(0));
+        cnf.add_unit(Var(9).pos());
+        assert_eq!(cnf.num_vars(), 10);
+        let more = cnf.fresh_vars(2);
+        assert_eq!(more, vec![Var(10), Var(11)]);
+    }
+
+    #[test]
+    fn exactly_one_encoding_semantics() {
+        let mut cnf = Cnf::new();
+        let vs: Vec<Lit> = cnf.fresh_vars(3).into_iter().map(Var::pos).collect();
+        cnf.add_exactly_one(&vs);
+        // Exactly one true satisfies; zero or two do not.
+        assert!(cnf.eval(&[true, false, false]));
+        assert!(cnf.eval(&[false, true, false]));
+        assert!(!cnf.eval(&[false, false, false]));
+        assert!(!cnf.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn implication_encodings() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var().pos();
+        let b = cnf.fresh_var().pos();
+        let c = cnf.fresh_var().pos();
+        cnf.add_implies_all(&[a, b], c);
+        assert!(cnf.eval(&[true, true, true]));
+        assert!(!cnf.eval(&[true, true, false]));
+        assert!(cnf.eval(&[true, false, false]));
+
+        let mut cnf2 = Cnf::new();
+        let x = cnf2.fresh_var().pos();
+        let y = cnf2.fresh_var().pos();
+        cnf2.add_iff(x, y);
+        assert!(cnf2.eval(&[true, true]));
+        assert!(cnf2.eval(&[false, false]));
+        assert!(!cnf2.eval(&[true, false]));
+    }
+
+    #[test]
+    fn dimacs_display() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([Var(0).pos(), Var(1).neg()]);
+        let s = cnf.to_string();
+        assert!(s.starts_with("p cnf 2 1"));
+        assert!(s.contains("1 -2 0"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn pos(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity, packed into one `u32`
+/// (`2·var + sign`, MiniSat-style) so watch lists index by literal code.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Builds a literal.
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var.0 << 1 | u32::from(positive))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Is the literal positive?
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense code in `[0, 2·num_vars)` for watch-list indexing.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::code`].
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// The value this literal takes under an assignment of its variable.
+    pub fn eval(self, var_value: bool) -> bool {
+        var_value == self.is_positive()
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "¬{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_round_trip() {
+        let v = Var(7);
+        assert!(v.pos().is_positive());
+        assert!(!v.neg().is_positive());
+        assert_eq!(v.pos().var(), v);
+        assert_eq!(v.neg().var(), v);
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        let l = Var(3).pos();
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn codes_are_dense_and_invertible() {
+        for v in 0..10u32 {
+            for pos in [false, true] {
+                let l = Lit::new(Var(v), pos);
+                assert!(l.code() < 20);
+                assert_eq!(Lit::from_code(l.code()), l);
+            }
+        }
+        // Codes of a literal and its negation differ only in the low bit.
+        assert_eq!(Var(4).pos().code() ^ 1, Var(4).neg().code());
+    }
+
+    #[test]
+    fn eval_under_assignment() {
+        let l = Var(0).pos();
+        assert!(l.eval(true));
+        assert!(!l.eval(false));
+        assert!((!l).eval(false));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Var(2).pos().to_string(), "x2");
+        assert_eq!(Var(2).neg().to_string(), "¬x2");
+    }
+}

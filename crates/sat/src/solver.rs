@@ -1,0 +1,482 @@
+//! The DPLL engine.
+//!
+//! Iterative DPLL with two-literal watching for unit propagation and
+//! chronological backtracking, plus a static activity heuristic (branch
+//! on the most frequently occurring unassigned variable). Complete: it
+//! always answers SAT (with a model) or UNSAT within the configured
+//! conflict budget, or `Unknown` when the budget runs out.
+
+use crate::cnf::Cnf;
+use crate::lit::{Lit, Var};
+
+/// Tunables for the solver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverConfig {
+    /// Give up (returning [`SolveResult::Unknown`]) after this many
+    /// conflicts; `None` means run to completion.
+    pub max_conflicts: Option<u64>,
+}
+
+
+/// Outcome of [`Solver::solve`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// Satisfiable, with a witnessing total assignment indexed by
+    /// variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+    /// Conflict budget exhausted before a verdict.
+    Unknown,
+}
+
+impl SolveResult {
+    /// Is this a SAT verdict?
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+}
+
+/// Basic search statistics, useful in benchmarks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Number of branching decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts hit.
+    pub conflicts: u64,
+}
+
+/// A DPLL solver instance over one CNF formula.
+pub struct Solver {
+    clauses: Vec<Vec<Lit>>,
+    /// `watches[lit.code()]` = indices of clauses currently watching `lit`.
+    watches: Vec<Vec<usize>>,
+    /// Partial assignment, indexed by variable.
+    assign: Vec<Option<bool>>,
+    /// Assigned literals in assignment order.
+    trail: Vec<Lit>,
+    /// `trail_lim[d]` = trail length when decision level `d+1` started.
+    trail_lim: Vec<usize>,
+    /// Decisions made so far: `(literal, tried_both_polarities)`.
+    decisions: Vec<(Lit, bool)>,
+    /// Next trail position to propagate.
+    qhead: usize,
+    /// Static branching scores (occurrence counts).
+    scores: Vec<u64>,
+    /// Preferred polarity per variable (majority of occurrences).
+    polarity: Vec<bool>,
+    /// Units from the original formula (propagated at level 0).
+    initial_units: Vec<Lit>,
+    trivially_unsat: bool,
+    config: SolverConfig,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Prepares a solver for `cnf`.
+    pub fn new(cnf: &Cnf) -> Self {
+        Self::with_config(cnf, SolverConfig::default())
+    }
+
+    /// Prepares a solver with an explicit configuration.
+    pub fn with_config(cnf: &Cnf, config: SolverConfig) -> Self {
+        let n = cnf.num_vars() as usize;
+        let mut solver = Solver {
+            clauses: Vec::with_capacity(cnf.num_clauses()),
+            watches: vec![Vec::new(); 2 * n],
+            assign: vec![None; n],
+            trail: Vec::with_capacity(n),
+            trail_lim: Vec::new(),
+            decisions: Vec::new(),
+            qhead: 0,
+            scores: vec![0; n],
+            polarity: vec![true; n],
+            initial_units: Vec::new(),
+            trivially_unsat: cnf.is_trivially_unsat(),
+            config,
+            stats: SolverStats::default(),
+        };
+        let mut pos_count = vec![0i64; n];
+        for clause in cnf.clauses() {
+            for &l in clause {
+                solver.scores[l.var().index()] += 1;
+                pos_count[l.var().index()] += if l.is_positive() { 1 } else { -1 };
+            }
+            match clause.len() {
+                1 => solver.initial_units.push(clause[0]),
+                _ => {
+                    let idx = solver.clauses.len();
+                    solver.watches[clause[0].code()].push(idx);
+                    solver.watches[clause[1].code()].push(idx);
+                    solver.clauses.push(clause.clone());
+                }
+            }
+        }
+        for (v, c) in pos_count.iter().enumerate() {
+            solver.polarity[v] = *c >= 0;
+        }
+        solver
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Runs the search.
+    pub fn solve(&mut self) -> SolveResult {
+        if self.trivially_unsat {
+            return SolveResult::Unsat;
+        }
+        // Level-0 units.
+        for unit in std::mem::take(&mut self.initial_units) {
+            if !self.enqueue(unit) {
+                return SolveResult::Unsat;
+            }
+        }
+        loop {
+            if self.propagate_all() {
+                // Conflict.
+                self.stats.conflicts += 1;
+                if let Some(max) = self.config.max_conflicts {
+                    if self.stats.conflicts > max {
+                        return SolveResult::Unknown;
+                    }
+                }
+                if !self.backtrack() {
+                    return SolveResult::Unsat;
+                }
+            } else {
+                match self.pick_branch_var() {
+                    None => {
+                        let model = self
+                            .assign
+                            .iter()
+                            .map(|a| a.unwrap_or(true))
+                            .collect();
+                        return SolveResult::Sat(model);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        let lit = Lit::new(v, self.polarity[v.index()]);
+                        self.new_decision_level();
+                        self.decisions.push((lit, false));
+                        let ok = self.enqueue(lit);
+                        debug_assert!(ok, "decision literal was unassigned");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value of a literal under the current partial assignment.
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var().index()].map(|v| l.eval(v))
+    }
+
+    /// Assigns `l` true; returns `false` on immediate contradiction.
+    fn enqueue(&mut self, l: Lit) -> bool {
+        match self.lit_value(l) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                self.assign[l.var().index()] = Some(l.is_positive());
+                self.trail.push(l);
+                self.stats.propagations += 1;
+                true
+            }
+        }
+    }
+
+    /// Propagates until fixpoint. Returns `true` iff a conflict arose.
+    fn propagate_all(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            // Clauses watching ¬p just lost that watch; visit them.
+            let false_lit = !p;
+            let watching = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut keep = Vec::with_capacity(watching.len());
+            let mut conflict = false;
+            for &ci in &watching {
+                if conflict {
+                    keep.push(ci);
+                    continue;
+                }
+                let clause = &mut self.clauses[ci];
+                // Normalize: the false literal sits at position 1.
+                if clause[0] == false_lit {
+                    clause.swap(0, 1);
+                }
+                debug_assert_eq!(clause[1], false_lit);
+                // Satisfied through the other watch: keep as-is.
+                if self.assign[clause[0].var().index()]
+                    .map(|v| clause[0].eval(v))
+                    == Some(true)
+                {
+                    keep.push(ci);
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut moved = false;
+                for k in 2..clause.len() {
+                    let cand = clause[k];
+                    let val = self.assign[cand.var().index()].map(|v| cand.eval(v));
+                    if val != Some(false) {
+                        clause.swap(1, k);
+                        self.watches[cand.code()].push(ci);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit (or conflicting) on clause[0].
+                keep.push(ci);
+                let unit = clause[0];
+                if !self.enqueue(unit) {
+                    conflict = true;
+                }
+            }
+            self.watches[false_lit.code()] = keep;
+            if conflict {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    /// Undoes assignments above decision level `level`.
+    fn cancel_until(&mut self, level: usize) {
+        if self.trail_lim.len() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level];
+        for l in self.trail.drain(bound..) {
+            self.assign[l.var().index()] = None;
+        }
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len();
+    }
+
+    /// Chronological backtracking: flip the deepest un-flipped decision.
+    /// Returns `false` when the search space is exhausted (UNSAT).
+    fn backtrack(&mut self) -> bool {
+        loop {
+            match self.decisions.pop() {
+                None => return false,
+                Some((lit, tried_both)) => {
+                    self.cancel_until(self.decisions.len());
+                    if !tried_both {
+                        self.new_decision_level();
+                        self.decisions.push((!lit, true));
+                        if self.enqueue(!lit) {
+                            return true;
+                        }
+                        // Contradiction on the flipped literal: keep
+                        // unwinding.
+                        let popped = self.decisions.pop();
+                        debug_assert!(popped.is_some());
+                        self.cancel_until(self.decisions.len());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Highest-score unassigned variable.
+    fn pick_branch_var(&self) -> Option<Var> {
+        self.assign
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_none())
+            .max_by_key(|(i, _)| (self.scores[*i], std::cmp::Reverse(*i)))
+            .map(|(i, _)| Var(i as u32))
+    }
+}
+
+/// Convenience: solve a formula with default configuration.
+pub fn solve(cnf: &Cnf) -> SolveResult {
+    Solver::new(cnf).solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_sat(cnf: &Cnf) -> bool {
+        let n = cnf.num_vars() as usize;
+        assert!(n <= 20, "brute force limited to 20 vars");
+        (0u64..(1 << n)).any(|bits| {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            cnf.eval(&assignment)
+        })
+    }
+
+    fn check_against_brute_force(cnf: &Cnf) {
+        let expected = brute_force_sat(cnf);
+        match solve(cnf) {
+            SolveResult::Sat(model) => {
+                assert!(expected, "solver said SAT, brute force says UNSAT");
+                assert!(cnf.eval(&model), "returned model does not satisfy");
+            }
+            SolveResult::Unsat => assert!(!expected, "solver said UNSAT, brute force says SAT"),
+            SolveResult::Unknown => panic!("no budget configured"),
+        }
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert!(solve(&Cnf::new()).is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([]);
+        assert_eq!(solve(&cnf), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn single_unit() {
+        let mut cnf = Cnf::new();
+        let v = cnf.fresh_var();
+        cnf.add_unit(v.neg());
+        match solve(&cnf) {
+            SolveResult::Sat(m) => assert!(!m[0]),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_units_unsat() {
+        let mut cnf = Cnf::new();
+        let v = cnf.fresh_var();
+        cnf.add_unit(v.pos());
+        cnf.add_unit(v.neg());
+        assert_eq!(solve(&cnf), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn implication_chain_propagates() {
+        // x0 ∧ (x0→x1) ∧ (x1→x2) ∧ ... ∧ (x9→¬x0) is UNSAT.
+        let mut cnf = Cnf::new();
+        let vs = cnf.fresh_vars(10);
+        cnf.add_unit(vs[0].pos());
+        for w in vs.windows(2) {
+            cnf.add_implies(w[0].pos(), w[1].pos());
+        }
+        cnf.add_implies(vs[9].pos(), vs[0].neg());
+        assert_eq!(solve(&cnf), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_{i,j}: pigeon i in hole j; 3 pigeons, 2 holes.
+        let mut cnf = Cnf::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| cnf.fresh_vars(2).into_iter().map(Var::pos).collect())
+            .collect();
+        for row in &p {
+            cnf.add_at_least_one(row);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    cnf.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert_eq!(solve(&cnf), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn exactly_one_has_model() {
+        let mut cnf = Cnf::new();
+        let vs: Vec<Lit> = cnf.fresh_vars(5).into_iter().map(Var::pos).collect();
+        cnf.add_exactly_one(&vs);
+        match solve(&cnf) {
+            SolveResult::Sat(m) => {
+                assert_eq!(m.iter().filter(|b| **b).count(), 1);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_seeded_random_3sat() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(3..10usize);
+            // Clause/var ratio around the hard region sometimes.
+            let m = rng.gen_range(2..(5 * n));
+            let mut cnf = Cnf::new();
+            let vars = cnf.fresh_vars(n);
+            for _ in 0..m {
+                let k = rng.gen_range(1..=3usize);
+                let lits: Vec<Lit> = (0..k)
+                    .map(|_| {
+                        let v = vars[rng.gen_range(0..n)];
+                        if rng.gen_bool(0.5) {
+                            v.pos()
+                        } else {
+                            v.neg()
+                        }
+                    })
+                    .collect();
+                cnf.add_clause(lits);
+            }
+            check_against_brute_force(&cnf);
+        }
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        // Pigeonhole 6→5 forces many conflicts for a DPLL solver.
+        let mut cnf = Cnf::new();
+        let p: Vec<Vec<Lit>> = (0..6)
+            .map(|_| cnf.fresh_vars(5).into_iter().map(Var::pos).collect())
+            .collect();
+        for row in &p {
+            cnf.add_at_least_one(row);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..5 {
+            for i1 in 0..6 {
+                for i2 in (i1 + 1)..6 {
+                    cnf.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        let mut solver = Solver::with_config(
+            &cnf,
+            SolverConfig {
+                max_conflicts: Some(3),
+            },
+        );
+        assert_eq!(solver.solve(), SolveResult::Unknown);
+        // With no budget it proves UNSAT.
+        assert_eq!(solve(&cnf), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let mut cnf = Cnf::new();
+        let vs = cnf.fresh_vars(4);
+        cnf.add_clause([vs[0].pos(), vs[1].pos()]);
+        cnf.add_clause([vs[2].pos(), vs[3].pos()]);
+        let mut solver = Solver::new(&cnf);
+        assert!(solver.solve().is_sat());
+        assert!(solver.stats().propagations > 0);
+    }
+}

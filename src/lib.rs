@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # condep — conditional dependencies for data quality
+//!
+//! A from-scratch Rust implementation of **conditional inclusion
+//! dependencies (CINDs)** and their interaction with **conditional
+//! functional dependencies (CFDs)**, reproducing
+//!
+//! > Loreto Bravo, Wenfei Fan, Shuai Ma.
+//! > *Extending Dependencies with Conditions.* VLDB 2007.
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`model`] | relational substrate: values, finite/infinite domains, schemas, tuples, databases, pattern rows and the match order `≍` |
+//! | [`query`] | in-memory execution engine: predicates, hash indexes, select/project/join/anti-join, logical plans |
+//! | [`sat`] | DPLL SAT solver (stands in for SAT4j) |
+//! | [`cfd`] | CFDs: syntax, normal form, satisfaction, violations, exact consistency & implication |
+//! | [`cind`] | **the paper's contribution** — CINDs: syntax, semantics, normal form (Prop 3.1), consistency witness (Thm 3.2), inference system `I` (Fig 3), implication (Thms 3.4/3.5), minimal cover |
+//! | [`chase`] | the bounded-pool chase of Section 5.1 (`IND(ψ)`/`FD(φ)`, `chaseI`, valuations) |
+//! | [`consistency`] | the Section 5 heuristics: `CFD_Checking` (chase & SAT), dependency graph, `preProcessing`, `RandomChecking`, `Checking` |
+//! | [`gen`] | seeded workload generators matching the Section 6 experimental setting |
+//! | [`report`] | high-level data-quality façade: run a whole Σ against a database and aggregate violations |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use condep::model::fixtures::bank_database;
+//! use condep::cind::{fixtures, normalize};
+//!
+//! // The dirty instance of Figure 1 violates ψ6 through tuple t10 …
+//! let db = bank_database();
+//! let psi6 = normalize::normalize(&fixtures::psi6());
+//! let violations = condep::cind::find_violations(&db, &psi6[0]);
+//! assert_eq!(violations.len(), 1);
+//! ```
+
+pub use condep_cfd as cfd;
+pub use condep_chase as chase;
+pub use condep_consistency as consistency;
+pub use condep_core as cind;
+pub use condep_dsl as dsl;
+pub use condep_gen as gen;
+pub use condep_model as model;
+pub use condep_query as query;
+pub use condep_sat as sat;
+
+pub mod report;
+
+/// Commonly used types, one `use` away.
+pub mod prelude {
+    pub use crate::cfd::{Cfd, NormalCfd};
+    pub use crate::chase::{ChaseConfig, TemplateDb};
+    pub use crate::cind::{Cind, NormalCind};
+    pub use crate::consistency::{checking, CheckingConfig, ConstraintSet};
+    pub use crate::model::{
+        AttrId, Database, Domain, PValue, PatternRow, RelId, Schema, Tuple, Value,
+    };
+    pub use crate::report::{QualityReport, ViolationSummary};
+}

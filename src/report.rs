@@ -1,0 +1,276 @@
+//! High-level data-quality façade.
+//!
+//! Ties the workspace together the way the paper's introduction motivates
+//! it: take a database and a set of conditional dependencies, check the
+//! dependencies are consistent, and report every violation with enough
+//! context to drive cleaning.
+
+use condep_cfd::{normalize as cfd_normalize, Cfd, CfdViolation, NormalCfd};
+use condep_consistency::{checking, CheckingConfig, ConstraintSet};
+use condep_core::{normalize as cind_normalize, Cind, CindViolation, NormalCind};
+use condep_model::{Database, RelId, Schema, Tuple};
+use std::fmt;
+use std::sync::Arc;
+
+/// One detected violation, tagged with its source constraint.
+#[derive(Clone, Debug)]
+pub enum Violation {
+    /// A CFD violation (single-tuple or pair).
+    Cfd {
+        /// Index of the (normalized) CFD in the suite.
+        constraint: usize,
+        /// The violation details.
+        violation: CfdViolation,
+        /// The relation involved.
+        rel: RelId,
+    },
+    /// A CIND violation: a triggered tuple with no partner.
+    Cind {
+        /// Index of the (normalized) CIND in the suite.
+        constraint: usize,
+        /// The violation details.
+        violation: CindViolation,
+        /// The source relation.
+        rel: RelId,
+    },
+}
+
+/// Counts per constraint kind.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ViolationSummary {
+    /// CFD violations found.
+    pub cfd_violations: usize,
+    /// CIND violations found.
+    pub cind_violations: usize,
+    /// Tuples inspected.
+    pub tuples_checked: usize,
+}
+
+impl ViolationSummary {
+    /// Total violations.
+    pub fn total(&self) -> usize {
+        self.cfd_violations + self.cind_violations
+    }
+
+    /// Is the database clean with respect to the suite?
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+/// The full quality report.
+#[derive(Clone, Debug)]
+pub struct QualityReport {
+    /// Aggregate counts.
+    pub summary: ViolationSummary,
+    /// Every violation found, in deterministic order.
+    pub violations: Vec<Violation>,
+}
+
+impl fmt::Display for QualityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} violation(s): {} CFD, {} CIND over {} tuple(s)",
+            self.summary.total(),
+            self.summary.cfd_violations,
+            self.summary.cind_violations,
+            self.summary.tuples_checked,
+        )
+    }
+}
+
+/// A compiled suite of conditional dependencies over one schema.
+///
+/// Construction normalizes every dependency (Prop 3.1 for CINDs, the
+/// Section 4 normal form for CFDs); checking runs the hash-based
+/// detectors of `condep-cfd`/`condep-core`.
+#[derive(Clone, Debug)]
+pub struct QualitySuite {
+    schema: Arc<Schema>,
+    cfds: Vec<NormalCfd>,
+    cinds: Vec<NormalCind>,
+}
+
+impl QualitySuite {
+    /// Builds a suite from general-form dependencies.
+    pub fn new(schema: Arc<Schema>, cfds: &[Cfd], cinds: &[Cind]) -> Self {
+        QualitySuite {
+            schema,
+            cfds: cfd_normalize::normalize_all(cfds),
+            cinds: cind_normalize::normalize_all(cinds),
+        }
+    }
+
+    /// Builds a suite directly from normal forms.
+    pub fn from_normal(
+        schema: Arc<Schema>,
+        cfds: Vec<NormalCfd>,
+        cinds: Vec<NormalCind>,
+    ) -> Self {
+        QualitySuite {
+            schema,
+            cfds,
+            cinds,
+        }
+    }
+
+    /// The schema the suite is defined over.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The normalized CFDs.
+    pub fn cfds(&self) -> &[NormalCfd] {
+        &self.cfds
+    }
+
+    /// The normalized CINDs.
+    pub fn cinds(&self) -> &[NormalCind] {
+        &self.cinds
+    }
+
+    /// Checks whether the suite itself is consistent, using algorithm
+    /// `Checking` (Figure 9). `Some(witness)` certifies consistency;
+    /// `None` means no witness was found (sound, not complete —
+    /// Theorem 4.2 makes completeness unattainable).
+    pub fn check_consistency(&self, config: &CheckingConfig) -> Option<Database> {
+        let sigma = ConstraintSet::new(
+            self.schema.clone(),
+            self.cfds.clone(),
+            self.cinds.clone(),
+        );
+        checking(&sigma, config)
+    }
+
+    /// Runs every detector against `db`.
+    pub fn check(&self, db: &Database) -> QualityReport {
+        let mut violations = Vec::new();
+        let mut summary = ViolationSummary {
+            tuples_checked: db.total_tuples(),
+            ..ViolationSummary::default()
+        };
+        for (i, cfd) in self.cfds.iter().enumerate() {
+            for v in condep_cfd::find_violations(db, cfd) {
+                summary.cfd_violations += 1;
+                violations.push(Violation::Cfd {
+                    constraint: i,
+                    violation: v,
+                    rel: cfd.rel(),
+                });
+            }
+        }
+        for (i, cind) in self.cinds.iter().enumerate() {
+            for v in condep_core::find_violations(db, cind) {
+                summary.cind_violations += 1;
+                violations.push(Violation::Cind {
+                    constraint: i,
+                    violation: v,
+                    rel: cind.lhs_rel(),
+                });
+            }
+        }
+        QualityReport {
+            summary,
+            violations,
+        }
+    }
+
+    /// The offending tuples, resolved against `db` — what a repair tool
+    /// consumes.
+    pub fn offending_tuples<'a>(
+        &self,
+        db: &'a Database,
+        report: &QualityReport,
+    ) -> Vec<(&'static str, RelId, &'a Tuple)> {
+        let mut out = Vec::new();
+        for v in &report.violations {
+            match v {
+                Violation::Cfd {
+                    violation, rel, ..
+                } => match violation {
+                    CfdViolation::SingleTuple { tuple, .. } => {
+                        if let Some(t) = db.relation(*rel).get(*tuple) {
+                            out.push(("cfd", *rel, t));
+                        }
+                    }
+                    CfdViolation::Pair { left, right } => {
+                        for pos in [left, right] {
+                            if let Some(t) = db.relation(*rel).get(*pos) {
+                                out.push(("cfd", *rel, t));
+                            }
+                        }
+                    }
+                },
+                Violation::Cind {
+                    violation, rel, ..
+                } => {
+                    if let Some(t) = db.relation(*rel).get(violation.tuple) {
+                        out.push(("cind", *rel, t));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condep_cfd::fixtures as cfd_fixtures;
+    use condep_core::fixtures as cind_fixtures;
+    use condep_model::fixtures::{bank_database, bank_schema, clean_bank_database};
+
+    fn bank_suite() -> QualitySuite {
+        QualitySuite::new(
+            bank_schema(),
+            &[
+                cfd_fixtures::phi1(),
+                cfd_fixtures::phi2(),
+                cfd_fixtures::phi3(),
+            ],
+            &cind_fixtures::figure_2(),
+        )
+    }
+
+    #[test]
+    fn dirty_bank_report_finds_exactly_the_two_paper_errors() {
+        // t12 violates ϕ3 (CFD) and t10 violates ψ6 (CIND).
+        let suite = bank_suite();
+        let db = bank_database();
+        let report = suite.check(&db);
+        assert_eq!(report.summary.cfd_violations, 1);
+        assert_eq!(report.summary.cind_violations, 1);
+        assert!(!report.summary.is_clean());
+        let offenders = suite.offending_tuples(&db, &report);
+        assert_eq!(offenders.len(), 2);
+    }
+
+    #[test]
+    fn clean_bank_report_is_clean() {
+        let suite = bank_suite();
+        let report = suite.check(&clean_bank_database());
+        assert!(report.summary.is_clean());
+        assert_eq!(report.summary.tuples_checked, 14);
+    }
+
+    #[test]
+    fn suite_consistency_check_finds_a_witness() {
+        let suite = bank_suite();
+        let witness = suite
+            .check_consistency(&CheckingConfig::default())
+            .expect("Figure 2 + Figure 4 are consistent");
+        assert!(!witness.is_empty());
+    }
+
+    #[test]
+    fn report_displays_counts() {
+        let suite = bank_suite();
+        let report = suite.check(&bank_database());
+        let s = report.to_string();
+        assert!(s.contains("2 violation(s)"));
+        assert!(s.contains("1 CFD"));
+        assert!(s.contains("1 CIND"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The DSL front end against the rest of the workspace: parsed
+//! dependencies must behave exactly like programmatically built ones,
+//! and printing must round-trip.
+
+use condep::dsl::{parse_document, print_document};
+use condep::model::fixtures::{bank_database, clean_bank_database};
+
+/// The full Figure 2 + Figure 4 constraint file over the bank schema.
+const BANK_FILE: &str = r#"
+relation account_nyc(an: string, cn: string, ca: string, cp: string,
+                     at: {checking, saving});
+relation account_edi(an: string, cn: string, ca: string, cp: string,
+                     at: {checking, saving});
+relation saving(an: string, cn: string, ca: string, cp: string, ab: string);
+relation checking(an: string, cn: string, ca: string, cp: string, ab: string);
+relation interest(ab: string, ct: string, at: {checking, saving}, rt: string);
+
+cfd phi1: saving(an, ab -> cn, ca, cp) { (_, _ || _, _, _); }
+cfd phi2: checking(an, ab -> cn, ca, cp) { (_, _ || _, _, _); }
+cfd phi3: interest(ct, at -> rt) {
+    (_, _ || _);
+    (UK, saving || "4.5%");
+    (UK, checking || "1.5%");
+    (US, saving || "4%");
+    (US, checking || "1%");
+}
+
+cind psi1_edi: account_edi[an, cn, ca, cp; at]
+        subset saving[an, cn, ca, cp; ab] {
+    (_, _, _, _, saving || _, _, _, _, EDI);
+}
+cind psi2_edi: account_edi[an, cn, ca, cp; at]
+        subset checking[an, cn, ca, cp; ab] {
+    (_, _, _, _, checking || _, _, _, _, EDI);
+}
+cind psi3: saving[ab;] subset interest[ab;] { (_ || _); }
+cind psi4: checking[ab;] subset interest[ab;] { (_ || _); }
+cind psi5: saving[; ab] subset interest[; ab, at, ct, rt] {
+    (EDI || EDI, saving, UK, "4.5%");
+    (NYC || NYC, saving, US, "4%");
+}
+cind psi6: checking[; ab] subset interest[; ab, at, ct, rt] {
+    (EDI || EDI, checking, UK, "1.5%");
+    (NYC || NYC, checking, US, "1%");
+}
+"#;
+
+#[test]
+fn parsed_figure_2_and_4_match_the_fixtures() {
+    let doc = parse_document(BANK_FILE).expect("bank file parses");
+    assert_eq!(doc.schema.len(), 5);
+    assert_eq!(doc.cfds.len(), 3);
+    assert_eq!(doc.cinds.len(), 6);
+    // The parsed schema is attribute-for-attribute the fixture schema,
+    // so fixture databases type-check against it.
+    let fixture = condep::model::fixtures::bank_schema();
+    for ((_, a), (_, b)) in doc.schema.iter().zip(fixture.iter()) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.arity(), b.arity());
+        for (x, y) in a.attributes().iter().zip(b.attributes()) {
+            assert_eq!(x.name(), y.name());
+            assert_eq!(x.domain(), y.domain());
+        }
+    }
+}
+
+#[test]
+fn parsed_dependencies_reproduce_the_paper_claims() {
+    let doc = parse_document(BANK_FILE).unwrap();
+    // Rebuild the fixture databases against the parsed schema (same
+    // layout, verified above).
+    let rebuild = |src: condep::model::Database| {
+        let mut db = condep::model::Database::empty(doc.schema.clone());
+        for (rel, inst) in src.iter() {
+            for t in inst {
+                db.insert(rel, t.clone()).expect("layouts agree");
+            }
+        }
+        db
+    };
+    let dirty = rebuild(bank_database());
+    let clean = rebuild(clean_bank_database());
+
+    for (name, cind) in &doc.cinds {
+        let sat_dirty = condep::cind::satisfy::satisfies(&dirty, cind);
+        let sat_clean = condep::cind::satisfy::satisfies(&clean, cind);
+        assert!(sat_clean, "{name} must hold on the clean instance");
+        if name == "psi6" {
+            assert!(!sat_dirty, "ψ6 is violated by t10 (Example 2.2)");
+        } else {
+            assert!(sat_dirty, "{name} must hold on the dirty instance");
+        }
+    }
+    for (name, cfd) in &doc.cfds {
+        let sat_dirty = condep::cfd::satisfy::satisfies(&dirty, cfd);
+        assert!(condep::cfd::satisfy::satisfies(&clean, cfd));
+        if name == "phi3" {
+            assert!(!sat_dirty, "ϕ3 is violated by t12 (Example 4.1)");
+        } else {
+            assert!(sat_dirty);
+        }
+    }
+}
+
+#[test]
+fn print_parse_round_trip_preserves_everything() {
+    let doc1 = parse_document(BANK_FILE).unwrap();
+    let text = print_document(&doc1);
+    let doc2 = parse_document(&text).expect("canonical form re-parses");
+    assert_eq!(print_document(&doc2), text, "printing is idempotent");
+    for (name, cind) in &doc1.cinds {
+        assert_eq!(doc2.cind(name), Some(cind));
+    }
+    for (name, cfd) in &doc1.cfds {
+        assert_eq!(doc2.cfd(name), Some(cfd));
+    }
+}
+
+#[test]
+fn parsed_sigma_feeds_the_consistency_checker() {
+    use condep::consistency::{checking, CheckingConfig, ConstraintSet};
+    let doc = parse_document(BANK_FILE).unwrap();
+    let sigma = ConstraintSet::new(
+        doc.schema.clone(),
+        doc.cfds
+            .iter()
+            .flat_map(|(_, c)| condep::cfd::normalize::normalize(c))
+            .collect(),
+        doc.cinds
+            .iter()
+            .flat_map(|(_, c)| condep::cind::normalize::normalize(c))
+            .collect(),
+    );
+    let witness = checking(&sigma, &CheckingConfig::default())
+        .expect("Figures 2 + 4 are consistent");
+    assert!(sigma.satisfied_by(&witness));
+}
+
+#[test]
+fn generated_constraint_sets_round_trip_through_the_dsl() {
+    // Arbitrary generated Σ → Document → text → Document: the parsed
+    // dependencies must equal the originals (seeded sweep).
+    use condep::gen::{generate_sigma, random_schema, SchemaGenConfig, SigmaGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    for seed in 0..10u64 {
+        let schema = random_schema(
+            &SchemaGenConfig {
+                relations: 5,
+                attrs_min: 2,
+                attrs_max: 5,
+                finite_ratio: 0.3,
+                finite_dom_min: 2,
+                finite_dom_max: 6,
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let (cfds, cinds, _) = generate_sigma(
+            &schema,
+            &SigmaGenConfig {
+                cardinality: 20,
+                consistent: false,
+                ..SigmaGenConfig::default()
+            },
+            &mut StdRng::seed_from_u64(seed + 100),
+        );
+        let doc = condep::dsl::Document {
+            schema: schema.clone(),
+            cfds: cfds
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    // Normal CFDs print through their general single-row form.
+                    let general = condep::cfd::Cfd::new(
+                        c.rel(),
+                        c.lhs().to_vec(),
+                        vec![c.rhs()],
+                        vec![c.lhs_pat().concat(&condep::model::PatternRow::new([
+                            c.rhs_pat().clone(),
+                        ]))],
+                    );
+                    (format!("f{i}"), general)
+                })
+                .collect(),
+            cinds: cinds
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (format!("i{i}"), c.to_general()))
+                .collect(),
+        };
+        let text = print_document(&doc);
+        let reparsed = parse_document(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{text}"));
+        for (name, cfd) in &doc.cfds {
+            assert_eq!(reparsed.cfd(name), Some(cfd), "seed {seed}, {name}");
+        }
+        for (name, cind) in &doc.cinds {
+            assert_eq!(reparsed.cind(name), Some(cind), "seed {seed}, {name}");
+        }
+    }
+}

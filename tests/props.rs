@@ -1,0 +1,367 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants.
+
+use condep::cind::normalize::normalize;
+use condep::cind::satisfy;
+use condep::model::{
+    Database, Domain, PValue, PatternRow, Relation, Schema, Tuple, Value,
+};
+use condep::sat::{Cnf, Solver, SolveResult, Var};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- values
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::bool),
+        (-20i64..20).prop_map(Value::int),
+        "[a-e]{1,3}".prop_map(Value::str),
+    ]
+}
+
+fn arb_pvalue() -> impl Strategy<Value = PValue> {
+    prop_oneof![
+        Just(PValue::Any),
+        arb_value().prop_map(PValue::Const),
+    ]
+}
+
+proptest! {
+    /// The match order ≍: wildcards match everything; constants match
+    /// exactly themselves.
+    #[test]
+    fn pvalue_match_order(v in arb_value(), p in arb_pvalue()) {
+        match &p {
+            PValue::Any => prop_assert!(p.matches(&v)),
+            PValue::Const(c) => prop_assert_eq!(p.matches(&v), *c == v),
+        }
+    }
+
+    /// Subsumption is reflexive and transitive through `Any`.
+    #[test]
+    fn pvalue_subsumption(p in arb_pvalue()) {
+        prop_assert!(p.subsumed_by(&p));
+        prop_assert!(p.subsumed_by(&PValue::Any));
+        if p.is_const() {
+            prop_assert!(!PValue::Any.subsumed_by(&p));
+        }
+    }
+
+    /// Value ordering is a strict total order consistent with equality.
+    #[test]
+    fn value_total_order(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Equal => prop_assert_eq!(&a, &b),
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+        }
+    }
+}
+
+// ------------------------------------------------------------- relations
+
+proptest! {
+    /// Relations implement set semantics: insertion order preserved,
+    /// duplicates dropped, equality order-insensitive.
+    #[test]
+    fn relation_set_semantics(rows in proptest::collection::vec(
+        proptest::collection::vec(arb_value(), 2..=2), 0..12)
+    ) {
+        let tuples: Vec<Tuple> = rows.iter().map(|r| Tuple::new(r.clone())).collect();
+        let rel: Relation = tuples.iter().cloned().collect();
+        // Every inserted tuple is present.
+        for t in &tuples {
+            prop_assert!(rel.contains(t));
+        }
+        // No duplicates survive.
+        let mut seen = std::collections::HashSet::new();
+        for t in rel.iter() {
+            prop_assert!(seen.insert(t.clone()));
+        }
+        // Reversed insertion yields an equal relation.
+        let rev: Relation = tuples.into_iter().rev().collect();
+        prop_assert_eq!(rel, rev);
+    }
+
+    /// Pattern rows match a tuple iff every constant cell agrees.
+    #[test]
+    fn pattern_row_matching(
+        cells in proptest::collection::vec((arb_value(), any::<bool>()), 1..5)
+    ) {
+        let tuple = Tuple::new(cells.iter().map(|(v, _)| v.clone()));
+        let attrs: Vec<condep::model::AttrId> =
+            (0..cells.len() as u32).map(condep::model::AttrId).collect();
+        // A row that copies the tuple where const, wildcards elsewhere,
+        // always matches.
+        let row = PatternRow::new(cells.iter().map(|(v, wild)| {
+            if *wild { PValue::Any } else { PValue::Const(v.clone()) }
+        }));
+        prop_assert!(row.matches_tuple(&tuple, &attrs));
+    }
+}
+
+// ------------------------------------------------------------------- SAT
+
+fn arb_cnf() -> impl Strategy<Value = (u32, Vec<Vec<(u32, bool)>>)> {
+    (2u32..7).prop_flat_map(|nvars| {
+        let clause = proptest::collection::vec((0..nvars, any::<bool>()), 1..4);
+        (Just(nvars), proptest::collection::vec(clause, 0..14))
+    })
+}
+
+proptest! {
+    /// The DPLL solver agrees with brute force on small formulas, and
+    /// returned models really satisfy.
+    #[test]
+    fn sat_solver_correct((nvars, clauses) in arb_cnf()) {
+        let mut cnf = Cnf::new();
+        let vars = cnf.fresh_vars(nvars as usize);
+        for clause in &clauses {
+            cnf.add_clause(clause.iter().map(|(v, pos)| {
+                if *pos { vars[*v as usize].pos() } else { vars[*v as usize].neg() }
+            }));
+        }
+        let brute = (0u64..(1 << nvars)).any(|bits| {
+            let assignment: Vec<bool> =
+                (0..nvars as usize).map(|i| bits >> i & 1 == 1).collect();
+            cnf.eval(&assignment)
+        });
+        match Solver::new(&cnf).solve() {
+            SolveResult::Sat(model) => {
+                prop_assert!(brute, "solver SAT but brute force UNSAT");
+                prop_assert!(cnf.eval(&model), "model does not satisfy");
+            }
+            SolveResult::Unsat => prop_assert!(!brute, "solver UNSAT but brute force SAT"),
+            SolveResult::Unknown => prop_assert!(false, "no budget configured"),
+        }
+    }
+
+    /// Exactly-one encodings admit exactly the one-hot models.
+    #[test]
+    fn exactly_one_models(n in 1usize..6) {
+        let mut cnf = Cnf::new();
+        let vars: Vec<Var> = cnf.fresh_vars(n);
+        let lits: Vec<_> = vars.iter().map(|v| v.pos()).collect();
+        cnf.add_exactly_one(&lits);
+        for bits in 0u64..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let ones = assignment.iter().filter(|b| **b).count();
+            prop_assert_eq!(cnf.eval(&assignment), ones == 1);
+        }
+    }
+}
+
+// ---------------------------------------------- CIND semantics invariants
+
+/// A tiny two-relation schema for semantic properties.
+fn two_rel_schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::builder()
+            .relation(
+                "src",
+                &[("a", Domain::string()), ("b", Domain::finite_strs(&["p", "q"]))],
+            )
+            .relation(
+                "dst",
+                &[("c", Domain::string()), ("d", Domain::finite_strs(&["p", "q"]))],
+            )
+            .finish(),
+    )
+}
+
+fn arb_small_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::str("v0")),
+        Just(Value::str("v1")),
+        Just(Value::str("v2")),
+    ]
+}
+
+fn arb_fin() -> impl Strategy<Value = Value> {
+    prop_oneof![Just(Value::str("p")), Just(Value::str("q"))]
+}
+
+fn arb_db() -> impl Strategy<Value = Database> {
+    let src_rows = proptest::collection::vec((arb_small_value(), arb_fin()), 0..6);
+    let dst_rows = proptest::collection::vec((arb_small_value(), arb_fin()), 0..6);
+    (src_rows, dst_rows).prop_map(|(srcs, dsts)| {
+        let schema = two_rel_schema();
+        let mut db = Database::empty(schema.clone());
+        let src = schema.rel_id("src").unwrap();
+        let dst = schema.rel_id("dst").unwrap();
+        for (a, b) in srcs {
+            db.insert(src, Tuple::new([a, b])).unwrap();
+        }
+        for (c, d) in dsts {
+            db.insert(dst, Tuple::new([c, d])).unwrap();
+        }
+        db
+    })
+}
+
+fn arb_cind() -> impl Strategy<Value = condep::cind::Cind> {
+    // Tableau rows over X=[a→c], Xp=[b], Yp=[d]: cells (x, xp ‖ y, yp)
+    // with tp[X] = tp[Y] enforced by construction.
+    let cell_x = prop_oneof![
+        Just(None),
+        Just(Some(Value::str("v0"))),
+        Just(Some(Value::str("v1"))),
+    ];
+    let cell_f = prop_oneof![
+        Just(None),
+        Just(Some(Value::str("p"))),
+        Just(Some(Value::str("q"))),
+    ];
+    proptest::collection::vec((cell_x, cell_f.clone(), cell_f), 1..4).prop_map(|rows| {
+        let schema = two_rel_schema();
+        let tableau = rows
+            .into_iter()
+            .map(|(x, xp, yp)| {
+                let to_cell = |v: Option<Value>| match v {
+                    None => PValue::Any,
+                    Some(v) => PValue::Const(v),
+                };
+                PatternRow::new(vec![
+                    to_cell(x.clone()),
+                    to_cell(xp),
+                    to_cell(x),
+                    to_cell(yp),
+                ])
+            })
+            .collect();
+        condep::cind::Cind::parse(
+            &schema,
+            "src",
+            &["a"],
+            &["b"],
+            "dst",
+            &["c"],
+            &["d"],
+            tableau,
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    /// Proposition 3.1: the normalized set is equivalent to the original
+    /// CIND on arbitrary databases.
+    #[test]
+    fn normalization_preserves_satisfaction(db in arb_db(), cind in arb_cind()) {
+        let direct = satisfy::satisfies_general_direct(&db, &cind);
+        let via_normal = normalize(&cind)
+            .iter()
+            .all(|n| satisfy::satisfies_normal(&db, n));
+        prop_assert_eq!(direct, via_normal);
+    }
+
+    /// The indexed checker agrees with the naive semantics.
+    #[test]
+    fn indexed_checker_agrees_with_oracle(db in arb_db(), cind in arb_cind()) {
+        prop_assert_eq!(
+            satisfy::satisfies(&db, &cind),
+            satisfy::satisfies_general_direct(&db, &cind)
+        );
+    }
+
+    /// Violations are exactly the triggered-but-unmatched tuples: the
+    /// database satisfies a normal CIND iff no violations are reported.
+    #[test]
+    fn violations_iff_not_satisfied(db in arb_db(), cind in arb_cind()) {
+        for n in normalize(&cind) {
+            let violations = condep::cind::find_violations(&db, &n);
+            prop_assert_eq!(
+                violations.is_empty(),
+                satisfy::satisfies_normal(&db, &n)
+            );
+            // The plan-based detector agrees.
+            let via_plan = condep::cind::violations::find_violations_via_plan(&db, &n);
+            prop_assert_eq!(violations.is_empty(), via_plan.is_empty());
+        }
+    }
+
+    /// Monotonicity: adding tuples to the *target* relation never breaks
+    /// a satisfied CIND.
+    #[test]
+    fn target_growth_is_monotone(
+        db in arb_db(),
+        cind in arb_cind(),
+        extra_c in arb_small_value(),
+        extra_d in arb_fin(),
+    ) {
+        let normal = normalize(&cind);
+        let satisfied_before: Vec<bool> = normal
+            .iter()
+            .map(|n| satisfy::satisfies_normal(&db, n))
+            .collect();
+        let mut bigger = db.clone();
+        let dst = bigger.schema().rel_id("dst").unwrap();
+        bigger.insert(dst, Tuple::new([extra_c, extra_d])).unwrap();
+        for (n, before) in normal.iter().zip(satisfied_before) {
+            if before {
+                prop_assert!(satisfy::satisfies_normal(&bigger, n));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- chase invariants
+
+proptest! {
+    /// The bounded chase always terminates and, when defined, its
+    /// fresh instantiation satisfies the constraint set it was chased
+    /// with (Theorem 5.1's certificate).
+    #[test]
+    fn chase_terminates_and_certifies(seed in 0u64..200) {
+        use condep::chase::{chase, ChaseConfig, ChaseOutcome, TemplateDb};
+        use condep::chase::ops::seed_tuple;
+        use condep::gen::{generate_sigma, random_schema, SchemaGenConfig, SigmaGenConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let schema = random_schema(
+            &SchemaGenConfig {
+                relations: 3,
+                attrs_min: 2,
+                attrs_max: 4,
+                finite_ratio: 0.3,
+                finite_dom_min: 2,
+                finite_dom_max: 3,
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let (cfds, cinds, _) = generate_sigma(
+            &schema,
+            &SigmaGenConfig {
+                cardinality: 10,
+                consistent: false,
+                ..SigmaGenConfig::default()
+            },
+            &mut StdRng::seed_from_u64(seed + 1),
+        );
+        let mut db = TemplateDb::empty(schema.clone());
+        seed_tuple(&mut db, condep::model::RelId(0));
+        let cfg = ChaseConfig {
+            tuple_cap: 200,
+            ..ChaseConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed + 2);
+        // Termination: the call returns (no hang); definedness varies.
+        match chase(db, &cfds, &cinds, &cfg, &mut rng) {
+            ChaseOutcome::Defined(template) => {
+                let consts: Vec<Value> = {
+                    let sigma = condep::consistency::ConstraintSet::new(
+                        schema.clone(), cfds.clone(), cinds.clone());
+                    sigma.all_constants()
+                };
+                if let Some(instance) = template.instantiate_fresh(&consts) {
+                    prop_assert!(condep::cfd::satisfy::satisfies_all(&instance, &cfds));
+                    prop_assert!(satisfy::satisfies_all(&instance, &cinds));
+                }
+            }
+            ChaseOutcome::Undefined(_) => {}
+        }
+    }
+}

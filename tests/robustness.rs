@@ -1,0 +1,291 @@
+//! Failure injection and adversarial configurations: every budget,
+//! cap and error path exercised end-to-end.
+
+use condep::cfd::NormalCfd;
+use condep::chase::{chase, ChaseConfig, ChaseOutcome, TemplateDb, UndefinedReason};
+use condep::cind::implication::{implies, Implication, ImplicationConfig};
+use condep::cind::witness::{build_witness_bounded, WitnessError};
+use condep::cind::NormalCind;
+use condep::consistency::{
+    checking, random_checking, CheckingConfig, ConstraintSet, RandomCheckingConfig,
+};
+use condep::model::{prow, Domain, ModelError, PValue, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+#[test]
+fn database_insert_error_paths() {
+    let schema = Arc::new(
+        Schema::builder()
+            .relation(
+                "r",
+                &[("a", Domain::finite_strs(&["x", "y"])), ("b", Domain::integer())],
+            )
+            .finish(),
+    );
+    let mut db = condep::model::Database::empty(schema);
+    // Wrong arity.
+    assert!(matches!(
+        db.insert_into("r", Tuple::new([Value::str("x")])),
+        Err(ModelError::ArityMismatch { .. })
+    ));
+    // Outside the finite domain.
+    assert!(matches!(
+        db.insert_into("r", Tuple::new([Value::str("z"), Value::int(1)])),
+        Err(ModelError::DomainViolation { .. })
+    ));
+    // Wrong base type on an infinite attribute.
+    assert!(matches!(
+        db.insert_into("r", Tuple::new([Value::str("x"), Value::str("oops")])),
+        Err(ModelError::DomainViolation { .. })
+    ));
+    // Unknown relation.
+    assert!(matches!(
+        db.insert_into("nope", Tuple::new([Value::str("x"), Value::int(1)])),
+        Err(ModelError::UnknownRelation(_))
+    ));
+    assert!(db.is_empty(), "failed inserts must not mutate");
+}
+
+#[test]
+fn chase_surfaces_every_undefined_reason() {
+    let schema = Arc::new(
+        Schema::builder()
+            .relation_str("r", &["a", "b"])
+            .relation_str("s", &["c", "d"])
+            .finish(),
+    );
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // FdConflict.
+    let c1 = NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("x")).unwrap();
+    let c2 = NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("y")).unwrap();
+    let mut db = TemplateDb::empty(schema.clone());
+    condep::chase::ops::seed_tuple(&mut db, schema.rel_id("r").unwrap());
+    assert!(matches!(
+        chase(db, &[c1, c2], &[], &ChaseConfig::default(), &mut rng),
+        ChaseOutcome::Undefined(UndefinedReason::FdConflict { .. })
+    ));
+
+    // TupleCapExceeded.
+    let ind = NormalCind::parse(&schema, "r", &["a"], &[], "s", &["c"], &[]).unwrap();
+    let mut db = TemplateDb::empty(schema.clone());
+    condep::chase::ops::seed_tuple(&mut db, schema.rel_id("r").unwrap());
+    let starved = ChaseConfig {
+        tuple_cap: 0,
+        ..ChaseConfig::default()
+    };
+    assert!(matches!(
+        chase(db, &[], std::slice::from_ref(&ind), &starved, &mut rng),
+        ChaseOutcome::Undefined(UndefinedReason::TupleCapExceeded)
+    ));
+
+    // StepBudgetExhausted (step budget of zero trips on the first step).
+    let mut db = TemplateDb::empty(schema.clone());
+    condep::chase::ops::seed_tuple(&mut db, schema.rel_id("r").unwrap());
+    let exhausted = ChaseConfig {
+        max_steps: 0,
+        ..ChaseConfig::default()
+    };
+    assert!(matches!(
+        chase(db, &[], &[ind], &exhausted, &mut rng),
+        ChaseOutcome::Undefined(UndefinedReason::StepBudgetExhausted)
+    ));
+}
+
+#[test]
+fn witness_size_cap_and_domain_guard() {
+    // TooLarge.
+    let schema = Arc::new(
+        Schema::builder()
+            .relation(
+                "wide",
+                &[
+                    ("a", Domain::finite_ints(50)),
+                    ("b", Domain::finite_ints(50)),
+                    ("c", Domain::finite_ints(50)),
+                ],
+            )
+            .finish(),
+    );
+    assert!(matches!(
+        build_witness_bounded(&schema, &[], 1000),
+        Err(WitnessError::TooLarge { .. })
+    ));
+    // IncompatibleDomains.
+    let schema2 = Arc::new(
+        Schema::builder()
+            .relation("r", &[("a", Domain::integer())])
+            .relation("s", &[("b", Domain::finite_ints(3))])
+            .finish(),
+    );
+    let bad = NormalCind::parse(&schema2, "r", &["a"], &[], "s", &["b"], &[]).unwrap();
+    assert!(matches!(
+        build_witness_bounded(&schema2, &[bad], 1000),
+        Err(WitnessError::IncompatibleDomains { .. })
+    ));
+}
+
+#[test]
+fn implication_budgets_degrade_to_unknown_never_to_wrong() {
+    let schema = condep::model::fixtures::bank_schema();
+    let sigma = condep::cind::normalize::normalize_all(&[
+        condep::cind::fixtures::psi1_edi(),
+        condep::cind::fixtures::psi2_edi(),
+        condep::cind::fixtures::psi5(),
+        condep::cind::fixtures::psi6(),
+    ]);
+    let goal =
+        condep::cind::normalize::normalize(&condep::cind::fixtures::example_3_3_goal())
+            .remove(0);
+    // Reference verdict with ample budget.
+    let full = implies(&schema, &sigma, &goal, ImplicationConfig::default());
+    assert_eq!(full, Implication::Implied);
+    // Every starved configuration returns Implied or Unknown — never
+    // NotImplied.
+    for max_states in [1usize, 2, 8, 64] {
+        for max_assignments in [1u64, 2] {
+            let verdict = implies(
+                &schema,
+                &sigma,
+                &goal,
+                ImplicationConfig {
+                    max_states,
+                    max_initial_assignments: max_assignments,
+                },
+            );
+            assert_ne!(
+                verdict,
+                Implication::NotImplied,
+                "budget must not flip the verdict"
+            );
+        }
+    }
+}
+
+#[test]
+fn checking_zero_budget_configs_are_sound() {
+    // K = 0, preprocessing off: no witness can be produced; the answer
+    // must be None, not a panic or a bogus witness.
+    let schema = condep::cind::fixtures::example_5_4_schema();
+    let cinds = condep::cind::fixtures::example_5_4_cinds(&schema);
+    let sigma = ConstraintSet::new(schema, vec![], cinds);
+    let cfg = CheckingConfig {
+        use_preprocessing: false,
+        random: RandomCheckingConfig {
+            k: 0,
+            ..RandomCheckingConfig::default()
+        },
+        ..CheckingConfig::default()
+    };
+    assert!(checking(&sigma, &cfg).is_none());
+    // With preprocessing, the same Σ resolves without any chase run.
+    let cfg2 = CheckingConfig {
+        random: RandomCheckingConfig {
+            k: 0,
+            ..RandomCheckingConfig::default()
+        },
+        ..CheckingConfig::default()
+    };
+    if let Some(w) = checking(&sigma, &cfg2) {
+        assert!(sigma.satisfied_by(&w));
+    }
+}
+
+#[test]
+fn random_checking_with_tiny_caps_stays_sound() {
+    // Absurdly small caps: every returned witness must still satisfy Σ.
+    let schema = condep::cind::fixtures::example_5_1_schema(true);
+    let cinds = condep::cind::fixtures::example_5_1_cinds(&schema);
+    let cfds = vec![
+        NormalCfd::parse(&schema, "r2", &["h"], prow![_], "g", PValue::constant("c"))
+            .unwrap(),
+    ];
+    let sigma = ConstraintSet::new(schema, cfds, cinds);
+    for cap in [1usize, 2, 3] {
+        let cfg = RandomCheckingConfig {
+            k: 30,
+            seed: cap as u64,
+            chase: ChaseConfig {
+                tuple_cap: cap,
+                ..ChaseConfig::default()
+            },
+        };
+        if let Some(w) = random_checking(&sigma, &cfg, None) {
+            assert!(sigma.satisfied_by(&w), "cap {cap} produced a bad witness");
+        }
+    }
+}
+
+#[test]
+fn sat_solver_budget_never_flips_verdicts() {
+    use condep::sat::{Cnf, SolveResult, Solver, SolverConfig, Var};
+    // A satisfiable and an unsatisfiable formula under shrinking budgets.
+    let mut sat_cnf = Cnf::new();
+    let vs = sat_cnf.fresh_vars(6);
+    for w in vs.windows(2) {
+        sat_cnf.add_clause([w[0].pos(), w[1].neg()]);
+    }
+    let mut unsat_cnf = Cnf::new();
+    let p: Vec<Vec<condep::sat::Lit>> = (0..4)
+        .map(|_| unsat_cnf.fresh_vars(3).into_iter().map(Var::pos).collect())
+        .collect();
+    for row in &p {
+        unsat_cnf.add_at_least_one(row);
+    }
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..3 {
+        for i1 in 0..4 {
+            for i2 in (i1 + 1)..4 {
+                unsat_cnf.add_clause([!p[i1][j], !p[i2][j]]);
+            }
+        }
+    }
+    for budget in [0u64, 1, 2, 10_000] {
+        let cfg = SolverConfig {
+            max_conflicts: Some(budget),
+        };
+        match Solver::with_config(&sat_cnf, cfg).solve() {
+            SolveResult::Sat(m) => assert!(sat_cnf.eval(&m)),
+            SolveResult::Unsat => panic!("satisfiable formula declared UNSAT"),
+            SolveResult::Unknown => {}
+        }
+        match Solver::with_config(&unsat_cnf, cfg).solve() {
+            SolveResult::Sat(_) => panic!("unsatisfiable formula declared SAT"),
+            SolveResult::Unsat | SolveResult::Unknown => {}
+        }
+    }
+}
+
+#[test]
+fn empty_schema_and_empty_sigma_edge_cases() {
+    let schema = Arc::new(Schema::new(vec![]).unwrap());
+    assert!(schema.is_empty());
+    let sigma = ConstraintSet::new(schema.clone(), vec![], vec![]);
+    // No relation can be nonempty: Checking must answer None (the
+    // consistency problem asks for a nonempty instance).
+    assert!(checking(&sigma, &CheckingConfig::default()).is_none());
+    // The Theorem 3.2 witness over the empty schema is the empty
+    // database — vacuously fine for CINDs but empty.
+    let w = condep::cind::witness::build_witness(&schema, &[]).unwrap();
+    assert!(w.is_empty());
+}
+
+#[test]
+fn zero_arity_patterns_and_empty_lists() {
+    // CINDs with all lists empty: triggered by every tuple, satisfied by
+    // any nonempty target.
+    let schema = Arc::new(
+        Schema::builder()
+            .relation_str("r", &["a"])
+            .relation_str("s", &["b"])
+            .finish(),
+    );
+    let cind = NormalCind::parse(&schema, "r", &[], &[], "s", &[], &[]).unwrap();
+    let mut db = condep::model::Database::empty(schema.clone());
+    db.insert_into("r", Tuple::new([Value::str("v")])).unwrap();
+    assert!(!condep::cind::satisfy::satisfies_normal(&db, &cind));
+    db.insert_into("s", Tuple::new([Value::str("w")])).unwrap();
+    assert!(condep::cind::satisfy::satisfies_normal(&db, &cind));
+}

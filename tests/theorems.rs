@@ -1,0 +1,262 @@
+//! Randomized validation of the paper's theorems over generated inputs
+//! (seeded, deterministic).
+
+use condep::cind::implication::{
+    implies, implies_exhaustive_finite, Implication, ImplicationConfig,
+};
+use condep::cind::normalize::normalize;
+use condep::cind::witness::{build_witness_bounded, domains_compatible};
+use condep::cind::{inference, satisfy, NormalCind};
+use condep::consistency::ConstraintSet;
+use condep::gen::{generate_sigma, random_schema, SchemaGenConfig, SigmaGenConfig};
+use condep::model::{Domain, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn small_schema(seed: u64) -> Arc<Schema> {
+    random_schema(
+        &SchemaGenConfig {
+            relations: 4,
+            attrs_min: 2,
+            attrs_max: 4,
+            finite_ratio: 0.3,
+            finite_dom_min: 2,
+            finite_dom_max: 4,
+        },
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+/// Theorem 3.2 on random CIND sets: the active-domain cross-product
+/// witness always exists and satisfies Σ.
+#[test]
+fn theorem_3_2_on_random_cind_sets() {
+    for seed in 0..25u64 {
+        let schema = small_schema(seed);
+        let (_, cinds, _) = generate_sigma(
+            &schema,
+            &SigmaGenConfig {
+                cardinality: 24,
+                cfd_fraction: 0.0, // CINDs only
+                consistent: false, // arbitrary CINDs — still consistent!
+                ..SigmaGenConfig::default()
+            },
+            &mut StdRng::seed_from_u64(seed + 1000),
+        );
+        // The generator guarantees the w.l.o.g. domain assumption.
+        for c in &cinds {
+            assert!(domains_compatible(&schema, c));
+        }
+        let db = build_witness_bounded(&schema, &cinds, 1 << 18)
+            .expect("Theorem 3.2: CINDs are always consistent");
+        assert!(!db.is_empty());
+        assert!(
+            satisfy::satisfies_all(&db, &cinds),
+            "witness must satisfy Σ (seed {seed})"
+        );
+    }
+}
+
+/// Theorem 3.3 (soundness direction) on random inputs: rules applied to
+/// satisfied premises yield satisfied conclusions.
+#[test]
+fn inference_rules_sound_on_random_witnesses() {
+    for seed in 0..20u64 {
+        let schema = small_schema(seed);
+        let (_, cinds, _) = generate_sigma(
+            &schema,
+            &SigmaGenConfig {
+                cardinality: 10,
+                cfd_fraction: 0.0,
+                consistent: false,
+                ..SigmaGenConfig::default()
+            },
+            &mut StdRng::seed_from_u64(seed + 2000),
+        );
+        let Ok(db) = build_witness_bounded(&schema, &cinds, 1 << 18) else {
+            continue;
+        };
+        let mut rng = StdRng::seed_from_u64(seed + 3000);
+        for psi in &cinds {
+            assert!(satisfy::satisfies_normal(&db, psi));
+            // CIND2: random projection of the matched pairs.
+            if !psi.x().is_empty() {
+                let keep: Vec<usize> = (0..psi.x().len())
+                    .filter(|_| rng.gen_bool(0.5))
+                    .collect();
+                let derived = inference::cind2(psi, &keep).expect("valid projection");
+                assert!(
+                    satisfy::satisfies_normal(&db, &derived),
+                    "CIND2 unsound (seed {seed})"
+                );
+            }
+            // CIND6: drop a random suffix of Yp.
+            if !psi.yp().is_empty() {
+                let keep: Vec<usize> = (0..psi.yp().len() - 1).collect();
+                let derived = inference::cind6(psi, &keep).expect("valid relaxation");
+                assert!(
+                    satisfy::satisfies_normal(&db, &derived),
+                    "CIND6 unsound (seed {seed})"
+                );
+            }
+            // CIND4: instantiate the first matched pair with the value of
+            // some source tuple (guaranteeing the premise stays live).
+            if !psi.x().is_empty() {
+                let source = db.relation(psi.lhs_rel());
+                if let Some(t) = source.get(0) {
+                    let v = t[psi.x()[0]].clone();
+                    if let Ok(derived) = inference::cind4(&schema, psi, 0, v) {
+                        assert!(
+                            satisfy::satisfies_normal(&db, &derived),
+                            "CIND4 unsound (seed {seed})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// CIND1 (reflexivity) holds on arbitrary generated witnesses.
+#[test]
+fn cind1_reflexivity_on_random_databases() {
+    for seed in 0..10u64 {
+        let schema = small_schema(seed);
+        let db = build_witness_bounded(&schema, &[], 1 << 16).expect("empty Σ");
+        for (rel, rs) in schema.iter() {
+            let x: Vec<_> = (0..rs.arity() as u32)
+                .map(condep::model::AttrId)
+                .collect();
+            let refl = inference::cind1(&schema, rel, x).expect("distinct attrs");
+            assert!(satisfy::satisfies_normal(&db, &refl));
+        }
+    }
+}
+
+/// The implication game agrees with the exhaustive-database oracle on
+/// random tiny all-finite instances (Theorems 3.4/3.5 cross-check).
+#[test]
+fn implication_game_matches_oracle_on_finite_instances() {
+    let schema = Arc::new(
+        Schema::builder()
+            .relation("r", &[("a", Domain::finite_ints(2))])
+            .relation("s", &[("b", Domain::finite_ints(2))])
+            .finish(),
+    );
+    let mut rng = StdRng::seed_from_u64(99);
+    let all_cinds: Vec<NormalCind> = {
+        let mut out = Vec::new();
+        // All pattern-only CINDs between r and s plus the plain INDs.
+        for (l, r_) in [("r", "s"), ("s", "r"), ("r", "r"), ("s", "s")] {
+            let la = if l == "r" { "a" } else { "b" };
+            let ra = if r_ == "r" { "a" } else { "b" };
+            if l != r_ {
+                out.push(NormalCind::parse(&schema, l, &[la], &[], r_, &[ra], &[]).unwrap());
+            }
+            for lv in 0..2i64 {
+                for rv in 0..2i64 {
+                    out.push(
+                        NormalCind::parse(
+                            &schema,
+                            l,
+                            &[],
+                            &[(la, Value::int(lv))],
+                            r_,
+                            &[],
+                            &[(ra, Value::int(rv))],
+                        )
+                        .unwrap(),
+                    );
+                }
+            }
+        }
+        out
+    };
+    let mut checked = 0;
+    for _ in 0..60 {
+        let n = rng.gen_range(0..3usize);
+        let sigma: Vec<NormalCind> = (0..n)
+            .map(|_| all_cinds[rng.gen_range(0..all_cinds.len())].clone())
+            .collect();
+        let psi = all_cinds[rng.gen_range(0..all_cinds.len())].clone();
+        let game = implies(&schema, &sigma, &psi, ImplicationConfig::default());
+        let oracle =
+            implies_exhaustive_finite(&schema, &sigma, &psi, 4).expect("4-tuple universe");
+        assert_eq!(
+            game == Implication::Implied,
+            oracle,
+            "game vs oracle disagree on Σ = {sigma:?}, ψ = {psi:?}"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 60);
+}
+
+/// Generated-consistent Σ really is consistent: the hidden witness
+/// satisfies it, and the reported witness from `Checking` does too.
+#[test]
+fn consistent_generation_certified_by_checking() {
+    use condep::consistency::{checking, CheckingConfig, RandomCheckingConfig};
+    for seed in 0..8u64 {
+        let schema = random_schema(
+            &SchemaGenConfig {
+                relations: 6,
+                attrs_min: 3,
+                attrs_max: 6,
+                finite_ratio: 0.2,
+                finite_dom_min: 2,
+                finite_dom_max: 6,
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let (cfds, cinds, witness) = generate_sigma(
+            &schema,
+            &SigmaGenConfig {
+                cardinality: 60,
+                consistent: true,
+                ..SigmaGenConfig::default()
+            },
+            &mut StdRng::seed_from_u64(seed + 500),
+        );
+        let sigma = ConstraintSet::new(schema.clone(), cfds, cinds);
+        assert!(sigma.satisfied_by(&witness.unwrap().database(&schema)));
+        let cfg = CheckingConfig {
+            random: RandomCheckingConfig {
+                k: 40,
+                seed,
+                ..RandomCheckingConfig::default()
+            },
+            ..CheckingConfig::default()
+        };
+        if let Some(db) = checking(&sigma, &cfg) {
+            assert!(sigma.satisfied_by(&db), "Theorem 5.1 certificate (seed {seed})");
+        }
+        // (A None here would be an accuracy miss, not a soundness bug —
+        // tracked by the Figure 11(a) bench rather than asserted.)
+    }
+}
+
+/// Normalization (Prop 3.1) round-trips through `to_general`.
+#[test]
+fn normal_form_round_trip() {
+    for seed in 0..15u64 {
+        let schema = small_schema(seed);
+        let (_, cinds, _) = generate_sigma(
+            &schema,
+            &SigmaGenConfig {
+                cardinality: 12,
+                cfd_fraction: 0.0,
+                consistent: false,
+                ..SigmaGenConfig::default()
+            },
+            &mut StdRng::seed_from_u64(seed + 4000),
+        );
+        for c in &cinds {
+            let general = c.to_general();
+            let back = normalize(&general);
+            assert_eq!(back.len(), 1);
+            assert_eq!(&back[0], c, "normalize ∘ to_general = id (seed {seed})");
+        }
+    }
+}
