@@ -94,10 +94,7 @@ fn main() {
     // The paper's consistent sets sit at bias 1.0 ("rarely complex
     // enough … to fail"); lowering the bias scatters conclusion
     // constants that interlock, showing where the heuristics break.
-    let mut t = FigureTable::new(
-        "ablation_bias",
-        &["witness_bias", "accuracy_%", "avg_ms"],
-    );
+    let mut t = FigureTable::new("ablation_bias", &["witness_bias", "accuracy_%", "avg_ms"]);
     for bias in [1.0f64, 0.9, 0.5, 0.2, 0.0] {
         let mut hits = 0;
         let mut total_ms = 0.0;

@@ -95,9 +95,7 @@ fn main() {
             &format!("{:.1}", condep_bench::pct(agree, checks)),
         ]);
     }
-    table.finish(
-        "Figure 10(a): CFD_Checking runtime, Chase vs SAT (20 relations, F = 25%)",
-    );
+    table.finish("Figure 10(a): CFD_Checking runtime, Chase vs SAT (20 relations, F = 25%)");
     println!(
         "\nExpected shape (paper): Chase significantly outperforms SAT and scales\n\
          to large CFD counts; the two methods agree on (nearly) all verdicts."

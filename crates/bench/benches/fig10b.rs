@@ -126,11 +126,7 @@ fn main() {
                 }
             }
         }
-        table.row(&[
-            &k,
-            &format!("{:.1}", pct(hits, total)),
-            &(cfd_count / runs),
-        ]);
+        table.row(&[&k, &format!("{:.1}", pct(hits, total)), &(cfd_count / runs)]);
     }
     table.finish("Figure 10(b): chase CFD_Checking accuracy vs K_CFD (trapped random CFDs)");
     println!(

@@ -24,7 +24,12 @@ fn main() {
 
     let mut table = FigureTable::new(
         "fig11d",
-        &["relations", "constraints", "random_checking_ms", "checking_ms"],
+        &[
+            "relations",
+            "constraints",
+            "random_checking_ms",
+            "checking_ms",
+        ],
     );
     for &r in &relation_counts {
         let n = r * per_relation;

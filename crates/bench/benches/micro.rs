@@ -11,8 +11,7 @@ use condep_chase::{chase, ChaseConfig, TemplateDb};
 use condep_core::fixtures as cind_fx;
 use condep_core::normalize::{normalize, normalize_all};
 use condep_gen::{
-    dirty_database, generate_sigma, random_schema, DirtyDataConfig, SchemaGenConfig,
-    SigmaGenConfig,
+    dirty_database, generate_sigma, random_schema, DirtyDataConfig, SchemaGenConfig, SigmaGenConfig,
 };
 use condep_model::fixtures::bank_database;
 use condep_sat::{Cnf, Solver, Var};
@@ -94,17 +93,15 @@ fn bench_normalization(c: &mut Criterion) {
 fn bench_chase(c: &mut Criterion) {
     let schema = cind_fx::example_5_1_schema(true);
     let cinds = cind_fx::example_5_1_cinds(&schema);
-    let cfds = vec![
-        condep_cfd::NormalCfd::parse(
-            &schema,
-            "r2",
-            &["h"],
-            condep_model::prow![_],
-            "g",
-            condep_model::PValue::constant("c"),
-        )
-        .unwrap(),
-    ];
+    let cfds = vec![condep_cfd::NormalCfd::parse(
+        &schema,
+        "r2",
+        &["h"],
+        condep_model::prow![_],
+        "g",
+        condep_model::PValue::constant("c"),
+    )
+    .unwrap()];
     c.bench_function("chase_example_5_1", |b| {
         b.iter_batched(
             || {
@@ -112,15 +109,7 @@ fn bench_chase(c: &mut Criterion) {
                 seed_tuple(&mut db, schema.rel_id("r1").unwrap());
                 (db, StdRng::seed_from_u64(7))
             },
-            |(db, mut rng)| {
-                black_box(chase(
-                    db,
-                    &cfds,
-                    &cinds,
-                    &ChaseConfig::default(),
-                    &mut rng,
-                ))
-            },
+            |(db, mut rng)| black_box(chase(db, &cfds, &cinds, &ChaseConfig::default(), &mut rng)),
             BatchSize::SmallInput,
         )
     });

@@ -20,14 +20,14 @@
 
 use condep_bench::{ms, time_once, FigureTable};
 use condep_cfd::consistency::{consistent_exact, consistent_infinite, Verdict};
+use condep_cfd::fixtures as cfd_fx;
 use condep_cfd::implication as cfd_imp;
+use condep_consistency::{checking, CheckingConfig, ConstraintSet};
 use condep_core::implication::{implies, Implication, ImplicationConfig};
 use condep_core::inference::Proof;
 use condep_core::normalize::{normalize, normalize_all};
 use condep_core::witness::build_witness;
 use condep_core::{fixtures as cind_fx, NormalCind};
-use condep_cfd::fixtures as cfd_fx;
-use condep_consistency::{checking, CheckingConfig, ConstraintSet};
 use condep_model::fixtures::bank_schema;
 use condep_model::{prow, PValue, PatternRow};
 
@@ -46,9 +46,7 @@ fn main() {
     let sigma_cinds = normalize_all(&cind_fx::figure_2());
     let (t_witness, witness_ok) = time_once(|| {
         build_witness(&schema, &sigma_cinds)
-            .map(|db| {
-                !db.is_empty() && condep_core::satisfy::satisfies_all(&db, &sigma_cinds)
-            })
+            .map(|db| !db.is_empty() && condep_core::satisfy::satisfies_all(&db, &sigma_cinds))
             .unwrap_or(false)
     });
 
@@ -61,8 +59,7 @@ fn main() {
     ]);
     let goal33 = normalize(&cind_fx::example_3_3_goal()).remove(0);
     let (t_imp_gen, imp_gen_ok) = time_once(|| {
-        implies(&schema, &sigma33, &goal33, ImplicationConfig::default())
-            == Implication::Implied
+        implies(&schema, &sigma33, &goal33, ImplicationConfig::default()) == Implication::Implied
     });
 
     // --- CIND implication, no finite domains (PSPACE, Thm 3.5). ---
@@ -73,9 +70,8 @@ fn main() {
         vec![ab, ba]
     };
     let refl = NormalCind::parse(&s51, "r1", &["e"], &[], "r1", &["e"], &[]).unwrap();
-    let (t_imp_inf, imp_inf_ok) = time_once(|| {
-        condep_core::implication::implies_infinite(&s51, &chain, &refl)
-    });
+    let (t_imp_inf, imp_inf_ok) =
+        time_once(|| condep_core::implication::implies_infinite(&s51, &chain, &refl));
 
     // --- CIND finite axiomatizability (Thm 3.3): Example 3.4 in I. ---
     let (t_proof, proof_ok) = time_once(|| {
@@ -101,9 +97,8 @@ fn main() {
     // --- CFD consistency: NP-complete in general (Example 3.2). ---
     let (s32, cfds32) = cfd_fx::example_3_2();
     let rel32 = s32.rel_id("r").unwrap();
-    let (t_cfd_con, cfd_con_ok) = time_once(|| {
-        consistent_exact(&s32, rel32, &cfds32, None) == Verdict::Inconsistent
-    });
+    let (t_cfd_con, cfd_con_ok) =
+        time_once(|| consistent_exact(&s32, rel32, &cfds32, None) == Verdict::Inconsistent);
 
     // --- CFD consistency without finite domains: O(n²) fixpoint. ---
     let s_inf = std::sync::Arc::new(
@@ -125,8 +120,7 @@ fn main() {
             .unwrap()
         })
         .collect();
-    let (t_cfd_inf, cfd_inf_ok) =
-        time_once(|| consistent_infinite(&s_inf, rel_inf, &big_inf_set));
+    let (t_cfd_inf, cfd_inf_ok) = time_once(|| consistent_infinite(&s_inf, rel_inf, &big_inf_set));
 
     // --- CFD implication: coNP in general, O(n²) without finite domains. ---
     let fd = |lhs: &[&str], rhs: &str| {
@@ -171,17 +165,10 @@ fn main() {
             )
             .unwrap()
         };
-        let phi = condep_cfd::NormalCfd::parse(
-            &s_fin,
-            "r",
-            &[],
-            prow![],
-            "b",
-            PValue::constant("x"),
-        )
-        .unwrap();
-        cfd_imp::implies(&s_fin, &[mk(0), mk(1)], &phi, None)
-            == cfd_imp::Implication::Implied
+        let phi =
+            condep_cfd::NormalCfd::parse(&s_fin, "r", &[], prow![], "b", PValue::constant("x"))
+                .unwrap();
+        cfd_imp::implies(&s_fin, &[mk(0), mk(1)], &phi, None) == cfd_imp::Implication::Implied
     };
 
     // --- CFDs + CINDs: undecidable ⇒ heuristics (Example 4.2). ---
@@ -190,13 +177,19 @@ fn main() {
         condep_cfd::NormalCfd::parse(&s42, "r", &["a"], prow![_], "b", PValue::constant("a"))
             .unwrap();
     let joint = ConstraintSet::new(s42, vec![phi42], vec![cind42]);
-    let (t_joint, joint_ok) =
-        time_once(|| checking(&joint, &CheckingConfig::default()).is_none());
+    let (t_joint, joint_ok) = time_once(|| checking(&joint, &CheckingConfig::default()).is_none());
 
     // ------------------------------------------------ print the tables
     let mut t1 = FigureTable::new(
         "table1",
-        &["constraints", "consistency", "implication", "fin_axiom", "evidence", "time_ms"],
+        &[
+            "constraints",
+            "consistency",
+            "implication",
+            "fin_axiom",
+            "evidence",
+            "time_ms",
+        ],
     );
     t1.row(&[
         &"CINDs",
@@ -240,7 +233,14 @@ fn main() {
 
     let mut t2 = FigureTable::new(
         "table2",
-        &["constraints", "consistency", "implication", "fin_axiom", "evidence", "time_ms"],
+        &[
+            "constraints",
+            "consistency",
+            "implication",
+            "fin_axiom",
+            "evidence",
+            "time_ms",
+        ],
     );
     t2.row(&[
         &"CINDs",

@@ -132,9 +132,8 @@ impl FigureTable {
 /// `target/figures/` relative to the workspace.
 pub fn figures_dir() -> PathBuf {
     // CARGO_TARGET_DIR may relocate the target directory.
-    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
-        format!("{}/../../target", env!("CARGO_MANIFEST_DIR"))
-    });
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| format!("{}/../../target", env!("CARGO_MANIFEST_DIR")));
     PathBuf::from(target).join("figures")
 }
 

@@ -86,10 +86,7 @@ fn propagate(
                 continue;
             }
             let a = cfd.rhs();
-            let is_finite = rs
-                .attribute(a)
-                .map(|at| at.is_finite())
-                .unwrap_or(false);
+            let is_finite = rs.attribute(a).map(|at| at.is_finite()).unwrap_or(false);
             if is_finite {
                 match finite.get(&a) {
                     Some(v) if v == a_val => {}
@@ -205,9 +202,7 @@ fn witness_search(
             .map(|(i, a)| (*a, domains[i][counters[i]].clone()))
             .collect();
         if let Some(forced) = propagate(cfds, &assignment, schema, rel) {
-            return WitnessOutcome::Found(build_witness(
-                schema, rel, cfds, &assignment, &forced,
-            ));
+            return WitnessOutcome::Found(build_witness(schema, rel, cfds, &assignment, &forced));
         }
         // Odometer increment; exhausting the space proves inconsistency.
         let mut i = 0;
@@ -256,9 +251,7 @@ fn build_witness(
                     // A finite domain fully covered by constants: any
                     // member works only if nothing constrains this
                     // attribute; fall back to the first member.
-                    .unwrap_or_else(|| {
-                        attr.domain().values().expect("finite")[0].clone()
-                    })
+                    .unwrap_or_else(|| attr.domain().values().expect("finite")[0].clone())
             }
         })
         .collect();
@@ -339,7 +332,15 @@ mod tests {
         let schema = ab_schema(Domain::string(), Domain::string());
         let rel = schema.rel_id("r").unwrap();
         let mk = |lp: PatternRow, rhs: &str, rp: &str| {
-            NormalCfd::parse(&schema, "r", &[if rhs == "b" { "a" } else { "b" }], lp, rhs, PValue::constant(rp)).unwrap()
+            NormalCfd::parse(
+                &schema,
+                "r",
+                &[if rhs == "b" { "a" } else { "b" }],
+                lp,
+                rhs,
+                PValue::constant(rp),
+            )
+            .unwrap()
         };
         let cfds = vec![
             mk(prow!["true"], "b", "b1"),
@@ -360,11 +361,13 @@ mod tests {
         // (nil → A, a) and (nil → A, b): both fire on every tuple.
         let schema = ab_schema(Domain::string(), Domain::string());
         let rel = schema.rel_id("r").unwrap();
-        let c1 = NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("x"))
-            .unwrap();
-        let c2 = NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("y"))
-            .unwrap();
-        assert!(!consistent_infinite(&schema, rel, &[c1.clone(), c2.clone()]));
+        let c1 = NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("x")).unwrap();
+        let c2 = NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("y")).unwrap();
+        assert!(!consistent_infinite(
+            &schema,
+            rel,
+            &[c1.clone(), c2.clone()]
+        ));
         assert!(consistent_infinite(&schema, rel, &[c1]));
     }
 
@@ -375,10 +378,24 @@ mod tests {
         let rel = schema.rel_id("r").unwrap();
         let force_a =
             NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("a")).unwrap();
-        let b1 = NormalCfd::parse(&schema, "r", &["a"], prow!["a"], "b", PValue::constant("b1"))
-            .unwrap();
-        let b2 = NormalCfd::parse(&schema, "r", &["a"], prow!["a"], "b", PValue::constant("b2"))
-            .unwrap();
+        let b1 = NormalCfd::parse(
+            &schema,
+            "r",
+            &["a"],
+            prow!["a"],
+            "b",
+            PValue::constant("b1"),
+        )
+        .unwrap();
+        let b2 = NormalCfd::parse(
+            &schema,
+            "r",
+            &["a"],
+            prow!["a"],
+            "b",
+            PValue::constant("b2"),
+        )
+        .unwrap();
         assert!(!consistent_infinite(
             &schema,
             rel,
@@ -436,8 +453,14 @@ mod tests {
     fn empty_set_is_consistent_everywhere() {
         let (schema, _) = fixtures::example_3_2();
         let rel = schema.rel_id("r").unwrap();
-        assert_eq!(consistent_exact(&schema, rel, &[], None), Verdict::Consistent);
-        assert_eq!(set_consistent_exact(&schema, &[], None), Verdict::Consistent);
+        assert_eq!(
+            consistent_exact(&schema, rel, &[], None),
+            Verdict::Consistent
+        );
+        assert_eq!(
+            set_consistent_exact(&schema, &[], None),
+            Verdict::Consistent
+        );
     }
 
     #[test]
@@ -470,7 +493,10 @@ mod tests {
             consistent_exact(&schema, r, &cfds, None),
             Verdict::Inconsistent
         );
-        assert_eq!(set_consistent_exact(&schema, &cfds, None), Verdict::Consistent);
+        assert_eq!(
+            set_consistent_exact(&schema, &cfds, None),
+            Verdict::Consistent
+        );
     }
 
     #[test]

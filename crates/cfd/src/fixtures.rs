@@ -122,10 +122,8 @@ pub fn example_3_2() -> (Arc<Schema>, Vec<NormalCfd>) {
             PValue::constant("b2"),
         )
         .expect("fixture well-formed"),
-        NormalCfd::parse(&schema, "r", &["b"], prow!["b1"], "a", fls)
-            .expect("fixture well-formed"),
-        NormalCfd::parse(&schema, "r", &["b"], prow!["b2"], "a", tru)
-            .expect("fixture well-formed"),
+        NormalCfd::parse(&schema, "r", &["b"], prow!["b1"], "a", fls).expect("fixture well-formed"),
+        NormalCfd::parse(&schema, "r", &["b"], prow!["b2"], "a", tru).expect("fixture well-formed"),
     ];
     (schema, cfds)
 }

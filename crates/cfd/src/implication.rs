@@ -49,10 +49,7 @@ enum TVal {
 pub fn implies_infinite(schema: &Schema, sigma: &[NormalCfd], phi: &NormalCfd) -> bool {
     let rel = phi.rel();
     let sigma_on_rel: Vec<&NormalCfd> = sigma.iter().filter(|c| c.rel() == rel).collect();
-    let arity = schema
-        .relation(rel)
-        .map(|rs| rs.arity())
-        .unwrap_or(0);
+    let arity = schema.relation(rel).map(|rs| rs.arity()).unwrap_or(0);
 
     // Most general premise pair: constants where φ's LHS pattern has
     // them, a shared variable per wildcard LHS cell, distinct variables
@@ -110,7 +107,11 @@ pub fn implies_infinite(schema: &Schema, sigma: &[NormalCfd], phi: &NormalCfd) -
                     if !t_matched {
                         continue;
                     }
-                    let cell = if which == 0 { t1[a].clone() } else { t2[a].clone() };
+                    let cell = if which == 0 {
+                        t1[a].clone()
+                    } else {
+                        t2[a].clone()
+                    };
                     match cell {
                         TVal::Const(ref b) if b == c => {}
                         TVal::Const(_) => return true, // contradiction ⇒ no counterexample
@@ -123,10 +124,7 @@ pub fn implies_infinite(schema: &Schema, sigma: &[NormalCfd], phi: &NormalCfd) -
             }
             // Pair rule: if the tuples agree on X and match the pattern,
             // they must agree on A.
-            let agree_on_x = cfd
-                .lhs()
-                .iter()
-                .all(|x| t1[x.index()] == t2[x.index()]);
+            let agree_on_x = cfd.lhs().iter().all(|x| t1[x.index()] == t2[x.index()]);
             if agree_on_x && matched(&t1, cfd) && t1[a] != t2[a] {
                 match (t1[a].clone(), t2[a].clone()) {
                     (TVal::Const(_), TVal::Const(_)) => return true, // contradiction
@@ -216,11 +214,7 @@ pub fn implies_exhaustive(
         .map(|i| candidate_values(schema, rel, condep_model::AttrId(i as u32), &deps))
         .collect();
 
-    let sigma_on_rel: Vec<NormalCfd> = sigma
-        .iter()
-        .filter(|c| c.rel() == rel)
-        .cloned()
-        .collect();
+    let sigma_on_rel: Vec<NormalCfd> = sigma.iter().filter(|c| c.rel() == rel).cloned().collect();
 
     let mut tried: u64 = 0;
     let mut counterexample_found = false;
@@ -239,9 +233,7 @@ pub fn implies_exhaustive(
             for t in tuples {
                 db.insert(rel, t.clone()).expect("candidate well-typed");
             }
-            if satisfies_all(&db, &sigma_on_rel)
-                && !crate::satisfy::satisfies_normal(&db, phi)
-            {
+            if satisfies_all(&db, &sigma_on_rel) && !crate::satisfy::satisfies_normal(&db, phi) {
                 counterexample_found = true;
                 return true; // stop
             }
@@ -367,10 +359,7 @@ mod tests {
         let sigma = vec![fd(&schema, &["a"], "b"), fd(&schema, &["b"], "c")];
         let phi = fd(&schema, &["a"], "c");
         assert!(implies_infinite(&schema, &sigma, &phi));
-        assert_eq!(
-            implies(&schema, &sigma, &phi, None),
-            Implication::Implied
-        );
+        assert_eq!(implies(&schema, &sigma, &phi, None), Implication::Implied);
     }
 
     #[test]
@@ -389,15 +378,8 @@ mod tests {
     fn reflexivity_is_implied_from_nothing() {
         // ∅ |= AB→A style: X→A with A ∈ X.
         let schema = abc_schema();
-        let phi = NormalCfd::parse(
-            &schema,
-            "r",
-            &["a", "b"],
-            prow![_, _],
-            "a",
-            PValue::Any,
-        )
-        .unwrap();
+        let phi =
+            NormalCfd::parse(&schema, "r", &["a", "b"], prow![_, _], "a", PValue::Any).unwrap();
         assert!(implies_infinite(&schema, &[], &phi));
     }
 
@@ -405,17 +387,16 @@ mod tests {
     fn constant_propagation_is_implied() {
         // {(A=x → B=y), (B=y → C=z)} |= (A=x → C=z).
         let schema = abc_schema();
-        let c1 = NormalCfd::parse(&schema, "r", &["a"], prow!["x"], "b", PValue::constant("y"))
-            .unwrap();
-        let c2 = NormalCfd::parse(&schema, "r", &["b"], prow!["y"], "c", PValue::constant("z"))
-            .unwrap();
-        let phi = NormalCfd::parse(&schema, "r", &["a"], prow!["x"], "c", PValue::constant("z"))
-            .unwrap();
+        let c1 =
+            NormalCfd::parse(&schema, "r", &["a"], prow!["x"], "b", PValue::constant("y")).unwrap();
+        let c2 =
+            NormalCfd::parse(&schema, "r", &["b"], prow!["y"], "c", PValue::constant("z")).unwrap();
+        let phi =
+            NormalCfd::parse(&schema, "r", &["a"], prow!["x"], "c", PValue::constant("z")).unwrap();
         assert!(implies_infinite(&schema, &[c1.clone(), c2.clone()], &phi));
         // A different target constant is not implied.
         let phi_bad =
-            NormalCfd::parse(&schema, "r", &["a"], prow!["x"], "c", PValue::constant("w"))
-                .unwrap();
+            NormalCfd::parse(&schema, "r", &["a"], prow!["x"], "c", PValue::constant("w")).unwrap();
         assert!(!implies_infinite(&schema, &[c1, c2], &phi_bad));
     }
 
@@ -425,8 +406,7 @@ mod tests {
         // wildcard RHS.
         let schema = abc_schema();
         let sigma = vec![fd(&schema, &["a"], "b")];
-        let phi =
-            NormalCfd::parse(&schema, "r", &["a"], prow!["x"], "b", PValue::Any).unwrap();
+        let phi = NormalCfd::parse(&schema, "r", &["a"], prow!["x"], "b", PValue::Any).unwrap();
         assert!(implies_infinite(&schema, &sigma, &phi));
         // The converse fails: the refinement does not imply the full FD.
         let sigma2 = vec![phi];
@@ -492,8 +472,7 @@ mod tests {
             .unwrap()
         };
         let sigma = vec![mk(0), mk(1)];
-        let phi =
-            NormalCfd::parse(&schema, "r", &[], prow![], "b", PValue::constant("x")).unwrap();
+        let phi = NormalCfd::parse(&schema, "r", &[], prow![], "b", PValue::constant("x")).unwrap();
         // The dispatcher must pick the exhaustive path and find implication.
         assert_eq!(implies(&schema, &sigma, &phi, None), Implication::Implied);
         // The chase alone (wrongly, here) reports non-implication —
@@ -511,8 +490,7 @@ mod tests {
                 )
                 .finish(),
         );
-        let phi =
-            NormalCfd::parse(&schema, "r", &[], prow![], "b", PValue::constant("x")).unwrap();
+        let phi = NormalCfd::parse(&schema, "r", &[], prow![], "b", PValue::constant("x")).unwrap();
         assert_eq!(
             implies_exhaustive(&schema, &[], &phi, Some(10)),
             Implication::NotImplied,

@@ -53,11 +53,87 @@ pub fn satisfies(db: &Database, cfd: &Cfd) -> bool {
 }
 
 /// Does `db` satisfy every CFD in `set`?
+///
+/// Batched: the set is grouped by `(relation, LHS attribute set)` and
+/// every group shares **one** group-by index, against which all member
+/// pattern rows are evaluated per key-group — `g` index builds for `g`
+/// distinct LHS sets instead of one per CFD. (The full engine with
+/// interned keys, parallel sweep and violation reporting lives in
+/// `condep-validate`; this in-crate version keeps set-level checks fast
+/// for every caller without a dependency cycle.)
 pub fn satisfies_all<'a, I>(db: &Database, set: I) -> bool
 where
     I: IntoIterator<Item = &'a NormalCfd>,
 {
-    set.into_iter().all(|n| satisfies_normal(db, n))
+    use condep_model::AttrId;
+    use std::collections::HashMap;
+
+    // Canonicalize each CFD against its sorted LHS list so permuted
+    // lists share a group; remember the permuted pattern cells.
+    type Member<'a> = (&'a NormalCfd, Vec<Option<&'a Value>>, AttrId, &'a PValue);
+    let mut groups: HashMap<
+        (condep_model::RelId, Vec<AttrId>),
+        Vec<Member<'a>>,
+        condep_model::FxBuildHasher,
+    > = HashMap::default();
+    for cfd in set {
+        let (attrs, pattern) = cfd.canonical_lhs();
+        groups.entry((cfd.rel(), attrs)).or_default().push((
+            cfd,
+            pattern,
+            cfd.rhs(),
+            cfd.rhs_pat(),
+        ));
+    }
+
+    for ((rel, attrs), members) in &groups {
+        let inst = db.relation(*rel);
+        if inst.is_empty() {
+            continue;
+        }
+        // A lone constant-selective member doesn't amortize a full
+        // index; the classic pattern-filtered single-CFD check indexes
+        // only matching tuples.
+        if members.len() == 1 && members[0].1.iter().any(Option::is_some) {
+            if !satisfies_normal(db, members[0].0) {
+                return false;
+            }
+            continue;
+        }
+        let idx = HashIndex::build(inst, attrs);
+        for (key, group) in idx.groups() {
+            for (_, pattern, rhs, rhs_pat) in members {
+                let matches = pattern
+                    .iter()
+                    .zip(key.iter())
+                    .all(|(p, k)| p.is_none_or(|p| p == k));
+                if !matches {
+                    continue;
+                }
+                let mut first: Option<&Value> = None;
+                for &pos in group {
+                    let t = inst.get(pos).expect("indexed position valid");
+                    let a_val = &t[*rhs];
+                    match rhs_pat {
+                        PValue::Const(c) => {
+                            if a_val != c {
+                                return false;
+                            }
+                        }
+                        PValue::Any => match first {
+                            None => first = Some(a_val),
+                            Some(prev) => {
+                                if prev != a_val {
+                                    return false;
+                                }
+                            }
+                        },
+                    }
+                }
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -97,10 +173,7 @@ mod tests {
         // A single tuple violates a constant-RHS CFD (Ex 4.1's remark).
         let schema = Arc::new(
             Schema::builder()
-                .relation(
-                    "r",
-                    &[("a", Domain::string()), ("b", Domain::string())],
-                )
+                .relation("r", &[("a", Domain::string()), ("b", Domain::string())])
                 .finish(),
         );
         let mut db = Database::empty(schema.clone());
@@ -125,10 +198,7 @@ mod tests {
     fn pair_violation_of_wildcard_rhs() {
         let schema = Arc::new(
             Schema::builder()
-                .relation(
-                    "r",
-                    &[("a", Domain::string()), ("b", Domain::string())],
-                )
+                .relation("r", &[("a", Domain::string()), ("b", Domain::string())])
                 .finish(),
         );
         let cfd = NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::Any).unwrap();
@@ -153,6 +223,28 @@ mod tests {
     }
 
     #[test]
+    fn batched_satisfies_all_agrees_with_per_cfd_checks() {
+        use crate::normalize::normalize_all;
+        let db = bank_database();
+        let clean_set = normalize_all(&[fixtures::phi1(), fixtures::phi2()]);
+        assert_eq!(
+            satisfies_all(&db, &clean_set),
+            clean_set.iter().all(|n| satisfies_normal(&db, n))
+        );
+        assert!(satisfies_all(&db, &clean_set));
+        let full_set = normalize_all(&[fixtures::phi1(), fixtures::phi2(), fixtures::phi3()]);
+        assert_eq!(
+            satisfies_all(&db, &full_set),
+            full_set.iter().all(|n| satisfies_normal(&db, n))
+        );
+        assert!(!satisfies_all(&db, &full_set));
+        // Empty set and empty database are vacuously satisfied.
+        assert!(satisfies_all(&db, &[]));
+        let empty = Database::empty(db.schema().clone());
+        assert!(satisfies_all(&empty, &full_set));
+    }
+
+    #[test]
     fn empty_lhs_cfd_forces_global_agreement() {
         // X = nil: every tuple is in one group; wildcard RHS forces a
         // single value for A relation-wide.
@@ -161,8 +253,7 @@ mod tests {
                 .relation("r", &[("a", Domain::string())])
                 .finish(),
         );
-        let cfd =
-            NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::Any).unwrap();
+        let cfd = NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::Any).unwrap();
         let mut db = Database::empty(schema);
         db.insert_into("r", tuple!["v"]).unwrap();
         assert!(satisfies_normal(&db, &cfd));

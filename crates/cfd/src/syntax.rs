@@ -22,12 +22,7 @@ pub struct Cfd {
 
 impl Cfd {
     /// Creates a CFD; each row must have `lhs.len() + rhs.len()` cells.
-    pub fn new(
-        rel: RelId,
-        lhs: Vec<AttrId>,
-        rhs: Vec<AttrId>,
-        tableau: Vec<PatternRow>,
-    ) -> Self {
+    pub fn new(rel: RelId, lhs: Vec<AttrId>, rhs: Vec<AttrId>, tableau: Vec<PatternRow>) -> Self {
         for row in &tableau {
             assert_eq!(
                 row.len(),
@@ -238,6 +233,25 @@ impl NormalCfd {
     /// by a single tuple.
     pub fn is_constant_rhs(&self) -> bool {
         self.rhs_pat.is_const()
+    }
+
+    /// The LHS canonicalized for set-level grouping: attributes sorted,
+    /// pattern cells permuted in lock-step (`None` = wildcard). Two
+    /// CFDs over permuted versions of the same LHS attribute set yield
+    /// the same attribute list, so they share one group-by index. Both
+    /// the in-crate batched [`crate::satisfy::satisfies_all`] and the
+    /// `condep-validate` engine group through this one definition.
+    pub fn canonical_lhs(&self) -> (Vec<AttrId>, Vec<Option<&condep_model::Value>>) {
+        let mut cols: Vec<(AttrId, Option<&condep_model::Value>)> = self
+            .lhs
+            .iter()
+            .zip(self.lhs_pat.cells())
+            .map(|(a, c)| (*a, c.as_const()))
+            .collect();
+        cols.sort_by_key(|&(a, _)| a);
+        let attrs = cols.iter().map(|&(a, _)| a).collect();
+        let pattern = cols.into_iter().map(|(_, c)| c).collect();
+        (attrs, pattern)
     }
 
     /// All constants appearing in the pattern, with their attributes.

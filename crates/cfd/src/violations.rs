@@ -37,13 +37,40 @@ pub enum CfdViolation {
     },
 }
 
-/// Finds all violations of a normal-form CFD in `db`.
+impl CfdViolation {
+    /// The canonical report-order key: single-tuple violations by
+    /// position first, then pairs by witness positions. Every sorted
+    /// surface (per-CFD detectors, `SigmaReport`, tests) orders through
+    /// this one definition.
+    pub fn sort_key(&self) -> (usize, usize, usize) {
+        match self {
+            CfdViolation::SingleTuple { tuple, .. } => (0, *tuple, 0),
+            CfdViolation::Pair { left, right } => (1, *left, *right),
+        }
+    }
+}
+
+/// Finds all violations of a normal-form CFD in `db`, sorted into the
+/// deterministic report order (single-tuple violations by position, then
+/// pairs by witness positions).
+///
+/// This is [`find_violations_unordered`] plus a sort — reports and tests
+/// want the stable order; hot paths that only aggregate or count should
+/// call the unordered variant and skip the `O(v log v)`.
+pub fn find_violations(db: &Database, cfd: &NormalCfd) -> Vec<CfdViolation> {
+    let mut out = find_violations_unordered(db, cfd);
+    out.sort_by_key(CfdViolation::sort_key);
+    out
+}
+
+/// Finds all violations of a normal-form CFD in `db`, in group-by
+/// discovery order (deterministic, but not the report order).
 ///
 /// For wildcard-RHS CFDs, pairs are reported per group against the first
 /// tuple carrying each distinct conflicting value (reporting all `k·(k-1)/2`
 /// pairs in a group would be quadratic noise; one witness per conflicting
 /// tuple is what a repair tool needs).
-pub fn find_violations(db: &Database, cfd: &NormalCfd) -> Vec<CfdViolation> {
+pub fn find_violations_unordered(db: &Database, cfd: &NormalCfd) -> Vec<CfdViolation> {
     let rel = db.relation(cfd.rel());
     let idx = condep_query::HashIndex::build_filtered(rel, cfd.lhs(), |t| {
         cfd.lhs_pat().matches_tuple(t, cfd.lhs())
@@ -84,11 +111,6 @@ pub fn find_violations(db: &Database, cfd: &NormalCfd) -> Vec<CfdViolation> {
             }
         }
     }
-    // Deterministic order for tests and reports.
-    out.sort_by_key(|v| match v {
-        CfdViolation::SingleTuple { tuple, .. } => (0usize, *tuple, 0usize),
-        CfdViolation::Pair { left, right } => (1usize, *left, *right),
-    });
     out
 }
 
@@ -103,11 +125,10 @@ pub fn find_violations(db: &Database, cfd: &NormalCfd) -> Vec<CfdViolation> {
 pub fn violation_plans(cfd: &NormalCfd, rel_arity: usize) -> (Plan, Plan) {
     let match_x = Predicate::matches(cfd.lhs().to_vec(), cfd.lhs_pat().clone());
     let single = match cfd.rhs_pat() {
-        PValue::Const(a) => Plan::scan(cfd.rel())
-            .filter(Predicate::and([
-                match_x.clone(),
-                Predicate::AttrNe(cfd.rhs(), a.clone()),
-            ])),
+        PValue::Const(a) => Plan::scan(cfd.rel()).filter(Predicate::and([
+            match_x.clone(),
+            Predicate::AttrNe(cfd.rhs(), a.clone()),
+        ])),
         PValue::Any => Plan::scan(cfd.rel()).filter(Predicate::False),
     };
     let pair = match cfd.rhs_pat() {
@@ -183,10 +204,7 @@ mod tests {
         use std::sync::Arc;
         let schema = Arc::new(
             Schema::builder()
-                .relation(
-                    "r",
-                    &[("a", Domain::string()), ("b", Domain::string())],
-                )
+                .relation("r", &[("a", Domain::string()), ("b", Domain::string())])
                 .finish(),
         );
         let n = NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::Any).unwrap();
@@ -200,6 +218,18 @@ mod tests {
         assert_eq!(rows.len(), 2);
         let direct = find_violations(&db, &n);
         assert_eq!(direct, vec![CfdViolation::Pair { left: 0, right: 1 }]);
+    }
+
+    #[test]
+    fn unordered_detector_finds_the_same_set() {
+        let db = bank_database();
+        for cfd in [fixtures::phi1(), fixtures::phi2(), fixtures::phi3()] {
+            for n in normalize(&cfd) {
+                let mut unordered = find_violations_unordered(&db, &n);
+                unordered.sort_by_key(CfdViolation::sort_key);
+                assert_eq!(unordered, find_violations(&db, &n));
+            }
+        }
     }
 
     #[test]

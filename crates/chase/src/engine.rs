@@ -123,14 +123,14 @@ fn candidate_conflicts(
         for cfd in cfds.iter().filter(|c| c.rel() == var.rel) {
             // Single-tuple reading.
             if let PValue::Const(forced) = cfd.rhs_pat() {
-                let matched = cfd
-                    .lhs()
-                    .iter()
-                    .zip(cfd.lhs_pat().cells())
-                    .all(|(a, cell)| match cell {
-                        PValue::Any => true,
-                        PValue::Const(c) => overlay(t.get(*a)) == TplValue::Const(c.clone()),
-                    });
+                let matched =
+                    cfd.lhs()
+                        .iter()
+                        .zip(cfd.lhs_pat().cells())
+                        .all(|(a, cell)| match cell {
+                            PValue::Any => true,
+                            PValue::Const(c) => overlay(t.get(*a)) == TplValue::Const(c.clone()),
+                        });
                 if matched {
                     if let TplValue::Const(existing) = overlay(t.get(cfd.rhs())) {
                         if &existing != forced {
@@ -332,8 +332,7 @@ mod tests {
             // φ1 = (R1: E → F, (_ || _))
             NormalCfd::parse(schema, "r1", &["e"], prow![_], "f", PValue::Any).unwrap(),
             // φ2 = (R2: H → G, (_ || c))
-            NormalCfd::parse(schema, "r2", &["h"], prow![_], "g", PValue::constant("c"))
-                .unwrap(),
+            NormalCfd::parse(schema, "r2", &["h"], prow![_], "g", PValue::constant("c")).unwrap(),
         ]
     }
 
@@ -405,16 +404,16 @@ mod tests {
         assert!(result
             .relation(r2)
             .iter()
-            .any(|t| t.get(AttrId(0)) == &constant("c")
-                && t.get(AttrId(1)) == &constant("0")));
+            .any(|t| t.get(AttrId(0)) == &constant("c") && t.get(AttrId(1)) == &constant("0")));
         assert!(result
             .relation(r1)
             .iter()
-            .any(|t| t.get(AttrId(0)) == &constant("c")
-                && t.get(AttrId(1)) == &constant("a")));
+            .any(|t| t.get(AttrId(0)) == &constant("c") && t.get(AttrId(1)) == &constant("a")));
         // And the defined result certifies consistency.
-        let consts: Vec<Value> =
-            ["a", "b", "c", "d", "0", "1"].iter().map(Value::str).collect();
+        let consts: Vec<Value> = ["a", "b", "c", "d", "0", "1"]
+            .iter()
+            .map(Value::str)
+            .collect();
         let concrete = result.instantiate_fresh(&consts).unwrap();
         assert!(condep_cfd::satisfy::satisfies_all(&concrete, &cfds));
         assert!(condep_core::satisfy::satisfies_all(&concrete, &cinds));
@@ -424,10 +423,8 @@ mod tests {
     fn conflicting_cfds_make_the_chase_undefined() {
         // Two unconditional constant CFDs on the same attribute clash.
         let schema = example_5_1_schema(false);
-        let c1 = NormalCfd::parse(&schema, "r1", &[], prow![], "f", PValue::constant("x"))
-            .unwrap();
-        let c2 = NormalCfd::parse(&schema, "r1", &[], prow![], "f", PValue::constant("y"))
-            .unwrap();
+        let c1 = NormalCfd::parse(&schema, "r1", &[], prow![], "f", PValue::constant("x")).unwrap();
+        let c2 = NormalCfd::parse(&schema, "r1", &[], prow![], "f", PValue::constant("y")).unwrap();
         let mut db = TemplateDb::empty(schema.clone());
         seed_tuple(&mut db, schema.rel_id("r1").unwrap());
         let outcome = chase(db, &[c1, c2], &[], &ChaseConfig::default(), &mut rng());
@@ -459,10 +456,8 @@ mod tests {
         // R1[E] ⊆ R2[G] and R2[G] ⊆ R1[E]: bounded pools keep the chase
         // finite (the termination claim of Section 5.1).
         let schema = example_5_1_schema(false);
-        let forward =
-            NormalCind::parse(&schema, "r1", &["e"], &[], "r2", &["g"], &[]).unwrap();
-        let backward =
-            NormalCind::parse(&schema, "r2", &["g"], &[], "r1", &["e"], &[]).unwrap();
+        let forward = NormalCind::parse(&schema, "r1", &["e"], &[], "r2", &["g"], &[]).unwrap();
+        let backward = NormalCind::parse(&schema, "r2", &["g"], &[], "r1", &["e"], &[]).unwrap();
         let mut db = TemplateDb::empty(schema.clone());
         seed_tuple(&mut db, schema.rel_id("r1").unwrap());
         let outcome = chase(

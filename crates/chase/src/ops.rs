@@ -181,9 +181,7 @@ pub fn ind_step<R: Rng>(
     let cells: Vec<TplValue> = cells
         .into_iter()
         .enumerate()
-        .map(|(i, c)| {
-            c.unwrap_or_else(|| free_field(db, target_rel, AttrId(i as u32), cfg, rng))
-        })
+        .map(|(i, c)| c.unwrap_or_else(|| free_field(db, target_rel, AttrId(i as u32), cfg, rng)))
         .collect();
     db.insert(target_rel, TplTuple(cells));
     Ok(true)
@@ -198,16 +196,8 @@ pub fn seed_tuple(db: &mut TemplateDb, rel: condep_model::RelId) {
 /// Seeds the chase with a tuple whose listed fields are pinned to
 /// constants (pool variables everywhere else) — used to build templates
 /// that trigger a specific CIND, e.g. by the implication refuter.
-pub fn seed_tuple_with(
-    db: &mut TemplateDb,
-    rel: condep_model::RelId,
-    pinned: &[(AttrId, Value)],
-) {
-    let arity = db
-        .schema()
-        .relation(rel)
-        .map(|r| r.arity())
-        .unwrap_or(0);
+pub fn seed_tuple_with(db: &mut TemplateDb, rel: condep_model::RelId, pinned: &[(AttrId, Value)]) {
+    let arity = db.schema().relation(rel).map(|r| r.arity()).unwrap_or(0);
     let cells = (0..arity)
         .map(|i| {
             let attr = AttrId(i as u32);
@@ -282,15 +272,8 @@ mod tests {
         let mut db = TemplateDb::empty(schema.clone());
         let r2 = schema.rel_id("r2").unwrap();
         seed_tuple(&mut db, r2);
-        let phi2 = NormalCfd::parse(
-            &schema,
-            "r2",
-            &["h"],
-            prow![_],
-            "g",
-            PValue::constant("c"),
-        )
-        .unwrap();
+        let phi2 =
+            NormalCfd::parse(&schema, "r2", &["h"], prow![_], "g", PValue::constant("c")).unwrap();
         assert!(fd_step(&mut db, &phi2).unwrap());
         assert_eq!(db.relation(r2)[0].get(AttrId(0)), &constant("c"));
         // Fixpoint afterwards.
@@ -303,15 +286,8 @@ mod tests {
         let mut db = TemplateDb::empty(schema.clone());
         let r2 = schema.rel_id("r2").unwrap();
         db.insert(r2, TplTuple(vec![constant("wrong"), constant("k")]));
-        let phi = NormalCfd::parse(
-            &schema,
-            "r2",
-            &["h"],
-            prow![_],
-            "g",
-            PValue::constant("c"),
-        )
-        .unwrap();
+        let phi =
+            NormalCfd::parse(&schema, "r2", &["h"], prow![_], "g", PValue::constant("c")).unwrap();
         assert!(matches!(
             fd_step(&mut db, &phi),
             Err(OpFailure::FdConflict { .. })

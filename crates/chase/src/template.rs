@@ -87,11 +87,7 @@ impl TplTuple {
 
     /// Converts to a concrete [`Tuple`] if no variables remain.
     pub fn to_concrete(&self) -> Option<Tuple> {
-        let values: Option<Vec<Value>> = self
-            .0
-            .iter()
-            .map(|c| c.as_const().cloned())
-            .collect();
+        let values: Option<Vec<Value>> = self.0.iter().map(|c| c.as_const().cloned()).collect();
         values.map(Tuple::new)
     }
 }
@@ -215,10 +211,7 @@ impl TemplateDb {
     /// (distinct per variable, avoiding `avoid_constants`). Returns
     /// `None` if some finite-domain variable cannot receive a fresh
     /// value — callers should have instantiated those via valuations.
-    pub fn instantiate_fresh(
-        &self,
-        avoid_constants: &[Value],
-    ) -> Option<condep_model::Database> {
+    pub fn instantiate_fresh(&self, avoid_constants: &[Value]) -> Option<condep_model::Database> {
         let mut db = condep_model::Database::empty(self.schema.clone());
         let mut assigned: std::collections::HashMap<VarRef, Value> =
             std::collections::HashMap::new();

@@ -72,11 +72,7 @@ fn domain_of(schema: &Schema, v: VarRef) -> Option<Vec<Value>> {
 
 /// Samples a uniform random valuation of the given finite-domain
 /// variables — one draw from `V_finattr(R)`.
-pub fn random_valuation<R: Rng>(
-    schema: &Schema,
-    vars: &[VarRef],
-    rng: &mut R,
-) -> Valuation {
+pub fn random_valuation<R: Rng>(schema: &Schema, vars: &[VarRef], rng: &mut R) -> Valuation {
     let pairs = vars.iter().filter_map(|v| {
         let dom = domain_of(schema, *v)?;
         let k = rng.gen_range(0..dom.len());

@@ -17,7 +17,7 @@
 
 use condep_cfd::NormalCfd;
 use condep_model::{AttrId, PValue, RelId, Schema, Tuple, Value};
-use condep_sat::{Cnf, Solver, SolveResult, Var};
+use condep_sat::{Cnf, SolveResult, Solver, Var};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -32,10 +32,7 @@ pub trait CfdChecker {
 /// Shared propagation: the single-tuple chase fixpoint. `assignment`
 /// holds every field already forced or chosen (finite or infinite).
 /// Returns `false` on conflict.
-fn propagate(
-    cfds: &[NormalCfd],
-    assignment: &mut BTreeMap<AttrId, Value>,
-) -> bool {
+fn propagate(cfds: &[NormalCfd], assignment: &mut BTreeMap<AttrId, Value>) -> bool {
     loop {
         let mut changed = false;
         for cfd in cfds {
@@ -271,10 +268,7 @@ impl CfdChecker for SatCfdChecker {
                 if !entry.contains(&v) {
                     // Only for infinite attrs: finite domains are already
                     // complete (pattern constants are domain members).
-                    let is_finite = rs
-                        .attribute(a)
-                        .map(|at| at.is_finite())
-                        .unwrap_or(false);
+                    let is_finite = rs.attribute(a).map(|at| at.is_finite()).unwrap_or(false);
                     if !is_finite {
                         entry.push(v);
                     }
@@ -284,10 +278,7 @@ impl CfdChecker for SatCfdChecker {
         for (a, values) in &per_attr {
             let vars: Vec<Var> = values.iter().map(|_| cnf.fresh_var()).collect();
             let lits: Vec<_> = vars.iter().map(|v| v.pos()).collect();
-            let is_finite = rs
-                .attribute(*a)
-                .map(|at| at.is_finite())
-                .unwrap_or(false);
+            let is_finite = rs.attribute(*a).map(|at| at.is_finite()).unwrap_or(false);
             if is_finite {
                 cnf.add_exactly_one(&lits);
             } else {
@@ -422,9 +413,13 @@ mod tests {
                 );
             }
         }
-        let t = chase_checker().check(&schema, rel, &cfds).expect("chase finds a=4");
+        let t = chase_checker()
+            .check(&schema, rel, &cfds)
+            .expect("chase finds a=4");
         assert_eq!(t[AttrId(0)], Value::int(4));
-        let t = SatCfdChecker.check(&schema, rel, &cfds).expect("sat finds a=4");
+        let t = SatCfdChecker
+            .check(&schema, rel, &cfds)
+            .expect("sat finds a=4");
         assert_eq!(t[AttrId(0)], Value::int(4));
     }
 
@@ -497,19 +492,28 @@ mod tests {
     fn forced_chain_on_infinite_attrs() {
         // (nil → b = v1) then (b=v1 → … conflict) — stage-1 propagation
         // alone must detect it, regardless of K_CFD.
-        let schema = Arc::new(
-            Schema::builder()
-                .relation_str("r", &["a", "b"])
-                .finish(),
-        );
+        let schema = Arc::new(Schema::builder().relation_str("r", &["a", "b"]).finish());
         let rel = schema.rel_id("r").unwrap();
         let cfds = vec![
-            NormalCfd::parse(&schema, "r", &[], prow![], "b", PValue::constant("v1"))
-                .unwrap(),
-            NormalCfd::parse(&schema, "r", &["b"], prow!["v1"], "a", PValue::constant("p"))
-                .unwrap(),
-            NormalCfd::parse(&schema, "r", &["b"], prow!["v1"], "a", PValue::constant("q"))
-                .unwrap(),
+            NormalCfd::parse(&schema, "r", &[], prow![], "b", PValue::constant("v1")).unwrap(),
+            NormalCfd::parse(
+                &schema,
+                "r",
+                &["b"],
+                prow!["v1"],
+                "a",
+                PValue::constant("p"),
+            )
+            .unwrap(),
+            NormalCfd::parse(
+                &schema,
+                "r",
+                &["b"],
+                prow!["v1"],
+                "a",
+                PValue::constant("q"),
+            )
+            .unwrap(),
         ];
         assert!(ChaseCfdChecker::new(0, StdRng::seed_from_u64(0))
             .check(&schema, rel, &cfds)
@@ -520,11 +524,7 @@ mod tests {
     #[test]
     fn witnesses_avoid_triggering_constants_when_possible() {
         // The materialized witness's free fields avoid pattern constants.
-        let schema = Arc::new(
-            Schema::builder()
-                .relation_str("r", &["a", "b"])
-                .finish(),
-        );
+        let schema = Arc::new(Schema::builder().relation_str("r", &["a", "b"]).finish());
         let rel = schema.rel_id("r").unwrap();
         let cfds = vec![NormalCfd::parse(
             &schema,

@@ -116,9 +116,7 @@ fn component_sigma(
 mod tests {
     use super::*;
     use condep_cfd::NormalCfd;
-    use condep_core::fixtures::{
-        example_5_4_cinds, example_5_4_schema, example_5_5_psi4_prime,
-    };
+    use condep_core::fixtures::{example_5_4_cinds, example_5_4_schema, example_5_5_psi4_prime};
     use condep_model::{prow, PValue};
 
     fn config() -> CheckingConfig {
@@ -135,15 +133,11 @@ mod tests {
     fn example_5_4_cfds(schema: &condep_model::Schema) -> Vec<NormalCfd> {
         vec![
             NormalCfd::parse(schema, "r1", &["e"], prow![_], "f", PValue::Any).unwrap(),
-            NormalCfd::parse(schema, "r2", &["h"], prow![_], "g", PValue::constant("c"))
-                .unwrap(),
+            NormalCfd::parse(schema, "r2", &["h"], prow![_], "g", PValue::constant("c")).unwrap(),
             NormalCfd::parse(schema, "r3", &["a"], prow!["c"], "b", PValue::Any).unwrap(),
-            NormalCfd::parse(schema, "r4", &["c"], prow![_], "d", PValue::constant("a"))
-                .unwrap(),
-            NormalCfd::parse(schema, "r4", &["c"], prow![_], "d", PValue::constant("b"))
-                .unwrap(),
-            NormalCfd::parse(schema, "r5", &["i"], prow![_], "j", PValue::constant("c"))
-                .unwrap(),
+            NormalCfd::parse(schema, "r4", &["c"], prow![_], "d", PValue::constant("a")).unwrap(),
+            NormalCfd::parse(schema, "r4", &["c"], prow![_], "d", PValue::constant("b")).unwrap(),
+            NormalCfd::parse(schema, "r5", &["i"], prow![_], "j", PValue::constant("c")).unwrap(),
         ]
     }
 
@@ -183,8 +177,7 @@ mod tests {
     fn example_4_2_is_rejected() {
         let (schema, cind) = condep_core::fixtures::example_4_2_cind();
         let phi =
-            NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::constant("a"))
-                .unwrap();
+            NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::constant("a")).unwrap();
         let sigma = ConstraintSet::new(schema, vec![phi], vec![cind]);
         assert!(checking(&sigma, &config()).is_none());
     }

@@ -118,10 +118,7 @@ impl DepGraph {
 
     /// The CINDs labelling the edge `ri → rj`.
     pub fn edge_cinds(&self, ri: RelId, rj: RelId) -> &[NormalCind] {
-        self.edges
-            .get(&(ri, rj))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.edges.get(&(ri, rj)).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// In-degree of a live node (counting only live predecessors).
@@ -278,10 +275,7 @@ mod tests {
         let sccs = g.sccs_targets_first();
         let r1 = schema.rel_id("r1").unwrap();
         let r2 = schema.rel_id("r2").unwrap();
-        let cycle = sccs
-            .iter()
-            .find(|c| c.contains(&r1))
-            .expect("r1 somewhere");
+        let cycle = sccs.iter().find(|c| c.contains(&r1)).expect("r1 somewhere");
         assert!(cycle.contains(&r2), "r1 and r2 form one SCC");
         assert_eq!(sccs.len(), 4); // {r1,r2}, {r3}, {r4}, {r5}
     }

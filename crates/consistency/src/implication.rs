@@ -63,8 +63,7 @@ pub fn refute_implication(
         seed_tuple_with(&mut db, psi.lhs_rel(), psi.xp());
         match chase(db, sigma.cfds(), sigma.cinds(), &config.chase, &mut rng) {
             ChaseOutcome::Defined(template) => {
-                let Some(witness) = template.instantiate_fresh(&sigma.all_constants())
-                else {
+                let Some(witness) = template.instantiate_fresh(&sigma.all_constants()) else {
                     continue;
                 };
                 if sigma.satisfied_by(&witness)
@@ -106,10 +105,12 @@ mod tests {
             normalize_all(&[fixtures::psi1_edi(), fixtures::psi5()]),
         );
         let goal = normalize(&fixtures::example_3_3_goal()).remove(0);
-        let counterexample =
-            refute_implication(&sigma, &goal, &cfg()).expect("refutable");
+        let counterexample = refute_implication(&sigma, &goal, &cfg()).expect("refutable");
         assert!(sigma.satisfied_by(&counterexample));
-        assert!(!condep_core::satisfy::satisfies_normal(&counterexample, &goal));
+        assert!(!condep_core::satisfy::satisfies_normal(
+            &counterexample,
+            &goal
+        ));
     }
 
     #[test]
@@ -138,8 +139,7 @@ mod tests {
         // b = v anyway. The refuter cannot construct a counterexample.
         let schema = fixtures::example_5_1_schema(false);
         let force_b =
-            NormalCfd::parse(&schema, "r1", &[], prow![], "f", PValue::constant("v"))
-                .unwrap();
+            NormalCfd::parse(&schema, "r1", &[], prow![], "f", PValue::constant("v")).unwrap();
         let base = NormalCind::parse(
             &schema,
             "r1",
@@ -165,9 +165,11 @@ mod tests {
         // Drop the CFD and the CIND: now ψ is refutable (an r-tuple with
         // f = v and an empty s).
         let empty_sigma = ConstraintSet::new(schema, vec![], vec![]);
-        let counterexample =
-            refute_implication(&empty_sigma, &psi, &cfg()).expect("refutable");
-        assert!(!condep_core::satisfy::satisfies_normal(&counterexample, &psi));
+        let counterexample = refute_implication(&empty_sigma, &psi, &cfg()).expect("refutable");
+        assert!(!condep_core::satisfy::satisfies_normal(
+            &counterexample,
+            &psi
+        ));
     }
 
     #[test]

@@ -167,9 +167,7 @@ pub fn pre_processing(
 mod tests {
     use super::*;
     use crate::cfd_checking::ChaseCfdChecker;
-    use condep_core::fixtures::{
-        example_5_4_cinds, example_5_4_schema, example_5_5_psi4_prime,
-    };
+    use condep_core::fixtures::{example_5_4_cinds, example_5_4_schema, example_5_5_psi4_prime};
     use condep_model::{prow, Value};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -183,18 +181,14 @@ mod tests {
     fn example_5_4_cfds(schema: &condep_model::Schema) -> Vec<NormalCfd> {
         vec![
             NormalCfd::parse(schema, "r1", &["e"], prow![_], "f", PValue::Any).unwrap(),
-            NormalCfd::parse(schema, "r2", &["h"], prow![_], "g", PValue::constant("c"))
-                .unwrap(),
+            NormalCfd::parse(schema, "r2", &["h"], prow![_], "g", PValue::constant("c")).unwrap(),
             // φ3 = (R3: A → B, (c || _))
             NormalCfd::parse(schema, "r3", &["a"], prow!["c"], "b", PValue::Any).unwrap(),
             // φ4, φ5 = (R4: C → D, (_ || a)), (_ || b): inconsistent pair.
-            NormalCfd::parse(schema, "r4", &["c"], prow![_], "d", PValue::constant("a"))
-                .unwrap(),
-            NormalCfd::parse(schema, "r4", &["c"], prow![_], "d", PValue::constant("b"))
-                .unwrap(),
+            NormalCfd::parse(schema, "r4", &["c"], prow![_], "d", PValue::constant("a")).unwrap(),
+            NormalCfd::parse(schema, "r4", &["c"], prow![_], "d", PValue::constant("b")).unwrap(),
             // φ6 = (R5: I → J, (_ || c))
-            NormalCfd::parse(schema, "r5", &["i"], prow![_], "j", PValue::constant("c"))
-                .unwrap(),
+            NormalCfd::parse(schema, "r5", &["i"], prow![_], "j", PValue::constant("c")).unwrap(),
         ]
     }
 
@@ -229,8 +223,7 @@ mod tests {
         let schema = example_5_4_schema();
         let mut cinds = example_5_4_cinds(&schema);
         cinds[3] = example_5_5_psi4_prime(&schema); // replace ψ4
-        let sigma =
-            ConstraintSet::new(schema.clone(), example_5_4_cfds(&schema), cinds);
+        let sigma = ConstraintSet::new(schema.clone(), example_5_4_cfds(&schema), cinds);
         let mut graph = DepGraph::build(&sigma);
         let verdict = pre_processing(&mut graph, &sigma, &mut checker());
         assert_eq!(verdict.code(), -1);
@@ -251,13 +244,10 @@ mod tests {
                 .finish(),
         );
         let cfds = vec![
-            NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("x"))
-                .unwrap(),
-            NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("y"))
-                .unwrap(),
+            NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("x")).unwrap(),
+            NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("y")).unwrap(),
         ];
-        let cind =
-            NormalCind::parse(&schema, "r", &["a"], &[], "r", &["b"], &[]).unwrap();
+        let cind = NormalCind::parse(&schema, "r", &["a"], &[], "r", &["b"], &[]).unwrap();
         let sigma = ConstraintSet::new(schema.clone(), cfds, vec![cind]);
         let mut graph = DepGraph::build(&sigma);
         let verdict = pre_processing(&mut graph, &sigma, &mut checker());
@@ -273,15 +263,8 @@ mod tests {
                 .relation_str("r", &["a"])
                 .finish(),
         );
-        let cfds = vec![NormalCfd::parse(
-            &schema,
-            "r",
-            &[],
-            prow![],
-            "a",
-            PValue::constant("v"),
-        )
-        .unwrap()];
+        let cfds =
+            vec![NormalCfd::parse(&schema, "r", &[], prow![], "a", PValue::constant("v")).unwrap()];
         let sigma = ConstraintSet::new(schema.clone(), cfds, vec![]);
         let mut graph = DepGraph::build(&sigma);
         match pre_processing(&mut graph, &sigma, &mut checker()) {
@@ -332,10 +315,7 @@ mod tests {
         let schema = example_5_4_schema();
         let sigma = ConstraintSet::new(schema.clone(), vec![], vec![]);
         let mut graph = DepGraph::build(&sigma);
-        assert_eq!(
-            pre_processing(&mut graph, &sigma, &mut checker()).code(),
-            1
-        );
+        assert_eq!(pre_processing(&mut graph, &sigma, &mut checker()).code(), 1);
     }
 
     #[test]
@@ -344,8 +324,7 @@ mod tests {
         // individually fine, jointly inconsistent (Example 4.2).
         let (schema, cind) = condep_core::fixtures::example_4_2_cind();
         let phi =
-            NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::constant("a"))
-                .unwrap();
+            NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::constant("a")).unwrap();
         let sigma = ConstraintSet::new(schema.clone(), vec![phi], vec![cind]);
         let mut graph = DepGraph::build(&sigma);
         let verdict = pre_processing(&mut graph, &sigma, &mut checker());

@@ -60,10 +60,7 @@ fn one_run(
             if !witness.is_empty() && sigma.satisfied_by(&witness) {
                 Some(witness)
             } else {
-                debug_assert!(
-                    false,
-                    "defined chase produced a non-witness — engine bug"
-                );
+                debug_assert!(false, "defined chase produced a non-witness — engine bug");
                 None
             }
         }
@@ -120,8 +117,7 @@ mod tests {
         let schema = example_5_1_schema(finite_h);
         let cfds = vec![
             NormalCfd::parse(&schema, "r1", &["e"], prow![_], "f", PValue::Any).unwrap(),
-            NormalCfd::parse(&schema, "r2", &["h"], prow![_], "g", PValue::constant("c"))
-                .unwrap(),
+            NormalCfd::parse(&schema, "r2", &["h"], prow![_], "g", PValue::constant("c")).unwrap(),
         ];
         let cinds = example_5_1_cinds(&schema);
         ConstraintSet::new(schema, cfds, cinds)
@@ -152,8 +148,7 @@ mod tests {
         // inconsistent — every run's chase must be undefined.
         let (schema, cind) = condep_core::fixtures::example_4_2_cind();
         let phi =
-            NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::constant("a"))
-                .unwrap();
+            NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::constant("a")).unwrap();
         let sigma = ConstraintSet::new(schema, vec![phi], vec![cind]);
         assert!(random_checking(&sigma, &cfg(30), None).is_none());
     }
@@ -164,8 +159,7 @@ mod tests {
         // rest of Σ.
         let sigma = example_5_1_sigma(false);
         let r1 = sigma.schema().rel_id("r1").unwrap();
-        let witness =
-            random_checking(&sigma, &cfg(10), Some(&[r1])).expect("seeded at r1");
+        let witness = random_checking(&sigma, &cfg(10), Some(&[r1])).expect("seeded at r1");
         assert!(!witness.relation(r1).is_empty());
     }
 
@@ -187,10 +181,8 @@ mod tests {
         // yet the set is consistent; a defined run must eventually
         // appear (the cycle closes within two tuples).
         let schema = example_5_1_schema(false);
-        let forward =
-            NormalCind::parse(&schema, "r1", &["e"], &[], "r2", &["g"], &[]).unwrap();
-        let backward =
-            NormalCind::parse(&schema, "r2", &["g"], &[], "r1", &["e"], &[]).unwrap();
+        let forward = NormalCind::parse(&schema, "r1", &["e"], &[], "r2", &["g"], &[]).unwrap();
+        let backward = NormalCind::parse(&schema, "r2", &["g"], &[], "r1", &["e"], &[]).unwrap();
         let sigma = ConstraintSet::new(schema, vec![], vec![forward, backward]);
         let config = RandomCheckingConfig {
             k: 10,

@@ -3,8 +3,9 @@
 use condep_cfd::NormalCfd;
 use condep_core::NormalCind;
 use condep_model::{Database, RelId, Schema, Value};
+use condep_validate::Validator;
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A set Σ of normal-form CFDs and CINDs over one schema — the input of
 /// every Section 5 algorithm.
@@ -13,6 +14,10 @@ pub struct ConstraintSet {
     schema: Arc<Schema>,
     cfds: Vec<NormalCfd>,
     cinds: Vec<NormalCind>,
+    /// Lazily compiled batched validator; grouping Σ once pays off
+    /// because `satisfied_by` is called per candidate witness in the
+    /// checking loops.
+    validator: OnceLock<Arc<Validator>>,
 }
 
 impl ConstraintSet {
@@ -22,6 +27,7 @@ impl ConstraintSet {
             schema,
             cfds,
             cinds,
+            validator: OnceLock::new(),
         }
     }
 
@@ -96,28 +102,33 @@ impl ConstraintSet {
     /// Restriction of Σ to the given relations (used by `Checking` to
     /// process one connected component at a time).
     pub fn restrict_to(&self, rels: &BTreeSet<RelId>) -> ConstraintSet {
-        ConstraintSet {
-            schema: self.schema.clone(),
-            cfds: self
-                .cfds
+        ConstraintSet::new(
+            self.schema.clone(),
+            self.cfds
                 .iter()
                 .filter(|c| rels.contains(&c.rel()))
                 .cloned()
                 .collect(),
-            cinds: self
-                .cinds
+            self.cinds
                 .iter()
                 .filter(|c| rels.contains(&c.lhs_rel()) && rels.contains(&c.rhs_rel()))
                 .cloned()
                 .collect(),
-        }
+        )
+    }
+
+    /// The batched validator compiled from Σ (built once, cached).
+    pub fn validator(&self) -> &Validator {
+        self.validator
+            .get_or_init(|| Arc::new(Validator::new(self.cfds.clone(), self.cinds.clone())))
     }
 
     /// Does `db` satisfy every constraint of Σ? (The certificate check
-    /// behind Theorem 5.1.)
+    /// behind Theorem 5.1.) Routed through the batched [`Validator`]:
+    /// one shared group-by index per `(relation, LHS)` group instead of
+    /// one per constraint.
     pub fn satisfied_by(&self, db: &Database) -> bool {
-        condep_cfd::satisfy::satisfies_all(db, &self.cfds)
-            && condep_core::satisfy::satisfies_all(db, &self.cinds)
+        self.validator().satisfies(db)
     }
 }
 
@@ -132,15 +143,11 @@ mod tests {
         let cinds = example_5_4_cinds(&schema);
         let cfds = vec![
             NormalCfd::parse(&schema, "r1", &["e"], prow![_], "f", PValue::Any).unwrap(),
-            NormalCfd::parse(&schema, "r2", &["h"], prow![_], "g", PValue::constant("c"))
-                .unwrap(),
+            NormalCfd::parse(&schema, "r2", &["h"], prow![_], "g", PValue::constant("c")).unwrap(),
             NormalCfd::parse(&schema, "r3", &["a"], prow!["c"], "b", PValue::Any).unwrap(),
-            NormalCfd::parse(&schema, "r4", &["c"], prow![_], "d", PValue::constant("a"))
-                .unwrap(),
-            NormalCfd::parse(&schema, "r4", &["c"], prow![_], "d", PValue::constant("b"))
-                .unwrap(),
-            NormalCfd::parse(&schema, "r5", &["i"], prow![_], "j", PValue::constant("c"))
-                .unwrap(),
+            NormalCfd::parse(&schema, "r4", &["c"], prow![_], "d", PValue::constant("a")).unwrap(),
+            NormalCfd::parse(&schema, "r4", &["c"], prow![_], "d", PValue::constant("b")).unwrap(),
+            NormalCfd::parse(&schema, "r5", &["i"], prow![_], "j", PValue::constant("c")).unwrap(),
         ];
         ConstraintSet::new(schema, cfds, cinds)
     }

@@ -29,13 +29,8 @@ pub struct Cover {
 /// Candidates are examined in input order; each removal re-examines
 /// against the *current* (already reduced) set, so the result is a
 /// non-redundant cover with respect to the implication procedure.
-pub fn minimal_cover(
-    schema: &Schema,
-    sigma: &[NormalCind],
-    config: ImplicationConfig,
-) -> Cover {
-    let mut kept: Vec<(usize, NormalCind)> =
-        sigma.iter().cloned().enumerate().collect();
+pub fn minimal_cover(schema: &Schema, sigma: &[NormalCind], config: ImplicationConfig) -> Cover {
+    let mut kept: Vec<(usize, NormalCind)> = sigma.iter().cloned().enumerate().collect();
     let mut removed = Vec::new();
     let mut undecided = Vec::new();
     let mut i = 0;
@@ -91,10 +86,9 @@ mod tests {
     #[test]
     fn projection_redundancy_is_removed() {
         let schema = fixtures::example_5_1_schema(false);
-        let full = NormalCind::parse(&schema, "r1", &["e", "f"], &[], "r2", &["g", "h"], &[])
-            .unwrap();
-        let projected =
-            NormalCind::parse(&schema, "r1", &["e"], &[], "r2", &["g"], &[]).unwrap();
+        let full =
+            NormalCind::parse(&schema, "r1", &["e", "f"], &[], "r2", &["g", "h"], &[]).unwrap();
+        let projected = NormalCind::parse(&schema, "r1", &["e"], &[], "r2", &["g"], &[]).unwrap();
         let cover = minimal_cover(&schema, &[full.clone(), projected], cfg());
         assert_eq!(cover.kept, vec![full]);
         assert_eq!(cover.removed, vec![1]);
@@ -134,11 +128,7 @@ mod tests {
         // ψ5 only constrains EDI/NYC branches, ψ3 all branches — nothing
         // in Figure 2 is redundant except nothing; the cover keeps all.
         let schema = condep_model::fixtures::bank_schema();
-        let sigma = normalize_all(&[
-            fixtures::psi3(),
-            fixtures::psi5(),
-            fixtures::psi6(),
-        ]);
+        let sigma = normalize_all(&[fixtures::psi3(), fixtures::psi5(), fixtures::psi6()]);
         let cover = minimal_cover(&schema, &sigma, cfg());
         assert!(cover.removed.is_empty());
         assert_eq!(cover.kept.len(), sigma.len());

@@ -162,21 +162,9 @@ pub fn example_3_3_goal() -> Cind {
 /// schema and the CIND. See `condep-consistency` tests for the combined
 /// conflict.
 pub fn example_4_2_cind() -> (Arc<Schema>, NormalCind) {
-    let schema = Arc::new(
-        Schema::builder()
-            .relation_str("r", &["a", "b"])
-            .finish(),
-    );
-    let cind = NormalCind::parse(
-        &schema,
-        "r",
-        &[],
-        &[],
-        "r",
-        &[],
-        &[("b", Value::str("b"))],
-    )
-    .expect("fixture well-formed");
+    let schema = Arc::new(Schema::builder().relation_str("r", &["a", "b"]).finish());
+    let cind = NormalCind::parse(&schema, "r", &[], &[], "r", &[], &[("b", Value::str("b"))])
+        .expect("fixture well-formed");
     (schema, cind)
 }
 
@@ -298,8 +286,7 @@ pub fn example_5_4_cinds(schema: &Schema) -> Vec<NormalCind> {
 /// unconditional IND that cannot be "switched off" by non-triggering
 /// CFDs.
 pub fn example_5_5_psi4_prime(schema: &Schema) -> NormalCind {
-    NormalCind::parse(schema, "r3", &["a"], &[], "r4", &["c"], &[])
-        .expect("fixture well-formed")
+    NormalCind::parse(schema, "r3", &["a"], &[], "r4", &["c"], &[]).expect("fixture well-formed")
 }
 
 #[cfg(test)]

@@ -103,9 +103,14 @@ fn domain_values(schema: &Schema, rel: RelId, a: AttrId) -> Vec<Value> {
     schema
         .relation(rel)
         .ok()
-        .and_then(|rs| rs.attribute(a).ok().map(|at| {
-            at.domain().values().map(<[Value]>::to_vec).unwrap_or_default()
-        }))
+        .and_then(|rs| {
+            rs.attribute(a).ok().map(|at| {
+                at.domain()
+                    .values()
+                    .map(<[Value]>::to_vec)
+                    .unwrap_or_default()
+            })
+        })
         .unwrap_or_default()
 }
 
@@ -170,7 +175,10 @@ fn forced_tuples(schema: &Schema, sigma: &NormalCind, t: &AbsTuple) -> Vec<AbsTu
         }
         out.push(AbsTuple {
             rel,
-            cells: concrete.into_iter().map(|c| c.expect("all cells set")).collect(),
+            cells: concrete
+                .into_iter()
+                .map(|c| c.expect("all cells set"))
+                .collect(),
         });
         let mut k = 0;
         loop {
@@ -217,9 +225,9 @@ fn solve_game(
     let mut queue: VecDeque<usize> = VecDeque::new();
 
     let intern = |t: AbsTuple,
-                      ids: &mut HashMap<AbsTuple, usize>,
-                      tuples: &mut Vec<AbsTuple>,
-                      queue: &mut VecDeque<usize>| {
+                  ids: &mut HashMap<AbsTuple, usize>,
+                  tuples: &mut Vec<AbsTuple>,
+                  queue: &mut VecDeque<usize>| {
         if let Some(&i) = ids.get(&t) {
             return i;
         }
@@ -521,19 +529,22 @@ mod tests {
     #[test]
     fn reflexivity_is_implied_from_nothing() {
         let schema = fixtures::example_5_1_schema(false);
-        let psi = NormalCind::parse(&schema, "r1", &["e", "f"], &[], "r1", &["e", "f"], &[])
-            .unwrap();
+        let psi =
+            NormalCind::parse(&schema, "r1", &["e", "f"], &[], "r1", &["e", "f"], &[]).unwrap();
         assert!(implies_infinite(&schema, &[], &psi));
     }
 
     #[test]
     fn projection_of_an_axiom_is_implied() {
         let schema = fixtures::example_5_1_schema(false);
-        let full = NormalCind::parse(&schema, "r1", &["e", "f"], &[], "r2", &["g", "h"], &[])
-            .unwrap();
-        let projected =
-            NormalCind::parse(&schema, "r1", &["e"], &[], "r2", &["g"], &[]).unwrap();
-        assert!(implies_infinite(&schema, std::slice::from_ref(&full), &projected));
+        let full =
+            NormalCind::parse(&schema, "r1", &["e", "f"], &[], "r2", &["g", "h"], &[]).unwrap();
+        let projected = NormalCind::parse(&schema, "r1", &["e"], &[], "r2", &["g"], &[]).unwrap();
+        assert!(implies_infinite(
+            &schema,
+            std::slice::from_ref(&full),
+            &projected
+        ));
         // The reverse does not hold.
         assert!(!implies_infinite(&schema, &[projected], &full));
     }
@@ -606,8 +617,10 @@ mod tests {
         // Σ = {(r2[g; h=0] ⊆ r1[e; nil]), (r2[g; h=1] ⊆ r1[e; nil])}.
         // Over a finite dom(h): Σ |= (r2[g; nil] ⊆ r1[e; nil]).
         // Over an infinite dom(h): not implied.
-        for (finite_h, expect) in [(true, Implication::Implied), (false, Implication::NotImplied)]
-        {
+        for (finite_h, expect) in [
+            (true, Implication::Implied),
+            (false, Implication::NotImplied),
+        ] {
             let schema = fixtures::example_5_1_schema(finite_h);
             let mk = |v: &str| {
                 NormalCind::parse(
@@ -622,8 +635,7 @@ mod tests {
                 .unwrap()
             };
             let sigma = vec![mk("0"), mk("1")];
-            let psi =
-                NormalCind::parse(&schema, "r2", &["g"], &[], "r1", &["e"], &[]).unwrap();
+            let psi = NormalCind::parse(&schema, "r2", &["g"], &[], "r1", &["e"], &[]).unwrap();
             assert_eq!(
                 implies(&schema, &sigma, &psi, cfg()),
                 expect,
@@ -657,10 +669,7 @@ mod tests {
         // Without the IND, ψ is refutable (a tuple with a = y and an
         // empty s); with it, the trigger is impossible.
         assert_eq!(implies(&schema, &[], &psi, cfg()), Implication::NotImplied);
-        assert_eq!(
-            implies(&schema, &[ind], &psi, cfg()),
-            Implication::Implied
-        );
+        assert_eq!(implies(&schema, &[ind], &psi, cfg()), Implication::Implied);
     }
 
     #[test]
@@ -717,8 +726,8 @@ mod tests {
         ];
         for (sigma, psi) in cases {
             let game = implies(&schema, &sigma, &psi, cfg());
-            let oracle = implies_exhaustive_finite(&schema, &sigma, &psi, 4)
-                .expect("universe small enough");
+            let oracle =
+                implies_exhaustive_finite(&schema, &sigma, &psi, 4).expect("universe small enough");
             assert_eq!(
                 game == Implication::Implied,
                 oracle,
@@ -768,13 +777,11 @@ mod tests {
         );
         let rs = NormalCind::parse(&schema, "r", &["a"], &[], "s", &["b"], &[]).unwrap();
         let sr = NormalCind::parse(&schema, "s", &["b"], &[], "r", &["a"], &[]).unwrap();
-        let goal =
-            NormalCind::parse(&schema, "r", &["a"], &[], "r", &["a"], &[]).unwrap();
+        let goal = NormalCind::parse(&schema, "r", &["a"], &[], "r", &["a"], &[]).unwrap();
         // r[a] ⊆ r[a] is reflexively implied even through the cycle.
         assert!(implies_infinite(&schema, &[rs.clone(), sr.clone()], &goal));
         // r[a2] ⊆ s[b2] is not implied by the cycle on the other columns.
-        let other =
-            NormalCind::parse(&schema, "r", &["a2"], &[], "s", &["b2"], &[]).unwrap();
+        let other = NormalCind::parse(&schema, "r", &["a2"], &[], "s", &["b2"], &[]).unwrap();
         assert!(!implies_infinite(&schema, &[rs, sr], &other));
     }
 }

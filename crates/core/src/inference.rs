@@ -171,14 +171,7 @@ pub fn cind4(schema: &Schema, psi: &NormalCind, j: usize, c: Value) -> Result<No
     let mut yp = psi.yp().to_vec();
     xp.push((aj, c.clone()));
     yp.push((bj, c));
-    Ok(NormalCind::new(
-        psi.lhs_rel(),
-        psi.rhs_rel(),
-        x,
-        y,
-        xp,
-        yp,
-    ))
+    Ok(NormalCind::new(psi.lhs_rel(), psi.rhs_rel(), x, y, xp, yp))
 }
 
 /// **CIND5** (LHS weakening): add a fresh pattern condition `A = c` on
@@ -235,19 +228,13 @@ pub fn cind6(psi: &NormalCind, keep_yp: &[usize]) -> Result<NormalCind> {
 /// Checks that two normal CINDs are identical except for the `Xp` entry
 /// on `a` (and, when `b` is given, the `Yp` entry on `b`); returns the
 /// case-split values `(tp[a], tp[b])`.
-fn split_values(
-    psi: &NormalCind,
-    a: AttrId,
-    b: Option<AttrId>,
-) -> Result<(Value, Option<Value>)> {
+fn split_values(psi: &NormalCind, a: AttrId, b: Option<AttrId>) -> Result<(Value, Option<Value>)> {
     let va = psi
         .xp()
         .iter()
         .find(|(x, _)| *x == a)
         .map(|(_, v)| v.clone())
-        .ok_or_else(|| {
-            InferenceError::PremisesNotParallel(format!("no Xp entry on {a}"))
-        })?;
+        .ok_or_else(|| InferenceError::PremisesNotParallel(format!("no Xp entry on {a}")))?;
     let vb = match b {
         None => None,
         Some(b) => Some(
@@ -266,12 +253,7 @@ fn split_values(
 /// The premise with its case-split entries removed, for parallelism
 /// comparison.
 fn strip(psi: &NormalCind, a: AttrId, b: Option<AttrId>) -> NormalCind {
-    let xp = psi
-        .xp()
-        .iter()
-        .filter(|(x, _)| *x != a)
-        .cloned()
-        .collect();
+    let xp = psi.xp().iter().filter(|(x, _)| *x != a).cloned().collect();
     let yp = psi
         .yp()
         .iter()
@@ -334,12 +316,7 @@ pub fn cind7(schema: &Schema, premises: &[NormalCind], a: AttrId) -> Result<Norm
 /// `A = v_i` / `B = v_i` with `t_i[A] = t_i[B]`, and the `v_i` cover
 /// `dom(A)`, then `(A, B)` can be restored as a matched pair:
 /// `(Ra[X·A; Xp] ⊆ Rb[Y·B; Yp], tp)`.
-pub fn cind8(
-    schema: &Schema,
-    premises: &[NormalCind],
-    a: AttrId,
-    b: AttrId,
-) -> Result<NormalCind> {
+pub fn cind8(schema: &Schema, premises: &[NormalCind], a: AttrId, b: AttrId) -> Result<NormalCind> {
     let first = premises
         .first()
         .ok_or_else(|| InferenceError::PremisesNotParallel("no premises".into()))?;
@@ -431,10 +408,18 @@ impl fmt::Display for Justification {
             Justification::Cind5 { from } => write!(f, "CIND5 on ({})", from + 1),
             Justification::Cind6 { from } => write!(f, "CIND6 on ({})", from + 1),
             Justification::Cind7 { from } => {
-                write!(f, "CIND7 on {:?}", from.iter().map(|i| i + 1).collect::<Vec<_>>())
+                write!(
+                    f,
+                    "CIND7 on {:?}",
+                    from.iter().map(|i| i + 1).collect::<Vec<_>>()
+                )
             }
             Justification::Cind8 { from } => {
-                write!(f, "CIND8 on {:?}", from.iter().map(|i| i + 1).collect::<Vec<_>>())
+                write!(
+                    f,
+                    "CIND8 on {:?}",
+                    from.iter().map(|i| i + 1).collect::<Vec<_>>()
+                )
             }
         }
     }
@@ -534,7 +519,12 @@ impl Proof {
             .map(|&i| self.get(i).cloned())
             .collect::<Result<_>>()?;
         let c = cind7(schema, &premises, a)?;
-        Ok(self.push(c, Justification::Cind7 { from: from.to_vec() }))
+        Ok(self.push(
+            c,
+            Justification::Cind7 {
+                from: from.to_vec(),
+            },
+        ))
     }
 
     /// Applies CIND8 to the given steps.
@@ -550,7 +540,12 @@ impl Proof {
             .map(|&i| self.get(i).cloned())
             .collect::<Result<_>>()?;
         let c = cind8(schema, &premises, a, b)?;
-        Ok(self.push(c, Justification::Cind8 { from: from.to_vec() }))
+        Ok(self.push(
+            c,
+            Justification::Cind8 {
+                from: from.to_vec(),
+            },
+        ))
     }
 
     /// Soundness spot-check (Theorem 3.3, soundness direction): on a
@@ -573,7 +568,10 @@ impl Proof {
 
     /// Renders the proof with names resolved against `schema`.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
-        ProofDisplay { proof: self, schema }
+        ProofDisplay {
+            proof: self,
+            schema,
+        }
     }
 }
 

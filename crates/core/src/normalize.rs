@@ -164,7 +164,10 @@ mod tests {
             .collect();
         assert_eq!(
             xp,
-            vec![("b".to_string(), "h".to_string()), ("c".to_string(), "i".to_string())]
+            vec![
+                ("b".to_string(), "h".to_string()),
+                ("c".to_string(), "i".to_string())
+            ]
         );
         let yp: Vec<(String, String)> = n
             .yp()
@@ -176,7 +179,10 @@ mod tests {
             .collect();
         assert_eq!(
             yp,
-            vec![("f".to_string(), "h".to_string()), ("g".to_string(), "o".to_string())]
+            vec![
+                ("f".to_string(), "h".to_string()),
+                ("g".to_string(), "o".to_string())
+            ]
         );
     }
 
@@ -205,17 +211,20 @@ mod tests {
                 fixtures::psi1_nyc()
             });
         }
-        sigma.extend([fixtures::psi3(), fixtures::psi4(), fixtures::psi5(), fixtures::psi6()]);
+        sigma.extend([
+            fixtures::psi3(),
+            fixtures::psi4(),
+            fixtures::psi5(),
+            fixtures::psi6(),
+        ]);
         let normal = normalize_all(&sigma);
         assert_eq!(normal.len(), 2 + 1 + 1 + 2 + 2);
         for n in &normal {
             // Normal form invariant: constants exactly on Xp ∪ Yp.
-            assert!(n
-                .constants()
-                .all(|(rel, a, _)| {
-                    let rs = schema.relation(rel).unwrap();
-                    a.index() < rs.arity()
-                }));
+            assert!(n.constants().all(|(rel, a, _)| {
+                let rs = schema.relation(rel).unwrap();
+                a.index() < rs.arity()
+            }));
         }
     }
 }

@@ -25,7 +25,7 @@ pub fn satisfies_normal(db: &Database, cind: &NormalCind) -> bool {
     source
         .iter()
         .filter(|t1| cind.triggers(t1))
-        .all(|t1| idx.contains_key(&t1.project(cind.x())))
+        .all(|t1| idx.contains_tuple_key(t1, cind.x()))
 }
 
 /// Does `db` satisfy the (general-form) CIND?
@@ -50,11 +50,7 @@ pub fn satisfies_general_direct(db: &Database, cind: &Cind) -> bool {
     for t1 in source {
         for row in cind.tableau() {
             let (x_pat, xp_pat, y_pat, yp_pat) = cind.split_row(row);
-            let lhs_match = cind
-                .x()
-                .iter()
-                .zip(x_pat)
-                .all(|(a, p)| p.matches(&t1[*a]))
+            let lhs_match = cind.x().iter().zip(x_pat).all(|(a, p)| p.matches(&t1[*a]))
                 && cind
                     .xp()
                     .iter()
@@ -68,11 +64,7 @@ pub fn satisfies_general_direct(db: &Database, cind: &Cind) -> bool {
                     .iter()
                     .zip(cind.y())
                     .all(|(xa, ya)| t1[*xa] == t2[*ya])
-                    && cind
-                        .y()
-                        .iter()
-                        .zip(y_pat)
-                        .all(|(a, p)| p.matches(&t2[*a]))
+                    && cind.y().iter().zip(y_pat).all(|(a, p)| p.matches(&t2[*a]))
                     && cind
                         .yp()
                         .iter()
@@ -166,11 +158,8 @@ mod tests {
     fn empty_target_with_triggered_source_violates() {
         let schema = bank_database().schema().clone();
         let mut db = condep_model::Database::empty(schema);
-        db.insert_into(
-            "saving",
-            tuple!["01", "x", "y", "z", "EDI"],
-        )
-        .unwrap();
+        db.insert_into("saving", tuple!["01", "x", "y", "z", "EDI"])
+            .unwrap();
         // ψ3 requires the branch to appear in interest, which is empty.
         assert!(!satisfies(&db, &fixtures::psi3()));
     }

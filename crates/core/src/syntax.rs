@@ -52,7 +52,11 @@ impl Cind {
         );
         let width = x.len() + xp.len() + y.len() + yp.len();
         for row in &tableau {
-            assert_eq!(row.len(), width, "tableau row width must be |X|+|Xp|+|Y|+|Yp|");
+            assert_eq!(
+                row.len(),
+                width,
+                "tableau row width must be |X|+|Xp|+|Y|+|Yp|"
+            );
             for i in 0..x.len() {
                 assert_eq!(
                     row.cell(i),
@@ -217,7 +221,14 @@ impl fmt::Display for CindDisplay<'_> {
                     .collect::<Vec<_>>()
                     .join(", ")
             };
-            write!(f, "({}; {} || {}; {})", part(x), part(xp), part(y), part(yp))?;
+            write!(
+                f,
+                "({}; {} || {}; {})",
+                part(x),
+                part(xp),
+                part(y),
+                part(yp)
+            )?;
         }
         write!(f, "}})")
     }
@@ -566,16 +577,8 @@ mod tests {
     #[test]
     fn display_normal_form() {
         let schema = bank_schema();
-        let n = NormalCind::parse(
-            &schema,
-            "saving",
-            &["ab"],
-            &[],
-            "interest",
-            &["ab"],
-            &[],
-        )
-        .unwrap();
+        let n =
+            NormalCind::parse(&schema, "saving", &["ab"], &[], "interest", &["ab"], &[]).unwrap();
         let s = n.display(&schema).to_string();
         assert!(s.contains("saving[ab; nil]"));
         assert!(s.contains("interest[ab; nil]"));

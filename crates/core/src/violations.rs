@@ -26,16 +26,18 @@ pub struct CindViolation {
 pub fn find_violations(db: &Database, cind: &NormalCind) -> Vec<CindViolation> {
     let source = db.relation(cind.lhs_rel());
     let target = db.relation(cind.rhs_rel());
-    let idx =
-        condep_query::HashIndex::build_filtered(target, cind.y(), |t2| cind.rhs_matches(t2));
+    let idx = condep_query::HashIndex::build_filtered(target, cind.y(), |t2| cind.rhs_matches(t2));
     let mut out = Vec::new();
     for (pos, t1) in source.iter().enumerate() {
         if !cind.triggers(t1) {
             continue;
         }
-        let key = t1.project(cind.x());
-        if !idx.contains_key(&key) {
-            out.push(CindViolation { tuple: pos, key });
+        // Borrowed-key probe; only a confirmed violation clones the key.
+        if !idx.contains_tuple_key(t1, cind.x()) {
+            out.push(CindViolation {
+                tuple: pos,
+                key: t1.project(cind.x()),
+            });
         }
     }
     out
@@ -56,13 +58,11 @@ pub fn violation_plan(cind: &NormalCind) -> Plan {
             .iter()
             .map(|(a, v)| Predicate::AttrEq(*a, v.clone())),
     );
-    Plan::scan(cind.lhs_rel())
-        .filter(lhs_filter)
-        .anti_join(
-            Plan::scan(cind.rhs_rel()).filter(rhs_filter),
-            cind.x().to_vec(),
-            cind.y().to_vec(),
-        )
+    Plan::scan(cind.lhs_rel()).filter(lhs_filter).anti_join(
+        Plan::scan(cind.rhs_rel()).filter(rhs_filter),
+        cind.x().to_vec(),
+        cind.y().to_vec(),
+    )
 }
 
 /// Executes [`violation_plan`] and returns the violating tuples — the

@@ -57,7 +57,11 @@ impl fmt::Display for WitnessError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             WitnessError::ConstantOutsideDomain { attr, value } => {
-                write!(f, "pattern constant {value} outside dom({}.{})", attr.0, attr.1)
+                write!(
+                    f,
+                    "pattern constant {value} outside dom({}.{})",
+                    attr.0, attr.1
+                )
             }
             WitnessError::TooLarge { rel, max_tuples } => {
                 write!(f, "witness for {rel} exceeds {max_tuples} tuples")
@@ -90,12 +94,13 @@ pub fn domains_compatible(schema: &Schema, cind: &NormalCind) -> bool {
     ) else {
         return false;
     };
-    cind.x().iter().zip(cind.y()).all(|(xa, ya)| {
-        match (ls.attribute(*xa), rs.attribute(*ya)) {
+    cind.x()
+        .iter()
+        .zip(cind.y())
+        .all(|(xa, ya)| match (ls.attribute(*xa), rs.attribute(*ya)) {
             (Ok(a), Ok(b)) => domain_contained(a.domain(), b.domain()),
             _ => false,
-        }
-    })
+        })
 }
 
 /// Builds the Theorem 3.2 witness: a nonempty instance satisfying every
@@ -190,9 +195,7 @@ pub fn build_witness_bounded(
         for cind in sigma {
             for (xa, ya) in cind.x().iter().zip(cind.y()) {
                 let src = active[&(cind.lhs_rel(), *xa)].clone();
-                let dst = active
-                    .get_mut(&(cind.rhs_rel(), *ya))
-                    .expect("attr seeded");
+                let dst = active.get_mut(&(cind.rhs_rel(), *ya)).expect("attr seeded");
                 for v in src {
                     if dst.insert(v) {
                         changed = true;
@@ -255,10 +258,7 @@ fn cross_product(doms: &[Vec<Value>]) -> Vec<Tuple> {
 
 /// [`build_witness_bounded`] with a default cap of 2^20 tuples per
 /// relation.
-pub fn build_witness(
-    schema: &Arc<Schema>,
-    sigma: &[NormalCind],
-) -> Result<Database, WitnessError> {
+pub fn build_witness(schema: &Arc<Schema>, sigma: &[NormalCind]) -> Result<Database, WitnessError> {
     build_witness_bounded(schema, sigma, 1 << 20)
 }
 
@@ -337,14 +337,7 @@ mod tests {
         // CIND without `parse` validation on values.
         let rel = schema.rel_id("r").unwrap();
         let a = schema.relation(rel).unwrap().attr_id("a").unwrap();
-        let cind = NormalCind::new(
-            rel,
-            rel,
-            vec![],
-            vec![],
-            vec![(a, Value::str("z"))],
-            vec![],
-        );
+        let cind = NormalCind::new(rel, rel, vec![], vec![], vec![(a, Value::str("z"))], vec![]);
         assert!(matches!(
             build_witness(&schema, &[cind]),
             Err(WitnessError::ConstantOutsideDomain { .. })
@@ -403,7 +396,10 @@ mod tests {
             &Domain::finite_strs(&["a", "c"]),
             &Domain::finite_strs(&["a", "b"])
         ));
-        assert!(!domain_contained(&Domain::string(), &Domain::finite_strs(&["a"])));
+        assert!(!domain_contained(
+            &Domain::string(),
+            &Domain::finite_strs(&["a"])
+        ));
         assert!(!domain_contained(
             &Domain::integer(),
             &Domain::Infinite(BaseType::Str)

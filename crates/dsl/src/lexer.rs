@@ -150,45 +150,75 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             '(' => {
                 bump!();
-                out.push(Token { tok: Tok::LParen, pos });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    pos,
+                });
             }
             ')' => {
                 bump!();
-                out.push(Token { tok: Tok::RParen, pos });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    pos,
+                });
             }
             '{' => {
                 bump!();
-                out.push(Token { tok: Tok::LBrace, pos });
+                out.push(Token {
+                    tok: Tok::LBrace,
+                    pos,
+                });
             }
             '}' => {
                 bump!();
-                out.push(Token { tok: Tok::RBrace, pos });
+                out.push(Token {
+                    tok: Tok::RBrace,
+                    pos,
+                });
             }
             '[' => {
                 bump!();
-                out.push(Token { tok: Tok::LBracket, pos });
+                out.push(Token {
+                    tok: Tok::LBracket,
+                    pos,
+                });
             }
             ']' => {
                 bump!();
-                out.push(Token { tok: Tok::RBracket, pos });
+                out.push(Token {
+                    tok: Tok::RBracket,
+                    pos,
+                });
             }
             ',' => {
                 bump!();
-                out.push(Token { tok: Tok::Comma, pos });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    pos,
+                });
             }
             ';' => {
                 bump!();
-                out.push(Token { tok: Tok::Semi, pos });
+                out.push(Token {
+                    tok: Tok::Semi,
+                    pos,
+                });
             }
             ':' => {
                 bump!();
-                out.push(Token { tok: Tok::Colon, pos });
+                out.push(Token {
+                    tok: Tok::Colon,
+                    pos,
+                });
             }
             '|' => {
                 bump!();
                 if chars.peek() == Some(&'|') {
                     bump!();
-                    out.push(Token { tok: Tok::Bars, pos });
+                    out.push(Token {
+                        tok: Tok::Bars,
+                        pos,
+                    });
                 } else {
                     return Err(LexError {
                         message: "expected `||`".into(),
@@ -201,7 +231,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 match chars.peek() {
                     Some(&'>') => {
                         bump!();
-                        out.push(Token { tok: Tok::Arrow, pos });
+                        out.push(Token {
+                            tok: Tok::Arrow,
+                            pos,
+                        });
                     }
                     Some(&d) if d.is_ascii_digit() => {
                         let mut n = String::from("-");

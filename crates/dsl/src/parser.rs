@@ -3,9 +3,7 @@
 use crate::lexer::{lex, Pos, Tok, Token};
 use condep_cfd::Cfd;
 use condep_core::Cind;
-use condep_model::{
-    Attribute, Domain, PValue, PatternRow, RelationSchema, Schema, Value,
-};
+use condep_model::{Attribute, Domain, PValue, PatternRow, RelationSchema, Schema, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -284,11 +282,12 @@ impl Parser {
         self.expect(Tok::RBrace)?;
         let lhs_refs: Vec<&str> = lhs.iter().map(String::as_str).collect();
         let rhs_refs: Vec<&str> = rhs.iter().map(String::as_str).collect();
-        let cfd = Cfd::parse(schema, &rel_name, &lhs_refs, &rhs_refs, tableau)
-            .map_err(|e| ParseError {
+        let cfd = Cfd::parse(schema, &rel_name, &lhs_refs, &rhs_refs, tableau).map_err(|e| {
+            ParseError {
                 message: e.to_string(),
                 pos,
-            })?;
+            }
+        })?;
         Ok((name, cfd))
     }
 
@@ -528,15 +527,24 @@ mod tests {
 
     #[test]
     fn finite_domains_parse() {
-        let doc = parse_document(
-            "relation r(a: {1, 2, 3}, b: bool, c: {x, y}, d: int);",
-        )
-        .unwrap();
+        let doc = parse_document("relation r(a: {1, 2, 3}, b: bool, c: {x, y}, d: int);").unwrap();
         let rel = doc.schema.rel_id("r").unwrap();
         let rs = doc.schema.relation(rel).unwrap();
-        assert_eq!(rs.attribute(condep_model::AttrId(0)).unwrap().domain().size(), Some(3));
+        assert_eq!(
+            rs.attribute(condep_model::AttrId(0))
+                .unwrap()
+                .domain()
+                .size(),
+            Some(3)
+        );
         assert!(rs.attribute(condep_model::AttrId(1)).unwrap().is_finite());
-        assert_eq!(rs.attribute(condep_model::AttrId(2)).unwrap().domain().size(), Some(2));
+        assert_eq!(
+            rs.attribute(condep_model::AttrId(2))
+                .unwrap()
+                .domain()
+                .size(),
+            Some(2)
+        );
         assert!(!rs.attribute(condep_model::AttrId(3)).unwrap().is_finite());
     }
 

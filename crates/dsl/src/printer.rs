@@ -84,8 +84,7 @@ pub fn print_document(doc: &Document) -> String {
         );
         for row in cfd.tableau() {
             let (l, r) = cfd.split_row(row);
-            let fmt_cells =
-                |cs: &[PValue]| cs.iter().map(cell).collect::<Vec<_>>().join(", ");
+            let fmt_cells = |cs: &[PValue]| cs.iter().map(cell).collect::<Vec<_>>().join(", ");
             let _ = writeln!(out, "    ({} || {});", fmt_cells(l), fmt_cells(r));
         }
         let _ = writeln!(out, "}}");
@@ -116,8 +115,7 @@ pub fn print_document(doc: &Document) -> String {
         );
         for row in cind.tableau() {
             let (x, xp, y, yp) = cind.split_row(row);
-            let fmt_cells =
-                |cs: &[PValue]| cs.iter().map(cell).collect::<Vec<_>>().join(", ");
+            let fmt_cells = |cs: &[PValue]| cs.iter().map(cell).collect::<Vec<_>>().join(", ");
             let lhs = [fmt_cells(x), fmt_cells(xp)]
                 .into_iter()
                 .filter(|s| !s.is_empty())

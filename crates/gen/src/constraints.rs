@@ -15,9 +15,7 @@
 
 use condep_cfd::NormalCfd;
 use condep_core::NormalCind;
-use condep_model::{
-    AttrId, Database, PValue, PatternRow, RelId, Schema, Tuple, Value,
-};
+use condep_model::{AttrId, Database, PValue, PatternRow, RelId, Schema, Tuple, Value};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::sync::Arc;
@@ -89,7 +87,13 @@ fn pool_value<R: Rng>(pool: usize, rng: &mut R) -> Value {
     Value::str(format!("c{}", rng.gen_range(0..pool.max(1))))
 }
 
-fn random_domain_value<R: Rng>(schema: &Schema, rel: RelId, attr: AttrId, pool: usize, rng: &mut R) -> Value {
+fn random_domain_value<R: Rng>(
+    schema: &Schema,
+    rel: RelId,
+    attr: AttrId,
+    pool: usize,
+    rng: &mut R,
+) -> Value {
     let dom = schema
         .relation(rel)
         .expect("rel in range")
@@ -154,8 +158,7 @@ fn generate_cfd<R: Rng>(
                 // A constant different from the witness value, if the
                 // domain offers one.
                 let dom = rs.attribute(*a).expect("attr").domain().clone();
-                dom.fresh_value([&w[*a]])
-                    .unwrap_or_else(|| w[*a].clone())
+                dom.fresh_value([&w[*a]]).unwrap_or_else(|| w[*a].clone())
             }
             (None, _) => random_domain_value(schema, rel, *a, pool, rng),
         };
@@ -406,8 +409,7 @@ mod tests {
             cfd_fraction: 0.75,
             ..SigmaGenConfig::default()
         };
-        let (cfds, cinds, _) =
-            generate_sigma(&schema, &cfg, &mut StdRng::seed_from_u64(2));
+        let (cfds, cinds, _) = generate_sigma(&schema, &cfg, &mut StdRng::seed_from_u64(2));
         assert_eq!(cfds.len(), 150);
         assert_eq!(cinds.len(), 50);
     }
@@ -420,8 +422,7 @@ mod tests {
             consistent: false,
             ..SigmaGenConfig::default()
         };
-        let (cfds, cinds, witness) =
-            generate_sigma(&schema, &cfg, &mut StdRng::seed_from_u64(4));
+        let (cfds, cinds, witness) = generate_sigma(&schema, &cfg, &mut StdRng::seed_from_u64(4));
         assert!(witness.is_none());
         assert_eq!(cfds.len() + cinds.len(), 50);
     }
@@ -467,8 +468,7 @@ mod tests {
             consistent: false,
             ..SigmaGenConfig::default()
         };
-        let (cfds, cinds, _) =
-            generate_sigma(&schema, &cfg, &mut StdRng::seed_from_u64(12));
+        let (cfds, cinds, _) = generate_sigma(&schema, &cfg, &mut StdRng::seed_from_u64(12));
         for cfd in &cfds {
             let rs = schema.relation(cfd.rel()).unwrap();
             for (a, v) in cfd.pattern_constants() {

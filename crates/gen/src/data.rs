@@ -210,23 +210,41 @@ mod tests {
         for (rel, t) in &out.injected {
             let found = cinds.iter().any(|c| {
                 c.lhs_rel() == *rel
-                    && condep_core::find_violations(&out.db, c).iter().any(|v| {
-                        out.db.relation(*rel).get(v.tuple) == Some(t)
-                    })
+                    && condep_core::find_violations(&out.db, c)
+                        .iter()
+                        .any(|v| out.db.relation(*rel).get(v.tuple) == Some(t))
             });
             if found {
                 caught += 1;
             }
         }
-        assert_eq!(caught, out.injected.len(), "all injected dirt is detectable");
+        assert_eq!(
+            caught,
+            out.injected.len(),
+            "all injected dirt is detectable"
+        );
     }
 
     #[test]
     fn generation_is_deterministic() {
         let (schema, cfds, cinds, witness) = setup(5);
         let cfg = DirtyDataConfig::default();
-        let a = dirty_database(&schema, &cfds, &cinds, &witness, &cfg, &mut StdRng::seed_from_u64(6));
-        let b = dirty_database(&schema, &cfds, &cinds, &witness, &cfg, &mut StdRng::seed_from_u64(6));
+        let a = dirty_database(
+            &schema,
+            &cfds,
+            &cinds,
+            &witness,
+            &cfg,
+            &mut StdRng::seed_from_u64(6),
+        );
+        let b = dirty_database(
+            &schema,
+            &cfds,
+            &cinds,
+            &witness,
+            &cfg,
+            &mut StdRng::seed_from_u64(6),
+        );
         assert_eq!(a.db.total_tuples(), b.db.total_tuples());
         assert_eq!(a.injected.len(), b.injected.len());
     }

@@ -57,9 +57,8 @@ pub fn random_schema<R: Rng>(cfg: &SchemaGenConfig, rng: &mut R) -> Arc<Schema> 
             };
             attrs.push(Attribute::new(format!("a{a}"), domain));
         }
-        relations.push(
-            RelationSchema::new(format!("rel{r}"), attrs).expect("generated names unique"),
-        );
+        relations
+            .push(RelationSchema::new(format!("rel{r}"), attrs).expect("generated names unique"));
     }
     Arc::new(Schema::new(relations).expect("generated names unique"))
 }

@@ -143,14 +143,10 @@ mod tests {
     #[test]
     fn insert_validates_domains() {
         let mut db = Database::empty(schema());
-        let err = db
-            .insert_into("interest", tuple!["EDI", "FR"])
-            .unwrap_err();
+        let err = db.insert_into("interest", tuple!["EDI", "FR"]).unwrap_err();
         assert!(matches!(err, ModelError::DomainViolation { .. }));
         // Type errors are domain violations too.
-        let err = db
-            .insert_into("interest", tuple![1i64, "UK"])
-            .unwrap_err();
+        let err = db.insert_into("interest", tuple![1i64, "UK"]).unwrap_err();
         assert!(matches!(err, ModelError::DomainViolation { .. }));
     }
 

@@ -147,11 +147,7 @@ impl Domain {
         match self {
             Domain::Finite(vs) => vs.iter().find(|v| !avoid.contains(v)).cloned(),
             Domain::Infinite(BaseType::Int) => {
-                let max = avoid
-                    .iter()
-                    .filter_map(|v| v.as_int())
-                    .max()
-                    .unwrap_or(-1);
+                let max = avoid.iter().filter_map(|v| v.as_int()).max().unwrap_or(-1);
                 Some(Value::Int(max.checked_add(1)?))
             }
             Domain::Infinite(BaseType::Str) => {

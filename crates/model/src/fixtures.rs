@@ -70,22 +70,66 @@ pub fn bank_database() -> Database {
         db.insert_into(rel, t).expect("fixture tuple well-typed");
     };
     // Figure 1(a): account in NYC branch.
-    ins(&mut db, "account_nyc", tuple!["01", "J. Smith", "NYC, 19087", "212-5820844", "saving"]);
-    ins(&mut db, "account_nyc", tuple!["02", "G. King", "NYC, 19022", "212-3963455", "checking"]);
-    ins(&mut db, "account_nyc", tuple!["03", "J. Lee", "NYC, 02284", "212-5679844", "checking"]);
+    ins(
+        &mut db,
+        "account_nyc",
+        tuple!["01", "J. Smith", "NYC, 19087", "212-5820844", "saving"],
+    );
+    ins(
+        &mut db,
+        "account_nyc",
+        tuple!["02", "G. King", "NYC, 19022", "212-3963455", "checking"],
+    );
+    ins(
+        &mut db,
+        "account_nyc",
+        tuple!["03", "J. Lee", "NYC, 02284", "212-5679844", "checking"],
+    );
     // Figure 1(b): account in EDI branch.
-    ins(&mut db, "account_edi", tuple!["01", "S. Bundy", "EDI, EH8 9LE", "131-6516501", "saving"]);
-    ins(&mut db, "account_edi", tuple!["02", "I. Stark", "EDI, EH1 4FE", "131-6693423", "checking"]);
+    ins(
+        &mut db,
+        "account_edi",
+        tuple!["01", "S. Bundy", "EDI, EH8 9LE", "131-6516501", "saving"],
+    );
+    ins(
+        &mut db,
+        "account_edi",
+        tuple!["02", "I. Stark", "EDI, EH1 4FE", "131-6693423", "checking"],
+    );
     // Figure 1(c): saving.
-    ins(&mut db, "saving", tuple!["01", "J. Smith", "NYC, 19087", "212-5820844", "NYC"]);
-    ins(&mut db, "saving", tuple!["01", "S. Bundy", "EDI, EH8 9LE", "131-6516501", "EDI"]);
+    ins(
+        &mut db,
+        "saving",
+        tuple!["01", "J. Smith", "NYC, 19087", "212-5820844", "NYC"],
+    );
+    ins(
+        &mut db,
+        "saving",
+        tuple!["01", "S. Bundy", "EDI, EH8 9LE", "131-6516501", "EDI"],
+    );
     // Figure 1(d): checking.
-    ins(&mut db, "checking", tuple!["02", "G. King", "NYC, 19022", "212-3963455", "NYC"]);
-    ins(&mut db, "checking", tuple!["03", "J. Lee", "NYC, 02284", "212-5679844", "NYC"]);
-    ins(&mut db, "checking", tuple!["02", "I. Stark", "EDI, EH1 4FE", "131-6693423", "EDI"]);
+    ins(
+        &mut db,
+        "checking",
+        tuple!["02", "G. King", "NYC, 19022", "212-3963455", "NYC"],
+    );
+    ins(
+        &mut db,
+        "checking",
+        tuple!["03", "J. Lee", "NYC, 02284", "212-5679844", "NYC"],
+    );
+    ins(
+        &mut db,
+        "checking",
+        tuple!["02", "I. Stark", "EDI, EH1 4FE", "131-6693423", "EDI"],
+    );
     // Figure 1(e): interest — t12 is the seeded error (10.5% vs 1.5%).
     ins(&mut db, "interest", tuple!["EDI", "UK", "saving", "4.5%"]);
-    ins(&mut db, "interest", tuple!["EDI", "UK", "checking", "10.5%"]);
+    ins(
+        &mut db,
+        "interest",
+        tuple!["EDI", "UK", "checking", "10.5%"],
+    );
     ins(&mut db, "interest", tuple!["NYC", "US", "saving", "4%"]);
     ins(&mut db, "interest", tuple!["NYC", "US", "checking", "1%"]);
     db
@@ -118,7 +162,10 @@ mod tests {
     fn bank_schema_shape() {
         let s = bank_schema();
         assert_eq!(s.len(), 5);
-        assert_eq!(s.relation(s.rel_id("interest").unwrap()).unwrap().arity(), 4);
+        assert_eq!(
+            s.relation(s.rel_id("interest").unwrap()).unwrap().arity(),
+            4
+        );
         assert!(s.has_finite_attrs()); // `at` is finite
     }
 
@@ -134,9 +181,9 @@ mod tests {
     fn dirty_tuple_t12_present() {
         let db = bank_database();
         let interest = db.schema().rel_id("interest").unwrap();
-        assert!(db.relation(interest).contains(&tuple![
-            "EDI", "UK", "checking", "10.5%"
-        ]));
+        assert!(db
+            .relation(interest)
+            .contains(&tuple!["EDI", "UK", "checking", "10.5%"]));
     }
 
     #[test]

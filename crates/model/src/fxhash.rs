@@ -1,0 +1,108 @@
+//! A fast, deterministic, non-cryptographic hasher.
+//!
+//! The validation hot path hashes millions of small keys (interned
+//! symbols, tuple projections); SipHash's per-key setup cost dominates
+//! there. This is the well-known `fx` word-at-a-time multiply-rotate
+//! scheme (as used by rustc): deterministic across runs and platforms,
+//! which also keeps [`crate::Relation`]'s hashed position map and every
+//! index iteration reproducible.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The fx hasher state.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Hashes one value with a fresh [`FxHasher`].
+pub fn fx_hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_content_sensitive() {
+        assert_eq!(fx_hash_one(&"abc"), fx_hash_one(&"abc"));
+        assert_ne!(fx_hash_one(&"abc"), fx_hash_one(&"abd"));
+        assert_eq!(fx_hash_one(&(1u64, 2u64)), fx_hash_one(&(1u64, 2u64)));
+        assert_ne!(fx_hash_one(&(1u64, 2u64)), fx_hash_one(&(2u64, 1u64)));
+    }
+
+    #[test]
+    fn byte_tail_is_hashed() {
+        // Inputs differing only in a non-multiple-of-8 tail must differ.
+        assert_ne!(fx_hash_one(b"123456789"), fx_hash_one(b"123456780"));
+    }
+
+    #[test]
+    fn works_in_a_hashmap() {
+        let mut m: std::collections::HashMap<String, u32, FxBuildHasher> =
+            std::collections::HashMap::default();
+        m.insert("k".into(), 1);
+        assert_eq!(m.get("k"), Some(&1));
+    }
+}

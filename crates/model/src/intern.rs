@@ -1,0 +1,270 @@
+//! String interning and compact value symbols.
+//!
+//! The batched Σ-validation engine probes hash tables with tuple
+//! projections. Hashing `Value::Str(Arc<str>)` keys means chasing a
+//! pointer and hashing every byte on each probe; an [`Interner`] maps
+//! each distinct string of a [`Database`] to a dense `u32` [`Sym`] once,
+//! after which keys become word-sized [`SymValue`]s — `Copy`, cheap to
+//! hash, and comparable without dereferencing.
+
+use crate::database::Database;
+use crate::fxhash::FxBuildHasher;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A dense interned-string handle, valid for the [`Interner`] that
+/// produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Sym(pub u32);
+
+/// A compact, `Copy` rendering of a [`Value`] under some [`Interner`]:
+/// strings become symbols, numbers and booleans stay inline. Two
+/// `SymValue`s from the same interner are equal iff the underlying
+/// values are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum SymValue {
+    /// An inline boolean.
+    Bool(bool),
+    /// An inline integer.
+    Int(i64),
+    /// An interned string.
+    Str(Sym),
+}
+
+/// A per-database string interner.
+///
+/// Build one with [`Interner::from_database`] (interning every string the
+/// instance contains), then translate values with [`Interner::sym_value`]
+/// for read-only probing or [`Interner::intern_value`] when new strings
+/// may still arrive (streaming inserts).
+#[derive(Clone, Default, Debug)]
+pub struct Interner {
+    map: HashMap<Arc<str>, u32, FxBuildHasher>,
+    strs: Vec<Arc<str>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns every string value appearing in `db`.
+    pub fn from_database(db: &Database) -> Self {
+        let mut interner = Interner::new();
+        for (_, rel) in db.iter() {
+            for t in rel.iter() {
+                for v in t.values() {
+                    if let Value::Str(s) = v {
+                        interner.intern(s);
+                    }
+                }
+            }
+        }
+        interner
+    }
+
+    /// Interns `s`, returning its (possibly new) symbol.
+    pub fn intern(&mut self, s: &Arc<str>) -> Sym {
+        if let Some(&id) = self.map.get(s) {
+            return Sym(id);
+        }
+        let id = u32::try_from(self.strs.len()).expect("interner capacity exceeded");
+        self.map.insert(s.clone(), id);
+        self.strs.push(s.clone());
+        Sym(id)
+    }
+
+    /// The symbol of an already-interned string, if any.
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).map(|&id| Sym(id))
+    }
+
+    /// The string behind a symbol.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strs[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strs.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strs.is_empty()
+    }
+
+    /// Translates a value, interning new strings as needed.
+    pub fn intern_value(&mut self, v: &Value) -> SymValue {
+        match v {
+            Value::Bool(b) => SymValue::Bool(*b),
+            Value::Int(i) => SymValue::Int(*i),
+            Value::Str(s) => SymValue::Str(self.intern(s)),
+        }
+    }
+
+    /// Read-only translation: `None` when `v` is a string this interner
+    /// has never seen — which, for an interner built from a database,
+    /// means **no tuple of that database can equal `v`**. Callers use
+    /// that to skip entire constraint groups.
+    pub fn sym_value(&self, v: &Value) -> Option<SymValue> {
+        match v {
+            Value::Bool(b) => Some(SymValue::Bool(*b)),
+            Value::Int(i) => Some(SymValue::Int(*i)),
+            Value::Str(s) => self.lookup(s).map(SymValue::Str),
+        }
+    }
+}
+
+/// A column-major symbolized copy of a database: for each relation, one
+/// `Vec<SymValue>` per attribute, indexed by dense tuple position.
+///
+/// Built once per validation sweep via [`SymTables::build`]; afterwards
+/// every group-by index over any attribute list reads plain `Copy`
+/// columns — no string hashing anywhere in the per-group work, no matter
+/// how many constraint groups share the relation.
+#[derive(Clone, Debug)]
+pub struct SymTables {
+    /// `tables[rel][attr][pos]`.
+    tables: Vec<Vec<Vec<SymValue>>>,
+}
+
+impl SymTables {
+    /// Symbolizes every value of `db`, returning the tables plus the
+    /// interner that resolves them.
+    pub fn build(db: &Database) -> (Interner, SymTables) {
+        SymTables::build_for(db, |_| true)
+    }
+
+    /// Like [`SymTables::build`], but only symbolizes the relations for
+    /// which `needed` returns `true` — a validation sweep passes the
+    /// relations its constraint groups actually touch, so an
+    /// unconstrained large relation costs nothing. Columns of skipped
+    /// relations are empty and must not be read.
+    pub fn build_for(
+        db: &Database,
+        needed: impl Fn(crate::schema::RelId) -> bool,
+    ) -> (Interner, SymTables) {
+        let mut interner = Interner::new();
+        let mut tables = Vec::new();
+        for (rel_id, rel) in db.iter() {
+            if !needed(rel_id) {
+                tables.push(Vec::new());
+                continue;
+            }
+            // Arity from the schema, so empty relations still expose
+            // their (empty) columns.
+            let arity = db
+                .schema()
+                .relation(rel_id)
+                .map(|rs| rs.arity())
+                .unwrap_or_else(|_| rel.iter().next().map_or(0, |t| t.arity()));
+            let mut cols: Vec<Vec<SymValue>> =
+                (0..arity).map(|_| Vec::with_capacity(rel.len())).collect();
+            for t in rel.iter() {
+                for (col, v) in cols.iter_mut().zip(t.values()) {
+                    col.push(interner.intern_value(v));
+                }
+            }
+            tables.push(cols);
+        }
+        (interner, SymTables { tables })
+    }
+
+    /// The symbolized column of `attr` in `rel` (dense position order).
+    pub fn column(&self, rel: crate::schema::RelId, attr: crate::schema::AttrId) -> &[SymValue] {
+        &self.tables[rel.index()][attr.index()]
+    }
+
+    /// The columns of `rel` for an attribute list, in list order.
+    pub fn columns(
+        &self,
+        rel: crate::schema::RelId,
+        attrs: &[crate::schema::AttrId],
+    ) -> Vec<&[SymValue]> {
+        attrs.iter().map(|a| self.column(rel, *a)).collect()
+    }
+
+    /// Number of rows symbolized for `rel`.
+    pub fn rows(&self, rel: crate::schema::RelId) -> usize {
+        self.tables[rel.index()].first().map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::bank_database;
+    use crate::tuple;
+
+    #[test]
+    fn intern_is_idempotent_and_resolves() {
+        let mut i = Interner::new();
+        let a = i.intern(&Arc::from("EDI"));
+        let b = i.intern(&Arc::from("EDI"));
+        let c = i.intern(&Arc::from("NYC"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.resolve(a), "EDI");
+        assert_eq!(i.resolve(c), "NYC");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn from_database_covers_every_string() {
+        let db = bank_database();
+        let interner = Interner::from_database(&db);
+        for (_, rel) in db.iter() {
+            for t in rel.iter() {
+                for v in t.values() {
+                    if let Value::Str(s) = v {
+                        assert!(interner.lookup(s).is_some(), "missing {s}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sym_value_distinguishes_known_from_unknown() {
+        let mut i = Interner::new();
+        i.intern(&Arc::from("known"));
+        assert!(i.sym_value(&Value::str("known")).is_some());
+        assert_eq!(i.sym_value(&Value::str("unknown")), None);
+        assert_eq!(i.sym_value(&Value::int(3)), Some(SymValue::Int(3)));
+        assert_eq!(i.sym_value(&Value::bool(true)), Some(SymValue::Bool(true)));
+    }
+
+    #[test]
+    fn sym_tables_mirror_the_database() {
+        let db = bank_database();
+        let (interner, tables) = SymTables::build(&db);
+        for (rel, inst) in db.iter() {
+            assert_eq!(tables.rows(rel), inst.len());
+            for (pos, t) in inst.iter().enumerate() {
+                for (i, v) in t.values().iter().enumerate() {
+                    let attr = crate::schema::AttrId(i as u32);
+                    assert_eq!(
+                        tables.column(rel, attr)[pos],
+                        interner.sym_value(v).expect("interned"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sym_values_preserve_equality() {
+        let mut i = Interner::new();
+        let t1 = tuple!["a", 1i64, true];
+        let t2 = tuple!["a", 1i64, true];
+        let s1: Vec<SymValue> = t1.values().iter().map(|v| i.intern_value(v)).collect();
+        let s2: Vec<SymValue> = t2.values().iter().map(|v| i.intern_value(v)).collect();
+        assert_eq!(s1, s2);
+        let t3 = tuple!["b", 1i64, true];
+        let s3: Vec<SymValue> = t3.values().iter().map(|v| i.intern_value(v)).collect();
+        assert_ne!(s1, s3);
+    }
+}

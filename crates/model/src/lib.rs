@@ -30,6 +30,8 @@ pub mod database;
 pub mod domain;
 pub mod error;
 pub mod fixtures;
+pub mod fxhash;
+pub mod intern;
 pub mod pattern;
 pub mod relation;
 pub mod schema;
@@ -39,8 +41,10 @@ pub mod value;
 pub use database::Database;
 pub use domain::{BaseType, Domain};
 pub use error::ModelError;
+pub use fxhash::{FxBuildHasher, FxHasher};
+pub use intern::{Interner, Sym, SymTables, SymValue};
 pub use pattern::{PValue, PatternRow};
-pub use relation::Relation;
+pub use relation::{PosList, Relation};
 pub use schema::{AttrId, Attribute, RelId, RelationSchema, Schema, SchemaBuilder};
 pub use tuple::Tuple;
 pub use value::Value;

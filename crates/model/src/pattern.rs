@@ -152,13 +152,7 @@ impl PatternRow {
     /// Concatenation: `[self || other]`, mirroring the paper's `‖`
     /// separator between LHS and RHS pattern parts.
     pub fn concat(&self, other: &PatternRow) -> PatternRow {
-        PatternRow(
-            self.0
-                .iter()
-                .chain(other.0.iter())
-                .cloned()
-                .collect(),
-        )
+        PatternRow(self.0.iter().chain(other.0.iter()).cloned().collect())
     }
 
     /// Sub-row at the given positions (positions index into this row, not

@@ -1,20 +1,56 @@
 //! Relation instances.
 
+use crate::fxhash::{fx_hash_one, FxBuildHasher};
 use crate::tuple::Tuple;
 use std::collections::HashMap;
 use std::fmt;
+
+/// Positions (or slots) sharing one hash value. Collisions under a
+/// 64-bit hash are vanishingly rare, so the common case stays inline
+/// and allocation-free — used by [`Relation`]'s dedup map and by the
+/// query-side hash indexes for their hash → slot tables.
+#[derive(Clone, Debug)]
+pub enum PosList {
+    /// The common case: exactly one value for this hash.
+    One(u32),
+    /// Hash collision: multiple values (spills to the heap).
+    Many(Vec<u32>),
+}
+
+impl PosList {
+    /// The stored values in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        match self {
+            PosList::One(p) => std::slice::from_ref(p),
+            PosList::Many(ps) => ps.as_slice(),
+        }
+        .iter()
+        .copied()
+    }
+
+    /// Appends a value, spilling to `Many` on first collision.
+    pub fn push(&mut self, p: u32) {
+        match self {
+            PosList::One(first) => *self = PosList::Many(vec![*first, p]),
+            PosList::Many(ps) => ps.push(p),
+        }
+    }
+}
 
 /// An instance of a relation schema: a **set** of tuples (paper,
 /// Section 2) with deterministic (insertion-order) iteration.
 ///
 /// Internally an insertion-ordered set: a dense tuple vector plus a map
-/// for O(1) duplicate elimination and membership tests. Iteration order
-/// is stable, which keeps the chase, the generators and every test
+/// from tuple *hash* to dense positions. Tuples are stored exactly once —
+/// duplicate elimination and membership tests go hash → candidate
+/// positions → compare against the dense vector, so memory per tuple is
+/// the tuple itself plus a few words, not two full copies. Iteration
+/// order is stable, which keeps the chase, the generators and every test
 /// reproducible.
 #[derive(Clone, Default, Debug)]
 pub struct Relation {
     tuples: Vec<Tuple>,
-    positions: HashMap<Tuple, usize>,
+    positions: HashMap<u64, PosList, FxBuildHasher>,
 }
 
 impl Relation {
@@ -27,24 +63,41 @@ impl Relation {
     pub fn with_capacity(n: usize) -> Self {
         Relation {
             tuples: Vec::with_capacity(n),
-            positions: HashMap::with_capacity(n),
+            positions: HashMap::with_capacity_and_hasher(n, FxBuildHasher::default()),
         }
     }
 
     /// Inserts a tuple; returns `true` if it was not already present
     /// (set semantics).
     pub fn insert(&mut self, t: Tuple) -> bool {
-        if self.positions.contains_key(&t) {
-            return false;
+        let pos = u32::try_from(self.tuples.len()).expect("relation capacity exceeded");
+        match self.positions.entry(fx_hash_one(&t)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if e.get().iter().any(|p| self.tuples[p as usize] == t) {
+                    return false;
+                }
+                e.get_mut().push(pos);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(PosList::One(pos));
+            }
         }
-        self.positions.insert(t.clone(), self.tuples.len());
         self.tuples.push(t);
         true
     }
 
     /// Membership test.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.positions.contains_key(t)
+        self.position(t).is_some()
+    }
+
+    /// The dense position of `t`, if present.
+    pub fn position(&self, t: &Tuple) -> Option<usize> {
+        self.positions
+            .get(&fx_hash_one(t))?
+            .iter()
+            .map(|p| p as usize)
+            .find(|&p| &self.tuples[p] == t)
     }
 
     /// Number of tuples.

@@ -87,10 +87,7 @@ pub struct RelationSchema {
 
 impl RelationSchema {
     /// Creates a relation schema, rejecting duplicate attribute names.
-    pub fn new(
-        name: impl Into<String>,
-        attributes: Vec<Attribute>,
-    ) -> crate::Result<Self> {
+    pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> crate::Result<Self> {
         let name = name.into();
         let mut by_name = HashMap::with_capacity(attributes.len());
         for (i, a) in attributes.iter().enumerate() {
@@ -200,10 +197,7 @@ impl Schema {
                 return Err(ModelError::DuplicateName(r.name().to_string()));
             }
         }
-        Ok(Schema {
-            relations,
-            by_name,
-        })
+        Ok(Schema { relations, by_name })
     }
 
     /// Starts a fluent [`SchemaBuilder`].
@@ -260,7 +254,11 @@ impl Schema {
     /// The maximum arity over all relations (the `a` of the complexity
     /// bounds in Section 5).
     pub fn max_arity(&self) -> usize {
-        self.relations.iter().map(RelationSchema::arity).max().unwrap_or(0)
+        self.relations
+            .iter()
+            .map(RelationSchema::arity)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -283,11 +281,7 @@ pub struct SchemaBuilder {
 
 impl SchemaBuilder {
     /// Adds a relation with the given `(name, domain)` attribute list.
-    pub fn relation(
-        mut self,
-        name: &str,
-        attrs: &[(&str, Domain)],
-    ) -> Self {
+    pub fn relation(mut self, name: &str, attrs: &[(&str, Domain)]) -> Self {
         let attributes = attrs
             .iter()
             .map(|(n, d)| Attribute::new(*n, d.clone()))
@@ -300,8 +294,7 @@ impl SchemaBuilder {
 
     /// Adds a relation whose attributes are all infinite strings.
     pub fn relation_str(self, name: &str, attrs: &[&str]) -> Self {
-        let list: Vec<(&str, Domain)> =
-            attrs.iter().map(|a| (*a, Domain::string())).collect();
+        let list: Vec<(&str, Domain)> = attrs.iter().map(|a| (*a, Domain::string())).collect();
         self.relation(name, &list)
     }
 
@@ -334,7 +327,10 @@ mod tests {
         let saving = s.rel_id("saving").unwrap();
         assert_eq!(s.relation(saving).unwrap().name(), "saving");
         let ab = s.relation(saving).unwrap().attr_id("ab").unwrap();
-        assert_eq!(s.relation(saving).unwrap().attribute(ab).unwrap().name(), "ab");
+        assert_eq!(
+            s.relation(saving).unwrap().attribute(ab).unwrap().name(),
+            "ab"
+        );
     }
 
     #[test]
@@ -375,14 +371,9 @@ mod tests {
         let s = two_rel_schema();
         assert!(s.has_finite_attrs());
         let saving = s.rel_id("saving").unwrap();
-        assert_eq!(
-            s.relation(saving).unwrap().finite_attrs(),
-            vec![AttrId(1)]
-        );
+        assert_eq!(s.relation(saving).unwrap().finite_attrs(), vec![AttrId(1)]);
 
-        let all_inf = Schema::builder()
-            .relation_str("r", &["a", "b"])
-            .finish();
+        let all_inf = Schema::builder().relation_str("r", &["a", "b"]).finish();
         assert!(!all_inf.has_finite_attrs());
     }
 

@@ -1,7 +1,9 @@
 //! Hash indexes over relations.
 
-use condep_model::{AttrId, Relation, Tuple, Value};
+use condep_model::fxhash::{FxBuildHasher, FxHasher};
+use condep_model::{AttrId, PosList, Relation, Tuple, Value};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// A hash index mapping a key (projection onto an attribute list) to the
 /// dense positions of the tuples carrying that key.
@@ -10,10 +12,34 @@ use std::collections::HashMap;
 /// `(R1[X; Xp] ⊆ R2[Y; Yp], tp)` we index the `tp[Yp]`-matching tuples of
 /// `R2` on `Y` once, then probe with `t1[X]` for every candidate `t1` —
 /// turning the naive `O(|I1| · |I2|)` scan into `O(|I1| + |I2|)`.
+///
+/// Keys are stored once in first-seen order; the table maps key *hashes*
+/// to key slots, which lets the probe side hash **borrowed** projections
+/// ([`HashIndex::probe_tuple`], [`HashIndex::probe_ref`]) instead of
+/// cloning every key the way `t.project(..)` does.
 #[derive(Clone, Debug, Default)]
 pub struct HashIndex {
-    map: HashMap<Vec<Value>, Vec<usize>>,
+    /// Distinct keys, first-seen order.
+    keys: Vec<Vec<Value>>,
+    /// Positions per key, parallel to `keys`.
+    groups: Vec<Vec<usize>>,
+    /// Key hash → slots in `keys` with that hash (collisions are rare,
+    /// so [`PosList`] keeps the common case allocation-free).
+    slots: HashMap<u64, PosList, FxBuildHasher>,
     key_len: usize,
+}
+
+/// Hashes the fields of a key one value at a time (no length prefix), so
+/// owned keys, borrowed keys, and in-tuple projections all hash alike.
+fn hash_key<'a, I>(vals: I) -> u64
+where
+    I: IntoIterator<Item = &'a Value>,
+{
+    let mut h = FxHasher::default();
+    for v in vals {
+        v.hash(&mut h);
+    }
+    h.finish()
 }
 
 impl HashIndex {
@@ -27,22 +53,86 @@ impl HashIndex {
     where
         F: Fn(&Tuple) -> bool,
     {
-        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        let mut idx = HashIndex {
+            keys: Vec::new(),
+            groups: Vec::new(),
+            slots: HashMap::default(),
+            key_len: key_attrs.len(),
+        };
         for (pos, t) in rel.iter().enumerate() {
             if filter(t) {
-                map.entry(t.project(key_attrs)).or_default().push(pos);
+                idx.insert_position(t, key_attrs, pos);
             }
         }
-        HashIndex {
-            map,
-            key_len: key_attrs.len(),
+        idx
+    }
+
+    /// Adds one tuple's position under its projected key.
+    fn insert_position(&mut self, t: &Tuple, key_attrs: &[AttrId], pos: usize) {
+        let hash = hash_key(key_attrs.iter().map(|a| &t[*a]));
+        let slot = u32::try_from(self.keys.len()).expect("index capacity exceeded");
+        match self.slots.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                for existing in e.get().iter() {
+                    let key = &self.keys[existing as usize];
+                    if key_attrs.iter().zip(key.iter()).all(|(a, k)| &t[*a] == k) {
+                        self.groups[existing as usize].push(pos);
+                        return;
+                    }
+                }
+                e.get_mut().push(slot);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(PosList::One(slot));
+            }
         }
+        self.keys
+            .push(key_attrs.iter().map(|a| t[*a].clone()).collect());
+        self.groups.push(vec![pos]);
+    }
+
+    /// Slot lookup shared by the probe variants.
+    fn find_slot<'a, I, F>(&self, hash_vals: I, eq: F) -> Option<usize>
+    where
+        I: IntoIterator<Item = &'a Value>,
+        F: Fn(&[Value]) -> bool,
+    {
+        let slots = self.slots.get(&hash_key(hash_vals))?;
+        slots
+            .iter()
+            .map(|s| s as usize)
+            .find(|&s| eq(&self.keys[s]))
     }
 
     /// The positions of tuples whose key equals `key` (empty when none).
     pub fn probe(&self, key: &[Value]) -> &[usize] {
         debug_assert_eq!(key.len(), self.key_len);
-        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+        self.find_slot(key.iter(), |k| k == key)
+            .map(|s| self.groups[s].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Borrowed-key probe: like [`HashIndex::probe`] but over a slice of
+    /// references (e.g. from [`Tuple::project_ref`]) — no cloning.
+    pub fn probe_ref(&self, key: &[&Value]) -> &[usize] {
+        debug_assert_eq!(key.len(), self.key_len);
+        self.find_slot(key.iter().copied(), |k| {
+            k.iter().zip(key.iter()).all(|(a, b)| &a == b)
+        })
+        .map(|s| self.groups[s].as_slice())
+        .unwrap_or(&[])
+    }
+
+    /// Zero-allocation probe with `t[key_attrs]` as the key: the hot path
+    /// of CIND validation — hashes the projection straight out of the
+    /// tuple.
+    pub fn probe_tuple(&self, t: &Tuple, key_attrs: &[AttrId]) -> &[usize] {
+        debug_assert_eq!(key_attrs.len(), self.key_len);
+        self.find_slot(key_attrs.iter().map(|a| &t[*a]), |k| {
+            key_attrs.iter().zip(k.iter()).all(|(a, v)| &t[*a] == v)
+        })
+        .map(|s| self.groups[s].as_slice())
+        .unwrap_or(&[])
     }
 
     /// Does any indexed tuple carry `key`?
@@ -50,25 +140,31 @@ impl HashIndex {
         !self.probe(key).is_empty()
     }
 
+    /// [`HashIndex::contains_key`] for a projection of `t` — no cloning.
+    pub fn contains_tuple_key(&self, t: &Tuple, key_attrs: &[AttrId]) -> bool {
+        !self.probe_tuple(t, key_attrs).is_empty()
+    }
+
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> usize {
-        self.map.len()
+        self.keys.len()
     }
 
     /// Number of indexed tuples.
     pub fn len(&self) -> usize {
-        self.map.values().map(Vec::len).sum()
+        self.groups.iter().map(Vec::len).sum()
     }
 
     /// Whether the index holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.keys.is_empty()
     }
 
-    /// Iterator over `(key, positions)` groups — the group-by view used
-    /// by the CFD checker (group on `X`, inspect the `A` column).
+    /// Iterator over `(key, positions)` groups in first-seen order — the
+    /// group-by view used by the CFD checker (group on `X`, inspect the
+    /// `A` column).
     pub fn groups(&self) -> impl Iterator<Item = (&Vec<Value>, &[usize])> {
-        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+        self.keys.iter().zip(self.groups.iter().map(Vec::as_slice))
     }
 
     /// The arity of keys in this index.
@@ -100,6 +196,24 @@ mod tests {
         assert!(idx.probe(&[Value::str("LON")]).is_empty());
         assert!(idx.contains_key(&[Value::str("EDI")]));
         assert!(!idx.contains_key(&[Value::str("LON")]));
+    }
+
+    #[test]
+    fn borrowed_probes_agree_with_owned() {
+        let r = rel();
+        let idx = HashIndex::build(&r, &[AttrId(1), AttrId(0)]);
+        for t in r.iter() {
+            let owned = t.project(&[AttrId(1), AttrId(0)]);
+            let refs = t.project_ref(&[AttrId(1), AttrId(0)]);
+            assert_eq!(idx.probe(&owned), idx.probe_ref(&refs));
+            assert_eq!(
+                idx.probe(&owned),
+                idx.probe_tuple(t, &[AttrId(1), AttrId(0)])
+            );
+            assert!(idx.contains_tuple_key(t, &[AttrId(1), AttrId(0)]));
+        }
+        let miss = tuple!["XX", "YY", "z"];
+        assert!(idx.probe_tuple(&miss, &[AttrId(1), AttrId(0)]).is_empty());
     }
 
     #[test]
@@ -137,12 +251,15 @@ mod tests {
     }
 
     #[test]
-    fn groups_cover_all_tuples() {
+    fn groups_cover_all_tuples_in_first_seen_order() {
         let idx = HashIndex::build(&rel(), &[AttrId(1)]);
         let mut total = 0;
-        for (_, positions) in idx.groups() {
+        let mut keys = Vec::new();
+        for (key, positions) in idx.groups() {
             total += positions.len();
+            keys.push(key[0].clone());
         }
         assert_eq!(total, 3);
+        assert_eq!(keys, vec![Value::str("UK"), Value::str("US")]);
     }
 }

@@ -13,7 +13,9 @@
 //!   attributes (equality with constants, pattern-row matching,
 //!   attr-to-attr equality, boolean combinators);
 //! * [`index::HashIndex`] — hash indexes on attribute lists, the backbone
-//!   of equi-joins;
+//!   of equi-joins, with borrowed-key probing for the hot paths;
+//! * [`sym_index::SymIndex`] — the compact-key variant over interned
+//!   [`condep_model::SymValue`]s used by the batched Σ-validator;
 //! * [`ops`] — free-standing select / project / join / semi-join /
 //!   anti-join / group-by operators;
 //! * [`plan`] — a tiny composable logical plan (scan → filter → project →
@@ -27,7 +29,9 @@ pub mod index;
 pub mod ops;
 pub mod plan;
 pub mod predicate;
+pub mod sym_index;
 
 pub use index::HashIndex;
 pub use plan::{Plan, Rows};
 pub use predicate::Predicate;
+pub use sym_index::SymIndex;

@@ -33,7 +33,9 @@ pub fn project(rows: &[Tuple], attrs: &[AttrId]) -> Vec<Tuple> {
 /// Removes duplicate rows, keeping first occurrences (stable).
 pub fn distinct(rows: Vec<Tuple>) -> Vec<Tuple> {
     let mut seen = std::collections::HashSet::with_capacity(rows.len());
-    rows.into_iter().filter(|t| seen.insert(t.clone())).collect()
+    rows.into_iter()
+        .filter(|t| seen.insert(t.clone()))
+        .collect()
 }
 
 /// Hash equi-join: pairs `(l, r)` with `l[left_keys] = r[right_keys]`,
@@ -48,8 +50,7 @@ pub fn hash_join(
     let idx = HashIndex::build(right, right_keys);
     let mut out = Vec::new();
     for l in left {
-        let key = l.project(left_keys);
-        for &pos in idx.probe(&key) {
+        for &pos in idx.probe_tuple(l, left_keys) {
             let r = right.get(pos).expect("index position valid");
             out.push(Tuple::new(
                 l.values().iter().chain(r.values().iter()).cloned(),
@@ -73,7 +74,7 @@ where
 {
     let idx = HashIndex::build_filtered(right, right_keys, right_filter);
     left.iter()
-        .filter(|l| idx.contains_key(&l.project(left_keys)))
+        .filter(|l| idx.contains_tuple_key(l, left_keys))
         .cloned()
         .collect()
 }
@@ -94,7 +95,7 @@ where
 {
     let idx = HashIndex::build_filtered(right, right_keys, right_filter);
     left.iter()
-        .filter(|l| !idx.contains_key(&l.project(left_keys)))
+        .filter(|l| !idx.contains_tuple_key(l, left_keys))
         .cloned()
         .collect()
 }
@@ -125,7 +126,9 @@ mod tests {
     }
 
     fn interest() -> Relation {
-        [tuple!["EDI", "UK"], tuple!["NYC", "US"]].into_iter().collect()
+        [tuple!["EDI", "UK"], tuple!["NYC", "US"]]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -174,7 +177,9 @@ mod tests {
     #[test]
     fn anti_join_against_empty_right_keeps_everything() {
         let left = select(&saving(), &Predicate::True);
-        let anti = anti_join(&left, &Relation::new(), &[AttrId(1)], &[AttrId(0)], |_| true);
+        let anti = anti_join(&left, &Relation::new(), &[AttrId(1)], &[AttrId(0)], |_| {
+            true
+        });
         assert_eq!(anti.len(), 3);
     }
 

@@ -249,7 +249,11 @@ mod tests {
                 .finish(),
         );
         let mut db = Database::empty(schema);
-        for t in [tuple!["01", "NYC"], tuple!["01", "EDI"], tuple!["02", "EDI"]] {
+        for t in [
+            tuple!["01", "NYC"],
+            tuple!["01", "EDI"],
+            tuple!["02", "EDI"],
+        ] {
             db.insert_into("saving", t).unwrap();
         }
         db.insert_into("interest", tuple!["EDI", "UK"]).unwrap();
@@ -276,11 +280,8 @@ mod tests {
         let saving = db.schema().rel_id("saving").unwrap();
         let interest = db.schema().rel_id("interest").unwrap();
         // saving rows whose branch has no interest row: the NYC row.
-        let plan = Plan::scan(saving).anti_join(
-            Plan::scan(interest),
-            vec![AttrId(1)],
-            vec![AttrId(0)],
-        );
+        let plan =
+            Plan::scan(saving).anti_join(Plan::scan(interest), vec![AttrId(1)], vec![AttrId(0)]);
         assert_eq!(plan.execute(&db), vec![tuple!["01", "NYC"]]);
     }
 
@@ -289,11 +290,7 @@ mod tests {
         let db = db();
         let saving = db.schema().rel_id("saving").unwrap();
         let interest = db.schema().rel_id("interest").unwrap();
-        let plan = Plan::scan(saving).join(
-            Plan::scan(interest),
-            vec![AttrId(1)],
-            vec![AttrId(0)],
-        );
+        let plan = Plan::scan(saving).join(Plan::scan(interest), vec![AttrId(1)], vec![AttrId(0)]);
         let rows = plan.execute(&db);
         assert_eq!(rows.len(), 2);
         for row in &rows {
@@ -307,11 +304,8 @@ mod tests {
         let db = db();
         let saving = db.schema().rel_id("saving").unwrap();
         let interest = db.schema().rel_id("interest").unwrap();
-        let plan = Plan::scan(saving).semi_join(
-            Plan::scan(interest),
-            vec![AttrId(1)],
-            vec![AttrId(0)],
-        );
+        let plan =
+            Plan::scan(saving).semi_join(Plan::scan(interest), vec![AttrId(1)], vec![AttrId(0)]);
         assert_eq!(plan.execute(&db).len(), 2);
     }
 
@@ -330,11 +324,8 @@ mod tests {
         let db = db();
         let saving = db.schema().rel_id("saving").unwrap();
         let interest = db.schema().rel_id("interest").unwrap();
-        let plan = Plan::scan(saving).anti_join(
-            Plan::scan(interest),
-            vec![AttrId(1)],
-            vec![AttrId(0)],
-        );
+        let plan =
+            Plan::scan(saving).anti_join(Plan::scan(interest), vec![AttrId(1)], vec![AttrId(0)]);
         let s = plan.to_string();
         assert!(s.starts_with("antijoin"));
         assert!(s.contains("scan(R0)"));

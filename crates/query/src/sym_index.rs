@@ -1,0 +1,257 @@
+//! Compact-key group-by indexes over interned values.
+//!
+//! A [`SymIndex`] is the [`crate::HashIndex`] idea rebuilt for the
+//! batched Σ-validation hot path: keys are `Box<[SymValue]>` — `Copy`
+//! word-sized cells from a [`condep_model::Interner`] — hashed with the
+//! fx hasher, so building and probing never touch string bytes or bump
+//! `Arc` reference counts. Probes borrow (`&[SymValue]`), and the index
+//! supports incremental growth for streaming validation.
+
+use condep_model::fxhash::FxBuildHasher;
+use condep_model::{AttrId, Interner, Relation, SymValue, Tuple};
+use std::collections::HashMap;
+
+/// A group-by index keyed by interned projections.
+#[derive(Clone, Debug, Default)]
+pub struct SymIndex {
+    /// Distinct keys → slot, probed with borrowed `&[SymValue]`.
+    map: HashMap<Box<[SymValue]>, u32, FxBuildHasher>,
+    /// Distinct keys in first-seen order, parallel to `groups`.
+    keys: Vec<Box<[SymValue]>>,
+    /// Dense tuple positions per key, parallel to `keys`.
+    groups: Vec<Vec<u32>>,
+    key_len: usize,
+}
+
+impl SymIndex {
+    /// An empty index over keys of width `key_len`.
+    pub fn new(key_len: usize) -> Self {
+        SymIndex {
+            map: HashMap::default(),
+            keys: Vec::new(),
+            groups: Vec::new(),
+            key_len,
+        }
+    }
+
+    /// Builds an index over all tuples of `rel` keyed by `key_attrs`,
+    /// interning any new strings into `interner`.
+    pub fn build(rel: &Relation, key_attrs: &[AttrId], interner: &mut Interner) -> Self {
+        let mut idx = SymIndex::new(key_attrs.len());
+        let mut buf: Vec<SymValue> = Vec::with_capacity(key_attrs.len());
+        for (pos, t) in rel.iter().enumerate() {
+            idx.insert_with_buf(pos as u32, t, key_attrs, interner, &mut buf);
+        }
+        idx
+    }
+
+    /// Builds from pre-symbolized columns (see
+    /// [`condep_model::SymTables`]): `key_cols` are the key attributes'
+    /// columns in key order, all of length `rows`; only positions passing
+    /// `filter` are indexed. This is the validation hot path — key cells
+    /// are `Copy` reads, no string ever gets hashed.
+    pub fn build_from_columns<F>(rows: usize, key_cols: &[&[SymValue]], filter: F) -> Self
+    where
+        F: Fn(usize) -> bool,
+    {
+        let mut idx = SymIndex::new(key_cols.len());
+        let mut buf: Vec<SymValue> = Vec::with_capacity(key_cols.len());
+        for pos in 0..rows {
+            if !filter(pos) {
+                continue;
+            }
+            buf.clear();
+            buf.extend(key_cols.iter().map(|col| col[pos]));
+            idx.push_key(pos as u32, &buf);
+        }
+        idx
+    }
+
+    /// Read-only-interner build over the tuples passing `filter`.
+    ///
+    /// Requires `interner` to already cover every string of `rel` (e.g.
+    /// built with [`Interner::from_database`] on the owning database) —
+    /// this is what lets the parallel validation sweep share one
+    /// immutable interner across threads.
+    pub fn build_filtered_interned<F>(
+        rel: &Relation,
+        key_attrs: &[AttrId],
+        interner: &Interner,
+        filter: F,
+    ) -> Self
+    where
+        F: Fn(&Tuple) -> bool,
+    {
+        let mut idx = SymIndex::new(key_attrs.len());
+        let mut buf: Vec<SymValue> = Vec::with_capacity(key_attrs.len());
+        for (pos, t) in rel.iter().enumerate() {
+            if !filter(t) {
+                continue;
+            }
+            buf.clear();
+            buf.extend(key_attrs.iter().map(|a| {
+                interner
+                    .sym_value(&t[*a])
+                    .expect("interner must cover the indexed relation")
+            }));
+            idx.push_key(pos as u32, &buf);
+        }
+        idx
+    }
+
+    /// Appends `pos` under the already-translated `key`.
+    fn push_key(&mut self, pos: u32, key: &[SymValue]) {
+        debug_assert_eq!(key.len(), self.key_len);
+        if let Some(&slot) = self.map.get(key) {
+            self.groups[slot as usize].push(pos);
+        } else {
+            let slot = u32::try_from(self.keys.len()).expect("index capacity exceeded");
+            let boxed: Box<[SymValue]> = key.into();
+            self.map.insert(boxed.clone(), slot);
+            self.keys.push(boxed);
+            self.groups.push(vec![pos]);
+        }
+    }
+
+    /// Adds the tuple at dense position `pos` under its projected key.
+    pub fn insert(&mut self, pos: u32, t: &Tuple, key_attrs: &[AttrId], interner: &mut Interner) {
+        let mut buf = Vec::with_capacity(key_attrs.len());
+        self.insert_with_buf(pos, t, key_attrs, interner, &mut buf);
+    }
+
+    fn insert_with_buf(
+        &mut self,
+        pos: u32,
+        t: &Tuple,
+        key_attrs: &[AttrId],
+        interner: &mut Interner,
+        buf: &mut Vec<SymValue>,
+    ) {
+        debug_assert_eq!(key_attrs.len(), self.key_len);
+        buf.clear();
+        buf.extend(key_attrs.iter().map(|a| interner.intern_value(&t[*a])));
+        self.push_key(pos, buf);
+    }
+
+    /// The positions of tuples whose key equals `key` (empty when none).
+    pub fn probe(&self, key: &[SymValue]) -> &[u32] {
+        debug_assert_eq!(key.len(), self.key_len);
+        self.map
+            .get(key)
+            .map(|&slot| self.groups[slot as usize].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Does any indexed tuple carry `key`?
+    pub fn contains_key(&self, key: &[SymValue]) -> bool {
+        !self.probe(key).is_empty()
+    }
+
+    /// Iterator over `(key, positions)` groups in first-seen order.
+    pub fn groups(&self) -> impl Iterator<Item = (&[SymValue], &[u32])> {
+        self.keys
+            .iter()
+            .map(Box::as_ref)
+            .zip(self.groups.iter().map(Vec::as_slice))
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the index holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The arity of keys in this index.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condep_model::{tuple, AttrId, Value};
+
+    fn rel() -> Relation {
+        [
+            tuple!["EDI", "UK", 1i64],
+            tuple!["EDI", "UK", 2i64],
+            tuple!["NYC", "US", 1i64],
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn build_probe_and_groups_agree_with_hash_index() {
+        let r = rel();
+        let mut interner = Interner::new();
+        let idx = SymIndex::build(&r, &[AttrId(0)], &mut interner);
+        let edi = [interner.sym_value(&Value::str("EDI")).unwrap()];
+        assert_eq!(idx.probe(&edi), &[0, 1]);
+        assert!(idx.contains_key(&edi));
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.len(), 3);
+        let reference = crate::HashIndex::build(&r, &[AttrId(0)]);
+        assert_eq!(idx.distinct_keys(), reference.distinct_keys());
+        for (key, positions) in idx.groups() {
+            assert_eq!(key.len(), 1);
+            assert!(!positions.is_empty());
+        }
+    }
+
+    #[test]
+    fn mixed_type_composite_keys() {
+        let r = rel();
+        let mut interner = Interner::new();
+        let idx = SymIndex::build(&r, &[AttrId(2), AttrId(1)], &mut interner);
+        let key = [
+            SymValue::Int(1),
+            interner.sym_value(&Value::str("UK")).unwrap(),
+        ];
+        assert_eq!(idx.probe(&key), &[0]);
+    }
+
+    #[test]
+    fn incremental_insert_extends_groups() {
+        let mut interner = Interner::new();
+        let mut idx = SymIndex::new(1);
+        let attrs = [AttrId(0)];
+        idx.insert(0, &tuple!["a", "x"], &attrs, &mut interner);
+        idx.insert(1, &tuple!["a", "y"], &attrs, &mut interner);
+        idx.insert(2, &tuple!["b", "x"], &attrs, &mut interner);
+        let a = [interner.sym_value(&Value::str("a")).unwrap()];
+        assert_eq!(idx.probe(&a), &[0, 1]);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn zero_width_keys_group_everything() {
+        let r = rel();
+        let mut interner = Interner::new();
+        let idx = SymIndex::build(&r, &[], &mut interner);
+        assert_eq!(idx.probe(&[]), &[0, 1, 2]);
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn unknown_key_probes_empty() {
+        let r = rel();
+        let mut interner = Interner::new();
+        let idx = SymIndex::build(&r, &[AttrId(0)], &mut interner);
+        // A string the interner has never seen cannot even form a key;
+        // sym_value signals that with None.
+        assert_eq!(interner.sym_value(&Value::str("LON")), None);
+        // A well-formed but absent key probes empty.
+        assert!(idx.probe(&[SymValue::Int(99)]).is_empty());
+    }
+}

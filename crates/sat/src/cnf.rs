@@ -126,10 +126,10 @@ impl Cnf {
     /// model verification).
     pub fn eval(&self, assignment: &[bool]) -> bool {
         !self.has_empty_clause
-            && self.clauses.iter().all(|c| {
-                c.iter()
-                    .any(|l| l.eval(assignment[l.var().index()]))
-            })
+            && self
+                .clauses
+                .iter()
+                .all(|c| c.iter().any(|l| l.eval(assignment[l.var().index()])))
     }
 }
 

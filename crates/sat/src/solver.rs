@@ -17,7 +17,6 @@ pub struct SolverConfig {
     pub max_conflicts: Option<u64>,
 }
 
-
 /// Outcome of [`Solver::solve`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SolveResult {
@@ -151,11 +150,7 @@ impl Solver {
             } else {
                 match self.pick_branch_var() {
                     None => {
-                        let model = self
-                            .assign
-                            .iter()
-                            .map(|a| a.unwrap_or(true))
-                            .collect();
+                        let model = self.assign.iter().map(|a| a.unwrap_or(true)).collect();
                         return SolveResult::Sat(model);
                     }
                     Some(v) => {
@@ -212,10 +207,7 @@ impl Solver {
                 }
                 debug_assert_eq!(clause[1], false_lit);
                 // Satisfied through the other watch: keep as-is.
-                if self.assign[clause[0].var().index()]
-                    .map(|v| clause[0].eval(v))
-                    == Some(true)
-                {
+                if self.assign[clause[0].var().index()].map(|v| clause[0].eval(v)) == Some(true) {
                     keep.push(ci);
                     continue;
                 }

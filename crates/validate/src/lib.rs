@@ -1,0 +1,425 @@
+#![warn(missing_docs)]
+
+//! # condep-validate
+//!
+//! The batched Σ-validation engine.
+//!
+//! The paper's Section 6 experiments check constraint sets of up to 20K
+//! CFDs/CINDs against sizable instances. Checking each normal CFD
+//! independently rebuilds a full group-by index over its relation per
+//! constraint — `k` constraints sharing one embedded FD `X → A` cost `k`
+//! full scans. The classic pattern-tableau observation (Bravo/Fan/Ma)
+//! is that a set of normal CFDs over the same `(R, X)` is *one* tableau:
+//! every pattern row can be evaluated against each key-group of a
+//! **single** group-by pass.
+//!
+//! [`Validator`] implements that:
+//!
+//! * Σ is compiled once, grouping CFDs by `(relation, LHS attribute
+//!   set)` (LHS lists are canonicalized by sorting, patterns permuted in
+//!   lock-step) and CINDs by `(target relation, Y set, Yp pattern)`;
+//! * per database, strings are interned once
+//!   ([`condep_model::Interner`]) and each group builds **one**
+//!   [`condep_query::SymIndex`] over compact word-sized keys;
+//! * independent groups are swept in parallel with
+//!   [`std::thread::scope`] (small instances stay single-threaded);
+//! * [`ValidatorStream`] keeps the group indexes live and validates
+//!   arriving tuples incrementally, returning only the violations each
+//!   insert introduces.
+//!
+//! Results are identical (as sets, and after [`SigmaReport::sort`] even
+//! in order) to running `condep_cfd::find_violations` /
+//! `condep_core::find_violations` per constraint — property-tested at
+//! the workspace root.
+
+mod stream;
+mod validator;
+
+pub use stream::ValidatorStream;
+pub use validator::{SigmaReport, Validator};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condep_cfd::fixtures as cfd_fx;
+    use condep_cfd::normalize::normalize_all as normalize_cfds;
+    use condep_cfd::{CfdViolation, NormalCfd};
+    use condep_core::fixtures as cind_fx;
+    use condep_core::normalize::normalize_all as normalize_cinds;
+    use condep_model::fixtures::{bank_database, clean_bank_database};
+    use condep_model::{prow, tuple, Database, Domain, PValue, Schema};
+    use std::sync::Arc;
+
+    fn bank_validator() -> Validator {
+        Validator::new(
+            normalize_cfds(&[cfd_fx::phi1(), cfd_fx::phi2(), cfd_fx::phi3()]),
+            normalize_cinds(&cind_fx::figure_2()),
+        )
+    }
+
+    /// The per-constraint reference detectors, as a sorted report.
+    fn reference_report(v: &Validator, db: &Database) -> SigmaReport {
+        let mut expected = SigmaReport::default();
+        for (i, cfd) in v.cfds().iter().enumerate() {
+            for viol in condep_cfd::find_violations(db, cfd) {
+                expected.cfd.push((i, viol));
+            }
+        }
+        for (i, cind) in v.cinds().iter().enumerate() {
+            for viol in condep_core::find_violations(db, cind) {
+                expected.cind.push((i, viol));
+            }
+        }
+        expected.sort();
+        expected
+    }
+
+    #[test]
+    fn batched_report_matches_reference_on_figure_1() {
+        let v = bank_validator();
+        let db = bank_database();
+        let report = v.validate_sorted(&db);
+        assert_eq!(report, reference_report(&v, &db));
+        // Exactly the paper's two errors: t12 (ϕ3) and t10 (ψ6).
+        assert_eq!(report.cfd.len(), 1);
+        assert_eq!(report.cind.len(), 1);
+        assert!(!v.satisfies(&db));
+    }
+
+    #[test]
+    fn clean_instance_is_clean() {
+        let v = bank_validator();
+        let db = clean_bank_database();
+        assert!(v.validate(&db).is_empty());
+        assert!(v.satisfies(&db));
+    }
+
+    #[test]
+    fn shared_lhs_cfds_land_in_one_group() {
+        let db = bank_database();
+        let schema = db.schema();
+        // Three CFDs over interest[ct, at] → rt, plus one over the
+        // permuted list [at, ct]: all one group, one shared index.
+        let cfds = vec![
+            NormalCfd::parse(
+                schema,
+                "interest",
+                &["ct", "at"],
+                prow![_, _],
+                "rt",
+                PValue::Any,
+            )
+            .unwrap(),
+            NormalCfd::parse(
+                schema,
+                "interest",
+                &["ct", "at"],
+                prow!["UK", "checking"],
+                "rt",
+                PValue::constant("1.5%"),
+            )
+            .unwrap(),
+            NormalCfd::parse(
+                schema,
+                "interest",
+                &["at", "ct"],
+                prow!["saving", "UK"],
+                "rt",
+                PValue::constant("4.5%"),
+            )
+            .unwrap(),
+        ];
+        let v = Validator::new(cfds, vec![]);
+        assert_eq!(v.group_count(), 1);
+        let report = v.validate_sorted(&db);
+        assert_eq!(report, reference_report(&v, &db));
+    }
+
+    #[test]
+    fn empty_lhs_group_forces_global_agreement() {
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("r", &[("a", Domain::string()), ("b", Domain::string())])
+                .finish(),
+        );
+        let cfd = NormalCfd::parse(&schema, "r", &[], prow![], "b", PValue::Any).unwrap();
+        let v = Validator::new(vec![cfd], vec![]);
+        let mut db = Database::empty(schema.clone());
+        db.insert_into("r", tuple!["x", "same"]).unwrap();
+        db.insert_into("r", tuple!["y", "same"]).unwrap();
+        assert!(v.satisfies(&db));
+        db.insert_into("r", tuple!["z", "different"]).unwrap();
+        let report = v.validate_sorted(&db);
+        assert_eq!(report, reference_report(&v, &db));
+        assert_eq!(
+            report.cfd,
+            vec![(0, CfdViolation::Pair { left: 0, right: 2 })]
+        );
+    }
+
+    #[test]
+    fn pattern_constant_unknown_to_the_database_matches_nothing() {
+        let db = clean_bank_database();
+        let schema = db.schema();
+        // "Paris" appears nowhere in the instance: the member is pruned,
+        // not a panic, and there are no violations.
+        let cfd = NormalCfd::parse(
+            schema,
+            "interest",
+            &["ab"],
+            prow!["Paris"],
+            "rt",
+            PValue::constant("9.9%"),
+        )
+        .unwrap();
+        let v = Validator::new(vec![cfd], vec![]);
+        assert!(v.validate(&db).is_empty());
+        assert!(v.satisfies(&db));
+    }
+
+    #[test]
+    fn unknown_rhs_constant_still_flags_matching_tuples() {
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("r", &[("a", Domain::string()), ("b", Domain::string())])
+                .finish(),
+        );
+        // RHS constant "never" is not in the database, so every matching
+        // tuple violates; the LHS wildcard means all tuples match.
+        let cfd = NormalCfd::parse(
+            &schema,
+            "r",
+            &["a"],
+            prow![_],
+            "b",
+            PValue::constant("never"),
+        )
+        .unwrap();
+        let v = Validator::new(vec![cfd], vec![]);
+        let mut db = Database::empty(schema);
+        db.insert_into("r", tuple!["k", "v"]).unwrap();
+        let report = v.validate_sorted(&db);
+        assert_eq!(report, reference_report(&v, &db));
+        assert_eq!(report.cfd.len(), 1);
+    }
+
+    #[test]
+    fn stream_reports_only_new_violations() {
+        let db = clean_bank_database();
+        let schema = db.schema().clone();
+        let interest = schema.rel_id("interest").unwrap();
+        let v = Validator::new(
+            normalize_cfds(&[cfd_fx::phi3()]),
+            normalize_cinds(&cind_fx::figure_2()),
+        );
+        let mut stream = ValidatorStream::new(v, db);
+        // A clean tuple: UK checking at the mandated 1.5%.
+        let clean = stream
+            .insert_tuple(interest, tuple!["GLA", "UK", "checking", "1.5%"])
+            .unwrap();
+        assert!(clean.is_empty(), "clean insert must be quiet: {clean:?}");
+        // A dirty tuple: UK checking at the wrong rate. Both normal
+        // forms of ϕ3 fire: the constant row (single-tuple mismatch)
+        // and the wildcard FD row (pair against a resident 1.5% tuple).
+        let dirty = stream
+            .insert_tuple(interest, tuple!["GLA", "UK", "checking", "9.9%"])
+            .unwrap();
+        assert_eq!(dirty.cfd.len(), 2, "unexpected: {dirty:?}");
+        assert!(dirty.cfd.iter().any(|(_, v)| matches!(
+            v,
+            CfdViolation::SingleTuple { found, expected, .. }
+                if found.to_string() == "9.9%" && expected.to_string() == "1.5%"
+        )));
+        assert!(dirty
+            .cfd
+            .iter()
+            .any(|(_, v)| matches!(v, CfdViolation::Pair { .. })));
+        // Re-inserting an existing tuple is a set-semantics no-op.
+        let dup = stream
+            .insert_tuple(interest, tuple!["GLA", "UK", "checking", "9.9%"])
+            .unwrap();
+        assert!(dup.is_empty());
+    }
+
+    #[test]
+    fn stream_flags_wildcard_pairs_and_cind_misses() {
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("src", &[("a", Domain::string()), ("b", Domain::string())])
+                .relation("dst", &[("c", Domain::string())])
+                .finish(),
+        );
+        let fd = NormalCfd::parse(&schema, "src", &["a"], prow![_], "b", PValue::Any).unwrap();
+        let cind = condep_core::NormalCind::parse(&schema, "src", &["a"], &[], "dst", &["c"], &[])
+            .unwrap();
+        let src = schema.rel_id("src").unwrap();
+        let dst = schema.rel_id("dst").unwrap();
+        let v = Validator::new(vec![fd], vec![cind]);
+        let mut stream = ValidatorStream::new(v, Database::empty(schema));
+        // Source tuple with no partner: CIND violation.
+        let r1 = stream.insert_tuple(src, tuple!["k", "v1"]).unwrap();
+        assert_eq!(r1.cind.len(), 1);
+        assert!(r1.cfd.is_empty());
+        // Provide the partner: target-role inserts are quiet.
+        let r2 = stream.insert_tuple(dst, tuple!["k"]).unwrap();
+        assert!(r2.is_empty());
+        // A second source tuple with the same key but different b:
+        // wildcard pair against the resident; partner now exists.
+        let r3 = stream.insert_tuple(src, tuple!["k", "v2"]).unwrap();
+        assert_eq!(r3.cfd, vec![(0, CfdViolation::Pair { left: 0, right: 1 })]);
+        assert!(r3.cind.is_empty());
+        // Stream end state agrees with a batch validation of the final
+        // database (nothing was resolved, one pair stands).
+        let final_report = stream.validator().clone().validate_sorted(stream.db());
+        assert_eq!(final_report.cfd.len(), 1);
+        assert_eq!(final_report.cind.len(), 0);
+    }
+
+    #[test]
+    fn cinds_from_different_sources_share_one_target_group() {
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("s1", &[("a", Domain::string())])
+                .relation("s2", &[("b", Domain::string())])
+                .relation("t", &[("c", Domain::string())])
+                .finish(),
+        );
+        let c1 =
+            condep_core::NormalCind::parse(&schema, "s1", &["a"], &[], "t", &["c"], &[]).unwrap();
+        let c2 =
+            condep_core::NormalCind::parse(&schema, "s2", &["b"], &[], "t", &["c"], &[]).unwrap();
+        let v = Validator::new(vec![], vec![c1, c2]);
+        // Same (target, Y, Yp): one shared target index, one group.
+        assert_eq!(v.group_count(), 1);
+        let mut db = Database::empty(schema.clone());
+        db.insert_into("t", tuple!["k"]).unwrap();
+        db.insert_into("s1", tuple!["k"]).unwrap();
+        db.insert_into("s2", tuple!["missing"]).unwrap();
+        let report = v.validate_sorted(&db);
+        assert_eq!(report, reference_report(&v, &db));
+        assert_eq!(report.cind.len(), 1);
+        assert_eq!(report.cind[0].0, 1, "only the s2 CIND is violated");
+    }
+
+    #[test]
+    fn stream_delta_matches_batch_pair_semantics() {
+        // Batch wildcard pairs witness each conflicting tuple against the
+        // key group's FIRST tuple. A new tuple agreeing with that first
+        // tuple adds no batch violation — the stream must agree, even
+        // though the new tuple disagrees with some later resident.
+        let schema = Arc::new(
+            Schema::builder()
+                .relation(
+                    "r",
+                    &[
+                        ("a", Domain::string()),
+                        ("b", Domain::string()),
+                        ("c", Domain::string()),
+                    ],
+                )
+                .finish(),
+        );
+        let fd = NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::Any).unwrap();
+        let r = schema.rel_id("r").unwrap();
+        let mut db = Database::empty(schema.clone());
+        db.insert_into("r", tuple!["k", "v1", "x0"]).unwrap();
+        db.insert_into("r", tuple!["k", "v2", "x1"]).unwrap();
+        let v = Validator::new(vec![fd], vec![]);
+        let before = v.validate_sorted(&db);
+        // A genuinely new tuple (fresh c) agreeing with the group's
+        // FIRST tuple on b: it disagrees with the resident at position
+        // 1, but batch semantics add no violation for it — the stream
+        // must stay quiet.
+        let mut stream = ValidatorStream::new(v, db);
+        let quiet = stream.insert_tuple(r, tuple!["k", "v1", "x2"]).unwrap();
+        assert!(quiet.is_empty(), "delta must be empty: {quiet:?}");
+        // Disagrees with the first tuple: exactly the pair batch adds.
+        let noisy = stream.insert_tuple(r, tuple!["k", "v3", "x3"]).unwrap();
+        assert_eq!(
+            noisy.cfd,
+            vec![(0, CfdViolation::Pair { left: 0, right: 3 })]
+        );
+        // before + deltas == batch on the final database.
+        let mut expected = before;
+        expected.cfd.extend(noisy.cfd.clone());
+        expected.sort();
+        let after = stream.validator().clone().validate_sorted(stream.db());
+        assert_eq!(after, expected);
+    }
+
+    #[test]
+    fn self_referential_cind_is_satisfied_by_the_arriving_tuple() {
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("r", &[("a", Domain::string()), ("b", Domain::string())])
+                .finish(),
+        );
+        // r[a] ⊆ r[b]: a tuple with a = b satisfies itself.
+        let cind =
+            condep_core::NormalCind::parse(&schema, "r", &["a"], &[], "r", &["b"], &[]).unwrap();
+        let r = schema.rel_id("r").unwrap();
+        let v = Validator::new(vec![], vec![cind]);
+        let mut stream = ValidatorStream::new(v, Database::empty(schema));
+        let ok = stream.insert_tuple(r, tuple!["x", "x"]).unwrap();
+        assert!(ok.is_empty(), "self-partnered tuple must be quiet: {ok:?}");
+        let miss = stream.insert_tuple(r, tuple!["y", "z"]).unwrap();
+        assert_eq!(miss.cind.len(), 1);
+    }
+
+    #[test]
+    fn parallel_sweep_agrees_with_reference_at_scale() {
+        // A deterministic pseudo-random instance big enough to cross the
+        // parallel threshold, with planted violations.
+        fn next(state: &mut u64) -> u64 {
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            *state
+        }
+        let schema = Arc::new(
+            Schema::builder()
+                .relation(
+                    "r",
+                    &[
+                        ("k", Domain::string()),
+                        ("g", Domain::string()),
+                        ("v", Domain::string()),
+                    ],
+                )
+                .finish(),
+        );
+        let mut db = Database::empty(schema.clone());
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in 0..6000u64 {
+            let k = format!("k{}", next(&mut state) % 900);
+            let g = format!("g{}", next(&mut state) % 7);
+            let v = if i % 997 == 0 {
+                "odd".to_string()
+            } else {
+                format!("v{}", next(&mut state) % 3)
+            };
+            db.insert_into("r", tuple![k.as_str(), g.as_str(), v.as_str()])
+                .unwrap();
+        }
+        let cfds = vec![
+            NormalCfd::parse(&schema, "r", &["k"], prow![_], "v", PValue::Any).unwrap(),
+            NormalCfd::parse(&schema, "r", &["k"], prow!["k1"], "g", PValue::Any).unwrap(),
+            NormalCfd::parse(
+                &schema,
+                "r",
+                &["g"],
+                prow!["g3"],
+                "v",
+                PValue::constant("v0"),
+            )
+            .unwrap(),
+            NormalCfd::parse(&schema, "r", &["g", "k"], prow![_, _], "v", PValue::Any).unwrap(),
+        ];
+        let v = Validator::new(cfds, vec![]);
+        assert!(db.total_tuples() >= 4096, "must exercise the parallel path");
+        let report = v.validate_sorted(&db);
+        let expected = reference_report(&v, &db);
+        assert_eq!(report, expected);
+        assert!(!report.is_empty(), "planted violations must surface");
+    }
+}

@@ -1,0 +1,218 @@
+//! Incremental (streaming) validation.
+//!
+//! A [`ValidatorStream`] owns a database plus the live group-by indexes
+//! of a compiled [`Validator`]; [`ValidatorStream::insert_tuple`]
+//! validates one arriving tuple against all of Σ in time proportional to
+//! the constraint groups touching its relation — and returns **only the
+//! violations the new tuple introduces**, which is the contract a
+//! streaming data-quality monitor needs.
+
+use crate::validator::{SigmaReport, Validator};
+use condep_cfd::CfdViolation;
+use condep_core::CindViolation;
+use condep_model::{Database, Interner, ModelError, RelId, SymValue, Tuple};
+use condep_query::SymIndex;
+
+/// A validator with materialized state for one evolving database.
+#[derive(Clone, Debug)]
+pub struct ValidatorStream {
+    validator: Validator,
+    db: Database,
+    interner: Interner,
+    /// One live index per CFD group (keyed by the group's sorted LHS).
+    cfd_indexes: Vec<SymIndex>,
+    /// One live filtered target index per CIND group (keyed by sorted Y).
+    cind_targets: Vec<SymIndex>,
+}
+
+impl ValidatorStream {
+    /// Materializes the stream state over an initial database.
+    ///
+    /// The initial contents are **assumed valid** (or their violations
+    /// already reported via [`Validator::validate`]); from here on,
+    /// every insert reports just the delta.
+    pub fn new(validator: Validator, db: Database) -> Self {
+        let interner = Interner::from_database(&db);
+        let cfd_indexes = validator
+            .cfd_groups()
+            .iter()
+            .map(|g| {
+                SymIndex::build_filtered_interned(db.relation(g.rel), &g.attrs, &interner, |_| true)
+            })
+            .collect();
+        let cind_targets = validator
+            .cind_groups()
+            .iter()
+            .map(|g| {
+                SymIndex::build_filtered_interned(db.relation(g.rhs_rel), &g.y, &interner, |t| {
+                    g.yp.iter().all(|(a, v)| &t[*a] == v)
+                })
+            })
+            .collect();
+        ValidatorStream {
+            validator,
+            db,
+            interner,
+            cfd_indexes,
+            cind_targets,
+        }
+    }
+
+    /// The compiled suite.
+    pub fn validator(&self) -> &Validator {
+        &self.validator
+    }
+
+    /// The current database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Consumes the stream, returning the accumulated database.
+    pub fn into_db(self) -> Database {
+        self.db
+    }
+
+    /// Validates and inserts one tuple, returning only the **new**
+    /// violations it introduces (an already-present tuple is a no-op:
+    /// instances are sets).
+    ///
+    /// Semantics per constraint kind:
+    ///
+    /// * constant-RHS CFD — the tuple itself mismatches: one
+    ///   `SingleTuple` violation;
+    /// * wildcard-RHS CFD — the tuple disagrees on `A` with its key
+    ///   group: one `Pair` witness against the first conflicting
+    ///   resident tuple;
+    /// * CIND (source role) — the tuple is triggered but finds no
+    ///   partner in the live target index;
+    /// * CIND (target role) — never *creates* a violation; the index is
+    ///   updated so future (and self-referential) probes see the tuple.
+    pub fn insert_tuple(&mut self, rel: RelId, t: Tuple) -> Result<SigmaReport, ModelError> {
+        let mut report = SigmaReport::default();
+        if !self.db.insert(rel, t.clone())? {
+            return Ok(report);
+        }
+        let pos = self.db.relation(rel).len() - 1;
+
+        // Target-role updates first, so a self-referential CIND can be
+        // satisfied by the arriving tuple itself (batch semantics allow
+        // t2 = t1).
+        for (g, idx) in self
+            .validator
+            .cind_groups()
+            .iter()
+            .zip(self.cind_targets.iter_mut())
+        {
+            if g.rhs_rel == rel && g.yp.iter().all(|(a, v)| &t[*a] == v) {
+                idx.insert(pos as u32, &t, &g.y, &mut self.interner);
+            }
+        }
+
+        // CFD groups over this relation: check members, then join the
+        // tuple's key group.
+        let mut key_buf: Vec<SymValue> = Vec::new();
+        for (g, idx) in self
+            .validator
+            .cfd_groups()
+            .iter()
+            .zip(self.cfd_indexes.iter_mut())
+        {
+            if g.rel != rel {
+                continue;
+            }
+            for m in &g.members {
+                let matches = g
+                    .attrs
+                    .iter()
+                    .zip(m.pattern.iter())
+                    .all(|(a, p)| p.as_ref().is_none_or(|p| p == &t[*a]));
+                if !matches {
+                    continue;
+                }
+                match &m.rhs_const {
+                    Some(expected) => {
+                        let found = &t[m.rhs];
+                        if found != expected {
+                            report.cfd.push((
+                                m.idx,
+                                CfdViolation::SingleTuple {
+                                    tuple: pos,
+                                    found: found.clone(),
+                                    expected: expected.clone(),
+                                },
+                            ));
+                        }
+                    }
+                    None => {
+                        key_buf.clear();
+                        key_buf.extend(g.attrs.iter().map(|a| self.interner.intern_value(&t[*a])));
+                        // Exactly the batch `wildcard_pairs` delta: the
+                        // arriving tuple joins the end of its key group,
+                        // so it adds one pair iff its RHS differs from
+                        // the group's FIRST tuple. Comparing against any
+                        // other resident would report pairs batch
+                        // validation never produces.
+                        if let Some(&first) = idx.probe(&key_buf).first() {
+                            let resident = self
+                                .db
+                                .relation(rel)
+                                .get(first as usize)
+                                .expect("indexed position valid");
+                            if resident[m.rhs] != t[m.rhs] {
+                                report.cfd.push((
+                                    m.idx,
+                                    CfdViolation::Pair {
+                                        left: first as usize,
+                                        right: pos,
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            idx.insert(pos as u32, &t, &g.attrs, &mut self.interner);
+        }
+
+        // CIND source role: the new tuple must find a partner.
+        for (g, idx) in self
+            .validator
+            .cind_groups()
+            .iter()
+            .zip(self.cind_targets.iter())
+        {
+            for m in &g.members {
+                let cind = &self.validator.cinds()[m.idx];
+                if cind.lhs_rel() != rel || !cind.triggers(&t) {
+                    continue;
+                }
+                // A key string the interner has never seen cannot occur
+                // in the target index — that is already a missing
+                // partner, not an error.
+                key_buf.clear();
+                let mut unknown = false;
+                for a in &m.x_perm {
+                    match self.interner.sym_value(&t[*a]) {
+                        Some(sym) => key_buf.push(sym),
+                        None => {
+                            unknown = true;
+                            break;
+                        }
+                    }
+                }
+                if unknown || !idx.contains_key(&key_buf) {
+                    report.cind.push((
+                        m.idx,
+                        CindViolation {
+                            tuple: pos,
+                            key: t.project(cind.x()),
+                        },
+                    ));
+                }
+            }
+        }
+
+        Ok(report)
+    }
+}

@@ -1,0 +1,610 @@
+//! The batched Σ-validator.
+
+use condep_cfd::{CfdViolation, NormalCfd};
+use condep_core::{CindViolation, NormalCind};
+use condep_model::fxhash::FxBuildHasher;
+use condep_model::{AttrId, Database, Interner, PValue, RelId, SymTables, SymValue, Value};
+use condep_query::SymIndex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One CFD of the suite, re-expressed against its group's canonical
+/// (sorted) LHS attribute order.
+#[derive(Clone, Debug)]
+pub(crate) struct CfdMember {
+    /// Index into [`Validator::cfds`].
+    pub(crate) idx: usize,
+    /// LHS pattern cells aligned with the group's sorted attribute list
+    /// (`None` = wildcard).
+    pub(crate) pattern: Vec<Option<Value>>,
+    /// The RHS attribute `A`.
+    pub(crate) rhs: AttrId,
+    /// The RHS pattern: `Some(c)` for a constant, `None` for `_`.
+    pub(crate) rhs_const: Option<Value>,
+}
+
+/// All CFDs sharing one `(relation, LHS attribute set)` — evaluable in a
+/// single group-by pass over one shared index.
+#[derive(Clone, Debug)]
+pub(crate) struct CfdGroup {
+    pub(crate) rel: RelId,
+    /// Canonical (sorted) LHS attribute list; the shared index key.
+    pub(crate) attrs: Vec<AttrId>,
+    pub(crate) members: Vec<CfdMember>,
+}
+
+/// One CIND of the suite, re-expressed against its group's canonical
+/// target key order.
+#[derive(Clone, Debug)]
+pub(crate) struct CindMember {
+    /// Index into [`Validator::cinds`].
+    pub(crate) idx: usize,
+    /// Source attributes permuted in lock-step with the group's sorted
+    /// `Y` (so `t1[x_perm]` probes the shared index directly).
+    pub(crate) x_perm: Vec<AttrId>,
+}
+
+/// All CINDs sharing one `(target relation, Y attribute set, Yp
+/// pattern)` — they share a single filtered target index regardless of
+/// which source relations probe it.
+#[derive(Clone, Debug)]
+pub(crate) struct CindGroup {
+    pub(crate) rhs_rel: RelId,
+    /// Canonical (sorted) target key attributes.
+    pub(crate) y: Vec<AttrId>,
+    /// The shared RHS pattern constants, sorted by attribute.
+    pub(crate) yp: Vec<(AttrId, Value)>,
+    pub(crate) members: Vec<CindMember>,
+}
+
+/// Everything the batched sweep found, tagged with constraint indices
+/// (into [`Validator::cfds`] / [`Validator::cinds`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SigmaReport {
+    /// CFD violations as `(cfd index, violation)`.
+    pub cfd: Vec<(usize, CfdViolation)>,
+    /// CIND violations as `(cind index, violation)`.
+    pub cind: Vec<(usize, CindViolation)>,
+}
+
+impl SigmaReport {
+    /// Total number of violations.
+    pub fn len(&self) -> usize {
+        self.cfd.len() + self.cind.len()
+    }
+
+    /// Whether the database was clean.
+    pub fn is_empty(&self) -> bool {
+        self.cfd.is_empty() && self.cind.is_empty()
+    }
+
+    /// Sorts violations into the canonical report order (by constraint,
+    /// then by witness positions) — identical to running the per-CFD
+    /// sorted detectors constraint by constraint.
+    pub fn sort(&mut self) {
+        self.cfd.sort_by_key(|(i, v)| (*i, v.sort_key()));
+        self.cind.sort_by_key(|(i, v)| (*i, v.tuple));
+    }
+}
+
+/// A compiled constraint suite: Σ grouped for batched evaluation.
+///
+/// Construction groups the CFDs by `(relation, LHS attribute set)` and
+/// the CINDs by `(target relation, Y set, Yp pattern)`; validation then
+/// builds **one** group-by index per group — instead of one per
+/// constraint — and sweeps independent groups in parallel.
+#[derive(Clone, Debug)]
+pub struct Validator {
+    cfds: Vec<NormalCfd>,
+    cinds: Vec<NormalCind>,
+    cfd_groups: Vec<CfdGroup>,
+    cind_groups: Vec<CindGroup>,
+}
+
+/// Databases below this tuple count are validated on the calling thread;
+/// spawning threads costs more than the sweep itself.
+const PARALLEL_THRESHOLD: usize = 4096;
+
+impl Validator {
+    /// Compiles a suite from normal-form constraints.
+    pub fn new(cfds: Vec<NormalCfd>, cinds: Vec<NormalCind>) -> Self {
+        let mut cfd_index: HashMap<(RelId, Vec<AttrId>), usize, FxBuildHasher> = HashMap::default();
+        let mut cfd_groups: Vec<CfdGroup> = Vec::new();
+        for (idx, cfd) in cfds.iter().enumerate() {
+            // One shared canonicalization (sorted LHS, pattern permuted
+            // in lock-step) with `cfd::satisfy::satisfies_all`.
+            let (attrs, pattern) = cfd.canonical_lhs();
+            let pattern: Vec<Option<Value>> = pattern.into_iter().map(|c| c.cloned()).collect();
+            let slot = *cfd_index
+                .entry((cfd.rel(), attrs.clone()))
+                .or_insert_with(|| {
+                    cfd_groups.push(CfdGroup {
+                        rel: cfd.rel(),
+                        attrs,
+                        members: Vec::new(),
+                    });
+                    cfd_groups.len() - 1
+                });
+            cfd_groups[slot].members.push(CfdMember {
+                idx,
+                pattern,
+                rhs: cfd.rhs(),
+                rhs_const: match cfd.rhs_pat() {
+                    PValue::Const(v) => Some(v.clone()),
+                    PValue::Any => None,
+                },
+            });
+        }
+
+        type CindGroupKey = (RelId, Vec<AttrId>, Vec<(AttrId, Value)>);
+        let mut cind_index: HashMap<CindGroupKey, usize, FxBuildHasher> = HashMap::default();
+        let mut cind_groups: Vec<CindGroup> = Vec::new();
+        for (idx, cind) in cinds.iter().enumerate() {
+            // Canonicalize on the target side: sort Y, permuting X in
+            // lock-step so probes align with the shared index.
+            let mut cols: Vec<(AttrId, AttrId)> = cind
+                .y()
+                .iter()
+                .copied()
+                .zip(cind.x().iter().copied())
+                .collect();
+            cols.sort_by_key(|(y, _)| *y);
+            let y: Vec<AttrId> = cols.iter().map(|(y, _)| *y).collect();
+            let x_perm: Vec<AttrId> = cols.into_iter().map(|(_, x)| x).collect();
+            let mut yp = cind.yp().to_vec();
+            yp.sort_by_key(|&(a, _)| a);
+            let slot = *cind_index
+                .entry((cind.rhs_rel(), y.clone(), yp.clone()))
+                .or_insert_with(|| {
+                    cind_groups.push(CindGroup {
+                        rhs_rel: cind.rhs_rel(),
+                        y,
+                        yp,
+                        members: Vec::new(),
+                    });
+                    cind_groups.len() - 1
+                });
+            cind_groups[slot].members.push(CindMember { idx, x_perm });
+        }
+
+        Validator {
+            cfds,
+            cinds,
+            cfd_groups,
+            cind_groups,
+        }
+    }
+
+    /// The compiled CFDs (violation indices refer to this order).
+    pub fn cfds(&self) -> &[NormalCfd] {
+        &self.cfds
+    }
+
+    /// The compiled CINDs (violation indices refer to this order).
+    pub fn cinds(&self) -> &[NormalCind] {
+        &self.cinds
+    }
+
+    /// Number of shared `(relation, LHS)` / target-index groups — the
+    /// count of group-by passes a sweep performs.
+    pub fn group_count(&self) -> usize {
+        self.cfd_groups.len() + self.cind_groups.len()
+    }
+
+    pub(crate) fn cfd_groups(&self) -> &[CfdGroup] {
+        &self.cfd_groups
+    }
+
+    pub(crate) fn cind_groups(&self) -> &[CindGroup] {
+        &self.cind_groups
+    }
+
+    /// Finds every violation of Σ in `db` (unsorted; see
+    /// [`SigmaReport::sort`] for the canonical order).
+    pub fn validate(&self, db: &Database) -> SigmaReport {
+        let stop = AtomicBool::new(false);
+        self.sweep(db, &stop, false)
+    }
+
+    /// [`Validator::validate`] followed by [`SigmaReport::sort`].
+    pub fn validate_sorted(&self, db: &Database) -> SigmaReport {
+        let mut report = self.validate(db);
+        report.sort();
+        report
+    }
+
+    /// Does `db` satisfy every constraint of Σ? Short-circuits on the
+    /// first violation (also across parallel workers).
+    pub fn satisfies(&self, db: &Database) -> bool {
+        let stop = AtomicBool::new(false);
+        self.sweep(db, &stop, true).is_empty()
+    }
+
+    /// The shared sweep: one task per group, striped across threads when
+    /// the instance is large enough to pay for them.
+    fn sweep(&self, db: &Database, stop: &AtomicBool, early_exit: bool) -> SigmaReport {
+        let n_tasks = self.group_count();
+        if n_tasks == 0 {
+            return SigmaReport::default();
+        }
+        // Symbolize only the relations some group actually touches.
+        let mut needed = vec![false; db.schema().len()];
+        for g in &self.cfd_groups {
+            needed[g.rel.index()] = true;
+        }
+        for g in &self.cind_groups {
+            needed[g.rhs_rel.index()] = true;
+        }
+        for c in &self.cinds {
+            needed[c.lhs_rel().index()] = true;
+        }
+        let (interner, tables) = SymTables::build_for(db, |rel| needed[rel.index()]);
+        let threads = if db.total_tuples() < PARALLEL_THRESHOLD {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(n_tasks.max(1))
+        };
+
+        let run_task = |task: usize| -> TaskResult {
+            if early_exit && stop.load(Ordering::Relaxed) {
+                return TaskResult::default();
+            }
+            let result = if task < self.cfd_groups.len() {
+                TaskResult {
+                    cfd: self.run_cfd_group(
+                        &self.cfd_groups[task],
+                        db,
+                        &interner,
+                        &tables,
+                        early_exit,
+                    ),
+                    cind: Vec::new(),
+                }
+            } else {
+                TaskResult {
+                    cfd: Vec::new(),
+                    cind: self.run_cind_group(
+                        &self.cind_groups[task - self.cfd_groups.len()],
+                        db,
+                        &interner,
+                        &tables,
+                        early_exit,
+                    ),
+                }
+            };
+            if early_exit && !(result.cfd.is_empty() && result.cind.is_empty()) {
+                stop.store(true, Ordering::Relaxed);
+            }
+            result
+        };
+
+        let mut per_task: Vec<TaskResult> = Vec::with_capacity(n_tasks);
+        if threads <= 1 {
+            for task in 0..n_tasks {
+                let result = run_task(task);
+                let found = !(result.cfd.is_empty() && result.cind.is_empty());
+                per_task.push(result);
+                if early_exit && found {
+                    break;
+                }
+            }
+        } else {
+            let mut striped: Vec<Vec<(usize, TaskResult)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|worker| {
+                        let run_task = &run_task;
+                        scope.spawn(move || {
+                            (worker..n_tasks)
+                                .step_by(threads)
+                                .map(|task| (task, run_task(task)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("validation worker panicked"))
+                    .collect()
+            });
+            // Restore group order for a deterministic report.
+            let mut ordered: Vec<(usize, TaskResult)> = striped.drain(..).flatten().collect();
+            ordered.sort_by_key(|(task, _)| *task);
+            per_task = ordered.into_iter().map(|(_, r)| r).collect();
+        }
+
+        let mut report = SigmaReport::default();
+        for task in per_task {
+            report.cfd.extend(task.cfd);
+            report.cind.extend(task.cind);
+        }
+        report
+    }
+
+    /// Evaluates every member of a CFD group against each key-group of
+    /// the group's single shared index, reading pre-symbolized columns.
+    fn run_cfd_group(
+        &self,
+        group: &CfdGroup,
+        db: &Database,
+        interner: &Interner,
+        tables: &SymTables,
+        early_exit: bool,
+    ) -> Vec<(usize, CfdViolation)> {
+        let rel = db.relation(group.rel);
+        if rel.is_empty() {
+            return Vec::new();
+        }
+        // Translate each member's LHS pattern into symbols once. A
+        // constant string the interner has never seen cannot match any
+        // tuple: the member is dropped for this database. RHS constants
+        // translate to `Err(value)` when unknown — every tuple of a
+        // matching key-group then mismatches by definition.
+        struct ReadyMember<'a> {
+            idx: usize,
+            pattern: Vec<Option<SymValue>>,
+            rhs: AttrId,
+            /// `None` = wildcard; `Some(Ok(sym))` = known constant;
+            /// `Some(Err(v))` = constant absent from the database.
+            rhs_const: Option<Result<SymValue, &'a Value>>,
+        }
+        let members: Vec<ReadyMember<'_>> = group
+            .members
+            .iter()
+            .filter_map(|m| {
+                let mut pattern = Vec::with_capacity(m.pattern.len());
+                for cell in &m.pattern {
+                    match cell {
+                        None => pattern.push(None),
+                        Some(v) => match interner.sym_value(v) {
+                            Some(sym) => pattern.push(Some(sym)),
+                            None => return None,
+                        },
+                    }
+                }
+                Some(ReadyMember {
+                    idx: m.idx,
+                    pattern,
+                    rhs: m.rhs,
+                    rhs_const: m.rhs_const.as_ref().map(|v| interner.sym_value(v).ok_or(v)),
+                })
+            })
+            .collect();
+        if members.is_empty() {
+            return Vec::new();
+        }
+
+        let key_cols = tables.columns(group.rel, &group.attrs);
+
+        // Hybrid strategy. A shared full group-by pass costs one
+        // `rows × width` index build and serves every member; a
+        // per-member pass filters on the member's constant cells first
+        // and only indexes survivors (the classic single-CFD plan).
+        // Full-wildcard members need the full pass anyway, and enough
+        // members amortize it; otherwise few constant-selective members
+        // are cheaper served individually (a constant-filtered column
+        // scan costs far less per member than a full index build).
+        const SHARED_INDEX_MIN_MEMBERS: usize = 8;
+        let any_full_wildcard = members
+            .iter()
+            .any(|m| m.pattern.iter().all(Option::is_none));
+        let mut out = Vec::new();
+        if any_full_wildcard || members.len() >= SHARED_INDEX_MIN_MEMBERS {
+            let idx = SymIndex::build_from_columns(rel.len(), &key_cols, |_| true);
+            // Wildcard-RHS conflict witnesses per (key-group, RHS
+            // attribute), shared by every member asking about the same
+            // column.
+            let mut pair_cache: HashMap<AttrId, Vec<(usize, usize)>, FxBuildHasher> =
+                HashMap::default();
+            for (key, positions) in idx.groups() {
+                pair_cache.clear();
+                for m in &members {
+                    let matches = m
+                        .pattern
+                        .iter()
+                        .zip(key)
+                        .all(|(p, k)| p.is_none_or(|p| p == *k));
+                    if !matches {
+                        continue;
+                    }
+                    let rhs_col = tables.column(group.rel, m.rhs);
+                    match &m.rhs_const {
+                        Some(expected) => self.push_single_tuple_violations(
+                            m.idx, expected, positions, rhs_col, rel, &mut out,
+                        ),
+                        None => {
+                            let pairs = pair_cache
+                                .entry(m.rhs)
+                                .or_insert_with(|| wildcard_pairs(positions, rhs_col));
+                            out.extend(
+                                pairs.iter().map(|&(left, right)| {
+                                    (m.idx, CfdViolation::Pair { left, right })
+                                }),
+                            );
+                        }
+                    }
+                    if early_exit && !out.is_empty() {
+                        return out;
+                    }
+                }
+            }
+        } else {
+            for m in &members {
+                let const_cells: Vec<(&[SymValue], SymValue)> = group
+                    .attrs
+                    .iter()
+                    .zip(&m.pattern)
+                    .filter_map(|(a, p)| p.map(|s| (tables.column(group.rel, *a), s)))
+                    .collect();
+                let idx = SymIndex::build_from_columns(rel.len(), &key_cols, |pos| {
+                    const_cells.iter().all(|(col, s)| col[pos] == *s)
+                });
+                let rhs_col = tables.column(group.rel, m.rhs);
+                for (_, positions) in idx.groups() {
+                    // The filter already enforced the pattern: every
+                    // surviving key-group matches this member.
+                    match &m.rhs_const {
+                        Some(expected) => self.push_single_tuple_violations(
+                            m.idx, expected, positions, rhs_col, rel, &mut out,
+                        ),
+                        None => out.extend(
+                            wildcard_pairs(positions, rhs_col)
+                                .into_iter()
+                                .map(|(left, right)| (m.idx, CfdViolation::Pair { left, right })),
+                        ),
+                    }
+                    if early_exit && !out.is_empty() {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Emits `SingleTuple` violations for a constant-RHS member over one
+    /// key-group.
+    #[allow(clippy::too_many_arguments)]
+    fn push_single_tuple_violations(
+        &self,
+        m_idx: usize,
+        expected: &Result<SymValue, &Value>,
+        positions: &[u32],
+        rhs_col: &[SymValue],
+        rel: &condep_model::Relation,
+        out: &mut Vec<(usize, CfdViolation)>,
+    ) {
+        let expected_sym = expected.ok();
+        for &pos in positions {
+            if Some(rhs_col[pos as usize]) != expected_sym {
+                let t = rel.get(pos as usize).expect("indexed position valid");
+                let rhs = self.cfds[m_idx].rhs();
+                let expected_value = match expected {
+                    Ok(_) => self.cfds[m_idx]
+                        .rhs_pat()
+                        .as_const()
+                        .expect("constant RHS")
+                        .clone(),
+                    Err(v) => (*v).clone(),
+                };
+                out.push((
+                    m_idx,
+                    CfdViolation::SingleTuple {
+                        tuple: pos as usize,
+                        found: t[rhs].clone(),
+                        expected: expected_value,
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Evaluates every member of a CIND group against the group's single
+    /// shared (filtered) target index, reading pre-symbolized columns.
+    fn run_cind_group(
+        &self,
+        group: &CindGroup,
+        db: &Database,
+        interner: &Interner,
+        tables: &SymTables,
+        early_exit: bool,
+    ) -> Vec<(usize, CindViolation)> {
+        let target = db.relation(group.rhs_rel);
+        // Symbolize the shared Yp filter; an unknown constant matches no
+        // target tuple, leaving the index empty (every triggered source
+        // tuple then violates, as it must).
+        let yp_syms: Option<Vec<(usize, SymValue)>> = group
+            .yp
+            .iter()
+            .map(|(a, v)| interner.sym_value(v).map(|s| (a.index(), s)))
+            .collect();
+        let target_cols = tables.columns(group.rhs_rel, &group.y);
+        let idx = match &yp_syms {
+            Some(yp) => {
+                let yp_cols: Vec<(&[SymValue], SymValue)> = yp
+                    .iter()
+                    .map(|(a, s)| (tables.column(group.rhs_rel, AttrId(*a as u32)), *s))
+                    .collect();
+                SymIndex::build_from_columns(target.len(), &target_cols, |pos| {
+                    yp_cols.iter().all(|(col, s)| col[pos] == *s)
+                })
+            }
+            None => SymIndex::new(group.y.len()),
+        };
+        let mut out = Vec::new();
+        let mut key_buf: Vec<SymValue> = Vec::new();
+        for m in &group.members {
+            let cind = &self.cinds[m.idx];
+            let lhs_rel = cind.lhs_rel();
+            let source = db.relation(lhs_rel);
+            if source.is_empty() {
+                continue;
+            }
+            // Symbolize the member's Xp trigger; unknown constants mean
+            // no source tuple triggers, so the member is trivially
+            // satisfied.
+            let Some(xp_syms) = cind
+                .xp()
+                .iter()
+                .map(|(a, v)| interner.sym_value(v).map(|s| (a.index(), s)))
+                .collect::<Option<Vec<_>>>()
+            else {
+                continue;
+            };
+            let xp_cols: Vec<(&[SymValue], SymValue)> = xp_syms
+                .iter()
+                .map(|(a, s)| (tables.column(lhs_rel, AttrId(*a as u32)), *s))
+                .collect();
+            let x_cols = tables.columns(lhs_rel, &m.x_perm);
+            for pos in 0..source.len() {
+                if !xp_cols.iter().all(|(col, s)| col[pos] == *s) {
+                    continue;
+                }
+                key_buf.clear();
+                key_buf.extend(x_cols.iter().map(|col| col[pos]));
+                if !idx.contains_key(&key_buf) {
+                    let t1 = source.get(pos).expect("position in range");
+                    out.push((
+                        m.idx,
+                        CindViolation {
+                            tuple: pos,
+                            key: t1.project(cind.x()),
+                        },
+                    ));
+                    if early_exit {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One conflict witness per tuple disagreeing with the key-group's
+/// first RHS value — the wildcard-RHS violation set of a group.
+fn wildcard_pairs(positions: &[u32], rhs_col: &[SymValue]) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    let mut first: Option<(usize, SymValue)> = None;
+    for &pos in positions {
+        let v = rhs_col[pos as usize];
+        match first {
+            None => first = Some((pos as usize, v)),
+            Some((fp, fv)) => {
+                if fv != v {
+                    pairs.push((fp, pos as usize));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Per-task result buffers (one task = one group).
+#[derive(Default)]
+struct TaskResult {
+    cfd: Vec<(usize, CfdViolation)>,
+    cind: Vec<(usize, CindViolation)>,
+}

@@ -14,7 +14,7 @@ use condep::cind::fixtures::{
 use condep::cind::witness::build_witness;
 use condep::consistency::graph::DepGraph;
 use condep::consistency::{
-    checking, pre_processing, CheckingConfig, ChaseCfdChecker, ConstraintSet,
+    checking, pre_processing, ChaseCfdChecker, CheckingConfig, ConstraintSet,
 };
 use condep::model::{prow, PValue};
 use rand::rngs::StdRng;
@@ -72,8 +72,7 @@ fn main() {
     // The ψ4' variant: reduction to Figure 8, then RandomChecking.
     let mut cinds_prime = cinds;
     cinds_prime[3] = example_5_5_psi4_prime(&schema);
-    let sigma_prime =
-        ConstraintSet::new(schema.clone(), example_5_4_cfds(&schema), cinds_prime);
+    let sigma_prime = ConstraintSet::new(schema.clone(), example_5_4_cfds(&schema), cinds_prime);
     let mut graph = DepGraph::build(&sigma_prime);
     let mut checker = ChaseCfdChecker::new(1_000, StdRng::seed_from_u64(2));
     let verdict = pre_processing(&mut graph, &sigma_prime, &mut checker);

@@ -10,8 +10,7 @@
 
 use condep::consistency::ConstraintSet;
 use condep::gen::{
-    dirty_database, generate_sigma, random_schema, DirtyDataConfig, SchemaGenConfig,
-    SigmaGenConfig,
+    dirty_database, generate_sigma, random_schema, DirtyDataConfig, SchemaGenConfig, SigmaGenConfig,
 };
 use condep::report::QualitySuite;
 use rand::rngs::StdRng;

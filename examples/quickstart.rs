@@ -17,7 +17,10 @@ fn main() {
     let schema = bank_schema();
     let db = bank_database();
     println!("=== Schema (Figure 1) ===\n{schema}");
-    println!("=== The dirty instance has {} tuples ===\n", db.total_tuples());
+    println!(
+        "=== The dirty instance has {} tuples ===\n",
+        db.total_tuples()
+    );
 
     // Traditional dependencies are blind to the error.
     println!("--- Traditional FDs/INDs (fd1-fd3, ind3-ind4) ---");
@@ -41,10 +44,7 @@ fn main() {
 
     // Conditional dependencies catch it.
     println!("--- Conditional dependencies (Figures 2 and 4) ---");
-    for (name, cind) in [
-        ("ψ5", cind_fixtures::psi5()),
-        ("ψ6", cind_fixtures::psi6()),
-    ] {
+    for (name, cind) in [("ψ5", cind_fixtures::psi5()), ("ψ6", cind_fixtures::psi6())] {
         println!("  {name}: satisfied = {}", satisfy::satisfies(&db, &cind));
     }
     let phi3 = cfd_fixtures::phi3();

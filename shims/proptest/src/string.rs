@@ -1,0 +1,169 @@
+//! Regex-subset string strategies.
+//!
+//! Real proptest treats a `&str` as a full regex over generated strings.
+//! This shim supports the subset the workspace's tests use: literal
+//! characters, character classes `[a-z05]` (ranges and singletons), and
+//! quantifiers `{m}` / `{m,n}` / `?` / `*` / `+` (the unbounded ones are
+//! capped at 8 repetitions). Anything else panics loudly so a future
+//! test can't silently get wrong data.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in regex {pattern:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in regex {pattern:?}"));
+                        assert!(lo <= hi, "reversed range in regex {pattern:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in regex {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}")),
+            ),
+            '{' | '}' | '?' | '*' | '+' | '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex syntax {c:?} in {pattern:?} (shim subset)")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|c| *c != '}').collect();
+                let mut parts = spec.splitn(2, ',');
+                let m: usize = parts
+                    .next()
+                    .and_then(|s| s.trim().parse().ok())
+                    .unwrap_or_else(|| panic!("bad quantifier in regex {pattern:?}"));
+                match parts.next() {
+                    None => (m, m),
+                    Some(n) => {
+                        let n: usize = n
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier in regex {pattern:?}"));
+                        assert!(m <= n, "reversed quantifier in regex {pattern:?}");
+                        (m, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_from(pieces: &[Piece], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in pieces {
+        let reps = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..reps {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                    out.push(
+                        char::from_u32(rng.gen_range(lo as u32..=hi as u32))
+                            .expect("class range stays in scalar values"),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from(&parse(self), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_bounded_repetition() {
+        let mut rng = TestRng::for_case("string_tests", 0);
+        let mut lens = [false; 4];
+        for _ in 0..100 {
+            let s = "[a-e]{1,3}".generate(&mut rng);
+            assert!((1..=3).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='e').contains(&c)));
+            lens[s.len()] = true;
+        }
+        assert!(lens[1] && lens[2] && lens[3]);
+    }
+
+    #[test]
+    fn literals_and_optional() {
+        let mut rng = TestRng::for_case("string_tests", 1);
+        for _ in 0..20 {
+            let s = "ab?c".generate(&mut rng);
+            assert!(s == "abc" || s == "ac");
+        }
+    }
+
+    #[test]
+    fn singleton_class_members() {
+        let mut rng = TestRng::for_case("string_tests", 2);
+        for _ in 0..20 {
+            let s = "[xy5]".generate(&mut rng);
+            assert!(["x", "y", "5"].contains(&s.as_str()));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic per-case random source for the property harness.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The random source handed to strategies: a seeded [`StdRng`] whose
+/// stream is a pure function of `(test name, case index)`, so every
+/// failure replays exactly.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The generator for case `case` of the named test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h = DefaultHasher::new();
+        test_name.hash(&mut h);
+        case.hash(&mut h);
+        TestRng(StdRng::seed_from_u64(h.finish()))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -21,7 +21,8 @@
 //! | [`chase`] | the bounded-pool chase of Section 5.1 (`IND(ψ)`/`FD(φ)`, `chaseI`, valuations) |
 //! | [`consistency`] | the Section 5 heuristics: `CFD_Checking` (chase & SAT), dependency graph, `preProcessing`, `RandomChecking`, `Checking` |
 //! | [`gen`] | seeded workload generators matching the Section 6 experimental setting |
-//! | [`report`] | high-level data-quality façade: run a whole Σ against a database and aggregate violations |
+//! | [`validate`] | **batched Σ-validation engine**: Σ grouped by `(relation, LHS set)`, one shared group-by index per group over interned keys, parallel sweep, incremental `ValidatorStream` |
+//! | [`report`] | high-level data-quality façade: compiles Σ into a batched validator, runs it against a database and aggregates violations |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@ pub use condep_gen as gen;
 pub use condep_model as model;
 pub use condep_query as query;
 pub use condep_sat as sat;
+pub use condep_validate as validate;
 
 pub mod report;
 
@@ -58,4 +60,5 @@ pub mod prelude {
         AttrId, Database, Domain, PValue, PatternRow, RelId, Schema, Tuple, Value,
     };
     pub use crate::report::{QualityReport, ViolationSummary};
+    pub use crate::validate::{SigmaReport, Validator, ValidatorStream};
 }

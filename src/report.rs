@@ -9,6 +9,7 @@ use condep_cfd::{normalize as cfd_normalize, Cfd, CfdViolation, NormalCfd};
 use condep_consistency::{checking, CheckingConfig, ConstraintSet};
 use condep_core::{normalize as cind_normalize, Cind, CindViolation, NormalCind};
 use condep_model::{Database, RelId, Schema, Tuple};
+use condep_validate::Validator;
 use std::fmt;
 use std::sync::Arc;
 
@@ -83,35 +84,31 @@ impl fmt::Display for QualityReport {
 /// A compiled suite of conditional dependencies over one schema.
 ///
 /// Construction normalizes every dependency (Prop 3.1 for CINDs, the
-/// Section 4 normal form for CFDs); checking runs the hash-based
-/// detectors of `condep-cfd`/`condep-core`.
+/// Section 4 normal form for CFDs) and compiles the whole Σ into a
+/// batched [`Validator`]; checking then builds one shared group-by index
+/// per `(relation, LHS)` group and sweeps groups in parallel, instead of
+/// re-indexing the database once per constraint.
 #[derive(Clone, Debug)]
 pub struct QualitySuite {
     schema: Arc<Schema>,
-    cfds: Vec<NormalCfd>,
-    cinds: Vec<NormalCind>,
+    validator: Validator,
 }
 
 impl QualitySuite {
     /// Builds a suite from general-form dependencies.
     pub fn new(schema: Arc<Schema>, cfds: &[Cfd], cinds: &[Cind]) -> Self {
-        QualitySuite {
+        QualitySuite::from_normal(
             schema,
-            cfds: cfd_normalize::normalize_all(cfds),
-            cinds: cind_normalize::normalize_all(cinds),
-        }
+            cfd_normalize::normalize_all(cfds),
+            cind_normalize::normalize_all(cinds),
+        )
     }
 
     /// Builds a suite directly from normal forms.
-    pub fn from_normal(
-        schema: Arc<Schema>,
-        cfds: Vec<NormalCfd>,
-        cinds: Vec<NormalCind>,
-    ) -> Self {
+    pub fn from_normal(schema: Arc<Schema>, cfds: Vec<NormalCfd>, cinds: Vec<NormalCind>) -> Self {
         QualitySuite {
             schema,
-            cfds,
-            cinds,
+            validator: Validator::new(cfds, cinds),
         }
     }
 
@@ -122,12 +119,18 @@ impl QualitySuite {
 
     /// The normalized CFDs.
     pub fn cfds(&self) -> &[NormalCfd] {
-        &self.cfds
+        self.validator.cfds()
     }
 
     /// The normalized CINDs.
     pub fn cinds(&self) -> &[NormalCind] {
-        &self.cinds
+        self.validator.cinds()
+    }
+
+    /// The compiled batched validator (e.g. to open a
+    /// [`condep_validate::ValidatorStream`] for incremental checking).
+    pub fn validator(&self) -> &Validator {
+        &self.validator
     }
 
     /// Checks whether the suite itself is consistent, using algorithm
@@ -137,38 +140,36 @@ impl QualitySuite {
     pub fn check_consistency(&self, config: &CheckingConfig) -> Option<Database> {
         let sigma = ConstraintSet::new(
             self.schema.clone(),
-            self.cfds.clone(),
-            self.cinds.clone(),
+            self.validator.cfds().to_vec(),
+            self.validator.cinds().to_vec(),
         );
         checking(&sigma, config)
     }
 
-    /// Runs every detector against `db`.
+    /// Runs the batched validator against `db`: one parallel sweep over
+    /// all of Σ, reported in the same deterministic order the per-CFD
+    /// detectors would produce.
     pub fn check(&self, db: &Database) -> QualityReport {
-        let mut violations = Vec::new();
-        let mut summary = ViolationSummary {
+        let report = self.validator.validate_sorted(db);
+        let mut violations = Vec::with_capacity(report.len());
+        let summary = ViolationSummary {
             tuples_checked: db.total_tuples(),
-            ..ViolationSummary::default()
+            cfd_violations: report.cfd.len(),
+            cind_violations: report.cind.len(),
         };
-        for (i, cfd) in self.cfds.iter().enumerate() {
-            for v in condep_cfd::find_violations(db, cfd) {
-                summary.cfd_violations += 1;
-                violations.push(Violation::Cfd {
-                    constraint: i,
-                    violation: v,
-                    rel: cfd.rel(),
-                });
-            }
+        for (i, v) in report.cfd {
+            violations.push(Violation::Cfd {
+                constraint: i,
+                violation: v,
+                rel: self.validator.cfds()[i].rel(),
+            });
         }
-        for (i, cind) in self.cinds.iter().enumerate() {
-            for v in condep_core::find_violations(db, cind) {
-                summary.cind_violations += 1;
-                violations.push(Violation::Cind {
-                    constraint: i,
-                    violation: v,
-                    rel: cind.lhs_rel(),
-                });
-            }
+        for (i, v) in report.cind {
+            violations.push(Violation::Cind {
+                constraint: i,
+                violation: v,
+                rel: self.validator.cinds()[i].lhs_rel(),
+            });
         }
         QualityReport {
             summary,
@@ -186,9 +187,7 @@ impl QualitySuite {
         let mut out = Vec::new();
         for v in &report.violations {
             match v {
-                Violation::Cfd {
-                    violation, rel, ..
-                } => match violation {
+                Violation::Cfd { violation, rel, .. } => match violation {
                     CfdViolation::SingleTuple { tuple, .. } => {
                         if let Some(t) = db.relation(*rel).get(*tuple) {
                             out.push(("cfd", *rel, t));
@@ -202,9 +201,7 @@ impl QualitySuite {
                         }
                     }
                 },
-                Violation::Cind {
-                    violation, rel, ..
-                } => {
+                Violation::Cind { violation, rel, .. } => {
                     if let Some(t) = db.relation(*rel).get(violation.tuple) {
                         out.push(("cind", *rel, t));
                     }

@@ -131,8 +131,8 @@ fn parsed_sigma_feeds_the_consistency_checker() {
             .flat_map(|(_, c)| condep::cind::normalize::normalize(c))
             .collect(),
     );
-    let witness = checking(&sigma, &CheckingConfig::default())
-        .expect("Figures 2 + 4 are consistent");
+    let witness =
+        checking(&sigma, &CheckingConfig::default()).expect("Figures 2 + 4 are consistent");
     assert!(sigma.satisfied_by(&witness));
 }
 
@@ -175,9 +175,9 @@ fn generated_constraint_sets_round_trip_through_the_dsl() {
                         c.rel(),
                         c.lhs().to_vec(),
                         vec![c.rhs()],
-                        vec![c.lhs_pat().concat(&condep::model::PatternRow::new([
-                            c.rhs_pat().clone(),
-                        ]))],
+                        vec![c
+                            .lhs_pat()
+                            .concat(&condep::model::PatternRow::new([c.rhs_pat().clone()]))],
                     );
                     (format!("f{i}"), general)
                 })

@@ -11,8 +11,7 @@ use condep::cind::satisfy as cind_satisfy;
 use condep::cind::witness::build_witness;
 use condep::consistency::graph::DepGraph;
 use condep::consistency::{
-    checking, pre_processing, CheckingConfig, ChaseCfdChecker, ConstraintSet,
-    RandomCheckingConfig,
+    checking, pre_processing, ChaseCfdChecker, CheckingConfig, ConstraintSet, RandomCheckingConfig,
 };
 use condep::model::fixtures::{bank_database, bank_schema, clean_bank_database};
 use condep::model::{prow, tuple, PValue};
@@ -159,7 +158,13 @@ fn example_3_4_derivation() {
 #[test]
 fn example_4_1_cfd_satisfaction() {
     let db = bank_database();
-    for cfd in [cfd_fx::fd1(), cfd_fx::fd2(), cfd_fx::fd3(), cfd_fx::phi1(), cfd_fx::phi2()] {
+    for cfd in [
+        cfd_fx::fd1(),
+        cfd_fx::fd2(),
+        cfd_fx::fd3(),
+        cfd_fx::phi1(),
+        cfd_fx::phi2(),
+    ] {
         assert!(cfd_satisfy::satisfies(&db, &cfd));
     }
     assert!(!cfd_satisfy::satisfies(&db, &cfd_fx::phi3()));
@@ -168,10 +173,7 @@ fn example_4_1_cfd_satisfaction() {
     let mut singles = 0;
     for n in &normal {
         for v in condep::cfd::find_violations(&db, n) {
-            assert!(matches!(
-                v,
-                condep::cfd::CfdViolation::SingleTuple { .. }
-            ));
+            assert!(matches!(v, condep::cfd::CfdViolation::SingleTuple { .. }));
             singles += 1;
         }
     }
@@ -208,15 +210,9 @@ fn example_3_2_inconsistency() {
 #[test]
 fn example_4_2_joint_inconsistency() {
     let (schema, cind) = cind_fx::example_4_2_cind();
-    let phi = condep::cfd::NormalCfd::parse(
-        &schema,
-        "r",
-        &["a"],
-        prow![_],
-        "b",
-        PValue::constant("a"),
-    )
-    .unwrap();
+    let phi =
+        condep::cfd::NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::constant("a"))
+            .unwrap();
     // Separately consistent.
     let only_cfd = ConstraintSet::new(schema.clone(), vec![phi.clone()], vec![]);
     assert!(checking(&only_cfd, &CheckingConfig::default()).is_some());
@@ -234,46 +230,16 @@ fn example_4_2_joint_inconsistency() {
 fn examples_5_4_to_5_6_pipeline() {
     let schema = cind_fx::example_5_4_schema();
     let cfds = vec![
-        condep::cfd::NormalCfd::parse(&schema, "r1", &["e"], prow![_], "f", PValue::Any)
+        condep::cfd::NormalCfd::parse(&schema, "r1", &["e"], prow![_], "f", PValue::Any).unwrap(),
+        condep::cfd::NormalCfd::parse(&schema, "r2", &["h"], prow![_], "g", PValue::constant("c"))
             .unwrap(),
-        condep::cfd::NormalCfd::parse(
-            &schema,
-            "r2",
-            &["h"],
-            prow![_],
-            "g",
-            PValue::constant("c"),
-        )
-        .unwrap(),
-        condep::cfd::NormalCfd::parse(&schema, "r3", &["a"], prow!["c"], "b", PValue::Any)
+        condep::cfd::NormalCfd::parse(&schema, "r3", &["a"], prow!["c"], "b", PValue::Any).unwrap(),
+        condep::cfd::NormalCfd::parse(&schema, "r4", &["c"], prow![_], "d", PValue::constant("a"))
             .unwrap(),
-        condep::cfd::NormalCfd::parse(
-            &schema,
-            "r4",
-            &["c"],
-            prow![_],
-            "d",
-            PValue::constant("a"),
-        )
-        .unwrap(),
-        condep::cfd::NormalCfd::parse(
-            &schema,
-            "r4",
-            &["c"],
-            prow![_],
-            "d",
-            PValue::constant("b"),
-        )
-        .unwrap(),
-        condep::cfd::NormalCfd::parse(
-            &schema,
-            "r5",
-            &["i"],
-            prow![_],
-            "j",
-            PValue::constant("c"),
-        )
-        .unwrap(),
+        condep::cfd::NormalCfd::parse(&schema, "r4", &["c"], prow![_], "d", PValue::constant("b"))
+            .unwrap(),
+        condep::cfd::NormalCfd::parse(&schema, "r5", &["i"], prow![_], "j", PValue::constant("c"))
+            .unwrap(),
     ];
     // First variant (ψ4): preProcessing answers 1.
     let sigma = ConstraintSet::new(

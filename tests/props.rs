@@ -3,10 +3,8 @@
 
 use condep::cind::normalize::normalize;
 use condep::cind::satisfy;
-use condep::model::{
-    Database, Domain, PValue, PatternRow, Relation, Schema, Tuple, Value,
-};
-use condep::sat::{Cnf, Solver, SolveResult, Var};
+use condep::model::{Database, Domain, PValue, PatternRow, Relation, Schema, Tuple, Value};
+use condep::sat::{Cnf, SolveResult, Solver, Var};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -21,10 +19,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
 }
 
 fn arb_pvalue() -> impl Strategy<Value = PValue> {
-    prop_oneof![
-        Just(PValue::Any),
-        arb_value().prop_map(PValue::Const),
-    ]
+    prop_oneof![Just(PValue::Any), arb_value().prop_map(PValue::Const),]
 }
 
 proptest! {
@@ -161,11 +156,17 @@ fn two_rel_schema() -> Arc<Schema> {
         Schema::builder()
             .relation(
                 "src",
-                &[("a", Domain::string()), ("b", Domain::finite_strs(&["p", "q"]))],
+                &[
+                    ("a", Domain::string()),
+                    ("b", Domain::finite_strs(&["p", "q"])),
+                ],
             )
             .relation(
                 "dst",
-                &[("c", Domain::string()), ("d", Domain::finite_strs(&["p", "q"]))],
+                &[
+                    ("c", Domain::string()),
+                    ("d", Domain::finite_strs(&["p", "q"])),
+                ],
             )
             .finish(),
     )
@@ -303,6 +304,174 @@ proptest! {
             if before {
                 prop_assert!(satisfy::satisfies_normal(&bigger, n));
             }
+        }
+    }
+}
+
+// ----------------------------------------- batched validator equivalence
+
+/// The per-constraint reference detectors as a sorted report.
+fn reference_report(
+    v: &condep::validate::Validator,
+    db: &Database,
+) -> condep::validate::SigmaReport {
+    let mut expected = condep::validate::SigmaReport::default();
+    for (i, cfd) in v.cfds().iter().enumerate() {
+        for viol in condep::cfd::find_violations(db, cfd) {
+            expected.cfd.push((i, viol));
+        }
+    }
+    for (i, cind) in v.cinds().iter().enumerate() {
+        for viol in condep::cind::find_violations(db, cind) {
+            expected.cind.push((i, viol));
+        }
+    }
+    expected.sort();
+    expected
+}
+
+/// Checks one (schema, Σ, database) case: the batched `Validator` must
+/// agree with the per-CFD/per-CIND detectors — as sets of violations,
+/// and (after sorting) witness for witness — and `satisfies` must agree
+/// with `satisfies_normal` across the set.
+fn assert_validator_matches_reference(
+    cfds: &[condep::cfd::NormalCfd],
+    cinds: &[condep::cind::NormalCind],
+    db: &Database,
+    context: &str,
+) {
+    let v = condep::validate::Validator::new(cfds.to_vec(), cinds.to_vec());
+    let batched = v.validate_sorted(db);
+    let expected = reference_report(&v, db);
+    assert_eq!(batched, expected, "batched ≠ per-constraint on {context}");
+    let per_constraint_clean = cfds
+        .iter()
+        .all(|n| condep::cfd::satisfy::satisfies_normal(db, n))
+        && cinds.iter().all(|n| satisfy::satisfies_normal(db, n));
+    assert_eq!(
+        v.satisfies(db),
+        per_constraint_clean,
+        "satisfies disagrees on {context}"
+    );
+    assert_eq!(batched.is_empty(), per_constraint_clean, "{context}");
+}
+
+/// ≥ 100 random (schema, Σ, instance) cases from the Section 6
+/// generators: the batched validator is indistinguishable from the
+/// per-constraint detectors on every one of them.
+#[test]
+fn validator_agrees_with_per_constraint_detectors_on_random_workloads() {
+    use condep::gen::{
+        dirty_database, generate_sigma, random_schema, DirtyDataConfig, SchemaGenConfig,
+        SigmaGenConfig,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut cases = 0;
+    for seed in 0u64..120 {
+        let schema = random_schema(
+            &SchemaGenConfig {
+                relations: 3,
+                attrs_min: 2,
+                attrs_max: 5,
+                finite_ratio: 0.3,
+                finite_dom_min: 2,
+                finite_dom_max: 4,
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let (cfds, cinds, witness) = generate_sigma(
+            &schema,
+            &SigmaGenConfig {
+                cardinality: 12,
+                consistent: true,
+                ..SigmaGenConfig::default()
+            },
+            &mut StdRng::seed_from_u64(seed ^ 0xdead_beef),
+        );
+        let Some(witness) = witness else { continue };
+        // A dirty instance (clean clones of the witness + injected
+        // violations) and the tiny witness database itself.
+        let dirty = dirty_database(
+            &schema,
+            &cfds,
+            &cinds,
+            &witness,
+            &DirtyDataConfig {
+                tuples_per_relation: 40,
+                violations_per_relation: 4,
+            },
+            &mut StdRng::seed_from_u64(seed.wrapping_mul(31)),
+        );
+        assert_validator_matches_reference(
+            &cfds,
+            &cinds,
+            &dirty.db,
+            &format!("seed {seed} (dirty instance)"),
+        );
+        assert_validator_matches_reference(
+            &cfds,
+            &cinds,
+            &witness.database(&schema),
+            &format!("seed {seed} (witness instance)"),
+        );
+        cases += 2;
+    }
+    assert!(
+        cases >= 100,
+        "only {cases} cases ran — below the 100-case bar"
+    );
+}
+
+// Focused randomized strategy for the tricky CFD shapes: wildcard-RHS
+// pair witnesses and the empty-LHS (global agreement) edge case.
+proptest! {
+    #[test]
+    fn validator_handles_wildcard_rhs_and_empty_lhs(
+        rows in proptest::collection::vec((arb_small_value(), arb_fin()), 0..10),
+        lhs_wild in any::<bool>(),
+    ) {
+        use condep::cfd::NormalCfd;
+        use condep::model::PValue as P;
+        let schema = two_rel_schema();
+        let mut db = Database::empty(schema.clone());
+        let src = schema.rel_id("src").unwrap();
+        for (a, b) in rows {
+            db.insert(src, Tuple::new([a, b])).unwrap();
+        }
+        // Wildcard-RHS FD src: a → b, empty-LHS variants on both
+        // columns, and a constant-LHS row — all over the same relation.
+        let cfds = vec![
+            NormalCfd::parse(&schema, "src", &["a"], PatternRow::all_any(1), "b", P::Any)
+                .unwrap(),
+            NormalCfd::parse(&schema, "src", &[], PatternRow::all_any(0), "b", P::Any)
+                .unwrap(),
+            NormalCfd::parse(&schema, "src", &[], PatternRow::all_any(0), "a", P::Any)
+                .unwrap(),
+            NormalCfd::parse(
+                &schema,
+                "src",
+                &["a"],
+                if lhs_wild {
+                    PatternRow::all_any(1)
+                } else {
+                    PatternRow::new([P::constant("v0")])
+                },
+                "b",
+                P::constant("p"),
+            )
+            .unwrap(),
+        ];
+        let v = condep::validate::Validator::new(cfds.clone(), vec![]);
+        let batched = v.validate_sorted(&db);
+        let expected = reference_report(&v, &db);
+        prop_assert_eq!(&batched, &expected);
+        // Wildcard-RHS pair witnesses must match exactly, not just as
+        // counts: same (left, right) positions.
+        for ((bi, bv), (ei, ev)) in batched.cfd.iter().zip(expected.cfd.iter()) {
+            prop_assert_eq!(bi, ei);
+            prop_assert_eq!(bv, ev);
         }
     }
 }

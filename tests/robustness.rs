@@ -20,7 +20,10 @@ fn database_insert_error_paths() {
         Schema::builder()
             .relation(
                 "r",
-                &[("a", Domain::finite_strs(&["x", "y"])), ("b", Domain::integer())],
+                &[
+                    ("a", Domain::finite_strs(&["x", "y"])),
+                    ("b", Domain::integer()),
+                ],
             )
             .finish(),
     );
@@ -137,8 +140,7 @@ fn implication_budgets_degrade_to_unknown_never_to_wrong() {
         condep::cind::fixtures::psi6(),
     ]);
     let goal =
-        condep::cind::normalize::normalize(&condep::cind::fixtures::example_3_3_goal())
-            .remove(0);
+        condep::cind::normalize::normalize(&condep::cind::fixtures::example_3_3_goal()).remove(0);
     // Reference verdict with ample budget.
     let full = implies(&schema, &sigma, &goal, ImplicationConfig::default());
     assert_eq!(full, Implication::Implied);
@@ -199,8 +201,7 @@ fn random_checking_with_tiny_caps_stays_sound() {
     let schema = condep::cind::fixtures::example_5_1_schema(true);
     let cinds = condep::cind::fixtures::example_5_1_cinds(&schema);
     let cfds = vec![
-        NormalCfd::parse(&schema, "r2", &["h"], prow![_], "g", PValue::constant("c"))
-            .unwrap(),
+        NormalCfd::parse(&schema, "r2", &["h"], prow![_], "g", PValue::constant("c")).unwrap(),
     ];
     let sigma = ConstraintSet::new(schema, cfds, cinds);
     for cap in [1usize, 2, 3] {

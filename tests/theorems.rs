@@ -82,9 +82,7 @@ fn inference_rules_sound_on_random_witnesses() {
             assert!(satisfy::satisfies_normal(&db, psi));
             // CIND2: random projection of the matched pairs.
             if !psi.x().is_empty() {
-                let keep: Vec<usize> = (0..psi.x().len())
-                    .filter(|_| rng.gen_bool(0.5))
-                    .collect();
+                let keep: Vec<usize> = (0..psi.x().len()).filter(|_| rng.gen_bool(0.5)).collect();
                 let derived = inference::cind2(psi, &keep).expect("valid projection");
                 assert!(
                     satisfy::satisfies_normal(&db, &derived),
@@ -125,9 +123,7 @@ fn cind1_reflexivity_on_random_databases() {
         let schema = small_schema(seed);
         let db = build_witness_bounded(&schema, &[], 1 << 16).expect("empty Σ");
         for (rel, rs) in schema.iter() {
-            let x: Vec<_> = (0..rs.arity() as u32)
-                .map(condep::model::AttrId)
-                .collect();
+            let x: Vec<_> = (0..rs.arity() as u32).map(condep::model::AttrId).collect();
             let refl = inference::cind1(&schema, rel, x).expect("distinct attrs");
             assert!(satisfy::satisfies_normal(&db, &refl));
         }
@@ -181,8 +177,7 @@ fn implication_game_matches_oracle_on_finite_instances() {
             .collect();
         let psi = all_cinds[rng.gen_range(0..all_cinds.len())].clone();
         let game = implies(&schema, &sigma, &psi, ImplicationConfig::default());
-        let oracle =
-            implies_exhaustive_finite(&schema, &sigma, &psi, 4).expect("4-tuple universe");
+        let oracle = implies_exhaustive_finite(&schema, &sigma, &psi, 4).expect("4-tuple universe");
         assert_eq!(
             game == Implication::Implied,
             oracle,
@@ -230,7 +225,10 @@ fn consistent_generation_certified_by_checking() {
             ..CheckingConfig::default()
         };
         if let Some(db) = checking(&sigma, &cfg) {
-            assert!(sigma.satisfied_by(&db), "Theorem 5.1 certificate (seed {seed})");
+            assert!(
+                sigma.satisfied_by(&db),
+                "Theorem 5.1 certificate (seed {seed})"
+            );
         }
         // (A None here would be an accuracy miss, not a soundness bug —
         // tracked by the Figure 11(a) bench rather than asserted.)
