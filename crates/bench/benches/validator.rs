@@ -13,13 +13,12 @@
 //! parallel sweep). Results print as a table and are recorded in
 //! `BENCH_validator.json` at the repository root.
 
-use condep_bench::{ms, time_once, FigureTable};
+use condep_bench::{best_of, ms, xorshift, FigureTable};
 use condep_cfd::{find_violations_unordered, NormalCfd};
 use condep_model::{tuple, Database, Domain, PValue, PatternRow, Schema};
 use condep_validate::Validator;
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Duration;
 
 fn schema() -> Arc<Schema> {
     Arc::new(
@@ -39,13 +38,6 @@ fn schema() -> Arc<Schema> {
             )
             .finish(),
     )
-}
-
-fn xorshift(state: &mut u64) -> u64 {
-    *state ^= *state << 13;
-    *state ^= *state >> 7;
-    *state ^= *state << 17;
-    *state
 }
 
 /// `n` tuples honoring the embedded FDs, with ~0.1% corrupted `a2`.
@@ -190,23 +182,14 @@ fn shapes() -> Vec<(&'static str, Vec<Vec<&'static str>>)> {
     ]
 }
 
-fn best_of<F: FnMut() -> usize>(runs: usize, mut f: F) -> (Duration, usize) {
-    let mut best = Duration::MAX;
-    let mut out = 0;
-    for _ in 0..runs {
-        let (d, n) = time_once(&mut f);
-        if d < best {
-            best = d;
-            out = n;
-        }
-    }
-    (best, out)
-}
-
 fn main() {
+    // Smoke mode (CI): one iteration at reduced size, JSON untouched —
+    // exercises the full code path without disturbing the recorded
+    // baseline.
+    let smoke = std::env::var("CONDEP_BENCH_SMOKE").is_ok_and(|v| v == "1");
     let schema = schema();
-    let sizes = [10_000usize, 100_000];
-    let runs = 3;
+    let sizes: &[usize] = if smoke { &[10_000] } else { &[10_000, 100_000] };
+    let runs = if smoke { 1 } else { 3 };
     let mut table = FigureTable::new(
         "validator",
         &[
@@ -223,7 +206,7 @@ fn main() {
     let mut json_rows = String::new();
     let mut headline_speedup = 0.0f64;
 
-    for &n in &sizes {
+    for &n in sizes {
         let db = instance(&schema, n);
         for (shape, lhs_sets) in shapes() {
             let cfds = sigma(&schema, &lhs_sets, 200);
@@ -266,6 +249,10 @@ fn main() {
     }
     table.finish("Validator micro-bench: per-CFD loop vs batched sweep");
 
+    if smoke {
+        println!("(smoke mode: BENCH_validator.json not rewritten)");
+        return;
+    }
     let json = format!(
         "{{\n  \"bench\": \"validator\",\n  \"baseline\": \"per-CFD find_violations_unordered loop\",\n  \
          \"contender\": \"condep_validate::Validator::validate (shared group-by indexes, interned keys, parallel sweep)\",\n  \

@@ -52,6 +52,29 @@ pub fn time_once<F: FnOnce() -> R, R>(f: F) -> (Duration, R) {
     (start.elapsed(), out)
 }
 
+/// Best-of-`runs` timing: the minimum duration and its run's value.
+pub fn best_of<F: FnMut() -> usize>(runs: usize, mut f: F) -> (Duration, usize) {
+    let mut best = Duration::MAX;
+    let mut out = 0;
+    for _ in 0..runs {
+        let (d, n) = time_once(&mut f);
+        if d < best {
+            best = d;
+            out = n;
+        }
+    }
+    (best, out)
+}
+
+/// The deterministic xorshift step every bench workload generator
+/// shares — one definition keeps cross-bench instances identical.
+pub fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
 /// Milliseconds as a printable f64.
 pub fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1_000.0

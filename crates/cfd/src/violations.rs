@@ -16,7 +16,7 @@ use condep_model::{AttrId, Database, PValue, Value};
 use condep_query::{Plan, Predicate};
 
 /// A single CFD violation with its witnessing tuple positions.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum CfdViolation {
     /// One tuple matches `tp[X]` but its `A` value differs from the
     /// constant `tp[A]`.
@@ -47,6 +47,29 @@ impl CfdViolation {
             CfdViolation::SingleTuple { tuple, .. } => (0, *tuple, 0),
             CfdViolation::Pair { left, right } => (1, *left, *right),
         }
+    }
+}
+
+/// What one database mutation (insert / delete / update) did to the CFD
+/// violations of a compiled suite, as `(constraint index, violation)`
+/// pairs.
+///
+/// Produced by delta engines (`condep-validate`'s `ValidatorStream`) and
+/// consumed by anything maintaining a materialized violation state — a
+/// streamed quality monitor subtracts `resolved` and adds `introduced`
+/// instead of re-validating the database.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CfdDelta {
+    /// Violations the mutation created (post-mutation tuple positions).
+    pub introduced: Vec<(usize, CfdViolation)>,
+    /// Violations the mutation removed (pre-mutation tuple positions).
+    pub resolved: Vec<(usize, CfdViolation)>,
+}
+
+impl CfdDelta {
+    /// Did the mutation change the violation set at all?
+    pub fn is_quiet(&self) -> bool {
+        self.introduced.is_empty() && self.resolved.is_empty()
     }
 }
 

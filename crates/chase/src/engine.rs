@@ -14,6 +14,7 @@
 use crate::config::ChaseConfig;
 use crate::ops::{fd_step, ind_step, OpFailure};
 use crate::template::{TemplateDb, TplValue, VarRef};
+use crate::validator::ChaseValidator;
 use condep_cfd::NormalCfd;
 use condep_core::NormalCind;
 use condep_model::{PValue, Value};
@@ -93,80 +94,100 @@ pub fn chase_cfds(
     }
 }
 
+/// Borrow-based overlay: views `cell` with `var := cand` substituted,
+/// without cloning any cell.
+fn overlaid<'a>(cell: &'a TplValue, var: VarRef, cand: &'a TplValue) -> &'a TplValue {
+    match cell {
+        TplValue::Var(w) if *w == var => cand,
+        other => other,
+    }
+}
+
 /// Would substituting `candidate` for `var` immediately violate a CFD?
 /// Checks both the single-tuple reading (a matched premise forcing a
 /// different constant) and the pair reading against the other tuples of
-/// the relation (agreement on `X` forcing agreement on `A`). Deeper
-/// cross-tuple cascades are left to the following CFD fixpoint.
-fn candidate_conflicts(
+/// each relation the variable occurs in (`IND(ψ)` copies variables
+/// across relations, so carriers are not confined to `var.rel`).
+/// Agreement involving a variable is never a conflict — `FD(φ)` would
+/// repair it by substitution. Deeper cross-tuple cascades are left to
+/// the following CFD fixpoint.
+///
+/// This is the **reference** quadratic rescan: the engine itself routes
+/// candidate checks through the incremental
+/// [`crate::validator::ChaseValidator`], and the differential tests
+/// assert the two agree decision-for-decision.
+pub fn candidate_conflicts(
     db: &TemplateDb,
     cfds: &[NormalCfd],
     var: VarRef,
     candidate: &Value,
 ) -> bool {
-    // Cell view with the substitution overlaid.
-    let overlay = |cell: &TplValue| -> TplValue {
-        match cell {
-            TplValue::Var(w) if *w == var => TplValue::Const(candidate.clone()),
-            other => other.clone(),
+    let cand = TplValue::Const(candidate.clone());
+    for rel_idx in 0..db.schema().len() {
+        let rel = condep_model::RelId(rel_idx as u32);
+        let rel_cfds: Vec<&NormalCfd> = cfds.iter().filter(|c| c.rel() == rel).collect();
+        if rel_cfds.is_empty() {
+            continue;
         }
-    };
-    let tuples = db.relation(var.rel);
-    let carriers: Vec<usize> = tuples
-        .iter()
-        .enumerate()
-        .filter(|(_, t)| t.cells().iter().any(|c| c == &TplValue::Var(var)))
-        .map(|(i, _)| i)
-        .collect();
-    for &i in &carriers {
-        let t = &tuples[i];
-        for cfd in cfds.iter().filter(|c| c.rel() == var.rel) {
-            // Single-tuple reading.
-            if let PValue::Const(forced) = cfd.rhs_pat() {
-                let matched =
-                    cfd.lhs()
+        let tuples = db.relation(rel);
+        for (i, t) in tuples.iter().enumerate() {
+            if !t.cells().iter().any(|c| c == &TplValue::Var(var)) {
+                continue;
+            }
+            for cfd in &rel_cfds {
+                // Single-tuple reading.
+                if let PValue::Const(forced) = cfd.rhs_pat() {
+                    let matched = cfd
+                        .lhs()
                         .iter()
                         .zip(cfd.lhs_pat().cells())
                         .all(|(a, cell)| match cell {
                             PValue::Any => true,
-                            PValue::Const(c) => overlay(t.get(*a)) == TplValue::Const(c.clone()),
+                            PValue::Const(c) => matches!(
+                                overlaid(t.get(*a), var, &cand),
+                                TplValue::Const(v) if v == c
+                            ),
                         });
-                if matched {
-                    if let TplValue::Const(existing) = overlay(t.get(cfd.rhs())) {
-                        if &existing != forced {
-                            return true;
+                    if matched {
+                        if let TplValue::Const(existing) = overlaid(t.get(cfd.rhs()), var, &cand) {
+                            if existing != forced {
+                                return true;
+                            }
                         }
                     }
                 }
-            }
-            // Pair reading against every other tuple.
-            for (j, t2) in tuples.iter().enumerate() {
-                if j == i {
-                    continue;
-                }
-                let premise = cfd
-                    .lhs()
-                    .iter()
-                    .zip(cfd.lhs_pat().cells())
-                    .all(|(a, cell)| {
-                        let v1 = overlay(t.get(*a));
-                        let v2 = overlay(t2.get(*a));
-                        if v1 != v2 {
-                            return false;
+                // Pair reading against every other tuple.
+                for (j, t2) in tuples.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    let premise = cfd
+                        .lhs()
+                        .iter()
+                        .zip(cfd.lhs_pat().cells())
+                        .all(|(a, cell)| {
+                            let v1 = overlaid(t.get(*a), var, &cand);
+                            let v2 = overlaid(t2.get(*a), var, &cand);
+                            if v1 != v2 {
+                                return false;
+                            }
+                            match cell {
+                                PValue::Any => true,
+                                PValue::Const(c) => {
+                                    matches!(v1, TplValue::Const(v) if v == c)
+                                }
+                            }
+                        });
+                    if !premise {
+                        continue;
+                    }
+                    if let (TplValue::Const(c1), TplValue::Const(c2)) = (
+                        overlaid(t.get(cfd.rhs()), var, &cand),
+                        overlaid(t2.get(cfd.rhs()), var, &cand),
+                    ) {
+                        if c1 != c2 {
+                            return true;
                         }
-                        match cell {
-                            PValue::Any => true,
-                            PValue::Const(c) => v1 == TplValue::Const(c.clone()),
-                        }
-                    });
-                if !premise {
-                    continue;
-                }
-                if let (TplValue::Const(c1), TplValue::Const(c2)) =
-                    (overlay(t.get(cfd.rhs())), overlay(t2.get(cfd.rhs())))
-                {
-                    if c1 != c2 {
-                        return true;
                     }
                 }
             }
@@ -190,12 +211,21 @@ fn candidate_conflicts(
 /// the correct signal). CIND `Yp` constants targeting the attribute are
 /// hints too: future forced tuples will carry them, and agreeing early
 /// avoids pair conflicts.
+///
+/// Candidate acceptance/rejection goes through one persistent
+/// [`ChaseValidator`] (built once per pass): each trial overlays the
+/// substitution as deltas, probes only the touched key groups, and
+/// retracts on rejection — no template rescan per candidate.
 fn instantiate_finite_vars<R: Rng>(
     db: &mut TemplateDb,
     cfds: &[NormalCfd],
     cinds: &[NormalCind],
     rng: &mut R,
 ) {
+    if db.finite_variables().is_empty() {
+        return;
+    }
+    let mut checker = ChaseValidator::new(db, cfds);
     loop {
         let vars = db.finite_variables();
         let Some(var) = vars.first().copied() else {
@@ -228,14 +258,19 @@ fn instantiate_finite_vars<R: Rng>(
             .filter(|v| dom.contains(v))
             .collect();
         let start = rng.gen_range(0..dom.len());
-        let candidates = hints
+        let mut candidates = hints
             .into_iter()
             .chain((0..dom.len()).map(|i| &dom[(start + i) % dom.len()]));
-        let pick = candidates
-            .into_iter()
-            .find(|cand| !candidate_conflicts(db, cfds, var, cand))
-            .unwrap_or(&dom[start])
-            .clone();
+        // `try_instantiate` commits the winning candidate into the
+        // checker; the fallback is forced in unconditionally.
+        let pick = match candidates.find(|cand| checker.try_instantiate(var, cand)) {
+            Some(v) => v.clone(),
+            None => {
+                let v = dom[start].clone();
+                checker.force_instantiate(var, &v);
+                v
+            }
+        };
         db.substitute(var, &TplValue::Const(pick));
     }
 }
@@ -358,11 +393,12 @@ mod tests {
         // F and H remain variables.
         assert!(result.relation(r1)[0].get(AttrId(1)).is_var());
         assert!(result.relation(r2)[0].get(AttrId(1)).is_var());
-        // The defined chase certifies consistency: instantiate fresh.
+        // The defined chase certifies consistency: instantiate fresh and
+        // check all of Σ in one batched sweep.
         let consts: Vec<Value> = vec![Value::str("a"), Value::str("b"), Value::str("c")];
         let concrete = result.instantiate_fresh(&consts).unwrap();
-        assert!(condep_cfd::satisfy::satisfies_all(&concrete, &cfds));
-        assert!(condep_core::satisfy::satisfies_all(&concrete, &cinds));
+        let sigma = condep_validate::Validator::new(cfds.clone(), cinds.clone());
+        assert!(sigma.satisfies(&concrete));
     }
 
     #[test]
@@ -409,14 +445,15 @@ mod tests {
             .relation(r1)
             .iter()
             .any(|t| t.get(AttrId(0)) == &constant("c") && t.get(AttrId(1)) == &constant("a")));
-        // And the defined result certifies consistency.
+        // And the defined result certifies consistency — one batched
+        // sweep over Σ instead of per-constraint rescans.
         let consts: Vec<Value> = ["a", "b", "c", "d", "0", "1"]
             .iter()
             .map(Value::str)
             .collect();
         let concrete = result.instantiate_fresh(&consts).unwrap();
-        assert!(condep_cfd::satisfy::satisfies_all(&concrete, &cfds));
-        assert!(condep_core::satisfy::satisfies_all(&concrete, &cinds));
+        let sigma = condep_validate::Validator::new(cfds.clone(), cinds.clone());
+        assert!(sigma.satisfies(&concrete));
     }
 
     #[test]

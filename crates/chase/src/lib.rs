@@ -30,8 +30,10 @@ pub mod config;
 pub mod engine;
 pub mod ops;
 pub mod template;
+pub mod validator;
 pub mod valuation;
 
 pub use config::ChaseConfig;
 pub use engine::{chase, ChaseOutcome, UndefinedReason};
 pub use template::{TemplateDb, TplTuple, TplValue, VarRef};
+pub use validator::ChaseValidator;

@@ -41,5 +41,5 @@ pub mod witness;
 
 pub use normalize::normalize;
 pub use syntax::{Cind, NormalCind};
-pub use violations::{find_violations, CindViolation};
+pub use violations::{find_violations, CindDelta, CindViolation};
 pub use witness::build_witness;

@@ -14,12 +14,33 @@ use condep_model::{Database, Tuple};
 use condep_query::{ops, Plan, Predicate};
 
 /// A CIND violation: a triggered source tuple with no matching target.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct CindViolation {
     /// Dense position of the violating tuple in the source relation.
     pub tuple: usize,
     /// The values `t1[X]` that found no partner `t2[Y]`.
     pub key: Vec<condep_model::Value>,
+}
+
+/// What one database mutation (insert / delete / update) did to the CIND
+/// violations of a compiled suite, as `(constraint index, violation)`
+/// pairs — the CIND half of a streamed delta report. Unlike CFDs, an
+/// **insert** can resolve CIND violations too: an arriving target tuple
+/// supplies the partner every orphaned source tuple with its key was
+/// missing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CindDelta {
+    /// Violations the mutation created (post-mutation tuple positions).
+    pub introduced: Vec<(usize, CindViolation)>,
+    /// Violations the mutation removed (pre-mutation tuple positions).
+    pub resolved: Vec<(usize, CindViolation)>,
+}
+
+impl CindDelta {
+    /// Did the mutation change the violation set at all?
+    pub fn is_quiet(&self) -> bool {
+        self.introduced.is_empty() && self.resolved.is_empty()
+    }
 }
 
 /// Finds all violations of a normal-form CIND in `db`.

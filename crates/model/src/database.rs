@@ -38,6 +38,14 @@ impl Database {
     /// Validates and inserts a tuple into relation `rel`. Returns
     /// whether the tuple was new.
     pub fn insert(&mut self, rel: RelId, t: Tuple) -> crate::Result<bool> {
+        self.check_tuple(rel, &t)?;
+        Ok(self.relations[rel.index()].insert(t))
+    }
+
+    /// Would `t` be a well-typed tuple of relation `rel`? The validation
+    /// [`Database::insert`] performs, without inserting — used to reject
+    /// a bad replacement *before* deleting the tuple it updates.
+    pub fn check_tuple(&self, rel: RelId, t: &Tuple) -> crate::Result<()> {
         let rs = self.schema.relation(rel)?;
         if t.arity() != rs.arity() {
             return Err(ModelError::ArityMismatch {
@@ -56,7 +64,15 @@ impl Database {
                 });
             }
         }
-        Ok(self.relations[rel.index()].insert(t))
+        Ok(())
+    }
+
+    /// Removes a tuple by value from relation `rel` (set semantics:
+    /// `None` when it was not present). Deletion is swap-based — see
+    /// [`crate::relation::Removed`] for the single position that may
+    /// have been renumbered.
+    pub fn remove(&mut self, rel: RelId, t: &Tuple) -> Option<crate::relation::Removed> {
+        self.relations[rel.index()].remove(t)
     }
 
     /// Inserts resolving the relation by name — convenient for fixtures.
@@ -157,6 +173,37 @@ mod tests {
         assert!(!db.insert_into("interest", tuple!["EDI", "UK"]).unwrap());
         assert_eq!(db.total_tuples(), 1);
         assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn remove_deletes_and_reports_the_swap() {
+        let mut db = Database::empty(schema());
+        let rel = db.schema().rel_id("interest").unwrap();
+        db.insert(rel, tuple!["EDI", "UK"]).unwrap();
+        db.insert(rel, tuple!["NYC", "US"]).unwrap();
+        db.insert(rel, tuple!["GLA", "UK"]).unwrap();
+        let removed = db.remove(rel, &tuple!["EDI", "UK"]).unwrap();
+        assert_eq!(removed.pos, 0);
+        assert_eq!(removed.moved_from, Some(2));
+        assert_eq!(db.relation(rel).position(&tuple!["GLA", "UK"]), Some(0));
+        assert_eq!(db.total_tuples(), 2);
+        assert!(db.remove(rel, &tuple!["EDI", "UK"]).is_none());
+    }
+
+    #[test]
+    fn check_tuple_validates_without_inserting() {
+        let db = Database::empty(schema());
+        let rel = db.schema().rel_id("interest").unwrap();
+        assert!(db.check_tuple(rel, &tuple!["EDI", "UK"]).is_ok());
+        assert!(matches!(
+            db.check_tuple(rel, &tuple!["EDI"]),
+            Err(ModelError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            db.check_tuple(rel, &tuple!["EDI", "FR"]),
+            Err(ModelError::DomainViolation { .. })
+        ));
+        assert!(db.is_empty(), "check_tuple must not insert");
     }
 
     #[test]

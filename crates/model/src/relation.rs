@@ -35,6 +35,49 @@ impl PosList {
             PosList::Many(ps) => ps.push(p),
         }
     }
+
+    /// Removes one occurrence of `p`. Returns whether the list is now
+    /// empty (the caller should drop the map entry).
+    pub fn remove(&mut self, p: u32) -> bool {
+        match self {
+            PosList::One(q) => {
+                debug_assert_eq!(*q, p, "removing a value the list never held");
+                true
+            }
+            PosList::Many(ps) => {
+                if let Some(i) = ps.iter().position(|&q| q == p) {
+                    ps.swap_remove(i);
+                }
+                ps.is_empty()
+            }
+        }
+    }
+
+    /// Rewrites one occurrence of `from` to `to`.
+    pub fn replace(&mut self, from: u32, to: u32) {
+        match self {
+            PosList::One(q) => {
+                debug_assert_eq!(*q, from, "replacing a value the list never held");
+                *q = to;
+            }
+            PosList::Many(ps) => {
+                if let Some(i) = ps.iter().position(|&q| q == from) {
+                    ps[i] = to;
+                }
+            }
+        }
+    }
+}
+
+/// What [`Relation::remove`] did: the position vacated, and whether the
+/// previously-last tuple was swapped into it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Removed {
+    /// Dense position the removed tuple occupied.
+    pub pos: usize,
+    /// When the removed tuple was not the last one, the old position of
+    /// the tuple that moved into `pos` (always the previous `len() - 1`).
+    pub moved_from: Option<usize>,
 }
 
 /// An instance of a relation schema: a **set** of tuples (paper,
@@ -84,6 +127,40 @@ impl Relation {
         }
         self.tuples.push(t);
         true
+    }
+
+    /// Removes a tuple by value. The vacated position is filled by
+    /// swapping the **last** tuple into it (`O(1)`, no shift), so dense
+    /// positions of all other tuples stay stable; the returned
+    /// [`Removed`] says which single position (if any) changed so
+    /// position-keyed consumers (indexes, violation reports) can
+    /// renumber.
+    pub fn remove(&mut self, t: &Tuple) -> Option<Removed> {
+        let pos = self.position(t)?;
+        let last = self.tuples.len() - 1;
+        // Unlink the removed tuple from the hash map.
+        let hash = fx_hash_one(t);
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.positions.entry(hash) {
+            if e.get_mut().remove(pos as u32) {
+                e.remove();
+            }
+        }
+        self.tuples.swap_remove(pos);
+        if pos == last {
+            return Some(Removed {
+                pos,
+                moved_from: None,
+            });
+        }
+        // The old last tuple now sits at `pos`: rewrite its map entry.
+        let moved_hash = fx_hash_one(&self.tuples[pos]);
+        if let Some(list) = self.positions.get_mut(&moved_hash) {
+            list.replace(last as u32, pos as u32);
+        }
+        Some(Removed {
+            pos,
+            moved_from: Some(last),
+        })
     }
 
     /// Membership test.
@@ -200,6 +277,66 @@ mod tests {
         assert_eq!(r1, r2);
         let r3: Relation = [tuple!["a"]].into_iter().collect();
         assert_ne!(r1, r3);
+    }
+
+    #[test]
+    fn remove_last_tuple_moves_nothing() {
+        let mut r: Relation = [tuple!["a"], tuple!["b"]].into_iter().collect();
+        let removed = r.remove(&tuple!["b"]).unwrap();
+        assert_eq!(
+            removed,
+            Removed {
+                pos: 1,
+                moved_from: None
+            }
+        );
+        assert_eq!(r.len(), 1);
+        assert!(!r.contains(&tuple!["b"]));
+        assert_eq!(r.position(&tuple!["a"]), Some(0));
+    }
+
+    #[test]
+    fn remove_swaps_last_into_the_hole() {
+        let mut r: Relation = [tuple!["a"], tuple!["b"], tuple!["c"]]
+            .into_iter()
+            .collect();
+        let removed = r.remove(&tuple!["a"]).unwrap();
+        assert_eq!(
+            removed,
+            Removed {
+                pos: 0,
+                moved_from: Some(2)
+            }
+        );
+        assert_eq!(r.len(), 2);
+        // `c` moved into position 0 and is still findable by hash.
+        assert_eq!(r.position(&tuple!["c"]), Some(0));
+        assert_eq!(r.position(&tuple!["b"]), Some(1));
+        assert!(r.remove(&tuple!["a"]).is_none(), "already gone");
+        // Re-inserting after removal works (map entries were unlinked).
+        assert!(r.insert(tuple!["a"]));
+        assert_eq!(r.position(&tuple!["a"]), Some(2));
+    }
+
+    #[test]
+    fn remove_then_reinsert_round_trips_many_times() {
+        let mut r = Relation::new();
+        for i in 0..32i64 {
+            r.insert(tuple![i]);
+        }
+        for i in (0..32i64).step_by(3) {
+            assert!(r.remove(&tuple![i]).is_some());
+        }
+        for i in (0..32i64).step_by(3) {
+            assert!(!r.contains(&tuple![i]));
+            assert!(r.insert(tuple![i]));
+        }
+        assert_eq!(r.len(), 32);
+        for i in 0..32i64 {
+            let t = tuple![i];
+            let pos = r.position(&t).unwrap();
+            assert_eq!(r.get(pos), Some(&t));
+        }
     }
 
     #[test]

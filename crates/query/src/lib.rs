@@ -34,4 +34,4 @@ pub mod sym_index;
 pub use index::HashIndex;
 pub use plan::{Plan, Rows};
 pub use predicate::Predicate;
-pub use sym_index::SymIndex;
+pub use sym_index::{PosIter, SymIndex};

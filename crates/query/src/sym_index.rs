@@ -4,22 +4,55 @@
 //! batched Σ-validation hot path: keys are `Box<[SymValue]>` — `Copy`
 //! word-sized cells from a [`condep_model::Interner`] — hashed with the
 //! fx hasher, so building and probing never touch string bytes or bump
-//! `Arc` reference counts. Probes borrow (`&[SymValue]`), and the index
-//! supports incremental growth for streaming validation.
+//! `Arc` reference counts. Probes borrow (`&[SymValue]`).
+//!
+//! Storage is a two-tier layout tuned for both the batch sweep and the
+//! delta engine:
+//!
+//! * **Bulk tier** — the whole-relation builds ([`SymIndex::build`],
+//!   [`SymIndex::build_from_columns`], …) run a two-pass counting sort:
+//!   pass one maps rows to key slots and counts them, pass two scatters
+//!   positions into **one** shared CSR vector. No per-key `Vec` is ever
+//!   allocated, and each slot's segment is contiguous and
+//!   position-ascending — ideal for the sequential group sweep.
+//! * **Overflow tier** — streaming [`SymIndex::insert_key`]s that cannot
+//!   extend a slot's tail segment go to a shared arena of singly-linked
+//!   nodes (with a free list fed by removals), so incremental growth is
+//!   also allocation-amortized.
+//!
+//! [`SymIndex::remove_key`] / [`SymIndex::replace_pos`] give the
+//! multiset-aware maintenance the `ValidatorStream` delta engine needs:
+//! removal is `O(group)`, and a swap-removed relation position can be
+//! renumbered in place.
 
 use condep_model::fxhash::FxBuildHasher;
 use condep_model::{AttrId, Interner, Relation, SymValue, Tuple};
 use std::collections::HashMap;
+
+/// Sentinel for "no overflow node".
+const NONE: u32 = u32::MAX;
 
 /// A group-by index keyed by interned projections.
 #[derive(Clone, Debug, Default)]
 pub struct SymIndex {
     /// Distinct keys → slot, probed with borrowed `&[SymValue]`.
     map: HashMap<Box<[SymValue]>, u32, FxBuildHasher>,
-    /// Distinct keys in first-seen order, parallel to `groups`.
+    /// Distinct keys in first-seen order, parallel to the slot vectors.
     keys: Vec<Box<[SymValue]>>,
-    /// Dense tuple positions per key, parallel to `keys`.
-    groups: Vec<Vec<u32>>,
+    /// Shared CSR position storage for the bulk tier.
+    bulk: Vec<u32>,
+    /// Per slot: start of its segment in `bulk`.
+    bulk_start: Vec<u32>,
+    /// Per slot: live length of its segment.
+    bulk_len: Vec<u32>,
+    /// Overflow arena: `(position, next)` singly-linked per slot.
+    over: Vec<(u32, u32)>,
+    /// Per slot: head of its overflow chain (`NONE` when empty).
+    over_head: Vec<u32>,
+    /// Free list through the `next` fields of `over`.
+    free_head: u32,
+    /// Total live positions.
+    len: usize,
     key_len: usize,
 }
 
@@ -29,7 +62,13 @@ impl SymIndex {
         SymIndex {
             map: HashMap::default(),
             keys: Vec::new(),
-            groups: Vec::new(),
+            bulk: Vec::new(),
+            bulk_start: Vec::new(),
+            bulk_len: Vec::new(),
+            over: Vec::new(),
+            over_head: Vec::new(),
+            free_head: NONE,
+            len: 0,
             key_len,
         }
     }
@@ -39,9 +78,13 @@ impl SymIndex {
     pub fn build(rel: &Relation, key_attrs: &[AttrId], interner: &mut Interner) -> Self {
         let mut idx = SymIndex::new(key_attrs.len());
         let mut buf: Vec<SymValue> = Vec::with_capacity(key_attrs.len());
+        let mut rows = Vec::with_capacity(rel.len());
         for (pos, t) in rel.iter().enumerate() {
-            idx.insert_with_buf(pos as u32, t, key_attrs, interner, &mut buf);
+            buf.clear();
+            buf.extend(key_attrs.iter().map(|a| interner.intern_value(&t[*a])));
+            rows.push((pos as u32, idx.slot_of(&buf)));
         }
+        idx.scatter_bulk(&rows);
         idx
     }
 
@@ -49,21 +92,24 @@ impl SymIndex {
     /// [`condep_model::SymTables`]): `key_cols` are the key attributes'
     /// columns in key order, all of length `rows`; only positions passing
     /// `filter` are indexed. This is the validation hot path — key cells
-    /// are `Copy` reads, no string ever gets hashed.
+    /// are `Copy` reads, the counting-sort build allocates one shared
+    /// position vector, and no string ever gets hashed.
     pub fn build_from_columns<F>(rows: usize, key_cols: &[&[SymValue]], filter: F) -> Self
     where
         F: Fn(usize) -> bool,
     {
         let mut idx = SymIndex::new(key_cols.len());
         let mut buf: Vec<SymValue> = Vec::with_capacity(key_cols.len());
+        let mut pairs = Vec::with_capacity(rows);
         for pos in 0..rows {
             if !filter(pos) {
                 continue;
             }
             buf.clear();
             buf.extend(key_cols.iter().map(|col| col[pos]));
-            idx.push_key(pos as u32, &buf);
+            pairs.push((pos as u32, idx.slot_of(&buf)));
         }
+        idx.scatter_bulk(&pairs);
         idx
     }
 
@@ -84,6 +130,7 @@ impl SymIndex {
     {
         let mut idx = SymIndex::new(key_attrs.len());
         let mut buf: Vec<SymValue> = Vec::with_capacity(key_attrs.len());
+        let mut pairs = Vec::with_capacity(rel.len());
         for (pos, t) in rel.iter().enumerate() {
             if !filter(t) {
                 continue;
@@ -94,85 +141,251 @@ impl SymIndex {
                     .sym_value(&t[*a])
                     .expect("interner must cover the indexed relation")
             }));
-            idx.push_key(pos as u32, &buf);
+            pairs.push((pos as u32, idx.slot_of(&buf)));
         }
+        idx.scatter_bulk(&pairs);
         idx
     }
 
-    /// Appends `pos` under the already-translated `key`.
-    fn push_key(&mut self, pos: u32, key: &[SymValue]) {
+    /// The slot of `key`, allocating a fresh (empty) one on first sight.
+    fn slot_of(&mut self, key: &[SymValue]) -> u32 {
         debug_assert_eq!(key.len(), self.key_len);
         if let Some(&slot) = self.map.get(key) {
-            self.groups[slot as usize].push(pos);
-        } else {
-            let slot = u32::try_from(self.keys.len()).expect("index capacity exceeded");
-            let boxed: Box<[SymValue]> = key.into();
-            self.map.insert(boxed.clone(), slot);
-            self.keys.push(boxed);
-            self.groups.push(vec![pos]);
+            return slot;
         }
+        let slot = u32::try_from(self.keys.len()).expect("index capacity exceeded");
+        let boxed: Box<[SymValue]> = key.into();
+        self.map.insert(boxed.clone(), slot);
+        self.keys.push(boxed);
+        self.bulk_start.push(0);
+        self.bulk_len.push(0);
+        self.over_head.push(NONE);
+        slot
+    }
+
+    /// Counting-sort scatter: lays `(pos, slot)` pairs out as contiguous
+    /// per-slot CSR segments in one shared vector (pairs arrive in
+    /// ascending position order, so segments end up ascending too).
+    fn scatter_bulk(&mut self, pairs: &[(u32, u32)]) {
+        debug_assert!(self.bulk.is_empty(), "scatter_bulk is a bulk-build step");
+        let mut counts = vec![0u32; self.keys.len()];
+        for &(_, slot) in pairs {
+            counts[slot as usize] += 1;
+        }
+        let mut start = 0u32;
+        for (slot, count) in counts.iter().enumerate() {
+            self.bulk_start[slot] = start;
+            start += count;
+        }
+        self.bulk.resize(pairs.len(), 0);
+        for &(pos, slot) in pairs {
+            let at = self.bulk_start[slot as usize] + self.bulk_len[slot as usize];
+            self.bulk[at as usize] = pos;
+            self.bulk_len[slot as usize] += 1;
+        }
+        self.len = pairs.len();
     }
 
     /// Adds the tuple at dense position `pos` under its projected key.
     pub fn insert(&mut self, pos: u32, t: &Tuple, key_attrs: &[AttrId], interner: &mut Interner) {
-        let mut buf = Vec::with_capacity(key_attrs.len());
-        self.insert_with_buf(pos, t, key_attrs, interner, &mut buf);
+        debug_assert_eq!(key_attrs.len(), self.key_len);
+        let key: Vec<SymValue> = key_attrs
+            .iter()
+            .map(|a| interner.intern_value(&t[*a]))
+            .collect();
+        self.insert_key(pos, &key);
     }
 
-    fn insert_with_buf(
-        &mut self,
-        pos: u32,
-        t: &Tuple,
-        key_attrs: &[AttrId],
-        interner: &mut Interner,
-        buf: &mut Vec<SymValue>,
-    ) {
-        debug_assert_eq!(key_attrs.len(), self.key_len);
-        buf.clear();
-        buf.extend(key_attrs.iter().map(|a| interner.intern_value(&t[*a])));
-        self.push_key(pos, buf);
+    /// Appends `pos` under the already-translated `key` (streaming
+    /// tier). When the slot's bulk segment ends at the tail of the
+    /// shared vector it is grown in place; otherwise the position goes
+    /// to the overflow arena.
+    pub fn insert_key(&mut self, pos: u32, key: &[SymValue]) {
+        let slot = self.slot_of(key) as usize;
+        let seg_end = self.bulk_start[slot] + self.bulk_len[slot];
+        if seg_end as usize == self.bulk.len() {
+            self.bulk.push(pos);
+            self.bulk_len[slot] += 1;
+        } else {
+            let node = if self.free_head != NONE {
+                let node = self.free_head;
+                self.free_head = self.over[node as usize].1;
+                self.over[node as usize] = (pos, self.over_head[slot]);
+                node
+            } else {
+                let node = u32::try_from(self.over.len()).expect("overflow arena full");
+                self.over.push((pos, self.over_head[slot]));
+                node
+            };
+            self.over_head[slot] = node;
+        }
+        self.len += 1;
+    }
+
+    /// Removes one occurrence of `pos` under `key`. `O(group)`; returns
+    /// whether it was found. Within the bulk segment the last live entry
+    /// is swapped into the hole, so segment iteration order is no longer
+    /// position-ascending after a removal — order-sensitive consumers
+    /// must sort (see `wildcard_pairs` recomputation in
+    /// `condep-validate`).
+    pub fn remove_key(&mut self, pos: u32, key: &[SymValue]) -> bool {
+        debug_assert_eq!(key.len(), self.key_len);
+        let Some(&slot) = self.map.get(key) else {
+            return false;
+        };
+        let slot = slot as usize;
+        let (start, live) = (self.bulk_start[slot] as usize, self.bulk_len[slot] as usize);
+        if let Some(i) = self.bulk[start..start + live]
+            .iter()
+            .position(|&p| p == pos)
+        {
+            self.bulk.swap(start + i, start + live - 1);
+            self.bulk_len[slot] -= 1;
+            self.len -= 1;
+            return true;
+        }
+        // Walk the overflow chain, unlinking the node into the free list.
+        let mut prev = NONE;
+        let mut node = self.over_head[slot];
+        while node != NONE {
+            let (p, next) = self.over[node as usize];
+            if p == pos {
+                if prev == NONE {
+                    self.over_head[slot] = next;
+                } else {
+                    self.over[prev as usize].1 = next;
+                }
+                self.over[node as usize] = (0, self.free_head);
+                self.free_head = node;
+                self.len -= 1;
+                return true;
+            }
+            prev = node;
+            node = next;
+        }
+        false
+    }
+
+    /// Renumbers one occurrence of `from` to `to` under `key` — the
+    /// index-side companion of a swap-based relation deletion. Returns
+    /// whether `from` was found.
+    pub fn replace_pos(&mut self, from: u32, to: u32, key: &[SymValue]) -> bool {
+        debug_assert_eq!(key.len(), self.key_len);
+        let Some(&slot) = self.map.get(key) else {
+            return false;
+        };
+        let slot = slot as usize;
+        let (start, live) = (self.bulk_start[slot] as usize, self.bulk_len[slot] as usize);
+        if let Some(cell) = self.bulk[start..start + live]
+            .iter_mut()
+            .find(|p| **p == from)
+        {
+            *cell = to;
+            return true;
+        }
+        let mut node = self.over_head[slot];
+        while node != NONE {
+            let (p, next) = self.over[node as usize];
+            if p == from {
+                self.over[node as usize].0 = to;
+                return true;
+            }
+            node = next;
+        }
+        false
     }
 
     /// The positions of tuples whose key equals `key` (empty when none).
-    pub fn probe(&self, key: &[SymValue]) -> &[u32] {
+    pub fn positions(&self, key: &[SymValue]) -> PosIter<'_> {
         debug_assert_eq!(key.len(), self.key_len);
-        self.map
-            .get(key)
-            .map(|&slot| self.groups[slot as usize].as_slice())
-            .unwrap_or(&[])
+        match self.map.get(key) {
+            Some(&slot) => self.slot_positions(slot as usize),
+            None => PosIter {
+                bulk: &[],
+                over: &self.over,
+                node: NONE,
+            },
+        }
+    }
+
+    fn slot_positions(&self, slot: usize) -> PosIter<'_> {
+        let (start, live) = (self.bulk_start[slot] as usize, self.bulk_len[slot] as usize);
+        PosIter {
+            bulk: &self.bulk[start..start + live],
+            over: &self.over,
+            node: self.over_head[slot],
+        }
     }
 
     /// Does any indexed tuple carry `key`?
     pub fn contains_key(&self, key: &[SymValue]) -> bool {
-        !self.probe(key).is_empty()
+        self.positions(key).next().is_some()
     }
 
-    /// Iterator over `(key, positions)` groups in first-seen order.
-    pub fn groups(&self) -> impl Iterator<Item = (&[SymValue], &[u32])> {
+    /// The smallest position under `key` — the batch sweep's "first
+    /// witness" of the key group, independent of mutation history.
+    pub fn min_pos(&self, key: &[SymValue]) -> Option<u32> {
+        self.positions(key).min()
+    }
+
+    /// Iterator over `(key, positions)` groups in first-seen key order.
+    /// Removals can leave a key with no positions; such groups are still
+    /// yielded (their iterator is immediately empty).
+    pub fn groups(&self) -> impl Iterator<Item = (&[SymValue], PosIter<'_>)> {
         self.keys
             .iter()
-            .map(Box::as_ref)
-            .zip(self.groups.iter().map(Vec::as_slice))
+            .enumerate()
+            .map(|(slot, key)| (key.as_ref(), self.slot_positions(slot)))
     }
 
-    /// Number of distinct keys.
+    /// Number of distinct keys ever seen (including emptied groups).
     pub fn distinct_keys(&self) -> usize {
         self.keys.len()
     }
 
     /// Number of indexed tuples.
     pub fn len(&self) -> usize {
-        self.groups.iter().map(Vec::len).sum()
+        self.len
     }
 
     /// Whether the index holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.len == 0
     }
 
     /// The arity of keys in this index.
     pub fn key_len(&self) -> usize {
         self.key_len
+    }
+}
+
+/// Iterator over one key group's positions: the CSR bulk segment first,
+/// then the overflow chain.
+#[derive(Clone, Debug)]
+pub struct PosIter<'a> {
+    bulk: &'a [u32],
+    over: &'a [(u32, u32)],
+    node: u32,
+}
+
+impl Iterator for PosIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if let Some((&p, rest)) = self.bulk.split_first() {
+            self.bulk = rest;
+            return Some(p);
+        }
+        if self.node == NONE {
+            return None;
+        }
+        let (p, next) = self.over[self.node as usize];
+        self.node = next;
+        Some(p)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.bulk.len(), None)
     }
 }
 
@@ -191,13 +404,17 @@ mod tests {
         .collect()
     }
 
+    fn probe_vec(idx: &SymIndex, key: &[SymValue]) -> Vec<u32> {
+        idx.positions(key).collect()
+    }
+
     #[test]
     fn build_probe_and_groups_agree_with_hash_index() {
         let r = rel();
         let mut interner = Interner::new();
         let idx = SymIndex::build(&r, &[AttrId(0)], &mut interner);
         let edi = [interner.sym_value(&Value::str("EDI")).unwrap()];
-        assert_eq!(idx.probe(&edi), &[0, 1]);
+        assert_eq!(probe_vec(&idx, &edi), vec![0, 1]);
         assert!(idx.contains_key(&edi));
         assert_eq!(idx.distinct_keys(), 2);
         assert_eq!(idx.len(), 3);
@@ -205,7 +422,7 @@ mod tests {
         assert_eq!(idx.distinct_keys(), reference.distinct_keys());
         for (key, positions) in idx.groups() {
             assert_eq!(key.len(), 1);
-            assert!(!positions.is_empty());
+            assert!(positions.count() > 0);
         }
     }
 
@@ -218,7 +435,7 @@ mod tests {
             SymValue::Int(1),
             interner.sym_value(&Value::str("UK")).unwrap(),
         ];
-        assert_eq!(idx.probe(&key), &[0]);
+        assert_eq!(probe_vec(&idx, &key), vec![0]);
     }
 
     #[test]
@@ -229,9 +446,14 @@ mod tests {
         idx.insert(0, &tuple!["a", "x"], &attrs, &mut interner);
         idx.insert(1, &tuple!["a", "y"], &attrs, &mut interner);
         idx.insert(2, &tuple!["b", "x"], &attrs, &mut interner);
+        idx.insert(3, &tuple!["a", "z"], &attrs, &mut interner);
         let a = [interner.sym_value(&Value::str("a")).unwrap()];
-        assert_eq!(idx.probe(&a), &[0, 1]);
+        let mut got = probe_vec(&idx, &a);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 3]);
         assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.min_pos(&a), Some(0));
     }
 
     #[test]
@@ -239,7 +461,7 @@ mod tests {
         let r = rel();
         let mut interner = Interner::new();
         let idx = SymIndex::build(&r, &[], &mut interner);
-        assert_eq!(idx.probe(&[]), &[0, 1, 2]);
+        assert_eq!(probe_vec(&idx, &[]), vec![0, 1, 2]);
         assert_eq!(idx.distinct_keys(), 1);
     }
 
@@ -252,6 +474,90 @@ mod tests {
         // sym_value signals that with None.
         assert_eq!(interner.sym_value(&Value::str("LON")), None);
         // A well-formed but absent key probes empty.
-        assert!(idx.probe(&[SymValue::Int(99)]).is_empty());
+        assert!(probe_vec(&idx, &[SymValue::Int(99)]).is_empty());
+        assert_eq!(idx.min_pos(&[SymValue::Int(99)]), None);
+    }
+
+    #[test]
+    fn bulk_build_segments_are_position_ascending() {
+        // Interleave two keys so their rows alternate; the counting-sort
+        // scatter must still emit each segment in ascending order.
+        let r: Relation = (0..10i64)
+            .map(|i| tuple![if i % 2 == 0 { "even" } else { "odd" }, i])
+            .collect();
+        let mut interner = Interner::new();
+        let idx = SymIndex::build(&r, &[AttrId(0)], &mut interner);
+        let even = [interner.sym_value(&Value::str("even")).unwrap()];
+        let odd = [interner.sym_value(&Value::str("odd")).unwrap()];
+        assert_eq!(probe_vec(&idx, &even), vec![0, 2, 4, 6, 8]);
+        assert_eq!(probe_vec(&idx, &odd), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn remove_and_replace_maintain_the_multiset() {
+        let mut interner = Interner::new();
+        let mut idx = SymIndex::new(1);
+        let attrs = [AttrId(0)];
+        for (pos, t) in [
+            tuple!["k", "a"],
+            tuple!["k", "b"],
+            tuple!["j", "c"],
+            tuple!["k", "d"],
+        ]
+        .iter()
+        .enumerate()
+        {
+            idx.insert(pos as u32, t, &attrs, &mut interner);
+        }
+        let k = [interner.sym_value(&Value::str("k")).unwrap()];
+        let j = [interner.sym_value(&Value::str("j")).unwrap()];
+        assert!(idx.remove_key(1, &k));
+        assert!(!idx.remove_key(1, &k), "already removed");
+        let mut got = probe_vec(&idx, &k);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 3]);
+        assert_eq!(idx.len(), 3);
+        // Renumber 3 → 1 (a swap-removed relation position).
+        assert!(idx.replace_pos(3, 1, &k));
+        assert_eq!(idx.min_pos(&k), Some(0));
+        let mut got = probe_vec(&idx, &k);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+        // Emptied groups stay probeable and report empty.
+        assert!(idx.remove_key(2, &j));
+        assert!(!idx.contains_key(&j));
+        assert_eq!(idx.distinct_keys(), 2);
+        // Free-listed overflow nodes are reused.
+        idx.insert_key(7, &j);
+        assert_eq!(probe_vec(&idx, &j), vec![7]);
+        assert!(idx.remove_key(7, &j));
+        assert!(!idx.replace_pos(9, 1, &j));
+    }
+
+    #[test]
+    fn streaming_inserts_after_bulk_build_land_in_overflow() {
+        let r = rel();
+        let mut interner = Interner::new();
+        let mut idx = SymIndex::build(&r, &[AttrId(0)], &mut interner);
+        // "EDI" segment is not at the tail of the CSR vector, so this
+        // lands in the overflow arena; "NYC" is at the tail and grows in
+        // place. Either way the group contents must be right.
+        idx.insert(3, &tuple!["EDI", "UK", 3i64], &[AttrId(0)], &mut interner);
+        idx.insert(4, &tuple!["NYC", "US", 2i64], &[AttrId(0)], &mut interner);
+        let edi = [interner.sym_value(&Value::str("EDI")).unwrap()];
+        let nyc = [interner.sym_value(&Value::str("NYC")).unwrap()];
+        let mut e = probe_vec(&idx, &edi);
+        e.sort_unstable();
+        assert_eq!(e, vec![0, 1, 3]);
+        let mut n = probe_vec(&idx, &nyc);
+        n.sort_unstable();
+        assert_eq!(n, vec![2, 4]);
+        assert_eq!(idx.len(), 5);
+        // Removal reaches both tiers.
+        assert!(idx.remove_key(3, &edi));
+        assert!(idx.remove_key(0, &edi));
+        let mut e = probe_vec(&idx, &edi);
+        e.sort_unstable();
+        assert_eq!(e, vec![1]);
     }
 }

@@ -23,19 +23,27 @@
 //!   [`condep_query::SymIndex`] over compact word-sized keys;
 //! * independent groups are swept in parallel with
 //!   [`std::thread::scope`] (small instances stay single-threaded);
-//! * [`ValidatorStream`] keeps the group indexes live and validates
-//!   arriving tuples incrementally, returning only the violations each
-//!   insert introduces.
+//! * [`ValidatorStream`] is the **delta engine**: it keeps the group
+//!   indexes (plus reverse CIND source indexes) live together with the
+//!   materialized violation set, and every
+//!   insert / delete / update returns a [`SigmaDelta`] — the violations
+//!   the mutation introduced *and* the violations it resolved
+//!   (retraction) — in time proportional to the constraint groups and
+//!   key groups the tuple touches, never to the database. Open one with
+//!   [`ValidatorStream::new_validated`], which also reports the seed
+//!   database's initial violations.
 //!
 //! Results are identical (as sets, and after [`SigmaReport::sort`] even
 //! in order) to running `condep_cfd::find_violations` /
-//! `condep_core::find_violations` per constraint — property-tested at
-//! the workspace root.
+//! `condep_core::find_violations` per constraint, and
+//! [`ValidatorStream::current_report`] stays equal to a fresh
+//! [`Validator::validate_sorted`] across arbitrary mutation sequences —
+//! both property-tested at the workspace root.
 
 mod stream;
 mod validator;
 
-pub use stream::ValidatorStream;
+pub use stream::{MovedTuple, SigmaDelta, ValidatorStream};
 pub use validator::{SigmaReport, Validator};
 
 #[cfg(test)]
@@ -212,33 +220,172 @@ mod tests {
             normalize_cfds(&[cfd_fx::phi3()]),
             normalize_cinds(&cind_fx::figure_2()),
         );
-        let mut stream = ValidatorStream::new(v, db);
+        let (mut stream, initial) = ValidatorStream::new_validated(v, db);
+        assert!(initial.is_empty(), "the clean seed has no violations");
         // A clean tuple: UK checking at the mandated 1.5%.
         let clean = stream
             .insert_tuple(interest, tuple!["GLA", "UK", "checking", "1.5%"])
             .unwrap();
-        assert!(clean.is_empty(), "clean insert must be quiet: {clean:?}");
+        assert!(clean.is_quiet(), "clean insert must be quiet: {clean:?}");
         // A dirty tuple: UK checking at the wrong rate. Both normal
         // forms of ϕ3 fire: the constant row (single-tuple mismatch)
         // and the wildcard FD row (pair against a resident 1.5% tuple).
         let dirty = stream
             .insert_tuple(interest, tuple!["GLA", "UK", "checking", "9.9%"])
             .unwrap();
-        assert_eq!(dirty.cfd.len(), 2, "unexpected: {dirty:?}");
-        assert!(dirty.cfd.iter().any(|(_, v)| matches!(
+        assert_eq!(dirty.cfd.introduced.len(), 2, "unexpected: {dirty:?}");
+        assert!(dirty.cfd.resolved.is_empty());
+        assert!(dirty.cfd.introduced.iter().any(|(_, v)| matches!(
             v,
             CfdViolation::SingleTuple { found, expected, .. }
                 if found.to_string() == "9.9%" && expected.to_string() == "1.5%"
         )));
         assert!(dirty
             .cfd
+            .introduced
             .iter()
             .any(|(_, v)| matches!(v, CfdViolation::Pair { .. })));
         // Re-inserting an existing tuple is a set-semantics no-op.
         let dup = stream
             .insert_tuple(interest, tuple!["GLA", "UK", "checking", "9.9%"])
             .unwrap();
-        assert!(dup.is_empty());
+        assert!(dup.is_quiet());
+        // Deleting the dirty tuple retracts exactly what it introduced.
+        let gone = stream
+            .delete_tuple(interest, &tuple!["GLA", "UK", "checking", "9.9%"])
+            .unwrap();
+        assert_eq!(gone.resolved(), dirty.introduced());
+        assert!(gone.cfd.introduced.is_empty());
+        assert_eq!(stream.violation_count(), 0);
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+    }
+
+    #[test]
+    fn new_validated_reports_the_seed_violations() {
+        let v = bank_validator();
+        let db = bank_database();
+        let expected = v.validate_sorted(&db);
+        let (stream, initial) = ValidatorStream::new_validated(v, db);
+        assert_eq!(initial, expected);
+        assert_eq!(initial.len(), 2, "the paper's two errors");
+        assert_eq!(stream.current_report(), expected);
+    }
+
+    #[test]
+    fn delete_retracts_cind_orphans_and_insert_resolves_them() {
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("src", &[("a", Domain::string()), ("b", Domain::string())])
+                .relation("dst", &[("c", Domain::string())])
+                .finish(),
+        );
+        let cind = condep_core::NormalCind::parse(&schema, "src", &["a"], &[], "dst", &["c"], &[])
+            .unwrap();
+        let src = schema.rel_id("src").unwrap();
+        let dst = schema.rel_id("dst").unwrap();
+        let v = Validator::new(vec![], vec![cind]);
+        let (mut stream, _) = ValidatorStream::new_validated(v, Database::empty(schema));
+        stream.insert_tuple(src, tuple!["k", "v1"]).unwrap();
+        stream.insert_tuple(src, tuple!["k", "v2"]).unwrap();
+        // Two orphans; the arriving partner resolves both.
+        assert_eq!(stream.violation_count(), 2);
+        let arrival = stream.insert_tuple(dst, tuple!["k"]).unwrap();
+        assert_eq!(arrival.cind.resolved.len(), 2, "{arrival:?}");
+        assert!(arrival.cind.introduced.is_empty());
+        assert_eq!(stream.violation_count(), 0);
+        // Deleting the only partner re-orphans both sources.
+        let gone = stream.delete_tuple(dst, &tuple!["k"]).unwrap();
+        assert_eq!(gone.cind.introduced.len(), 2, "{gone:?}");
+        assert_eq!(stream.violation_count(), 2);
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+    }
+
+    #[test]
+    fn delete_swap_renumbers_live_violations() {
+        // Build a relation where deleting position 0 moves the last
+        // tuple (which owns violations) into the hole.
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("r", &[("a", Domain::string()), ("b", Domain::string())])
+                .finish(),
+        );
+        let fd = NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::Any).unwrap();
+        let pin = NormalCfd::parse(
+            &schema,
+            "r",
+            &["a"],
+            prow!["k"],
+            "b",
+            PValue::constant("v1"),
+        )
+        .unwrap();
+        let r = schema.rel_id("r").unwrap();
+        let mut db = Database::empty(schema.clone());
+        db.insert_into("r", tuple!["x", "q"]).unwrap(); // pos 0: unrelated
+        db.insert_into("r", tuple!["k", "v1"]).unwrap(); // pos 1: group first
+        db.insert_into("r", tuple!["k", "v2"]).unwrap(); // pos 2: pair + single
+        let v = Validator::new(vec![fd, pin], vec![]);
+        let (mut stream, initial) = ValidatorStream::new_validated(v, db);
+        assert_eq!(initial.cfd.len(), 2, "{initial:?}");
+        // Deleting pos 0 swaps ("k","v2") from 2 → 0; it becomes the
+        // group's lowest position, so the pair witness relabels too.
+        let delta = stream.delete_tuple(r, &tuple!["x", "q"]).unwrap();
+        let moved = delta.moved.expect("a swap happened");
+        assert_eq!((moved.from, moved.to), (2, 0));
+        let batch = stream.validator().validate_sorted(stream.db());
+        assert_eq!(stream.current_report(), batch);
+        assert_eq!(stream.violation_count(), 2);
+    }
+
+    #[test]
+    fn update_tuple_returns_both_deltas_and_checks_types_first() {
+        let schema = Arc::new(
+            Schema::builder()
+                .relation(
+                    "r",
+                    &[
+                        ("a", Domain::string()),
+                        ("b", Domain::finite_strs(&["u", "v"])),
+                    ],
+                )
+                .finish(),
+        );
+        let fd = NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::Any).unwrap();
+        let r = schema.rel_id("r").unwrap();
+        let mut db = Database::empty(schema.clone());
+        db.insert_into("r", tuple!["k", "u"]).unwrap();
+        db.insert_into("r", tuple!["k", "v"]).unwrap();
+        let v = Validator::new(vec![fd], vec![]);
+        let (mut stream, initial) = ValidatorStream::new_validated(v, db);
+        assert_eq!(initial.len(), 1);
+        // Repair the conflict: the pair resolves, nothing new appears.
+        let (del, ins) = stream
+            .update_tuple(r, &tuple!["k", "v"], tuple!["k", "u"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(del.cfd.resolved.len(), 1);
+        assert!(ins.is_quiet());
+        assert_eq!(stream.violation_count(), 0);
+        // A domain-violating replacement fails up front, stream intact.
+        assert!(stream
+            .update_tuple(r, &tuple!["k", "u"], tuple!["k", "zzz"])
+            .is_err());
+        assert_eq!(stream.db().total_tuples(), 1);
+        // Updating an absent tuple is None.
+        assert!(stream
+            .update_tuple(r, &tuple!["nope", "u"], tuple!["k", "v"])
+            .unwrap()
+            .is_none());
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
     }
 
     #[test]
@@ -255,22 +402,26 @@ mod tests {
         let src = schema.rel_id("src").unwrap();
         let dst = schema.rel_id("dst").unwrap();
         let v = Validator::new(vec![fd], vec![cind]);
-        let mut stream = ValidatorStream::new(v, Database::empty(schema));
+        let (mut stream, _) = ValidatorStream::new_validated(v, Database::empty(schema));
         // Source tuple with no partner: CIND violation.
         let r1 = stream.insert_tuple(src, tuple!["k", "v1"]).unwrap();
-        assert_eq!(r1.cind.len(), 1);
-        assert!(r1.cfd.is_empty());
-        // Provide the partner: target-role inserts are quiet.
+        assert_eq!(r1.cind.introduced.len(), 1);
+        assert!(r1.cfd.is_quiet());
+        // Provide the partner: the orphaned source resolves.
         let r2 = stream.insert_tuple(dst, tuple!["k"]).unwrap();
-        assert!(r2.is_empty());
+        assert!(r2.cind.introduced.is_empty());
+        assert_eq!(r2.cind.resolved.len(), 1);
         // A second source tuple with the same key but different b:
         // wildcard pair against the resident; partner now exists.
         let r3 = stream.insert_tuple(src, tuple!["k", "v2"]).unwrap();
-        assert_eq!(r3.cfd, vec![(0, CfdViolation::Pair { left: 0, right: 1 })]);
-        assert!(r3.cind.is_empty());
+        assert_eq!(
+            r3.cfd.introduced,
+            vec![(0, CfdViolation::Pair { left: 0, right: 1 })]
+        );
+        assert!(r3.cind.is_quiet());
         // Stream end state agrees with a batch validation of the final
         // database (nothing was resolved, one pair stands).
-        let final_report = stream.validator().clone().validate_sorted(stream.db());
+        let final_report = stream.validator().validate_sorted(stream.db());
         assert_eq!(final_report.cfd.len(), 1);
         assert_eq!(final_report.cind.len(), 0);
     }
@@ -330,21 +481,23 @@ mod tests {
         // FIRST tuple on b: it disagrees with the resident at position
         // 1, but batch semantics add no violation for it — the stream
         // must stay quiet.
-        let mut stream = ValidatorStream::new(v, db);
+        let (mut stream, initial) = ValidatorStream::new_validated(v, db);
+        assert_eq!(initial, before);
         let quiet = stream.insert_tuple(r, tuple!["k", "v1", "x2"]).unwrap();
-        assert!(quiet.is_empty(), "delta must be empty: {quiet:?}");
+        assert!(quiet.is_quiet(), "delta must be quiet: {quiet:?}");
         // Disagrees with the first tuple: exactly the pair batch adds.
         let noisy = stream.insert_tuple(r, tuple!["k", "v3", "x3"]).unwrap();
         assert_eq!(
-            noisy.cfd,
+            noisy.cfd.introduced,
             vec![(0, CfdViolation::Pair { left: 0, right: 3 })]
         );
         // before + deltas == batch on the final database.
         let mut expected = before;
-        expected.cfd.extend(noisy.cfd.clone());
+        expected.cfd.extend(noisy.cfd.introduced.clone());
         expected.sort();
-        let after = stream.validator().clone().validate_sorted(stream.db());
+        let after = stream.validator().validate_sorted(stream.db());
         assert_eq!(after, expected);
+        assert_eq!(stream.current_report(), after);
     }
 
     #[test]
@@ -359,11 +512,20 @@ mod tests {
             condep_core::NormalCind::parse(&schema, "r", &["a"], &[], "r", &["b"], &[]).unwrap();
         let r = schema.rel_id("r").unwrap();
         let v = Validator::new(vec![], vec![cind]);
-        let mut stream = ValidatorStream::new(v, Database::empty(schema));
+        let (mut stream, _) = ValidatorStream::new_validated(v, Database::empty(schema));
         let ok = stream.insert_tuple(r, tuple!["x", "x"]).unwrap();
-        assert!(ok.is_empty(), "self-partnered tuple must be quiet: {ok:?}");
+        assert!(ok.is_quiet(), "self-partnered tuple must be quiet: {ok:?}");
         let miss = stream.insert_tuple(r, tuple!["y", "z"]).unwrap();
-        assert_eq!(miss.cind.len(), 1);
+        assert_eq!(miss.cind.introduced.len(), 1);
+        // Deleting the self-partnered tuple must not report it as its
+        // own orphan (it leaves together with its partner).
+        let gone = stream.delete_tuple(r, &tuple!["x", "x"]).unwrap();
+        assert!(gone.cind.resolved.is_empty(), "{gone:?}");
+        assert!(gone.cind.introduced.is_empty(), "{gone:?}");
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
     }
 
     #[test]

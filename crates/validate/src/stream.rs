@@ -1,17 +1,120 @@
-//! Incremental (streaming) validation.
+//! Incremental (streaming) validation with deletions and retraction.
 //!
 //! A [`ValidatorStream`] owns a database plus the live group-by indexes
-//! of a compiled [`Validator`]; [`ValidatorStream::insert_tuple`]
-//! validates one arriving tuple against all of Σ in time proportional to
-//! the constraint groups touching its relation — and returns **only the
-//! violations the new tuple introduces**, which is the contract a
-//! streaming data-quality monitor needs.
+//! of a compiled [`Validator`] and maintains the **materialized
+//! violation set** of the evolving database. Every mutation —
+//! [`ValidatorStream::insert_tuple`], [`ValidatorStream::delete_tuple`],
+//! [`ValidatorStream::update_tuple`] — returns a [`SigmaDelta`]: the
+//! violations it *introduced* and the violations it *resolved*
+//! (retraction), in time proportional to the constraint groups and key
+//! groups the mutated tuple touches, never to the database.
+//!
+//! ## Invariant
+//!
+//! After every mutation, [`ValidatorStream::current_report`] equals
+//! [`Validator::validate_sorted`] on the current database — the
+//! equivalence oracle property-tested at the workspace root over random
+//! insert/delete/update sequences.
+//!
+//! ## Delta semantics
+//!
+//! Deletion is swap-based ([`condep_model::Relation::remove`]): the last
+//! tuple of the relation moves into the vacated position, reported as
+//! [`SigmaDelta::moved`]. A consumer maintaining its own violation state
+//! applies a delta as
+//!
+//! ```text
+//! after = renumber(before − resolved, moved) + introduced
+//! ```
+//!
+//! i.e. `resolved` is labeled with **pre-move** positions and
+//! `introduced` with **post-move** positions. Wildcard-RHS pair
+//! witnesses are group-structural (each conflicting tuple is witnessed
+//! against the group's lowest position), so deleting or moving a group
+//! member can relabel a group's pairs: those relabelings appear as
+//! resolved+introduced pairs in the delta, keeping the net state exactly
+//! equal to a fresh batch validation.
+//!
+//! ## Complexity contract
+//!
+//! * insert: `O(Σ groups on the relation + touched key-group sizes)`;
+//! * delete: the same, plus `O(affected key-group sizes)` for pair
+//!   recomputation in the deleted (and moved) tuple's groups;
+//! * no full-relation scan, ever — the cost tracks the delta, not the
+//!   database.
 
-use crate::validator::{SigmaReport, Validator};
-use condep_cfd::CfdViolation;
-use condep_core::CindViolation;
-use condep_model::{Database, Interner, ModelError, RelId, SymValue, Tuple};
+use crate::validator::{CfdGroup, CfdMember, SigmaReport, Validator};
+use condep_cfd::{CfdDelta, CfdViolation};
+use condep_core::{CindDelta, CindViolation};
+use condep_model::fxhash::FxBuildHasher;
+use condep_model::{
+    AttrId, Database, Interner, ModelError, RelId, Relation, SymValue, Tuple, Value,
+};
 use condep_query::SymIndex;
+use std::collections::HashSet;
+
+/// A swap-based deletion moved the relation's last tuple: every
+/// position-keyed view of `rel` must renumber `from` to `to`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MovedTuple {
+    /// The relation the deletion happened in.
+    pub rel: RelId,
+    /// The moved tuple's old dense position (the previous `len() - 1`).
+    pub from: usize,
+    /// Its new dense position (the deleted tuple's old slot).
+    pub to: usize,
+}
+
+/// Everything one mutation did to the violation set: introduced and
+/// resolved violations per constraint kind, plus the position renumber a
+/// swap-based deletion causes. See the module docs for the consumer
+/// rule.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SigmaDelta {
+    /// The CFD half of the delta.
+    pub cfd: CfdDelta,
+    /// The CIND half of the delta.
+    pub cind: CindDelta,
+    /// Set when a swap-based deletion renumbered one tuple.
+    pub moved: Option<MovedTuple>,
+}
+
+impl SigmaDelta {
+    /// Did the mutation leave the violation set untouched — including
+    /// its position labels? A delta with no introduced/resolved entries
+    /// but a [`SigmaDelta::moved`] renumber is **not** quiet: a consumer
+    /// skipping it would keep violations labeled with a position that no
+    /// longer exists.
+    pub fn is_quiet(&self) -> bool {
+        self.cfd.is_quiet() && self.cind.is_quiet() && self.moved.is_none()
+    }
+
+    /// The introduced violations as a sorted report.
+    pub fn introduced(&self) -> SigmaReport {
+        let mut r = SigmaReport {
+            cfd: self.cfd.introduced.clone(),
+            cind: self.cind.introduced.clone(),
+        };
+        r.sort();
+        r
+    }
+
+    /// The resolved violations as a sorted report.
+    pub fn resolved(&self) -> SigmaReport {
+        let mut r = SigmaReport {
+            cfd: self.cfd.resolved.clone(),
+            cind: self.cind.resolved.clone(),
+        };
+        r.sort();
+        r
+    }
+
+    /// Introduced-minus-resolved violation count change.
+    pub fn net_change(&self) -> isize {
+        (self.cfd.introduced.len() + self.cind.introduced.len()) as isize
+            - (self.cfd.resolved.len() + self.cind.resolved.len()) as isize
+    }
+}
 
 /// A validator with materialized state for one evolving database.
 #[derive(Clone, Debug)]
@@ -23,15 +126,95 @@ pub struct ValidatorStream {
     cfd_indexes: Vec<SymIndex>,
     /// One live filtered target index per CIND group (keyed by sorted Y).
     cind_targets: Vec<SymIndex>,
+    /// Per CIND group, per member: the member's **triggered source
+    /// tuples** keyed by `x_perm` — the reverse index that makes target
+    /// deletions (orphaning) and target arrivals (resolution) delta-cost.
+    cind_sources: Vec<Vec<SymIndex>>,
+    /// The materialized violation set (== batch validation of `db`).
+    live_cfd: HashSet<(usize, CfdViolation), FxBuildHasher>,
+    live_cind: HashSet<(usize, CindViolation), FxBuildHasher>,
+}
+
+/// Batch `wildcard_pairs` over one live key group: sorts the positions
+/// so the witness is the group's lowest position (the canonical batch
+/// order), reading RHS values through the database.
+fn group_pairs(rel_inst: &Relation, rhs: AttrId, mut positions: Vec<u32>) -> Vec<(usize, usize)> {
+    positions.sort_unstable();
+    crate::validator::wildcard_pairs_by(positions.iter().copied(), |p| {
+        &rel_inst.get(p as usize).expect("indexed position valid")[rhs]
+    })
+}
+
+/// Does a compiled member's LHS pattern match the tuple?
+fn member_matches(g: &CfdGroup, m: &CfdMember, t: &Tuple) -> bool {
+    g.attrs
+        .iter()
+        .zip(m.pattern.iter())
+        .all(|(a, p)| p.as_ref().is_none_or(|p| p == &t[*a]))
+}
+
+/// Translates the projection of a tuple whose key cells are **already
+/// interned** (every key projection is interned on insert; see
+/// [`intern_key`]).
+fn sym_key(interner: &Interner, t: &Tuple, attrs: &[AttrId], buf: &mut Vec<SymValue>) {
+    buf.clear();
+    buf.extend(attrs.iter().map(|a| {
+        interner
+            .sym_value(&t[*a])
+            .expect("key projections of stream tuples are interned")
+    }));
+}
+
+/// Translates a projection, interning new strings — the insert-side key
+/// builder. Only key attributes are ever interned, so a long-lived
+/// stream's interner grows with distinct **key** values, not with every
+/// value that ever passes through.
+fn intern_key(interner: &mut Interner, t: &Tuple, attrs: &[AttrId], buf: &mut Vec<SymValue>) {
+    buf.clear();
+    buf.extend(attrs.iter().map(|a| interner.intern_value(&t[*a])));
+}
+
+/// One affected `(group, key)` pair-recomputation scope of a deletion.
+struct PairScope {
+    group: usize,
+    key: Vec<SymValue>,
+    /// `(member slot, old pairs)` for each wildcard member matching the
+    /// key, computed from the pre-deletion state.
+    members: Vec<(usize, Vec<(usize, usize)>)>,
+}
+
+/// Collects the wildcard members matching `rep` together with their
+/// current (pre-mutation) pair sets — the "before" side of a
+/// witness-restructure scope. `None` when no member is affected.
+fn stash_scope(
+    g: &CfdGroup,
+    group: usize,
+    idx: &SymIndex,
+    rel_inst: &Relation,
+    key: &[SymValue],
+    rep: &Tuple,
+) -> Option<PairScope> {
+    let mut members = Vec::new();
+    for (ms, m) in g.members.iter().enumerate() {
+        if m.rhs_const.is_some() || !member_matches(g, m, rep) {
+            continue;
+        }
+        let old = group_pairs(rel_inst, m.rhs, idx.positions(key).collect());
+        members.push((ms, old));
+    }
+    (!members.is_empty()).then(|| PairScope {
+        group,
+        key: key.to_vec(),
+        members,
+    })
 }
 
 impl ValidatorStream {
-    /// Materializes the stream state over an initial database.
-    ///
-    /// The initial contents are **assumed valid** (or their violations
-    /// already reported via [`Validator::validate`]); from here on,
-    /// every insert reports just the delta.
-    pub fn new(validator: Validator, db: Database) -> Self {
+    /// Materializes the stream state over an initial database, returning
+    /// the stream together with the initial violations — the batched
+    /// [`Validator::validate_sorted`] report the live state starts from.
+    pub fn new_validated(validator: Validator, db: Database) -> (Self, SigmaReport) {
+        let report = validator.validate_sorted(&db);
         let interner = Interner::from_database(&db);
         let cfd_indexes = validator
             .cfd_groups()
@@ -49,13 +232,49 @@ impl ValidatorStream {
                 })
             })
             .collect();
-        ValidatorStream {
-            validator,
-            db,
-            interner,
-            cfd_indexes,
-            cind_targets,
-        }
+        let cind_sources = validator
+            .cind_groups()
+            .iter()
+            .map(|g| {
+                g.members
+                    .iter()
+                    .map(|m| {
+                        let cind = &validator.cinds()[m.idx];
+                        SymIndex::build_filtered_interned(
+                            db.relation(cind.lhs_rel()),
+                            &m.x_perm,
+                            &interner,
+                            |t| cind.triggers(t),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let live_cfd = report.cfd.iter().cloned().collect();
+        let live_cind = report.cind.iter().cloned().collect();
+        (
+            ValidatorStream {
+                validator,
+                db,
+                interner,
+                cfd_indexes,
+                cind_targets,
+                cind_sources,
+                live_cfd,
+                live_cind,
+            },
+            report,
+        )
+    }
+
+    /// Materializes the stream state over an initial database, discarding
+    /// the initial violations.
+    #[deprecated(
+        note = "silently assumes the seed database is valid; use `new_validated` and \
+                consume the initial SigmaReport"
+    )]
+    pub fn new(validator: Validator, db: Database) -> Self {
+        ValidatorStream::new_validated(validator, db).0
     }
 
     /// The compiled suite.
@@ -73,68 +292,108 @@ impl ValidatorStream {
         self.db
     }
 
-    /// Validates and inserts one tuple, returning only the **new**
-    /// violations it introduces (an already-present tuple is a no-op:
-    /// instances are sets).
+    /// The materialized violation set, sorted into the canonical report
+    /// order — always equal to [`Validator::validate_sorted`] on
+    /// [`ValidatorStream::db`], at delta cost instead of a sweep.
+    pub fn current_report(&self) -> SigmaReport {
+        let mut report = SigmaReport {
+            cfd: self.live_cfd.iter().cloned().collect(),
+            cind: self.live_cind.iter().cloned().collect(),
+        };
+        report.sort();
+        report
+    }
+
+    /// Number of currently outstanding violations.
+    pub fn violation_count(&self) -> usize {
+        self.live_cfd.len() + self.live_cind.len()
+    }
+
+    /// Validates and inserts one tuple, returning the violations it
+    /// introduces **and** the violations it resolves (an arriving CIND
+    /// target tuple supplies the partner its orphaned source tuples were
+    /// missing). An already-present tuple is a no-op: instances are sets.
     ///
     /// Semantics per constraint kind:
     ///
     /// * constant-RHS CFD — the tuple itself mismatches: one
     ///   `SingleTuple` violation;
     /// * wildcard-RHS CFD — the tuple disagrees on `A` with its key
-    ///   group: one `Pair` witness against the first conflicting
-    ///   resident tuple;
+    ///   group: one `Pair` witness against the group's first (lowest
+    ///   position) resident tuple;
     /// * CIND (source role) — the tuple is triggered but finds no
     ///   partner in the live target index;
-    /// * CIND (target role) — never *creates* a violation; the index is
-    ///   updated so future (and self-referential) probes see the tuple.
-    pub fn insert_tuple(&mut self, rel: RelId, t: Tuple) -> Result<SigmaReport, ModelError> {
-        let mut report = SigmaReport::default();
+    /// * CIND (target role) — never *creates* a violation; if the tuple
+    ///   carries a key no target held before, every orphaned source
+    ///   tuple with that key is **resolved**.
+    pub fn insert_tuple(&mut self, rel: RelId, t: Tuple) -> Result<SigmaDelta, ModelError> {
+        let mut delta = SigmaDelta::default();
         if !self.db.insert(rel, t.clone())? {
-            return Ok(report);
+            return Ok(delta);
         }
         let pos = self.db.relation(rel).len() - 1;
+        let Self {
+            validator,
+            db,
+            interner,
+            cfd_indexes,
+            cind_targets,
+            cind_sources,
+            live_cfd,
+            live_cind,
+        } = self;
+        let mut key_buf: Vec<SymValue> = Vec::new();
 
         // Target-role updates first, so a self-referential CIND can be
         // satisfied by the arriving tuple itself (batch semantics allow
-        // t2 = t1).
-        for (g, idx) in self
-            .validator
-            .cind_groups()
-            .iter()
-            .zip(self.cind_targets.iter_mut())
-        {
-            if g.rhs_rel == rel && g.yp.iter().all(|(a, v)| &t[*a] == v) {
-                idx.insert(pos as u32, &t, &g.y, &mut self.interner);
+        // t2 = t1) — and so resolution sees the pre-arrival emptiness.
+        for (gi, g) in validator.cind_groups().iter().enumerate() {
+            if g.rhs_rel != rel || !g.yp.iter().all(|(a, v)| &t[*a] == v) {
+                continue;
+            }
+            intern_key(interner, &t, &g.y, &mut key_buf);
+            let was_absent = !cind_targets[gi].contains_key(&key_buf);
+            cind_targets[gi].insert_key(pos as u32, &key_buf);
+            if !was_absent {
+                continue;
+            }
+            // First target with this key: every triggered source tuple
+            // carrying it had a violation — all resolved now.
+            for (m, sidx) in g.members.iter().zip(&cind_sources[gi]) {
+                let cind = &validator.cinds()[m.idx];
+                let source = db.relation(cind.lhs_rel());
+                for src in sidx.positions(&key_buf) {
+                    let t1 = source.get(src as usize).expect("indexed position valid");
+                    let v = (
+                        m.idx,
+                        CindViolation {
+                            tuple: src as usize,
+                            key: t1.project(cind.x()),
+                        },
+                    );
+                    let was_live = live_cind.remove(&v);
+                    debug_assert!(was_live, "orphaned source must have been live");
+                    delta.cind.resolved.push(v);
+                }
             }
         }
 
         // CFD groups over this relation: check members, then join the
         // tuple's key group.
-        let mut key_buf: Vec<SymValue> = Vec::new();
-        for (g, idx) in self
-            .validator
-            .cfd_groups()
-            .iter()
-            .zip(self.cfd_indexes.iter_mut())
-        {
+        for (g, idx) in validator.cfd_groups().iter().zip(cfd_indexes.iter_mut()) {
             if g.rel != rel {
                 continue;
             }
+            intern_key(interner, &t, &g.attrs, &mut key_buf);
             for m in &g.members {
-                let matches = g
-                    .attrs
-                    .iter()
-                    .zip(m.pattern.iter())
-                    .all(|(a, p)| p.as_ref().is_none_or(|p| p == &t[*a]));
-                if !matches {
+                if !member_matches(g, m, &t) {
                     continue;
                 }
                 match &m.rhs_const {
                     Some(expected) => {
                         let found = &t[m.rhs];
                         if found != expected {
-                            report.cfd.push((
+                            delta.cfd.introduced.push((
                                 m.idx,
                                 CfdViolation::SingleTuple {
                                     tuple: pos,
@@ -145,22 +404,17 @@ impl ValidatorStream {
                         }
                     }
                     None => {
-                        key_buf.clear();
-                        key_buf.extend(g.attrs.iter().map(|a| self.interner.intern_value(&t[*a])));
                         // Exactly the batch `wildcard_pairs` delta: the
-                        // arriving tuple joins the end of its key group,
-                        // so it adds one pair iff its RHS differs from
-                        // the group's FIRST tuple. Comparing against any
-                        // other resident would report pairs batch
-                        // validation never produces.
-                        if let Some(&first) = idx.probe(&key_buf).first() {
-                            let resident = self
-                                .db
+                        // arriving tuple has the highest position, so it
+                        // adds one pair iff its RHS differs from the
+                        // group's first (lowest position) tuple.
+                        if let Some(first) = idx.min_pos(&key_buf) {
+                            let resident = db
                                 .relation(rel)
                                 .get(first as usize)
                                 .expect("indexed position valid");
                             if resident[m.rhs] != t[m.rhs] {
-                                report.cfd.push((
+                                delta.cfd.introduced.push((
                                     m.idx,
                                     CfdViolation::Pair {
                                         left: first as usize,
@@ -172,37 +426,21 @@ impl ValidatorStream {
                     }
                 }
             }
-            idx.insert(pos as u32, &t, &g.attrs, &mut self.interner);
+            idx.insert_key(pos as u32, &key_buf);
         }
 
-        // CIND source role: the new tuple must find a partner.
-        for (g, idx) in self
-            .validator
-            .cind_groups()
-            .iter()
-            .zip(self.cind_targets.iter())
-        {
-            for m in &g.members {
-                let cind = &self.validator.cinds()[m.idx];
+        // CIND source role: the new tuple must find a partner, and joins
+        // its members' source indexes.
+        for (gi, g) in validator.cind_groups().iter().enumerate() {
+            for (m, sidx) in g.members.iter().zip(cind_sources[gi].iter_mut()) {
+                let cind = &validator.cinds()[m.idx];
                 if cind.lhs_rel() != rel || !cind.triggers(&t) {
                     continue;
                 }
-                // A key string the interner has never seen cannot occur
-                // in the target index — that is already a missing
-                // partner, not an error.
-                key_buf.clear();
-                let mut unknown = false;
-                for a in &m.x_perm {
-                    match self.interner.sym_value(&t[*a]) {
-                        Some(sym) => key_buf.push(sym),
-                        None => {
-                            unknown = true;
-                            break;
-                        }
-                    }
-                }
-                if unknown || !idx.contains_key(&key_buf) {
-                    report.cind.push((
+                intern_key(interner, &t, &m.x_perm, &mut key_buf);
+                sidx.insert_key(pos as u32, &key_buf);
+                if !cind_targets[gi].contains_key(&key_buf) {
+                    delta.cind.introduced.push((
                         m.idx,
                         CindViolation {
                             tuple: pos,
@@ -213,6 +451,447 @@ impl ValidatorStream {
             }
         }
 
-        Ok(report)
+        live_cfd.extend(delta.cfd.introduced.iter().cloned());
+        live_cind.extend(delta.cind.introduced.iter().cloned());
+        Ok(delta)
+    }
+
+    /// Deletes one tuple by value, returning the violations that
+    /// disappear with it, the violations its absence introduces
+    /// (orphaned CIND sources, relabeled pair witnesses), and the swap
+    /// renumbering ([`SigmaDelta::moved`]). `None` when the tuple is not
+    /// present.
+    pub fn delete_tuple(&mut self, rel: RelId, t: &Tuple) -> Option<SigmaDelta> {
+        let pos = self.db.relation(rel).position(t)?;
+        let last = self.db.relation(rel).len() - 1;
+        let moved: Option<Tuple> = (pos != last).then(|| {
+            self.db
+                .relation(rel)
+                .get(last)
+                .expect("last position valid")
+                .clone()
+        });
+        let mut delta = SigmaDelta::default();
+        let Self {
+            validator,
+            db,
+            interner,
+            cfd_indexes,
+            cind_targets,
+            cind_sources,
+            live_cfd,
+            live_cind,
+        } = self;
+        let mut key_buf: Vec<SymValue> = Vec::new();
+        // Renumber for positions emitted *after* the swap.
+        let renum = |p: u32| -> usize {
+            if p as usize == last {
+                pos
+            } else {
+                p as usize
+            }
+        };
+
+        // ---- CFD groups: resolve the tuple's own singles, then settle
+        // the affected key groups' pair witnesses.
+        //
+        // Pair fast path: a group's pairs all witness against its first
+        // (lowest position) tuple, so deleting a *non-witness* tuple can
+        // only remove its own pair, and a moved tuple that stays above
+        // the witness only relabels its pair — both `O(1)` tuple reads
+        // after one integer scan for the group minimum. Only when the
+        // witness itself is deleted (or the moved tuple becomes the new
+        // witness) does the group's pair set restructure; those rare
+        // scopes are stashed for a full before/after recomputation.
+        let mut scopes: Vec<PairScope> = Vec::new();
+        for (gi, (g, idx)) in validator
+            .cfd_groups()
+            .iter()
+            .zip(cfd_indexes.iter_mut())
+            .enumerate()
+        {
+            if g.rel != rel {
+                continue;
+            }
+            sym_key(interner, t, &g.attrs, &mut key_buf);
+            let key_t = key_buf.clone();
+            for m in &g.members {
+                if !member_matches(g, m, t) {
+                    continue;
+                }
+                if let Some(expected) = &m.rhs_const {
+                    let found = &t[m.rhs];
+                    if found != expected {
+                        let v = (
+                            m.idx,
+                            CfdViolation::SingleTuple {
+                                tuple: pos,
+                                found: found.clone(),
+                                expected: expected.clone(),
+                            },
+                        );
+                        let was_live = live_cfd.remove(&v);
+                        debug_assert!(was_live, "deleted single must have been live");
+                        delta.cfd.resolved.push(v);
+                    }
+                }
+            }
+            let key_m: Option<Vec<SymValue>> = moved.as_ref().map(|mt| {
+                sym_key(interner, mt, &g.attrs, &mut key_buf);
+                key_buf.clone()
+            });
+            let same_key = key_m.as_deref() == Some(key_t.as_slice());
+
+            // The deleted tuple's key group.
+            let fmin = idx.min_pos(&key_t).expect("deleted tuple is in its group");
+            if fmin as usize != pos {
+                // `pos` was not the witness (fmin < pos survives, and a
+                // same-key moved tuple renumbers *above* fmin, since
+                // pos > fmin). Resolve the deleted tuple's own pair and
+                // relabel the moved tuple's, per matching member.
+                let first = db.relation(rel).get(fmin as usize).expect("in range");
+                for m in &g.members {
+                    if m.rhs_const.is_some() || !member_matches(g, m, t) {
+                        continue;
+                    }
+                    if first[m.rhs] != t[m.rhs] {
+                        let v = (
+                            m.idx,
+                            CfdViolation::Pair {
+                                left: fmin as usize,
+                                right: pos,
+                            },
+                        );
+                        let was_live = live_cfd.remove(&v);
+                        debug_assert!(was_live, "deleted pair must have been live");
+                        delta.cfd.resolved.push(v);
+                    }
+                    if same_key {
+                        // The moved tuple's pair relabels with it; the
+                        // consumer's renumber step covers this, so it is
+                        // not a delta entry.
+                        let old = (
+                            m.idx,
+                            CfdViolation::Pair {
+                                left: fmin as usize,
+                                right: last,
+                            },
+                        );
+                        if live_cfd.remove(&old) {
+                            live_cfd.insert((
+                                m.idx,
+                                CfdViolation::Pair {
+                                    left: fmin as usize,
+                                    right: pos,
+                                },
+                            ));
+                        }
+                    }
+                }
+            } else {
+                // The witness itself goes: the group's pairs
+                // restructure. Stash the old pairs for recomputation.
+                scopes.extend(stash_scope(g, gi, idx, db.relation(rel), &key_t, t));
+            }
+
+            // The moved tuple's key group, when it is a different one.
+            if let (Some(mt), Some(km)) = (&moved, &key_m) {
+                if !same_key {
+                    let fmin_m = idx.min_pos(km).expect("moved tuple is in its group");
+                    if (fmin_m as usize) < pos {
+                        // Witness unchanged: the moved tuple's pair (if
+                        // any) just renumbers `last` → `pos` — covered by
+                        // the consumer's renumber step, no delta entry.
+                        for m in &g.members {
+                            if m.rhs_const.is_some() || !member_matches(g, m, mt) {
+                                continue;
+                            }
+                            let old = (
+                                m.idx,
+                                CfdViolation::Pair {
+                                    left: fmin_m as usize,
+                                    right: last,
+                                },
+                            );
+                            if live_cfd.remove(&old) {
+                                live_cfd.insert((
+                                    m.idx,
+                                    CfdViolation::Pair {
+                                        left: fmin_m as usize,
+                                        right: pos,
+                                    },
+                                ));
+                            }
+                        }
+                    } else {
+                        // The moved tuple lands *below* the group's old
+                        // witness and becomes the new one: restructure.
+                        scopes.extend(stash_scope(g, gi, idx, db.relation(rel), km, mt));
+                    }
+                }
+            }
+
+            idx.remove_key(pos as u32, &key_t);
+            if let (Some(_), Some(km)) = (&moved, &key_m) {
+                idx.replace_pos(last as u32, pos as u32, km);
+            }
+        }
+
+        // ---- CIND source role of the deleted tuple (before its target
+        // role, so a self-partnered tuple is not counted as orphaned).
+        for (gi, g) in validator.cind_groups().iter().enumerate() {
+            for (m, sidx) in g.members.iter().zip(cind_sources[gi].iter_mut()) {
+                let cind = &validator.cinds()[m.idx];
+                if cind.lhs_rel() != rel || !cind.triggers(t) {
+                    continue;
+                }
+                sym_key(interner, t, &m.x_perm, &mut key_buf);
+                sidx.remove_key(pos as u32, &key_buf);
+                if !cind_targets[gi].contains_key(&key_buf) {
+                    let v = (
+                        m.idx,
+                        CindViolation {
+                            tuple: pos,
+                            key: t.project(cind.x()),
+                        },
+                    );
+                    let was_live = live_cind.remove(&v);
+                    debug_assert!(was_live, "deleted orphan must have been live");
+                    delta.cind.resolved.push(v);
+                }
+            }
+        }
+
+        // ---- CIND target role of the deleted tuple: removing the last
+        // partner with a key orphans every triggered source carrying it.
+        for (gi, g) in validator.cind_groups().iter().enumerate() {
+            if g.rhs_rel != rel || !g.yp.iter().all(|(a, v)| &t[*a] == v) {
+                continue;
+            }
+            sym_key(interner, t, &g.y, &mut key_buf);
+            cind_targets[gi].remove_key(pos as u32, &key_buf);
+            if cind_targets[gi].contains_key(&key_buf) {
+                continue;
+            }
+            for (m, sidx) in g.members.iter().zip(&cind_sources[gi]) {
+                let cind = &validator.cinds()[m.idx];
+                let source = db.relation(cind.lhs_rel());
+                // The swap renumbering only concerns the deleted tuple's
+                // relation — source positions elsewhere are stable.
+                let same_rel = cind.lhs_rel() == rel;
+                for src in sidx.positions(&key_buf) {
+                    let t1 = source.get(src as usize).expect("indexed position valid");
+                    let v = (
+                        m.idx,
+                        CindViolation {
+                            tuple: if same_rel { renum(src) } else { src as usize },
+                            key: t1.project(cind.x()),
+                        },
+                    );
+                    live_cind.insert(v.clone());
+                    delta.cind.introduced.push(v);
+                }
+            }
+        }
+
+        // ---- Renumber the moved tuple's per-tuple violations and its
+        // index entries in the CIND tiers (CFD tiers were renumbered
+        // above; pair relabeling happens in the recomputation below).
+        if let Some(mt) = &moved {
+            for g in validator.cfd_groups() {
+                if g.rel != rel {
+                    continue;
+                }
+                for m in &g.members {
+                    if !member_matches(g, m, mt) {
+                        continue;
+                    }
+                    if let Some(expected) = &m.rhs_const {
+                        let found = &mt[m.rhs];
+                        if found != expected {
+                            let old = (
+                                m.idx,
+                                CfdViolation::SingleTuple {
+                                    tuple: last,
+                                    found: found.clone(),
+                                    expected: expected.clone(),
+                                },
+                            );
+                            if live_cfd.remove(&old) {
+                                live_cfd.insert((
+                                    m.idx,
+                                    CfdViolation::SingleTuple {
+                                        tuple: pos,
+                                        found: found.clone(),
+                                        expected: expected.clone(),
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            for (gi, g) in validator.cind_groups().iter().enumerate() {
+                for (m, sidx) in g.members.iter().zip(cind_sources[gi].iter_mut()) {
+                    let cind = &validator.cinds()[m.idx];
+                    if cind.lhs_rel() != rel || !cind.triggers(mt) {
+                        continue;
+                    }
+                    sym_key(interner, mt, &m.x_perm, &mut key_buf);
+                    sidx.replace_pos(last as u32, pos as u32, &key_buf);
+                    let old = (
+                        m.idx,
+                        CindViolation {
+                            tuple: last,
+                            key: mt.project(cind.x()),
+                        },
+                    );
+                    if live_cind.remove(&old) {
+                        live_cind.insert((
+                            m.idx,
+                            CindViolation {
+                                tuple: pos,
+                                key: mt.project(cind.x()),
+                            },
+                        ));
+                    }
+                }
+                if g.rhs_rel == rel && g.yp.iter().all(|(a, v)| &mt[*a] == v) {
+                    sym_key(interner, mt, &g.y, &mut key_buf);
+                    cind_targets[gi].replace_pos(last as u32, pos as u32, &key_buf);
+                }
+            }
+        }
+
+        // ---- Remove from the database (the swap happens here).
+        let removed = db.remove(rel, t).expect("position was just resolved");
+        debug_assert_eq!(removed.pos, pos);
+        debug_assert_eq!(removed.moved_from, moved.as_ref().map(|_| last));
+
+        // ---- Recompute the affected key groups' pairs against the
+        // final state and swap them into the live set; only genuine
+        // differences surface in the delta.
+        for scope in scopes {
+            let g = &validator.cfd_groups()[scope.group];
+            let idx = &cfd_indexes[scope.group];
+            for (ms, old) in scope.members {
+                let m = &g.members[ms];
+                let new = group_pairs(db.relation(rel), m.rhs, idx.positions(&scope.key).collect());
+                let old_set: HashSet<(usize, usize), FxBuildHasher> = old.iter().copied().collect();
+                let new_set: HashSet<(usize, usize), FxBuildHasher> = new.iter().copied().collect();
+                for &(left, right) in &old {
+                    live_cfd.remove(&(m.idx, CfdViolation::Pair { left, right }));
+                    if !new_set.contains(&(left, right)) {
+                        delta
+                            .cfd
+                            .resolved
+                            .push((m.idx, CfdViolation::Pair { left, right }));
+                    }
+                }
+                for &(left, right) in &new {
+                    live_cfd.insert((m.idx, CfdViolation::Pair { left, right }));
+                    if !old_set.contains(&(left, right)) {
+                        delta
+                            .cfd
+                            .introduced
+                            .push((m.idx, CfdViolation::Pair { left, right }));
+                    }
+                }
+            }
+        }
+
+        delta.moved = moved.map(|_| MovedTuple {
+            rel,
+            from: last,
+            to: pos,
+        });
+        Some(delta)
+    }
+
+    /// Replaces `old` by `new` in relation `rel`: a delete followed by an
+    /// insert, returned as the two deltas in application order (see the
+    /// module docs for how each applies). `Ok(None)` when `old` is not
+    /// present; the replacement is type-checked **before** the delete, so
+    /// an error leaves the stream untouched.
+    pub fn update_tuple(
+        &mut self,
+        rel: RelId,
+        old: &Tuple,
+        new: Tuple,
+    ) -> Result<Option<(SigmaDelta, SigmaDelta)>, ModelError> {
+        self.db.check_tuple(rel, &new)?;
+        if old == &new {
+            // No-op replacement: skip the delete/insert churn (and its
+            // mutually cancelling deltas) entirely.
+            return Ok(self
+                .db
+                .relation(rel)
+                .contains(old)
+                .then(|| (SigmaDelta::default(), SigmaDelta::default())));
+        }
+        let Some(deleted) = self.delete_tuple(rel, old) else {
+            return Ok(None);
+        };
+        let inserted = self.insert_tuple(rel, new)?;
+        Ok(Some((deleted, inserted)))
+    }
+
+    /// Does `t` (a tuple currently in the stream's database) participate
+    /// in a CFD conflict whose witnessing cells all satisfy `is_rigid`?
+    ///
+    /// This is the group-probe primitive the chase's candidate checking
+    /// builds on: `is_rigid` distinguishes genuine constants from encoded
+    /// chase variables, so a disagreement involving a variable (which an
+    /// `FD(φ)` step would repair by substitution) is not a conflict,
+    /// while two rigid constants disagreeing is. Costs
+    /// `O(groups on the relation × the tuple's key-group sizes)` — never
+    /// a relation scan. Ordinary consumers can pass `|_| true` to ask
+    /// "is this tuple involved in any CFD violation right now".
+    pub fn cfd_conflicts<F>(&self, rel: RelId, t: &Tuple, is_rigid: F) -> bool
+    where
+        F: Fn(&Value) -> bool,
+    {
+        let rel_inst = self.db.relation(rel);
+        let Some(my_pos) = rel_inst.position(t) else {
+            return false;
+        };
+        let mut key_buf: Vec<SymValue> = Vec::new();
+        let mut group_buf: Vec<u32> = Vec::new();
+        for (g, idx) in self.validator.cfd_groups().iter().zip(&self.cfd_indexes) {
+            if g.rel != rel {
+                continue;
+            }
+            sym_key(&self.interner, t, &g.attrs, &mut key_buf);
+            group_buf.clear();
+            group_buf.extend(idx.positions(&key_buf));
+            for m in &g.members {
+                if !member_matches(g, m, t) {
+                    continue;
+                }
+                let mine = &t[m.rhs];
+                // Single-tuple reading: a matched premise forcing a
+                // different (rigid) constant.
+                if let Some(expected) = &m.rhs_const {
+                    if mine != expected && is_rigid(mine) {
+                        return true;
+                    }
+                }
+                // Pair reading: agreement on X forcing agreement on A,
+                // checked against the tuple's own key group only.
+                if !is_rigid(mine) {
+                    continue;
+                }
+                for &p in &group_buf {
+                    if p as usize == my_pos {
+                        continue;
+                    }
+                    let other = &rel_inst.get(p as usize).expect("indexed position valid")[m.rhs];
+                    if other != mine && is_rigid(other) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
     }
 }

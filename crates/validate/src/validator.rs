@@ -412,12 +412,17 @@ impl Validator {
                     let rhs_col = tables.column(group.rel, m.rhs);
                     match &m.rhs_const {
                         Some(expected) => self.push_single_tuple_violations(
-                            m.idx, expected, positions, rhs_col, rel, &mut out,
+                            m.idx,
+                            expected,
+                            positions.clone(),
+                            rhs_col,
+                            rel,
+                            &mut out,
                         ),
                         None => {
                             let pairs = pair_cache
                                 .entry(m.rhs)
-                                .or_insert_with(|| wildcard_pairs(positions, rhs_col));
+                                .or_insert_with(|| wildcard_pairs(positions.clone(), rhs_col));
                             out.extend(
                                 pairs.iter().map(|&(left, right)| {
                                     (m.idx, CfdViolation::Pair { left, right })
@@ -471,13 +476,13 @@ impl Validator {
         &self,
         m_idx: usize,
         expected: &Result<SymValue, &Value>,
-        positions: &[u32],
+        positions: impl Iterator<Item = u32>,
         rhs_col: &[SymValue],
         rel: &condep_model::Relation,
         out: &mut Vec<(usize, CfdViolation)>,
     ) {
         let expected_sym = expected.ok();
-        for &pos in positions {
+        for pos in positions {
             if Some(rhs_col[pos as usize]) != expected_sym {
                 let t = rel.get(pos as usize).expect("indexed position valid");
                 let rhs = self.cfds[m_idx].rhs();
@@ -585,11 +590,34 @@ impl Validator {
 
 /// One conflict witness per tuple disagreeing with the key-group's
 /// first RHS value — the wildcard-RHS violation set of a group.
-fn wildcard_pairs(positions: &[u32], rhs_col: &[SymValue]) -> Vec<(usize, usize)> {
+///
+/// `positions` must arrive position-ascending (bulk-built [`SymIndex`]
+/// segments are; mutated groups must be sorted first) so the witness is
+/// the group's lowest position, the canonical batch report order.
+fn wildcard_pairs(
+    positions: impl Iterator<Item = u32>,
+    rhs_col: &[SymValue],
+) -> Vec<(usize, usize)> {
+    wildcard_pairs_by(positions, |pos| rhs_col[pos as usize])
+}
+
+/// The one definition of the first-witness pairing rule, generic over
+/// how a position's RHS value is read — the batch sweep reads
+/// symbolized columns, the delta engine reads live tuples. Keeping a
+/// single implementation is what guarantees the stream/batch
+/// equivalence invariant cannot drift.
+pub(crate) fn wildcard_pairs_by<V, F>(
+    positions: impl Iterator<Item = u32>,
+    value_at: F,
+) -> Vec<(usize, usize)>
+where
+    V: PartialEq + Copy,
+    F: Fn(u32) -> V,
+{
     let mut pairs = Vec::new();
-    let mut first: Option<(usize, SymValue)> = None;
-    for &pos in positions {
-        let v = rhs_col[pos as usize];
+    let mut first: Option<(usize, V)> = None;
+    for pos in positions {
+        let v = value_at(pos);
         match first {
             None => first = Some((pos as usize, v)),
             Some((fp, fv)) => {

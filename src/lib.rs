@@ -21,8 +21,8 @@
 //! | [`chase`] | the bounded-pool chase of Section 5.1 (`IND(ψ)`/`FD(φ)`, `chaseI`, valuations) |
 //! | [`consistency`] | the Section 5 heuristics: `CFD_Checking` (chase & SAT), dependency graph, `preProcessing`, `RandomChecking`, `Checking` |
 //! | [`gen`] | seeded workload generators matching the Section 6 experimental setting |
-//! | [`validate`] | **batched Σ-validation engine**: Σ grouped by `(relation, LHS set)`, one shared group-by index per group over interned keys, parallel sweep, incremental `ValidatorStream` |
-//! | [`report`] | high-level data-quality façade: compiles Σ into a batched validator, runs it against a database and aggregates violations |
+//! | [`validate`] | **batched Σ-validation engine**: Σ grouped by `(relation, LHS set)`, one shared group-by index per group over interned keys, parallel sweep; `ValidatorStream` delta engine (insert/delete/update with violation retraction) |
+//! | [`report`] | high-level data-quality façade: compiles Σ into a batched validator, runs it against a database and aggregates violations; `QualityMonitor` keeps the summary live from streamed deltas |
 //!
 //! ## Quickstart
 //!
@@ -59,6 +59,6 @@ pub mod prelude {
     pub use crate::model::{
         AttrId, Database, Domain, PValue, PatternRow, RelId, Schema, Tuple, Value,
     };
-    pub use crate::report::{QualityReport, ViolationSummary};
-    pub use crate::validate::{SigmaReport, Validator, ValidatorStream};
+    pub use crate::report::{QualityMonitor, QualityReport, ViolationSummary};
+    pub use crate::validate::{SigmaDelta, SigmaReport, Validator, ValidatorStream};
 }

@@ -8,8 +8,8 @@
 use condep_cfd::{normalize as cfd_normalize, Cfd, CfdViolation, NormalCfd};
 use condep_consistency::{checking, CheckingConfig, ConstraintSet};
 use condep_core::{normalize as cind_normalize, Cind, CindViolation, NormalCind};
-use condep_model::{Database, RelId, Schema, Tuple};
-use condep_validate::Validator;
+use condep_model::{Database, ModelError, RelId, Schema, Tuple};
+use condep_validate::{SigmaDelta, SigmaReport, Validator, ValidatorStream};
 use std::fmt;
 use std::sync::Arc;
 
@@ -151,30 +151,22 @@ impl QualitySuite {
     /// detectors would produce.
     pub fn check(&self, db: &Database) -> QualityReport {
         let report = self.validator.validate_sorted(db);
-        let mut violations = Vec::with_capacity(report.len());
-        let summary = ViolationSummary {
-            tuples_checked: db.total_tuples(),
-            cfd_violations: report.cfd.len(),
-            cind_violations: report.cind.len(),
+        resolve_report(&self.validator, db.total_tuples(), report)
+    }
+
+    /// Opens a streaming monitor over `db`: the suite's delta engine
+    /// keeps the violation state live, so every insert / delete / update
+    /// is charged only for what it touches. Also returns the seed
+    /// database's initial quality report.
+    pub fn monitor(&self, db: Database) -> (QualityMonitor, QualityReport) {
+        let tuples = db.total_tuples();
+        let (stream, initial) = ValidatorStream::new_validated(self.validator.clone(), db);
+        let report = resolve_report(&self.validator, tuples, initial);
+        let monitor = QualityMonitor {
+            summary: report.summary,
+            stream,
         };
-        for (i, v) in report.cfd {
-            violations.push(Violation::Cfd {
-                constraint: i,
-                violation: v,
-                rel: self.validator.cfds()[i].rel(),
-            });
-        }
-        for (i, v) in report.cind {
-            violations.push(Violation::Cind {
-                constraint: i,
-                violation: v,
-                rel: self.validator.cinds()[i].lhs_rel(),
-            });
-        }
-        QualityReport {
-            summary,
-            violations,
-        }
+        (monitor, report)
     }
 
     /// The offending tuples, resolved against `db` — what a repair tool
@@ -212,12 +204,127 @@ impl QualitySuite {
     }
 }
 
+/// Resolves a raw [`SigmaReport`] against the compiled suite into the
+/// user-facing [`QualityReport`].
+fn resolve_report(
+    validator: &Validator,
+    tuples_checked: usize,
+    report: SigmaReport,
+) -> QualityReport {
+    let mut violations = Vec::with_capacity(report.len());
+    let summary = ViolationSummary {
+        tuples_checked,
+        cfd_violations: report.cfd.len(),
+        cind_violations: report.cind.len(),
+    };
+    for (i, v) in report.cfd {
+        violations.push(Violation::Cfd {
+            constraint: i,
+            violation: v,
+            rel: validator.cfds()[i].rel(),
+        });
+    }
+    for (i, v) in report.cind {
+        violations.push(Violation::Cind {
+            constraint: i,
+            violation: v,
+            rel: validator.cinds()[i].lhs_rel(),
+        });
+    }
+    QualityReport {
+        summary,
+        violations,
+    }
+}
+
+/// A live data-quality monitor: a [`QualitySuite`] bound to one evolving
+/// database through the `condep-validate` delta engine.
+///
+/// The summary is maintained **incrementally from the streamed deltas**
+/// — introduced violations raise the counters, retractions lower them —
+/// so a monitor ingesting an insert/delete stream never re-validates the
+/// database, yet [`QualityMonitor::summary`] always matches what
+/// [`QualitySuite::check`] would report from scratch.
+#[derive(Clone, Debug)]
+pub struct QualityMonitor {
+    stream: ValidatorStream,
+    summary: ViolationSummary,
+}
+
+impl QualityMonitor {
+    /// Ingests one arriving tuple, returning the delta (violations
+    /// introduced, and — for CIND target arrivals — resolved).
+    pub fn insert(&mut self, rel: RelId, t: Tuple) -> Result<SigmaDelta, ModelError> {
+        let delta = self.stream.insert_tuple(rel, t)?;
+        self.consume(&delta);
+        self.summary.tuples_checked = self.stream.db().total_tuples();
+        Ok(delta)
+    }
+
+    /// Ingests one deletion, consuming its retractions (and any
+    /// violations the absence introduces). `None` when the tuple was not
+    /// present.
+    pub fn delete(&mut self, rel: RelId, t: &Tuple) -> Option<SigmaDelta> {
+        let delta = self.stream.delete_tuple(rel, t)?;
+        self.consume(&delta);
+        self.summary.tuples_checked = self.stream.db().total_tuples();
+        Some(delta)
+    }
+
+    /// Ingests a replacement (`old` → `new`) as its delete and insert
+    /// deltas in application order.
+    pub fn update(
+        &mut self,
+        rel: RelId,
+        old: &Tuple,
+        new: Tuple,
+    ) -> Result<Option<(SigmaDelta, SigmaDelta)>, ModelError> {
+        let Some((del, ins)) = self.stream.update_tuple(rel, old, new)? else {
+            return Ok(None);
+        };
+        self.consume(&del);
+        self.consume(&ins);
+        self.summary.tuples_checked = self.stream.db().total_tuples();
+        Ok(Some((del, ins)))
+    }
+
+    /// Folds one streamed delta into the running counters.
+    fn consume(&mut self, delta: &SigmaDelta) {
+        self.summary.cfd_violations += delta.cfd.introduced.len();
+        self.summary.cfd_violations -= delta.cfd.resolved.len();
+        self.summary.cind_violations += delta.cind.introduced.len();
+        self.summary.cind_violations -= delta.cind.resolved.len();
+    }
+
+    /// The delta-maintained counters (no validation run).
+    pub fn summary(&self) -> ViolationSummary {
+        self.summary
+    }
+
+    /// The current database.
+    pub fn db(&self) -> &Database {
+        self.stream.db()
+    }
+
+    /// The full current report, materialized from the live violation set
+    /// — equal to re-checking the database from scratch, without the
+    /// sweep.
+    pub fn report(&self) -> QualityReport {
+        resolve_report(
+            self.stream.validator(),
+            self.stream.db().total_tuples(),
+            self.stream.current_report(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use condep_cfd::fixtures as cfd_fixtures;
     use condep_core::fixtures as cind_fixtures;
     use condep_model::fixtures::{bank_database, bank_schema, clean_bank_database};
+    use condep_model::tuple;
 
     fn bank_suite() -> QualitySuite {
         QualitySuite::new(
@@ -259,6 +366,53 @@ mod tests {
             .check_consistency(&CheckingConfig::default())
             .expect("Figure 2 + Figure 4 are consistent");
         assert!(!witness.is_empty());
+    }
+
+    #[test]
+    fn monitor_consumes_introductions_and_retractions() {
+        let suite = bank_suite();
+        let (mut monitor, initial) = suite.monitor(bank_database());
+        // Seeded with the dirty instance: the paper's two errors.
+        assert_eq!(initial.summary.total(), 2);
+        assert_eq!(monitor.summary().total(), 2);
+        let interest = suite.schema().rel_id("interest").unwrap();
+        // A fresh violation raises the counters...
+        let bad = tuple!["GLA", "UK", "checking", "9.9%"];
+        let delta = monitor.insert(interest, bad.clone()).unwrap();
+        assert!(!delta.is_quiet());
+        let raised = monitor.summary().total();
+        assert!(raised > 2, "summary must rise: {raised}");
+        // ... and deleting it streams the retraction back down.
+        let gone = monitor.delete(interest, &bad).unwrap();
+        assert!(!gone.resolved().is_empty());
+        assert_eq!(monitor.summary().total(), 2);
+        // The delta-maintained summary matches a from-scratch check.
+        let fresh = suite.check(monitor.db());
+        assert_eq!(monitor.summary(), fresh.summary);
+        assert_eq!(monitor.report().summary, fresh.summary);
+    }
+
+    #[test]
+    fn monitor_update_repairs_the_paper_error() {
+        let suite = bank_suite();
+        let (mut monitor, initial) = suite.monitor(bank_database());
+        assert_eq!(initial.summary.cfd_violations, 1);
+        let interest = suite.schema().rel_id("interest").unwrap();
+        // t12 is the ϕ3 offender: EDI UK checking at 10.5%. Repairing
+        // the rate resolves the CFD violation.
+        let (del, ins) = monitor
+            .update(
+                interest,
+                &tuple!["EDI", "UK", "checking", "10.5%"],
+                tuple!["EDI", "UK", "checking", "1.5%"],
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(del.cfd.resolved.len(), 1);
+        assert!(ins.cfd.introduced.is_empty());
+        assert_eq!(monitor.summary().cfd_violations, 0);
+        let fresh = suite.check(monitor.db());
+        assert_eq!(monitor.summary(), fresh.summary);
     }
 
     #[test]

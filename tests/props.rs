@@ -534,3 +534,261 @@ proptest! {
         }
     }
 }
+
+// ------------------------------------------ streamed delta equivalence
+
+/// An externally maintained violation state, updated **only** from
+/// streamed [`condep::validate::SigmaDelta`]s by the documented consumer
+/// rule: `after = renumber(before − resolved, moved) + introduced`.
+struct ShadowReport {
+    cfd: Vec<(usize, condep::cfd::CfdViolation)>,
+    cind: Vec<(usize, condep::cind::CindViolation)>,
+}
+
+impl ShadowReport {
+    fn from_report(report: &condep::validate::SigmaReport) -> Self {
+        ShadowReport {
+            cfd: report.cfd.clone(),
+            cind: report.cind.clone(),
+        }
+    }
+
+    fn apply(&mut self, v: &condep::validate::Validator, delta: &condep::validate::SigmaDelta) {
+        use condep::cfd::CfdViolation;
+        // 1. Subtract the resolved violations (pre-move labels).
+        for gone in &delta.cfd.resolved {
+            let at = self
+                .cfd
+                .iter()
+                .position(|have| have == gone)
+                .expect("resolved CFD violation must be present in the shadow");
+            self.cfd.swap_remove(at);
+        }
+        for gone in &delta.cind.resolved {
+            let at = self
+                .cind
+                .iter()
+                .position(|have| have == gone)
+                .expect("resolved CIND violation must be present in the shadow");
+            self.cind.swap_remove(at);
+        }
+        // 2. Renumber for the swap-based deletion, if any.
+        if let Some(mv) = delta.moved {
+            let renum = |p: usize| if p == mv.from { mv.to } else { p };
+            for (i, viol) in &mut self.cfd {
+                if v.cfds()[*i].rel() != mv.rel {
+                    continue;
+                }
+                match viol {
+                    CfdViolation::SingleTuple { tuple, .. } => *tuple = renum(*tuple),
+                    CfdViolation::Pair { left, right } => {
+                        *left = renum(*left);
+                        *right = renum(*right);
+                    }
+                }
+            }
+            for (i, viol) in &mut self.cind {
+                if v.cinds()[*i].lhs_rel() == mv.rel {
+                    viol.tuple = renum(viol.tuple);
+                }
+            }
+        }
+        // 3. Add the introduced violations (post-move labels).
+        self.cfd.extend(delta.cfd.introduced.iter().cloned());
+        self.cind.extend(delta.cind.introduced.iter().cloned());
+    }
+
+    fn sorted(&self) -> condep::validate::SigmaReport {
+        let mut report = condep::validate::SigmaReport {
+            cfd: self.cfd.clone(),
+            cind: self.cind.clone(),
+        };
+        report.sort();
+        report
+    }
+}
+
+/// ≥ 240 random insert/delete/update sequences over a collision-heavy
+/// two-relation workload: after **every** mutation, the stream's
+/// materialized violation set, an external delta consumer, and a
+/// from-scratch batch `Validator::validate` of the current database must
+/// be identical — the equivalence oracle for the delta engine.
+#[test]
+fn stream_deltas_agree_with_batch_validation_on_random_sequences() {
+    use condep::model::RelId;
+    use condep::validate::{Validator, ValidatorStream};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let schema = Arc::new(
+        Schema::builder()
+            .relation(
+                "r",
+                &[
+                    ("a", Domain::string()),
+                    ("b", Domain::string()),
+                    ("c", Domain::string()),
+                ],
+            )
+            .relation("s", &[("x", Domain::string()), ("y", Domain::string())])
+            .finish(),
+    );
+    let sigma_cfds = vec![
+        // a → b: the workhorse wildcard FD.
+        condep::cfd::NormalCfd::parse(
+            &schema,
+            "r",
+            &["a"],
+            condep::model::prow![_],
+            "b",
+            PValue::Any,
+        )
+        .unwrap(),
+        // (a = k0) → c = v0: constant LHS and RHS.
+        condep::cfd::NormalCfd::parse(
+            &schema,
+            "r",
+            &["a"],
+            condep::model::prow!["a0"],
+            "c",
+            PValue::Const(Value::str("v0")),
+        )
+        .unwrap(),
+        // (a, b) → c: a wider key sharing no group with a → b.
+        condep::cfd::NormalCfd::parse(
+            &schema,
+            "r",
+            &["a", "b"],
+            condep::model::prow![_, _],
+            "c",
+            PValue::Any,
+        )
+        .unwrap(),
+        // ∅ → c: global agreement — every tuple in one key group, the
+        // worst case for pair-witness relabeling under swap deletions.
+        condep::cfd::NormalCfd::parse(&schema, "r", &[], condep::model::prow![], "c", PValue::Any)
+            .unwrap(),
+    ];
+    let sigma_cinds = vec![
+        // r[a] ⊆ s[x].
+        condep::cind::NormalCind::parse(&schema, "r", &["a"], &[], "s", &["x"], &[]).unwrap(),
+        // r[b; c = v0] ⊆ s[y]: a conditioned source.
+        condep::cind::NormalCind::parse(
+            &schema,
+            "r",
+            &["b"],
+            &[("c", Value::str("v0"))],
+            "s",
+            &["y"],
+            &[],
+        )
+        .unwrap(),
+        // s[y] ⊆ r[b]: the reverse direction, so s-side deletions orphan
+        // nothing but r-side deletions orphan s tuples.
+        condep::cind::NormalCind::parse(&schema, "s", &["y"], &[], "r", &["b"], &[]).unwrap(),
+        // r[a] ⊆ r[b]: self-referential within one relation.
+        condep::cind::NormalCind::parse(&schema, "r", &["a"], &[], "r", &["b"], &[]).unwrap(),
+    ];
+
+    let a_pool = ["a0", "a1", "a2"];
+    let b_pool = ["b0", "b1", "a0"];
+    let c_pool = ["v0", "v1"];
+    let x_pool = ["a0", "a1", "a2", "z"];
+    let y_pool = ["b0", "b1", "a0", "v0"];
+    let r = RelId(0);
+    let s = RelId(1);
+
+    let mut mutations = 0usize;
+    for seed in 0u64..240 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+        let pick = |rng: &mut StdRng, pool: &[&str]| Value::str(pool[rng.gen_range(0..pool.len())]);
+        let random_tuple = |rng: &mut StdRng, rel: RelId| -> Tuple {
+            if rel == r {
+                Tuple::new(vec![
+                    pick(rng, &a_pool),
+                    pick(rng, &b_pool),
+                    pick(rng, &c_pool),
+                ])
+            } else {
+                Tuple::new(vec![pick(rng, &x_pool), pick(rng, &y_pool)])
+            }
+        };
+
+        // Random (possibly dirty) seed database.
+        let mut db = Database::empty(schema.clone());
+        for rel in [r, s] {
+            let n = rng.gen_range(0..8usize);
+            for _ in 0..n {
+                let t = random_tuple(&mut rng, rel);
+                db.insert(rel, t).unwrap();
+            }
+        }
+
+        let validator = Validator::new(sigma_cfds.clone(), sigma_cinds.clone());
+        let oracle = validator.clone();
+        let (mut stream, initial) = ValidatorStream::new_validated(validator, db);
+        assert_eq!(
+            initial,
+            oracle.validate_sorted(stream.db()),
+            "seed {seed}: new_validated must report the batch state"
+        );
+        let mut shadow = ShadowReport::from_report(&initial);
+
+        for step in 0..30 {
+            let rel = if rng.gen_bool(0.7) { r } else { s };
+            let roll = rng.gen_range(0..10u32);
+            if roll < 5 {
+                let t = random_tuple(&mut rng, rel);
+                let delta = stream.insert_tuple(rel, t).unwrap();
+                shadow.apply(&oracle, &delta);
+            } else if roll < 8 {
+                let len = stream.db().relation(rel).len();
+                if len == 0 {
+                    continue;
+                }
+                let t = stream
+                    .db()
+                    .relation(rel)
+                    .get(rng.gen_range(0..len))
+                    .unwrap()
+                    .clone();
+                let delta = stream.delete_tuple(rel, &t).expect("tuple is present");
+                shadow.apply(&oracle, &delta);
+            } else {
+                let len = stream.db().relation(rel).len();
+                if len == 0 {
+                    continue;
+                }
+                let old = stream
+                    .db()
+                    .relation(rel)
+                    .get(rng.gen_range(0..len))
+                    .unwrap()
+                    .clone();
+                let new = random_tuple(&mut rng, rel);
+                let (del, ins) = stream
+                    .update_tuple(rel, &old, new)
+                    .unwrap()
+                    .expect("tuple is present");
+                shadow.apply(&oracle, &del);
+                shadow.apply(&oracle, &ins);
+            }
+            mutations += 1;
+            let batch = oracle.validate_sorted(stream.db());
+            assert_eq!(
+                stream.current_report(),
+                batch,
+                "seed {seed} step {step}: stream live state diverged from batch"
+            );
+            assert_eq!(
+                shadow.sorted(),
+                batch,
+                "seed {seed} step {step}: delta consumer diverged from batch"
+            );
+        }
+    }
+    assert!(
+        mutations >= 5000,
+        "sweep too small: only {mutations} mutations checked"
+    );
+}
