@@ -48,6 +48,26 @@ impl CfdViolation {
             CfdViolation::Pair { left, right } => (1, *left, *right),
         }
     }
+
+    /// The witnessing tuple positions.
+    pub fn positions(&self) -> Vec<usize> {
+        match self {
+            CfdViolation::SingleTuple { tuple, .. } => vec![*tuple],
+            CfdViolation::Pair { left, right } => vec![*left, *right],
+        }
+    }
+
+    /// The **conflicting cells** of the violation, as `(position, attr)`
+    /// pairs — the cells a repair tool may edit to resolve it. For a CFD
+    /// the witnessing disagreement always lives in the RHS attribute
+    /// `rhs` of the violating tuples; LHS cells are the class key, not
+    /// the conflict.
+    pub fn cells(&self, rhs: AttrId) -> Vec<(usize, AttrId)> {
+        match self {
+            CfdViolation::SingleTuple { tuple, .. } => vec![(*tuple, rhs)],
+            CfdViolation::Pair { left, right } => vec![(*left, rhs), (*right, rhs)],
+        }
+    }
 }
 
 /// What one database mutation (insert / delete / update) did to the CFD
@@ -253,6 +273,21 @@ mod tests {
                 assert_eq!(unordered, find_violations(&db, &n));
             }
         }
+    }
+
+    #[test]
+    fn cells_and_positions_name_the_rhs_witnesses() {
+        let rhs = AttrId(3);
+        let single = CfdViolation::SingleTuple {
+            tuple: 7,
+            found: Value::str("x"),
+            expected: Value::str("y"),
+        };
+        assert_eq!(single.positions(), vec![7]);
+        assert_eq!(single.cells(rhs), vec![(7, rhs)]);
+        let pair = CfdViolation::Pair { left: 2, right: 9 };
+        assert_eq!(pair.positions(), vec![2, 9]);
+        assert_eq!(pair.cells(rhs), vec![(2, rhs), (9, rhs)]);
     }
 
     #[test]

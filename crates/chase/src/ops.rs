@@ -124,6 +124,55 @@ fn free_field<R: Rng>(
     TplValue::Var(VarRef { rel, attr, idx })
 }
 
+/// The determined cells of the target tuple a CIND forces for one
+/// triggered source tuple (the pattern-instantiation core of `IND(ψ)`):
+/// each `Y` attribute copies the source's matching `X` cell (rule CIND2's
+/// permutation semantics) and each `Yp` attribute takes its pattern
+/// constant. `source_cell` reads the source tuple — template engines pass
+/// template cells, repair engines pass concrete values.
+pub fn forced_cells<F>(cind: &NormalCind, source_cell: F) -> Vec<(AttrId, TplValue)>
+where
+    F: Fn(AttrId) -> TplValue,
+{
+    let mut determined: Vec<(AttrId, TplValue)> = Vec::new();
+    for (xa, ya) in cind.x().iter().zip(cind.y()) {
+        determined.push((*ya, source_cell(*xa)));
+    }
+    for (a, v) in cind.yp() {
+        determined.push((*a, TplValue::Const(v.clone())));
+    }
+    determined
+}
+
+/// The target tuple a CIND forces for a **concrete** source tuple, as a
+/// template: the determined cells ([`forced_cells`]) become constants,
+/// every other attribute a fresh variable. This is the chase machinery a
+/// repair engine reuses for its insertion candidate — instantiate the
+/// variables (finite domains from their value lists, infinite ones via
+/// [`condep_model::Domain::fresh_value`]) to obtain the tuple to insert.
+pub fn forced_target_template(
+    schema: &condep_model::Schema,
+    cind: &NormalCind,
+    source: &condep_model::Tuple,
+) -> TplTuple {
+    let target_rel = cind.rhs_rel();
+    let arity = schema.relation(target_rel).map(|r| r.arity()).unwrap_or(0);
+    let determined = forced_cells(cind, |a| TplValue::Const(source[a].clone()));
+    let mut cells: Vec<TplValue> = (0..arity)
+        .map(|i| {
+            TplValue::Var(VarRef {
+                rel: target_rel,
+                attr: AttrId(i as u32),
+                idx: 0,
+            })
+        })
+        .collect();
+    for (a, v) in determined {
+        cells[a.index()] = v;
+    }
+    TplTuple(cells)
+}
+
 /// One application of `IND(ψ)`: finds a triggered source tuple without a
 /// target witness and adds the forced tuple. Returns `Ok(true)` if a
 /// tuple was added, `Ok(false)` at fixpoint, `Err` when the tuple cap is
@@ -152,15 +201,7 @@ pub fn ind_step<R: Rng>(
                 continue 'search; // witnessed
             }
         }
-        // Build the forced tuple's determined cells.
-        let mut determined: Vec<(AttrId, TplValue)> = Vec::new();
-        for (xa, ya) in cind.x().iter().zip(cind.y()) {
-            determined.push((*ya, t1.get(*xa).clone()));
-        }
-        for (a, v) in cind.yp() {
-            determined.push((*a, TplValue::Const(v.clone())));
-        }
-        forced = Some(determined);
+        forced = Some(forced_cells(cind, |a| t1.get(a).clone()));
         break;
     }
     let Some(determined) = forced else {

@@ -22,6 +22,17 @@ pub struct CindViolation {
     pub key: Vec<condep_model::Value>,
 }
 
+impl CindViolation {
+    /// The **conflicting cells** of the violation, as `(position, attr)`
+    /// pairs over the source relation: the `X` cells of the orphaned
+    /// tuple whose values found no partner `t2[Y]`. A repair tool that
+    /// neither inserts the missing target nor deletes the orphan could
+    /// edit these cells toward an existing target key.
+    pub fn cells(&self, x: &[condep_model::AttrId]) -> Vec<(usize, condep_model::AttrId)> {
+        x.iter().map(|a| (self.tuple, *a)).collect()
+    }
+}
+
 /// What one database mutation (insert / delete / update) did to the CIND
 /// violations of a compiled suite, as `(constraint index, violation)`
 /// pairs — the CIND half of a streamed delta report. Unlike CFDs, an
@@ -149,6 +160,19 @@ mod tests {
                 assert!(find_violations_via_plan(&db, &n).is_empty());
             }
         }
+    }
+
+    #[test]
+    fn cells_name_the_orphans_x_projection() {
+        use condep_model::AttrId;
+        let v = CindViolation {
+            tuple: 4,
+            key: vec![condep_model::Value::str("k")],
+        };
+        assert_eq!(
+            v.cells(&[AttrId(1), AttrId(3)]),
+            vec![(4, AttrId(1)), (4, AttrId(3))]
+        );
     }
 
     #[test]

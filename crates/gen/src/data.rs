@@ -9,7 +9,7 @@
 use crate::constraints::HiddenWitness;
 use condep_cfd::NormalCfd;
 use condep_core::NormalCind;
-use condep_model::{Database, RelId, Schema, Tuple, Value};
+use condep_model::{AttrId, Database, Domain, RelId, Schema, Tuple, Value};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -129,6 +129,221 @@ pub fn dirty_database<R: Rng>(
     DirtyDatabase { db, injected }
 }
 
+/// One error [`dirtied_database`] injected, with the **dirty** tuple
+/// value (the ground truth a repair run should undo).
+#[derive(Clone, Debug)]
+pub enum InjectedDirt {
+    /// A CFD RHS cell scrambled in place (typo injection): the edited
+    /// tuple now carries `attr = <scrambled>` where the pattern (or its
+    /// key group) demands otherwise.
+    Typo {
+        /// The relation edited in.
+        rel: RelId,
+        /// The tuple **after** the edit.
+        tuple: Tuple,
+        /// The scrambled attribute (the CFD's RHS).
+        attr: AttrId,
+    },
+    /// A CIND source tuple's matched `X` cell scrambled to a value no
+    /// target holds — the tuple is now an orphan.
+    Orphan {
+        /// The source relation.
+        rel: RelId,
+        /// The tuple **after** the edit.
+        tuple: Tuple,
+        /// The scrambled attribute (one of the CIND's `X`).
+        attr: AttrId,
+    },
+    /// A near-duplicate inserted next to a resident tuple: same LHS key
+    /// under some wildcard-RHS CFD, different RHS value — a guaranteed
+    /// pair conflict.
+    DuplicateKey {
+        /// The relation inserted into.
+        rel: RelId,
+        /// The inserted conflicting tuple.
+        tuple: Tuple,
+        /// The disagreeing attribute (the CFD's RHS).
+        attr: AttrId,
+    },
+}
+
+/// A clean database plus a controlled fraction of injected errors.
+#[derive(Clone, Debug)]
+pub struct DirtiedDatabase {
+    /// The dirtied instance.
+    pub db: Database,
+    /// Ground truth: every injected error, in injection order.
+    pub injected: Vec<InjectedDirt>,
+}
+
+/// A value of `dom` that differs from `current` (and, for infinite
+/// domains, from everything the clean data plausibly holds): infinite
+/// strings get a serial `dirt{n}` marker, infinite ints a far-offset
+/// serial, finite domains their first member ≠ `current` (`None` for
+/// singleton domains).
+fn scramble(dom: &Domain, current: &Value, serial: u64) -> Option<Value> {
+    match dom.values() {
+        Some(vs) => vs.iter().find(|v| *v != current).cloned(),
+        None => Some(match dom.base_type() {
+            condep_model::BaseType::Str => Value::str(format!("dirt{serial}")),
+            condep_model::BaseType::Int => Value::int(0x4000_0000_0000 + serial as i64),
+            condep_model::BaseType::Bool => Value::bool(current != &Value::bool(true)),
+        }),
+    }
+}
+
+/// Picks a resident tuple of `rel` satisfying `pred`, scanning from a
+/// random offset (bounded by one wrap-around).
+fn pick_tuple<R: Rng, F: Fn(&Tuple) -> bool>(
+    db: &Database,
+    rel: RelId,
+    rng: &mut R,
+    pred: F,
+) -> Option<Tuple> {
+    let inst = db.relation(rel);
+    if inst.is_empty() {
+        return None;
+    }
+    let start = rng.gen_range(0..inst.len());
+    (0..inst.len())
+        .map(|k| inst.get((start + k) % inst.len()).expect("in range"))
+        .find(|t| pred(t))
+        .cloned()
+}
+
+/// Injects a controlled error fraction into a **clean** database: cycles
+/// through **typo injection** (a constant-RHS CFD's RHS cell scrambled —
+/// a guaranteed single-tuple violation), **orphaned CIND sources** (a
+/// matched `X` cell scrambled to a key no target holds) and
+/// **duplicate-key conflicts** (a near-duplicate inserted that agrees
+/// with a resident tuple on a wildcard-RHS CFD's LHS but disagrees on
+/// the RHS — a guaranteed pair violation), until
+/// `⌈total_tuples × error_rate⌉` errors are placed (or no constraint
+/// offers a viable injection site).
+///
+/// Deterministic for a fixed `(clean, cfds, cinds, error_rate, seed)`;
+/// the ground truth comes back in [`DirtiedDatabase::injected`]. Fresh
+/// scramble values use a `dirt{n}` marker namespace, so they never
+/// collide with clean data that avoids that prefix.
+pub fn dirtied_database<R: Rng>(
+    clean: &Database,
+    cfds: &[NormalCfd],
+    cinds: &[NormalCind],
+    error_rate: f64,
+    rng: &mut R,
+) -> DirtiedDatabase {
+    let mut db = clean.clone();
+    let mut injected = Vec::new();
+    let target = ((clean.total_tuples() as f64) * error_rate).ceil() as usize;
+    let schema = clean.schema().clone();
+    let domain_of = |rel: RelId, attr: AttrId| -> &Domain {
+        schema
+            .relation(rel)
+            .expect("relation in range")
+            .attribute(attr)
+            .expect("attribute in range")
+            .domain()
+    };
+    let const_rhs: Vec<&NormalCfd> = cfds.iter().filter(|c| c.is_constant_rhs()).collect();
+    let wild_rhs: Vec<&NormalCfd> = cfds.iter().filter(|c| !c.is_constant_rhs()).collect();
+    let sources: Vec<&NormalCind> = cinds.iter().filter(|c| !c.x().is_empty()).collect();
+    let mut serial = 0u64;
+    let mut misses = 0usize;
+    while injected.len() < target && misses < 3 * target + 8 {
+        serial += 1;
+        // Cycle the error kinds; misses rotate too, so a Σ without (say)
+        // constant-RHS CFDs still exercises the other injectors.
+        let kind = (injected.len() + misses) % 3;
+        let placed = match kind {
+            // Typo: scramble the RHS of a tuple matching a constant-RHS
+            // pattern, away from both the pattern constant and the
+            // current value.
+            0 if !const_rhs.is_empty() => {
+                let cfd = const_rhs[rng.gen_range(0..const_rhs.len())];
+                let expected = cfd.rhs_pat().as_const().expect("constant RHS").clone();
+                pick_tuple(&db, cfd.rel(), rng, |t| {
+                    cfd.lhs_pat().matches_tuple(t, cfd.lhs()) && t[cfd.rhs()] == expected
+                })
+                .and_then(|t| {
+                    let bad = scramble(domain_of(cfd.rel(), cfd.rhs()), &t[cfd.rhs()], serial)?;
+                    if bad == expected
+                        || db
+                            .relation(cfd.rel())
+                            .contains(&t.with(cfd.rhs(), bad.clone()))
+                    {
+                        // A scramble that would merge into a resident
+                        // tuple (set semantics) is a miss *before* any
+                        // mutation — the database must only change when
+                        // ground truth is recorded.
+                        return None;
+                    }
+                    let (dirty, merged) = db
+                        .edit_cell(cfd.rel(), &t, cfd.rhs(), bad)
+                        .expect("scramble respects the domain")
+                        .expect("picked tuple is resident");
+                    debug_assert!(!merged, "merge was pre-checked");
+                    Some(InjectedDirt::Typo {
+                        rel: cfd.rel(),
+                        tuple: dirty,
+                        attr: cfd.rhs(),
+                    })
+                })
+            }
+            // Orphan: scramble one matched X cell of a triggered source
+            // tuple to a fresh value no target can hold.
+            1 if !sources.is_empty() => {
+                let cind = sources[rng.gen_range(0..sources.len())];
+                let attr = cind.x()[rng.gen_range(0..cind.x().len())];
+                let dom = domain_of(cind.lhs_rel(), attr);
+                if dom.is_finite() {
+                    // A finite scramble may still hit a resident target
+                    // key; only infinite domains guarantee an orphan.
+                    None
+                } else {
+                    pick_tuple(&db, cind.lhs_rel(), rng, |t| cind.triggers(t)).map(|t| {
+                        let bad = scramble(dom, &t[attr], serial).expect("infinite domain");
+                        let (dirty, merged) = db
+                            .edit_cell(cind.lhs_rel(), &t, attr, bad)
+                            .expect("scramble respects the domain")
+                            .expect("picked tuple is resident");
+                        debug_assert!(!merged, "fresh dirt values cannot merge");
+                        InjectedDirt::Orphan {
+                            rel: cind.lhs_rel(),
+                            tuple: dirty,
+                            attr,
+                        }
+                    })
+                }
+            }
+            // Duplicate key: insert a near-copy disagreeing on a
+            // wildcard RHS — the copy shares its victim's whole LHS key.
+            2 if !wild_rhs.is_empty() => {
+                let cfd = wild_rhs[rng.gen_range(0..wild_rhs.len())];
+                pick_tuple(&db, cfd.rel(), rng, |t| {
+                    cfd.lhs_pat().matches_tuple(t, cfd.lhs())
+                })
+                .and_then(|t| {
+                    let bad = scramble(domain_of(cfd.rel(), cfd.rhs()), &t[cfd.rhs()], serial)?;
+                    let dirty = t.with(cfd.rhs(), bad);
+                    db.insert(cfd.rel(), dirty.clone())
+                        .expect("well-typed near-duplicate")
+                        .then_some(InjectedDirt::DuplicateKey {
+                            rel: cfd.rel(),
+                            tuple: dirty,
+                            attr: cfd.rhs(),
+                        })
+                })
+            }
+            _ => None,
+        };
+        match placed {
+            Some(dirt) => injected.push(dirt),
+            None => misses += 1,
+        }
+    }
+    DirtiedDatabase { db, injected }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +438,65 @@ mod tests {
             out.injected.len(),
             "all injected dirt is detectable"
         );
+    }
+
+    fn bank_sigma() -> (Vec<NormalCfd>, Vec<NormalCind>) {
+        (
+            condep_cfd::normalize::normalize_all(&[
+                condep_cfd::fixtures::phi1(),
+                condep_cfd::fixtures::phi2(),
+                condep_cfd::fixtures::phi3(),
+            ]),
+            condep_core::normalize::normalize_all(&condep_core::fixtures::figure_2()),
+        )
+    }
+
+    #[test]
+    fn dirtied_database_injects_detectable_errors() {
+        let clean = condep_model::fixtures::clean_bank_database();
+        let (cfds, cinds) = bank_sigma();
+        // The clean fixture satisfies Σ.
+        assert!(condep_cfd::satisfy::satisfies_all(&clean, &cfds));
+        assert!(condep_core::satisfy::satisfies_all(&clean, &cinds));
+        let out = dirtied_database(&clean, &cfds, &cinds, 0.3, &mut StdRng::seed_from_u64(11));
+        assert!(!out.injected.is_empty(), "30% of 14 tuples must inject");
+        let mut violations = 0;
+        for c in &cfds {
+            violations += condep_cfd::find_violations(&out.db, c).len();
+        }
+        for c in &cinds {
+            violations += condep_core::find_violations(&out.db, c).len();
+        }
+        assert!(
+            violations >= out.injected.len(),
+            "each injection must surface at least one violation \
+             ({} injected, {violations} found)",
+            out.injected.len(),
+        );
+        // All three error kinds have injectors wired for this Σ.
+        let kinds: std::collections::HashSet<u8> = out
+            .injected
+            .iter()
+            .map(|d| match d {
+                InjectedDirt::Typo { .. } => 0u8,
+                InjectedDirt::Orphan { .. } => 1,
+                InjectedDirt::DuplicateKey { .. } => 2,
+            })
+            .collect();
+        assert!(kinds.len() >= 2, "error kinds must vary: {kinds:?}");
+    }
+
+    #[test]
+    fn dirtied_database_is_deterministic() {
+        let clean = condep_model::fixtures::clean_bank_database();
+        let (cfds, cinds) = bank_sigma();
+        let a = dirtied_database(&clean, &cfds, &cinds, 0.25, &mut StdRng::seed_from_u64(7));
+        let b = dirtied_database(&clean, &cfds, &cinds, 0.25, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.db.total_tuples(), b.db.total_tuples());
+        assert_eq!(a.injected.len(), b.injected.len());
+        for (rel, inst) in a.db.iter() {
+            assert_eq!(inst, b.db.relation(rel));
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   - **random** sets with no consistency guarantee;
 //! * dirty databases for the data-cleaning example and benches
 //!   ([`data`]): an instance satisfying Σ with a controlled fraction of
-//!   injected violations.
+//!   injected violations — built from a hidden witness
+//!   ([`data::dirty_database`]) or by corrupting an existing clean
+//!   instance with typos, orphaned CIND sources and duplicate-key
+//!   conflicts ([`data::dirtied_database`], the repair workload).
 //!
 //! All generators take an explicit [`rand::rngs::StdRng`], so every
 //! experiment is reproducible from its seed.
@@ -27,5 +30,5 @@ pub mod data;
 pub mod schema;
 
 pub use constraints::{generate_sigma, HiddenWitness, SigmaGenConfig};
-pub use data::{dirty_database, DirtyDataConfig};
+pub use data::{dirtied_database, dirty_database, DirtiedDatabase, DirtyDataConfig, InjectedDirt};
 pub use schema::{random_schema, SchemaGenConfig};

@@ -75,6 +75,21 @@ impl Database {
         self.relations[rel.index()].remove(t)
     }
 
+    /// Edits one cell of a resident tuple of relation `rel`, validating
+    /// the replacement value against the attribute's domain first (an
+    /// ill-typed edit leaves the database untouched). See
+    /// [`Relation::edit_cell`] for the `(edited, merged)` result.
+    pub fn edit_cell(
+        &mut self,
+        rel: RelId,
+        t: &Tuple,
+        attr: crate::schema::AttrId,
+        v: crate::value::Value,
+    ) -> crate::Result<Option<(Tuple, bool)>> {
+        self.check_tuple(rel, &t.with(attr, v.clone()))?;
+        Ok(self.relations[rel.index()].edit_cell(t, attr, v))
+    }
+
     /// Inserts resolving the relation by name — convenient for fixtures.
     pub fn insert_into(&mut self, rel_name: &str, t: Tuple) -> crate::Result<bool> {
         let rel = self.schema.rel_id(rel_name)?;

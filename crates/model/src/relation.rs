@@ -202,6 +202,32 @@ impl Relation {
         self.tuples.get(i)
     }
 
+    /// Edits one cell of a resident tuple: removes `t` and re-inserts
+    /// `t.with(attr, v)`. Returns `None` when `t` is absent; otherwise
+    /// `Some((edited, merged))` where `merged` is `true` when the edited
+    /// tuple collapsed into an already-resident equal tuple (set
+    /// semantics — the relation shrinks by one). Positions shift exactly
+    /// as the underlying [`Relation::remove`] + [`Relation::insert`]
+    /// dictate; position-keyed consumers should route edits through a
+    /// delta engine instead.
+    pub fn edit_cell(
+        &mut self,
+        t: &Tuple,
+        attr: crate::schema::AttrId,
+        v: crate::value::Value,
+    ) -> Option<(Tuple, bool)> {
+        if !self.contains(t) {
+            return None;
+        }
+        let edited = t.with(attr, v);
+        if &edited == t {
+            return Some((edited, false));
+        }
+        self.remove(t).expect("presence just checked");
+        let fresh = self.insert(edited.clone());
+        Some((edited, !fresh))
+    }
+
     /// Removes all tuples.
     pub fn clear(&mut self) {
         self.tuples.clear();

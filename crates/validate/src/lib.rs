@@ -43,7 +43,7 @@
 mod stream;
 mod validator;
 
-pub use stream::{MovedTuple, SigmaDelta, ValidatorStream};
+pub use stream::{Applied, MovedTuple, Mutation, SigmaDelta, ValidatorStream};
 pub use validator::{SigmaReport, Validator};
 
 #[cfg(test)]
@@ -526,6 +526,164 @@ mod tests {
             stream.current_report(),
             stream.validator().validate_sorted(stream.db()),
         );
+    }
+
+    #[test]
+    fn apply_delta_tracks_current_report_across_mutations() {
+        // The consumer rule, unit-tested against the stream's own
+        // materialization: feed every delta of a mixed mutation sequence
+        // through SigmaReport::apply_delta and compare after each step.
+        let v = bank_validator();
+        let (mut stream, mut mirror) = ValidatorStream::new_validated(v, bank_database());
+        let interest = stream.db().schema().rel_id("interest").unwrap();
+        let saving = stream.db().schema().rel_id("saving").unwrap();
+        let mutations: Vec<Mutation> = vec![
+            Mutation::Insert {
+                rel: interest,
+                tuple: tuple!["GLA", "UK", "checking", "9.9%"],
+            },
+            // Delete a low-position tuple: exercises the swap renumber.
+            Mutation::Delete {
+                rel: interest,
+                tuple: tuple!["EDI", "UK", "checking", "10.5%"],
+            },
+            Mutation::Update {
+                rel: interest,
+                old: tuple!["GLA", "UK", "checking", "9.9%"],
+                new: tuple!["GLA", "UK", "checking", "1.5%"],
+            },
+            Mutation::Delete {
+                rel: saving,
+                tuple: tuple!["01", "J. Smith", "NYC, 19087", "212-5820844", "NYC"],
+            },
+        ];
+        for m in mutations {
+            let applied = stream.apply(m.clone()).unwrap();
+            assert!(!applied.is_noop(), "mutation must not be a no-op: {m:?}");
+            for delta in &applied.deltas {
+                mirror.apply_delta(stream.validator(), delta);
+            }
+            assert_eq!(
+                mirror,
+                stream.current_report(),
+                "consumer rule diverged after {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_and_revert_round_trip() {
+        let v = bank_validator();
+        let (mut stream, initial) = ValidatorStream::new_validated(v, bank_database());
+        let interest = stream.db().schema().rel_id("interest").unwrap();
+        let before = stream.db().clone();
+        // A no-op: inserting a resident tuple.
+        let resident = before.relation(interest).get(0).unwrap().clone();
+        let noop = stream
+            .apply(Mutation::Insert {
+                rel: interest,
+                tuple: resident,
+            })
+            .unwrap();
+        assert!(noop.is_noop());
+        assert!(noop.deltas.is_empty());
+        // Apply then revert each kind; the violation set must come back.
+        let cases = vec![
+            Mutation::Insert {
+                rel: interest,
+                tuple: tuple!["GLA", "UK", "checking", "9.9%"],
+            },
+            Mutation::Delete {
+                rel: interest,
+                tuple: tuple!["EDI", "UK", "checking", "10.5%"],
+            },
+            Mutation::Update {
+                rel: interest,
+                old: tuple!["EDI", "UK", "checking", "10.5%"],
+                new: tuple!["EDI", "UK", "checking", "1.5%"],
+            },
+        ];
+        // Reverting restores the tuple *set*; dense positions may come
+        // back permuted (swap-delete + append-reinsert), so compare the
+        // database as sets and the violation state against a fresh batch
+        // sweep rather than label-for-label against `initial`.
+        let assert_restored = |stream: &ValidatorStream, m: &Mutation| {
+            for (rel, inst) in before.iter() {
+                assert_eq!(
+                    inst,
+                    stream.db().relation(rel),
+                    "revert must restore the tuple set after {m:?}"
+                );
+            }
+            let report = stream.current_report();
+            assert_eq!(report.len(), initial.len(), "violation count after {m:?}");
+            assert_eq!(
+                report,
+                stream.validator().validate_sorted(stream.db()),
+                "live state must equal a batch sweep after {m:?}"
+            );
+        };
+        for m in cases {
+            let applied = stream.apply(m.clone()).unwrap();
+            let revert = applied.revert.clone().expect("not a no-op");
+            stream.revert(revert).unwrap();
+            assert_restored(&stream, &m);
+        }
+        // An update onto a resident tuple merges (set semantics); its
+        // revert restores `old` without deleting the resident partner.
+        let old = tuple!["EDI", "UK", "checking", "10.5%"];
+        let new = tuple!["EDI", "UK", "saving", "4.5%"];
+        assert!(stream.db().relation(interest).contains(&new));
+        let merge = Mutation::Update {
+            rel: interest,
+            old: old.clone(),
+            new: new.clone(),
+        };
+        let applied = stream.apply(merge.clone()).unwrap();
+        assert_eq!(stream.db().total_tuples(), before.total_tuples() - 1);
+        stream.revert(applied.revert.unwrap()).unwrap();
+        assert!(stream.db().relation(interest).contains(&old));
+        assert!(stream.db().relation(interest).contains(&new));
+        assert_restored(&stream, &merge);
+    }
+
+    #[test]
+    fn with_report_skips_the_sweep_but_matches_new_validated() {
+        let db = bank_database();
+        let report = bank_validator().validate_sorted(&db);
+        let mut stream = ValidatorStream::with_report(bank_validator(), db.clone(), report.clone());
+        assert_eq!(stream.current_report(), report);
+        // The seeded stream is a full delta engine: mutate and compare
+        // against a fresh batch sweep.
+        let interest = db.schema().rel_id("interest").unwrap();
+        stream
+            .insert_tuple(interest, tuple!["GLA", "UK", "checking", "9.9%"])
+            .unwrap();
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db())
+        );
+    }
+
+    #[test]
+    fn cfd_violation_class_returns_the_key_group() {
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("r", &[("k", Domain::string()), ("v", Domain::string())])
+                .finish(),
+        );
+        let cfd = NormalCfd::parse(&schema, "r", &["k"], prow![_], "v", PValue::Any).unwrap();
+        let r = schema.rel_id("r").unwrap();
+        let v = Validator::new(vec![cfd], vec![]);
+        let (mut stream, _) = ValidatorStream::new_validated(v, Database::empty(schema));
+        stream.insert_tuple(r, tuple!["a", "x"]).unwrap();
+        stream.insert_tuple(r, tuple!["b", "y"]).unwrap();
+        stream.insert_tuple(r, tuple!["a", "z"]).unwrap();
+        let class = stream.cfd_violation_class(0, &tuple!["a", "x"]);
+        assert_eq!(class, vec![0, 2], "both k=a tuples, position-sorted");
+        assert_eq!(stream.cfd_violation_class(0, &tuple!["b", "y"]), vec![1]);
+        // A key the stream has never seen: empty class, no panic.
+        assert!(stream.cfd_violation_class(0, &tuple!["q", "w"]).is_empty());
     }
 
     #[test]

@@ -53,6 +53,88 @@ use condep_model::{
 use condep_query::SymIndex;
 use std::collections::HashSet;
 
+/// One value-level database mutation, appliable through
+/// [`ValidatorStream::apply`].
+///
+/// The value-level (rather than position-level) formulation is what a
+/// repair engine wants: a planned fix stays valid across the swap
+/// renumbering earlier fixes cause, and its inverse (see
+/// [`Applied::revert`]) is again a `Mutation`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Mutation {
+    /// Insert a tuple (a no-op when it is already present).
+    Insert {
+        /// The relation to insert into.
+        rel: RelId,
+        /// The arriving tuple.
+        tuple: Tuple,
+    },
+    /// Delete a tuple by value (a no-op when it is absent).
+    Delete {
+        /// The relation to delete from.
+        rel: RelId,
+        /// The departing tuple.
+        tuple: Tuple,
+    },
+    /// Replace `old` by `new` (a no-op when `old` is absent). When `new`
+    /// already resides in the relation the update degenerates to a
+    /// deletion of `old` — instances are sets, so the two tuples merge.
+    Update {
+        /// The relation to update in.
+        rel: RelId,
+        /// The tuple to replace.
+        old: Tuple,
+        /// Its replacement.
+        new: Tuple,
+    },
+}
+
+/// What one [`ValidatorStream::apply`] call did: the streamed deltas in
+/// application order, plus the inverse mutation that
+/// [`ValidatorStream::revert`] replays to restore the pre-mutation tuple
+/// set — the retraction primitive repair engines build their
+/// apply → inspect delta → keep-or-roll-back loop on. `revert` is `None`
+/// exactly when the mutation was a no-op.
+///
+/// Reverting restores the database as a *set of tuples* (and therefore
+/// the violation set up to position labels); dense positions may come
+/// back permuted by the swap-based deletions involved.
+#[derive(Clone, Debug)]
+pub struct Applied {
+    /// The streamed deltas, in application order.
+    pub deltas: Vec<SigmaDelta>,
+    /// The inverse mutation (`None` for a no-op).
+    pub revert: Option<Mutation>,
+}
+
+impl Applied {
+    /// Did the mutation change nothing at all?
+    pub fn is_noop(&self) -> bool {
+        self.revert.is_none()
+    }
+
+    /// Introduced-minus-resolved violation count across all deltas.
+    pub fn net_change(&self) -> isize {
+        self.deltas.iter().map(SigmaDelta::net_change).sum()
+    }
+
+    /// Total violations resolved across all deltas.
+    pub fn resolved_count(&self) -> usize {
+        self.deltas
+            .iter()
+            .map(|d| d.cfd.resolved.len() + d.cind.resolved.len())
+            .sum()
+    }
+
+    /// Total violations introduced across all deltas.
+    pub fn introduced_count(&self) -> usize {
+        self.deltas
+            .iter()
+            .map(|d| d.cfd.introduced.len() + d.cind.introduced.len())
+            .sum()
+    }
+}
+
 /// A swap-based deletion moved the relation's last tuple: every
 /// position-keyed view of `rel` must renumber `from` to `to`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -174,6 +256,77 @@ fn intern_key(interner: &mut Interner, t: &Tuple, attrs: &[AttrId], buf: &mut Ve
     buf.extend(attrs.iter().map(|a| interner.intern_value(&t[*a])));
 }
 
+impl SigmaReport {
+    /// Applies one streamed delta to a consumer-maintained report,
+    /// implementing the documented consumer rule
+    ///
+    /// ```text
+    /// after = renumber(before − resolved, moved) + introduced
+    /// ```
+    ///
+    /// i.e. the resolved violations (labeled with pre-move positions) are
+    /// removed first, the swap renumbering is applied to what survives,
+    /// and the introduced violations (post-move positions) are added; the
+    /// report is then re-sorted into the canonical order. Feeding every
+    /// delta of a [`ValidatorStream`] through this keeps the report equal
+    /// to [`ValidatorStream::current_report`] at all times.
+    ///
+    /// The `validator` argument resolves each violation's constraint
+    /// index to its relation, so only positions of the renumbered
+    /// relation are touched.
+    pub fn apply_delta(&mut self, validator: &Validator, delta: &SigmaDelta) {
+        if delta.is_quiet() {
+            // The hot path for mutations on clean streams: nothing to
+            // remove, renumber or add.
+            return;
+        }
+        if !delta.cfd.resolved.is_empty() {
+            let rm: HashSet<&(usize, CfdViolation), FxBuildHasher> =
+                delta.cfd.resolved.iter().collect();
+            self.cfd.retain(|v| !rm.contains(v));
+        }
+        if !delta.cind.resolved.is_empty() {
+            let rm: HashSet<&(usize, CindViolation), FxBuildHasher> =
+                delta.cind.resolved.iter().collect();
+            self.cind.retain(|v| !rm.contains(v));
+        }
+        if let Some(mv) = &delta.moved {
+            let renum = |p: &mut usize| {
+                if *p == mv.from {
+                    *p = mv.to;
+                }
+            };
+            for (i, v) in self.cfd.iter_mut() {
+                if validator.cfds()[*i].rel() != mv.rel {
+                    continue;
+                }
+                match v {
+                    CfdViolation::SingleTuple { tuple, .. } => renum(tuple),
+                    CfdViolation::Pair { left, right } => {
+                        renum(left);
+                        renum(right);
+                    }
+                }
+            }
+            for (i, v) in self.cind.iter_mut() {
+                if validator.cinds()[*i].lhs_rel() == mv.rel {
+                    renum(&mut v.tuple);
+                }
+            }
+        }
+        self.cfd.extend(delta.cfd.introduced.iter().cloned());
+        self.cind.extend(delta.cind.introduced.iter().cloned());
+        // Removal alone preserves the canonical order; only a renumber
+        // or an addition can break it.
+        if delta.moved.is_some()
+            || !delta.cfd.introduced.is_empty()
+            || !delta.cind.introduced.is_empty()
+        {
+            self.sort();
+        }
+    }
+}
+
 /// One affected `(group, key)` pair-recomputation scope of a deletion.
 struct PairScope {
     group: usize,
@@ -215,6 +368,29 @@ impl ValidatorStream {
     /// [`Validator::validate_sorted`] report the live state starts from.
     pub fn new_validated(validator: Validator, db: Database) -> (Self, SigmaReport) {
         let report = validator.validate_sorted(&db);
+        let stream = ValidatorStream::materialize(validator, db, report.clone());
+        (stream, report)
+    }
+
+    /// Materializes the stream over a database whose violation report is
+    /// **already known** (from a prior batch run, monitor or stream):
+    /// the live group indexes are still built, but the batch validation
+    /// sweep [`ValidatorStream::new_validated`] performs is skipped.
+    ///
+    /// `report` must be exactly [`Validator::validate_sorted`] of `db`
+    /// (debug-asserted) — seeding a stale report desynchronizes the
+    /// live state permanently.
+    pub fn with_report(validator: Validator, db: Database, report: SigmaReport) -> Self {
+        debug_assert_eq!(
+            report,
+            validator.validate_sorted(&db),
+            "seed report disagrees with the database"
+        );
+        ValidatorStream::materialize(validator, db, report)
+    }
+
+    /// Builds the live indexes and violation sets from a trusted report.
+    fn materialize(validator: Validator, db: Database, report: SigmaReport) -> Self {
         let interner = Interner::from_database(&db);
         let cfd_indexes = validator
             .cfd_groups()
@@ -250,21 +426,18 @@ impl ValidatorStream {
                     .collect()
             })
             .collect();
-        let live_cfd = report.cfd.iter().cloned().collect();
-        let live_cind = report.cind.iter().cloned().collect();
-        (
-            ValidatorStream {
-                validator,
-                db,
-                interner,
-                cfd_indexes,
-                cind_targets,
-                cind_sources,
-                live_cfd,
-                live_cind,
-            },
-            report,
-        )
+        let live_cfd = report.cfd.into_iter().collect();
+        let live_cind = report.cind.into_iter().collect();
+        ValidatorStream {
+            validator,
+            db,
+            interner,
+            cfd_indexes,
+            cind_targets,
+            cind_sources,
+            live_cfd,
+            live_cind,
+        }
     }
 
     /// Materializes the stream state over an initial database, discarding
@@ -834,6 +1007,118 @@ impl ValidatorStream {
         };
         let inserted = self.insert_tuple(rel, new)?;
         Ok(Some((deleted, inserted)))
+    }
+
+    /// Applies one value-level [`Mutation`], returning the streamed
+    /// deltas **and** the inverse mutation ([`Applied::revert`]) that
+    /// restores the pre-mutation tuple set. No-ops (inserting a resident
+    /// tuple, deleting or updating an absent one, `old == new`) return an
+    /// empty [`Applied`] with `revert: None`.
+    ///
+    /// An update whose `new` tuple already resides in the relation
+    /// degenerates to a deletion of `old` (set semantics merge the two);
+    /// its revert is the re-insertion of `old`, **not** a deletion of the
+    /// pre-existing `new`.
+    pub fn apply(&mut self, m: Mutation) -> Result<Applied, ModelError> {
+        const NOOP: Applied = Applied {
+            deltas: Vec::new(),
+            revert: None,
+        };
+        match m {
+            Mutation::Insert { rel, tuple } => {
+                if self.db.relation(rel).contains(&tuple) {
+                    return Ok(NOOP);
+                }
+                let delta = self.insert_tuple(rel, tuple.clone())?;
+                Ok(Applied {
+                    deltas: vec![delta],
+                    revert: Some(Mutation::Delete { rel, tuple }),
+                })
+            }
+            Mutation::Delete { rel, tuple } => match self.delete_tuple(rel, &tuple) {
+                None => Ok(NOOP),
+                Some(delta) => Ok(Applied {
+                    deltas: vec![delta],
+                    revert: Some(Mutation::Insert { rel, tuple }),
+                }),
+            },
+            Mutation::Update { rel, old, new } => {
+                self.db.check_tuple(rel, &new)?;
+                if old == new || !self.db.relation(rel).contains(&old) {
+                    return Ok(NOOP);
+                }
+                if self.db.relation(rel).contains(&new) {
+                    // Set semantics: the edit collapses `old` into the
+                    // resident `new` — a pure deletion, reverted by
+                    // re-inserting `old` (the resident tuple predates the
+                    // mutation and must survive the revert).
+                    let delta = self.delete_tuple(rel, &old).expect("presence just checked");
+                    return Ok(Applied {
+                        deltas: vec![delta],
+                        revert: Some(Mutation::Insert { rel, tuple: old }),
+                    });
+                }
+                let (d1, d2) = self
+                    .update_tuple(rel, &old, new.clone())?
+                    .expect("presence just checked");
+                Ok(Applied {
+                    deltas: vec![d1, d2],
+                    revert: Some(Mutation::Update {
+                        rel,
+                        old: new,
+                        new: old,
+                    }),
+                })
+            }
+        }
+    }
+
+    /// Replays the inverse mutation of an [`Applied`] — the retraction
+    /// half of the apply → inspect delta → keep-or-roll-back loop. The
+    /// returned deltas mirror the original's (resolved and introduced
+    /// swap roles, modulo position relabeling) and must still be consumed
+    /// by any delta-maintained state.
+    pub fn revert(&mut self, revert: Mutation) -> Result<Applied, ModelError> {
+        let applied = self.apply(revert)?;
+        debug_assert!(
+            !applied.is_noop(),
+            "reverting an applied mutation cannot be a no-op"
+        );
+        Ok(applied)
+    }
+
+    /// The **violation class** of compiled CFD `cfd_idx` around tuple `t`:
+    /// the dense positions (ascending) of every resident tuple that
+    /// matches the CFD's LHS pattern and agrees with `t` on the LHS
+    /// attributes — the equivalence class over which a wildcard-RHS
+    /// conflict must be settled, read from the live group index at
+    /// key-group cost. Empty when `t` does not match the pattern (or
+    /// carries a key no resident tuple holds).
+    pub fn cfd_violation_class(&self, cfd_idx: usize, t: &Tuple) -> Vec<usize> {
+        let (gi, mi) = self.validator.cfd_slot(cfd_idx);
+        let g = &self.validator.cfd_groups()[gi];
+        let m = &g.members[mi];
+        if !member_matches(g, m, t) {
+            return Vec::new();
+        }
+        let mut key = Vec::with_capacity(g.attrs.len());
+        for a in &g.attrs {
+            match self.interner.sym_value(&t[*a]) {
+                Some(s) => key.push(s),
+                None => return Vec::new(),
+            }
+        }
+        let rel_inst = self.db.relation(g.rel);
+        let mut out: Vec<usize> = self.cfd_indexes[gi]
+            .positions(&key)
+            .filter(|&p| {
+                let resident = rel_inst.get(p as usize).expect("indexed position valid");
+                member_matches(g, m, resident)
+            })
+            .map(|p| p as usize)
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Does `t` (a tuple currently in the stream's database) participate

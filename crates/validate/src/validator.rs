@@ -99,6 +99,8 @@ pub struct Validator {
     cinds: Vec<NormalCind>,
     cfd_groups: Vec<CfdGroup>,
     cind_groups: Vec<CindGroup>,
+    /// Per CFD index: its `(group slot, member slot)` in `cfd_groups`.
+    cfd_slots: Vec<(usize, usize)>,
 }
 
 /// Databases below this tuple count are validated on the calling thread;
@@ -167,11 +169,19 @@ impl Validator {
             cind_groups[slot].members.push(CindMember { idx, x_perm });
         }
 
+        let mut cfd_slots = vec![(0usize, 0usize); cfds.len()];
+        for (gi, g) in cfd_groups.iter().enumerate() {
+            for (mi, m) in g.members.iter().enumerate() {
+                cfd_slots[m.idx] = (gi, mi);
+            }
+        }
+
         Validator {
             cfds,
             cinds,
             cfd_groups,
             cind_groups,
+            cfd_slots,
         }
     }
 
@@ -193,6 +203,11 @@ impl Validator {
 
     pub(crate) fn cfd_groups(&self) -> &[CfdGroup] {
         &self.cfd_groups
+    }
+
+    /// The `(group slot, member slot)` of one compiled CFD.
+    pub(crate) fn cfd_slot(&self, idx: usize) -> (usize, usize) {
+        self.cfd_slots[idx]
     }
 
     pub(crate) fn cind_groups(&self) -> &[CindGroup] {

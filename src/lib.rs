@@ -21,8 +21,9 @@
 //! | [`chase`] | the bounded-pool chase of Section 5.1 (`IND(ψ)`/`FD(φ)`, `chaseI`, valuations) |
 //! | [`consistency`] | the Section 5 heuristics: `CFD_Checking` (chase & SAT), dependency graph, `preProcessing`, `RandomChecking`, `Checking` |
 //! | [`gen`] | seeded workload generators matching the Section 6 experimental setting |
-//! | [`validate`] | **batched Σ-validation engine**: Σ grouped by `(relation, LHS set)`, one shared group-by index per group over interned keys, parallel sweep; `ValidatorStream` delta engine (insert/delete/update with violation retraction) |
-//! | [`report`] | high-level data-quality façade: compiles Σ into a batched validator, runs it against a database and aggregates violations; `QualityMonitor` keeps the summary live from streamed deltas |
+//! | [`validate`] | **batched Σ-validation engine**: Σ grouped by `(relation, LHS set)`, one shared group-by index per group over interned keys, parallel sweep; `ValidatorStream` delta engine (insert/delete/update with violation retraction, value-level `Mutation`/`apply`/`revert`, `SigmaReport::apply_delta` consumer rule) |
+//! | [`repair`] | **cost-based repair engine**: greedy equivalence-class CFD repair (union-find over conflicting cells, majority/constant targets), CIND orphans chased into inserted targets or deleted, every fix verified net-negative through the delta engine and rolled back otherwise |
+//! | [`report`] | high-level data-quality façade: compiles Σ into a batched validator, runs it against a database and aggregates violations; `QualityMonitor` keeps the full report live from streamed deltas; `QualitySuite::repair` cleans a database through the repair engine |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@ pub use condep_dsl as dsl;
 pub use condep_gen as gen;
 pub use condep_model as model;
 pub use condep_query as query;
+pub use condep_repair as repair;
 pub use condep_sat as sat;
 pub use condep_validate as validate;
 
@@ -59,6 +61,7 @@ pub mod prelude {
     pub use crate::model::{
         AttrId, Database, Domain, PValue, PatternRow, RelId, Schema, Tuple, Value,
     };
+    pub use crate::repair::{RepairBudget, RepairCost, RepairReport};
     pub use crate::report::{QualityMonitor, QualityReport, ViolationSummary};
-    pub use crate::validate::{SigmaDelta, SigmaReport, Validator, ValidatorStream};
+    pub use crate::validate::{Mutation, SigmaDelta, SigmaReport, Validator, ValidatorStream};
 }

@@ -9,6 +9,7 @@ use condep_cfd::{normalize as cfd_normalize, Cfd, CfdViolation, NormalCfd};
 use condep_consistency::{checking, CheckingConfig, ConstraintSet};
 use condep_core::{normalize as cind_normalize, Cind, CindViolation, NormalCind};
 use condep_model::{Database, ModelError, RelId, Schema, Tuple};
+use condep_repair::{RepairBudget, RepairCost, RepairReport};
 use condep_validate::{SigmaDelta, SigmaReport, Validator, ValidatorStream};
 use std::fmt;
 use std::sync::Arc;
@@ -161,12 +162,32 @@ impl QualitySuite {
     pub fn monitor(&self, db: Database) -> (QualityMonitor, QualityReport) {
         let tuples = db.total_tuples();
         let (stream, initial) = ValidatorStream::new_validated(self.validator.clone(), db);
-        let report = resolve_report(&self.validator, tuples, initial);
+        let report = resolve_report(&self.validator, tuples, initial.clone());
         let monitor = QualityMonitor {
-            summary: report.summary,
+            sigma: initial,
+            tuples_checked: tuples,
             stream,
         };
         (monitor, report)
+    }
+
+    /// Repairs `db` against the suite: the `condep-repair` cost-based
+    /// engine detects every violation, settles CFD conflicts per
+    /// equivalence class (constant patterns force their constant,
+    /// variable ones take the class majority), gives CIND orphans their
+    /// chased target tuple or deletes them, and verifies **every**
+    /// candidate fix through the delta engine — kept only when its
+    /// [`SigmaDelta`]s prove it strictly net-negative, rolled back
+    /// otherwise. Returns the repaired database and the auditable
+    /// [`RepairReport`] (fixes, costs, residual violations).
+    pub fn repair(
+        &self,
+        db: Database,
+        cost: &RepairCost,
+        budget: &RepairBudget,
+    ) -> (Database, RepairReport) {
+        let initial = self.validator.validate_sorted(&db);
+        condep_repair::repair(self.validator.clone(), db, initial, cost, budget)
     }
 
     /// The offending tuples, resolved against `db` — what a repair tool
@@ -240,15 +261,19 @@ fn resolve_report(
 /// A live data-quality monitor: a [`QualitySuite`] bound to one evolving
 /// database through the `condep-validate` delta engine.
 ///
-/// The summary is maintained **incrementally from the streamed deltas**
-/// — introduced violations raise the counters, retractions lower them —
-/// so a monitor ingesting an insert/delete stream never re-validates the
-/// database, yet [`QualityMonitor::summary`] always matches what
-/// [`QualitySuite::check`] would report from scratch.
+/// The full violation report is maintained **incrementally from the
+/// streamed deltas** via [`SigmaReport::apply_delta`] (the documented
+/// consumer rule: remove resolved, renumber the swap move, add
+/// introduced), so a monitor ingesting an insert/delete stream never
+/// re-validates the database, yet [`QualityMonitor::summary`] and
+/// [`QualityMonitor::report`] always match what [`QualitySuite::check`]
+/// would report from scratch.
 #[derive(Clone, Debug)]
 pub struct QualityMonitor {
     stream: ValidatorStream,
-    summary: ViolationSummary,
+    /// The delta-maintained raw report (== the stream's live state).
+    sigma: SigmaReport,
+    tuples_checked: usize,
 }
 
 impl QualityMonitor {
@@ -257,7 +282,6 @@ impl QualityMonitor {
     pub fn insert(&mut self, rel: RelId, t: Tuple) -> Result<SigmaDelta, ModelError> {
         let delta = self.stream.insert_tuple(rel, t)?;
         self.consume(&delta);
-        self.summary.tuples_checked = self.stream.db().total_tuples();
         Ok(delta)
     }
 
@@ -267,7 +291,6 @@ impl QualityMonitor {
     pub fn delete(&mut self, rel: RelId, t: &Tuple) -> Option<SigmaDelta> {
         let delta = self.stream.delete_tuple(rel, t)?;
         self.consume(&delta);
-        self.summary.tuples_checked = self.stream.db().total_tuples();
         Some(delta)
     }
 
@@ -284,21 +307,23 @@ impl QualityMonitor {
         };
         self.consume(&del);
         self.consume(&ins);
-        self.summary.tuples_checked = self.stream.db().total_tuples();
         Ok(Some((del, ins)))
     }
 
-    /// Folds one streamed delta into the running counters.
+    /// Folds one streamed delta into the mirrored report through the
+    /// consumer rule ([`SigmaReport::apply_delta`]).
     fn consume(&mut self, delta: &SigmaDelta) {
-        self.summary.cfd_violations += delta.cfd.introduced.len();
-        self.summary.cfd_violations -= delta.cfd.resolved.len();
-        self.summary.cind_violations += delta.cind.introduced.len();
-        self.summary.cind_violations -= delta.cind.resolved.len();
+        self.sigma.apply_delta(self.stream.validator(), delta);
+        self.tuples_checked = self.stream.db().total_tuples();
     }
 
     /// The delta-maintained counters (no validation run).
     pub fn summary(&self) -> ViolationSummary {
-        self.summary
+        ViolationSummary {
+            cfd_violations: self.sigma.cfd.len(),
+            cind_violations: self.sigma.cind.len(),
+            tuples_checked: self.tuples_checked,
+        }
     }
 
     /// The current database.
@@ -306,14 +331,20 @@ impl QualityMonitor {
         self.stream.db()
     }
 
-    /// The full current report, materialized from the live violation set
-    /// — equal to re-checking the database from scratch, without the
-    /// sweep.
+    /// The full current report, resolved from the delta-maintained
+    /// mirror — equal to re-checking the database from scratch, without
+    /// the sweep (and equal to the stream's own materialized state,
+    /// asserted in debug builds).
     pub fn report(&self) -> QualityReport {
+        debug_assert_eq!(
+            self.sigma,
+            self.stream.current_report(),
+            "consumer-rule mirror diverged from the stream's live state"
+        );
         resolve_report(
             self.stream.validator(),
-            self.stream.db().total_tuples(),
-            self.stream.current_report(),
+            self.tuples_checked,
+            self.sigma.clone(),
         )
     }
 }
