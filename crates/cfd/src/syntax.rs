@@ -235,6 +235,25 @@ impl NormalCfd {
         self.rhs_pat.is_const()
     }
 
+    /// Is the CFD **trivially** satisfied by every instance?
+    ///
+    /// That is the case exactly when `A ∈ X` and the RHS pattern does
+    /// not add information beyond the LHS cell for `A`: a wildcard RHS
+    /// (two tuples agreeing on `X ∋ A` agree on `A` by definition), or a
+    /// constant RHS equal to the LHS constant on `A` (every matching
+    /// tuple already carries it). A constant RHS under a wildcard LHS
+    /// cell is *not* trivial — it forces the constant. Discovery uses
+    /// this to drop vacuous candidates before ranking.
+    pub fn is_trivial(&self) -> bool {
+        self.lhs.iter().zip(self.lhs_pat.cells()).any(|(a, cell)| {
+            *a == self.rhs
+                && match &self.rhs_pat {
+                    PValue::Any => true,
+                    PValue::Const(c) => cell.as_const() == Some(c),
+                }
+        })
+    }
+
     /// The LHS canonicalized for set-level grouping: attributes sorted,
     /// pattern cells permuted in lock-step (`None` = wildcard). Two
     /// CFDs over permuted versions of the same LHS attribute set yield

@@ -343,6 +343,20 @@ impl NormalCind {
         self.xp.iter().all(|(a, v)| &t[*a] == v)
     }
 
+    /// Is the CIND **trivially** satisfied by every instance?
+    ///
+    /// That is the case when source and target are the same relation,
+    /// the matched lists are attribute-for-attribute identical, and
+    /// every RHS condition `(B, b) ∈ Yp` is also demanded by `Xp` — a
+    /// triggered tuple then partners with itself. Discovery uses this to
+    /// drop vacuous `R[X; Xp] ⊆ R[X; Yp ⊆ Xp]` candidates before
+    /// ranking.
+    pub fn is_trivial(&self) -> bool {
+        self.lhs_rel == self.rhs_rel
+            && self.x == self.y
+            && self.yp.iter().all(|pair| self.xp.contains(pair))
+    }
+
     /// Does `t` (a tuple of `R2`) match the RHS pattern `tp[Yp]`?
     pub fn rhs_matches(&self, t: &condep_model::Tuple) -> bool {
         self.yp.iter().all(|(a, v)| &t[*a] == v)

@@ -1,0 +1,69 @@
+//! Discovery parameters.
+
+/// Knobs of the [`crate::discover`] run.
+///
+/// The defaults aim at profiling workloads in the 10K–1M tuple range:
+/// strict (confidence 1.0) mining, LHS sets of at most 2 attributes,
+/// and support floors that keep the candidate stream to dependencies a
+/// human (or the repair engine) would act on. Lower
+/// [`DiscoveryConfig::min_confidence`] below `1.0` to mine *approximate*
+/// dependencies from dirty data — the violations the relaxed Σ′ still
+/// flags are exactly what a repair engine consumes.
+#[derive(Clone, Copy, Debug)]
+pub struct DiscoveryConfig {
+    /// Maximum LHS attribute-set size explored by the CFD lattice walk.
+    /// The walk is level-wise, so cost grows with
+    /// `C(arity, max_lhs) × rows`.
+    pub max_lhs: usize,
+    /// Minimum support: for a variable (all-wildcard) CFD, the tuples in
+    /// non-singleton LHS classes; for a constant tableau row, the size of
+    /// its equivalence class; for a CIND, the triggered source tuples.
+    pub min_support: usize,
+    /// Minimum confidence (fraction of supporting tuples kept after
+    /// removing the cheapest violators). `1.0` mines only dependencies
+    /// the instance satisfies exactly.
+    pub min_confidence: f64,
+    /// Cap on constant tableau rows emitted per `(X, A)` candidate
+    /// (largest classes win).
+    pub max_patterns_per_fd: usize,
+    /// Cap on CFDs kept per relation after ranking.
+    pub max_cfds_per_relation: usize,
+    /// Cap on CINDs kept overall after ranking.
+    pub max_cinds: usize,
+    /// Cap on constant conditions attached per near-inclusion (highest
+    /// support wins).
+    pub max_conditions_per_ind: usize,
+    /// Cap on Σ′-implication checks spent pruning redundant candidates;
+    /// once exhausted, remaining candidates are kept unchecked (sound —
+    /// pruning only removes provably implied dependencies).
+    pub implication_budget: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            max_lhs: 2,
+            min_support: 8,
+            min_confidence: 1.0,
+            max_patterns_per_fd: 32,
+            max_cfds_per_relation: 128,
+            max_cinds: 32,
+            max_conditions_per_ind: 4,
+            implication_budget: 2_048,
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    /// The clamped confidence threshold (`0.0 ..= 1.0`).
+    pub(crate) fn confidence_floor(&self) -> f64 {
+        self.min_confidence.clamp(0.0, 1.0)
+    }
+
+    /// The support floor, never below 2 (a stripped partition cannot
+    /// witness anything smaller, and support-1 "dependencies" are
+    /// tautologies of single tuples).
+    pub(crate) fn support_floor(&self) -> usize {
+        self.min_support.max(2)
+    }
+}

@@ -129,6 +129,172 @@ pub fn dirty_database<R: Rng>(
     DirtyDatabase { db, injected }
 }
 
+/// Parameters of the planted-Σ generator
+/// ([`clean_database_with_hidden_sigma`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PlantedSigmaConfig {
+    /// `(key, dep)` column pairs in the `fact` relation; each pair
+    /// plants the variable FD `k{p} → d{p}`.
+    pub fd_pairs: usize,
+    /// Distinct values per pair — each value is one equivalence class,
+    /// so expected per-class support is `tuples / pair_cardinality`.
+    pub pair_cardinality: usize,
+    /// Constant tableau rows `(k{p}=k{p}_h ‖ d{p}=d{p}_h)` planted per
+    /// pair (`h < constant_rows_per_pair ≤ pair_cardinality`).
+    pub constant_rows_per_pair: usize,
+    /// Reference relations `dim{p}` with the planted inclusion
+    /// `fact[k{p}] ⊆ dim{p}[v]` (`≤ fd_pairs`).
+    pub cind_count: usize,
+    /// `fact` rows to generate (each row gets a unique serial id, so the
+    /// set instance really holds this many tuples).
+    pub tuples: usize,
+}
+
+impl Default for PlantedSigmaConfig {
+    fn default() -> Self {
+        PlantedSigmaConfig {
+            fd_pairs: 4,
+            pair_cardinality: 8,
+            constant_rows_per_pair: 4,
+            cind_count: 2,
+            tuples: 10_000,
+        }
+    }
+}
+
+/// A clean database together with the hidden Σ it was built to satisfy
+/// — the discovery ground truth.
+#[derive(Clone, Debug)]
+pub struct PlantedDatabase {
+    /// The clean instance (satisfies every planted dependency).
+    pub db: Database,
+    /// The planted CFDs: one variable FD per pair plus the constant
+    /// tableau rows.
+    pub cfds: Vec<NormalCfd>,
+    /// The planted CINDs: one exact inclusion per `dim` relation.
+    pub cinds: Vec<NormalCind>,
+}
+
+/// Builds a clean database around a **hidden planted Σ** with enough
+/// value diversity for discovery to be non-trivial — unlike
+/// [`dirty_database`]'s witness clones (whose constrained columns are
+/// constant, so every FD holds vacuously), each planted FD here holds
+/// through `pair_cardinality` distinct equivalence classes.
+///
+/// Shape: one `fact(id, k0, d0, k1, d1, …)` relation whose column pairs
+/// are value-locked (`k{p} = k{p}_h ⇒ d{p} = d{p}_h` for a per-row
+/// random `h`), plus `cind_count` single-column `dim{p}(v)` relations
+/// holding every `k{p}` value. The planted ground truth comes back in
+/// [`PlantedDatabase::cfds`] / [`PlantedDatabase::cinds`]; a discovery
+/// run on [`PlantedDatabase::db`] should recover a Σ′ **implying** every
+/// member of it (asserted via the exact implication checkers in the
+/// discovery property suite and `benches/discover.rs`).
+///
+/// Deterministic for a fixed `(cfg, seed)`. The first
+/// `pair_cardinality` rows cycle every class deterministically, so each
+/// planted constant row is guaranteed to have support.
+pub fn clean_database_with_hidden_sigma<R: Rng>(
+    cfg: &PlantedSigmaConfig,
+    rng: &mut R,
+) -> PlantedDatabase {
+    assert!(cfg.fd_pairs >= 1, "at least one column pair");
+    assert!(cfg.pair_cardinality >= 2, "classes must be non-degenerate");
+    assert!(
+        cfg.constant_rows_per_pair <= cfg.pair_cardinality,
+        "cannot plant more constant rows than classes"
+    );
+    assert!(cfg.cind_count <= cfg.fd_pairs, "one dim per pair at most");
+
+    let mut builder = Schema::builder();
+    let mut fact_cols: Vec<(String, condep_model::Domain)> =
+        vec![("id".to_string(), condep_model::Domain::string())];
+    for p in 0..cfg.fd_pairs {
+        fact_cols.push((format!("k{p}"), condep_model::Domain::string()));
+        fact_cols.push((format!("d{p}"), condep_model::Domain::string()));
+    }
+    let cols_ref: Vec<(&str, condep_model::Domain)> = fact_cols
+        .iter()
+        .map(|(n, d)| (n.as_str(), d.clone()))
+        .collect();
+    builder = builder.relation("fact", &cols_ref);
+    for p in 0..cfg.cind_count {
+        builder = builder.relation(&format!("dim{p}"), &[("v", condep_model::Domain::string())]);
+    }
+    let schema = Arc::new(builder.finish());
+    let fact = schema.rel_id("fact").expect("just declared");
+    let fact_rs = schema.relation(fact).expect("in range");
+
+    let mut db = Database::empty(schema.clone());
+    for i in 0..cfg.tuples {
+        let mut values = Vec::with_capacity(1 + 2 * cfg.fd_pairs);
+        values.push(Value::str(format!("t{i}")));
+        for p in 0..cfg.fd_pairs {
+            // Guarantee every class appears before randomness takes
+            // over, so planted constant rows always have support.
+            let h = if i < cfg.pair_cardinality {
+                i
+            } else {
+                rng.gen_range(0..cfg.pair_cardinality)
+            };
+            values.push(Value::str(format!("k{p}_{h}")));
+            values.push(Value::str(format!("d{p}_{h}")));
+        }
+        db.insert(fact, Tuple::new(values)).expect("well-typed");
+    }
+    for p in 0..cfg.cind_count {
+        let dim = schema.rel_id(&format!("dim{p}")).expect("just declared");
+        for h in 0..cfg.pair_cardinality {
+            db.insert(dim, Tuple::new(vec![Value::str(format!("k{p}_{h}"))]))
+                .expect("well-typed");
+        }
+    }
+
+    let mut cfds = Vec::new();
+    for p in 0..cfg.fd_pairs {
+        let k = fact_rs.attr_id(&format!("k{p}")).expect("declared");
+        let d = fact_rs.attr_id(&format!("d{p}")).expect("declared");
+        cfds.push(NormalCfd::new(
+            fact,
+            vec![k],
+            condep_model::PatternRow::all_any(1),
+            d,
+            condep_model::PValue::Any,
+        ));
+        for h in 0..cfg.constant_rows_per_pair {
+            cfds.push(NormalCfd::new(
+                fact,
+                vec![k],
+                condep_model::PatternRow::new(vec![condep_model::PValue::constant(format!(
+                    "k{p}_{h}"
+                ))]),
+                d,
+                condep_model::PValue::constant(format!("d{p}_{h}")),
+            ));
+        }
+    }
+    let mut cinds = Vec::new();
+    for p in 0..cfg.cind_count {
+        let dim = schema.rel_id(&format!("dim{p}")).expect("declared");
+        let dim_v = schema
+            .relation(dim)
+            .expect("in range")
+            .attr_id("v")
+            .expect("declared");
+        let k = fact_rs.attr_id(&format!("k{p}")).expect("declared");
+        cinds.push(NormalCind::new(
+            fact,
+            dim,
+            vec![k],
+            vec![dim_v],
+            Vec::new(),
+            Vec::new(),
+        ));
+    }
+    debug_assert!(condep_cfd::satisfy::satisfies_all(&db, &cfds));
+    debug_assert!(condep_core::satisfy::satisfies_all(&db, &cinds));
+    PlantedDatabase { db, cfds, cinds }
+}
+
 /// One error [`dirtied_database`] injected, with the **dirty** tuple
 /// value (the ground truth a repair run should undo).
 #[derive(Clone, Debug)]
@@ -494,6 +660,56 @@ mod tests {
         let b = dirtied_database(&clean, &cfds, &cinds, 0.25, &mut StdRng::seed_from_u64(7));
         assert_eq!(a.db.total_tuples(), b.db.total_tuples());
         assert_eq!(a.injected.len(), b.injected.len());
+        for (rel, inst) in a.db.iter() {
+            assert_eq!(inst, b.db.relation(rel));
+        }
+    }
+
+    #[test]
+    fn planted_database_satisfies_its_hidden_sigma() {
+        let cfg = PlantedSigmaConfig {
+            tuples: 300,
+            ..PlantedSigmaConfig::default()
+        };
+        let planted = clean_database_with_hidden_sigma(&cfg, &mut StdRng::seed_from_u64(21));
+        assert_eq!(
+            planted.cfds.len(),
+            cfg.fd_pairs * (1 + cfg.constant_rows_per_pair)
+        );
+        assert_eq!(planted.cinds.len(), cfg.cind_count);
+        assert!(condep_cfd::satisfy::satisfies_all(
+            &planted.db,
+            &planted.cfds
+        ));
+        assert!(condep_core::satisfy::satisfies_all(
+            &planted.db,
+            &planted.cinds
+        ));
+        // The unique id column keeps the set instance at full size...
+        let fact = planted.db.schema().rel_id("fact").unwrap();
+        assert_eq!(planted.db.relation(fact).len(), cfg.tuples);
+        // ...and every planted constant row has resident support.
+        for cfd in planted.cfds.iter().filter(|c| c.is_constant_rhs()) {
+            let hits = planted
+                .db
+                .relation(fact)
+                .iter()
+                .filter(|t| cfd.lhs_pat().matches_tuple(t, cfd.lhs()))
+                .count();
+            assert!(hits >= 2, "planted pattern must have support: {hits}");
+        }
+    }
+
+    #[test]
+    fn planted_database_is_deterministic() {
+        let cfg = PlantedSigmaConfig {
+            tuples: 200,
+            ..PlantedSigmaConfig::default()
+        };
+        let a = clean_database_with_hidden_sigma(&cfg, &mut StdRng::seed_from_u64(9));
+        let b = clean_database_with_hidden_sigma(&cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.cfds, b.cfds);
+        assert_eq!(a.cinds, b.cinds);
         for (rel, inst) in a.db.iter() {
             assert_eq!(inst, b.db.relation(rel));
         }

@@ -20,7 +20,11 @@
 //!   injected violations — built from a hidden witness
 //!   ([`data::dirty_database`]) or by corrupting an existing clean
 //!   instance with typos, orphaned CIND sources and duplicate-key
-//!   conflicts ([`data::dirtied_database`], the repair workload).
+//!   conflicts ([`data::dirtied_database`], the repair workload);
+//! * clean databases around a **planted** Σ with genuine value
+//!   diversity ([`data::clean_database_with_hidden_sigma`]): the
+//!   discovery ground truth — a miner run on the instance should
+//!   recover a Σ′ implying every planted dependency.
 //!
 //! All generators take an explicit [`rand::rngs::StdRng`], so every
 //! experiment is reproducible from its seed.
@@ -30,5 +34,8 @@ pub mod data;
 pub mod schema;
 
 pub use constraints::{generate_sigma, HiddenWitness, SigmaGenConfig};
-pub use data::{dirtied_database, dirty_database, DirtiedDatabase, DirtyDataConfig, InjectedDirt};
+pub use data::{
+    clean_database_with_hidden_sigma, dirtied_database, dirty_database, DirtiedDatabase,
+    DirtyDataConfig, InjectedDirt, PlantedDatabase, PlantedSigmaConfig,
+};
 pub use schema::{random_schema, SchemaGenConfig};

@@ -191,6 +191,13 @@ impl SymTables {
     pub fn rows(&self, rel: crate::schema::RelId) -> usize {
         self.tables[rel.index()].first().map_or(0, Vec::len)
     }
+
+    /// Every symbolized column of `rel`, in attribute order — what a
+    /// profiling pass sweeping all attributes of a relation wants
+    /// (empty for relations skipped by [`SymTables::build_for`]).
+    pub fn rel_columns(&self, rel: crate::schema::RelId) -> &[Vec<SymValue>] {
+        &self.tables[rel.index()]
+    }
 }
 
 #[cfg(test)]

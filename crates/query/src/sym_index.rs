@@ -357,6 +357,41 @@ impl SymIndex {
     pub fn key_len(&self) -> usize {
         self.key_len
     }
+
+    /// Rebuilds the index around its **live** key groups, dropping every
+    /// emptied one, and returns how many groups were reclaimed.
+    ///
+    /// Removals never shrink the index: an emptied group keeps its map
+    /// entry, key cells and slot bookkeeping forever, so a long-lived
+    /// stream over high-key-churn data grows with the distinct keys ever
+    /// seen, not with the live data. Compaction folds the overflow arena
+    /// back into one freshly counting-sorted CSR (each surviving segment
+    /// comes back position-ascending) and frees the dead slots.
+    ///
+    /// `O(keys + live positions)`; all live `(key, position)` pairs are
+    /// preserved, so probes, removals and renumbers behave identically
+    /// afterwards.
+    pub fn compact(&mut self) -> usize {
+        let seen = self.keys.len();
+        let mut live: Vec<(Box<[SymValue]>, Vec<u32>)> = Vec::with_capacity(seen);
+        for slot in 0..seen {
+            let mut positions: Vec<u32> = self.slot_positions(slot).collect();
+            if positions.is_empty() {
+                continue;
+            }
+            positions.sort_unstable();
+            live.push((std::mem::take(&mut self.keys[slot]), positions));
+        }
+        let key_len = self.key_len;
+        *self = SymIndex::new(key_len);
+        let mut pairs = Vec::new();
+        for (key, positions) in live {
+            let slot = self.slot_of(&key);
+            pairs.extend(positions.into_iter().map(|p| (p, slot)));
+        }
+        self.scatter_bulk(&pairs);
+        seen - self.keys.len()
+    }
 }
 
 /// Iterator over one key group's positions: the CSR bulk segment first,
@@ -532,6 +567,49 @@ mod tests {
         assert_eq!(probe_vec(&idx, &j), vec![7]);
         assert!(idx.remove_key(7, &j));
         assert!(!idx.replace_pos(9, 1, &j));
+    }
+
+    #[test]
+    fn compact_drops_emptied_groups_and_preserves_live_ones() {
+        let mut interner = Interner::new();
+        let mut idx = SymIndex::new(1);
+        let attrs = [AttrId(0)];
+        // Churn: 50 keys come and go, two stay.
+        for i in 0..50u32 {
+            idx.insert(
+                i,
+                &tuple![format!("gone{i}").as_str(), "x"],
+                &attrs,
+                &mut interner,
+            );
+        }
+        idx.insert(50, &tuple!["keep", "x"], &attrs, &mut interner);
+        idx.insert(51, &tuple!["keep", "y"], &attrs, &mut interner);
+        idx.insert(52, &tuple!["also", "z"], &attrs, &mut interner);
+        for i in 0..50u32 {
+            let key = [interner.sym_value(&Value::str(format!("gone{i}"))).unwrap()];
+            assert!(idx.remove_key(i, &key));
+        }
+        assert_eq!(idx.distinct_keys(), 52, "emptied groups linger");
+        assert_eq!(idx.len(), 3);
+        let dropped = idx.compact();
+        assert_eq!(dropped, 50);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.len(), 3);
+        // Live groups survive, position-ascending, and stay mutable.
+        let keep = [interner.sym_value(&Value::str("keep")).unwrap()];
+        let also = [interner.sym_value(&Value::str("also")).unwrap()];
+        assert_eq!(probe_vec(&idx, &keep), vec![50, 51]);
+        assert_eq!(idx.min_pos(&keep), Some(50));
+        assert_eq!(probe_vec(&idx, &also), vec![52]);
+        assert!(idx.remove_key(51, &keep));
+        idx.insert_key(53, &also);
+        let mut got = probe_vec(&idx, &also);
+        got.sort_unstable();
+        assert_eq!(got, vec![52, 53]);
+        // Idempotent once nothing is dead.
+        assert_eq!(idx.compact(), 0);
+        assert_eq!(idx.distinct_keys(), 2);
     }
 
     #[test]

@@ -43,7 +43,7 @@
 mod stream;
 mod validator;
 
-pub use stream::{Applied, MovedTuple, Mutation, SigmaDelta, ValidatorStream};
+pub use stream::{Applied, CompactionStats, MovedTuple, Mutation, SigmaDelta, ValidatorStream};
 pub use validator::{SigmaReport, Validator};
 
 #[cfg(test)]
@@ -684,6 +684,67 @@ mod tests {
         assert_eq!(stream.cfd_violation_class(0, &tuple!["b", "y"]), vec![1]);
         // A key the stream has never seen: empty class, no panic.
         assert!(stream.cfd_violation_class(0, &tuple!["q", "w"]).is_empty());
+    }
+
+    #[test]
+    fn compact_bounds_key_growth_under_churn() {
+        // A stream over ever-fresh keys: without compaction the index
+        // tiers grow with every key ever seen; with periodic compaction
+        // the live key count stays bounded by the resident data.
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("src", &[("k", Domain::string()), ("v", Domain::string())])
+                .relation("dst", &[("c", Domain::string())])
+                .finish(),
+        );
+        let fd = NormalCfd::parse(&schema, "src", &["k"], prow![_], "v", PValue::Any).unwrap();
+        let cind = condep_core::NormalCind::parse(&schema, "src", &["k"], &[], "dst", &["c"], &[])
+            .unwrap();
+        let src = schema.rel_id("src").unwrap();
+        let v = Validator::new(vec![fd], vec![cind]);
+        let mut db = Database::empty(schema);
+        db.insert_into("src", tuple!["resident", "x"]).unwrap();
+        db.insert_into("dst", tuple!["resident"]).unwrap();
+        let (mut stream, initial) = ValidatorStream::new_validated(v, db);
+        assert!(initial.is_empty());
+
+        // Churn rounds: every round runs 40 insert+delete pairs with
+        // fresh keys, then compacts. The live key count after each
+        // compaction must stay at the resident bound — it must NOT grow
+        // with the rounds.
+        let mut live_after: Vec<usize> = Vec::new();
+        for round in 0..5u32 {
+            for i in 0..40u32 {
+                let t = tuple![format!("churn{round}_{i}").as_str(), "y"];
+                stream.insert_tuple(src, t.clone()).unwrap();
+                stream.delete_tuple(src, &t).unwrap();
+            }
+            let stats = stream.compact();
+            assert!(
+                stats.key_groups_dropped >= 40,
+                "round {round} must reclaim its churned keys: {stats:?}"
+            );
+            live_after.push(stats.key_groups_live);
+        }
+        assert!(
+            live_after.iter().all(|&l| l == live_after[0]),
+            "live key count must be churn-invariant: {live_after:?}"
+        );
+        // One resident key in the CFD index, one in the CIND target
+        // index, one in the reverse source index.
+        assert_eq!(live_after[0], 3);
+        // A second immediate compaction finds nothing to drop.
+        assert_eq!(stream.compact().key_groups_dropped, 0);
+
+        // The compacted stream is still a correct delta engine.
+        let noisy = stream.insert_tuple(src, tuple!["resident", "z"]).unwrap();
+        assert_eq!(noisy.cfd.introduced.len(), 1, "{noisy:?}");
+        let orphan = stream.insert_tuple(src, tuple!["lonely", "w"]).unwrap();
+        assert_eq!(orphan.cind.introduced.len(), 1, "{orphan:?}");
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
     }
 
     #[test]

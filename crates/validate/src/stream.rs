@@ -327,6 +327,18 @@ impl SigmaReport {
     }
 }
 
+/// What one [`ValidatorStream::compact`] call reclaimed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Emptied `SymIndex` key groups dropped across every live index
+    /// tier (CFD group indexes, CIND target indexes, reverse CIND
+    /// source indexes).
+    pub key_groups_dropped: usize,
+    /// Key groups still live after compaction, summed over the same
+    /// tiers.
+    pub key_groups_live: usize,
+}
+
 /// One affected `(group, key)` pair-recomputation scope of a deletion.
 struct PairScope {
     group: usize,
@@ -443,11 +455,44 @@ impl ValidatorStream {
     /// Materializes the stream state over an initial database, discarding
     /// the initial violations.
     #[deprecated(
-        note = "silently assumes the seed database is valid; use `new_validated` and \
-                consume the initial SigmaReport"
+        note = "silently discards the seed database's violations; use `new_validated` and \
+                consume the initial SigmaReport, or `with_report` when the report is \
+                already known from a prior sweep"
     )]
     pub fn new(validator: Validator, db: Database) -> Self {
         ValidatorStream::new_validated(validator, db).0
+    }
+
+    /// Drops every **emptied** key group from the stream's live indexes
+    /// (CFD group indexes, CIND target indexes and reverse CIND source
+    /// indexes), returning what was reclaimed.
+    ///
+    /// Removals keep a group's slot forever, so a months-long monitor
+    /// over high-key-churn data grows with the distinct keys ever seen
+    /// rather than with the live data (the ROADMAP's known leak).
+    /// Compaction is `O(keys + live positions)` over each index and
+    /// preserves every live `(key, position)` pair, so the violation
+    /// state and all delta semantics are untouched — call it whenever
+    /// [`CompactionStats::key_groups_dropped`] is worth the rebuild
+    /// (e.g. periodically, or when an index's distinct-key count far
+    /// exceeds the relation's size).
+    ///
+    /// The interner is **not** compacted: dead interned strings are
+    /// still retained (strings are shared across groups, so reclaiming
+    /// them needs a sweep over every live key — a separate, rarer
+    /// maintenance step).
+    pub fn compact(&mut self) -> CompactionStats {
+        let mut stats = CompactionStats::default();
+        for idx in self
+            .cfd_indexes
+            .iter_mut()
+            .chain(self.cind_targets.iter_mut())
+            .chain(self.cind_sources.iter_mut().flatten())
+        {
+            stats.key_groups_dropped += idx.compact();
+            stats.key_groups_live += idx.distinct_keys();
+        }
+        stats
     }
 
     /// The compiled suite.

@@ -20,7 +20,8 @@
 //! | [`cind`] | **the paper's contribution** — CINDs: syntax, semantics, normal form (Prop 3.1), consistency witness (Thm 3.2), inference system `I` (Fig 3), implication (Thms 3.4/3.5), minimal cover |
 //! | [`chase`] | the bounded-pool chase of Section 5.1 (`IND(ψ)`/`FD(φ)`, `chaseI`, valuations) |
 //! | [`consistency`] | the Section 5 heuristics: `CFD_Checking` (chase & SAT), dependency graph, `preProcessing`, `RandomChecking`, `Checking` |
-//! | [`gen`] | seeded workload generators matching the Section 6 experimental setting |
+//! | [`gen`] | seeded workload generators matching the Section 6 experimental setting, incl. the planted-Σ discovery ground truth (`clean_database_with_hidden_sigma`) |
+//! | [`discover`] | **dependency discovery**: level-wise CFD mining over stripped partitions (interned columns, `SymIndex` counting-sort CSR), constant-pattern specialization per equivalence class, unary CIND inclusion mining with exact-making constant conditions, `(support, confidence)` ranking with trivial/implied pruning |
 //! | [`validate`] | **batched Σ-validation engine**: Σ grouped by `(relation, LHS set)`, one shared group-by index per group over interned keys, parallel sweep; `ValidatorStream` delta engine (insert/delete/update with violation retraction, value-level `Mutation`/`apply`/`revert`, `SigmaReport::apply_delta` consumer rule) |
 //! | [`repair`] | **cost-based repair engine**: greedy equivalence-class CFD repair (union-find over conflicting cells, majority/constant targets), CIND orphans chased into inserted targets or deleted, every fix verified net-negative through the delta engine and rolled back otherwise |
 //! | [`report`] | high-level data-quality façade: compiles Σ into a batched validator, runs it against a database and aggregates violations; `QualityMonitor` keeps the full report live from streamed deltas; `QualitySuite::repair` cleans a database through the repair engine |
@@ -42,6 +43,7 @@ pub use condep_cfd as cfd;
 pub use condep_chase as chase;
 pub use condep_consistency as consistency;
 pub use condep_core as cind;
+pub use condep_discover as discover;
 pub use condep_dsl as dsl;
 pub use condep_gen as gen;
 pub use condep_model as model;
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use crate::chase::{ChaseConfig, TemplateDb};
     pub use crate::cind::{Cind, NormalCind};
     pub use crate::consistency::{checking, CheckingConfig, ConstraintSet};
+    pub use crate::discover::{DiscoveredSigma, DiscoveryConfig};
     pub use crate::model::{
         AttrId, Database, Domain, PValue, PatternRow, RelId, Schema, Tuple, Value,
     };

@@ -8,6 +8,7 @@
 use condep_cfd::{normalize as cfd_normalize, Cfd, CfdViolation, NormalCfd};
 use condep_consistency::{checking, CheckingConfig, ConstraintSet};
 use condep_core::{normalize as cind_normalize, Cind, CindViolation, NormalCind};
+use condep_discover::{DiscoveredSigma, DiscoveryConfig};
 use condep_model::{Database, ModelError, RelId, Schema, Tuple};
 use condep_repair::{RepairBudget, RepairCost, RepairReport};
 use condep_validate::{SigmaDelta, SigmaReport, Validator, ValidatorStream};
@@ -111,6 +112,26 @@ impl QualitySuite {
             schema,
             validator: Validator::new(cfds, cinds),
         }
+    }
+
+    /// **Profiles** `db` with the `condep-discover` miners and compiles
+    /// the recovered Σ′ straight into a suite — the entry point of the
+    /// discover → validate → monitor → repair loop when no constraint
+    /// set is given. Returns the suite together with the ranked
+    /// [`DiscoveredSigma`] (supports, confidences, run counters).
+    ///
+    /// At the default `min_confidence = 1.0` the suite is clean on `db`
+    /// by construction; mine with a lower floor to tolerate dirt in the
+    /// profiled snapshot and let [`QualitySuite::check`] /
+    /// [`QualitySuite::repair`] surface and fix it.
+    pub fn discover(db: &Database, config: &DiscoveryConfig) -> (Self, DiscoveredSigma) {
+        let found = condep_discover::discover(db, config);
+        let suite = QualitySuite::from_normal(
+            db.schema().clone(),
+            found.cfds_normal(),
+            found.cinds_normal(),
+        );
+        (suite, found)
     }
 
     /// The schema the suite is defined over.
@@ -444,6 +465,37 @@ mod tests {
         assert_eq!(monitor.summary().cfd_violations, 0);
         let fresh = suite.check(monitor.db());
         assert_eq!(monitor.summary(), fresh.summary);
+    }
+
+    #[test]
+    fn discover_profiles_and_compiles_a_working_suite() {
+        // Profile the clean bank instance: the mined suite is satisfied
+        // by it (soundness at confidence 1.0), and still *checks* — a
+        // dirty tuple surfaces as violations of the discovered Σ′.
+        let db = clean_bank_database();
+        let (suite, found) = QualitySuite::discover(
+            &db,
+            &condep_discover::DiscoveryConfig {
+                min_support: 2,
+                ..condep_discover::DiscoveryConfig::default()
+            },
+        );
+        assert!(!found.is_empty(), "the bank data carries dependencies");
+        assert_eq!(suite.cfds().len(), found.cfds.len());
+        assert_eq!(suite.cinds().len(), found.cinds.len());
+        assert!(
+            suite.check(&db).summary.is_clean(),
+            "strict discovery output must hold on the profiled instance"
+        );
+        // Rankings are evidence-sorted.
+        for pair in found.cfds.windows(2) {
+            assert!(
+                pair[0].support > pair[1].support
+                    || (pair[0].support == pair[1].support
+                        && pair[0].confidence >= pair[1].confidence),
+                "ranking must be (support, confidence) descending"
+            );
+        }
     }
 
     #[test]

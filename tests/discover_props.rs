@@ -1,0 +1,136 @@
+//! Property tests for the discovery subsystem's contract:
+//!
+//! * **soundness at confidence 1.0** — every member of the Σ′ mined
+//!   from a database at the strict default threshold is *satisfied* by
+//!   that database (constant rows, variable rows and CINDs alike);
+//! * **recovery** — on data generated from a planted Σ, the mined Σ′
+//!   implies every planted dependency (exact implication checkers);
+//! * **determinism** — the same database and config produce the same
+//!   ranked output, run to run.
+
+use condep::discover::{discover, DiscoveryConfig};
+use condep::gen::{clean_database_with_hidden_sigma, PlantedSigmaConfig};
+use condep::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn planted_config(seed: u64) -> PlantedSigmaConfig {
+    // Derive small-but-varied shapes from the seed.
+    PlantedSigmaConfig {
+        fd_pairs: 1 + (seed % 3) as usize,
+        pair_cardinality: 3 + (seed % 5) as usize,
+        constant_rows_per_pair: 1 + (seed % 3) as usize,
+        cind_count: (seed % 2) as usize,
+        tuples: 120 + (seed % 7) as usize * 40,
+    }
+}
+
+proptest! {
+    #[test]
+    fn strict_discovery_is_sound(seed in 0u64..10_000) {
+        let cfg = planted_config(seed);
+        let planted = clean_database_with_hidden_sigma(
+            &cfg,
+            &mut rand::rngs::StdRng::seed_from_u64(seed),
+        );
+        let found = discover(
+            &planted.db,
+            &DiscoveryConfig {
+                min_support: 2,
+                ..DiscoveryConfig::default()
+            },
+        );
+        // Confidence 1.0 throughout, and everything holds on the data.
+        for d in &found.cfds {
+            prop_assert!((d.confidence - 1.0).abs() < 1e-12);
+            prop_assert!(
+                condep::cfd::satisfy::satisfies_normal(&planted.db, &d.cfd),
+                "unsound CFD (seed {}): {}",
+                seed,
+                d.cfd.display(planted.db.schema())
+            );
+        }
+        for d in &found.cinds {
+            prop_assert!((d.confidence - 1.0).abs() < 1e-12);
+            prop_assert!(
+                condep::cind::satisfy::satisfies_normal(&planted.db, &d.cind),
+                "unsound CIND (seed {}): {}",
+                seed,
+                d.cind.display(planted.db.schema())
+            );
+        }
+        // The mined suite re-validates clean through the batched engine.
+        let validator = Validator::new(found.cfds_normal(), found.cinds_normal());
+        prop_assert!(validator.validate(&planted.db).is_empty());
+    }
+
+    #[test]
+    fn recovered_sigma_implies_planted_sigma(seed in 0u64..2_000) {
+        let cfg = planted_config(seed);
+        let planted = clean_database_with_hidden_sigma(
+            &cfg,
+            &mut rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e37_79b9),
+        );
+        let found = discover(
+            &planted.db,
+            &DiscoveryConfig {
+                min_support: 2,
+                ..DiscoveryConfig::default()
+            },
+        );
+        let schema = planted.db.schema();
+        let sigma_cfds = found.cfds_normal();
+        for cfd in &planted.cfds {
+            prop_assert_eq!(
+                condep::cfd::implication::implies(schema, &sigma_cfds, cfd, None),
+                condep::cfd::implication::Implication::Implied,
+                "planted CFD not implied (seed {}): {}",
+                seed,
+                cfd.display(schema)
+            );
+        }
+        let sigma_cinds = found.cinds_normal();
+        for cind in &planted.cinds {
+            prop_assert_eq!(
+                condep::cind::implication::implies(
+                    schema,
+                    &sigma_cinds,
+                    cind,
+                    condep::cind::implication::ImplicationConfig::default(),
+                ),
+                condep::cind::implication::Implication::Implied,
+                "planted CIND not implied (seed {}): {}",
+                seed,
+                cind.display(schema)
+            );
+        }
+    }
+
+    #[test]
+    fn discovery_is_deterministic(seed in 0u64..5_000) {
+        let cfg = planted_config(seed);
+        let planted = clean_database_with_hidden_sigma(
+            &cfg,
+            &mut rand::rngs::StdRng::seed_from_u64(seed ^ 0x1357_2468),
+        );
+        let config = DiscoveryConfig {
+            min_support: 2,
+            ..DiscoveryConfig::default()
+        };
+        let a = discover(&planted.db, &config);
+        let b = discover(&planted.db, &config);
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.cfds.len(), b.cfds.len());
+        prop_assert_eq!(a.cinds.len(), b.cinds.len());
+        for (x, y) in a.cfds.iter().zip(&b.cfds) {
+            prop_assert_eq!(&x.cfd, &y.cfd);
+            prop_assert_eq!(x.support, y.support);
+            prop_assert_eq!(x.confidence, y.confidence);
+        }
+        for (x, y) in a.cinds.iter().zip(&b.cinds) {
+            prop_assert_eq!(&x.cind, &y.cind);
+            prop_assert_eq!(x.support, y.support);
+            prop_assert_eq!(x.confidence, y.confidence);
+        }
+    }
+}
