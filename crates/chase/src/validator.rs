@@ -28,7 +28,7 @@
 use crate::template::{TemplateDb, TplValue, VarRef};
 use condep_cfd::NormalCfd;
 use condep_model::{AttrId, Database, Domain, PValue, PatternRow, RelId, Schema, Tuple, Value};
-use condep_validate::{Validator, ValidatorStream};
+use condep_validate::{Mutation, Validator, ValidatorStream};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -114,9 +114,11 @@ struct Applied {
     rel: RelId,
     old: Tuple,
     new: Tuple,
-    /// The replacement tuple already existed (two template tuples
-    /// merged): rollback must re-insert `old` without deleting `new`.
-    merged: bool,
+    /// The inverse mutation the stream handed back — for a merged
+    /// carrier (the replacement already resided, two template tuples
+    /// collapsed) this is the bare re-insertion of `old`, so rollback
+    /// never deletes the pre-existing partner.
+    revert: Mutation,
 }
 
 /// A persistent incremental CFD checker over an encoded chase template.
@@ -153,8 +155,12 @@ impl ChaseValidator {
         ChaseValidator { stream, occ }
     }
 
-    /// Overlays `var := candidate` on every carrier tuple as stream
-    /// deltas.
+    /// Overlays `var := candidate` on every carrier tuple through the
+    /// stream's value-level [`Mutation`] API; each carrier's inverse
+    /// mutation is stashed for [`ChaseValidator::retract`]. A merging
+    /// update (the replacement already resides — two template tuples
+    /// collapse) degenerates to a deletion inside the stream, and its
+    /// revert re-inserts only `old`.
     fn apply(&mut self, var: VarRef, candidate: &Value) -> Vec<Applied> {
         let enc_var = encode_var(var);
         let enc_cand = encode_const(candidate);
@@ -172,32 +178,33 @@ impl ChaseValidator {
                     v.clone()
                 }
             }));
-            let merged = self.stream.db().relation(rel).position(&new).is_some();
-            let deleted = self.stream.delete_tuple(rel, &old);
-            debug_assert!(deleted.is_some(), "carrier must be live in the stream");
-            self.stream
-                .insert_tuple(rel, new.clone())
+            let outcome = self
+                .stream
+                .apply(Mutation::Update {
+                    rel,
+                    old: old.clone(),
+                    new: new.clone(),
+                })
                 .expect("relaxed schema accepts every encoded cell");
+            let revert = outcome
+                .revert
+                .expect("a carrier update is never a no-op: the variable occurs in `old`");
             applied.push(Applied {
                 rel,
                 old,
                 new,
-                merged,
+                revert,
             });
         }
         applied
     }
 
-    /// Undoes [`ChaseValidator::apply`] (reverse order, so merged tuples
-    /// un-merge correctly).
+    /// Undoes [`ChaseValidator::apply`] by replaying the stashed inverse
+    /// mutations (reverse order, so merged tuples un-merge correctly).
     fn retract(&mut self, applied: Vec<Applied>) {
         for a in applied.into_iter().rev() {
-            if !a.merged {
-                let deleted = self.stream.delete_tuple(a.rel, &a.new);
-                debug_assert!(deleted.is_some());
-            }
             self.stream
-                .insert_tuple(a.rel, a.old)
+                .revert(a.revert)
                 .expect("restoring a previously valid tuple");
         }
     }

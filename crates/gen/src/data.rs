@@ -9,7 +9,7 @@
 use crate::constraints::HiddenWitness;
 use condep_cfd::NormalCfd;
 use condep_core::NormalCind;
-use condep_model::{AttrId, Database, Domain, RelId, Schema, Tuple, Value};
+use condep_model::{AttrId, Database, Domain, RelId, Schema, Tuple, TupleId, Value};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -296,7 +296,16 @@ pub fn clean_database_with_hidden_sigma<R: Rng>(
 }
 
 /// One error [`dirtied_database`] injected, with the **dirty** tuple
-/// value (the ground truth a repair run should undo).
+/// value (the ground truth a repair run should undo) and its
+/// **position-stable id**.
+///
+/// The `id` follows the dense-seeding convention: it equals the dirty
+/// tuple's dense position in the **final** returned database, which is
+/// exactly the [`TupleId`] any `ValidatorStream` seeded on that database
+/// allocates for it. Resolve it through the stream
+/// (`tuple_by_id`/`position_of`) and it keeps addressing this injection
+/// through every swap-renumbering a repair run causes — the stale dense
+/// positions recorded by earlier revisions of this ground truth did not.
 #[derive(Clone, Debug)]
 pub enum InjectedDirt {
     /// A CFD RHS cell scrambled in place (typo injection): the edited
@@ -309,6 +318,8 @@ pub enum InjectedDirt {
         tuple: Tuple,
         /// The scrambled attribute (the CFD's RHS).
         attr: AttrId,
+        /// The dirty tuple's stable id (dense-seeding convention).
+        id: TupleId,
     },
     /// A CIND source tuple's matched `X` cell scrambled to a value no
     /// target holds — the tuple is now an orphan.
@@ -319,6 +330,8 @@ pub enum InjectedDirt {
         tuple: Tuple,
         /// The scrambled attribute (one of the CIND's `X`).
         attr: AttrId,
+        /// The dirty tuple's stable id (dense-seeding convention).
+        id: TupleId,
     },
     /// A near-duplicate inserted next to a resident tuple: same LHS key
     /// under some wildcard-RHS CFD, different RHS value — a guaranteed
@@ -330,7 +343,56 @@ pub enum InjectedDirt {
         tuple: Tuple,
         /// The disagreeing attribute (the CFD's RHS).
         attr: AttrId,
+        /// The dirty tuple's stable id (dense-seeding convention).
+        id: TupleId,
     },
+}
+
+impl InjectedDirt {
+    /// The relation the dirt landed in.
+    pub fn rel(&self) -> RelId {
+        match self {
+            InjectedDirt::Typo { rel, .. }
+            | InjectedDirt::Orphan { rel, .. }
+            | InjectedDirt::DuplicateKey { rel, .. } => *rel,
+        }
+    }
+
+    /// The dirty tuple (its value in the final returned database).
+    pub fn tuple(&self) -> &Tuple {
+        match self {
+            InjectedDirt::Typo { tuple, .. }
+            | InjectedDirt::Orphan { tuple, .. }
+            | InjectedDirt::DuplicateKey { tuple, .. } => tuple,
+        }
+    }
+
+    /// The scrambled / disagreeing attribute.
+    pub fn attr(&self) -> AttrId {
+        match self {
+            InjectedDirt::Typo { attr, .. }
+            | InjectedDirt::Orphan { attr, .. }
+            | InjectedDirt::DuplicateKey { attr, .. } => *attr,
+        }
+    }
+
+    /// The dirty tuple's position-stable id (see the type docs for the
+    /// dense-seeding convention).
+    pub fn id(&self) -> TupleId {
+        match self {
+            InjectedDirt::Typo { id, .. }
+            | InjectedDirt::Orphan { id, .. }
+            | InjectedDirt::DuplicateKey { id, .. } => *id,
+        }
+    }
+
+    fn parts_mut(&mut self) -> (&mut Tuple, &mut TupleId) {
+        match self {
+            InjectedDirt::Typo { tuple, id, .. }
+            | InjectedDirt::Orphan { tuple, id, .. }
+            | InjectedDirt::DuplicateKey { tuple, id, .. } => (tuple, id),
+        }
+    }
 }
 
 /// A clean database plus a controlled fraction of injected errors.
@@ -413,6 +475,20 @@ pub fn dirtied_database<R: Rng>(
     let const_rhs: Vec<&NormalCfd> = cfds.iter().filter(|c| c.is_constant_rhs()).collect();
     let wild_rhs: Vec<&NormalCfd> = cfds.iter().filter(|c| !c.is_constant_rhs()).collect();
     let sources: Vec<&NormalCind> = cinds.iter().filter(|c| !c.x().is_empty()).collect();
+    // Ids are assigned once generation finishes (they are final dense
+    // positions — the dense-seeding convention); until then a placeholder.
+    let pending = TupleId(u32::MAX);
+    // A later injection may re-edit an already-dirty tuple; the earlier
+    // record is rewritten to the new value so every record's `tuple` is
+    // its value in the final database (set semantics make `(rel, value)`
+    // identify the tuple, so this cannot mis-target).
+    let retarget = |injected: &mut Vec<InjectedDirt>, rel: RelId, old: &Tuple, new: &Tuple| {
+        for d in injected.iter_mut() {
+            if d.rel() == rel && d.tuple() == old {
+                *d.parts_mut().0 = new.clone();
+            }
+        }
+    };
     let mut serial = 0u64;
     let mut misses = 0usize;
     while injected.len() < target && misses < 3 * target + 8 {
@@ -448,10 +524,12 @@ pub fn dirtied_database<R: Rng>(
                         .expect("scramble respects the domain")
                         .expect("picked tuple is resident");
                     debug_assert!(!merged, "merge was pre-checked");
+                    retarget(&mut injected, cfd.rel(), &t, &dirty);
                     Some(InjectedDirt::Typo {
                         rel: cfd.rel(),
                         tuple: dirty,
                         attr: cfd.rhs(),
+                        id: pending,
                     })
                 })
             }
@@ -473,10 +551,12 @@ pub fn dirtied_database<R: Rng>(
                             .expect("scramble respects the domain")
                             .expect("picked tuple is resident");
                         debug_assert!(!merged, "fresh dirt values cannot merge");
+                        retarget(&mut injected, cind.lhs_rel(), &t, &dirty);
                         InjectedDirt::Orphan {
                             rel: cind.lhs_rel(),
                             tuple: dirty,
                             attr,
+                            id: pending,
                         }
                     })
                 }
@@ -497,6 +577,7 @@ pub fn dirtied_database<R: Rng>(
                             rel: cfd.rel(),
                             tuple: dirty,
                             attr: cfd.rhs(),
+                            id: pending,
                         })
                 })
             }
@@ -506,6 +587,17 @@ pub fn dirtied_database<R: Rng>(
             Some(dirt) => injected.push(dirt),
             None => misses += 1,
         }
+    }
+    // Dense-seeding ids: final position == the TupleId any stream
+    // seeded on this database allocates for the tuple.
+    for d in injected.iter_mut() {
+        let rel = d.rel();
+        let (tuple, id) = d.parts_mut();
+        let pos = db
+            .relation(rel)
+            .position(tuple)
+            .expect("every ground-truth tuple is resident in the final database");
+        *id = TupleId(pos as u32);
     }
     DirtiedDatabase { db, injected }
 }
@@ -650,6 +742,60 @@ mod tests {
             })
             .collect();
         assert!(kinds.len() >= 2, "error kinds must vary: {kinds:?}");
+    }
+
+    #[test]
+    fn dirtied_database_ids_survive_swap_renumbering() {
+        use condep_validate::{Validator, ValidatorStream};
+        let clean = condep_model::fixtures::clean_bank_database();
+        let (cfds, cinds) = bank_sigma();
+        let out = dirtied_database(&clean, &cfds, &cinds, 0.3, &mut StdRng::seed_from_u64(11));
+        assert!(!out.injected.is_empty());
+        // Ids follow the dense-seeding convention: in the freshly
+        // returned database, id == dense position.
+        for d in &out.injected {
+            assert_eq!(
+                out.db.relation(d.rel()).get(d.id().0 as usize),
+                Some(d.tuple()),
+                "seed id must be the dense position: {d:?}"
+            );
+        }
+        // A stream seeded on the dirty database allocates exactly those
+        // ids — and they keep resolving after swap-renumbering deletes
+        // of *other* tuples (the old dense positions would go stale).
+        let validator = Validator::new(cfds, cinds);
+        let (mut stream, _) = ValidatorStream::new_validated(validator, out.db.clone());
+        let dirty_keys: std::collections::HashSet<(RelId, Tuple)> = out
+            .injected
+            .iter()
+            .map(|d| (d.rel(), d.tuple().clone()))
+            .collect();
+        let mut deleted = 0;
+        for (rel, inst) in out.db.iter() {
+            for t in inst.iter() {
+                if deleted < 4 && !dirty_keys.contains(&(rel, t.clone())) {
+                    stream.delete_tuple(rel, t).expect("resident");
+                    deleted += 1;
+                }
+            }
+        }
+        assert!(deleted > 0, "the fixture must offer clean tuples");
+        let mut stale_positions = 0;
+        for d in &out.injected {
+            assert_eq!(
+                stream.tuple_by_id(d.rel(), d.id()),
+                Some(d.tuple()),
+                "ground-truth id must survive the churn: {d:?}"
+            );
+            if stream.db().relation(d.rel()).get(d.id().0 as usize) != Some(d.tuple()) {
+                stale_positions += 1;
+            }
+        }
+        assert!(
+            stale_positions > 0,
+            "the deletes must have moved at least one ground-truth tuple \
+             (otherwise this test proves nothing)"
+        );
     }
 
     #[test]

@@ -86,6 +86,18 @@ impl Interner {
         &self.strs[sym.0 as usize]
     }
 
+    /// The shared `Arc` behind a symbol — what a compaction pass uses to
+    /// re-intern live strings into a fresh interner without copying.
+    pub fn resolve_arc(&self, sym: Sym) -> &Arc<str> {
+        &self.strs[sym.0 as usize]
+    }
+
+    /// Total bytes held by the interned strings (the payload a
+    /// compaction pass can reclaim when strings go dead).
+    pub fn str_bytes(&self) -> usize {
+        self.strs.iter().map(|s| s.len()).sum()
+    }
+
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
         self.strs.len()

@@ -44,7 +44,7 @@ pub use error::ModelError;
 pub use fxhash::{FxBuildHasher, FxHasher};
 pub use intern::{Interner, Sym, SymTables, SymValue};
 pub use pattern::{PValue, PatternRow};
-pub use relation::{PosList, Relation, Removed};
+pub use relation::{PosList, Relation, Removed, TupleId, TupleIdMap};
 pub use schema::{AttrId, Attribute, RelId, RelationSchema, Schema, SchemaBuilder};
 pub use tuple::Tuple;
 pub use value::Value;

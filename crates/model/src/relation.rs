@@ -69,6 +69,126 @@ impl PosList {
     }
 }
 
+/// A **position-stable** handle on one tuple of an evolving relation.
+///
+/// Dense positions are cheap but unstable: a swap-based
+/// [`Relation::remove`] renumbers the previously-last tuple, so every
+/// position-keyed view must replay the move. A `TupleId` is allocated
+/// once (by a [`TupleIdMap`] owner such as a validator stream) and keeps
+/// addressing the same logical tuple through arbitrary
+/// insert/delete/update/compaction sequences; it dies with its tuple and
+/// is never reused.
+///
+/// Ids are only meaningful for the map that allocated them. The
+/// **dense-seeding convention**: an owner materialized over an existing
+/// relation assigns `TupleId(p)` to the tuple at dense position `p`, so
+/// ground-truth producers (e.g. `condep-gen`'s dirt injector) can report
+/// ids that any later stream over the same database resolves.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TupleId(pub u32);
+
+/// The id ⇄ dense-position maps of one relation, maintained in lock-step
+/// with the relation's swap-based mutations by its owner.
+///
+/// * [`TupleIdMap::alloc`] on every append (insert);
+/// * [`TupleIdMap::remove_swap`] on every swap-based removal — it retires
+///   the vacated position's id and renumbers the moved tuple's id;
+/// * ids are handed out by a **monotone counter and never reused**, and
+///   only live ids are stored (the reverse map is keyed by id), so a
+///   retired handle resolves to `None` forever, can never silently alias
+///   a different tuple, and costs no memory once dead — the map's
+///   footprint is `O(live tuples)` regardless of lifetime churn.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TupleIdMap {
+    /// Per dense position: the resident tuple's id.
+    pos_to_id: Vec<u32>,
+    /// Live ids only → dense position.
+    id_to_pos: HashMap<u32, u32, FxBuildHasher>,
+    /// The next id to hand out; never decreases.
+    next: u32,
+}
+
+impl TupleIdMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        TupleIdMap::default()
+    }
+
+    /// The dense-seeding map over an existing relation of `len` tuples:
+    /// the tuple at position `p` gets `TupleId(p)`.
+    pub fn identity(len: usize) -> Self {
+        let n = u32::try_from(len).expect("relation capacity exceeded");
+        TupleIdMap {
+            pos_to_id: (0..n).collect(),
+            id_to_pos: (0..n).map(|i| (i, i)).collect(),
+            next: n,
+        }
+    }
+
+    /// Number of live tuples tracked.
+    pub fn len(&self) -> usize {
+        self.pos_to_id.len()
+    }
+
+    /// Whether no live tuple is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.pos_to_id.is_empty()
+    }
+
+    /// Number of ids ever handed out (live + retired).
+    pub fn ids_allocated(&self) -> usize {
+        self.next as usize
+    }
+
+    /// Registers the tuple just appended at dense position `pos`
+    /// (which must equal [`TupleIdMap::len`]), returning its fresh id.
+    pub fn alloc(&mut self, pos: usize) -> TupleId {
+        debug_assert_eq!(pos, self.pos_to_id.len(), "ids are allocated on append");
+        let id = self.next;
+        self.next = id.checked_add(1).expect("tuple-id capacity exceeded");
+        self.id_to_pos.insert(id, pos as u32);
+        self.pos_to_id.push(id);
+        TupleId(id)
+    }
+
+    /// Mirrors a swap-based removal at `pos`: retires that position's id
+    /// and renumbers the last position's id into the hole. Returns the
+    /// retired id and, when a swap happened, the moved tuple's (still
+    /// live) id.
+    pub fn remove_swap(&mut self, pos: usize) -> (TupleId, Option<TupleId>) {
+        let last = self.pos_to_id.len() - 1;
+        let retired = self.pos_to_id[pos];
+        self.id_to_pos.remove(&retired);
+        let moved = (pos != last).then(|| {
+            let moved = self.pos_to_id[last];
+            self.pos_to_id[pos] = moved;
+            self.id_to_pos.insert(moved, pos as u32);
+            TupleId(moved)
+        });
+        self.pos_to_id.pop();
+        (TupleId(retired), moved)
+    }
+
+    /// The id of the tuple at dense position `pos`.
+    pub fn id_at(&self, pos: usize) -> Option<TupleId> {
+        self.pos_to_id.get(pos).map(|&id| TupleId(id))
+    }
+
+    /// The current dense position of `id` — `None` once the tuple is
+    /// gone (deleted, or rewritten by an update).
+    pub fn pos_of(&self, id: TupleId) -> Option<usize> {
+        self.id_to_pos.get(&id.0).map(|&p| p as usize)
+    }
+
+    /// Releases the excess capacity churn left behind (the live entries
+    /// themselves are already the only storage). Live ids are never
+    /// renumbered — handles held by consumers stay valid.
+    pub fn shrink(&mut self) {
+        self.pos_to_id.shrink_to_fit();
+        self.id_to_pos.shrink_to_fit();
+    }
+}
+
 /// What [`Relation::remove`] did: the position vacated, and whether the
 /// previously-last tuple was swapped into it.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -363,6 +483,41 @@ mod tests {
             let pos = r.position(&t).unwrap();
             assert_eq!(r.get(pos), Some(&t));
         }
+    }
+
+    #[test]
+    fn tuple_id_map_tracks_swaps_and_never_reuses_ids() {
+        let mut m = TupleIdMap::identity(3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.id_at(2), Some(TupleId(2)));
+        assert_eq!(m.pos_of(TupleId(0)), Some(0));
+        // Remove position 0: id 0 dies, id 2 moves into the hole.
+        let (retired, moved) = m.remove_swap(0);
+        assert_eq!(retired, TupleId(0));
+        assert_eq!(moved, Some(TupleId(2)));
+        assert_eq!(m.pos_of(TupleId(0)), None);
+        assert_eq!(m.pos_of(TupleId(2)), Some(0));
+        assert_eq!(m.id_at(0), Some(TupleId(2)));
+        // Append: a fresh id, never a recycled one.
+        let id = m.alloc(2);
+        assert_eq!(id, TupleId(3));
+        assert_eq!(m.pos_of(id), Some(2));
+        // Removing the last position moves nothing.
+        let (retired, moved) = m.remove_swap(2);
+        assert_eq!(retired, TupleId(3));
+        assert_eq!(moved, None);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.ids_allocated(), 4);
+        assert_eq!(m.pos_of(TupleId(3)), None);
+        assert_eq!(m.pos_of(TupleId(2)), Some(0));
+        assert_eq!(m.pos_of(TupleId(1)), Some(1));
+        // Allocation stays monotone across removals and shrinks: a
+        // retired id number is never handed out again.
+        m.shrink();
+        let id = m.alloc(2);
+        assert_eq!(id, TupleId(4));
+        assert_eq!(m.pos_of(TupleId(3)), None, "dead ids stay dead");
+        assert_eq!(m.pos_of(id), Some(2));
     }
 
     #[test]

@@ -32,7 +32,19 @@ use std::collections::HashMap;
 /// Sentinel for "no overflow node".
 const NONE: u32 = u32::MAX;
 
+/// High bit of a `where_at` entry: the location is an overflow node
+/// index, not a `bulk` offset.
+const OVER_BIT: u32 = 1 << 31;
+
 /// A group-by index keyed by interned projections.
+///
+/// Each dense position appears **at most once** per index (one tuple
+/// projects to one key), which buys two O(1) upgrades over a plain CSR:
+/// a `where_at` back-pointer per position (so [`SymIndex::remove_key`]
+/// and [`SymIndex::replace_pos`] never scan a key group) and a cached
+/// per-slot minimum (so [`SymIndex::min_pos`] — the delta engine's
+/// pair-witness probe — is a single lookup; only removing the minimum
+/// itself rescans its group).
 #[derive(Clone, Debug, Default)]
 pub struct SymIndex {
     /// Distinct keys → slot, probed with borrowed `&[SymValue]`.
@@ -51,6 +63,11 @@ pub struct SymIndex {
     over_head: Vec<u32>,
     /// Free list through the `next` fields of `over`.
     free_head: u32,
+    /// Per dense position: its storage location — a `bulk` offset, or an
+    /// overflow node index tagged with [`OVER_BIT`] (`NONE` = absent).
+    where_at: Vec<u32>,
+    /// Per slot: cached smallest live position (`NONE` when emptied).
+    min: Vec<u32>,
     /// Total live positions.
     len: usize,
     key_len: usize,
@@ -68,6 +85,8 @@ impl SymIndex {
             over: Vec::new(),
             over_head: Vec::new(),
             free_head: NONE,
+            where_at: Vec::new(),
+            min: Vec::new(),
             len: 0,
             key_len,
         }
@@ -160,17 +179,35 @@ impl SymIndex {
         self.bulk_start.push(0);
         self.bulk_len.push(0);
         self.over_head.push(NONE);
+        self.min.push(NONE);
         slot
+    }
+
+    /// Records position `pos`'s storage location.
+    fn note(&mut self, pos: u32, loc: u32) {
+        let pos = pos as usize;
+        if pos >= self.where_at.len() {
+            self.where_at.resize(pos + 1, NONE);
+        }
+        self.where_at[pos] = loc;
+    }
+
+    /// Recomputes a slot's cached minimum from both tiers.
+    fn rescan_min(&self, slot: usize) -> u32 {
+        self.slot_positions(slot).min().unwrap_or(NONE)
     }
 
     /// Counting-sort scatter: lays `(pos, slot)` pairs out as contiguous
     /// per-slot CSR segments in one shared vector (pairs arrive in
-    /// ascending position order, so segments end up ascending too).
+    /// ascending position order, so segments end up ascending too), and
+    /// seeds the per-position back-pointers and per-slot minima.
     fn scatter_bulk(&mut self, pairs: &[(u32, u32)]) {
         debug_assert!(self.bulk.is_empty(), "scatter_bulk is a bulk-build step");
         let mut counts = vec![0u32; self.keys.len()];
-        for &(_, slot) in pairs {
+        let mut max_pos = 0usize;
+        for &(pos, slot) in pairs {
             counts[slot as usize] += 1;
+            max_pos = max_pos.max(pos as usize + 1);
         }
         let mut start = 0u32;
         for (slot, count) in counts.iter().enumerate() {
@@ -178,10 +215,16 @@ impl SymIndex {
             start += count;
         }
         self.bulk.resize(pairs.len(), 0);
+        if max_pos > self.where_at.len() {
+            self.where_at.resize(max_pos, NONE);
+        }
         for &(pos, slot) in pairs {
-            let at = self.bulk_start[slot as usize] + self.bulk_len[slot as usize];
+            let slot = slot as usize;
+            let at = self.bulk_start[slot] + self.bulk_len[slot];
             self.bulk[at as usize] = pos;
-            self.bulk_len[slot as usize] += 1;
+            self.bulk_len[slot] += 1;
+            self.where_at[pos as usize] = at;
+            self.min[slot] = self.min[slot].min(pos);
         }
         self.len = pairs.len();
     }
@@ -206,6 +249,7 @@ impl SymIndex {
         if seg_end as usize == self.bulk.len() {
             self.bulk.push(pos);
             self.bulk_len[slot] += 1;
+            self.note(pos, seg_end);
         } else {
             let node = if self.free_head != NONE {
                 let node = self.free_head;
@@ -218,81 +262,134 @@ impl SymIndex {
                 node
             };
             self.over_head[slot] = node;
+            self.note(pos, node | OVER_BIT);
         }
+        self.min[slot] = self.min[slot].min(pos);
         self.len += 1;
     }
 
-    /// Removes one occurrence of `pos` under `key`. `O(group)`; returns
-    /// whether it was found. Within the bulk segment the last live entry
-    /// is swapped into the hole, so segment iteration order is no longer
-    /// position-ascending after a removal — order-sensitive consumers
-    /// must sort (see `wildcard_pairs` recomputation in
-    /// `condep-validate`).
+    /// Removes one occurrence of `pos` under `key`; returns whether it
+    /// was found. `O(1)` through the position back-pointer (`O(chain)`
+    /// in the overflow tier, `O(group)` only when `pos` was the group's
+    /// cached minimum and it must be rescanned). Within the bulk segment
+    /// the last live entry is swapped into the hole, so segment
+    /// iteration order is no longer position-ascending after a removal —
+    /// order-sensitive consumers must sort (see `wildcard_pairs`
+    /// recomputation in `condep-validate`).
     pub fn remove_key(&mut self, pos: u32, key: &[SymValue]) -> bool {
         debug_assert_eq!(key.len(), self.key_len);
         let Some(&slot) = self.map.get(key) else {
             return false;
         };
         let slot = slot as usize;
-        let (start, live) = (self.bulk_start[slot] as usize, self.bulk_len[slot] as usize);
-        if let Some(i) = self.bulk[start..start + live]
-            .iter()
-            .position(|&p| p == pos)
-        {
-            self.bulk.swap(start + i, start + live - 1);
-            self.bulk_len[slot] -= 1;
-            self.len -= 1;
-            return true;
-        }
-        // Walk the overflow chain, unlinking the node into the free list.
-        let mut prev = NONE;
-        let mut node = self.over_head[slot];
-        while node != NONE {
-            let (p, next) = self.over[node as usize];
-            if p == pos {
-                if prev == NONE {
-                    self.over_head[slot] = next;
-                } else {
-                    self.over[prev as usize].1 = next;
-                }
-                self.over[node as usize] = (0, self.free_head);
-                self.free_head = node;
-                self.len -= 1;
-                return true;
+        let loc = match self.where_at.get(pos as usize) {
+            Some(&loc) if loc != NONE => loc,
+            _ => return false,
+        };
+        if loc & OVER_BIT == 0 {
+            let loc = loc as usize;
+            let (start, live) = (self.bulk_start[slot] as usize, self.bulk_len[slot] as usize);
+            // The back-pointer must land in this slot's live segment —
+            // otherwise `pos` is indexed under a *different* key.
+            if loc < start || loc >= start + live || self.bulk[loc] != pos {
+                return false;
             }
-            prev = node;
-            node = next;
+            let tail = start + live - 1;
+            self.bulk.swap(loc, tail);
+            if loc != tail {
+                // The entry swapped into the hole moved: retarget it.
+                self.where_at[self.bulk[loc] as usize] = loc as u32;
+            }
+            self.bulk_len[slot] -= 1;
+        } else {
+            // Unlink from the overflow chain (singly linked, so walk for
+            // the predecessor; chains are short streamed growth). The
+            // walk doubles as the this-slot membership check.
+            let target = loc & !OVER_BIT;
+            if self.over[target as usize].0 != pos {
+                return false;
+            }
+            let mut prev = NONE;
+            let mut node = self.over_head[slot];
+            loop {
+                if node == NONE {
+                    return false;
+                }
+                if node == target {
+                    break;
+                }
+                prev = node;
+                node = self.over[node as usize].1;
+            }
+            let next = self.over[target as usize].1;
+            if prev == NONE {
+                self.over_head[slot] = next;
+            } else {
+                self.over[prev as usize].1 = next;
+            }
+            self.over[target as usize] = (0, self.free_head);
+            self.free_head = target;
         }
-        false
+        self.where_at[pos as usize] = NONE;
+        self.len -= 1;
+        if self.min[slot] == pos {
+            self.min[slot] = self.rescan_min(slot);
+        }
+        true
     }
 
     /// Renumbers one occurrence of `from` to `to` under `key` — the
     /// index-side companion of a swap-based relation deletion. Returns
-    /// whether `from` was found.
+    /// whether `from` was found. `O(1)` through the position
+    /// back-pointer (plus a group rescan when `from` was the cached
+    /// minimum).
     pub fn replace_pos(&mut self, from: u32, to: u32, key: &[SymValue]) -> bool {
         debug_assert_eq!(key.len(), self.key_len);
         let Some(&slot) = self.map.get(key) else {
             return false;
         };
         let slot = slot as usize;
-        let (start, live) = (self.bulk_start[slot] as usize, self.bulk_len[slot] as usize);
-        if let Some(cell) = self.bulk[start..start + live]
-            .iter_mut()
-            .find(|p| **p == from)
-        {
-            *cell = to;
-            return true;
-        }
-        let mut node = self.over_head[slot];
-        while node != NONE {
-            let (p, next) = self.over[node as usize];
-            if p == from {
-                self.over[node as usize].0 = to;
-                return true;
+        let loc = match self.where_at.get(from as usize) {
+            Some(&loc) if loc != NONE => loc,
+            _ => return false,
+        };
+        if loc & OVER_BIT == 0 {
+            let l = loc as usize;
+            let (start, live) = (self.bulk_start[slot] as usize, self.bulk_len[slot] as usize);
+            if l < start || l >= start + live || self.bulk[l] != from {
+                return false;
             }
-            node = next;
+            self.bulk[l] = to;
+        } else {
+            let node = (loc & !OVER_BIT) as usize;
+            if self.over[node].0 != from {
+                return false;
+            }
+            debug_assert!(
+                {
+                    let mut n = self.over_head[slot];
+                    let mut found = false;
+                    while n != NONE {
+                        if n as usize == node {
+                            found = true;
+                            break;
+                        }
+                        n = self.over[n as usize].1;
+                    }
+                    found
+                },
+                "renumbered node must live in the probed key's chain"
+            );
+            self.over[node].0 = to;
         }
-        false
+        self.where_at[from as usize] = NONE;
+        self.note(to, loc);
+        if self.min[slot] == from {
+            self.min[slot] = self.rescan_min(slot);
+        } else {
+            self.min[slot] = self.min[slot].min(to);
+        }
+        true
     }
 
     /// The positions of tuples whose key equals `key` (empty when none).
@@ -324,8 +421,16 @@ impl SymIndex {
 
     /// The smallest position under `key` — the batch sweep's "first
     /// witness" of the key group, independent of mutation history.
+    /// `O(1)`: reads the maintained per-slot minimum.
     pub fn min_pos(&self, key: &[SymValue]) -> Option<u32> {
-        self.positions(key).min()
+        let &slot = self.map.get(key)?;
+        let m = self.min[slot as usize];
+        debug_assert_eq!(
+            (m != NONE).then_some(m),
+            self.positions(key).min(),
+            "cached minimum diverged from the group contents"
+        );
+        (m != NONE).then_some(m)
     }
 
     /// Iterator over `(key, positions)` groups in first-seen key order.
@@ -392,6 +497,25 @@ impl SymIndex {
         self.scatter_bulk(&pairs);
         seen - self.keys.len()
     }
+
+    /// Rewrites every key cell through `f` and rebuilds the probe map —
+    /// the index-side half of an **interner compaction**: when the
+    /// owning stream re-interns its live strings, the dense symbols
+    /// change and every stored key must be translated to the new
+    /// numbering. `f` must be injective on the cells actually stored
+    /// (distinct keys stay distinct); position storage is untouched.
+    pub fn remap_keys<F>(&mut self, f: F)
+    where
+        F: Fn(SymValue) -> SymValue,
+    {
+        self.map.clear();
+        for (slot, key) in self.keys.iter_mut().enumerate() {
+            for cell in key.iter_mut() {
+                *cell = f(*cell);
+            }
+            self.map.insert(key.clone(), slot as u32);
+        }
+    }
 }
 
 /// Iterator over one key group's positions: the CSR bulk segment first,
@@ -427,7 +551,7 @@ impl Iterator for PosIter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use condep_model::{tuple, AttrId, Value};
+    use condep_model::{tuple, AttrId, Sym, Value};
 
     fn rel() -> Relation {
         [
@@ -610,6 +734,44 @@ mod tests {
         // Idempotent once nothing is dead.
         assert_eq!(idx.compact(), 0);
         assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn remap_keys_translates_probes_to_the_new_numbering() {
+        let r = rel();
+        let mut old = Interner::new();
+        let idx_src = SymIndex::build(&r, &[AttrId(0), AttrId(1)], &mut old);
+        // Re-intern the live strings in reverse encounter order: every
+        // symbol changes, the index must follow.
+        let mut fresh = Interner::new();
+        let mut remap = vec![None; old.len()];
+        for sym in (0..old.len() as u32).rev().map(Sym) {
+            remap[sym.0 as usize] = Some(fresh.intern(old.resolve_arc(sym)));
+        }
+        let mut idx = idx_src;
+        idx.remap_keys(|sv| match sv {
+            SymValue::Str(s) => SymValue::Str(remap[s.0 as usize].unwrap()),
+            other => other,
+        });
+        let edi = [
+            fresh.sym_value(&Value::str("EDI")).unwrap(),
+            fresh.sym_value(&Value::str("UK")).unwrap(),
+        ];
+        assert_eq!(probe_vec(&idx, &edi), vec![0, 1]);
+        assert_eq!(idx.min_pos(&edi), Some(0));
+        // Old-numbering probes miss: the reversed re-intern changed
+        // every symbol, so the stale key addresses different strings.
+        let stale = [
+            SymValue::Str(old.lookup("EDI").unwrap()),
+            SymValue::Str(old.lookup("UK").unwrap()),
+        ];
+        assert!(!idx.contains_key(&stale));
+        // Mutations keep working against the remapped keys.
+        assert!(idx.remove_key(0, &edi));
+        idx.insert_key(9, &edi);
+        let mut got = probe_vec(&idx, &edi);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 9]);
     }
 
     #[test]

@@ -166,12 +166,19 @@ pub fn repair(
                     break;
                 }
                 if applied.net_change() < 0 {
+                    // The retired id is the pre-fix tuple an edit or
+                    // delete acted on; an insert only has a born id.
+                    let target = applied
+                        .deltas
+                        .first()
+                        .and_then(|d| d.ids.retired.or(d.ids.born));
                     log.applied.push(AppliedFix {
                         resolved: applied.resolved_count(),
                         introduced: applied.introduced_count(),
                         cost: fix_cost,
                         motive: planned.motive,
                         fix,
+                        target,
                     });
                     progressed = true;
                     break;

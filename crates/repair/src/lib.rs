@@ -118,6 +118,54 @@ mod tests {
     }
 
     #[test]
+    fn fix_targets_link_the_audit_log_to_ground_truth_ids() {
+        // The dirt injector reports each injection's stable TupleId
+        // (dense-seeding convention); the repair stream is seeded the
+        // same way, so the audit log's `target` ids stay comparable to
+        // the ground truth even after fixes swap-renumber positions.
+        let clean = condep_model::fixtures::clean_bank_database();
+        let cfds = normalize_cfds(&[cfd_fx::phi1(), cfd_fx::phi2(), cfd_fx::phi3()]);
+        let cinds = normalize_cinds(&cind_fx::figure_2());
+        let dirtied = condep_gen::dirtied_database(
+            &clean,
+            &cfds,
+            &cinds,
+            0.3,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11),
+        );
+        assert!(!dirtied.injected.is_empty());
+        let (_, report) = run(Validator::new(cfds, cinds), dirtied.db.clone());
+        // Every kept fix names the stable id of the tuple it acted on...
+        for a in &report.log.applied {
+            assert!(a.target.is_some(), "fix without a target id: {a:?}");
+        }
+        // ...and at least one of them is an injected tuple (the engine
+        // may also settle class members the injection dragged in, but it
+        // cannot repair the dirt without ever touching it).
+        let injected: std::collections::HashSet<_> =
+            dirtied.injected.iter().map(|d| (d.rel(), d.id())).collect();
+        let touched = report
+            .log
+            .applied
+            .iter()
+            .filter_map(|a| {
+                let rel = match &a.fix {
+                    Fix::EditCells { rel, .. }
+                    | Fix::DeleteTuple { rel, .. }
+                    | Fix::InsertTuple { rel, .. } => *rel,
+                };
+                a.target.map(|id| (rel, id))
+            })
+            .filter(|key| injected.contains(key))
+            .count();
+        assert!(
+            touched >= 1,
+            "no kept fix targeted an injected tuple: {:?}",
+            report.log.applied
+        );
+    }
+
+    #[test]
     fn majority_wins_in_a_variable_rhs_class() {
         let schema = Arc::new(
             Schema::builder()

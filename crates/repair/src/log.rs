@@ -1,6 +1,6 @@
 //! The auditable trail a repair run leaves behind.
 
-use condep_model::{AttrId, RelId, Tuple};
+use condep_model::{AttrId, RelId, Tuple, TupleId};
 use condep_validate::SigmaReport;
 use std::fmt;
 
@@ -59,6 +59,13 @@ pub struct AppliedFix {
     pub resolved: usize,
     /// Violations the fix's `SigmaDelta`s introduced.
     pub introduced: usize,
+    /// The **stable id** of the tuple the fix acted on: the edited /
+    /// deleted tuple's id (retired by the mutation), or the id born for
+    /// an inserted tuple. Because the repair stream is seeded with the
+    /// dense-seeding convention, this links the audit log to external
+    /// ground truth (e.g. `condep-gen`'s `InjectedDirt::id`) even after
+    /// earlier fixes have swap-renumbered every dense position.
+    pub target: Option<TupleId>,
 }
 
 impl AppliedFix {

@@ -30,20 +30,33 @@
 //!   the mutation introduced *and* the violations it resolved
 //!   (retraction) — in time proportional to the constraint groups and
 //!   key groups the tuple touches, never to the database. Open one with
-//!   [`ValidatorStream::new_validated`], which also reports the seed
-//!   database's initial violations.
+//!   [`ValidatorStream::new_validated`] (which also reports the seed
+//!   database's initial violations) or seed a known report with
+//!   [`ValidatorStream::with_report`];
+//! * the stream is built for **whole-life monitoring**:
+//!   [`condep_model::TupleId`] handles address tuples stably across the
+//!   swap renumbering deletions cause (every delta carries its
+//!   [`IdDelta`] bookkeeping), [`ValidatorStream::apply_deltas`]
+//!   amortizes interner and key-translation work across a mutation
+//!   batch, and [`ValidatorStream::compact`] reclaims everything churn
+//!   leaves behind — emptied key groups, dead interned strings, retired
+//!   id slots — without disturbing a single live key, violation or id.
 //!
 //! Results are identical (as sets, and after [`SigmaReport::sort`] even
 //! in order) to running `condep_cfd::find_violations` /
 //! `condep_core::find_violations` per constraint, and
 //! [`ValidatorStream::current_report`] stays equal to a fresh
 //! [`Validator::validate_sorted`] across arbitrary mutation sequences —
-//! both property-tested at the workspace root.
+//! single, batched or interleaved with compactions — all
+//! property-tested at the workspace root.
 
 mod stream;
 mod validator;
 
-pub use stream::{Applied, CompactionStats, MovedTuple, Mutation, SigmaDelta, ValidatorStream};
+pub use condep_model::TupleId;
+pub use stream::{
+    Applied, CompactionStats, IdDelta, MovedTuple, Mutation, SigmaDelta, ValidatorStream,
+};
 pub use validator::{SigmaReport, Validator};
 
 #[cfg(test)]
@@ -741,6 +754,277 @@ mod tests {
         assert_eq!(noisy.cfd.introduced.len(), 1, "{noisy:?}");
         let orphan = stream.insert_tuple(src, tuple!["lonely", "w"]).unwrap();
         assert_eq!(orphan.cind.introduced.len(), 1, "{orphan:?}");
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+    }
+
+    #[test]
+    fn apply_deltas_matches_sequential_apply() {
+        // The batched path must produce exactly the deltas a sequential
+        // per-mutation `apply` loop produces (concatenated), leave the
+        // same violation state, and type-check the batch up front.
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("src", &[("a", Domain::string()), ("b", Domain::string())])
+                .relation("dst", &[("c", Domain::finite_strs(&["k", "j"]))])
+                .finish(),
+        );
+        let fd = NormalCfd::parse(&schema, "src", &["a"], prow![_], "b", PValue::Any).unwrap();
+        let pin = NormalCfd::parse(
+            &schema,
+            "src",
+            &["a"],
+            prow!["zzz"],          // a constant no seed tuple carries: the member
+            "b",                   // must become matchable mid-batch when "zzz"
+            PValue::constant("v"), // arrives.
+        )
+        .unwrap();
+        let cind = condep_core::NormalCind::parse(&schema, "src", &["a"], &[], "dst", &["c"], &[])
+            .unwrap();
+        let src = schema.rel_id("src").unwrap();
+        let dst = schema.rel_id("dst").unwrap();
+        let mut db = Database::empty(schema.clone());
+        db.insert_into("src", tuple!["k", "v1"]).unwrap();
+        db.insert_into("src", tuple!["k", "v2"]).unwrap();
+        db.insert_into("dst", tuple!["k"]).unwrap();
+        let v = Validator::new(vec![fd, pin], vec![cind]);
+        let muts = vec![
+            Mutation::Insert {
+                rel: src,
+                tuple: tuple!["zzz", "w"], // fires the pin (w ≠ v), orphan
+            },
+            Mutation::Insert {
+                rel: src,
+                tuple: tuple!["k", "v1"], // resident: no-op
+            },
+            Mutation::Delete {
+                rel: src,
+                tuple: tuple!["k", "v1"], // swap + pair restructure
+            },
+            Mutation::Update {
+                rel: src,
+                old: tuple!["zzz", "w"],
+                new: tuple!["zzz", "v"], // repairs the pin violation
+            },
+            Mutation::Update {
+                rel: src,
+                old: tuple!["k", "v2"],
+                new: tuple!["zzz", "v"], // merge-degenerate update
+            },
+            Mutation::Delete {
+                rel: src,
+                tuple: tuple!["absent", "x"], // no-op (unknown strings)
+            },
+        ];
+        let (mut batched, _) = ValidatorStream::new_validated(v.clone(), db.clone());
+        let (mut sequential, _) = ValidatorStream::new_validated(v.clone(), db.clone());
+        let batch_deltas = batched.apply_deltas(&muts).unwrap();
+        let mut seq_deltas = Vec::new();
+        for m in &muts {
+            seq_deltas.extend(sequential.apply(m.clone()).unwrap().deltas);
+        }
+        assert_eq!(batch_deltas, seq_deltas);
+        assert!(!batch_deltas.is_empty());
+        assert_eq!(batched.current_report(), sequential.current_report());
+        assert_eq!(
+            batched.current_report(),
+            v.validate_sorted(batched.db()),
+            "batched live state must equal a fresh sweep"
+        );
+        // An ill-typed batch applies nothing at all.
+        let before = batched.current_report();
+        let bad = vec![
+            Mutation::Insert {
+                rel: src,
+                tuple: tuple!["ok", "fine"],
+            },
+            Mutation::Insert {
+                rel: dst,
+                tuple: tuple!["outside-finite-domain"],
+            },
+        ];
+        assert!(batched.apply_deltas(&bad).is_err());
+        assert_eq!(batched.current_report(), before);
+        assert!(!batched.db().relation(src).contains(&tuple!["ok", "fine"]));
+    }
+
+    #[test]
+    fn batch_mutations_handle_uninterned_conditioned_cind_cells() {
+        // A cell reachable ONLY through a conditioned CIND source role
+        // is never interned for tuples that do not trigger the CIND.
+        // The batch path must still delete/update such resident tuples
+        // exactly like the sequential path (regression: it used to skip
+        // the delete as "not resident" and panic on the update).
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("r", &[("a", Domain::string()), ("b", Domain::string())])
+                .relation("s", &[("x", Domain::string())])
+                .finish(),
+        );
+        let cind = condep_core::NormalCind::parse(
+            &schema,
+            "r",
+            &["a"],
+            &[("b", condep_model::Value::str("go"))],
+            "s",
+            &["x"],
+            &[],
+        )
+        .unwrap();
+        let r = schema.rel_id("r").unwrap();
+        let v = Validator::new(vec![], vec![cind]);
+        let (mut stream, _) = ValidatorStream::new_validated(v.clone(), Database::empty(schema));
+        // Non-triggering (b ≠ "go"): its `a` cell is never interned.
+        stream.insert_tuple(r, tuple!["orphan", "stop"]).unwrap();
+        // Batch update of the resident non-triggering tuple.
+        let deltas = stream
+            .apply_deltas(&[Mutation::Update {
+                rel: r,
+                old: tuple!["orphan", "stop"],
+                new: tuple!["orphan2", "stop"],
+            }])
+            .unwrap();
+        assert_eq!(deltas.len(), 2, "delete + insert deltas: {deltas:?}");
+        assert!(stream.db().relation(r).contains(&tuple!["orphan2", "stop"]));
+        // Batch delete of it — and the same after a compaction has
+        // dropped every string only such tuples held.
+        stream.compact();
+        let deltas = stream
+            .apply_deltas(&[Mutation::Delete {
+                rel: r,
+                tuple: tuple!["orphan2", "stop"],
+            }])
+            .unwrap();
+        assert_eq!(deltas.len(), 1, "{deltas:?}");
+        assert!(stream.db().relation(r).is_empty());
+        // A genuinely absent tuple is still a quiet no-op.
+        let deltas = stream
+            .apply_deltas(&[Mutation::Delete {
+                rel: r,
+                tuple: tuple!["never", "there"],
+            }])
+            .unwrap();
+        assert!(deltas.is_empty());
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+    }
+
+    #[test]
+    fn tuple_ids_stay_stable_through_mutations_and_compaction() {
+        let v = bank_validator();
+        let db = bank_database();
+        let interest = db.schema().rel_id("interest").unwrap();
+        let (mut stream, _) = ValidatorStream::new_validated(v, db);
+        // Dense seeding: TupleId(p) == seed position p.
+        let t3 = stream.db().relation(interest).get(3).unwrap().clone();
+        let id3 = stream.tuple_id_at(interest, 3).unwrap();
+        assert_eq!(id3, condep_model::TupleId(3));
+        assert_eq!(stream.tuple_by_id(interest, id3), Some(&t3));
+        // Deleting position 0 swaps the last tuple down; id3 follows its
+        // tuple, and the retired id resolves to None forever.
+        let t0 = stream.db().relation(interest).get(0).unwrap().clone();
+        let id0 = stream.tuple_id_at(interest, 0).unwrap();
+        let delta = stream.delete_tuple(interest, &t0).unwrap();
+        assert_eq!(delta.ids.retired, Some(id0));
+        assert_eq!(delta.ids.moved, stream.tuple_id_at(interest, 0));
+        assert!(delta.ids.moved.is_some());
+        assert_eq!(stream.position_of(interest, id0), None);
+        assert_eq!(stream.tuple_by_id(interest, id3), Some(&t3));
+        // An insert allocates a fresh id (never a recycled one).
+        let born = stream
+            .insert_tuple(interest, tuple!["GLA", "UK", "checking", "1.5%"])
+            .unwrap()
+            .ids
+            .born
+            .unwrap();
+        assert!(born > id0 && born > id3);
+        assert_eq!(
+            stream.tuple_by_id(interest, born),
+            Some(&tuple!["GLA", "UK", "checking", "1.5%"])
+        );
+        // Compaction reclaims state but never renumbers a live id.
+        let report_before = stream.current_report();
+        stream.compact();
+        assert_eq!(stream.tuple_by_id(interest, id3), Some(&t3));
+        assert_eq!(
+            stream.tuple_by_id(interest, born),
+            Some(&tuple!["GLA", "UK", "checking", "1.5%"])
+        );
+        assert_eq!(stream.position_of(interest, id0), None);
+        assert_eq!(stream.current_report(), report_before);
+    }
+
+    #[test]
+    fn compact_reclaims_dead_interned_strings() {
+        // High-key-churn stream: every round floods fresh string keys
+        // through insert+delete pairs. Without interner compaction the
+        // string table grows with every key ever seen; with it, the
+        // retained count is bounded by the live distinct values.
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("src", &[("k", Domain::string()), ("v", Domain::string())])
+                .relation("dst", &[("c", Domain::string())])
+                .finish(),
+        );
+        let fd = NormalCfd::parse(&schema, "src", &["k"], prow![_], "v", PValue::Any).unwrap();
+        let cind = condep_core::NormalCind::parse(&schema, "src", &["k"], &[], "dst", &["c"], &[])
+            .unwrap();
+        let src = schema.rel_id("src").unwrap();
+        let v = Validator::new(vec![fd], vec![cind]);
+        let mut db = Database::empty(schema);
+        db.insert_into("src", tuple!["resident", "x"]).unwrap();
+        db.insert_into("dst", tuple!["resident"]).unwrap();
+        let (mut stream, _) = ValidatorStream::new_validated(v, db);
+        let mut retained: Vec<usize> = Vec::new();
+        for round in 0..4u32 {
+            for i in 0..50u32 {
+                let t = tuple![format!("churn{round}_{i}").as_str(), "y"];
+                stream.insert_tuple(src, t.clone()).unwrap();
+                stream.delete_tuple(src, &t).unwrap();
+            }
+            let stats = stream.compact();
+            assert!(
+                stats.interned_strings_dropped() >= 50,
+                "round {round} must drop its churned key strings: {stats:?}"
+            );
+            assert!(stats.interned_bytes_reclaimed() > 0);
+            retained.push(stats.interned_strings_after);
+        }
+        assert!(
+            retained.iter().all(|&n| n == retained[0]),
+            "retained string count must be churn-invariant: {retained:?}"
+        );
+        // Only the live key strings survive ("resident" across three
+        // index tiers is one shared string).
+        assert_eq!(retained[0], 1);
+        // The compacted stream is still a correct delta engine, both for
+        // keys it kept and for keys it dropped and re-learns.
+        let noisy = stream.insert_tuple(src, tuple!["resident", "z"]).unwrap();
+        assert_eq!(noisy.cfd.introduced.len(), 1, "{noisy:?}");
+        let back = stream.insert_tuple(src, tuple!["churn0_0", "y"]).unwrap();
+        assert_eq!(back.cind.introduced.len(), 1, "{back:?}");
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+        // Batched mutations keep working against the rebuilt numbering.
+        let deltas = stream
+            .apply_deltas(&[
+                Mutation::Delete {
+                    rel: src,
+                    tuple: tuple!["churn0_0", "y"],
+                },
+                Mutation::Insert {
+                    rel: src,
+                    tuple: tuple!["resident", "w"],
+                },
+            ])
+            .unwrap();
+        assert_eq!(deltas.len(), 2);
         assert_eq!(
             stream.current_report(),
             stream.validator().validate_sorted(stream.db()),

@@ -42,16 +42,38 @@
 //!   recomputation in the deleted (and moved) tuple's groups;
 //! * no full-relation scan, ever — the cost tracks the delta, not the
 //!   database.
+//!
+//! ## Long-lived streams
+//!
+//! Three pieces make the stream safe to keep open for the life of a
+//! monitored database:
+//!
+//! * **stable tuple ids** — every resident tuple carries a
+//!   [`condep_model::TupleId`] ([`ValidatorStream::tuple_id_at`] /
+//!   [`ValidatorStream::position_of`]), allocated once and maintained
+//!   through every swap, so consumers can address violations and fixes
+//!   without replaying [`MovedTuple`] renumbering (each delta's
+//!   [`IdDelta`] reports what was born, retired and moved);
+//! * **batched mutations** — [`ValidatorStream::apply_deltas`]
+//!   symbolizes a whole batch through one interner pass and translates
+//!   keys per `(relation, LHS set)` group from pre-built rows,
+//!   amortizing the dominant per-mutation delta cost;
+//! * **full compaction** — [`ValidatorStream::compact`] drops emptied
+//!   key groups and rebuilds the interner over live symbols only (the
+//!   dead-strings leak is closed; see [`CompactionStats`] for what was
+//!   reclaimed), all without disturbing live keys, violations or held
+//!   ids.
 
 use crate::validator::{CfdGroup, CfdMember, SigmaReport, Validator};
 use condep_cfd::{CfdDelta, CfdViolation};
 use condep_core::{CindDelta, CindViolation};
 use condep_model::fxhash::FxBuildHasher;
 use condep_model::{
-    AttrId, Database, Interner, ModelError, RelId, Relation, SymValue, Tuple, Value,
+    AttrId, Database, Interner, ModelError, RelId, Relation, Sym, SymValue, Tuple, TupleId,
+    TupleIdMap, Value,
 };
 use condep_query::SymIndex;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// One value-level database mutation, appliable through
 /// [`ValidatorStream::apply`].
@@ -147,6 +169,29 @@ pub struct MovedTuple {
     pub to: usize,
 }
 
+/// The stable-id bookkeeping of one mutation: which [`TupleId`]s were
+/// born, retired and renumbered.
+///
+/// This is what lets a consumer skip the [`MovedTuple`] renumber
+/// entirely: key your state by `TupleId` instead of dense position.
+/// Translate **introduced** violation positions through
+/// [`ValidatorStream::tuple_id_at`] right after consuming the delta
+/// (they are post-move labels, so the current map applies); match
+/// **resolved** entries by id — the pre-move position of the deleted
+/// tuple is `retired`, the pre-move position [`MovedTuple::from`] is
+/// `moved`, and every other position still carries its current id.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IdDelta {
+    /// Id allocated for the inserted tuple.
+    pub born: Option<TupleId>,
+    /// Id retired by the deletion (the tuple that left).
+    pub retired: Option<TupleId>,
+    /// The moved tuple's id when the deletion swapped one
+    /// ([`SigmaDelta::moved`]) — the id itself is stable, only its
+    /// dense position changed.
+    pub moved: Option<TupleId>,
+}
+
 /// Everything one mutation did to the violation set: introduced and
 /// resolved violations per constraint kind, plus the position renumber a
 /// swap-based deletion causes. See the module docs for the consumer
@@ -159,6 +204,9 @@ pub struct SigmaDelta {
     pub cind: CindDelta,
     /// Set when a swap-based deletion renumbered one tuple.
     pub moved: Option<MovedTuple>,
+    /// Stable-id bookkeeping (does not affect [`SigmaDelta::is_quiet`]:
+    /// a clean insert still allocates an id).
+    pub ids: IdDelta,
 }
 
 impl SigmaDelta {
@@ -198,6 +246,12 @@ impl SigmaDelta {
     }
 }
 
+/// A CFD member's LHS pattern translated to interned symbols, aligned
+/// with the group's sorted attribute list (`None` cell = wildcard). A
+/// member whose pattern carries a string the interner has never seen is
+/// stored as the outer `None`: no interned tuple can match it (yet).
+type MemberSyms = Option<Box<[Option<SymValue>]>>;
+
 /// A validator with materialized state for one evolving database.
 #[derive(Clone, Debug)]
 pub struct ValidatorStream {
@@ -215,6 +269,75 @@ pub struct ValidatorStream {
     /// The materialized violation set (== batch validation of `db`).
     live_cfd: HashSet<(usize, CfdViolation), FxBuildHasher>,
     live_cind: HashSet<(usize, CindViolation), FxBuildHasher>,
+    /// Per relation: the id ⇄ position maps behind [`TupleId`] handles,
+    /// seeded with the dense-seeding convention (`TupleId(p)` = seed
+    /// position `p`) and maintained through every swap.
+    ids: Vec<TupleIdMap>,
+    /// Per relation: the sorted union of every group key attribute —
+    /// the cells one batched symbolization pass covers.
+    sym_attrs: Vec<Vec<AttrId>>,
+    /// Per CFD group: each key attribute's slot in its relation's
+    /// symbolized row.
+    cfd_group_slots: Vec<Vec<u32>>,
+    /// Per CIND group: the `Y` attributes' slots in the target
+    /// relation's row.
+    cind_y_slots: Vec<Vec<u32>>,
+    /// Per CIND group, per member: the `x_perm` attributes' slots in the
+    /// source relation's row.
+    cind_x_slots: Vec<Vec<Vec<u32>>>,
+    /// Per CFD group, per member: the LHS pattern in interned-symbol
+    /// form — the batch path's word-compare fast path for member
+    /// matching.
+    member_syms: Vec<Vec<MemberSyms>>,
+    /// `interner.len()` when `member_syms` was last refreshed.
+    member_syms_gen: usize,
+    /// How many members are still untranslated (unknown constants).
+    member_syms_pending: usize,
+}
+
+/// Row cell for a key-union attribute whose string the interner has
+/// never seen. A resident tuple can carry one only on cells reachable
+/// **solely** through a conditioned CIND role it does not play (its CFD
+/// group keys are always interned, and its triggered/target-matching
+/// CIND keys were interned when it arrived) — and every key build is
+/// guarded by the same role predicates, so a hole is never copied into a
+/// key (debug-asserted in [`key_from_slots`]).
+const HOLE: SymValue = SymValue::Str(Sym(u32::MAX));
+
+/// Copies a group key out of a pre-symbolized row.
+fn key_from_slots(row: &[SymValue], slots: &[u32], buf: &mut Vec<SymValue>) {
+    buf.clear();
+    buf.extend(slots.iter().map(|&s| {
+        let cell = row[s as usize];
+        debug_assert!(cell != HOLE, "un-interned cell copied into a key");
+        cell
+    }));
+}
+
+/// Sym-space member matching: the pattern cells against the tuple's
+/// already-built group key (member patterns only constrain the group's
+/// key attributes, so the key projection is all that matters).
+fn member_matches_sym(pat: &MemberSyms, key: &[SymValue]) -> bool {
+    match pat {
+        None => false,
+        Some(cells) => cells
+            .iter()
+            .zip(key)
+            .all(|(p, k)| p.is_none_or(|p| p == *k)),
+    }
+}
+
+/// Translates one member's LHS pattern into symbols; `None` when a
+/// pattern constant is a string the interner has never seen.
+fn translate_member(interner: &Interner, m: &CfdMember) -> MemberSyms {
+    m.pattern
+        .iter()
+        .map(|cell| match cell {
+            None => Some(None),
+            Some(v) => interner.sym_value(v).map(Some),
+        })
+        .collect::<Option<Vec<_>>>()
+        .map(Vec::into_boxed_slice)
 }
 
 /// Batch `wildcard_pairs` over one live key group: sorts the positions
@@ -337,6 +460,27 @@ pub struct CompactionStats {
     /// Key groups still live after compaction, summed over the same
     /// tiers.
     pub key_groups_live: usize,
+    /// Distinct interned strings before the interner rebuild.
+    pub interned_strings_before: usize,
+    /// Distinct interned strings after — exactly the strings still
+    /// reachable from some live index key.
+    pub interned_strings_after: usize,
+    /// String payload bytes held before the rebuild.
+    pub interned_bytes_before: usize,
+    /// String payload bytes still held after.
+    pub interned_bytes_after: usize,
+}
+
+impl CompactionStats {
+    /// Interned strings the rebuild dropped.
+    pub fn interned_strings_dropped(&self) -> usize {
+        self.interned_strings_before - self.interned_strings_after
+    }
+
+    /// String payload bytes the rebuild reclaimed.
+    pub fn interned_bytes_reclaimed(&self) -> usize {
+        self.interned_bytes_before - self.interned_bytes_after
+    }
 }
 
 /// One affected `(group, key)` pair-recomputation scope of a deletion.
@@ -348,20 +492,21 @@ struct PairScope {
     members: Vec<(usize, Vec<(usize, usize)>)>,
 }
 
-/// Collects the wildcard members matching `rep` together with their
-/// current (pre-mutation) pair sets — the "before" side of a
-/// witness-restructure scope. `None` when no member is affected.
+/// Collects the wildcard members matching the scoped tuple (through
+/// `matches`, which sees each member's slot) together with their current
+/// (pre-mutation) pair sets — the "before" side of a witness-restructure
+/// scope. `None` when no member is affected.
 fn stash_scope(
     g: &CfdGroup,
     group: usize,
     idx: &SymIndex,
     rel_inst: &Relation,
     key: &[SymValue],
-    rep: &Tuple,
+    matches: impl Fn(usize, &CfdMember) -> bool,
 ) -> Option<PairScope> {
     let mut members = Vec::new();
     for (ms, m) in g.members.iter().enumerate() {
-        if m.rhs_const.is_some() || !member_matches(g, m, rep) {
+        if m.rhs_const.is_some() || !matches(ms, m) {
             continue;
         }
         let old = group_pairs(rel_inst, m.rhs, idx.positions(key).collect());
@@ -420,7 +565,7 @@ impl ValidatorStream {
                 })
             })
             .collect();
-        let cind_sources = validator
+        let cind_sources: Vec<Vec<SymIndex>> = validator
             .cind_groups()
             .iter()
             .map(|g| {
@@ -440,7 +585,66 @@ impl ValidatorStream {
             .collect();
         let live_cfd = report.cfd.into_iter().collect();
         let live_cind = report.cind.into_iter().collect();
-        ValidatorStream {
+
+        // Dense-seeding convention: the tuple at seed position `p` gets
+        // `TupleId(p)` — what lets external ground truth (e.g. the gen
+        // dirt injector) hand out ids any stream over the same database
+        // resolves.
+        let ids = db
+            .iter()
+            .map(|(_, inst)| TupleIdMap::identity(inst.len()))
+            .collect();
+
+        // The one-pass symbolization layout: per relation, the union of
+        // every group's key attributes, plus each group's slots into it.
+        let mut sets: Vec<BTreeSet<AttrId>> =
+            (0..db.schema().len()).map(|_| BTreeSet::new()).collect();
+        for g in validator.cfd_groups() {
+            sets[g.rel.index()].extend(g.attrs.iter().copied());
+        }
+        for g in validator.cind_groups() {
+            sets[g.rhs_rel.index()].extend(g.y.iter().copied());
+            for m in &g.members {
+                let cind = &validator.cinds()[m.idx];
+                sets[cind.lhs_rel().index()].extend(m.x_perm.iter().copied());
+            }
+        }
+        let sym_attrs: Vec<Vec<AttrId>> =
+            sets.into_iter().map(|s| s.into_iter().collect()).collect();
+        let slot_of = |rel: RelId, a: AttrId| -> u32 {
+            sym_attrs[rel.index()]
+                .iter()
+                .position(|x| *x == a)
+                .expect("every group key attribute is in its relation's layout") as u32
+        };
+        let cfd_group_slots = validator
+            .cfd_groups()
+            .iter()
+            .map(|g| g.attrs.iter().map(|a| slot_of(g.rel, *a)).collect())
+            .collect();
+        let cind_y_slots = validator
+            .cind_groups()
+            .iter()
+            .map(|g| g.y.iter().map(|a| slot_of(g.rhs_rel, *a)).collect())
+            .collect();
+        let cind_x_slots = validator
+            .cind_groups()
+            .iter()
+            .map(|g| {
+                g.members
+                    .iter()
+                    .map(|m| {
+                        let cind = &validator.cinds()[m.idx];
+                        m.x_perm
+                            .iter()
+                            .map(|a| slot_of(cind.lhs_rel(), *a))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut stream = ValidatorStream {
             validator,
             db,
             interner,
@@ -449,40 +653,98 @@ impl ValidatorStream {
             cind_sources,
             live_cfd,
             live_cind,
+            ids,
+            sym_attrs,
+            cfd_group_slots,
+            cind_y_slots,
+            cind_x_slots,
+            member_syms: Vec::new(),
+            member_syms_gen: 0,
+            member_syms_pending: 0,
+        };
+        stream.rebuild_member_syms();
+        stream
+    }
+
+    /// Re-translates every member pattern against the current interner
+    /// (after a seed build or an interner compaction).
+    fn rebuild_member_syms(&mut self) {
+        let Self {
+            validator,
+            interner,
+            member_syms,
+            member_syms_gen,
+            member_syms_pending,
+            ..
+        } = self;
+        *member_syms = validator
+            .cfd_groups()
+            .iter()
+            .map(|g| {
+                g.members
+                    .iter()
+                    .map(|m| translate_member(interner, m))
+                    .collect()
+            })
+            .collect();
+        *member_syms_pending = member_syms.iter().flatten().filter(|s| s.is_none()).count();
+        *member_syms_gen = interner.len();
+    }
+
+    /// Retries the still-untranslated member patterns when the interner
+    /// has grown since the last refresh (already-translated patterns
+    /// stay valid — symbols are stable between compactions).
+    fn refresh_member_syms(&mut self) {
+        let Self {
+            validator,
+            interner,
+            member_syms,
+            member_syms_gen,
+            member_syms_pending,
+            ..
+        } = self;
+        if *member_syms_pending > 0 && interner.len() != *member_syms_gen {
+            let mut pending = 0;
+            for (g, syms) in validator.cfd_groups().iter().zip(member_syms.iter_mut()) {
+                for (m, slot) in g.members.iter().zip(syms.iter_mut()) {
+                    if slot.is_none() {
+                        *slot = translate_member(interner, m);
+                        if slot.is_none() {
+                            pending += 1;
+                        }
+                    }
+                }
+            }
+            *member_syms_pending = pending;
         }
+        *member_syms_gen = interner.len();
     }
 
-    /// Materializes the stream state over an initial database, discarding
-    /// the initial violations.
-    #[deprecated(
-        note = "silently discards the seed database's violations; use `new_validated` and \
-                consume the initial SigmaReport, or `with_report` when the report is \
-                already known from a prior sweep"
-    )]
-    pub fn new(validator: Validator, db: Database) -> Self {
-        ValidatorStream::new_validated(validator, db).0
-    }
-
-    /// Drops every **emptied** key group from the stream's live indexes
-    /// (CFD group indexes, CIND target indexes and reverse CIND source
-    /// indexes), returning what was reclaimed.
+    /// Compacts the stream's long-lived state: drops every **emptied**
+    /// key group from the live indexes (CFD group indexes, CIND target
+    /// indexes and reverse CIND source indexes), rebuilds the
+    /// [`Interner`] over the strings still reachable from live keys
+    /// (remapping every stored key to the new numbering), and releases
+    /// the excess capacity churn left in the [`TupleId`] maps (live ids
+    /// are the only id storage). Returns what was reclaimed.
     ///
-    /// Removals keep a group's slot forever, so a months-long monitor
-    /// over high-key-churn data grows with the distinct keys ever seen
-    /// rather than with the live data (the ROADMAP's known leak).
-    /// Compaction is `O(keys + live positions)` over each index and
-    /// preserves every live `(key, position)` pair, so the violation
-    /// state and all delta semantics are untouched — call it whenever
-    /// [`CompactionStats::key_groups_dropped`] is worth the rebuild
-    /// (e.g. periodically, or when an index's distinct-key count far
-    /// exceeds the relation's size).
-    ///
-    /// The interner is **not** compacted: dead interned strings are
-    /// still retained (strings are shared across groups, so reclaiming
-    /// them needs a sweep over every live key — a separate, rarer
-    /// maintenance step).
+    /// Removals keep a group's slot — and its key's interned strings —
+    /// forever, so a months-long monitor over high-key-churn data would
+    /// otherwise grow with the distinct keys ever seen rather than with
+    /// the live data (the ROADMAP's known leaks, both closed here).
+    /// Compaction is `O(keys + live positions)` over each index plus
+    /// `O(live strings)` for the interner rebuild, and preserves every
+    /// live `(key, position)` pair **and every live [`TupleId`]**, so
+    /// the violation state, all delta semantics and held id handles are
+    /// untouched — call it whenever the reclaimable share is worth the
+    /// rebuild (e.g. periodically, or when an index's distinct-key count
+    /// far exceeds the relation's size).
     pub fn compact(&mut self) -> CompactionStats {
-        let mut stats = CompactionStats::default();
+        let mut stats = CompactionStats {
+            interned_strings_before: self.interner.len(),
+            interned_bytes_before: self.interner.str_bytes(),
+            ..CompactionStats::default()
+        };
         for idx in self
             .cfd_indexes
             .iter_mut()
@@ -492,7 +754,77 @@ impl ValidatorStream {
             stats.key_groups_dropped += idx.compact();
             stats.key_groups_live += idx.distinct_keys();
         }
+        // Interner rebuild over live symbols only: every string still
+        // reachable from some live index key is re-interned (first-seen
+        // order across the tiers, so the result is deterministic),
+        // everything else is dropped, and every stored key is remapped
+        // to the new numbering. Strings of tuples no group indexes are
+        // never consulted by the delta paths, so index keys are exactly
+        // the live set.
+        let mut fresh = Interner::new();
+        let mut remap: Vec<Option<Sym>> = vec![None; self.interner.len()];
+        for idx in self
+            .cfd_indexes
+            .iter()
+            .chain(self.cind_targets.iter())
+            .chain(self.cind_sources.iter().flatten())
+        {
+            for (key, _) in idx.groups() {
+                for cell in key {
+                    if let SymValue::Str(sym) = cell {
+                        let slot = &mut remap[sym.0 as usize];
+                        if slot.is_none() {
+                            *slot = Some(fresh.intern(self.interner.resolve_arc(*sym)));
+                        }
+                    }
+                }
+            }
+        }
+        let translate = |sv: SymValue| match sv {
+            SymValue::Str(sym) => {
+                SymValue::Str(remap[sym.0 as usize].expect("live key symbols are remapped"))
+            }
+            inline => inline,
+        };
+        for idx in self
+            .cfd_indexes
+            .iter_mut()
+            .chain(self.cind_targets.iter_mut())
+            .chain(self.cind_sources.iter_mut().flatten())
+        {
+            idx.remap_keys(translate);
+        }
+        self.interner = fresh;
+        // The cached pattern translations used the old numbering.
+        self.rebuild_member_syms();
+        // Id maps only store live ids; just release churn's excess
+        // capacity.
+        for ids in &mut self.ids {
+            ids.shrink();
+        }
+        stats.interned_strings_after = self.interner.len();
+        stats.interned_bytes_after = self.interner.str_bytes();
         stats
+    }
+
+    /// The stable id of the tuple currently at dense position `pos` of
+    /// `rel` — translate **post-mutation** violation positions through
+    /// this to address them without replaying swap renumbers.
+    pub fn tuple_id_at(&self, rel: RelId, pos: usize) -> Option<TupleId> {
+        self.ids[rel.index()].id_at(pos)
+    }
+
+    /// The current dense position behind a stable id; `None` once the
+    /// tuple is gone (deleted, or rewritten by an update).
+    pub fn position_of(&self, rel: RelId, id: TupleId) -> Option<usize> {
+        self.ids[rel.index()].pos_of(id)
+    }
+
+    /// The tuple behind a stable id, read through the live id ⇄ position
+    /// map.
+    pub fn tuple_by_id(&self, rel: RelId, id: TupleId) -> Option<&Tuple> {
+        self.position_of(rel, id)
+            .and_then(|p| self.db.relation(rel).get(p))
     }
 
     /// The compiled suite.
@@ -545,6 +877,20 @@ impl ValidatorStream {
     ///   carries a key no target held before, every orphaned source
     ///   tuple with that key is **resolved**.
     pub fn insert_tuple(&mut self, rel: RelId, t: Tuple) -> Result<SigmaDelta, ModelError> {
+        self.insert_inner(rel, t, None)
+    }
+
+    /// The insert engine. `row` is the tuple's pre-symbolized key-cell
+    /// row ([`ValidatorStream::sym_row_intern`], batch path): when
+    /// present, group keys are `Copy` slot reads and member matching is
+    /// a word compare against the cached pattern symbols — no string is
+    /// hashed per group.
+    fn insert_inner(
+        &mut self,
+        rel: RelId,
+        t: Tuple,
+        row: Option<&[SymValue]>,
+    ) -> Result<SigmaDelta, ModelError> {
         let mut delta = SigmaDelta::default();
         if !self.db.insert(rel, t.clone())? {
             return Ok(delta);
@@ -559,7 +905,14 @@ impl ValidatorStream {
             cind_sources,
             live_cfd,
             live_cind,
+            ids,
+            cfd_group_slots,
+            cind_y_slots,
+            cind_x_slots,
+            member_syms,
+            ..
         } = self;
+        delta.ids.born = Some(ids[rel.index()].alloc(pos));
         let mut key_buf: Vec<SymValue> = Vec::new();
 
         // Target-role updates first, so a self-referential CIND can be
@@ -569,7 +922,10 @@ impl ValidatorStream {
             if g.rhs_rel != rel || !g.yp.iter().all(|(a, v)| &t[*a] == v) {
                 continue;
             }
-            intern_key(interner, &t, &g.y, &mut key_buf);
+            match row {
+                Some(row) => key_from_slots(row, &cind_y_slots[gi], &mut key_buf),
+                None => intern_key(interner, &t, &g.y, &mut key_buf),
+            }
             let was_absent = !cind_targets[gi].contains_key(&key_buf);
             cind_targets[gi].insert_key(pos as u32, &key_buf);
             if !was_absent {
@@ -598,13 +954,28 @@ impl ValidatorStream {
 
         // CFD groups over this relation: check members, then join the
         // tuple's key group.
-        for (g, idx) in validator.cfd_groups().iter().zip(cfd_indexes.iter_mut()) {
+        for (gi, (g, idx)) in validator
+            .cfd_groups()
+            .iter()
+            .zip(cfd_indexes.iter_mut())
+            .enumerate()
+        {
             if g.rel != rel {
                 continue;
             }
-            intern_key(interner, &t, &g.attrs, &mut key_buf);
-            for m in &g.members {
-                if !member_matches(g, m, &t) {
+            match row {
+                Some(row) => key_from_slots(row, &cfd_group_slots[gi], &mut key_buf),
+                None => intern_key(interner, &t, &g.attrs, &mut key_buf),
+            }
+            // Batch path: the group's witness is probed once and shared
+            // across every wildcard member asking about this key.
+            let mut group_min: Option<Option<u32>> = None;
+            for (mi, m) in g.members.iter().enumerate() {
+                let matched = match row {
+                    Some(_) => member_matches_sym(&member_syms[gi][mi], &key_buf),
+                    None => member_matches(g, m, &t),
+                };
+                if !matched {
                     continue;
                 }
                 match &m.rhs_const {
@@ -626,7 +997,11 @@ impl ValidatorStream {
                         // arriving tuple has the highest position, so it
                         // adds one pair iff its RHS differs from the
                         // group's first (lowest position) tuple.
-                        if let Some(first) = idx.min_pos(&key_buf) {
+                        let first = match row {
+                            Some(_) => *group_min.get_or_insert_with(|| idx.min_pos(&key_buf)),
+                            None => idx.min_pos(&key_buf),
+                        };
+                        if let Some(first) = first {
                             let resident = db
                                 .relation(rel)
                                 .get(first as usize)
@@ -650,12 +1025,20 @@ impl ValidatorStream {
         // CIND source role: the new tuple must find a partner, and joins
         // its members' source indexes.
         for (gi, g) in validator.cind_groups().iter().enumerate() {
-            for (m, sidx) in g.members.iter().zip(cind_sources[gi].iter_mut()) {
+            for (mi, (m, sidx)) in g
+                .members
+                .iter()
+                .zip(cind_sources[gi].iter_mut())
+                .enumerate()
+            {
                 let cind = &validator.cinds()[m.idx];
                 if cind.lhs_rel() != rel || !cind.triggers(&t) {
                     continue;
                 }
-                intern_key(interner, &t, &m.x_perm, &mut key_buf);
+                match row {
+                    Some(row) => key_from_slots(row, &cind_x_slots[gi][mi], &mut key_buf),
+                    None => intern_key(interner, &t, &m.x_perm, &mut key_buf),
+                }
                 sidx.insert_key(pos as u32, &key_buf);
                 if !cind_targets[gi].contains_key(&key_buf) {
                     delta.cind.introduced.push((
@@ -680,6 +1063,19 @@ impl ValidatorStream {
     /// renumbering ([`SigmaDelta::moved`]). `None` when the tuple is not
     /// present.
     pub fn delete_tuple(&mut self, rel: RelId, t: &Tuple) -> Option<SigmaDelta> {
+        self.delete_inner(rel, t, None)
+    }
+
+    /// The delete engine. `row` is the tuple's pre-symbolized key-cell
+    /// row ([`ValidatorStream::sym_row_lookup`], batch path) with the
+    /// same effect as on the insert side; the moved tuple's row is
+    /// derived here when a swap happens.
+    fn delete_inner(
+        &mut self,
+        rel: RelId,
+        t: &Tuple,
+        row: Option<&[SymValue]>,
+    ) -> Option<SigmaDelta> {
         let pos = self.db.relation(rel).position(t)?;
         let last = self.db.relation(rel).len() - 1;
         let moved: Option<Tuple> = (pos != last).then(|| {
@@ -699,7 +1095,27 @@ impl ValidatorStream {
             cind_sources,
             live_cfd,
             live_cind,
+            ids,
+            sym_attrs,
+            cfd_group_slots,
+            cind_y_slots,
+            cind_x_slots,
+            member_syms,
+            ..
         } = self;
+        // The moved tuple's row, batch path only. Cells the moved tuple
+        // only carries through a conditioned CIND role it does not play
+        // may be un-interned — they become [`HOLE`]s, which the
+        // role-guarded key builds below never read.
+        let row_m: Option<Vec<SymValue>> = match (row, &moved) {
+            (Some(_), Some(mt)) => Some(
+                sym_attrs[rel.index()]
+                    .iter()
+                    .map(|a| interner.sym_value(&mt[*a]).unwrap_or(HOLE))
+                    .collect(),
+            ),
+            _ => None,
+        };
         let mut key_buf: Vec<SymValue> = Vec::new();
         // Renumber for positions emitted *after* the swap.
         let renum = |p: u32| -> usize {
@@ -722,6 +1138,8 @@ impl ValidatorStream {
         // witness) does the group's pair set restructure; those rare
         // scopes are stashed for a full before/after recomputation.
         let mut scopes: Vec<PairScope> = Vec::new();
+        let mut key_t: Vec<SymValue> = Vec::new();
+        let mut key_m_buf: Vec<SymValue> = Vec::new();
         for (gi, (g, idx)) in validator
             .cfd_groups()
             .iter()
@@ -731,10 +1149,20 @@ impl ValidatorStream {
             if g.rel != rel {
                 continue;
             }
-            sym_key(interner, t, &g.attrs, &mut key_buf);
-            let key_t = key_buf.clone();
-            for m in &g.members {
-                if !member_matches(g, m, t) {
+            match row {
+                Some(row) => key_from_slots(row, &cfd_group_slots[gi], &mut key_t),
+                None => sym_key(interner, t, &g.attrs, &mut key_t),
+            }
+            // One member-match predicate per scoped tuple: sym compare
+            // against the cached patterns on the batch path, the value
+            // compare otherwise. Matching only reads the group-key
+            // projection, so the key stands in for the tuple.
+            let t_matches = |mi: usize, m: &CfdMember| match row {
+                Some(_) => member_matches_sym(&member_syms[gi][mi], &key_t),
+                None => member_matches(g, m, t),
+            };
+            for (mi, m) in g.members.iter().enumerate() {
+                if !t_matches(mi, m) {
                     continue;
                 }
                 if let Some(expected) = &m.rhs_const {
@@ -754,11 +1182,24 @@ impl ValidatorStream {
                     }
                 }
             }
-            let key_m: Option<Vec<SymValue>> = moved.as_ref().map(|mt| {
-                sym_key(interner, mt, &g.attrs, &mut key_buf);
-                key_buf.clone()
-            });
-            let same_key = key_m.as_deref() == Some(key_t.as_slice());
+            let key_m: Option<&[SymValue]> = match &moved {
+                Some(mt) => {
+                    match &row_m {
+                        Some(row_m) => key_from_slots(row_m, &cfd_group_slots[gi], &mut key_m_buf),
+                        None => sym_key(interner, mt, &g.attrs, &mut key_m_buf),
+                    }
+                    Some(&key_m_buf)
+                }
+                None => None,
+            };
+            let same_key = key_m == Some(key_t.as_slice());
+            let m_matches = |mi: usize, m: &CfdMember| match (&key_m, &moved) {
+                (Some(km), Some(mt)) => match row {
+                    Some(_) => member_matches_sym(&member_syms[gi][mi], km),
+                    None => member_matches(g, m, mt),
+                },
+                _ => false,
+            };
 
             // The deleted tuple's key group.
             let fmin = idx.min_pos(&key_t).expect("deleted tuple is in its group");
@@ -768,8 +1209,8 @@ impl ValidatorStream {
                 // pos > fmin). Resolve the deleted tuple's own pair and
                 // relabel the moved tuple's, per matching member.
                 let first = db.relation(rel).get(fmin as usize).expect("in range");
-                for m in &g.members {
-                    if m.rhs_const.is_some() || !member_matches(g, m, t) {
+                for (mi, m) in g.members.iter().enumerate() {
+                    if m.rhs_const.is_some() || !t_matches(mi, m) {
                         continue;
                     }
                     if first[m.rhs] != t[m.rhs] {
@@ -787,15 +1228,19 @@ impl ValidatorStream {
                     if same_key {
                         // The moved tuple's pair relabels with it; the
                         // consumer's renumber step covers this, so it is
-                        // not a delta entry.
-                        let old = (
-                            m.idx,
-                            CfdViolation::Pair {
-                                left: fmin as usize,
-                                right: last,
-                            },
-                        );
-                        if live_cfd.remove(&old) {
+                        // not a delta entry. A pair exists exactly when
+                        // the moved tuple disagrees with the witness, so
+                        // the live set is only touched when there is one.
+                        let mt = moved.as_ref().expect("same_key implies a move");
+                        if first[m.rhs] != mt[m.rhs] {
+                            let was_live = live_cfd.remove(&(
+                                m.idx,
+                                CfdViolation::Pair {
+                                    left: fmin as usize,
+                                    right: last,
+                                },
+                            ));
+                            debug_assert!(was_live, "relabeled pair must have been live");
                             live_cfd.insert((
                                 m.idx,
                                 CfdViolation::Pair {
@@ -806,10 +1251,12 @@ impl ValidatorStream {
                         }
                     }
                 }
-            } else {
+            } else if idx.positions(&key_t).nth(1).is_some() {
                 // The witness itself goes: the group's pairs
                 // restructure. Stash the old pairs for recomputation.
-                scopes.extend(stash_scope(g, gi, idx, db.relation(rel), &key_t, t));
+                // (A singleton group has no pairs on either side of the
+                // deletion — nothing to stash.)
+                scopes.extend(stash_scope(g, gi, idx, db.relation(rel), &key_t, t_matches));
             }
 
             // The moved tuple's key group, when it is a different one.
@@ -820,31 +1267,37 @@ impl ValidatorStream {
                         // Witness unchanged: the moved tuple's pair (if
                         // any) just renumbers `last` → `pos` — covered by
                         // the consumer's renumber step, no delta entry.
-                        for m in &g.members {
-                            if m.rhs_const.is_some() || !member_matches(g, m, mt) {
+                        // As above, a pair exists exactly when the moved
+                        // tuple disagrees with its witness.
+                        let first_m = db.relation(rel).get(fmin_m as usize).expect("in range");
+                        for (mi, m) in g.members.iter().enumerate() {
+                            if m.rhs_const.is_some()
+                                || first_m[m.rhs] == mt[m.rhs]
+                                || !m_matches(mi, m)
+                            {
                                 continue;
                             }
-                            let old = (
+                            let was_live = live_cfd.remove(&(
                                 m.idx,
                                 CfdViolation::Pair {
                                     left: fmin_m as usize,
                                     right: last,
                                 },
-                            );
-                            if live_cfd.remove(&old) {
-                                live_cfd.insert((
-                                    m.idx,
-                                    CfdViolation::Pair {
-                                        left: fmin_m as usize,
-                                        right: pos,
-                                    },
-                                ));
-                            }
+                            ));
+                            debug_assert!(was_live, "relabeled pair must have been live");
+                            live_cfd.insert((
+                                m.idx,
+                                CfdViolation::Pair {
+                                    left: fmin_m as usize,
+                                    right: pos,
+                                },
+                            ));
                         }
-                    } else {
+                    } else if idx.positions(km).nth(1).is_some() {
                         // The moved tuple lands *below* the group's old
-                        // witness and becomes the new one: restructure.
-                        scopes.extend(stash_scope(g, gi, idx, db.relation(rel), km, mt));
+                        // witness and becomes the new one: restructure
+                        // (skipped for a singleton group — no pairs).
+                        scopes.extend(stash_scope(g, gi, idx, db.relation(rel), km, m_matches));
                     }
                 }
             }
@@ -858,12 +1311,20 @@ impl ValidatorStream {
         // ---- CIND source role of the deleted tuple (before its target
         // role, so a self-partnered tuple is not counted as orphaned).
         for (gi, g) in validator.cind_groups().iter().enumerate() {
-            for (m, sidx) in g.members.iter().zip(cind_sources[gi].iter_mut()) {
+            for (mi, (m, sidx)) in g
+                .members
+                .iter()
+                .zip(cind_sources[gi].iter_mut())
+                .enumerate()
+            {
                 let cind = &validator.cinds()[m.idx];
                 if cind.lhs_rel() != rel || !cind.triggers(t) {
                     continue;
                 }
-                sym_key(interner, t, &m.x_perm, &mut key_buf);
+                match row {
+                    Some(row) => key_from_slots(row, &cind_x_slots[gi][mi], &mut key_buf),
+                    None => sym_key(interner, t, &m.x_perm, &mut key_buf),
+                }
                 sidx.remove_key(pos as u32, &key_buf);
                 if !cind_targets[gi].contains_key(&key_buf) {
                     let v = (
@@ -886,7 +1347,10 @@ impl ValidatorStream {
             if g.rhs_rel != rel || !g.yp.iter().all(|(a, v)| &t[*a] == v) {
                 continue;
             }
-            sym_key(interner, t, &g.y, &mut key_buf);
+            match row {
+                Some(row) => key_from_slots(row, &cind_y_slots[gi], &mut key_buf),
+                None => sym_key(interner, t, &g.y, &mut key_buf),
+            }
             cind_targets[gi].remove_key(pos as u32, &key_buf);
             if cind_targets[gi].contains_key(&key_buf) {
                 continue;
@@ -916,12 +1380,19 @@ impl ValidatorStream {
         // index entries in the CIND tiers (CFD tiers were renumbered
         // above; pair relabeling happens in the recomputation below).
         if let Some(mt) = &moved {
-            for g in validator.cfd_groups() {
+            for (gi, g) in validator.cfd_groups().iter().enumerate() {
                 if g.rel != rel {
                     continue;
                 }
-                for m in &g.members {
-                    if !member_matches(g, m, mt) {
+                if let Some(row_m) = &row_m {
+                    key_from_slots(row_m, &cfd_group_slots[gi], &mut key_buf);
+                }
+                for (mi, m) in g.members.iter().enumerate() {
+                    let matched = match &row_m {
+                        Some(_) => member_matches_sym(&member_syms[gi][mi], &key_buf),
+                        None => member_matches(g, m, mt),
+                    };
+                    if !matched {
                         continue;
                     }
                     if let Some(expected) = &m.rhs_const {
@@ -950,12 +1421,20 @@ impl ValidatorStream {
                 }
             }
             for (gi, g) in validator.cind_groups().iter().enumerate() {
-                for (m, sidx) in g.members.iter().zip(cind_sources[gi].iter_mut()) {
+                for (mi, (m, sidx)) in g
+                    .members
+                    .iter()
+                    .zip(cind_sources[gi].iter_mut())
+                    .enumerate()
+                {
                     let cind = &validator.cinds()[m.idx];
                     if cind.lhs_rel() != rel || !cind.triggers(mt) {
                         continue;
                     }
-                    sym_key(interner, mt, &m.x_perm, &mut key_buf);
+                    match &row_m {
+                        Some(row_m) => key_from_slots(row_m, &cind_x_slots[gi][mi], &mut key_buf),
+                        None => sym_key(interner, mt, &m.x_perm, &mut key_buf),
+                    }
                     sidx.replace_pos(last as u32, pos as u32, &key_buf);
                     let old = (
                         m.idx,
@@ -975,16 +1454,23 @@ impl ValidatorStream {
                     }
                 }
                 if g.rhs_rel == rel && g.yp.iter().all(|(a, v)| &mt[*a] == v) {
-                    sym_key(interner, mt, &g.y, &mut key_buf);
+                    match &row_m {
+                        Some(row_m) => key_from_slots(row_m, &cind_y_slots[gi], &mut key_buf),
+                        None => sym_key(interner, mt, &g.y, &mut key_buf),
+                    }
                     cind_targets[gi].replace_pos(last as u32, pos as u32, &key_buf);
                 }
             }
         }
 
-        // ---- Remove from the database (the swap happens here).
+        // ---- Remove from the database (the swap happens here); the id
+        // map mirrors it.
         let removed = db.remove(rel, t).expect("position was just resolved");
         debug_assert_eq!(removed.pos, pos);
         debug_assert_eq!(removed.moved_from, moved.as_ref().map(|_| last));
+        let (retired, moved_id) = ids[rel.index()].remove_swap(pos);
+        delta.ids.retired = Some(retired);
+        delta.ids.moved = moved_id;
 
         // ---- Recompute the affected key groups' pairs against the
         // final state and swap them into the live set; only genuine
@@ -1130,6 +1616,118 @@ impl ValidatorStream {
             "reverting an applied mutation cannot be a no-op"
         );
         Ok(applied)
+    }
+
+    /// Symbolizes a tuple's key-attribute cells in one pass, interning
+    /// new strings — the insert-side row builder of the batch path.
+    fn sym_row_intern(&mut self, rel: RelId, t: &Tuple) -> Vec<SymValue> {
+        let Self {
+            interner,
+            sym_attrs,
+            ..
+        } = self;
+        sym_attrs[rel.index()]
+            .iter()
+            .map(|a| interner.intern_value(&t[*a]))
+            .collect()
+    }
+
+    /// Read-only row builder for the delete/update-old side. Cells the
+    /// interner has never seen become [`HOLE`]s: for a resident tuple
+    /// those can only sit on attributes reached solely through a
+    /// conditioned CIND role the tuple does not play, and the
+    /// role-guarded key builds never read them; residency itself is
+    /// decided by the delete path's `position()` check, exactly as in
+    /// the single-mutation path.
+    fn sym_row_lookup(&self, rel: RelId, t: &Tuple) -> Vec<SymValue> {
+        self.sym_attrs[rel.index()]
+            .iter()
+            .map(|a| self.interner.sym_value(&t[*a]).unwrap_or(HOLE))
+            .collect()
+    }
+
+    /// Applies a whole batch of value-level [`Mutation`]s, returning the
+    /// streamed deltas **in application order** — exactly the
+    /// concatenation of what per-mutation [`ValidatorStream::apply`]
+    /// calls would return (an update contributes its delete and insert
+    /// deltas, a merge-degenerate update one delete delta, a no-op
+    /// nothing), so `current_report()` still equals a fresh batch sweep
+    /// after every batch.
+    ///
+    /// What makes it cheaper than the mutation-at-a-time loop:
+    ///
+    /// * **one interner pass** — every arriving tuple's key cells are
+    ///   symbolized once up front (and the cached member-pattern symbol
+    ///   translations refreshed once), instead of once per constraint
+    ///   group per mutation;
+    /// * **grouped key translation** — per `(relation, LHS set)` group,
+    ///   keys are `Copy` slot reads out of the pre-built row and member
+    ///   matching is a word compare, with no string hashed anywhere in
+    ///   the per-group work;
+    /// * **one probe per touched key group** — the group's pair witness
+    ///   is looked up once and shared across all its wildcard members.
+    ///
+    /// The whole batch is type-checked first: an ill-typed mutation
+    /// returns the error with **nothing** applied (unlike a sequential
+    /// `apply` loop, which would stop half-way).
+    pub fn apply_deltas(&mut self, muts: &[Mutation]) -> Result<Vec<SigmaDelta>, ModelError> {
+        for m in muts {
+            match m {
+                Mutation::Insert { rel, tuple } => self.db.check_tuple(*rel, tuple)?,
+                Mutation::Update { rel, new, .. } => self.db.check_tuple(*rel, new)?,
+                Mutation::Delete { .. } => {}
+            }
+        }
+        // Phase 1: the one interner pass over every arriving tuple.
+        let arriving: Vec<Option<Vec<SymValue>>> = muts
+            .iter()
+            .map(|m| match m {
+                Mutation::Insert { rel, tuple }
+                | Mutation::Update {
+                    rel, new: tuple, ..
+                } => Some(self.sym_row_intern(*rel, tuple)),
+                Mutation::Delete { .. } => None,
+            })
+            .collect();
+        self.refresh_member_syms();
+        // Phase 2: apply in order through the row-fed engine. Presence
+        // checks happen here, against the evolving database, so
+        // intra-batch interactions (insert then delete, merging updates)
+        // resolve exactly as they would sequentially.
+        let mut out = Vec::with_capacity(muts.len());
+        for (m, row) in muts.iter().zip(&arriving) {
+            match m {
+                Mutation::Insert { rel, tuple } => {
+                    // No pre-membership probe: `insert_inner` detects the
+                    // no-op itself (a resident tuple allocates no id).
+                    let d = self.insert_inner(*rel, tuple.clone(), row.as_deref())?;
+                    if d.ids.born.is_some() {
+                        out.push(d);
+                    }
+                }
+                Mutation::Delete { rel, tuple } => {
+                    let drow = self.sym_row_lookup(*rel, tuple);
+                    if let Some(d) = self.delete_inner(*rel, tuple, Some(&drow)) {
+                        out.push(d);
+                    }
+                }
+                Mutation::Update { rel, old, new } => {
+                    if old == new || !self.db.relation(*rel).contains(old) {
+                        continue;
+                    }
+                    let drow = self.sym_row_lookup(*rel, old);
+                    let merged = self.db.relation(*rel).contains(new);
+                    out.push(
+                        self.delete_inner(*rel, old, Some(&drow))
+                            .expect("presence just checked"),
+                    );
+                    if !merged {
+                        out.push(self.insert_inner(*rel, new.clone(), row.as_deref())?);
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// The **violation class** of compiled CFD `cfd_idx` around tuple `t`:

@@ -22,7 +22,7 @@
 //! | [`consistency`] | the Section 5 heuristics: `CFD_Checking` (chase & SAT), dependency graph, `preProcessing`, `RandomChecking`, `Checking` |
 //! | [`gen`] | seeded workload generators matching the Section 6 experimental setting, incl. the planted-Σ discovery ground truth (`clean_database_with_hidden_sigma`) |
 //! | [`discover`] | **dependency discovery**: level-wise CFD mining over stripped partitions (interned columns, `SymIndex` counting-sort CSR), constant-pattern specialization per equivalence class, unary CIND inclusion mining with exact-making constant conditions, `(support, confidence)` ranking with trivial/implied pruning |
-//! | [`validate`] | **batched Σ-validation engine**: Σ grouped by `(relation, LHS set)`, one shared group-by index per group over interned keys, parallel sweep; `ValidatorStream` delta engine (insert/delete/update with violation retraction, value-level `Mutation`/`apply`/`revert`, `SigmaReport::apply_delta` consumer rule) |
+//! | [`validate`] | **batched Σ-validation engine**: Σ grouped by `(relation, LHS set)`, one shared group-by index per group over interned keys, parallel sweep; `ValidatorStream` delta engine (insert/delete/update with violation retraction, value-level `Mutation`/`apply`/`revert`, `SigmaReport::apply_delta` consumer rule) hardened for whole-life monitoring: position-stable `TupleId` handles, batched `apply_deltas` windows, and full `compact()` (emptied key groups + dead interned strings reclaimed) |
 //! | [`repair`] | **cost-based repair engine**: greedy equivalence-class CFD repair (union-find over conflicting cells, majority/constant targets), CIND orphans chased into inserted targets or deleted, every fix verified net-negative through the delta engine and rolled back otherwise |
 //! | [`report`] | high-level data-quality façade: compiles Σ into a batched validator, runs it against a database and aggregates violations; `QualityMonitor` keeps the full report live from streamed deltas; `QualitySuite::repair` cleans a database through the repair engine |
 //!
@@ -62,9 +62,11 @@ pub mod prelude {
     pub use crate::consistency::{checking, CheckingConfig, ConstraintSet};
     pub use crate::discover::{DiscoveredSigma, DiscoveryConfig};
     pub use crate::model::{
-        AttrId, Database, Domain, PValue, PatternRow, RelId, Schema, Tuple, Value,
+        AttrId, Database, Domain, PValue, PatternRow, RelId, Schema, Tuple, TupleId, Value,
     };
     pub use crate::repair::{RepairBudget, RepairCost, RepairReport};
     pub use crate::report::{QualityMonitor, QualityReport, ViolationSummary};
-    pub use crate::validate::{Mutation, SigmaDelta, SigmaReport, Validator, ValidatorStream};
+    pub use crate::validate::{
+        CompactionStats, Mutation, SigmaDelta, SigmaReport, Validator, ValidatorStream,
+    };
 }

@@ -608,17 +608,21 @@ impl ShadowReport {
     }
 }
 
-/// ≥ 240 random insert/delete/update sequences over a collision-heavy
-/// two-relation workload: after **every** mutation, the stream's
-/// materialized violation set, an external delta consumer, and a
-/// from-scratch batch `Validator::validate` of the current database must
-/// be identical — the equivalence oracle for the delta engine.
+/// ≥ 240 random mutation sequences over a collision-heavy two-relation
+/// workload, interleaving single mutations, `apply_deltas` batches and
+/// `compact()` calls: after **every** step, the stream's materialized
+/// violation set, an external delta consumer, and a from-scratch batch
+/// `Validator::validate` of the current database must be identical — the
+/// equivalence oracle for the delta engine — and every live [`TupleId`]
+/// must still resolve to the same logical tuple it was allocated for
+/// (with the id ⇄ position maps staying bijective on live tuples).
 #[test]
 fn stream_deltas_agree_with_batch_validation_on_random_sequences() {
-    use condep::model::RelId;
-    use condep::validate::{Validator, ValidatorStream};
+    use condep::model::{RelId, TupleId};
+    use condep::validate::{Mutation, Validator, ValidatorStream};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
 
     let schema = Arc::new(
         Schema::builder()
@@ -628,6 +632,11 @@ fn stream_deltas_agree_with_batch_validation_on_random_sequences() {
                     ("a", Domain::string()),
                     ("b", Domain::string()),
                     ("c", Domain::string()),
+                    // `d` is reachable ONLY through a conditioned CIND
+                    // source role (no CFD indexes it), so tuples with
+                    // c ≠ v0 never intern their `d` cell — the batch
+                    // path's hole-tolerant rows are exercised for real.
+                    ("d", Domain::string()),
                 ],
             )
             .relation("s", &[("x", Domain::string()), ("y", Domain::string())])
@@ -688,11 +697,26 @@ fn stream_deltas_agree_with_batch_validation_on_random_sequences() {
         condep::cind::NormalCind::parse(&schema, "s", &["y"], &[], "r", &["b"], &[]).unwrap(),
         // r[a] ⊆ r[b]: self-referential within one relation.
         condep::cind::NormalCind::parse(&schema, "r", &["a"], &[], "r", &["b"], &[]).unwrap(),
+        // r[d; c = v0] ⊆ s[x]: the only constraint touching `d`, and a
+        // conditioned one — non-triggering tuples leave `d` un-interned.
+        condep::cind::NormalCind::parse(
+            &schema,
+            "r",
+            &["d"],
+            &[("c", Value::str("v0"))],
+            "s",
+            &["x"],
+            &[],
+        )
+        .unwrap(),
     ];
 
     let a_pool = ["a0", "a1", "a2"];
     let b_pool = ["b0", "b1", "a0"];
     let c_pool = ["v0", "v1"];
+    // "a0" can find a target; "d7"/"d8" orphan when the condition fires
+    // and otherwise stay un-interned on non-triggering tuples.
+    let d_pool = ["a0", "d7", "d8"];
     let x_pool = ["a0", "a1", "a2", "z"];
     let y_pool = ["b0", "b1", "a0", "v0"];
     let r = RelId(0);
@@ -708,6 +732,7 @@ fn stream_deltas_agree_with_batch_validation_on_random_sequences() {
                     pick(rng, &a_pool),
                     pick(rng, &b_pool),
                     pick(rng, &c_pool),
+                    pick(rng, &d_pool),
                 ])
             } else {
                 Tuple::new(vec![pick(rng, &x_pool), pick(rng, &y_pool)])
@@ -733,15 +758,61 @@ fn stream_deltas_agree_with_batch_validation_on_random_sequences() {
             "seed {seed}: new_validated must report the batch state"
         );
         let mut shadow = ShadowReport::from_report(&initial);
+        // Every (rel, TupleId) ever observed, with the tuple it was
+        // allocated for: a live id must keep resolving to exactly that
+        // tuple; a dead id must never resurrect as something else.
+        let mut id_shadow: HashMap<(RelId, TupleId), Tuple> = HashMap::new();
 
         for step in 0..30 {
-            let rel = if rng.gen_bool(0.7) { r } else { s };
-            let roll = rng.gen_range(0..10u32);
-            if roll < 5 {
+            let roll = rng.gen_range(0..12u32);
+            if roll < 2 {
+                // A buffered mutation window through the batched path:
+                // same consumer rule, deltas in application order.
+                let n = rng.gen_range(2..6usize);
+                let mut muts = Vec::new();
+                for _ in 0..n {
+                    let rel = if rng.gen_bool(0.7) { r } else { s };
+                    let len = stream.db().relation(rel).len();
+                    match rng.gen_range(0..3u32) {
+                        0 => muts.push(Mutation::Insert {
+                            rel,
+                            tuple: random_tuple(&mut rng, rel),
+                        }),
+                        1 if len > 0 => muts.push(Mutation::Delete {
+                            rel,
+                            tuple: stream
+                                .db()
+                                .relation(rel)
+                                .get(rng.gen_range(0..len))
+                                .unwrap()
+                                .clone(),
+                        }),
+                        2 if len > 0 => muts.push(Mutation::Update {
+                            rel,
+                            old: stream
+                                .db()
+                                .relation(rel)
+                                .get(rng.gen_range(0..len))
+                                .unwrap()
+                                .clone(),
+                            new: random_tuple(&mut rng, rel),
+                        }),
+                        _ => {}
+                    }
+                }
+                mutations += muts.len();
+                let deltas = stream.apply_deltas(&muts).unwrap();
+                for delta in &deltas {
+                    shadow.apply(&oracle, delta);
+                }
+            } else if roll < 7 {
+                let rel = if rng.gen_bool(0.7) { r } else { s };
                 let t = random_tuple(&mut rng, rel);
                 let delta = stream.insert_tuple(rel, t).unwrap();
                 shadow.apply(&oracle, &delta);
-            } else if roll < 8 {
+                mutations += 1;
+            } else if roll < 10 {
+                let rel = if rng.gen_bool(0.7) { r } else { s };
                 let len = stream.db().relation(rel).len();
                 if len == 0 {
                     continue;
@@ -754,7 +825,9 @@ fn stream_deltas_agree_with_batch_validation_on_random_sequences() {
                     .clone();
                 let delta = stream.delete_tuple(rel, &t).expect("tuple is present");
                 shadow.apply(&oracle, &delta);
+                mutations += 1;
             } else {
+                let rel = if rng.gen_bool(0.7) { r } else { s };
                 let len = stream.db().relation(rel).len();
                 if len == 0 {
                     continue;
@@ -772,8 +845,19 @@ fn stream_deltas_agree_with_batch_validation_on_random_sequences() {
                     .expect("tuple is present");
                 shadow.apply(&oracle, &del);
                 shadow.apply(&oracle, &ins);
+                mutations += 1;
             }
-            mutations += 1;
+            if step % 9 == 4 {
+                // Periodic full compaction (index key groups + interner
+                // + id maps) must be invisible to every invariant below.
+                let before = stream.current_report();
+                stream.compact();
+                assert_eq!(
+                    stream.current_report(),
+                    before,
+                    "seed {seed} step {step}: compaction disturbed the live state"
+                );
+            }
             let batch = oracle.validate_sorted(stream.db());
             assert_eq!(
                 stream.current_report(),
@@ -785,6 +869,42 @@ fn stream_deltas_agree_with_batch_validation_on_random_sequences() {
                 batch,
                 "seed {seed} step {step}: delta consumer diverged from batch"
             );
+            // The id oracle: live positions and ids are in bijection,
+            // newborn ids are registered, and every id ever seen either
+            // still resolves to its original tuple or is dead for good.
+            for rel in [r, s] {
+                let inst = stream.db().relation(rel);
+                for pos in 0..inst.len() {
+                    let id = stream
+                        .tuple_id_at(rel, pos)
+                        .expect("every live position carries an id");
+                    assert_eq!(
+                        stream.position_of(rel, id),
+                        Some(pos),
+                        "seed {seed} step {step}: id map lost its bijection"
+                    );
+                    let t = inst.get(pos).unwrap();
+                    match id_shadow.entry((rel, id)) {
+                        std::collections::hash_map::Entry::Occupied(e) => assert_eq!(
+                            e.get(),
+                            t,
+                            "seed {seed} step {step}: TupleId {id:?} re-resolved to a \
+                             different logical tuple"
+                        ),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(t.clone());
+                        }
+                    }
+                }
+            }
+            for ((rel, id), expected) in &id_shadow {
+                if let Some(resident) = stream.tuple_by_id(*rel, *id) {
+                    assert_eq!(
+                        resident, expected,
+                        "seed {seed} step {step}: a dead TupleId resurrected"
+                    );
+                }
+            }
         }
     }
     assert!(

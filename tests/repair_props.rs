@@ -106,10 +106,15 @@ proptest! {
             "kept-fix deltas must account for every violation change"
         );
 
-        // Every kept fix is net-negative and touches only what its
-        // motivating violation names.
+        // Every kept fix is net-negative, carries the stable id of the
+        // tuple it acted on, and touches only what its motivating
+        // violation names.
         for a in &report.log.applied {
             prop_assert!(a.net_change() < 0, "kept a non-net-negative fix: {a:?}");
+            prop_assert!(
+                a.target.is_some(),
+                "every kept fix must record its target tuple id: {a:?}"
+            );
             match (&a.fix, a.motive) {
                 (Fix::EditCells { rel, attrs, old, new, .. }, Motive::Cfd(ci)) => {
                     prop_assert_eq!(*rel, cfds[ci].rel());
