@@ -2,22 +2,27 @@
 //!
 //! The long-lived-stream workload: the `BENCH_stream.json` instance
 //! (100K tuples, 200 CFDs over 10 LHS sets, 2 CINDs) under 1% churn,
-//! applied four ways — the per-mutation `delete_tuple`/`insert_tuple`
-//! loop, and `apply_deltas` windows of 1, 32 and 1024 mutations. The
-//! batched path symbolizes each window through one interner pass,
-//! translates keys per `(relation, LHS set)` group from pre-built rows
-//! and probes each touched key group once, so per-mutation cost falls
-//! as the window grows.
+//! applied five ways — the per-mutation `delete_tuple`/`insert_tuple`
+//! loop, `apply_deltas` windows of 1, 32 and 1024 mutations, and the
+//! 1024-window plan against a 2×-redundant suite compiled through the
+//! exact Σ cover (`cover`). The batched path symbolizes each window
+//! through one interner pass, translates keys per `(relation, LHS set)`
+//! group from pre-built rows and probes each touched key group once, so
+//! per-mutation cost falls as the window grows.
 //!
-//! Two gates are asserted **in-run** (CI smoke mode included):
+//! Three gates are asserted **in-run** (CI smoke mode included):
 //!
 //! * after every configuration, the stream's materialized report equals
 //!   a fresh batch sweep of the churned database (the batched path
-//!   cannot silently drift from the sequential semantics);
+//!   cannot silently drift from the sequential semantics) — for the
+//!   `cover` configuration the sweep runs through an **uncovered**
+//!   compile of the same redundant Σ, pinning cover equivalence;
 //! * a churn-then-compact loop over ever-fresh keys keeps the interner's
 //!   retained string count invariant across rounds — bounded by the live
 //!   distinct values, not by the keys ever seen (the dead-strings leak
-//!   stays closed).
+//!   stays closed);
+//! * in smoke mode, a perf guard fails the run when batch-1024 comes in
+//!   >25% over the last recorded full run's per-op cost.
 //!
 //! Results are recorded in `BENCH_batch.json` at the repository root
 //! (skipped in `CONDEP_BENCH_SMOKE=1` mode, which CI uses to exercise
@@ -165,6 +170,38 @@ fn sigma_cinds(schema: &Arc<Schema>) -> Vec<NormalCind> {
     ]
 }
 
+/// A mined-Σ-style redundant suite: every dependency stated twice (the
+/// shape a discovery pass emits before dedup). The exact Σ cover
+/// collapses the duplicates at compile time, so the covered hot path
+/// should cost what the non-redundant suite costs — that is what the
+/// `cover` configuration measures.
+fn sigma_redundant(schema: &Arc<Schema>) -> (Vec<NormalCfd>, Vec<NormalCind>) {
+    let cfds = sigma_cfds(schema)
+        .into_iter()
+        .flat_map(|c| [c.clone(), c])
+        .collect();
+    let cinds = sigma_cinds(schema)
+        .into_iter()
+        .flat_map(|c| [c.clone(), c])
+        .collect();
+    (cfds, cinds)
+}
+
+/// The `per_op_us` recorded for `config` in a previously written
+/// `BENCH_batch.json` — a minimal string scan so the guard needs no
+/// JSON dependency.
+fn recorded_per_op(json: &str, config: &str) -> Option<f64> {
+    let needle = format!("\"config\": \"{config}\"");
+    let row = json.split('{').find(|s| s.contains(&needle))?;
+    let tail = row.split("\"per_op_us\":").nth(1)?;
+    tail.trim_start()
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
 fn build_db(schema: &Arc<Schema>, n: usize) -> Database {
     let mut db = Database::empty(schema.clone());
     let mut state = 0x243f_6a88_85a3_08d3u64;
@@ -268,6 +305,34 @@ fn main() {
         }
         times.push(best);
     }
+    // Σ-cover configuration: the batch-1024 plan against the redundant
+    // (every-dependency-twice) suite compiled through the exact cover.
+    // In-run gate: the covered compile's live state must equal a batch
+    // sweep by an *uncovered* compile of the same redundant Σ — the
+    // cover is a compile-time optimization, never a semantic change.
+    let (red_cfds, red_cinds) = sigma_redundant(&schema);
+    let covered = Validator::new(red_cfds.clone(), red_cinds.clone());
+    let uncovered = Validator::new_uncovered(red_cfds, red_cinds);
+    assert!(
+        covered.compiled_cfd_members() < uncovered.compiled_cfd_members(),
+        "redundant suite must actually shrink under the cover"
+    );
+    let mut cover_best = Duration::MAX;
+    for _ in 0..runs {
+        let (mut stream, _initial) = ValidatorStream::new_validated(covered.clone(), db.clone());
+        let (elapsed, ()) = time_once(|| {
+            for window in muts.chunks(1024) {
+                stream.apply_deltas(window).expect("well-typed");
+            }
+        });
+        assert_eq!(
+            stream.current_report(),
+            uncovered.validate_sorted(stream.db()),
+            "cover: covered compile diverged from the uncovered compile"
+        );
+        cover_best = cover_best.min(elapsed);
+    }
+
     let per_op_us = |d: Duration| ms(d) * 1000.0 / (churn as f64 * 2.0);
     let single_us = per_op_us(times[0]);
 
@@ -314,6 +379,15 @@ fn main() {
         "compaction rounds disturbed the live state"
     );
 
+    // All rows, the `cover` configuration last (batch-1024 plan, 2×
+    // redundant Σ compiled through the exact cover).
+    let rows: Vec<(&str, usize, Duration)> = configs
+        .iter()
+        .zip(&times)
+        .map(|((label, batch), time)| (*label, *batch, *time))
+        .chain([("cover", 1024usize, cover_best)])
+        .collect();
+
     let mut table = FigureTable::new(
         "batch",
         &[
@@ -325,7 +399,7 @@ fn main() {
             "speedup_vs_single",
         ],
     );
-    for ((label, _), time) in configs.iter().zip(&times) {
+    for (label, _, time) in &rows {
         table.row(&[
             label,
             &n,
@@ -345,11 +419,33 @@ fn main() {
     );
 
     if smoke {
+        // Smoke-mode perf guard: a gross batch-1024 regression against
+        // the last recorded full run fails CI. The smoke instance is 10×
+        // smaller than the recorded one, so an honest smoke run comes in
+        // at or under the recorded per-op cost; >25% over it means the
+        // hot path got materially slower, not that the machine wobbled.
+        let path = format!("{}/../../BENCH_batch.json", env!("CARGO_MANIFEST_DIR"));
+        if let Some(recorded) = std::fs::read_to_string(&path)
+            .ok()
+            .as_deref()
+            .and_then(|json| recorded_per_op(json, "batch_1024"))
+        {
+            let measured = per_op_us(times[3]);
+            assert!(
+                measured <= recorded * 1.25,
+                "smoke perf guard: batch-1024 at {measured:.2} µs/op is >25% over the recorded \
+                 {recorded:.2} µs/op (BENCH_batch.json)"
+            );
+            println!(
+                "smoke perf guard: batch-1024 {measured:.2} µs/op within 25% of recorded \
+                 {recorded:.2} µs/op"
+            );
+        }
         println!("(smoke mode: BENCH_batch.json not rewritten)");
         return;
     }
     let mut json_rows = String::new();
-    for (i, ((label, batch), time)) in configs.iter().zip(&times).enumerate() {
+    for (i, (label, batch, time)) in rows.iter().enumerate() {
         let _ = writeln!(
             json_rows,
             "    {{\"config\": \"{label}\", \"batch\": {batch}, \"ms\": {:.2}, \
@@ -358,7 +454,7 @@ fn main() {
             per_op_us(*time),
             single_us / per_op_us(*time),
             PRE_HARDENING_SINGLE_US / per_op_us(*time),
-            if i + 1 < configs.len() { "," } else { "" },
+            if i + 1 < rows.len() { "," } else { "" },
         );
     }
     let vs_single = single_us / per_op_us(times[3]);
@@ -374,7 +470,9 @@ fn main() {
          (one-pass symbolization, grouped key translation, one probe per touched key group) COMBINED with the \
          shared index upgrades this PR ships (O(1) min_pos/remove_key/replace_pos, value-guarded relabels); \
          the same-binary single path inherits the shared upgrades, so its ratio is smaller — the residual \
-         per-mutation cost is memory-bound index/live-set maintenance identical in both paths\",\n  \
+         per-mutation cost is memory-bound index/live-set maintenance identical in both paths; the cover row \
+         runs the batch-1024 plan against a 2x-redundant (every-dependency-twice) suite compiled through the \
+         exact Sigma cover, with an in-run gate that its report equals an uncovered compile's batch sweep\",\n  \
          \"compaction\": {{\"rounds\": {rounds}, \"interned_strings_before\": {}, \
          \"interned_strings_after\": {}, \"interned_bytes_reclaimed\": {}, \"retention_churn_invariant\": true}},\n  \
          \"results\": [\n{json_rows}  ]\n}}\n",

@@ -54,7 +54,12 @@ fn main() {
     let sigma_cfds = found.cfds_normal();
     for cfd in &planted.cfds {
         assert_eq!(
-            condep_cfd::implication::implies(schema, &sigma_cfds, cfd, None),
+            condep_cfd::implication::implies(
+                schema,
+                &sigma_cfds,
+                cfd,
+                ImplicationConfig::unbounded()
+            ),
             condep_cfd::implication::Implication::Implied,
             "planted CFD not implied: {}",
             cfd.display(schema)

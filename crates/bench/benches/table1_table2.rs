@@ -168,7 +168,12 @@ fn main() {
         let phi =
             condep_cfd::NormalCfd::parse(&s_fin, "r", &[], prow![], "b", PValue::constant("x"))
                 .unwrap();
-        cfd_imp::implies(&s_fin, &[mk(0), mk(1)], &phi, None) == cfd_imp::Implication::Implied
+        cfd_imp::implies(
+            &s_fin,
+            &[mk(0), mk(1)],
+            &phi,
+            ImplicationConfig::unbounded(),
+        ) == cfd_imp::Implication::Implied
     };
 
     // --- CFDs + CINDs: undecidable ⇒ heuristics (Example 4.2). ---

@@ -26,16 +26,7 @@ use condep_model::{Database, PValue, Schema, Tuple, Value};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-/// Verdict of an implication check.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Implication {
-    /// `Σ |= φ`.
-    Implied,
-    /// A counterexample exists.
-    NotImplied,
-    /// Budget exhausted before a verdict.
-    Unknown,
-}
+pub use condep_model::implication::{Implication, ImplicationConfig};
 
 /// A template cell: a known constant or a named placeholder.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -199,13 +190,14 @@ fn candidate_values(
 /// canonical values; returns [`Implication::NotImplied`] on the first
 /// instance satisfying `Σ` but violating `φ`, [`Implication::Implied`]
 /// when the space is exhausted, and [`Implication::Unknown`] when more
-/// than `max_instances` candidates would be needed.
+/// than `config.max_instances` candidates would be needed.
 pub fn implies_exhaustive(
     schema: &Arc<Schema>,
     sigma: &[NormalCfd],
     phi: &NormalCfd,
-    max_instances: Option<u64>,
+    config: ImplicationConfig,
 ) -> Implication {
+    let max_instances = config.max_instances;
     let rel = phi.rel();
     let mut deps: Vec<&NormalCfd> = sigma.iter().filter(|c| c.rel() == rel).collect();
     deps.push(phi);
@@ -312,7 +304,7 @@ pub fn implies(
     schema: &Arc<Schema>,
     sigma: &[NormalCfd],
     phi: &NormalCfd,
-    max_instances: Option<u64>,
+    config: ImplicationConfig,
 ) -> Implication {
     let mut deps: Vec<&NormalCfd> = sigma.iter().filter(|c| c.rel() == phi.rel()).collect();
     deps.push(phi);
@@ -323,7 +315,7 @@ pub fn implies(
             Implication::NotImplied
         }
     } else {
-        implies_exhaustive(schema, sigma, phi, max_instances)
+        implies_exhaustive(schema, sigma, phi, config)
     }
 }
 
@@ -359,7 +351,10 @@ mod tests {
         let sigma = vec![fd(&schema, &["a"], "b"), fd(&schema, &["b"], "c")];
         let phi = fd(&schema, &["a"], "c");
         assert!(implies_infinite(&schema, &sigma, &phi));
-        assert_eq!(implies(&schema, &sigma, &phi, None), Implication::Implied);
+        assert_eq!(
+            implies(&schema, &sigma, &phi, ImplicationConfig::unbounded()),
+            Implication::Implied
+        );
     }
 
     #[test]
@@ -369,7 +364,7 @@ mod tests {
         let phi = fd(&schema, &["b"], "a");
         assert!(!implies_infinite(&schema, &sigma, &phi));
         assert_eq!(
-            implies_exhaustive(&schema, &sigma, &phi, None),
+            implies_exhaustive(&schema, &sigma, &phi, ImplicationConfig::unbounded()),
             Implication::NotImplied
         );
     }
@@ -438,7 +433,7 @@ mod tests {
         ];
         for (sigma, phi) in cases {
             let chase = implies_infinite(&schema, &sigma, &phi);
-            let brute = implies_exhaustive(&schema, &sigma, &phi, None);
+            let brute = implies_exhaustive(&schema, &sigma, &phi, ImplicationConfig::unbounded());
             assert_eq!(
                 chase,
                 brute == Implication::Implied,
@@ -474,7 +469,10 @@ mod tests {
         let sigma = vec![mk(0), mk(1)];
         let phi = NormalCfd::parse(&schema, "r", &[], prow![], "b", PValue::constant("x")).unwrap();
         // The dispatcher must pick the exhaustive path and find implication.
-        assert_eq!(implies(&schema, &sigma, &phi, None), Implication::Implied);
+        assert_eq!(
+            implies(&schema, &sigma, &phi, ImplicationConfig::unbounded()),
+            Implication::Implied
+        );
         // The chase alone (wrongly, here) reports non-implication —
         // demonstrating why the finite-domain case needs the case split.
         assert!(!implies_infinite(&schema, &sigma, &phi));
@@ -492,14 +490,24 @@ mod tests {
         );
         let phi = NormalCfd::parse(&schema, "r", &[], prow![], "b", PValue::constant("x")).unwrap();
         assert_eq!(
-            implies_exhaustive(&schema, &[], &phi, Some(10)),
+            implies_exhaustive(
+                &schema,
+                &[],
+                &phi,
+                ImplicationConfig::with_max_instances(10)
+            ),
             Implication::NotImplied,
             "a small candidate instance refutes (nil → B=x) from ∅"
         );
         // An implied CFD with a tiny budget cannot be confirmed.
         let phi2 = NormalCfd::parse(&schema, "r", &["b"], prow![_], "b", PValue::Any).unwrap();
         assert_eq!(
-            implies_exhaustive(&schema, &[], &phi2, Some(1)),
+            implies_exhaustive(
+                &schema,
+                &[],
+                &phi2,
+                ImplicationConfig::with_max_instances(1)
+            ),
             Implication::Unknown
         );
     }

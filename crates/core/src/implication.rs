@@ -35,34 +35,7 @@ use condep_model::{AttrId, Database, RelId, Schema, Tuple, Value};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-/// Verdict of an implication check.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Implication {
-    /// `Σ |= ψ`.
-    Implied,
-    /// A counterexample construction exists.
-    NotImplied,
-    /// Budget exhausted before a verdict.
-    Unknown,
-}
-
-/// Budgets for the implication game.
-#[derive(Clone, Copy, Debug)]
-pub struct ImplicationConfig {
-    /// Cap on distinct abstract tuples explored per game.
-    pub max_states: usize,
-    /// Cap on initial assignments of `t0`'s finite fields.
-    pub max_initial_assignments: u64,
-}
-
-impl Default for ImplicationConfig {
-    fn default() -> Self {
-        ImplicationConfig {
-            max_states: 200_000,
-            max_initial_assignments: 4_096,
-        }
-    }
-}
+pub use condep_model::implication::{Implication, ImplicationConfig};
 
 /// A cell of an abstract tuple.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -408,15 +381,7 @@ pub fn implies(
 /// whenever neither Σ nor ψ mentions a finite-domain attribute *and* the
 /// involved relations have none.
 pub fn implies_infinite(schema: &Schema, sigma: &[NormalCind], psi: &NormalCind) -> bool {
-    match implies(
-        schema,
-        sigma,
-        psi,
-        ImplicationConfig {
-            max_states: usize::MAX,
-            max_initial_assignments: u64::MAX,
-        },
-    ) {
+    match implies(schema, sigma, psi, ImplicationConfig::unbounded()) {
         Implication::Implied => true,
         Implication::NotImplied => false,
         Implication::Unknown => panic!(
@@ -750,14 +715,14 @@ mod tests {
         ]);
         let psi = normalize(&fixtures::example_3_3_goal()).remove(0);
         let tiny = ImplicationConfig {
-            max_states: usize::MAX,
             max_initial_assignments: 1,
+            ..ImplicationConfig::unbounded()
         };
         assert_eq!(implies(&schema, &sigma, &psi, tiny), Implication::Unknown);
         // A state cap of one blocks even the first game.
         let cramped = ImplicationConfig {
             max_states: 1,
-            max_initial_assignments: u64::MAX,
+            ..ImplicationConfig::unbounded()
         };
         assert_eq!(
             implies(&schema, &sigma, &psi, cramped),

@@ -58,6 +58,7 @@ use condep_core::implication::ImplicationConfig;
 use condep_core::NormalCind;
 use condep_model::fxhash::FxBuildHasher;
 use condep_model::{Database, RelId, SymTables};
+use condep_validate::SigmaCover;
 use std::collections::HashMap;
 
 mod cfd_miner;
@@ -113,6 +114,11 @@ pub struct DiscoveryStats {
     /// Ranked candidates dropped because the higher-ranked keeps already
     /// imply them.
     pub pruned_implied: usize,
+    /// Kept dependencies the final Σ-cover pass removed: pattern rows
+    /// merged into a subsuming keep, payload-identical CIND duplicates,
+    /// and keeps the *rest* of the kept set implies (the greedy walk
+    /// only checks each candidate against earlier keeps).
+    pub pruned_cover: usize,
     /// Candidates dropped by a per-candidate, per-relation or global
     /// cap.
     pub pruned_capped: usize,
@@ -207,7 +213,7 @@ pub fn discover(db: &Database, config: &DiscoveryConfig) -> DiscoveredSigma {
                 schema,
                 &kept_sigma,
                 &cand.cfd,
-                Some(IMPLICATION_INSTANCE_BUDGET),
+                ImplicationConfig::with_max_instances(IMPLICATION_INSTANCE_BUDGET),
             ) == condep_cfd::implication::Implication::Implied
             {
                 stats.pruned_implied += 1;
@@ -224,6 +230,7 @@ pub fn discover(db: &Database, config: &DiscoveryConfig) -> DiscoveredSigma {
     let cind_impl_config = ImplicationConfig {
         max_states: 50_000,
         max_initial_assignments: 256,
+        ..ImplicationConfig::default()
     };
     for cand in cind_cands {
         if kept_cinds.len() >= config.max_cinds {
@@ -247,6 +254,32 @@ pub fn discover(db: &Database, config: &DiscoveryConfig) -> DiscoveredSigma {
         kept_cind_sigma.push(cand.cind.clone());
         kept_cinds.push(cand);
     }
+
+    // Σ-cover pass over the kept set. The greedy walk above only checks
+    // each candidate against *earlier* (higher-ranked) keeps; the cover
+    // pass closes the loop — merging pattern rows a kept row subsumes,
+    // deduping payload-identical CINDs, and (budget permitting) dropping
+    // keeps the rest of the kept set implies. Both tiers are
+    // satisfaction-preserving, so a database satisfying the covered Σ′
+    // satisfies everything mined — implication recovery of planted
+    // dependencies is untouched. Exact merges process in input order, so
+    // the survivor of each family is its highest-ranked member.
+    let cover = if budget > 0 {
+        SigmaCover::minimal(
+            schema,
+            &kept_sigma,
+            &kept_cind_sigma,
+            ImplicationConfig::with_max_instances(IMPLICATION_INSTANCE_BUDGET),
+        )
+    } else {
+        SigmaCover::exact(&kept_sigma, &kept_cind_sigma)
+    };
+    stats.pruned_cover =
+        (kept_cfds.len() + kept_cinds.len()) - (cover.kept_cfds().len() + cover.kept_cinds().len());
+    let mut keep_cfd = cover.cfd.iter().map(|r| r.is_kept());
+    kept_cfds.retain(|_| keep_cfd.next().expect("one role per kept CFD"));
+    let mut keep_cind = cover.cind.iter().map(|r| r.is_kept());
+    kept_cinds.retain(|_| keep_cind.next().expect("one role per kept CIND"));
 
     DiscoveredSigma {
         cfds: kept_cfds,

@@ -25,7 +25,12 @@ fn recovered_sigma_implies_the_planted_one() {
     let sigma_cfds = found.cfds_normal();
     for cfd in &planted.cfds {
         assert_eq!(
-            condep_cfd::implication::implies(schema, &sigma_cfds, cfd, None),
+            condep_cfd::implication::implies(
+                schema,
+                &sigma_cfds,
+                cfd,
+                ImplicationConfig::unbounded()
+            ),
             CfdImplication::Implied,
             "planted CFD not implied by the recovered sigma: {}",
             cfd.display(schema)

@@ -75,6 +75,13 @@ impl Database {
         self.relations[rel.index()].remove(t)
     }
 
+    /// Removes the tuple at dense position `pos` of relation `rel` —
+    /// [`Database::remove`] minus the by-value lookup, for callers that
+    /// already resolved the position (e.g. a delta engine).
+    pub fn remove_at(&mut self, rel: RelId, pos: usize) -> Option<crate::relation::Removed> {
+        self.relations[rel.index()].remove_at(pos)
+    }
+
     /// Edits one cell of a resident tuple of relation `rel`, validating
     /// the replacement value against the attribute's domain first (an
     /// ill-typed edit leaves the database untouched). See

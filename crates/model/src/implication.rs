@@ -1,0 +1,76 @@
+//! Shared vocabulary for the workspace's implication engines.
+//!
+//! Both implication procedures — the CFD checker in `condep-cfd` and the
+//! CIND chase game in `condep-core` — are budgeted searches that can end
+//! without a verdict. They historically each carried their own verdict
+//! enum and budget struct; the types live here (the one crate both
+//! depend on) so that callers mixing the two engines (cover computation,
+//! discovery ranking) speak a single configuration language.
+
+/// Verdict of an implication check.
+///
+/// Budget-limited procedures return [`Implication::Unknown`] when the
+/// search space is exhausted before a verdict; soundness-critical
+/// consumers (cover minimization, discovery dedup) must treat `Unknown`
+/// as "keep the dependency".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Implication {
+    /// `Σ |= φ`.
+    Implied,
+    /// A counterexample (construction) exists.
+    NotImplied,
+    /// Budget exhausted before a verdict.
+    Unknown,
+}
+
+/// Unified budgets for the implication procedures.
+///
+/// One struct covers both engines; each reads only the fields relevant
+/// to its search:
+///
+/// * `max_instances` — CFD exhaustive counterexample enumeration
+///   (`condep_cfd::implication::implies_exhaustive`): cap on candidate
+///   instances tried. `None` means unbounded.
+/// * `max_states` / `max_initial_assignments` — CIND chase game
+///   (`condep_core::implication::implies`): caps on abstract tuples
+///   explored per game and on initial finite-domain assignments.
+#[derive(Clone, Copy, Debug)]
+pub struct ImplicationConfig {
+    /// Cap on candidate instances tried by the CFD exhaustive search;
+    /// `None` = unbounded.
+    pub max_instances: Option<u64>,
+    /// Cap on distinct abstract tuples explored per CIND chase game.
+    pub max_states: usize,
+    /// Cap on initial assignments of the CIND game's finite fields.
+    pub max_initial_assignments: u64,
+}
+
+impl Default for ImplicationConfig {
+    fn default() -> Self {
+        ImplicationConfig {
+            max_instances: Some(4_096),
+            max_states: 200_000,
+            max_initial_assignments: 4_096,
+        }
+    }
+}
+
+impl ImplicationConfig {
+    /// No budget at all: every check runs to a definite verdict (or
+    /// forever — callers must know their inputs terminate).
+    pub fn unbounded() -> Self {
+        ImplicationConfig {
+            max_instances: None,
+            max_states: usize::MAX,
+            max_initial_assignments: u64::MAX,
+        }
+    }
+
+    /// The default budgets with the CFD instance cap overridden.
+    pub fn with_max_instances(n: u64) -> Self {
+        ImplicationConfig {
+            max_instances: Some(n),
+            ..ImplicationConfig::default()
+        }
+    }
+}

@@ -31,6 +31,7 @@ pub mod domain;
 pub mod error;
 pub mod fixtures;
 pub mod fxhash;
+pub mod implication;
 pub mod intern;
 pub mod pattern;
 pub mod relation;
@@ -42,6 +43,7 @@ pub use database::Database;
 pub use domain::{BaseType, Domain};
 pub use error::ModelError;
 pub use fxhash::{FxBuildHasher, FxHasher};
+pub use implication::{Implication, ImplicationConfig};
 pub use intern::{Interner, Sym, SymTables, SymValue};
 pub use pattern::{PValue, PatternRow};
 pub use relation::{PosList, Relation, Removed, TupleId, TupleIdMap};

@@ -257,9 +257,19 @@ impl Relation {
     /// renumber.
     pub fn remove(&mut self, t: &Tuple) -> Option<Removed> {
         let pos = self.position(t)?;
+        self.remove_at(pos)
+    }
+
+    /// Removes the tuple at dense position `pos` — [`Relation::remove`]
+    /// minus the by-value lookup, for callers that already resolved the
+    /// position. Same swap semantics; `None` when `pos` is out of range.
+    pub fn remove_at(&mut self, pos: usize) -> Option<Removed> {
+        if pos >= self.tuples.len() {
+            return None;
+        }
         let last = self.tuples.len() - 1;
         // Unlink the removed tuple from the hash map.
-        let hash = fx_hash_one(t);
+        let hash = fx_hash_one(&self.tuples[pos]);
         if let std::collections::hash_map::Entry::Occupied(mut e) = self.positions.entry(hash) {
             if e.get_mut().remove(pos as u32) {
                 e.remove();

@@ -32,19 +32,34 @@ use std::collections::HashMap;
 /// Sentinel for "no overflow node".
 const NONE: u32 = u32::MAX;
 
-/// High bit of a `where_at` entry: the location is an overflow node
+/// High bit of a stored location: the location is an overflow node
 /// index, not a `bulk` offset.
 const OVER_BIT: u32 = 1 << 31;
+
+/// A position's packed back-pointer: storage location + owning slot.
+#[derive(Clone, Copy, Debug)]
+struct PosRec {
+    loc: u32,
+    slot: u32,
+}
+
+/// "Position absent" sentinel record.
+const ABSENT: PosRec = PosRec {
+    loc: NONE,
+    slot: NONE,
+};
 
 /// A group-by index keyed by interned projections.
 ///
 /// Each dense position appears **at most once** per index (one tuple
-/// projects to one key), which buys two O(1) upgrades over a plain CSR:
-/// a `where_at` back-pointer per position (so [`SymIndex::remove_key`]
-/// and [`SymIndex::replace_pos`] never scan a key group) and a cached
-/// per-slot minimum (so [`SymIndex::min_pos`] — the delta engine's
-/// pair-witness probe — is a single lookup; only removing the minimum
-/// itself rescans its group).
+/// projects to one key), which buys three O(1) upgrades over a plain
+/// CSR: a packed per-position record holding the storage location (so
+/// [`SymIndex::remove_key`] and [`SymIndex::replace_pos`] never scan a
+/// key group) **and** the owning slot (so [`SymIndex::slot_of_pos`]
+/// recovers a resident position's group without rehashing its key),
+/// plus a cached per-slot minimum (so [`SymIndex::min_pos`] — the
+/// delta engine's pair-witness probe — is a single lookup; only
+/// removing the minimum itself rescans its group).
 #[derive(Clone, Debug, Default)]
 pub struct SymIndex {
     /// Distinct keys → slot, probed with borrowed `&[SymValue]`.
@@ -63,9 +78,13 @@ pub struct SymIndex {
     over_head: Vec<u32>,
     /// Free list through the `next` fields of `over`.
     free_head: u32,
-    /// Per dense position: its storage location — a `bulk` offset, or an
-    /// overflow node index tagged with [`OVER_BIT`] (`NONE` = absent).
-    where_at: Vec<u32>,
+    /// Per dense position: its storage location and owning slot, packed
+    /// in one 8-byte record so the delete path's two questions — "where
+    /// is it stored?" and "which group owns it?" ([`SymIndex::
+    /// slot_of_pos`]) — cost a single cache line. `loc` is a `bulk`
+    /// offset, or an overflow node index tagged with [`OVER_BIT`]
+    /// (`NONE` = absent).
+    at: Vec<PosRec>,
     /// Per slot: cached smallest live position (`NONE` when emptied).
     min: Vec<u32>,
     /// Total live positions.
@@ -85,7 +104,7 @@ impl SymIndex {
             over: Vec::new(),
             over_head: Vec::new(),
             free_head: NONE,
-            where_at: Vec::new(),
+            at: Vec::new(),
             min: Vec::new(),
             len: 0,
             key_len,
@@ -166,6 +185,25 @@ impl SymIndex {
         idx
     }
 
+    /// The slot handle of `key`, if the key has ever been seen — one
+    /// hash probe; every `*_at` method is then `O(1)` with **no**
+    /// rehashing. Handles are stable across every mutation and only
+    /// invalidated by [`SymIndex::compact`] / [`SymIndex::remap_keys`].
+    /// An emptied group keeps its handle (probe [`SymIndex::occupied_at`]
+    /// to distinguish "seen but empty" from "holds tuples").
+    #[inline]
+    pub fn probe_slot(&self, key: &[SymValue]) -> Option<u32> {
+        debug_assert_eq!(key.len(), self.key_len);
+        self.map.get(key).copied()
+    }
+
+    /// The slot handle of `key`, allocating an empty slot on first
+    /// sight — the insert-side counterpart of [`SymIndex::probe_slot`].
+    #[inline]
+    pub fn ensure_slot(&mut self, key: &[SymValue]) -> u32 {
+        self.slot_of(key)
+    }
+
     /// The slot of `key`, allocating a fresh (empty) one on first sight.
     fn slot_of(&mut self, key: &[SymValue]) -> u32 {
         debug_assert_eq!(key.len(), self.key_len);
@@ -183,13 +221,13 @@ impl SymIndex {
         slot
     }
 
-    /// Records position `pos`'s storage location.
-    fn note(&mut self, pos: u32, loc: u32) {
+    /// Records position `pos`'s storage location and owning slot.
+    fn note(&mut self, pos: u32, loc: u32, slot: u32) {
         let pos = pos as usize;
-        if pos >= self.where_at.len() {
-            self.where_at.resize(pos + 1, NONE);
+        if pos >= self.at.len() {
+            self.at.resize(pos + 1, ABSENT);
         }
-        self.where_at[pos] = loc;
+        self.at[pos] = PosRec { loc, slot };
     }
 
     /// Recomputes a slot's cached minimum from both tiers.
@@ -215,15 +253,16 @@ impl SymIndex {
             start += count;
         }
         self.bulk.resize(pairs.len(), 0);
-        if max_pos > self.where_at.len() {
-            self.where_at.resize(max_pos, NONE);
+        if max_pos > self.at.len() {
+            self.at.resize(max_pos, ABSENT);
         }
         for &(pos, slot) in pairs {
+            let s = slot;
             let slot = slot as usize;
             let at = self.bulk_start[slot] + self.bulk_len[slot];
             self.bulk[at as usize] = pos;
             self.bulk_len[slot] += 1;
-            self.where_at[pos as usize] = at;
+            self.at[pos as usize] = PosRec { loc: at, slot: s };
             self.min[slot] = self.min[slot].min(pos);
         }
         self.len = pairs.len();
@@ -244,12 +283,21 @@ impl SymIndex {
     /// shared vector it is grown in place; otherwise the position goes
     /// to the overflow arena.
     pub fn insert_key(&mut self, pos: u32, key: &[SymValue]) {
-        let slot = self.slot_of(key) as usize;
+        let slot = self.slot_of(key);
+        self.insert_at(slot, pos);
+    }
+
+    /// [`SymIndex::insert_key`] minus the probe: appends `pos` under the
+    /// group addressed by `slot` (from [`SymIndex::ensure_slot`]).
+    #[inline]
+    pub fn insert_at(&mut self, slot: u32, pos: u32) {
+        let s = slot;
+        let slot = slot as usize;
         let seg_end = self.bulk_start[slot] + self.bulk_len[slot];
         if seg_end as usize == self.bulk.len() {
             self.bulk.push(pos);
             self.bulk_len[slot] += 1;
-            self.note(pos, seg_end);
+            self.note(pos, seg_end, s);
         } else {
             let node = if self.free_head != NONE {
                 let node = self.free_head;
@@ -262,7 +310,7 @@ impl SymIndex {
                 node
             };
             self.over_head[slot] = node;
-            self.note(pos, node | OVER_BIT);
+            self.note(pos, node | OVER_BIT, s);
         }
         self.min[slot] = self.min[slot].min(pos);
         self.len += 1;
@@ -278,37 +326,45 @@ impl SymIndex {
     /// recomputation in `condep-validate`).
     pub fn remove_key(&mut self, pos: u32, key: &[SymValue]) -> bool {
         debug_assert_eq!(key.len(), self.key_len);
-        let Some(&slot) = self.map.get(key) else {
-            return false;
-        };
-        let slot = slot as usize;
-        let loc = match self.where_at.get(pos as usize) {
-            Some(&loc) if loc != NONE => loc,
+        match self.map.get(key) {
+            Some(&slot) => self.remove_at(slot, pos),
+            None => false,
+        }
+    }
+
+    /// [`SymIndex::remove_key`] minus the probe: removes one occurrence
+    /// of `pos` from the group addressed by `slot`.
+    pub fn remove_at(&mut self, slot: u32, pos: u32) -> bool {
+        let rec = match self.at.get(pos as usize) {
+            Some(rec) if rec.loc != NONE => *rec,
             _ => return false,
         };
+        // The record carries the owning slot — a mismatch means `pos`
+        // is indexed under a *different* key.
+        if rec.slot != slot {
+            return false;
+        }
+        let loc = rec.loc;
+        let slot = slot as usize;
         if loc & OVER_BIT == 0 {
             let loc = loc as usize;
             let (start, live) = (self.bulk_start[slot] as usize, self.bulk_len[slot] as usize);
-            // The back-pointer must land in this slot's live segment —
-            // otherwise `pos` is indexed under a *different* key.
-            if loc < start || loc >= start + live || self.bulk[loc] != pos {
-                return false;
-            }
+            debug_assert!(
+                loc >= start && loc < start + live && self.bulk[loc] == pos,
+                "back-pointer must land on `pos` in its slot's live segment"
+            );
             let tail = start + live - 1;
             self.bulk.swap(loc, tail);
             if loc != tail {
                 // The entry swapped into the hole moved: retarget it.
-                self.where_at[self.bulk[loc] as usize] = loc as u32;
+                self.at[self.bulk[loc] as usize].loc = loc as u32;
             }
             self.bulk_len[slot] -= 1;
         } else {
             // Unlink from the overflow chain (singly linked, so walk for
-            // the predecessor; chains are short streamed growth). The
-            // walk doubles as the this-slot membership check.
+            // the predecessor; chains are short streamed growth).
             let target = loc & !OVER_BIT;
-            if self.over[target as usize].0 != pos {
-                return false;
-            }
+            debug_assert_eq!(self.over[target as usize].0, pos);
             let mut prev = NONE;
             let mut node = self.over_head[slot];
             loop {
@@ -330,7 +386,7 @@ impl SymIndex {
             self.over[target as usize] = (0, self.free_head);
             self.free_head = target;
         }
-        self.where_at[pos as usize] = NONE;
+        self.at[pos as usize] = ABSENT;
         self.len -= 1;
         if self.min[slot] == pos {
             self.min[slot] = self.rescan_min(slot);
@@ -345,26 +401,39 @@ impl SymIndex {
     /// minimum).
     pub fn replace_pos(&mut self, from: u32, to: u32, key: &[SymValue]) -> bool {
         debug_assert_eq!(key.len(), self.key_len);
-        let Some(&slot) = self.map.get(key) else {
-            return false;
-        };
-        let slot = slot as usize;
-        let loc = match self.where_at.get(from as usize) {
-            Some(&loc) if loc != NONE => loc,
+        match self.map.get(key) {
+            Some(&slot) => self.replace_at(slot, from, to),
+            None => false,
+        }
+    }
+
+    /// [`SymIndex::replace_pos`] minus the probe: renumbers `from` to
+    /// `to` within the group addressed by `slot`.
+    pub fn replace_at(&mut self, slot: u32, from: u32, to: u32) -> bool {
+        let s = slot;
+        let rec = match self.at.get(from as usize) {
+            Some(rec) if rec.loc != NONE => *rec,
             _ => return false,
         };
+        if rec.slot != s {
+            return false;
+        }
+        let loc = rec.loc;
+        let slot = slot as usize;
         if loc & OVER_BIT == 0 {
             let l = loc as usize;
-            let (start, live) = (self.bulk_start[slot] as usize, self.bulk_len[slot] as usize);
-            if l < start || l >= start + live || self.bulk[l] != from {
-                return false;
-            }
+            debug_assert!(
+                {
+                    let (start, live) =
+                        (self.bulk_start[slot] as usize, self.bulk_len[slot] as usize);
+                    l >= start && l < start + live && self.bulk[l] == from
+                },
+                "back-pointer must land on `from` in its slot's live segment"
+            );
             self.bulk[l] = to;
         } else {
             let node = (loc & !OVER_BIT) as usize;
-            if self.over[node].0 != from {
-                return false;
-            }
+            debug_assert_eq!(self.over[node].0, from);
             debug_assert!(
                 {
                     let mut n = self.over_head[slot];
@@ -382,8 +451,8 @@ impl SymIndex {
             );
             self.over[node].0 = to;
         }
-        self.where_at[from as usize] = NONE;
-        self.note(to, loc);
+        self.at[from as usize] = ABSENT;
+        self.note(to, loc, s);
         if self.min[slot] == from {
             self.min[slot] = self.rescan_min(slot);
         } else {
@@ -424,13 +493,48 @@ impl SymIndex {
     /// `O(1)`: reads the maintained per-slot minimum.
     pub fn min_pos(&self, key: &[SymValue]) -> Option<u32> {
         let &slot = self.map.get(key)?;
+        self.min_at(slot)
+    }
+
+    /// [`SymIndex::min_pos`] minus the probe: the smallest live position
+    /// of the group addressed by `slot` (`None` when emptied).
+    #[inline]
+    pub fn min_at(&self, slot: u32) -> Option<u32> {
         let m = self.min[slot as usize];
         debug_assert_eq!(
             (m != NONE).then_some(m),
-            self.positions(key).min(),
+            self.slot_positions(slot as usize).min(),
             "cached minimum diverged from the group contents"
         );
         (m != NONE).then_some(m)
+    }
+
+    /// [`SymIndex::positions`] minus the probe: the live positions of the
+    /// group addressed by `slot`.
+    #[inline]
+    pub fn positions_at(&self, slot: u32) -> PosIter<'_> {
+        self.slot_positions(slot as usize)
+    }
+
+    /// Does the group addressed by `slot` hold any tuple? `O(1)` — reads
+    /// the cached minimum, which is `NONE` exactly when the group is
+    /// empty.
+    #[inline]
+    pub fn occupied_at(&self, slot: u32) -> bool {
+        self.min[slot as usize] != NONE
+    }
+
+    /// The slot handle of the group holding dense position `pos`, if it
+    /// is indexed — the probe-free inverse of [`SymIndex::positions_at`].
+    /// `O(1)`: a direct read of the per-position slot record, so the
+    /// delta engine's delete path never rehashes a resident tuple's key
+    /// just to find its group.
+    #[inline]
+    pub fn slot_of_pos(&self, pos: u32) -> Option<u32> {
+        match self.at.get(pos as usize) {
+            Some(rec) if rec.loc != NONE => Some(rec.slot),
+            _ => None,
+        }
     }
 
     /// Iterator over `(key, positions)` groups in first-seen key order.
@@ -734,6 +838,42 @@ mod tests {
         // Idempotent once nothing is dead.
         assert_eq!(idx.compact(), 0);
         assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn slot_of_pos_tracks_every_mutation() {
+        let r = rel();
+        let mut interner = Interner::new();
+        let mut idx = SymIndex::build(&r, &[AttrId(0)], &mut interner);
+        let edi = [interner.sym_value(&Value::str("EDI")).unwrap()];
+        let nyc = [interner.sym_value(&Value::str("NYC")).unwrap()];
+        let se = idx.probe_slot(&edi).unwrap();
+        let sn = idx.probe_slot(&nyc).unwrap();
+        // Bulk-built positions resolve to their probed slots.
+        assert_eq!(idx.slot_of_pos(0), Some(se));
+        assert_eq!(idx.slot_of_pos(1), Some(se));
+        assert_eq!(idx.slot_of_pos(2), Some(sn));
+        assert_eq!(idx.slot_of_pos(3), None, "never-indexed position");
+        // Streaming inserts land in either tier; both are tracked.
+        idx.insert(3, &tuple!["EDI", "UK", 3i64], &[AttrId(0)], &mut interner);
+        idx.insert(4, &tuple!["NYC", "US", 2i64], &[AttrId(0)], &mut interner);
+        assert_eq!(idx.slot_of_pos(3), Some(se));
+        assert_eq!(idx.slot_of_pos(4), Some(sn));
+        // Removal forgets the position; renumbering follows it.
+        assert!(idx.remove_at(se, 1));
+        assert_eq!(idx.slot_of_pos(1), None);
+        assert!(idx.replace_at(sn, 4, 1));
+        assert_eq!(idx.slot_of_pos(4), None);
+        assert_eq!(idx.slot_of_pos(1), Some(sn));
+        // Compaction renumbers slots but keeps the inverse consistent
+        // with fresh probes.
+        idx.compact();
+        let se = idx.probe_slot(&edi).unwrap();
+        let sn = idx.probe_slot(&nyc).unwrap();
+        assert_eq!(idx.slot_of_pos(0), Some(se));
+        assert_eq!(idx.slot_of_pos(3), Some(se));
+        assert_eq!(idx.slot_of_pos(1), Some(sn));
+        assert_eq!(idx.slot_of_pos(2), Some(sn));
     }
 
     #[test]

@@ -50,10 +50,12 @@
 //! single, batched or interleaved with compactions — all
 //! property-tested at the workspace root.
 
+pub mod cover;
 mod stream;
 mod validator;
 
 pub use condep_model::TupleId;
+pub use cover::{CoverRole, CoverStats, SigmaCover};
 pub use stream::{
     Applied, CompactionStats, IdDelta, MovedTuple, Mutation, SigmaDelta, ValidatorStream,
 };
@@ -998,9 +1000,11 @@ mod tests {
             retained.iter().all(|&n| n == retained[0]),
             "retained string count must be churn-invariant: {retained:?}"
         );
-        // Only the live key strings survive ("resident" across three
-        // index tiers is one shared string).
-        assert_eq!(retained[0], 1);
+        // Only the live resident cells survive: "resident" (one shared
+        // string across three index tiers) plus the resident tuple's
+        // RHS cell "x", which the row cache roots for witness compares.
+        // The churned keys and their "y" RHS cells are all reclaimed.
+        assert_eq!(retained[0], 2);
         // The compacted stream is still a correct delta engine, both for
         // keys it kept and for keys it dropped and re-learns.
         let noisy = stream.insert_tuple(src, tuple!["resident", "z"]).unwrap();

@@ -43,6 +43,36 @@
 //! * no full-relation scan, ever — the cost tracks the delta, not the
 //!   database.
 //!
+//! ## Hot path
+//!
+//! Per-mutation cost is dominated by hashing, so the engine is built to
+//! hash as little as possible:
+//!
+//! * **Σ cover first** — compilation runs the violation-exact
+//!   [`crate::SigmaCover`] pass, so subsumable tableau rows and
+//!   duplicate CINDs never become hot-path members at all; violations
+//!   still report against the caller's original Σ indices via the
+//!   provenance fan-out.
+//! * **resident row cache** — every resident tuple's key-union cells
+//!   (group keys **and** CFD member RHS attributes) are interned once at
+//!   insert and cached row-major per relation, mirrored through the same
+//!   swap-remove discipline as the relation. Deletes read their rows
+//!   from the cache: no string is hashed through the interner anywhere
+//!   on the delete path.
+//! * **at most one probe per (mutation, group)** — on insert,
+//!   [`condep_query::SymIndex`] slot handles (`ensure_slot`) resolve
+//!   the tuple's key group once; on delete, the index's per-position
+//!   slot record (`slot_of_pos`) recovers the deleted *and* moved
+//!   tuples' groups with **zero** hash probes. Either way the witness
+//!   read (`min_at`), membership scans (`positions_at`) and the final
+//!   insert/remove/relabel (`insert_at`/`remove_at`/`replace_at`) are
+//!   all `O(1)` against the handle, shared across every member asking
+//!   about that key.
+//! * **symbol compares everywhere** — member-pattern matching and
+//!   pair-witness RHS agreement are word compares between cached
+//!   symbols ([`SymValue`]), never tuple-value compares; the database
+//!   tuple is only touched to build violation payloads on emission.
+//!
 //! ## Long-lived streams
 //!
 //! Three pieces make the stream safe to keep open for the life of a
@@ -273,12 +303,23 @@ pub struct ValidatorStream {
     /// seeded with the dense-seeding convention (`TupleId(p)` = seed
     /// position `p`) and maintained through every swap.
     ids: Vec<TupleIdMap>,
-    /// Per relation: the sorted union of every group key attribute —
-    /// the cells one batched symbolization pass covers.
+    /// Per relation: the sorted union of every group key attribute and
+    /// every CFD member RHS attribute — the cells one batched
+    /// symbolization pass covers.
     sym_attrs: Vec<Vec<AttrId>>,
+    /// Per relation: every **resident** tuple's key-union cells, row
+    /// major with stride `sym_attrs[rel].len()` and mirrored through
+    /// the same swap-remove discipline as the relation itself — the
+    /// delete path reads its rows here instead of re-hashing strings
+    /// through the interner.
+    sym_rows: Vec<Vec<SymValue>>,
     /// Per CFD group: each key attribute's slot in its relation's
     /// symbolized row.
     cfd_group_slots: Vec<Vec<u32>>,
+    /// Per CFD group, per member: the member's RHS attribute's slot in
+    /// its relation's symbolized row — pair-witness agreement is a
+    /// symbol compare between cached rows, never a tuple-value compare.
+    cfd_rhs_slots: Vec<Vec<u32>>,
     /// Per CIND group: the `Y` attributes' slots in the target
     /// relation's row.
     cind_y_slots: Vec<Vec<u32>>,
@@ -295,23 +336,10 @@ pub struct ValidatorStream {
     member_syms_pending: usize,
 }
 
-/// Row cell for a key-union attribute whose string the interner has
-/// never seen. A resident tuple can carry one only on cells reachable
-/// **solely** through a conditioned CIND role it does not play (its CFD
-/// group keys are always interned, and its triggered/target-matching
-/// CIND keys were interned when it arrived) — and every key build is
-/// guarded by the same role predicates, so a hole is never copied into a
-/// key (debug-asserted in [`key_from_slots`]).
-const HOLE: SymValue = SymValue::Str(Sym(u32::MAX));
-
 /// Copies a group key out of a pre-symbolized row.
 fn key_from_slots(row: &[SymValue], slots: &[u32], buf: &mut Vec<SymValue>) {
     buf.clear();
-    buf.extend(slots.iter().map(|&s| {
-        let cell = row[s as usize];
-        debug_assert!(cell != HOLE, "un-interned cell copied into a key");
-        cell
-    }));
+    buf.extend(slots.iter().map(|&s| row[s as usize]));
 }
 
 /// Sym-space member matching: the pattern cells against the tuple's
@@ -350,12 +378,35 @@ fn group_pairs(rel_inst: &Relation, rhs: AttrId, mut positions: Vec<u32>) -> Vec
     })
 }
 
-/// Does a compiled member's LHS pattern match the tuple?
-fn member_matches(g: &CfdGroup, m: &CfdMember, t: &Tuple) -> bool {
-    g.attrs
+/// Does an LHS pattern (aligned with `attrs`) match the tuple?
+fn pattern_matches(attrs: &[AttrId], pat: &[Option<Value>], t: &Tuple) -> bool {
+    attrs
         .iter()
-        .zip(m.pattern.iter())
+        .zip(pat.iter())
         .all(|(a, p)| p.as_ref().is_none_or(|p| p == &t[*a]))
+}
+
+/// Does a compiled member's probe (most general) pattern match the
+/// tuple?
+fn member_matches(g: &CfdGroup, m: &CfdMember, t: &Tuple) -> bool {
+    pattern_matches(&g.attrs, &m.pattern, t)
+}
+
+/// Collects into `buf` the original-Σ CFD indices a matched member's
+/// violations fan out to, for the key group `t` belongs to. The
+/// representative (`covers[0]`) always applies — its pattern is the
+/// probe that just matched; a merged cover applies iff its own (more
+/// specific) pattern also matches. Patterns only constrain the group's
+/// key attributes, so any tuple carrying the key decides applicability
+/// for the whole key group.
+fn applicable_covers(g: &CfdGroup, m: &CfdMember, t: &Tuple, buf: &mut Vec<usize>) {
+    buf.clear();
+    buf.push(m.covers[0].idx);
+    for c in &m.covers[1..] {
+        if pattern_matches(&g.attrs, &c.pattern, t) {
+            buf.push(c.idx);
+        }
+    }
 }
 
 /// Translates the projection of a tuple whose key cells are **already
@@ -368,15 +419,6 @@ fn sym_key(interner: &Interner, t: &Tuple, attrs: &[AttrId], buf: &mut Vec<SymVa
             .sym_value(&t[*a])
             .expect("key projections of stream tuples are interned")
     }));
-}
-
-/// Translates a projection, interning new strings — the insert-side key
-/// builder. Only key attributes are ever interned, so a long-lived
-/// stream's interner grows with distinct **key** values, not with every
-/// value that ever passes through.
-fn intern_key(interner: &mut Interner, t: &Tuple, attrs: &[AttrId], buf: &mut Vec<SymValue>) {
-    buf.clear();
-    buf.extend(attrs.iter().map(|a| interner.intern_value(&t[*a])));
 }
 
 impl SigmaReport {
@@ -483,13 +525,21 @@ impl CompactionStats {
     }
 }
 
+/// One scoped member of a [`PairScope`]: `(member slot, applicable
+/// original-Σ indices, old pairs)`, computed from the pre-deletion
+/// state. The cover fan-out is stashed alongside because applicability
+/// is a key-group property and the scoped tuple may be gone by
+/// recomputation time.
+type ScopedMember = (usize, Vec<usize>, Vec<(usize, usize)>);
+
 /// One affected `(group, key)` pair-recomputation scope of a deletion.
+/// The key group is held as its [`SymIndex`] slot handle — stable across
+/// the removals between stash and recomputation.
 struct PairScope {
     group: usize,
-    key: Vec<SymValue>,
-    /// `(member slot, old pairs)` for each wildcard member matching the
-    /// key, computed from the pre-deletion state.
-    members: Vec<(usize, Vec<(usize, usize)>)>,
+    slot: u32,
+    /// The wildcard members matching the key, with their old pairs.
+    members: Vec<ScopedMember>,
 }
 
 /// Collects the wildcard members matching the scoped tuple (through
@@ -500,21 +550,24 @@ fn stash_scope(
     g: &CfdGroup,
     group: usize,
     idx: &SymIndex,
+    slot: u32,
     rel_inst: &Relation,
-    key: &[SymValue],
+    scoped: &Tuple,
     matches: impl Fn(usize, &CfdMember) -> bool,
 ) -> Option<PairScope> {
     let mut members = Vec::new();
+    let mut cov_buf: Vec<usize> = Vec::new();
     for (ms, m) in g.members.iter().enumerate() {
         if m.rhs_const.is_some() || !matches(ms, m) {
             continue;
         }
-        let old = group_pairs(rel_inst, m.rhs, idx.positions(key).collect());
-        members.push((ms, old));
+        applicable_covers(g, m, scoped, &mut cov_buf);
+        let old = group_pairs(rel_inst, m.rhs, idx.positions_at(slot).collect());
+        members.push((ms, cov_buf.clone(), old));
     }
-    (!members.is_empty()).then(|| PairScope {
+    (!members.is_empty()).then_some(PairScope {
         group,
-        key: key.to_vec(),
+        slot,
         members,
     })
 }
@@ -601,6 +654,9 @@ impl ValidatorStream {
             (0..db.schema().len()).map(|_| BTreeSet::new()).collect();
         for g in validator.cfd_groups() {
             sets[g.rel.index()].extend(g.attrs.iter().copied());
+            // Member RHS cells ride along in the row so pair-witness
+            // checks are symbol compares, not tuple-value compares.
+            sets[g.rel.index()].extend(g.members.iter().map(|m| m.rhs));
         }
         for g in validator.cind_groups() {
             sets[g.rhs_rel.index()].extend(g.y.iter().copied());
@@ -621,6 +677,11 @@ impl ValidatorStream {
             .cfd_groups()
             .iter()
             .map(|g| g.attrs.iter().map(|a| slot_of(g.rel, *a)).collect())
+            .collect();
+        let cfd_rhs_slots = validator
+            .cfd_groups()
+            .iter()
+            .map(|g| g.members.iter().map(|m| slot_of(g.rel, m.rhs)).collect())
             .collect();
         let cind_y_slots = validator
             .cind_groups()
@@ -644,6 +705,24 @@ impl ValidatorStream {
             })
             .collect();
 
+        // Seed the resident row cache: `Interner::from_database` has
+        // interned every value of `db`, so this is pure lookups.
+        let sym_rows: Vec<Vec<SymValue>> = db
+            .iter()
+            .map(|(r, inst)| {
+                let attrs = &sym_attrs[r.index()];
+                let mut rows = Vec::with_capacity(inst.len() * attrs.len());
+                for t in inst.iter() {
+                    rows.extend(attrs.iter().map(|a| {
+                        interner
+                            .sym_value(&t[*a])
+                            .expect("seed interner covers the database")
+                    }));
+                }
+                rows
+            })
+            .collect();
+
         let mut stream = ValidatorStream {
             validator,
             db,
@@ -655,7 +734,9 @@ impl ValidatorStream {
             live_cind,
             ids,
             sym_attrs,
+            sym_rows,
             cfd_group_slots,
+            cfd_rhs_slots,
             cind_y_slots,
             cind_x_slots,
             member_syms: Vec::new(),
@@ -755,12 +836,10 @@ impl ValidatorStream {
             stats.key_groups_live += idx.distinct_keys();
         }
         // Interner rebuild over live symbols only: every string still
-        // reachable from some live index key is re-interned (first-seen
-        // order across the tiers, so the result is deterministic),
-        // everything else is dropped, and every stored key is remapped
-        // to the new numbering. Strings of tuples no group indexes are
-        // never consulted by the delta paths, so index keys are exactly
-        // the live set.
+        // reachable from some live index key or resident cached row is
+        // re-interned (first-seen order across the tiers, so the result
+        // is deterministic), everything else is dropped, and every
+        // stored key and cached cell is remapped to the new numbering.
         let mut fresh = Interner::new();
         let mut remap: Vec<Option<Sym>> = vec![None; self.interner.len()];
         for idx in self
@@ -777,6 +856,22 @@ impl ValidatorStream {
                             *slot = Some(fresh.intern(self.interner.resolve_arc(*sym)));
                         }
                     }
+                }
+            }
+        }
+        // The resident row cache is the other liveness root: a cell a
+        // tuple only carries through a CIND role it does not play is in
+        // no index key, but the delete path will still read it. Re-root
+        // and rewrite the cached rows in the same pass — retention is
+        // still bounded by the live data.
+        for rows in &mut self.sym_rows {
+            for cell in rows.iter_mut() {
+                if let SymValue::Str(sym) = cell {
+                    let slot = &mut remap[sym.0 as usize];
+                    if slot.is_none() {
+                        *slot = Some(fresh.intern(self.interner.resolve_arc(*sym)));
+                    }
+                    *cell = SymValue::Str(slot.expect("just interned"));
                 }
             }
         }
@@ -877,19 +972,24 @@ impl ValidatorStream {
     ///   carries a key no target held before, every orphaned source
     ///   tuple with that key is **resolved**.
     pub fn insert_tuple(&mut self, rel: RelId, t: Tuple) -> Result<SigmaDelta, ModelError> {
-        self.insert_inner(rel, t, None)
+        self.db.check_tuple(rel, &t)?;
+        let row = self.sym_row_intern(rel, &t);
+        // Interning may have made a pending member pattern translatable;
+        // matching below is sym-space, so refresh first (O(1) when
+        // nothing is pending).
+        self.refresh_member_syms();
+        self.insert_inner(rel, t, &row)
     }
 
     /// The insert engine. `row` is the tuple's pre-symbolized key-cell
-    /// row ([`ValidatorStream::sym_row_intern`], batch path): when
-    /// present, group keys are `Copy` slot reads and member matching is
-    /// a word compare against the cached pattern symbols — no string is
-    /// hashed per group.
+    /// row ([`ValidatorStream::sym_row_intern`]): group keys are `Copy`
+    /// slot reads and member matching is a word compare against the
+    /// cached pattern symbols — no string is hashed per group.
     fn insert_inner(
         &mut self,
         rel: RelId,
         t: Tuple,
-        row: Option<&[SymValue]>,
+        row: &[SymValue],
     ) -> Result<SigmaDelta, ModelError> {
         let mut delta = SigmaDelta::default();
         if !self.db.insert(rel, t.clone())? {
@@ -899,21 +999,25 @@ impl ValidatorStream {
         let Self {
             validator,
             db,
-            interner,
             cfd_indexes,
             cind_targets,
             cind_sources,
             live_cfd,
             live_cind,
             ids,
+            sym_rows,
             cfd_group_slots,
+            cfd_rhs_slots,
             cind_y_slots,
             cind_x_slots,
             member_syms,
             ..
         } = self;
         delta.ids.born = Some(ids[rel.index()].alloc(pos));
+        debug_assert_eq!(sym_rows[rel.index()].len(), pos * row.len());
+        sym_rows[rel.index()].extend_from_slice(row);
         let mut key_buf: Vec<SymValue> = Vec::new();
+        let mut cov_buf: Vec<usize> = Vec::new();
 
         // Target-role updates first, so a self-referential CIND can be
         // satisfied by the arriving tuple itself (batch semantics allow
@@ -922,12 +1026,12 @@ impl ValidatorStream {
             if g.rhs_rel != rel || !g.yp.iter().all(|(a, v)| &t[*a] == v) {
                 continue;
             }
-            match row {
-                Some(row) => key_from_slots(row, &cind_y_slots[gi], &mut key_buf),
-                None => intern_key(interner, &t, &g.y, &mut key_buf),
-            }
-            let was_absent = !cind_targets[gi].contains_key(&key_buf);
-            cind_targets[gi].insert_key(pos as u32, &key_buf);
+            key_from_slots(row, &cind_y_slots[gi], &mut key_buf);
+            // One hash probe for the whole target-role step: the slot
+            // handle answers emptiness and takes the insert.
+            let slot = cind_targets[gi].ensure_slot(&key_buf);
+            let was_absent = !cind_targets[gi].occupied_at(slot);
+            cind_targets[gi].insert_at(slot, pos as u32);
             if !was_absent {
                 continue;
             }
@@ -938,16 +1042,19 @@ impl ValidatorStream {
                 let source = db.relation(cind.lhs_rel());
                 for src in sidx.positions(&key_buf) {
                     let t1 = source.get(src as usize).expect("indexed position valid");
-                    let v = (
-                        m.idx,
-                        CindViolation {
-                            tuple: src as usize,
-                            key: t1.project(cind.x()),
-                        },
-                    );
-                    let was_live = live_cind.remove(&v);
-                    debug_assert!(was_live, "orphaned source must have been live");
-                    delta.cind.resolved.push(v);
+                    let payload = t1.project(cind.x());
+                    for &cidx in &m.covers {
+                        let v = (
+                            cidx,
+                            CindViolation {
+                                tuple: src as usize,
+                                key: payload.clone(),
+                            },
+                        );
+                        let was_live = live_cind.remove(&v);
+                        debug_assert!(was_live, "orphaned source must have been live");
+                        delta.cind.resolved.push(v);
+                    }
                 }
             }
         }
@@ -963,33 +1070,30 @@ impl ValidatorStream {
             if g.rel != rel {
                 continue;
             }
-            match row {
-                Some(row) => key_from_slots(row, &cfd_group_slots[gi], &mut key_buf),
-                None => intern_key(interner, &t, &g.attrs, &mut key_buf),
-            }
-            // Batch path: the group's witness is probed once and shared
-            // across every wildcard member asking about this key.
-            let mut group_min: Option<Option<u32>> = None;
+            key_from_slots(row, &cfd_group_slots[gi], &mut key_buf);
+            // One hash probe per (mutation, group): the slot handle makes
+            // every witness read and the final insert O(1), shared
+            // across all wildcard members asking about this key.
+            let slot = idx.ensure_slot(&key_buf);
             for (mi, m) in g.members.iter().enumerate() {
-                let matched = match row {
-                    Some(_) => member_matches_sym(&member_syms[gi][mi], &key_buf),
-                    None => member_matches(g, m, &t),
-                };
-                if !matched {
+                if !member_matches_sym(&member_syms[gi][mi], &key_buf) {
                     continue;
                 }
                 match &m.rhs_const {
                     Some(expected) => {
                         let found = &t[m.rhs];
                         if found != expected {
-                            delta.cfd.introduced.push((
-                                m.idx,
-                                CfdViolation::SingleTuple {
-                                    tuple: pos,
-                                    found: found.clone(),
-                                    expected: expected.clone(),
-                                },
-                            ));
+                            applicable_covers(g, m, &t, &mut cov_buf);
+                            for &cidx in &cov_buf {
+                                delta.cfd.introduced.push((
+                                    cidx,
+                                    CfdViolation::SingleTuple {
+                                        tuple: pos,
+                                        found: found.clone(),
+                                        expected: expected.clone(),
+                                    },
+                                ));
+                            }
                         }
                     }
                     None => {
@@ -997,29 +1101,27 @@ impl ValidatorStream {
                         // arriving tuple has the highest position, so it
                         // adds one pair iff its RHS differs from the
                         // group's first (lowest position) tuple.
-                        let first = match row {
-                            Some(_) => *group_min.get_or_insert_with(|| idx.min_pos(&key_buf)),
-                            None => idx.min_pos(&key_buf),
-                        };
+                        let first = idx.min_at(slot);
                         if let Some(first) = first {
-                            let resident = db
-                                .relation(rel)
-                                .get(first as usize)
-                                .expect("indexed position valid");
-                            if resident[m.rhs] != t[m.rhs] {
-                                delta.cfd.introduced.push((
-                                    m.idx,
-                                    CfdViolation::Pair {
-                                        left: first as usize,
-                                        right: pos,
-                                    },
-                                ));
+                            let rslot = cfd_rhs_slots[gi][mi] as usize;
+                            let srows = &sym_rows[rel.index()];
+                            if srows[first as usize * row.len() + rslot] != row[rslot] {
+                                applicable_covers(g, m, &t, &mut cov_buf);
+                                for &cidx in &cov_buf {
+                                    delta.cfd.introduced.push((
+                                        cidx,
+                                        CfdViolation::Pair {
+                                            left: first as usize,
+                                            right: pos,
+                                        },
+                                    ));
+                                }
                             }
                         }
                     }
                 }
             }
-            idx.insert_key(pos as u32, &key_buf);
+            idx.insert_at(slot, pos as u32);
         }
 
         // CIND source role: the new tuple must find a partner, and joins
@@ -1035,19 +1137,19 @@ impl ValidatorStream {
                 if cind.lhs_rel() != rel || !cind.triggers(&t) {
                     continue;
                 }
-                match row {
-                    Some(row) => key_from_slots(row, &cind_x_slots[gi][mi], &mut key_buf),
-                    None => intern_key(interner, &t, &m.x_perm, &mut key_buf),
-                }
+                key_from_slots(row, &cind_x_slots[gi][mi], &mut key_buf);
                 sidx.insert_key(pos as u32, &key_buf);
                 if !cind_targets[gi].contains_key(&key_buf) {
-                    delta.cind.introduced.push((
-                        m.idx,
-                        CindViolation {
-                            tuple: pos,
-                            key: t.project(cind.x()),
-                        },
-                    ));
+                    let payload = t.project(cind.x());
+                    for &cidx in &m.covers {
+                        delta.cind.introduced.push((
+                            cidx,
+                            CindViolation {
+                                tuple: pos,
+                                key: payload.clone(),
+                            },
+                        ));
+                    }
                 }
             }
         }
@@ -1063,19 +1165,14 @@ impl ValidatorStream {
     /// renumbering ([`SigmaDelta::moved`]). `None` when the tuple is not
     /// present.
     pub fn delete_tuple(&mut self, rel: RelId, t: &Tuple) -> Option<SigmaDelta> {
-        self.delete_inner(rel, t, None)
+        self.delete_inner(rel, t)
     }
 
-    /// The delete engine. `row` is the tuple's pre-symbolized key-cell
-    /// row ([`ValidatorStream::sym_row_lookup`], batch path) with the
-    /// same effect as on the insert side; the moved tuple's row is
-    /// derived here when a swap happens.
-    fn delete_inner(
-        &mut self,
-        rel: RelId,
-        t: &Tuple,
-        row: Option<&[SymValue]>,
-    ) -> Option<SigmaDelta> {
+    /// The delete engine. The tuple's (and the moved tuple's)
+    /// pre-symbolized key-cell rows come straight out of the resident
+    /// row cache — no string is hashed through the interner anywhere on
+    /// the delete path.
+    fn delete_inner(&mut self, rel: RelId, t: &Tuple) -> Option<SigmaDelta> {
         let pos = self.db.relation(rel).position(t)?;
         let last = self.db.relation(rel).len() - 1;
         let moved: Option<Tuple> = (pos != last).then(|| {
@@ -1089,7 +1186,6 @@ impl ValidatorStream {
         let Self {
             validator,
             db,
-            interner,
             cfd_indexes,
             cind_targets,
             cind_sources,
@@ -1097,26 +1193,25 @@ impl ValidatorStream {
             live_cind,
             ids,
             sym_attrs,
+            sym_rows,
             cfd_group_slots,
+            cfd_rhs_slots,
             cind_y_slots,
             cind_x_slots,
             member_syms,
             ..
         } = self;
-        // The moved tuple's row, batch path only. Cells the moved tuple
-        // only carries through a conditioned CIND role it does not play
-        // may be un-interned — they become [`HOLE`]s, which the
-        // role-guarded key builds below never read.
-        let row_m: Option<Vec<SymValue>> = match (row, &moved) {
-            (Some(_), Some(mt)) => Some(
-                sym_attrs[rel.index()]
-                    .iter()
-                    .map(|a| interner.sym_value(&mt[*a]).unwrap_or(HOLE))
-                    .collect(),
-            ),
-            _ => None,
-        };
+        // The deleted and moved tuples' cached rows, copied out so the
+        // cache itself can be mutated at the end of the deletion.
+        let stride = sym_attrs[rel.index()].len();
+        let srows = &sym_rows[rel.index()];
+        let row: Vec<SymValue> = srows[pos * stride..(pos + 1) * stride].to_vec();
+        let row_m: Option<Vec<SymValue>> = moved
+            .as_ref()
+            .map(|_| srows[last * stride..(last + 1) * stride].to_vec());
+        let row: &[SymValue] = &row;
         let mut key_buf: Vec<SymValue> = Vec::new();
+        let mut cov_buf: Vec<usize> = Vec::new();
         // Renumber for positions emitted *after* the swap.
         let renum = |p: u32| -> usize {
             if p as usize == last {
@@ -1149,18 +1244,20 @@ impl ValidatorStream {
             if g.rel != rel {
                 continue;
             }
-            match row {
-                Some(row) => key_from_slots(row, &cfd_group_slots[gi], &mut key_t),
-                None => sym_key(interner, t, &g.attrs, &mut key_t),
-            }
-            // One member-match predicate per scoped tuple: sym compare
-            // against the cached patterns on the batch path, the value
-            // compare otherwise. Matching only reads the group-key
-            // projection, so the key stands in for the tuple.
-            let t_matches = |mi: usize, m: &CfdMember| match row {
-                Some(_) => member_matches_sym(&member_syms[gi][mi], &key_t),
-                None => member_matches(g, m, t),
-            };
+            key_from_slots(row, &cfd_group_slots[gi], &mut key_t);
+            // Zero hash probes per (mutation, group): the index's
+            // per-position slot record recovers the deleted tuple's
+            // group directly, and the handle serves the witness read,
+            // the pair-scope scans and the final removal.
+            let slot_t = idx
+                .slot_of_pos(pos as u32)
+                .expect("deleted tuple is indexed in every group of its relation");
+            // One member-match predicate per scoped tuple: a sym compare
+            // against the cached pattern symbols. Matching only reads
+            // the group-key projection, so the key stands in for the
+            // tuple.
+            let t_matches =
+                |mi: usize, _m: &CfdMember| member_matches_sym(&member_syms[gi][mi], &key_t);
             for (mi, m) in g.members.iter().enumerate() {
                 if !t_matches(mi, m) {
                     continue;
@@ -1168,62 +1265,84 @@ impl ValidatorStream {
                 if let Some(expected) = &m.rhs_const {
                     let found = &t[m.rhs];
                     if found != expected {
-                        let v = (
-                            m.idx,
-                            CfdViolation::SingleTuple {
-                                tuple: pos,
-                                found: found.clone(),
-                                expected: expected.clone(),
-                            },
-                        );
-                        let was_live = live_cfd.remove(&v);
-                        debug_assert!(was_live, "deleted single must have been live");
-                        delta.cfd.resolved.push(v);
+                        applicable_covers(g, m, t, &mut cov_buf);
+                        for &cidx in &cov_buf {
+                            let v = (
+                                cidx,
+                                CfdViolation::SingleTuple {
+                                    tuple: pos,
+                                    found: found.clone(),
+                                    expected: expected.clone(),
+                                },
+                            );
+                            let was_live = live_cfd.remove(&v);
+                            debug_assert!(was_live, "deleted single must have been live");
+                            delta.cfd.resolved.push(v);
+                        }
                     }
                 }
             }
-            let key_m: Option<&[SymValue]> = match &moved {
-                Some(mt) => {
-                    match &row_m {
-                        Some(row_m) => key_from_slots(row_m, &cfd_group_slots[gi], &mut key_m_buf),
-                        None => sym_key(interner, mt, &g.attrs, &mut key_m_buf),
-                    }
+            let key_m: Option<&[SymValue]> = match &row_m {
+                Some(row_m) => {
+                    key_from_slots(row_m, &cfd_group_slots[gi], &mut key_m_buf);
                     Some(&key_m_buf)
                 }
                 None => None,
             };
-            let same_key = key_m == Some(key_t.as_slice());
-            let m_matches = |mi: usize, m: &CfdMember| match (&key_m, &moved) {
-                (Some(km), Some(mt)) => match row {
-                    Some(_) => member_matches_sym(&member_syms[gi][mi], km),
-                    None => member_matches(g, m, mt),
-                },
-                _ => false,
+            // The moved tuple's group likewise comes from the slot
+            // record; distinct keys own distinct slots, so handle
+            // equality is key equality.
+            let slot_m: Option<u32> = row_m.as_ref().map(|_| {
+                idx.slot_of_pos(last as u32)
+                    .expect("moved tuple is indexed in every group of its relation")
+            });
+            let same_key = slot_m == Some(slot_t);
+            let m_matches = |mi: usize, _m: &CfdMember| match &key_m {
+                Some(km) => member_matches_sym(&member_syms[gi][mi], km),
+                None => false,
             };
 
             // The deleted tuple's key group.
-            let fmin = idx.min_pos(&key_t).expect("deleted tuple is in its group");
+            let fmin = idx.min_at(slot_t).expect("deleted tuple is in its group");
             if fmin as usize != pos {
                 // `pos` was not the witness (fmin < pos survives, and a
                 // same-key moved tuple renumbers *above* fmin, since
                 // pos > fmin). Resolve the deleted tuple's own pair and
                 // relabel the moved tuple's, per matching member.
-                let first = db.relation(rel).get(fmin as usize).expect("in range");
+                let srows = &sym_rows[rel.index()];
+                let first_row = &srows[fmin as usize * stride..(fmin as usize + 1) * stride];
                 for (mi, m) in g.members.iter().enumerate() {
                     if m.rhs_const.is_some() || !t_matches(mi, m) {
                         continue;
                     }
-                    if first[m.rhs] != t[m.rhs] {
-                        let v = (
-                            m.idx,
-                            CfdViolation::Pair {
-                                left: fmin as usize,
-                                right: pos,
-                            },
-                        );
-                        let was_live = live_cfd.remove(&v);
-                        debug_assert!(was_live, "deleted pair must have been live");
-                        delta.cfd.resolved.push(v);
+                    // The fan-out is computed at most once per member —
+                    // lazily, since the common case (RHS agrees with the
+                    // witness) emits nothing — and shared between the two
+                    // branches: `same_key` means the moved tuple carries
+                    // the same key, and applicability is a key-group
+                    // property.
+                    let mut fanned = false;
+                    let mut fan_out = |buf: &mut Vec<usize>| {
+                        if !fanned {
+                            applicable_covers(g, m, t, buf);
+                            fanned = true;
+                        }
+                    };
+                    let rslot = cfd_rhs_slots[gi][mi] as usize;
+                    if first_row[rslot] != row[rslot] {
+                        fan_out(&mut cov_buf);
+                        for &cidx in &cov_buf {
+                            let v = (
+                                cidx,
+                                CfdViolation::Pair {
+                                    left: fmin as usize,
+                                    right: pos,
+                                },
+                            );
+                            let was_live = live_cfd.remove(&v);
+                            debug_assert!(was_live, "deleted pair must have been live");
+                            delta.cfd.resolved.push(v);
+                        }
                     }
                     if same_key {
                         // The moved tuple's pair relabels with it; the
@@ -1231,80 +1350,98 @@ impl ValidatorStream {
                         // not a delta entry. A pair exists exactly when
                         // the moved tuple disagrees with the witness, so
                         // the live set is only touched when there is one.
-                        let mt = moved.as_ref().expect("same_key implies a move");
-                        if first[m.rhs] != mt[m.rhs] {
-                            let was_live = live_cfd.remove(&(
-                                m.idx,
-                                CfdViolation::Pair {
-                                    left: fmin as usize,
-                                    right: last,
-                                },
-                            ));
-                            debug_assert!(was_live, "relabeled pair must have been live");
-                            live_cfd.insert((
-                                m.idx,
-                                CfdViolation::Pair {
-                                    left: fmin as usize,
-                                    right: pos,
-                                },
-                            ));
+                        let rm = row_m.as_deref().expect("same_key implies a move");
+                        if first_row[rslot] != rm[rslot] {
+                            fan_out(&mut cov_buf);
+                            for &cidx in &cov_buf {
+                                let was_live = live_cfd.remove(&(
+                                    cidx,
+                                    CfdViolation::Pair {
+                                        left: fmin as usize,
+                                        right: last,
+                                    },
+                                ));
+                                debug_assert!(was_live, "relabeled pair must have been live");
+                                live_cfd.insert((
+                                    cidx,
+                                    CfdViolation::Pair {
+                                        left: fmin as usize,
+                                        right: pos,
+                                    },
+                                ));
+                            }
                         }
                     }
                 }
-            } else if idx.positions(&key_t).nth(1).is_some() {
+            } else if idx.positions_at(slot_t).nth(1).is_some() {
                 // The witness itself goes: the group's pairs
                 // restructure. Stash the old pairs for recomputation.
                 // (A singleton group has no pairs on either side of the
                 // deletion — nothing to stash.)
-                scopes.extend(stash_scope(g, gi, idx, db.relation(rel), &key_t, t_matches));
+                scopes.extend(stash_scope(
+                    g,
+                    gi,
+                    idx,
+                    slot_t,
+                    db.relation(rel),
+                    t,
+                    t_matches,
+                ));
             }
 
             // The moved tuple's key group, when it is a different one.
-            if let (Some(mt), Some(km)) = (&moved, &key_m) {
+            if let (Some(mt), Some(sm)) = (&moved, slot_m) {
                 if !same_key {
-                    let fmin_m = idx.min_pos(km).expect("moved tuple is in its group");
+                    let fmin_m = idx.min_at(sm).expect("moved tuple is in its group");
                     if (fmin_m as usize) < pos {
                         // Witness unchanged: the moved tuple's pair (if
                         // any) just renumbers `last` → `pos` — covered by
                         // the consumer's renumber step, no delta entry.
                         // As above, a pair exists exactly when the moved
                         // tuple disagrees with its witness.
-                        let first_m = db.relation(rel).get(fmin_m as usize).expect("in range");
+                        let srows = &sym_rows[rel.index()];
+                        let first_m_row =
+                            &srows[fmin_m as usize * stride..(fmin_m as usize + 1) * stride];
+                        let rm = row_m.as_deref().expect("moved tuple has a cached row");
                         for (mi, m) in g.members.iter().enumerate() {
+                            let rslot = cfd_rhs_slots[gi][mi] as usize;
                             if m.rhs_const.is_some()
-                                || first_m[m.rhs] == mt[m.rhs]
+                                || first_m_row[rslot] == rm[rslot]
                                 || !m_matches(mi, m)
                             {
                                 continue;
                             }
-                            let was_live = live_cfd.remove(&(
-                                m.idx,
-                                CfdViolation::Pair {
-                                    left: fmin_m as usize,
-                                    right: last,
-                                },
-                            ));
-                            debug_assert!(was_live, "relabeled pair must have been live");
-                            live_cfd.insert((
-                                m.idx,
-                                CfdViolation::Pair {
-                                    left: fmin_m as usize,
-                                    right: pos,
-                                },
-                            ));
+                            applicable_covers(g, m, mt, &mut cov_buf);
+                            for &cidx in &cov_buf {
+                                let was_live = live_cfd.remove(&(
+                                    cidx,
+                                    CfdViolation::Pair {
+                                        left: fmin_m as usize,
+                                        right: last,
+                                    },
+                                ));
+                                debug_assert!(was_live, "relabeled pair must have been live");
+                                live_cfd.insert((
+                                    cidx,
+                                    CfdViolation::Pair {
+                                        left: fmin_m as usize,
+                                        right: pos,
+                                    },
+                                ));
+                            }
                         }
-                    } else if idx.positions(km).nth(1).is_some() {
+                    } else if idx.positions_at(sm).nth(1).is_some() {
                         // The moved tuple lands *below* the group's old
                         // witness and becomes the new one: restructure
                         // (skipped for a singleton group — no pairs).
-                        scopes.extend(stash_scope(g, gi, idx, db.relation(rel), km, m_matches));
+                        scopes.extend(stash_scope(g, gi, idx, sm, db.relation(rel), mt, m_matches));
                     }
                 }
             }
 
-            idx.remove_key(pos as u32, &key_t);
-            if let (Some(_), Some(km)) = (&moved, &key_m) {
-                idx.replace_pos(last as u32, pos as u32, km);
+            idx.remove_at(slot_t, pos as u32);
+            if let Some(sm) = slot_m {
+                idx.replace_at(sm, last as u32, pos as u32);
             }
         }
 
@@ -1321,22 +1458,25 @@ impl ValidatorStream {
                 if cind.lhs_rel() != rel || !cind.triggers(t) {
                     continue;
                 }
-                match row {
-                    Some(row) => key_from_slots(row, &cind_x_slots[gi][mi], &mut key_buf),
-                    None => sym_key(interner, t, &m.x_perm, &mut key_buf),
-                }
-                sidx.remove_key(pos as u32, &key_buf);
+                key_from_slots(row, &cind_x_slots[gi][mi], &mut key_buf);
+                let slot = sidx
+                    .slot_of_pos(pos as u32)
+                    .expect("triggered source is indexed");
+                sidx.remove_at(slot, pos as u32);
                 if !cind_targets[gi].contains_key(&key_buf) {
-                    let v = (
-                        m.idx,
-                        CindViolation {
-                            tuple: pos,
-                            key: t.project(cind.x()),
-                        },
-                    );
-                    let was_live = live_cind.remove(&v);
-                    debug_assert!(was_live, "deleted orphan must have been live");
-                    delta.cind.resolved.push(v);
+                    let payload = t.project(cind.x());
+                    for &cidx in &m.covers {
+                        let v = (
+                            cidx,
+                            CindViolation {
+                                tuple: pos,
+                                key: payload.clone(),
+                            },
+                        );
+                        let was_live = live_cind.remove(&v);
+                        debug_assert!(was_live, "deleted orphan must have been live");
+                        delta.cind.resolved.push(v);
+                    }
                 }
             }
         }
@@ -1347,14 +1487,17 @@ impl ValidatorStream {
             if g.rhs_rel != rel || !g.yp.iter().all(|(a, v)| &t[*a] == v) {
                 continue;
             }
-            match row {
-                Some(row) => key_from_slots(row, &cind_y_slots[gi], &mut key_buf),
-                None => sym_key(interner, t, &g.y, &mut key_buf),
-            }
-            cind_targets[gi].remove_key(pos as u32, &key_buf);
-            if cind_targets[gi].contains_key(&key_buf) {
+            // Probe-free: the slot record serves the removal and the
+            // became-empty check; the key is only materialized on the
+            // rare orphaning path below.
+            let slot = cind_targets[gi]
+                .slot_of_pos(pos as u32)
+                .expect("deleted target is indexed");
+            cind_targets[gi].remove_at(slot, pos as u32);
+            if cind_targets[gi].occupied_at(slot) {
                 continue;
             }
+            key_from_slots(row, &cind_y_slots[gi], &mut key_buf);
             for (m, sidx) in g.members.iter().zip(&cind_sources[gi]) {
                 let cind = &validator.cinds()[m.idx];
                 let source = db.relation(cind.lhs_rel());
@@ -1363,15 +1506,19 @@ impl ValidatorStream {
                 let same_rel = cind.lhs_rel() == rel;
                 for src in sidx.positions(&key_buf) {
                     let t1 = source.get(src as usize).expect("indexed position valid");
-                    let v = (
-                        m.idx,
-                        CindViolation {
-                            tuple: if same_rel { renum(src) } else { src as usize },
-                            key: t1.project(cind.x()),
-                        },
-                    );
-                    live_cind.insert(v.clone());
-                    delta.cind.introduced.push(v);
+                    let tuple = if same_rel { renum(src) } else { src as usize };
+                    let payload = t1.project(cind.x());
+                    for &cidx in &m.covers {
+                        let v = (
+                            cidx,
+                            CindViolation {
+                                tuple,
+                                key: payload.clone(),
+                            },
+                        );
+                        live_cind.insert(v.clone());
+                        delta.cind.introduced.push(v);
+                    }
                 }
             }
         }
@@ -1380,94 +1527,96 @@ impl ValidatorStream {
         // index entries in the CIND tiers (CFD tiers were renumbered
         // above; pair relabeling happens in the recomputation below).
         if let Some(mt) = &moved {
+            let row_m = row_m.as_deref().expect("moved tuple has a cached row");
             for (gi, g) in validator.cfd_groups().iter().enumerate() {
                 if g.rel != rel {
                     continue;
                 }
-                if let Some(row_m) = &row_m {
-                    key_from_slots(row_m, &cfd_group_slots[gi], &mut key_buf);
-                }
+                key_from_slots(row_m, &cfd_group_slots[gi], &mut key_buf);
                 for (mi, m) in g.members.iter().enumerate() {
-                    let matched = match &row_m {
-                        Some(_) => member_matches_sym(&member_syms[gi][mi], &key_buf),
-                        None => member_matches(g, m, mt),
-                    };
-                    if !matched {
+                    if !member_matches_sym(&member_syms[gi][mi], &key_buf) {
                         continue;
                     }
                     if let Some(expected) = &m.rhs_const {
                         let found = &mt[m.rhs];
                         if found != expected {
-                            let old = (
-                                m.idx,
-                                CfdViolation::SingleTuple {
-                                    tuple: last,
-                                    found: found.clone(),
-                                    expected: expected.clone(),
-                                },
-                            );
-                            if live_cfd.remove(&old) {
-                                live_cfd.insert((
-                                    m.idx,
+                            applicable_covers(g, m, mt, &mut cov_buf);
+                            for &cidx in &cov_buf {
+                                let old = (
+                                    cidx,
                                     CfdViolation::SingleTuple {
-                                        tuple: pos,
+                                        tuple: last,
                                         found: found.clone(),
                                         expected: expected.clone(),
                                     },
-                                ));
+                                );
+                                if live_cfd.remove(&old) {
+                                    live_cfd.insert((
+                                        cidx,
+                                        CfdViolation::SingleTuple {
+                                            tuple: pos,
+                                            found: found.clone(),
+                                            expected: expected.clone(),
+                                        },
+                                    ));
+                                }
                             }
                         }
                     }
                 }
             }
             for (gi, g) in validator.cind_groups().iter().enumerate() {
-                for (mi, (m, sidx)) in g
-                    .members
-                    .iter()
-                    .zip(cind_sources[gi].iter_mut())
-                    .enumerate()
-                {
+                for (m, sidx) in g.members.iter().zip(cind_sources[gi].iter_mut()) {
                     let cind = &validator.cinds()[m.idx];
                     if cind.lhs_rel() != rel || !cind.triggers(mt) {
                         continue;
                     }
-                    match &row_m {
-                        Some(row_m) => key_from_slots(row_m, &cind_x_slots[gi][mi], &mut key_buf),
-                        None => sym_key(interner, mt, &m.x_perm, &mut key_buf),
-                    }
-                    sidx.replace_pos(last as u32, pos as u32, &key_buf);
-                    let old = (
-                        m.idx,
-                        CindViolation {
-                            tuple: last,
-                            key: mt.project(cind.x()),
-                        },
-                    );
-                    if live_cind.remove(&old) {
-                        live_cind.insert((
-                            m.idx,
+                    let slot = sidx
+                        .slot_of_pos(last as u32)
+                        .expect("triggered source is indexed");
+                    sidx.replace_at(slot, last as u32, pos as u32);
+                    let payload = mt.project(cind.x());
+                    for &cidx in &m.covers {
+                        let old = (
+                            cidx,
                             CindViolation {
-                                tuple: pos,
-                                key: mt.project(cind.x()),
+                                tuple: last,
+                                key: payload.clone(),
                             },
-                        ));
+                        );
+                        if live_cind.remove(&old) {
+                            live_cind.insert((
+                                cidx,
+                                CindViolation {
+                                    tuple: pos,
+                                    key: payload.clone(),
+                                },
+                            ));
+                        }
                     }
                 }
-                if g.rhs_rel == rel && g.yp.iter().all(|(a, v)| &mt[*a] == v) {
-                    match &row_m {
-                        Some(row_m) => key_from_slots(row_m, &cind_y_slots[gi], &mut key_buf),
-                        None => sym_key(interner, mt, &g.y, &mut key_buf),
+                // `slot_of_pos` hits exactly when the moved tuple passed
+                // the Yp filter at insert — no pattern re-scan needed.
+                if g.rhs_rel == rel {
+                    if let Some(slot) = cind_targets[gi].slot_of_pos(last as u32) {
+                        cind_targets[gi].replace_at(slot, last as u32, pos as u32);
                     }
-                    cind_targets[gi].replace_pos(last as u32, pos as u32, &key_buf);
                 }
             }
         }
 
         // ---- Remove from the database (the swap happens here); the id
         // map mirrors it.
-        let removed = db.remove(rel, t).expect("position was just resolved");
+        let removed = db.remove_at(rel, pos).expect("position was just resolved");
         debug_assert_eq!(removed.pos, pos);
         debug_assert_eq!(removed.moved_from, moved.as_ref().map(|_| last));
+        // Mirror the swap into the resident row cache (`pos == last`
+        // degenerates to a plain truncation).
+        let srows = &mut sym_rows[rel.index()];
+        for i in 0..stride {
+            srows[pos * stride + i] = srows[last * stride + i];
+        }
+        srows.truncate(last * stride);
         let (retired, moved_id) = ids[rel.index()].remove_swap(pos);
         delta.ids.retired = Some(retired);
         delta.ids.moved = moved_id;
@@ -1478,27 +1627,35 @@ impl ValidatorStream {
         for scope in scopes {
             let g = &validator.cfd_groups()[scope.group];
             let idx = &cfd_indexes[scope.group];
-            for (ms, old) in scope.members {
+            for (ms, covers, old) in scope.members {
                 let m = &g.members[ms];
-                let new = group_pairs(db.relation(rel), m.rhs, idx.positions(&scope.key).collect());
+                let new = group_pairs(
+                    db.relation(rel),
+                    m.rhs,
+                    idx.positions_at(scope.slot).collect(),
+                );
                 let old_set: HashSet<(usize, usize), FxBuildHasher> = old.iter().copied().collect();
                 let new_set: HashSet<(usize, usize), FxBuildHasher> = new.iter().copied().collect();
                 for &(left, right) in &old {
-                    live_cfd.remove(&(m.idx, CfdViolation::Pair { left, right }));
-                    if !new_set.contains(&(left, right)) {
-                        delta
-                            .cfd
-                            .resolved
-                            .push((m.idx, CfdViolation::Pair { left, right }));
+                    for &cidx in &covers {
+                        live_cfd.remove(&(cidx, CfdViolation::Pair { left, right }));
+                        if !new_set.contains(&(left, right)) {
+                            delta
+                                .cfd
+                                .resolved
+                                .push((cidx, CfdViolation::Pair { left, right }));
+                        }
                     }
                 }
                 for &(left, right) in &new {
-                    live_cfd.insert((m.idx, CfdViolation::Pair { left, right }));
-                    if !old_set.contains(&(left, right)) {
-                        delta
-                            .cfd
-                            .introduced
-                            .push((m.idx, CfdViolation::Pair { left, right }));
+                    for &cidx in &covers {
+                        live_cfd.insert((cidx, CfdViolation::Pair { left, right }));
+                        if !old_set.contains(&(left, right)) {
+                            delta
+                                .cfd
+                                .introduced
+                                .push((cidx, CfdViolation::Pair { left, right }));
+                        }
                     }
                 }
             }
@@ -1632,20 +1789,6 @@ impl ValidatorStream {
             .collect()
     }
 
-    /// Read-only row builder for the delete/update-old side. Cells the
-    /// interner has never seen become [`HOLE`]s: for a resident tuple
-    /// those can only sit on attributes reached solely through a
-    /// conditioned CIND role the tuple does not play, and the
-    /// role-guarded key builds never read them; residency itself is
-    /// decided by the delete path's `position()` check, exactly as in
-    /// the single-mutation path.
-    fn sym_row_lookup(&self, rel: RelId, t: &Tuple) -> Vec<SymValue> {
-        self.sym_attrs[rel.index()]
-            .iter()
-            .map(|a| self.interner.sym_value(&t[*a]).unwrap_or(HOLE))
-            .collect()
-    }
-
     /// Applies a whole batch of value-level [`Mutation`]s, returning the
     /// streamed deltas **in application order** — exactly the
     /// concatenation of what per-mutation [`ValidatorStream::apply`]
@@ -1664,8 +1807,10 @@ impl ValidatorStream {
     ///   keys are `Copy` slot reads out of the pre-built row and member
     ///   matching is a word compare, with no string hashed anywhere in
     ///   the per-group work;
-    /// * **one probe per touched key group** — the group's pair witness
-    ///   is looked up once and shared across all its wildcard members.
+    /// * **at most one probe per touched key group** — the group's pair
+    ///   witness is looked up once and shared across all its wildcard
+    ///   members (deletes resolve their groups probe-free through the
+    ///   index's per-position slot records).
     ///
     /// The whole batch is type-checked first: an ill-typed mutation
     /// returns the error with **nothing** applied (unlike a sequential
@@ -1700,14 +1845,14 @@ impl ValidatorStream {
                 Mutation::Insert { rel, tuple } => {
                     // No pre-membership probe: `insert_inner` detects the
                     // no-op itself (a resident tuple allocates no id).
-                    let d = self.insert_inner(*rel, tuple.clone(), row.as_deref())?;
+                    let row = row.as_deref().expect("insert rows are pre-built");
+                    let d = self.insert_inner(*rel, tuple.clone(), row)?;
                     if d.ids.born.is_some() {
                         out.push(d);
                     }
                 }
                 Mutation::Delete { rel, tuple } => {
-                    let drow = self.sym_row_lookup(*rel, tuple);
-                    if let Some(d) = self.delete_inner(*rel, tuple, Some(&drow)) {
+                    if let Some(d) = self.delete_inner(*rel, tuple) {
                         out.push(d);
                     }
                 }
@@ -1715,14 +1860,11 @@ impl ValidatorStream {
                     if old == new || !self.db.relation(*rel).contains(old) {
                         continue;
                     }
-                    let drow = self.sym_row_lookup(*rel, old);
                     let merged = self.db.relation(*rel).contains(new);
-                    out.push(
-                        self.delete_inner(*rel, old, Some(&drow))
-                            .expect("presence just checked"),
-                    );
+                    out.push(self.delete_inner(*rel, old).expect("presence just checked"));
                     if !merged {
-                        out.push(self.insert_inner(*rel, new.clone(), row.as_deref())?);
+                        let row = row.as_deref().expect("update rows are pre-built");
+                        out.push(self.insert_inner(*rel, new.clone(), row)?);
                     }
                 }
             }
@@ -1738,10 +1880,18 @@ impl ValidatorStream {
     /// key-group cost. Empty when `t` does not match the pattern (or
     /// carries a key no resident tuple holds).
     pub fn cfd_violation_class(&self, cfd_idx: usize, t: &Tuple) -> Vec<usize> {
-        let (gi, mi) = self.validator.cfd_slot(cfd_idx);
+        let (gi, mi, ci) = self.validator.cfd_slot(cfd_idx);
+        if gi == usize::MAX {
+            // The CFD was dropped as implied by a minimal-tier cover
+            // compilation: the validator holds no live structure for it.
+            return Vec::new();
+        }
         let g = &self.validator.cfd_groups()[gi];
         let m = &g.members[mi];
-        if !member_matches(g, m, t) {
+        // Match against this original's own pattern, not the member's
+        // probe: a merged cover can be strictly more specific.
+        let pat = &m.covers[ci].pattern;
+        if !pattern_matches(&g.attrs, pat, t) {
             return Vec::new();
         }
         let mut key = Vec::with_capacity(g.attrs.len());
@@ -1756,7 +1906,7 @@ impl ValidatorStream {
             .positions(&key)
             .filter(|&p| {
                 let resident = rel_inst.get(p as usize).expect("indexed position valid");
-                member_matches(g, m, resident)
+                pattern_matches(&g.attrs, pat, resident)
             })
             .map(|p| p as usize)
             .collect();

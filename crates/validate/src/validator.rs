@@ -1,5 +1,6 @@
 //! The batched Σ-validator.
 
+use crate::cover::{canonical_pattern, CoverRole, CoverStats, SigmaCover};
 use condep_cfd::{CfdViolation, NormalCfd};
 use condep_core::{CindViolation, NormalCind};
 use condep_model::fxhash::FxBuildHasher;
@@ -8,19 +9,36 @@ use condep_query::SymIndex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-/// One CFD of the suite, re-expressed against its group's canonical
-/// (sorted) LHS attribute order.
+/// One original CFD carried by a compiled member: its index in the
+/// caller's Σ plus its own LHS pattern (aligned with the group's sorted
+/// attribute order). The member's probe pattern subsumes every cover's
+/// pattern, so a cover's violations are exactly the member's violations
+/// restricted to key-groups matching the cover's pattern — the filter
+/// every emission site re-evaluates on the key in hand.
 #[derive(Clone, Debug)]
-pub(crate) struct CfdMember {
+pub(crate) struct CfdCover {
     /// Index into [`Validator::cfds`].
     pub(crate) idx: usize,
-    /// LHS pattern cells aligned with the group's sorted attribute list
-    /// (`None` = wildcard).
+    /// This original's own LHS pattern cells (`None` = wildcard).
+    pub(crate) pattern: Vec<Option<Value>>,
+}
+
+/// One compiled tableau row of the suite, re-expressed against its
+/// group's canonical (sorted) LHS attribute order. After cover
+/// compilation a member may carry several original CFDs ([`CfdCover`]);
+/// `covers[0]` is always the representative whose pattern equals the
+/// member's probe pattern.
+#[derive(Clone, Debug)]
+pub(crate) struct CfdMember {
+    /// Probe pattern: the most general LHS pattern among `covers`
+    /// (`None` = wildcard), aligned with the group's sorted attributes.
     pub(crate) pattern: Vec<Option<Value>>,
     /// The RHS attribute `A`.
     pub(crate) rhs: AttrId,
     /// The RHS pattern: `Some(c)` for a constant, `None` for `_`.
     pub(crate) rhs_const: Option<Value>,
+    /// The original CFDs this member evaluates (representative first).
+    pub(crate) covers: Vec<CfdCover>,
 }
 
 /// All CFDs sharing one `(relation, LHS attribute set)` — evaluable in a
@@ -42,6 +60,10 @@ pub(crate) struct CindMember {
     /// Source attributes permuted in lock-step with the group's sorted
     /// `Y` (so `t1[x_perm]` probes the shared index directly).
     pub(crate) x_perm: Vec<AttrId>,
+    /// Original CIND indices this member evaluates (self first; the
+    /// rest are payload-identical duplicates merged by the cover pass —
+    /// every violation fans out to all of them verbatim).
+    pub(crate) covers: Vec<usize>,
 }
 
 /// All CINDs sharing one `(target relation, Y attribute set, Yp
@@ -99,8 +121,12 @@ pub struct Validator {
     cinds: Vec<NormalCind>,
     cfd_groups: Vec<CfdGroup>,
     cind_groups: Vec<CindGroup>,
-    /// Per CFD index: its `(group slot, member slot)` in `cfd_groups`.
-    cfd_slots: Vec<(usize, usize)>,
+    /// Per CFD index: its `(group slot, member slot, cover slot)` in
+    /// `cfd_groups`. Dependencies dropped by a minimal-tier cover have
+    /// no slot (all-`usize::MAX` sentinel).
+    cfd_slots: Vec<(usize, usize, usize)>,
+    /// What the cover pass merged/dropped at compile time.
+    cover_stats: CoverStats,
 }
 
 /// Databases below this tuple count are validated on the calling thread;
@@ -108,15 +134,58 @@ pub struct Validator {
 const PARALLEL_THRESHOLD: usize = 4096;
 
 impl Validator {
-    /// Compiles a suite from normal-form constraints.
+    /// Compiles a suite from normal-form constraints, running the
+    /// violation-exact Σ cover first: subsumable tableau rows and
+    /// duplicate CINDs collapse into one compiled member each, and every
+    /// emission site fans violations back out to the caller's original
+    /// indices — reports are byte-identical to an uncovered compile.
     pub fn new(cfds: Vec<NormalCfd>, cinds: Vec<NormalCind>) -> Self {
+        let cover = SigmaCover::exact(&cfds, &cinds);
+        Validator::with_cover(cfds, cinds, &cover)
+    }
+
+    /// Compiles the suite with **no** cover pass: one member per
+    /// dependency, exactly as written. The reference compiler for
+    /// cover-equivalence tests and benchmarks.
+    pub fn new_uncovered(cfds: Vec<NormalCfd>, cinds: Vec<NormalCind>) -> Self {
+        let cover = SigmaCover::identity(cfds.len(), cinds.len());
+        Validator::with_cover(cfds, cinds, &cover)
+    }
+
+    /// Compiles the suite under a caller-supplied cover. Dependencies
+    /// with [`CoverRole::Implied`] are dropped entirely (no violations
+    /// will ever be reported for their indices) — only sound for
+    /// satisfaction-style monitoring, which is why [`Validator::new`]
+    /// sticks to the exact tier.
+    pub fn with_cover(cfds: Vec<NormalCfd>, cinds: Vec<NormalCind>, cover: &SigmaCover) -> Self {
+        assert_eq!(cover.cfd.len(), cfds.len(), "cover/Σ length mismatch");
+        assert_eq!(cover.cind.len(), cinds.len(), "cover/Σ length mismatch");
         let mut cfd_index: HashMap<(RelId, Vec<AttrId>), usize, FxBuildHasher> = HashMap::default();
         let mut cfd_groups: Vec<CfdGroup> = Vec::new();
         for (idx, cfd) in cfds.iter().enumerate() {
+            let CoverRole::Keep { covered } = &cover.cfd[idx] else {
+                continue;
+            };
             // One shared canonicalization (sorted LHS, pattern permuted
             // in lock-step) with `cfd::satisfy::satisfies_all`.
-            let (attrs, pattern) = cfd.canonical_lhs();
-            let pattern: Vec<Option<Value>> = pattern.into_iter().map(|c| c.cloned()).collect();
+            let (attrs, pattern) = canonical_pattern(cfd);
+            let mut covers = Vec::with_capacity(1 + covered.len());
+            covers.push(CfdCover {
+                idx,
+                pattern: pattern.clone(),
+            });
+            for &c in covered {
+                let (c_attrs, c_pattern) = canonical_pattern(&cfds[c]);
+                debug_assert_eq!(c_attrs, attrs, "cover merged across LHS sets");
+                debug_assert!(
+                    crate::cover::subsumes(&pattern, &c_pattern),
+                    "representative pattern must subsume its covers"
+                );
+                covers.push(CfdCover {
+                    idx: c,
+                    pattern: c_pattern,
+                });
+            }
             let slot = *cfd_index
                 .entry((cfd.rel(), attrs.clone()))
                 .or_insert_with(|| {
@@ -128,13 +197,13 @@ impl Validator {
                     cfd_groups.len() - 1
                 });
             cfd_groups[slot].members.push(CfdMember {
-                idx,
                 pattern,
                 rhs: cfd.rhs(),
                 rhs_const: match cfd.rhs_pat() {
                     PValue::Const(v) => Some(v.clone()),
                     PValue::Any => None,
                 },
+                covers,
             });
         }
 
@@ -142,6 +211,9 @@ impl Validator {
         let mut cind_index: HashMap<CindGroupKey, usize, FxBuildHasher> = HashMap::default();
         let mut cind_groups: Vec<CindGroup> = Vec::new();
         for (idx, cind) in cinds.iter().enumerate() {
+            let CoverRole::Keep { covered } = &cover.cind[idx] else {
+                continue;
+            };
             // Canonicalize on the target side: sort Y, permuting X in
             // lock-step so probes align with the shared index.
             let mut cols: Vec<(AttrId, AttrId)> = cind
@@ -166,13 +238,23 @@ impl Validator {
                     });
                     cind_groups.len() - 1
                 });
-            cind_groups[slot].members.push(CindMember { idx, x_perm });
+            let mut covers = Vec::with_capacity(1 + covered.len());
+            covers.push(idx);
+            covers.extend(covered.iter().copied());
+            cind_groups[slot].members.push(CindMember {
+                idx,
+                x_perm,
+                covers,
+            });
         }
 
-        let mut cfd_slots = vec![(0usize, 0usize); cfds.len()];
+        const NO_SLOT: (usize, usize, usize) = (usize::MAX, usize::MAX, usize::MAX);
+        let mut cfd_slots = vec![NO_SLOT; cfds.len()];
         for (gi, g) in cfd_groups.iter().enumerate() {
             for (mi, m) in g.members.iter().enumerate() {
-                cfd_slots[m.idx] = (gi, mi);
+                for (ci, c) in m.covers.iter().enumerate() {
+                    cfd_slots[c.idx] = (gi, mi, ci);
+                }
             }
         }
 
@@ -182,7 +264,19 @@ impl Validator {
             cfd_groups,
             cind_groups,
             cfd_slots,
+            cover_stats: cover.stats,
         }
+    }
+
+    /// What the compile-time cover pass merged/dropped.
+    pub fn cover_stats(&self) -> CoverStats {
+        self.cover_stats
+    }
+
+    /// Number of compiled CFD tableau-row members (≤ the number of CFDs
+    /// whenever the cover pass merged anything).
+    pub fn compiled_cfd_members(&self) -> usize {
+        self.cfd_groups.iter().map(|g| g.members.len()).sum()
     }
 
     /// The compiled CFDs (violation indices refer to this order).
@@ -205,8 +299,8 @@ impl Validator {
         &self.cfd_groups
     }
 
-    /// The `(group slot, member slot)` of one compiled CFD.
-    pub(crate) fn cfd_slot(&self, idx: usize) -> (usize, usize) {
+    /// The `(group slot, member slot, cover slot)` of one compiled CFD.
+    pub(crate) fn cfd_slot(&self, idx: usize) -> (usize, usize, usize) {
         self.cfd_slots[idx]
     }
 
@@ -352,38 +446,50 @@ impl Validator {
         if rel.is_empty() {
             return Vec::new();
         }
-        // Translate each member's LHS pattern into symbols once. A
+        // Translate each member's LHS patterns into symbols once. A
         // constant string the interner has never seen cannot match any
-        // tuple: the member is dropped for this database. RHS constants
-        // translate to `Err(value)` when unknown — every tuple of a
-        // matching key-group then mismatches by definition.
+        // tuple: the probe pattern (the most general among the member's
+        // covers) being unknown kills the whole member, an individual
+        // cover's extra constants being unknown kills just that cover.
+        // RHS constants translate to `Err(value)` when unknown — every
+        // tuple of a matching key-group then mismatches by definition.
         struct ReadyMember<'a> {
-            idx: usize,
             pattern: Vec<Option<SymValue>>,
             rhs: AttrId,
             /// `None` = wildcard; `Some(Ok(sym))` = known constant;
             /// `Some(Err(v))` = constant absent from the database.
             rhs_const: Option<Result<SymValue, &'a Value>>,
+            /// Live covers: original index + its own symbolized pattern.
+            covers: Vec<(usize, Vec<Option<SymValue>>)>,
         }
+        let sym_pattern = |cells: &[Option<Value>]| -> Option<Vec<Option<SymValue>>> {
+            let mut pattern = Vec::with_capacity(cells.len());
+            for cell in cells {
+                match cell {
+                    None => pattern.push(None),
+                    Some(v) => pattern.push(Some(interner.sym_value(v)?)),
+                }
+            }
+            Some(pattern)
+        };
         let members: Vec<ReadyMember<'_>> = group
             .members
             .iter()
             .filter_map(|m| {
-                let mut pattern = Vec::with_capacity(m.pattern.len());
-                for cell in &m.pattern {
-                    match cell {
-                        None => pattern.push(None),
-                        Some(v) => match interner.sym_value(v) {
-                            Some(sym) => pattern.push(Some(sym)),
-                            None => return None,
-                        },
-                    }
+                let pattern = sym_pattern(&m.pattern)?;
+                let covers: Vec<(usize, Vec<Option<SymValue>>)> = m
+                    .covers
+                    .iter()
+                    .filter_map(|c| Some((c.idx, sym_pattern(&c.pattern)?)))
+                    .collect();
+                if covers.is_empty() {
+                    return None;
                 }
                 Some(ReadyMember {
-                    idx: m.idx,
                     pattern,
                     rhs: m.rhs,
                     rhs_const: m.rhs_const.as_ref().map(|v| interner.sym_value(v).ok_or(v)),
+                    covers,
                 })
             })
             .collect();
@@ -427,7 +533,8 @@ impl Validator {
                     let rhs_col = tables.column(group.rel, m.rhs);
                     match &m.rhs_const {
                         Some(expected) => self.push_single_tuple_violations(
-                            m.idx,
+                            &m.covers,
+                            key,
                             expected,
                             positions.clone(),
                             rhs_col,
@@ -438,11 +545,14 @@ impl Validator {
                             let pairs = pair_cache
                                 .entry(m.rhs)
                                 .or_insert_with(|| wildcard_pairs(positions.clone(), rhs_col));
-                            out.extend(
-                                pairs.iter().map(|&(left, right)| {
-                                    (m.idx, CfdViolation::Pair { left, right })
-                                }),
-                            );
+                            for (ci, (cidx, cpat)) in m.covers.iter().enumerate() {
+                                if ci > 0 && !cover_key_matches(cpat, key) {
+                                    continue;
+                                }
+                                out.extend(pairs.iter().map(|&(left, right)| {
+                                    (*cidx, CfdViolation::Pair { left, right })
+                                }));
+                            }
                         }
                     }
                     if early_exit && !out.is_empty() {
@@ -462,18 +572,26 @@ impl Validator {
                     const_cells.iter().all(|(col, s)| col[pos] == *s)
                 });
                 let rhs_col = tables.column(group.rel, m.rhs);
-                for (_, positions) in idx.groups() {
-                    // The filter already enforced the pattern: every
-                    // surviving key-group matches this member.
+                for (key, positions) in idx.groups() {
+                    // The filter already enforced the probe pattern:
+                    // every surviving key-group matches this member
+                    // (covers past the first re-check their own extra
+                    // constants against the key at emission).
                     match &m.rhs_const {
                         Some(expected) => self.push_single_tuple_violations(
-                            m.idx, expected, positions, rhs_col, rel, &mut out,
+                            &m.covers, key, expected, positions, rhs_col, rel, &mut out,
                         ),
-                        None => out.extend(
-                            wildcard_pairs(positions, rhs_col)
-                                .into_iter()
-                                .map(|(left, right)| (m.idx, CfdViolation::Pair { left, right })),
-                        ),
+                        None => {
+                            let pairs = wildcard_pairs(positions, rhs_col);
+                            for (ci, (cidx, cpat)) in m.covers.iter().enumerate() {
+                                if ci > 0 && !cover_key_matches(cpat, key) {
+                                    continue;
+                                }
+                                out.extend(pairs.iter().map(|&(left, right)| {
+                                    (*cidx, CfdViolation::Pair { left, right })
+                                }));
+                            }
+                        }
                     }
                     if early_exit && !out.is_empty() {
                         return out;
@@ -485,11 +603,14 @@ impl Validator {
     }
 
     /// Emits `SingleTuple` violations for a constant-RHS member over one
-    /// key-group.
+    /// key-group, fanned out to every cover whose own pattern matches
+    /// the key (the representative, `covers[0]`, matches by
+    /// construction — the key-group was selected by its pattern).
     #[allow(clippy::too_many_arguments)]
     fn push_single_tuple_violations(
         &self,
-        m_idx: usize,
+        covers: &[(usize, Vec<Option<SymValue>>)],
+        key: &[SymValue],
         expected: &Result<SymValue, &Value>,
         positions: impl Iterator<Item = u32>,
         rhs_col: &[SymValue],
@@ -497,26 +618,30 @@ impl Validator {
         out: &mut Vec<(usize, CfdViolation)>,
     ) {
         let expected_sym = expected.ok();
+        let rep = covers[0].0;
         for pos in positions {
             if Some(rhs_col[pos as usize]) != expected_sym {
                 let t = rel.get(pos as usize).expect("indexed position valid");
-                let rhs = self.cfds[m_idx].rhs();
+                let rhs = self.cfds[rep].rhs();
                 let expected_value = match expected {
-                    Ok(_) => self.cfds[m_idx]
+                    Ok(_) => self.cfds[rep]
                         .rhs_pat()
                         .as_const()
                         .expect("constant RHS")
                         .clone(),
                     Err(v) => (*v).clone(),
                 };
-                out.push((
-                    m_idx,
-                    CfdViolation::SingleTuple {
-                        tuple: pos as usize,
-                        found: t[rhs].clone(),
-                        expected: expected_value,
-                    },
-                ));
+                let violation = CfdViolation::SingleTuple {
+                    tuple: pos as usize,
+                    found: t[rhs].clone(),
+                    expected: expected_value,
+                };
+                for (ci, (cidx, cpat)) in covers.iter().enumerate() {
+                    if ci > 0 && !cover_key_matches(cpat, key) {
+                        continue;
+                    }
+                    out.push((*cidx, violation.clone()));
+                }
             }
         }
     }
@@ -586,13 +711,13 @@ impl Validator {
                 key_buf.extend(x_cols.iter().map(|col| col[pos]));
                 if !idx.contains_key(&key_buf) {
                     let t1 = source.get(pos).expect("position in range");
-                    out.push((
-                        m.idx,
-                        CindViolation {
-                            tuple: pos,
-                            key: t1.project(cind.x()),
-                        },
-                    ));
+                    let violation = CindViolation {
+                        tuple: pos,
+                        key: t1.project(cind.x()),
+                    };
+                    for &c in &m.covers {
+                        out.push((c, violation.clone()));
+                    }
                     if early_exit {
                         return out;
                     }
@@ -614,6 +739,14 @@ fn wildcard_pairs(
     rhs_col: &[SymValue],
 ) -> Vec<(usize, usize)> {
     wildcard_pairs_by(positions, |pos| rhs_col[pos as usize])
+}
+
+/// Does one cover's own symbolized pattern match a key-group's key?
+pub(crate) fn cover_key_matches(pattern: &[Option<SymValue>], key: &[SymValue]) -> bool {
+    pattern
+        .iter()
+        .zip(key)
+        .all(|(p, k)| p.is_none_or(|p| p == *k))
 }
 
 /// The one definition of the first-witness pairing rule, generic over

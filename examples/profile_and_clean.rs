@@ -94,8 +94,12 @@ fn main() {
         .cfds
         .iter()
         .filter(|c| {
-            condep::cfd::implication::implies(schema, &sigma_cfds, c, None)
-                == CfdImplication::Implied
+            condep::cfd::implication::implies(
+                schema,
+                &sigma_cfds,
+                c,
+                condep::cfd::implication::ImplicationConfig::unbounded(),
+            ) == CfdImplication::Implied
         })
         .count();
     let sigma_cinds = found.cinds_normal();

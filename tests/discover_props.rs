@@ -82,7 +82,7 @@ proptest! {
         let sigma_cfds = found.cfds_normal();
         for cfd in &planted.cfds {
             prop_assert_eq!(
-                condep::cfd::implication::implies(schema, &sigma_cfds, cfd, None),
+                condep::cfd::implication::implies(schema, &sigma_cfds, cfd, condep::cfd::implication::ImplicationConfig::unbounded()),
                 condep::cfd::implication::Implication::Implied,
                 "planted CFD not implied (seed {}): {}",
                 seed,

@@ -632,10 +632,12 @@ fn stream_deltas_agree_with_batch_validation_on_random_sequences() {
                     ("a", Domain::string()),
                     ("b", Domain::string()),
                     ("c", Domain::string()),
-                    // `d` is reachable ONLY through a conditioned CIND
-                    // source role (no CFD indexes it), so tuples with
-                    // c ≠ v0 never intern their `d` cell — the batch
-                    // path's hole-tolerant rows are exercised for real.
+                    // `d` is in the key union ONLY through a conditioned
+                    // CIND source role (no CFD indexes it): every
+                    // resident tuple caches its `d` cell, but for
+                    // non-triggering tuples no index key reaches it —
+                    // compaction's cache re-rooting is exercised for
+                    // real.
                     ("d", Domain::string()),
                 ],
             )
@@ -698,7 +700,8 @@ fn stream_deltas_agree_with_batch_validation_on_random_sequences() {
         // r[a] ⊆ r[b]: self-referential within one relation.
         condep::cind::NormalCind::parse(&schema, "r", &["a"], &[], "r", &["b"], &[]).unwrap(),
         // r[d; c = v0] ⊆ s[x]: the only constraint touching `d`, and a
-        // conditioned one — non-triggering tuples leave `d` un-interned.
+        // conditioned one — a non-triggering tuple's `d` cell lives in
+        // the row cache but in no index key.
         condep::cind::NormalCind::parse(
             &schema,
             "r",
@@ -715,7 +718,7 @@ fn stream_deltas_agree_with_batch_validation_on_random_sequences() {
     let b_pool = ["b0", "b1", "a0"];
     let c_pool = ["v0", "v1"];
     // "a0" can find a target; "d7"/"d8" orphan when the condition fires
-    // and otherwise stay un-interned on non-triggering tuples.
+    // and otherwise sit in the row cache unreachable from any index key.
     let d_pool = ["a0", "d7", "d8"];
     let x_pool = ["a0", "a1", "a2", "z"];
     let y_pool = ["b0", "b1", "a0", "v0"];
@@ -909,6 +912,271 @@ fn stream_deltas_agree_with_batch_validation_on_random_sequences() {
     }
     assert!(
         mutations >= 5000,
+        "sweep too small: only {mutations} mutations checked"
+    );
+}
+
+/// ≥ 240 random mutation sequences over a **redundant** Σ — duplicate
+/// rows, subsumable rows (in both orders), and permuted-condition CIND
+/// duplicates — run through two streams in lockstep: one compiled with
+/// the exact Σ cover ([`Validator::new`]) and one without any cover pass
+/// ([`Validator::new_uncovered`]). After the seed validation and after
+/// every mutation and compaction, the two reports must be
+/// **byte-identical** in the caller's original Σ index space: the cover
+/// is an invisible compile-time optimization, never a semantic change.
+#[test]
+fn cover_compiled_stream_matches_uncovered_on_random_sequences() {
+    use condep::model::RelId;
+    use condep::validate::{Mutation, Validator, ValidatorStream};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let schema = Arc::new(
+        Schema::builder()
+            .relation(
+                "r",
+                &[
+                    ("a", Domain::string()),
+                    ("b", Domain::string()),
+                    ("c", Domain::string()),
+                ],
+            )
+            .relation("s", &[("x", Domain::string()), ("y", Domain::string())])
+            .finish(),
+    );
+    let cfd = |lhs: &[&str], pat: condep::model::PatternRow, rhs: &str, rpat: PValue| {
+        condep::cfd::NormalCfd::parse(&schema, "r", lhs, pat, rhs, rpat).unwrap()
+    };
+    // A deliberately redundant tableau, in an order that exercises every
+    // exact-tier path: a specific row *before* its general subsumer
+    // (the newcomer swallows it), a specific row *after* one (it
+    // attaches), equal-pattern duplicates (earliest index wins), a
+    // wildcard-RHS row next to a constant-RHS sibling (separate
+    // buckets), and representatives that are not at index 0.
+    let sigma_cfds = vec![
+        /* 0 */ cfd(&["a"], condep::model::prow!["a1"], "b", PValue::Any),
+        /* 1 */ cfd(&["a"], condep::model::prow![_], "b", PValue::Any),
+        /* 2 */ cfd(&["a"], condep::model::prow!["a0"], "b", PValue::Any),
+        /* 3 */ cfd(&["a"], condep::model::prow![_], "b", PValue::Any),
+        /* 4 */
+        cfd(
+            &["a"],
+            condep::model::prow!["a0"],
+            "c",
+            PValue::Const(Value::str("v0")),
+        ),
+        /* 5 */
+        cfd(
+            &["a"],
+            condep::model::prow!["a0"],
+            "c",
+            PValue::Const(Value::str("v0")),
+        ),
+        /* 6 */ cfd(&["a", "b"], condep::model::prow![_, "b0"], "c", PValue::Any),
+        /* 7 */ cfd(&["a", "b"], condep::model::prow![_, _], "c", PValue::Any),
+        /* 8 */ cfd(&[], condep::model::prow![], "c", PValue::Any),
+        /* 9 */ cfd(&["a"], condep::model::prow![_], "c", PValue::Any),
+    ];
+    let sigma_cinds = vec![
+        // r[a] ⊆ s[x], twice (payload-identical duplicate).
+        condep::cind::NormalCind::parse(&schema, "r", &["a"], &[], "s", &["x"], &[]).unwrap(),
+        condep::cind::NormalCind::parse(&schema, "r", &["a"], &[], "s", &["x"], &[]).unwrap(),
+        // r[b; c = v0, a = a0] ⊆ s[y] with the Xp pairs permuted — the
+        // same dependency up to condition ordering.
+        condep::cind::NormalCind::parse(
+            &schema,
+            "r",
+            &["b"],
+            &[("c", Value::str("v0")), ("a", Value::str("a0"))],
+            "s",
+            &["y"],
+            &[],
+        )
+        .unwrap(),
+        condep::cind::NormalCind::parse(
+            &schema,
+            "r",
+            &["b"],
+            &[("a", Value::str("a0")), ("c", Value::str("v0"))],
+            "s",
+            &["y"],
+            &[],
+        )
+        .unwrap(),
+        // s[y] ⊆ r[b]: reverse direction, not redundant.
+        condep::cind::NormalCind::parse(&schema, "s", &["y"], &[], "r", &["b"], &[]).unwrap(),
+    ];
+
+    // The cover must have actually shrunk the compiled suite — otherwise
+    // this test degenerates into comparing a validator with itself.
+    let probe = Validator::new(sigma_cfds.clone(), sigma_cinds.clone());
+    assert_eq!(
+        probe.cover_stats().cfd_merged,
+        5,
+        "{:?}",
+        probe.cover_stats()
+    );
+    assert_eq!(
+        probe.cover_stats().cind_merged,
+        2,
+        "{:?}",
+        probe.cover_stats()
+    );
+
+    let a_pool = ["a0", "a1", "a2"];
+    let b_pool = ["b0", "b1", "a0"];
+    let c_pool = ["v0", "v1"];
+    let x_pool = ["a0", "a1", "z"];
+    let y_pool = ["b0", "b1", "v0"];
+    let r = RelId(0);
+    let s = RelId(1);
+
+    // Within one delta the two compiles may emit the same violations in
+    // different orders (fan-out order vs. member order); equality is up
+    // to the canonical report order.
+    let norm = |mut d: condep::validate::SigmaDelta| {
+        d.cfd.introduced.sort_by_key(|(i, v)| (*i, v.sort_key()));
+        d.cfd.resolved.sort_by_key(|(i, v)| (*i, v.sort_key()));
+        d.cind.introduced.sort_by_key(|(i, v)| (*i, v.tuple));
+        d.cind.resolved.sort_by_key(|(i, v)| (*i, v.tuple));
+        d
+    };
+
+    let mut mutations = 0usize;
+    for seed in 0u64..240 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xc2b2_ae35));
+        let pick = |rng: &mut StdRng, pool: &[&str]| Value::str(pool[rng.gen_range(0..pool.len())]);
+        let random_tuple = |rng: &mut StdRng, rel: RelId| -> Tuple {
+            if rel == r {
+                Tuple::new(vec![
+                    pick(rng, &a_pool),
+                    pick(rng, &b_pool),
+                    pick(rng, &c_pool),
+                ])
+            } else {
+                Tuple::new(vec![pick(rng, &x_pool), pick(rng, &y_pool)])
+            }
+        };
+
+        let mut db = Database::empty(schema.clone());
+        for rel in [r, s] {
+            let n = rng.gen_range(0..8usize);
+            for _ in 0..n {
+                let t = random_tuple(&mut rng, rel);
+                db.insert(rel, t).unwrap();
+            }
+        }
+
+        // Batch equivalence on the random seed database.
+        let covered = Validator::new(sigma_cfds.clone(), sigma_cinds.clone());
+        let uncovered = Validator::new_uncovered(sigma_cfds.clone(), sigma_cinds.clone());
+        assert!(covered.compiled_cfd_members() < uncovered.compiled_cfd_members());
+        assert_eq!(
+            covered.validate_sorted(&db),
+            uncovered.validate_sorted(&db),
+            "seed {seed}: batch reports diverged on the seed database"
+        );
+
+        // Stream equivalence under a shared mutation sequence.
+        let (mut cov_stream, cov_initial) = ValidatorStream::new_validated(covered, db.clone());
+        let (mut unc_stream, unc_initial) = ValidatorStream::new_validated(uncovered, db);
+        assert_eq!(cov_initial, unc_initial, "seed {seed}: initial reports");
+
+        for step in 0..20 {
+            let roll = rng.gen_range(0..10u32);
+            if roll < 2 {
+                let n = rng.gen_range(2..6usize);
+                let mut muts = Vec::new();
+                for _ in 0..n {
+                    let rel = if rng.gen_bool(0.7) { r } else { s };
+                    let len = cov_stream.db().relation(rel).len();
+                    match rng.gen_range(0..3u32) {
+                        0 => muts.push(Mutation::Insert {
+                            rel,
+                            tuple: random_tuple(&mut rng, rel),
+                        }),
+                        1 if len > 0 => muts.push(Mutation::Delete {
+                            rel,
+                            tuple: cov_stream
+                                .db()
+                                .relation(rel)
+                                .get(rng.gen_range(0..len))
+                                .unwrap()
+                                .clone(),
+                        }),
+                        2 if len > 0 => muts.push(Mutation::Update {
+                            rel,
+                            old: cov_stream
+                                .db()
+                                .relation(rel)
+                                .get(rng.gen_range(0..len))
+                                .unwrap()
+                                .clone(),
+                            new: random_tuple(&mut rng, rel),
+                        }),
+                        _ => {}
+                    }
+                }
+                mutations += muts.len();
+                let cov_deltas = cov_stream.apply_deltas(&muts).unwrap();
+                let unc_deltas = unc_stream.apply_deltas(&muts).unwrap();
+                assert_eq!(
+                    cov_deltas.len(),
+                    unc_deltas.len(),
+                    "seed {seed} step {step}: batched delta counts diverged"
+                );
+                for (cd, ud) in cov_deltas.into_iter().zip(unc_deltas) {
+                    assert_eq!(
+                        norm(cd),
+                        norm(ud),
+                        "seed {seed} step {step}: batched deltas diverged"
+                    );
+                }
+            } else if roll < 6 {
+                let rel = if rng.gen_bool(0.7) { r } else { s };
+                let t = random_tuple(&mut rng, rel);
+                let cov_delta = cov_stream.insert_tuple(rel, t.clone()).unwrap();
+                let unc_delta = unc_stream.insert_tuple(rel, t).unwrap();
+                assert_eq!(
+                    norm(cov_delta),
+                    norm(unc_delta),
+                    "seed {seed} step {step}: insert deltas diverged"
+                );
+                mutations += 1;
+            } else {
+                let rel = if rng.gen_bool(0.7) { r } else { s };
+                let len = cov_stream.db().relation(rel).len();
+                if len == 0 {
+                    continue;
+                }
+                let t = cov_stream
+                    .db()
+                    .relation(rel)
+                    .get(rng.gen_range(0..len))
+                    .unwrap()
+                    .clone();
+                let cov_delta = cov_stream.delete_tuple(rel, &t).expect("tuple is present");
+                let unc_delta = unc_stream.delete_tuple(rel, &t).expect("tuple is present");
+                assert_eq!(
+                    norm(cov_delta),
+                    norm(unc_delta),
+                    "seed {seed} step {step}: delete deltas diverged"
+                );
+                mutations += 1;
+            }
+            if step % 7 == 3 {
+                cov_stream.compact();
+                unc_stream.compact();
+            }
+            assert_eq!(
+                cov_stream.current_report(),
+                unc_stream.current_report(),
+                "seed {seed} step {step}: covered stream diverged from uncovered"
+            );
+        }
+    }
+    assert!(
+        mutations >= 3000,
         "sweep too small: only {mutations} mutations checked"
     );
 }

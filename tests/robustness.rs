@@ -155,6 +155,7 @@ fn implication_budgets_degrade_to_unknown_never_to_wrong() {
                 ImplicationConfig {
                     max_states,
                     max_initial_assignments: max_assignments,
+                    ..ImplicationConfig::default()
                 },
             );
             assert_ne!(
