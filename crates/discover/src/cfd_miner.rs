@@ -214,6 +214,7 @@ fn emit_candidates(
             ),
             support,
             confidence,
+            interval: None,
         });
     }
 
@@ -245,6 +246,7 @@ fn emit_candidates(
             ),
             support: tally.len,
             confidence: tally.max_count as f64 / tally.len as f64,
+            interval: None,
         });
     }
 }

@@ -110,6 +110,7 @@ pub(crate) fn mine(
                         ),
                         support: src_col.len(),
                         confidence: 1.0,
+                        interval: None,
                     });
                 }
                 continue;
@@ -129,6 +130,7 @@ pub(crate) fn mine(
                     ),
                     support: src_col.len(),
                     confidence: coverage,
+                    interval: None,
                 });
             }
 
@@ -190,6 +192,7 @@ pub(crate) fn mine(
                     ),
                     support,
                     confidence: 1.0,
+                    interval: None,
                 });
             }
         }

@@ -37,6 +37,11 @@ pub struct DiscoveryConfig {
     /// once exhausted, remaining candidates are kept unchecked (sound —
     /// pruning only removes provably implied dependencies).
     pub implication_budget: usize,
+    /// When set, mining runs on a deterministic reservoir sample per
+    /// relation instead of the full instance, and a full-scan
+    /// confirmation pass re-counts the surviving keep-set — see
+    /// [`SampleConfig`]. `None` (the default) mines exactly.
+    pub sample: Option<SampleConfig>,
 }
 
 impl Default for DiscoveryConfig {
@@ -50,11 +55,21 @@ impl Default for DiscoveryConfig {
             max_cinds: 32,
             max_conditions_per_ind: 4,
             implication_budget: 2_048,
+            sample: None,
         }
     }
 }
 
 impl DiscoveryConfig {
+    /// Switches the run to **sampled** mining: mine on a reservoir
+    /// sample of at most [`SampleConfig::budget_rows`] rows per
+    /// relation, attach Hoeffding-style `(support, confidence)`
+    /// interval estimates to every candidate, and confirm the surviving
+    /// keep-set with one exact full-data scan.
+    pub fn sample(mut self, sample: SampleConfig) -> Self {
+        self.sample = Some(sample);
+        self
+    }
     /// The clamped confidence threshold (`0.0 ..= 1.0`).
     pub(crate) fn confidence_floor(&self) -> f64 {
         self.min_confidence.clamp(0.0, 1.0)
@@ -65,5 +80,68 @@ impl DiscoveryConfig {
     /// tautologies of single tuples).
     pub(crate) fn support_floor(&self) -> usize {
         self.min_support.max(2)
+    }
+}
+
+/// Budgeted sampling parameters for [`DiscoveryConfig::sample`].
+///
+/// Mining runs on a deterministic per-relation **reservoir sample**
+/// (Algorithm R, seeded): relations at or under the budget are taken
+/// whole, larger ones contribute a uniform sample of `budget_rows`
+/// positions. Candidate `(support, confidence)` figures mined from the
+/// sample become **interval estimates** with Hoeffding half-width
+/// `ε(m, δ) = sqrt(ln(2/δ) / 2m)` for a sample of `m` rows, and a
+/// full-scan confirmation pass re-counts only the surviving keep-set so
+/// the emitted dependencies carry exact figures.
+///
+/// The quoted `epsilon` is a *request*: when
+/// `budget_rows < ln(2/δ) / 2ε²` the budget is raised to the sample
+/// size that achieves the requested half-width, so the bounds recorded
+/// in [`crate::SamplingStats`] are never looser than asked for.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleConfig {
+    /// Reservoir budget: the maximum rows sampled per relation.
+    pub budget_rows: usize,
+    /// Requested Hoeffding half-width of the interval estimates.
+    pub epsilon: f64,
+    /// Failure probability of each interval (two-sided): a fraction of
+    /// at most `delta` of the quoted intervals may miss the exact value.
+    pub delta: f64,
+    /// Seed of the deterministic reservoir (per-relation streams are
+    /// derived from it, so adding a relation never reshuffles another).
+    pub seed: u64,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            budget_rows: 50_000,
+            epsilon: 0.05,
+            delta: 0.01,
+            seed: 2007,
+        }
+    }
+}
+
+impl SampleConfig {
+    /// The smallest sample size achieving the requested `(ε, δ)`:
+    /// `m ≥ ln(2/δ) / 2ε²`.
+    pub fn required_rows(&self) -> usize {
+        let eps = self.epsilon.clamp(1e-6, 1.0);
+        let delta = self.delta.clamp(1e-12, 1.0);
+        ((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as usize
+    }
+
+    /// The effective per-relation budget: the configured
+    /// [`SampleConfig::budget_rows`], raised to
+    /// [`SampleConfig::required_rows`] when the request is tighter.
+    pub fn effective_budget(&self) -> usize {
+        self.budget_rows.max(self.required_rows()).max(2)
+    }
+
+    /// The realized Hoeffding half-width for a sample of `m` rows.
+    pub fn epsilon_for(&self, m: usize) -> f64 {
+        let delta = self.delta.clamp(1e-12, 1.0);
+        ((2.0 / delta).ln() / (2.0 * m.max(1) as f64)).sqrt()
     }
 }

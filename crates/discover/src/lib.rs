@@ -64,10 +64,51 @@ use std::collections::HashMap;
 mod cfd_miner;
 mod cind_miner;
 mod config;
+mod confirm;
+pub mod online;
 mod partition;
+mod sample;
 
-pub use config::DiscoveryConfig;
+pub use config::{DiscoveryConfig, SampleConfig};
 pub use partition::StrippedPartition;
+
+/// A Hoeffding-style `(support, confidence)` interval estimate attached
+/// to a sample-mined candidate (see [`DiscoveryConfig::sample`]).
+///
+/// * **support** — for a constant row or a CIND the class/trigger
+///   fraction obeys the Hoeffding–Serfling bound for sampling without
+///   replacement, scaled back to the full row count and tightened by
+///   the deterministic facts (a sampled class member is a full class
+///   member, so the exact support is at least the sampled one). For a
+///   *variable* FD the sampled `‖π_X‖` is a provable lower bound (a
+///   sampled pair is a full pair) and the row count the trivial upper.
+/// * **confidence** — `±ε` around the sampled estimate for the
+///   cleanly-Bernoulli cases (constant-row purity, CIND coverage
+///   against an exhaustively-indexed target); the variable-FD majority
+///   fraction is not a per-row mean, so its lower bound is widened to
+///   `−2ε` (heuristic, validated by the interval-containment property
+///   suite).
+///
+/// After the confirmation pass the surviving candidate's
+/// `support`/`confidence` fields are **exact**; the interval is kept as
+/// the audit trail of the estimate that selected it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvidenceInterval {
+    /// `(lower, upper)` bounds on the exact support.
+    pub support: (usize, usize),
+    /// `(lower, upper)` bounds on the exact confidence.
+    pub confidence: (f64, f64),
+}
+
+impl EvidenceInterval {
+    /// Does the interval contain the exact figures? (Float bounds are
+    /// checked with a 1e-9 slack.)
+    pub fn contains(&self, support: usize, confidence: f64) -> bool {
+        let (slo, shi) = self.support;
+        let (clo, chi) = self.confidence;
+        support >= slo && support <= shi && confidence >= clo - 1e-9 && confidence <= chi + 1e-9
+    }
+}
 
 /// A mined CFD with its evidence.
 #[derive(Clone, Debug)]
@@ -81,6 +122,9 @@ pub struct DiscoveredCfd {
     /// Fraction of the support that satisfies the dependency (1.0 =
     /// exact on this instance).
     pub confidence: f64,
+    /// The sampled interval estimate ([`DiscoveryConfig::sample`] runs
+    /// only); `support`/`confidence` are exact post-confirmation.
+    pub interval: Option<EvidenceInterval>,
 }
 
 /// A mined CIND with its evidence.
@@ -93,10 +137,35 @@ pub struct DiscoveredCind {
     /// Fraction of the triggered tuples with a target partner (1.0 =
     /// exact on this instance).
     pub confidence: f64,
+    /// The sampled interval estimate ([`DiscoveryConfig::sample`] runs
+    /// only); `support`/`confidence` are exact post-confirmation.
+    pub interval: Option<EvidenceInterval>,
+}
+
+/// Counters of one sampled run (see [`DiscoveryConfig::sample`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SamplingStats {
+    /// Rows in the full instance.
+    pub full_rows: usize,
+    /// Rows actually mined (the union of the per-relation samples).
+    pub sampled_rows: usize,
+    /// Relations that were genuinely downsampled (the rest fit the
+    /// budget and were mined whole).
+    pub relations_downsampled: usize,
+    /// Worst realized Hoeffding half-width across downsampled relations
+    /// (0.0 when nothing was downsampled).
+    pub epsilon: f64,
+    /// The configured per-interval failure probability.
+    pub delta: f64,
+    /// Candidates the confirmation pass re-counted exactly.
+    pub confirm_checked: usize,
+    /// Candidates the confirmation pass dropped (exact figures below
+    /// the requested floors — sampling noise had let them through).
+    pub confirm_dropped: usize,
 }
 
 /// Counters describing one discovery run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct DiscoveryStats {
     /// Relations profiled.
     pub relations_profiled: usize,
@@ -125,6 +194,23 @@ pub struct DiscoveryStats {
     /// Exact implication checks spent (bounded by
     /// [`DiscoveryConfig::implication_budget`]).
     pub implication_checks: usize,
+    /// Sampling counters — `Some` iff the run was sampled.
+    pub sampling: Option<SamplingStats>,
+}
+
+/// Wall-clock phase breakdown of one [`discover`] run, in milliseconds.
+/// For an exact run everything is mining; a sampled run splits into the
+/// reservoir scan, the mining walk over the sample, and the full-data
+/// confirmation scan. Timings are *measurements*, not part of any
+/// determinism contract — compare [`DiscoveryStats`] instead.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Reservoir-sampling scan (0 for exact runs).
+    pub sample_ms: f64,
+    /// Lattice walk + CIND probing (over the sample when sampled).
+    pub mine_ms: f64,
+    /// Full-scan confirmation of the keep-set (0 for exact runs).
+    pub confirm_ms: f64,
 }
 
 /// The ranked result of one [`discover`] run.
@@ -136,6 +222,8 @@ pub struct DiscoveredSigma {
     pub cinds: Vec<DiscoveredCind>,
     /// Run counters.
     pub stats: DiscoveryStats,
+    /// Wall-clock phase breakdown.
+    pub timings: PhaseTimings,
 }
 
 impl DiscoveredSigma {
@@ -163,7 +251,195 @@ impl DiscoveredSigma {
 /// Mines a ranked Σ′ from `db`. Deterministic for a fixed
 /// `(db, config)` — every internal collection either iterates in dense
 /// order or sorts before harvesting.
+///
+/// With [`DiscoveryConfig::sample`] set the run is **budgeted**: mining
+/// walks a per-relation reservoir sample, candidates carry
+/// [`EvidenceInterval`] estimates, and one streaming full-data
+/// confirmation pass re-counts the keep-set exactly before emission.
 pub fn discover(db: &Database, config: &DiscoveryConfig) -> DiscoveredSigma {
+    match config.sample {
+        Some(sample_cfg) => discover_sampled(db, config, &sample_cfg),
+        None => discover_exact(db, config),
+    }
+}
+
+/// The budgeted path: reservoir-sample → mine the sample with scaled
+/// floors → attach interval estimates → confirm exactly → re-rank.
+fn discover_sampled(
+    db: &Database,
+    config: &DiscoveryConfig,
+    sample_cfg: &SampleConfig,
+) -> DiscoveredSigma {
+    let sample_started = std::time::Instant::now();
+    let outcome = sample::reservoir_sample(db, sample_cfg);
+    let sample_ms = sample_started.elapsed().as_secs_f64() * 1e3;
+    let full_total: usize = outcome.full_rows.iter().sum();
+    let sampled_total: usize = outcome.sampled_rows.iter().sum();
+    if !outcome.any_downsampled() {
+        // Every relation fit the budget: the exact path costs the same
+        // and needs no estimation.
+        let mut found = discover_exact(db, config);
+        found.stats.sampling = Some(SamplingStats {
+            full_rows: full_total,
+            sampled_rows: sampled_total,
+            delta: sample_cfg.delta,
+            ..SamplingStats::default()
+        });
+        found.timings.sample_ms = sample_ms;
+        return found;
+    }
+    // Worst realized half-width across the downsampled relations — the
+    // confidence-floor relaxation has to cover the loosest estimate.
+    let epsilon = outcome
+        .sampled_rows
+        .iter()
+        .zip(&outcome.downsampled)
+        .filter(|&(_, &down)| down)
+        .map(|(&m, _)| sample_cfg.epsilon_for(m))
+        .fold(0.0_f64, f64::max);
+    let fraction = sampled_total as f64 / full_total.max(1) as f64;
+    let mining = sample::sampled_mining_config(config, fraction, epsilon);
+    let mine_started = std::time::Instant::now();
+    let mut found = discover_exact(&outcome.db, &mining);
+    found.timings.sample_ms = sample_ms;
+    found.timings.mine_ms = mine_started.elapsed().as_secs_f64() * 1e3;
+    for d in &mut found.cfds {
+        let (m, n) = outcome.rows(d.cfd.rel());
+        d.interval = Some(cfd_interval(
+            d,
+            m,
+            n,
+            outcome.downsampled[d.cfd.rel().index()],
+            sample_cfg,
+        ));
+    }
+    for d in &mut found.cinds {
+        let (m, n) = outcome.rows(d.cind.lhs_rel());
+        d.interval = Some(cind_interval(
+            d,
+            m,
+            n,
+            outcome.downsampled[d.cind.lhs_rel().index()],
+            outcome.downsampled[d.cind.rhs_rel().index()],
+            sample_cfg,
+        ));
+    }
+    let confirm_started = std::time::Instant::now();
+    let confirmed = confirm::confirm(db, config, &mut found.cfds, &mut found.cinds);
+    found.timings.confirm_ms = confirm_started.elapsed().as_secs_f64() * 1e3;
+    // Exact figures may reorder the ranking the sample suggested.
+    found
+        .cfds
+        .sort_by(|a, b| rank_key(b.support, b.confidence, a.support, a.confidence));
+    found
+        .cinds
+        .sort_by(|a, b| rank_key(b.support, b.confidence, a.support, a.confidence));
+    found.stats.sampling = Some(SamplingStats {
+        full_rows: full_total,
+        sampled_rows: sampled_total,
+        relations_downsampled: outcome.downsampled.iter().filter(|&&d| d).count(),
+        epsilon,
+        delta: sample_cfg.delta,
+        confirm_checked: confirmed.checked,
+        confirm_dropped: confirmed.dropped,
+    });
+    found
+}
+
+/// The sampled→full interval of one CFD candidate: `m` sampled rows of
+/// `n` full rows in its relation.
+fn cfd_interval(
+    d: &DiscoveredCfd,
+    m: usize,
+    n: usize,
+    downsampled: bool,
+    sample_cfg: &SampleConfig,
+) -> EvidenceInterval {
+    if !downsampled {
+        return EvidenceInterval {
+            support: (d.support, d.support),
+            confidence: (d.confidence, d.confidence),
+        };
+    }
+    if d.cfd.lhs_pat().is_all_any() && !d.cfd.is_constant_rhs() {
+        // Variable row. Every sampled LHS pair is a full pair, so the
+        // sampled ‖π_X‖ bounds the exact one from below; the majority
+        // fraction is not a per-row mean, so its bound is the widened
+        // heuristic documented on [`EvidenceInterval`].
+        let eps = sample_cfg.epsilon_for(d.support.max(1));
+        EvidenceInterval {
+            support: (d.support, n),
+            confidence: (
+                (d.confidence - 2.0 * eps).max(0.0),
+                (d.confidence + eps).min(1.0),
+            ),
+        }
+    } else {
+        // Constant row: the class fraction is a clean Bernoulli mean
+        // over the m sampled rows; purity is a mean over the sampled
+        // class members.
+        let eps_rel = sample_cfg.epsilon_for(m);
+        let p = d.support as f64 / m.max(1) as f64;
+        let lower = (((p - eps_rel) * n as f64).floor().max(0.0)) as usize;
+        let upper = (((p + eps_rel) * n as f64).ceil()) as usize;
+        // Deterministic tightening: sampled class members are full class
+        // members, and sampled non-members are full non-members.
+        let det_upper = n - (m - d.support);
+        let eps_class = sample_cfg.epsilon_for(d.support.max(1));
+        EvidenceInterval {
+            support: (lower.max(d.support), upper.min(det_upper)),
+            confidence: (
+                (d.confidence - eps_class).max(0.0),
+                (d.confidence + eps_class).min(1.0),
+            ),
+        }
+    }
+}
+
+/// The sampled→full interval of one CIND candidate: `m` sampled source
+/// rows of `n` full source rows.
+fn cind_interval(
+    d: &DiscoveredCind,
+    m: usize,
+    n: usize,
+    src_downsampled: bool,
+    target_downsampled: bool,
+    sample_cfg: &SampleConfig,
+) -> EvidenceInterval {
+    let support = if src_downsampled {
+        // Trigger fraction over the sampled source rows.
+        let eps_rel = sample_cfg.epsilon_for(m);
+        let p = d.support as f64 / m.max(1) as f64;
+        let lower = (((p - eps_rel) * n as f64).floor().max(0.0)) as usize;
+        let upper = (((p + eps_rel) * n as f64).ceil()) as usize;
+        (lower.max(d.support), upper.min(n - (m - d.support)))
+    } else {
+        (d.support, d.support)
+    };
+    let eps_cov = sample_cfg.epsilon_for(d.support.max(1));
+    let confidence = if target_downsampled {
+        // The sampled target misses values the full target holds:
+        // coverage is downward-biased, so only 1.0 is a safe upper.
+        ((d.confidence - eps_cov).max(0.0), 1.0)
+    } else if src_downsampled {
+        // Exhaustive target index: each sampled trigger's hit/miss is
+        // its full-data hit/miss — a clean Bernoulli mean.
+        (
+            (d.confidence - eps_cov).max(0.0),
+            (d.confidence + eps_cov).min(1.0),
+        )
+    } else {
+        (d.confidence, d.confidence)
+    };
+    EvidenceInterval {
+        support,
+        confidence,
+    }
+}
+
+/// The exact (unsampled) mining pipeline.
+fn discover_exact(db: &Database, config: &DiscoveryConfig) -> DiscoveredSigma {
+    let mine_started = std::time::Instant::now();
     let mut stats = DiscoveryStats::default();
     let (interner, tables) = SymTables::build(db);
 
@@ -285,6 +561,10 @@ pub fn discover(db: &Database, config: &DiscoveryConfig) -> DiscoveredSigma {
         cfds: kept_cfds,
         cinds: kept_cinds,
         stats,
+        timings: PhaseTimings {
+            mine_ms: mine_started.elapsed().as_secs_f64() * 1e3,
+            ..PhaseTimings::default()
+        },
     }
 }
 

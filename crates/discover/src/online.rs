@@ -1,0 +1,741 @@
+//! Incremental (online) dependency discovery from stream mutations.
+//!
+//! [`OnlineMiner`] maintains the **level-1** evidence the batch miner
+//! derives from scratch — per-attribute-pair value sketches (the
+//! class → RHS-tally view of a stripped partition restricted to one LHS
+//! attribute) and per-column-pair inclusion miss counters — and updates
+//! them in O(arity²) per effective mutation, never rescanning the
+//! instance. [`OnlineMiner::proposals`] then replays the batch miner's
+//! emission rules over the sketches, so on any snapshot the proposal
+//! set is a **superset** of what [`crate::discover`] keeps at
+//! `max_lhs = 1` with the condition hunt disabled (the batch caps,
+//! implication pruning and cover pass only *remove* dependencies) —
+//! the property the online-vs-batch oracle test pins down.
+//!
+//! The miner works on **values**, not interned symbols: a long-lived
+//! monitor must survive interner compaction, and level-1 sketches touch
+//! each mutation's own cells only, so there is no hot re-hash loop to
+//! avoid. Feed it *effective* operations only (the workspace's
+//! instances are sets; an insert of a present tuple or a delete of an
+//! absent one must not reach [`OnlineMiner::observe_insert`] /
+//! [`OnlineMiner::observe_delete`] — `condep::report::QualityMonitor`
+//! filters on the stream's own no-op detection).
+
+use crate::{DiscoveredCfd, DiscoveredCind};
+use condep_cfd::NormalCfd;
+use condep_core::NormalCind;
+use condep_model::fxhash::FxBuildHasher;
+use condep_model::{AttrId, Database, PValue, PatternRow, RelId, Schema, Tuple, Value};
+use condep_validate::Mutation;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type ValueCounts = HashMap<Value, usize, FxBuildHasher>;
+
+/// Knobs of one [`OnlineMiner`].
+#[derive(Clone, Copy, Debug)]
+pub struct OnlineConfig {
+    /// Minimum support a proposal needs (same meaning as
+    /// [`crate::DiscoveryConfig::min_support`]).
+    pub min_support: usize,
+    /// Minimum confidence a proposal needs.
+    pub min_confidence: f64,
+    /// Confidence floor below which a previously-promoted dependency is
+    /// retired by the monitor (hysteresis: propose at
+    /// `min_confidence`, retire only when evidence decays below this).
+    pub retire_confidence: f64,
+    /// Effective mutations between monitor-driven proposal polls.
+    pub window: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            min_support: 8,
+            min_confidence: 1.0,
+            retire_confidence: 0.9,
+            window: 1_024,
+        }
+    }
+}
+
+/// Per-relation level-1 sketches.
+#[derive(Clone, Debug)]
+struct RelSketch {
+    /// Live rows.
+    rows: usize,
+    /// Per attribute: value → occurrence count.
+    cols: Vec<ValueCounts>,
+    /// Per ordered attribute pair `(x, y)`, flattened `x·arity + y`
+    /// (diagonal unused): LHS value → RHS value → count.
+    pairs: Vec<HashMap<Value, ValueCounts, FxBuildHasher>>,
+}
+
+/// One inclusion candidate `src[attr] ⊆ dst[attr]`, tracked by its
+/// miss count (source rows whose value is absent from the target
+/// column) so coverage is O(1) to read.
+#[derive(Clone, Debug)]
+struct CindPair {
+    src_rel: RelId,
+    src_attr: AttrId,
+    dst_rel: RelId,
+    dst_attr: AttrId,
+    misses: usize,
+}
+
+/// The current proposal set of one [`OnlineMiner::proposals`] poll.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineProposals {
+    /// Proposed CFDs (variable FDs and constant rows), with evidence.
+    pub cfds: Vec<DiscoveredCfd>,
+    /// Proposed (unconditioned, unary) CINDs, with evidence.
+    pub cinds: Vec<DiscoveredCind>,
+}
+
+impl OnlineProposals {
+    /// Total proposed dependencies.
+    pub fn len(&self) -> usize {
+        self.cfds.len() + self.cinds.len()
+    }
+
+    /// Nothing proposed?
+    pub fn is_empty(&self) -> bool {
+        self.cfds.is_empty() && self.cinds.is_empty()
+    }
+}
+
+/// Incremental level-1 dependency miner (see the module docs).
+#[derive(Clone, Debug)]
+pub struct OnlineMiner {
+    schema: Arc<Schema>,
+    config: OnlineConfig,
+    rels: Vec<RelSketch>,
+    cinds: Vec<CindPair>,
+    /// Pair indexes by source column — the per-mutation update walks
+    /// only the pairs the mutated cells touch.
+    src_of: HashMap<(RelId, AttrId), Vec<usize>, FxBuildHasher>,
+    /// Pair indexes by target column.
+    dst_of: HashMap<(RelId, AttrId), Vec<usize>, FxBuildHasher>,
+    /// Pair index by full column pair (retirement lookups).
+    pair_of: HashMap<(RelId, AttrId, RelId, AttrId), usize, FxBuildHasher>,
+    ops: u64,
+}
+
+impl OnlineMiner {
+    /// An empty miner over `schema`; [`OnlineMiner::seed`] it with the
+    /// current snapshot before streaming mutations.
+    pub fn new(schema: Arc<Schema>, config: OnlineConfig) -> Self {
+        let rels = schema
+            .iter()
+            .map(|(_, rs)| {
+                let arity = rs.arity();
+                RelSketch {
+                    rows: 0,
+                    cols: (0..arity).map(|_| ValueCounts::default()).collect(),
+                    pairs: (0..arity * arity).map(|_| HashMap::default()).collect(),
+                }
+            })
+            .collect();
+        // The same candidate column pairs the batch CIND miner probes:
+        // distinct columns of matching base type.
+        let columns: Vec<(RelId, AttrId)> = schema
+            .iter()
+            .flat_map(|(rel, rs)| (0..rs.arity()).map(move |a| (rel, AttrId(a as u32))))
+            .collect();
+        let mut cinds = Vec::new();
+        let mut src_of: HashMap<(RelId, AttrId), Vec<usize>, FxBuildHasher> = HashMap::default();
+        let mut dst_of: HashMap<(RelId, AttrId), Vec<usize>, FxBuildHasher> = HashMap::default();
+        let mut pair_of = HashMap::default();
+        for &(src_rel, src_attr) in &columns {
+            for &(dst_rel, dst_attr) in &columns {
+                if (src_rel, src_attr) == (dst_rel, dst_attr)
+                    || base_type(&schema, src_rel, src_attr)
+                        != base_type(&schema, dst_rel, dst_attr)
+                {
+                    continue;
+                }
+                let i = cinds.len();
+                cinds.push(CindPair {
+                    src_rel,
+                    src_attr,
+                    dst_rel,
+                    dst_attr,
+                    misses: 0,
+                });
+                src_of.entry((src_rel, src_attr)).or_default().push(i);
+                dst_of.entry((dst_rel, dst_attr)).or_default().push(i);
+                pair_of.insert((src_rel, src_attr, dst_rel, dst_attr), i);
+            }
+        }
+        OnlineMiner {
+            schema,
+            config,
+            rels,
+            cinds,
+            src_of,
+            dst_of,
+            pair_of,
+            ops: 0,
+        }
+    }
+
+    /// The miner's configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Effective mutations observed since the seed.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Absorbs a full snapshot (each tuple once — instances are sets).
+    /// Resets the [`OnlineMiner::ops`] counter: seeding is not stream
+    /// traffic.
+    pub fn seed(&mut self, db: &Database) {
+        for (rel, relation) in db.iter() {
+            for t in relation.iter() {
+                self.observe_insert(rel, t);
+            }
+        }
+        self.ops = 0;
+    }
+
+    /// Routes one *effective* mutation to the sketch updates. An
+    /// `Update` is a delete of `old` plus an insert of `new`; when the
+    /// update degenerated to a pure deletion (`new` already present),
+    /// feed [`OnlineMiner::observe_delete`] directly instead.
+    pub fn observe(&mut self, mutation: &Mutation) {
+        match mutation {
+            Mutation::Insert { rel, tuple } => self.observe_insert(*rel, tuple),
+            Mutation::Delete { rel, tuple } => self.observe_delete(*rel, tuple),
+            Mutation::Update { rel, old, new } => {
+                self.observe_delete(*rel, old);
+                self.observe_insert(*rel, new);
+            }
+        }
+    }
+
+    /// Absorbs one effective insert of `t` into `rel`.
+    pub fn observe_insert(&mut self, rel: RelId, t: &Tuple) {
+        self.ops += 1;
+        // Target transitions (0 → 1) first, against pre-insert source
+        // counts: exactly the rows that were missing stop missing. The
+        // inserted tuple's own source cells are not yet counted, which
+        // is right — they never missed.
+        for (a, v) in t.values().iter().enumerate() {
+            let attr = AttrId(a as u32);
+            if self.rels[rel.index()].cols[a].contains_key(v) {
+                continue;
+            }
+            if let Some(pairs) = self.dst_of.get(&(rel, attr)) {
+                for &i in pairs {
+                    let pair = &self.cinds[i];
+                    let n = self.rels[pair.src_rel.index()].cols[pair.src_attr.index()]
+                        .get(v)
+                        .copied()
+                        .unwrap_or(0);
+                    self.cinds[i].misses -= n;
+                }
+            }
+        }
+        // Commit the row into the column and pair sketches.
+        {
+            let sketch = &mut self.rels[rel.index()];
+            let arity = sketch.cols.len();
+            sketch.rows += 1;
+            for (a, v) in t.values().iter().enumerate() {
+                *sketch.cols[a].entry(v.clone()).or_insert(0) += 1;
+            }
+            for x in 0..arity {
+                for y in 0..arity {
+                    if x == y {
+                        continue;
+                    }
+                    let class = sketch.pairs[x * arity + y]
+                        .entry(t.values()[x].clone())
+                        .or_default();
+                    *class.entry(t.values()[y].clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        // New source cells, against post-insert target counts (a tuple
+        // providing both sides of a pair counts itself as covered).
+        for (a, v) in t.values().iter().enumerate() {
+            let attr = AttrId(a as u32);
+            if let Some(pairs) = self.src_of.get(&(rel, attr)) {
+                for &i in pairs {
+                    let pair = &self.cinds[i];
+                    let present =
+                        self.rels[pair.dst_rel.index()].cols[pair.dst_attr.index()].contains_key(v);
+                    if !present {
+                        self.cinds[i].misses += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Absorbs one effective delete of `t` from `rel`.
+    pub fn observe_delete(&mut self, rel: RelId, t: &Tuple) {
+        self.ops += 1;
+        // Departing source cells first, against pre-delete target
+        // counts: each was missing iff its value was absent then.
+        for (a, v) in t.values().iter().enumerate() {
+            let attr = AttrId(a as u32);
+            if let Some(pairs) = self.src_of.get(&(rel, attr)) {
+                for &i in pairs {
+                    let pair = &self.cinds[i];
+                    let present =
+                        self.rels[pair.dst_rel.index()].cols[pair.dst_attr.index()].contains_key(v);
+                    if !present {
+                        self.cinds[i].misses -= 1;
+                    }
+                }
+            }
+        }
+        // Retract the row from the column and pair sketches.
+        {
+            let sketch = &mut self.rels[rel.index()];
+            let arity = sketch.cols.len();
+            sketch.rows -= 1;
+            for (a, v) in t.values().iter().enumerate() {
+                let count = sketch.cols[a].get_mut(v).expect("delete of a counted cell");
+                *count -= 1;
+                if *count == 0 {
+                    sketch.cols[a].remove(v);
+                }
+            }
+            for x in 0..arity {
+                for y in 0..arity {
+                    if x == y {
+                        continue;
+                    }
+                    let map = &mut sketch.pairs[x * arity + y];
+                    let class = map.get_mut(&t.values()[x]).expect("counted class");
+                    let count = class.get_mut(&t.values()[y]).expect("counted RHS value");
+                    *count -= 1;
+                    if *count == 0 {
+                        class.remove(&t.values()[y]);
+                    }
+                    if class.is_empty() {
+                        map.remove(&t.values()[x]);
+                    }
+                }
+            }
+        }
+        // Target transitions (1 → 0), against post-delete source
+        // counts: every remaining source row with the vanished value
+        // starts missing.
+        for (a, v) in t.values().iter().enumerate() {
+            let attr = AttrId(a as u32);
+            if self.rels[rel.index()].cols[a].contains_key(v) {
+                continue;
+            }
+            if let Some(pairs) = self.dst_of.get(&(rel, attr)) {
+                for &i in pairs {
+                    let pair = &self.cinds[i];
+                    let n = self.rels[pair.src_rel.index()].cols[pair.src_attr.index()]
+                        .get(v)
+                        .copied()
+                        .unwrap_or(0);
+                    self.cinds[i].misses += n;
+                }
+            }
+        }
+    }
+
+    /// The dependencies the current sketches support at the configured
+    /// floors, with evidence. Deterministic for a fixed tuple set:
+    /// relations and attribute pairs stream in dense order, classes in
+    /// value order.
+    pub fn proposals(&self) -> OnlineProposals {
+        let mut out = OnlineProposals::default();
+        let floor_c = self.config.min_confidence.clamp(0.0, 1.0);
+        let floor_s = self.config.min_support.max(2);
+        for (rel, rs) in self.schema.iter() {
+            let sketch = &self.rels[rel.index()];
+            if sketch.rows == 0 {
+                continue;
+            }
+            let arity = rs.arity();
+            for x in 0..arity {
+                for y in 0..arity {
+                    if x == y {
+                        continue;
+                    }
+                    let map = &sketch.pairs[x * arity + y];
+                    let mut classes: Vec<(&Value, &ValueCounts)> = map.iter().collect();
+                    classes.sort_by(|a, b| a.0.cmp(b.0));
+                    let mut support = 0usize;
+                    let mut kept = 0usize;
+                    let mut constants: Vec<DiscoveredCfd> = Vec::new();
+                    for (xv, tally) in classes {
+                        let len: usize = tally.values().sum();
+                        let (maj_v, maj_c) = majority(tally);
+                        if len >= 2 {
+                            // The stripped-partition view: singleton
+                            // classes support nothing.
+                            support += len;
+                            kept += maj_c;
+                        }
+                        let confidence = maj_c as f64 / len as f64;
+                        if len >= floor_s && confidence >= floor_c {
+                            let cfd = NormalCfd::new(
+                                rel,
+                                vec![AttrId(x as u32)],
+                                PatternRow::new(vec![PValue::Const(xv.clone())]),
+                                AttrId(y as u32),
+                                PValue::Const(maj_v.clone()),
+                            );
+                            if !cfd.is_trivial() {
+                                constants.push(DiscoveredCfd {
+                                    cfd,
+                                    support: len,
+                                    confidence,
+                                    interval: None,
+                                });
+                            }
+                        }
+                    }
+                    if support >= floor_s {
+                        let confidence = kept as f64 / support as f64;
+                        if confidence >= floor_c {
+                            let cfd = NormalCfd::new(
+                                rel,
+                                vec![AttrId(x as u32)],
+                                PatternRow::all_any(1),
+                                AttrId(y as u32),
+                                PValue::Any,
+                            );
+                            if !cfd.is_trivial() {
+                                out.cfds.push(DiscoveredCfd {
+                                    cfd,
+                                    support,
+                                    confidence,
+                                    interval: None,
+                                });
+                            }
+                        }
+                    }
+                    out.cfds.append(&mut constants);
+                }
+            }
+        }
+        for pair in &self.cinds {
+            let rows = self.rels[pair.src_rel.index()].rows;
+            if rows < floor_s || self.rels[pair.dst_rel.index()].rows == 0 {
+                continue;
+            }
+            let confidence = (rows - pair.misses) as f64 / rows as f64;
+            if confidence < floor_c {
+                continue;
+            }
+            let cind = NormalCind::new(
+                pair.src_rel,
+                pair.dst_rel,
+                vec![pair.src_attr],
+                vec![pair.dst_attr],
+                Vec::new(),
+                Vec::new(),
+            );
+            if !cind.is_trivial() {
+                out.cinds.push(DiscoveredCind {
+                    cind,
+                    support: rows,
+                    confidence,
+                    interval: None,
+                });
+            }
+        }
+        out
+    }
+
+    /// Current `(support, confidence)` of a level-1 CFD — the
+    /// retirement probe. `None` when the shape is outside the online
+    /// fragment (multi-attribute LHS, mixed pattern); support 0 reads
+    /// as vacuously satisfied.
+    pub fn confidence_of_cfd(&self, cfd: &NormalCfd) -> Option<(usize, f64)> {
+        if cfd.lhs().len() != 1 || cfd.rel().index() >= self.rels.len() {
+            return None;
+        }
+        let (x, y) = (cfd.lhs()[0], cfd.rhs());
+        if x == y {
+            return None;
+        }
+        let arity = self.schema.relation(cfd.rel()).ok()?.arity();
+        if x.index() >= arity || y.index() >= arity {
+            return None;
+        }
+        let map = &self.rels[cfd.rel().index()].pairs[x.index() * arity + y.index()];
+        if cfd.lhs_pat().is_all_any() && !cfd.is_constant_rhs() {
+            let mut support = 0usize;
+            let mut kept = 0usize;
+            for tally in map.values() {
+                let len: usize = tally.values().sum();
+                if len < 2 {
+                    continue;
+                }
+                support += len;
+                kept += majority(tally).1;
+            }
+            if support == 0 {
+                return Some((0, 1.0));
+            }
+            return Some((support, kept as f64 / support as f64));
+        }
+        let xv = match cfd.lhs_pat().cell(0) {
+            PValue::Const(v) => v,
+            PValue::Any => return None,
+        };
+        let yv = match cfd.rhs_pat() {
+            PValue::Const(v) => v,
+            PValue::Any => return None,
+        };
+        match map.get(xv) {
+            None => Some((0, 1.0)),
+            Some(tally) => {
+                let len: usize = tally.values().sum();
+                let agree = tally.get(yv).copied().unwrap_or(0);
+                Some((len, agree as f64 / len as f64))
+            }
+        }
+    }
+
+    /// Current `(support, confidence)` of an unconditioned unary CIND —
+    /// the retirement probe. `None` outside the online fragment.
+    pub fn confidence_of_cind(&self, cind: &NormalCind) -> Option<(usize, f64)> {
+        if cind.x().len() != 1 || !cind.xp().is_empty() || !cind.yp().is_empty() {
+            return None;
+        }
+        let i = *self
+            .pair_of
+            .get(&(cind.lhs_rel(), cind.x()[0], cind.rhs_rel(), cind.y()[0]))?;
+        let rows = self.rels[cind.lhs_rel().index()].rows;
+        if rows == 0 {
+            return Some((0, 1.0));
+        }
+        Some((rows, (rows - self.cinds[i].misses) as f64 / rows as f64))
+    }
+}
+
+/// `(value, count)` of the majority RHS value; count ties break toward
+/// the smallest value (the batch miner breaks toward the smallest
+/// interned symbol — identical on sorted-insert data, close enough for
+/// ranking everywhere else).
+fn majority(tally: &ValueCounts) -> (&Value, usize) {
+    tally
+        .iter()
+        .map(|(v, &c)| (v, c))
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))
+        .expect("classes are non-empty")
+}
+
+fn base_type(schema: &Schema, rel: RelId, attr: AttrId) -> condep_model::BaseType {
+    schema
+        .relation(rel)
+        .expect("relation in range")
+        .attribute(attr)
+        .expect("attribute in range")
+        .domain()
+        .base_type()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use condep_model::{tuple, Domain};
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .relation(
+                    "fact",
+                    &[
+                        ("city", Domain::string()),
+                        ("country", Domain::string()),
+                        ("zip", Domain::string()),
+                    ],
+                )
+                .relation("cities", &[("name", Domain::string())])
+                .finish(),
+        )
+    }
+
+    fn city_db() -> Database {
+        let mut db = Database::empty(schema());
+        let rows = [
+            ("EDI", "UK"),
+            ("EDI", "UK"),
+            ("EDI", "UK"),
+            ("NYC", "US"),
+            ("NYC", "US"),
+            ("NYC", "US"),
+            ("GLA", "UK"),
+            ("GLA", "UK"),
+        ];
+        for (i, (city, country)) in rows.iter().enumerate() {
+            db.insert_into("fact", tuple![*city, *country, format!("z{i}").as_str()])
+                .unwrap();
+        }
+        for city in ["EDI", "NYC", "GLA"] {
+            db.insert_into("cities", tuple![city]).unwrap();
+        }
+        db
+    }
+
+    fn config(min_support: usize) -> OnlineConfig {
+        OnlineConfig {
+            min_support,
+            ..OnlineConfig::default()
+        }
+    }
+
+    #[test]
+    fn seeded_proposals_cover_the_planted_dependencies() {
+        let db = city_db();
+        let mut miner = OnlineMiner::new(db.schema().clone(), config(2));
+        miner.seed(&db);
+        let props = miner.proposals();
+        let schema = db.schema();
+        let fact = schema.rel_id("fact").unwrap();
+        let cities = schema.rel_id("cities").unwrap();
+        let rs = schema.relation(fact).unwrap();
+        let (city, country) = (rs.attr_id("city").unwrap(), rs.attr_id("country").unwrap());
+        let fd = props
+            .cfds
+            .iter()
+            .find(|d| {
+                d.cfd.rel() == fact
+                    && d.cfd.lhs() == [city]
+                    && d.cfd.rhs() == country
+                    && d.cfd.lhs_pat().is_all_any()
+            })
+            .expect("city → country proposed");
+        assert_eq!(fd.support, 8);
+        assert_eq!(fd.confidence, 1.0);
+        assert!(props
+            .cfds
+            .iter()
+            .any(|d| d.cfd.lhs_pat().cell(0) == &PValue::constant("EDI")
+                && d.cfd.rhs_pat() == &PValue::constant("UK")
+                && d.support == 3));
+        assert!(props.cinds.iter().any(|d| d.cind.lhs_rel() == fact
+            && d.cind.rhs_rel() == cities
+            && d.confidence == 1.0));
+        // Soundness of exact proposals on the snapshot.
+        for d in &props.cfds {
+            assert!(condep_cfd::satisfy::satisfies_normal(&db, &d.cfd));
+        }
+        for d in &props.cinds {
+            assert!(condep_core::satisfy::satisfies_normal(&db, &d.cind));
+        }
+    }
+
+    /// The sketches are a pure function of the live tuple set: any
+    /// insert/delete path reaching a set must equal seeding that set.
+    #[test]
+    fn incremental_path_equals_reseeding() {
+        let db = city_db();
+        let fact = db.schema().rel_id("fact").unwrap();
+        let mut streamed = OnlineMiner::new(db.schema().clone(), config(2));
+        streamed.seed(&db);
+        // Churn: orphan city arrives (breaks the CIND), is updated to a
+        // known city, then a fresh EDI row lands.
+        streamed.observe(&Mutation::Insert {
+            rel: fact,
+            tuple: tuple!["ABD", "UK", "z8"],
+        });
+        streamed.observe(&Mutation::Update {
+            rel: fact,
+            old: tuple!["ABD", "UK", "z8"],
+            new: tuple!["GLA", "UK", "z8"],
+        });
+        streamed.observe(&Mutation::Insert {
+            rel: fact,
+            tuple: tuple!["EDI", "UK", "z9"],
+        });
+        streamed.observe(&Mutation::Delete {
+            rel: fact,
+            tuple: tuple!["GLA", "UK", "z6"],
+        });
+        assert_eq!(streamed.ops(), 5, "update counts as delete + insert");
+
+        let mut end_state = city_db();
+        end_state
+            .insert_into("fact", tuple!["GLA", "UK", "z8"])
+            .unwrap();
+        end_state
+            .insert_into("fact", tuple!["EDI", "UK", "z9"])
+            .unwrap();
+        end_state
+            .remove(fact, &tuple!["GLA", "UK", "z6"])
+            .expect("the churned-out tuple is present");
+        let mut reseeded = OnlineMiner::new(end_state.schema().clone(), config(2));
+        reseeded.seed(&end_state);
+
+        let a = streamed.proposals();
+        let b = reseeded.proposals();
+        assert_eq!(a.cfds.len(), b.cfds.len());
+        assert_eq!(a.cinds.len(), b.cinds.len());
+        for (x, y) in a.cfds.iter().zip(&b.cfds) {
+            assert_eq!(x.cfd, y.cfd);
+            assert_eq!(x.support, y.support);
+            assert_eq!(x.confidence, y.confidence);
+        }
+        for (x, y) in a.cinds.iter().zip(&b.cinds) {
+            assert_eq!(x.cind, y.cind);
+            assert_eq!((x.support, x.confidence), (y.support, y.confidence));
+        }
+    }
+
+    #[test]
+    fn confidence_decays_and_recovers_through_the_probe() {
+        let db = city_db();
+        let fact = db.schema().rel_id("fact").unwrap();
+        let rs = db.schema().relation(fact).unwrap();
+        let fd = NormalCfd::new(
+            fact,
+            vec![rs.attr_id("city").unwrap()],
+            PatternRow::all_any(1),
+            rs.attr_id("country").unwrap(),
+            PValue::Any,
+        );
+        let mut miner = OnlineMiner::new(db.schema().clone(), config(2));
+        miner.seed(&db);
+        assert_eq!(miner.confidence_of_cfd(&fd), Some((8, 1.0)));
+        // A dissenting country for EDI drops confidence below 1.
+        let dissent = tuple!["EDI", "FR", "z9"];
+        miner.observe_insert(fact, &dissent);
+        let (support, confidence) = miner.confidence_of_cfd(&fd).unwrap();
+        assert_eq!(support, 9);
+        assert!((confidence - 8.0 / 9.0).abs() < 1e-9);
+        miner.observe_delete(fact, &dissent);
+        assert_eq!(miner.confidence_of_cfd(&fd), Some((8, 1.0)));
+        // CIND probe: an orphan city breaks coverage.
+        let cities = db.schema().rel_id("cities").unwrap();
+        let ind = NormalCind::new(
+            fact,
+            cities,
+            vec![rs.attr_id("city").unwrap()],
+            vec![AttrId(0)],
+            Vec::new(),
+            Vec::new(),
+        );
+        assert_eq!(miner.confidence_of_cind(&ind), Some((8, 1.0)));
+        miner.observe_insert(fact, &tuple!["ABD", "UK", "z9"]);
+        let (support, confidence) = miner.confidence_of_cind(&ind).unwrap();
+        assert_eq!(support, 9);
+        assert!((confidence - 8.0 / 9.0).abs() < 1e-9);
+        // Outside the online fragment: conditioned CINDs read None.
+        let conditioned = NormalCind::new(
+            fact,
+            cities,
+            vec![rs.attr_id("city").unwrap()],
+            vec![AttrId(0)],
+            vec![(rs.attr_id("country").unwrap(), Value::str("UK"))],
+            Vec::new(),
+        );
+        assert_eq!(miner.confidence_of_cind(&conditioned), None);
+    }
+}

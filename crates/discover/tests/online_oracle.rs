@@ -1,0 +1,128 @@
+//! The online-vs-batch **oracle**: after any number of delta windows,
+//! [`OnlineMiner::proposals`] on the final sketch state is a
+//! **superset** of what batch [`discover`] keeps on the same snapshot
+//! at the same floors within the online fragment (`max_lhs = 1`, no
+//! CIND conditions) — the batch caps, implication pruning and cover
+//! pass only *remove* dependencies, never add.
+
+use condep_discover::online::{OnlineConfig, OnlineMiner};
+use condep_discover::{discover, DiscoveryConfig};
+use condep_gen::{clean_database_with_hidden_sigma, PlantedSigmaConfig};
+use condep_model::Database;
+use condep_validate::Mutation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn online_proposals_superset_batch_discovery_on_the_same_snapshot() {
+    // A drifting pair makes the streamed suffix *break* dependencies
+    // the seeded prefix satisfied — the oracle must hold through decay,
+    // not just growth.
+    let planted = clean_database_with_hidden_sigma(
+        &PlantedSigmaConfig {
+            fd_pairs: 3,
+            pair_cardinality: 6,
+            constant_rows_per_pair: 3,
+            cind_count: 2,
+            tuples: 2_000,
+            drift_pairs: 1,
+            drift_onset: 0.5,
+        },
+        &mut StdRng::seed_from_u64(99),
+    );
+    let schema = planted.db.schema();
+    let fact = schema.rel_id("fact").unwrap();
+
+    // Seed on the clean prefix (full dimension tables, half the fact
+    // rows), then stream the drifted suffix as mutation windows with
+    // some churn mixed in.
+    let mut prefix = Database::empty(schema.clone());
+    for (rel, inst) in planted.db.iter() {
+        let take = if rel == fact {
+            planted.drift_onset_row
+        } else {
+            inst.len()
+        };
+        for t in inst.iter().take(take) {
+            prefix.insert(rel, t.clone()).unwrap();
+        }
+    }
+    let mut miner = OnlineMiner::new(
+        schema.clone(),
+        OnlineConfig {
+            min_support: 4,
+            min_confidence: 1.0,
+            ..OnlineConfig::default()
+        },
+    );
+    miner.seed(&prefix);
+
+    let suffix: Vec<_> = planted
+        .db
+        .relation(fact)
+        .iter()
+        .skip(planted.drift_onset_row)
+        .cloned()
+        .collect();
+    for (i, t) in suffix.iter().enumerate() {
+        miner.observe(&Mutation::Insert {
+            rel: fact,
+            tuple: t.clone(),
+        });
+        // Churn every 64th arrival: bounce a resident tuple out and
+        // back in. Net zero on the snapshot, but the sketches must
+        // round-trip it.
+        if i % 64 == 0 {
+            miner.observe(&Mutation::Delete {
+                rel: fact,
+                tuple: t.clone(),
+            });
+            miner.observe(&Mutation::Insert {
+                rel: fact,
+                tuple: t.clone(),
+            });
+        }
+    }
+
+    // Batch-mine the identical snapshot, restricted to the online
+    // fragment at the same floors.
+    let batch = discover(
+        &planted.db,
+        &DiscoveryConfig {
+            max_lhs: 1,
+            max_conditions_per_ind: 0,
+            min_support: 4,
+            min_confidence: 1.0,
+            ..DiscoveryConfig::default()
+        },
+    );
+    assert!(
+        !batch.is_empty(),
+        "the stable pairs must survive batch discovery"
+    );
+
+    let props = miner.proposals();
+    for d in &batch.cfds {
+        assert!(
+            props.cfds.iter().any(|p| p.cfd == d.cfd),
+            "batch keep missing from the online proposals: {}",
+            d.cfd.display(schema)
+        );
+    }
+    for d in &batch.cinds {
+        assert!(
+            props.cinds.iter().any(|p| p.cind == d.cind),
+            "batch keep missing from the online proposals: {}",
+            d.cind.display(schema)
+        );
+    }
+
+    // And the proposals carry honest evidence: on this snapshot every
+    // exact-confidence proposal is genuinely satisfied.
+    for p in props.cfds.iter().filter(|p| p.confidence >= 1.0) {
+        assert!(condep_cfd::satisfy::satisfies_normal(&planted.db, &p.cfd));
+    }
+    for p in props.cinds.iter().filter(|p| p.confidence >= 1.0) {
+        assert!(condep_core::satisfy::satisfies_normal(&planted.db, &p.cind));
+    }
+}

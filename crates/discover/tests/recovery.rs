@@ -17,6 +17,7 @@ fn recovered_sigma_implies_the_planted_one() {
         constant_rows_per_pair: 3,
         cind_count: 2,
         tuples: 1_500,
+        ..PlantedSigmaConfig::default()
     };
     let planted = clean_database_with_hidden_sigma(&cfg, &mut StdRng::seed_from_u64(4242));
     let found = discover(&planted.db, &DiscoveryConfig::default());

@@ -146,8 +146,19 @@ pub struct PlantedSigmaConfig {
     /// `fact[k{p}] ⊆ dim{p}[v]` (`≤ fd_pairs`).
     pub cind_count: usize,
     /// `fact` rows to generate (each row gets a unique serial id, so the
-    /// set instance really holds this many tuples).
+    /// set instance really holds this many tuples) — the scale knob the
+    /// 100K/1M/10M sampled-discovery workloads turn.
     pub tuples: usize,
+    /// The **last** `drift_pairs` column pairs *drift*: from row
+    /// `tuples · drift_onset` on, their `d{p}` cell is drawn
+    /// independently of `k{p}`, so the pair's planted dependencies are
+    /// exact on the pre-onset prefix and decay over the suffix — the
+    /// confidence-decay ground truth. `0` (the default) plants no
+    /// drift.
+    pub drift_pairs: usize,
+    /// Fraction of the instance generated before drift sets in
+    /// (ignored when `drift_pairs == 0`).
+    pub drift_onset: f64,
 }
 
 impl Default for PlantedSigmaConfig {
@@ -158,6 +169,8 @@ impl Default for PlantedSigmaConfig {
             constant_rows_per_pair: 4,
             cind_count: 2,
             tuples: 10_000,
+            drift_pairs: 0,
+            drift_onset: 0.5,
         }
     }
 }
@@ -168,11 +181,24 @@ impl Default for PlantedSigmaConfig {
 pub struct PlantedDatabase {
     /// The clean instance (satisfies every planted dependency).
     pub db: Database,
-    /// The planted CFDs: one variable FD per pair plus the constant
-    /// tableau rows.
+    /// The planted CFDs of the **stable** pairs: one variable FD per
+    /// pair plus the constant tableau rows. These hold on the whole
+    /// instance.
     pub cfds: Vec<NormalCfd>,
-    /// The planted CINDs: one exact inclusion per `dim` relation.
+    /// The planted CINDs: one exact inclusion per `dim` relation (drift
+    /// never touches the `k{p}` columns, so these hold on the whole
+    /// instance too).
     pub cinds: Vec<NormalCind>,
+    /// The planted CFDs of the **drifting** pairs: exact on the rows
+    /// before [`PlantedDatabase::drift_onset_row`], broken after —
+    /// stream the suffix into an online miner and watch their
+    /// confidence decay. Empty without drift.
+    pub drifted_cfds: Vec<NormalCfd>,
+    /// First row index the drift applies to (`tuples` when no drift —
+    /// i.e. the clean prefix is the whole instance). Rows keep their
+    /// generation order as dense positions, so slicing the `fact`
+    /// relation at this row splits clean prefix from drifted suffix.
+    pub drift_onset_row: usize,
 }
 
 /// Builds a clean database around a **hidden planted Σ** with enough
@@ -190,6 +216,14 @@ pub struct PlantedDatabase {
 /// member of it (asserted via the exact implication checkers in the
 /// discovery property suite and `benches/discover.rs`).
 ///
+/// With `drift_pairs > 0` the last pairs **drift**: past
+/// `tuples · drift_onset` their dependent cell decouples from the key,
+/// so their planted dependencies (returned separately in
+/// [`PlantedDatabase::drifted_cfds`]) are exact on the prefix and decay
+/// over the suffix — ground truth for confidence-decay and
+/// online-retirement tests. [`PlantedDatabase::cfds`] /
+/// [`PlantedDatabase::cinds`] always hold on the whole instance.
+///
 /// Deterministic for a fixed `(cfg, seed)`. The first
 /// `pair_cardinality` rows cycle every class deterministically, so each
 /// planted constant row is guaranteed to have support.
@@ -204,6 +238,25 @@ pub fn clean_database_with_hidden_sigma<R: Rng>(
         "cannot plant more constant rows than classes"
     );
     assert!(cfg.cind_count <= cfg.fd_pairs, "one dim per pair at most");
+    assert!(
+        cfg.drift_pairs <= cfg.fd_pairs,
+        "can only drift planted pairs"
+    );
+    if cfg.drift_pairs > 0 {
+        assert!(
+            (0.0..=1.0).contains(&cfg.drift_onset),
+            "drift_onset is a fraction of the instance"
+        );
+    }
+    let first_drifting_pair = cfg.fd_pairs - cfg.drift_pairs;
+    let drift_onset_row = if cfg.drift_pairs > 0 {
+        // Never drift inside the deterministic class-seeding prefix:
+        // every class (and so every planted constant row) must witness
+        // its lock at least once.
+        ((cfg.tuples as f64 * cfg.drift_onset) as usize).max(cfg.pair_cardinality)
+    } else {
+        cfg.tuples
+    };
 
     let mut builder = Schema::builder();
     let mut fact_cols: Vec<(String, condep_model::Domain)> =
@@ -237,7 +290,14 @@ pub fn clean_database_with_hidden_sigma<R: Rng>(
                 rng.gen_range(0..cfg.pair_cardinality)
             };
             values.push(Value::str(format!("k{p}_{h}")));
-            values.push(Value::str(format!("d{p}_{h}")));
+            // A drifting pair breaks its value lock past the onset: the
+            // dependent cell is drawn independently of the key.
+            let g = if p >= first_drifting_pair && i >= drift_onset_row {
+                rng.gen_range(0..cfg.pair_cardinality)
+            } else {
+                h
+            };
+            values.push(Value::str(format!("d{p}_{g}")));
         }
         db.insert(fact, Tuple::new(values)).expect("well-typed");
     }
@@ -250,10 +310,16 @@ pub fn clean_database_with_hidden_sigma<R: Rng>(
     }
 
     let mut cfds = Vec::new();
+    let mut drifted_cfds = Vec::new();
     for p in 0..cfg.fd_pairs {
         let k = fact_rs.attr_id(&format!("k{p}")).expect("declared");
         let d = fact_rs.attr_id(&format!("d{p}")).expect("declared");
-        cfds.push(NormalCfd::new(
+        let out = if p >= first_drifting_pair {
+            &mut drifted_cfds
+        } else {
+            &mut cfds
+        };
+        out.push(NormalCfd::new(
             fact,
             vec![k],
             condep_model::PatternRow::all_any(1),
@@ -261,7 +327,7 @@ pub fn clean_database_with_hidden_sigma<R: Rng>(
             condep_model::PValue::Any,
         ));
         for h in 0..cfg.constant_rows_per_pair {
-            cfds.push(NormalCfd::new(
+            out.push(NormalCfd::new(
                 fact,
                 vec![k],
                 condep_model::PatternRow::new(vec![condep_model::PValue::constant(format!(
@@ -292,7 +358,13 @@ pub fn clean_database_with_hidden_sigma<R: Rng>(
     }
     debug_assert!(condep_cfd::satisfy::satisfies_all(&db, &cfds));
     debug_assert!(condep_core::satisfy::satisfies_all(&db, &cinds));
-    PlantedDatabase { db, cfds, cinds }
+    PlantedDatabase {
+        db,
+        cfds,
+        cinds,
+        drifted_cfds,
+        drift_onset_row,
+    }
 }
 
 /// One error [`dirtied_database`] injected, with the **dirty** tuple
@@ -844,6 +916,60 @@ mod tests {
                 .count();
             assert!(hits >= 2, "planted pattern must have support: {hits}");
         }
+    }
+
+    #[test]
+    fn drifting_pairs_hold_on_the_prefix_and_break_after_onset() {
+        let cfg = PlantedSigmaConfig {
+            tuples: 400,
+            fd_pairs: 3,
+            drift_pairs: 1,
+            drift_onset: 0.5,
+            ..PlantedSigmaConfig::default()
+        };
+        let planted = clean_database_with_hidden_sigma(&cfg, &mut StdRng::seed_from_u64(77));
+        assert_eq!(planted.drift_onset_row, 200);
+        assert_eq!(
+            planted.cfds.len(),
+            (cfg.fd_pairs - 1) * (1 + cfg.constant_rows_per_pair),
+            "the drifting pair leaves the stable ground truth"
+        );
+        assert_eq!(planted.drifted_cfds.len(), 1 + cfg.constant_rows_per_pair);
+        // Stable Σ (and the CINDs: drift never touches key columns)
+        // hold on the whole instance...
+        assert!(condep_cfd::satisfy::satisfies_all(
+            &planted.db,
+            &planted.cfds
+        ));
+        assert!(condep_core::satisfy::satisfies_all(
+            &planted.db,
+            &planted.cinds
+        ));
+        // ...the drifting pair's do not...
+        assert!(!condep_cfd::satisfy::satisfies_all(
+            &planted.db,
+            &planted.drifted_cfds
+        ));
+        // ...but they are exact on the pre-onset prefix (rows keep
+        // generation order as dense positions).
+        let fact = planted.db.schema().rel_id("fact").unwrap();
+        let mut prefix = Database::empty(planted.db.schema().clone());
+        for t in planted
+            .db
+            .relation(fact)
+            .iter()
+            .take(planted.drift_onset_row)
+        {
+            prefix.insert(fact, t.clone()).unwrap();
+        }
+        assert!(condep_cfd::satisfy::satisfies_all(
+            &prefix,
+            &planted.drifted_cfds
+        ));
+        // Determinism holds with drift in play.
+        let again = clean_database_with_hidden_sigma(&cfg, &mut StdRng::seed_from_u64(77));
+        assert_eq!(again.drifted_cfds, planted.drifted_cfds);
+        assert_eq!(again.db.relation(fact), planted.db.relation(fact));
     }
 
     #[test]

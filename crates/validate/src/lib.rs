@@ -59,7 +59,7 @@ pub use cover::{CoverRole, CoverStats, SigmaCover};
 pub use stream::{
     Applied, CompactionStats, IdDelta, MovedTuple, Mutation, SigmaDelta, ValidatorStream,
 };
-pub use validator::{SigmaReport, Validator};
+pub use validator::{RetireLog, SigmaReport, Validator};
 
 #[cfg(test)]
 mod tests {
@@ -1029,6 +1029,203 @@ mod tests {
             ])
             .unwrap();
         assert_eq!(deltas.len(), 2);
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+    }
+
+    #[test]
+    fn add_dependencies_extends_the_live_suite() {
+        // Start monitoring with only ϕ3, then promote the remaining bank
+        // constraints into the live stream — no re-materialization, and
+        // the grown suite must agree with a fresh batch sweep.
+        let db = bank_database();
+        let v = Validator::new(normalize_cfds(&[cfd_fx::phi3()]), vec![]);
+        let n_initial_cfds = v.cfds().len();
+        let (mut stream, _) = ValidatorStream::new_validated(v, db);
+        let interest = stream.db().schema().rel_id("interest").unwrap();
+        let id0 = stream.tuple_id_at(interest, 0).unwrap();
+        let new_cfds = normalize_cfds(&[cfd_fx::phi1(), cfd_fx::phi2()]);
+        let new_cinds = normalize_cinds(&cind_fx::figure_2());
+        let introduced = stream.add_dependencies(new_cfds.clone(), new_cinds.clone());
+        // Newcomers report against their final (shifted) Σ indices.
+        assert!(introduced.cfd.iter().all(|(i, _)| *i >= n_initial_cfds));
+        assert_eq!(
+            introduced.cind.len(),
+            1,
+            "ψ6's t10 violation: {introduced:?}"
+        );
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+        // Held ids survive the splice (nothing re-materialized).
+        assert_eq!(stream.position_of(interest, id0), Some(0));
+        // The grown stream is still a correct delta engine, including
+        // for the freshly added members.
+        let dirty = stream
+            .insert_tuple(interest, tuple!["GLA", "UK", "checking", "9.9%"])
+            .unwrap();
+        assert!(!dirty.is_quiet());
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+        let saving = stream.db().schema().rel_id("saving").unwrap();
+        stream
+            .delete_tuple(
+                saving,
+                &tuple!["01", "J. Smith", "NYC, 19087", "212-5820844", "NYC"],
+            )
+            .unwrap();
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+        // Adding nothing is free and quiet.
+        assert!(stream.add_dependencies(vec![], vec![]).is_empty());
+    }
+
+    #[test]
+    fn retire_representative_splits_covered_members() {
+        // The wildcard row covers the constant row (same RHS): one
+        // compiled member. Retiring the REPRESENTATIVE must re-seat the
+        // covered row as its own member — probe pattern included —
+        // because emission sites never re-check covers[0]'s pattern.
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("r", &[("a", Domain::string()), ("b", Domain::string())])
+                .finish(),
+        );
+        let rep = NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::Any).unwrap();
+        let covered = NormalCfd::parse(&schema, "r", &["a"], prow!["k"], "b", PValue::Any).unwrap();
+        let v = Validator::new(vec![rep, covered], vec![]);
+        assert_eq!(v.compiled_cfd_members(), 1, "cover must merge the rows");
+        let mut db = Database::empty(schema.clone());
+        db.insert_into("r", tuple!["k", "v1"]).unwrap();
+        db.insert_into("r", tuple!["k", "v2"]).unwrap();
+        db.insert_into("r", tuple!["q", "w1"]).unwrap();
+        db.insert_into("r", tuple!["q", "w2"]).unwrap();
+        let (mut stream, initial) = ValidatorStream::new_validated(v, db);
+        // Both rows fire on the k-group, only the wildcard on q.
+        assert_eq!(initial.cfd.len(), 3, "{initial:?}");
+        let resolved = stream.retire_dependencies(&[0], &[]);
+        assert_eq!(resolved.cfd.len(), 2, "{resolved:?}");
+        assert!(resolved.cfd.iter().all(|(i, _)| *i == 0));
+        assert!(stream.validator().is_cfd_retired(0));
+        assert!(!stream.validator().is_cfd_retired(1));
+        assert_eq!(stream.violation_count(), 1);
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+        // The split-out member keeps firing on exactly its own pattern:
+        // a new k-conflict reports, a new q-conflict stays quiet.
+        let r = stream.db().schema().rel_id("r").unwrap();
+        let noisy = stream.insert_tuple(r, tuple!["k", "v3"]).unwrap();
+        assert_eq!(noisy.cfd.introduced.len(), 1, "{noisy:?}");
+        assert!(noisy.cfd.introduced.iter().all(|(i, _)| *i == 1));
+        let quiet = stream.insert_tuple(r, tuple!["q", "w3"]).unwrap();
+        assert!(
+            quiet.is_quiet(),
+            "retired wildcard must not fire: {quiet:?}"
+        );
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+        // Retiring the survivor (now a sole member) empties the suite;
+        // retiring twice is a no-op.
+        let resolved = stream.retire_dependencies(&[1, 0], &[]);
+        assert!(resolved.cfd.iter().all(|(i, _)| *i == 1));
+        assert_eq!(stream.violation_count(), 0);
+        assert!(stream.retire_dependencies(&[0, 1], &[]).is_empty());
+        let calm = stream.insert_tuple(r, tuple!["k", "v4"]).unwrap();
+        assert!(calm.is_quiet(), "{calm:?}");
+    }
+
+    #[test]
+    fn retire_cind_promotes_covers_and_removes_members() {
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("src", &[("a", Domain::string()), ("b", Domain::string())])
+                .relation("dst", &[("c", Domain::string())])
+                .finish(),
+        );
+        let c1 = condep_core::NormalCind::parse(&schema, "src", &["a"], &[], "dst", &["c"], &[])
+            .unwrap();
+        let c2 = c1.clone(); // payload-identical: the cover merges it
+        let c3 = condep_core::NormalCind::parse(&schema, "src", &["b"], &[], "dst", &["c"], &[])
+            .unwrap();
+        let dst = schema.rel_id("dst").unwrap();
+        let v = Validator::new(vec![], vec![c1, c2, c3]);
+        assert_eq!(v.group_count(), 1, "one shared target group");
+        let mut db = Database::empty(schema.clone());
+        db.insert_into("src", tuple!["k", "k"]).unwrap();
+        let (mut stream, initial) = ValidatorStream::new_validated(v, db);
+        // The orphan source violates all three CINDs.
+        assert_eq!(initial.cind.len(), 3);
+        // Retire the member identity (covers[0]): the duplicate is
+        // promoted in place and keeps reporting.
+        let resolved = stream.retire_dependencies(&[], &[0]);
+        assert!(resolved.cind.iter().all(|(i, _)| *i == 0));
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+        assert_eq!(stream.violation_count(), 2);
+        // Retire the promoted duplicate: the whole member goes, and the
+        // per-member source indexes must stay aligned for c3.
+        stream.retire_dependencies(&[], &[1]);
+        assert_eq!(stream.violation_count(), 1);
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+        // c3 is still live through its (shifted) member: a partner
+        // arrival resolves its orphan, a departure re-orphans it.
+        let arrival = stream.insert_tuple(dst, tuple!["k"]).unwrap();
+        assert_eq!(
+            arrival.cind.resolved,
+            vec![(2, arrival.cind.resolved[0].1.clone())]
+        );
+        assert_eq!(stream.violation_count(), 0);
+        let gone = stream.delete_tuple(dst, &tuple!["k"]).unwrap();
+        assert_eq!(gone.cind.introduced.len(), 1);
+        assert!(gone.cind.introduced.iter().all(|(i, _)| *i == 2));
+        assert_eq!(
+            stream.current_report(),
+            stream.validator().validate_sorted(stream.db()),
+        );
+    }
+
+    #[test]
+    fn add_after_retire_allocates_fresh_indices() {
+        let schema = Arc::new(
+            Schema::builder()
+                .relation("r", &[("a", Domain::string()), ("b", Domain::string())])
+                .finish(),
+        );
+        let fd = NormalCfd::parse(&schema, "r", &["a"], prow![_], "b", PValue::Any).unwrap();
+        let r = schema.rel_id("r").unwrap();
+        let v = Validator::new(vec![fd.clone()], vec![]);
+        let mut db = Database::empty(schema.clone());
+        db.insert_into("r", tuple!["k", "v1"]).unwrap();
+        db.insert_into("r", tuple!["k", "v2"]).unwrap();
+        let (mut stream, initial) = ValidatorStream::new_validated(v, db);
+        assert_eq!(initial.cfd.len(), 1);
+        stream.retire_dependencies(&[0], &[]);
+        assert_eq!(stream.violation_count(), 0);
+        // Re-adding the same FD gets index 1 and finds the conflict
+        // again; index 0 stays retired forever.
+        let back = stream.add_dependencies(vec![fd], vec![]);
+        assert_eq!(back.cfd.len(), 1);
+        assert!(back.cfd.iter().all(|(i, _)| *i == 1));
+        assert!(stream.validator().is_cfd_retired(0));
+        assert!(!stream.validator().is_cfd_retired(1));
+        let noisy = stream.insert_tuple(r, tuple!["k", "v3"]).unwrap();
+        assert_eq!(noisy.cfd.introduced.len(), 1);
         assert_eq!(
             stream.current_report(),
             stream.validator().validate_sorted(stream.db()),

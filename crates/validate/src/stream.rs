@@ -95,8 +95,8 @@
 //!   ids.
 
 use crate::validator::{CfdGroup, CfdMember, SigmaReport, Validator};
-use condep_cfd::{CfdDelta, CfdViolation};
-use condep_core::{CindDelta, CindViolation};
+use condep_cfd::{CfdDelta, CfdViolation, NormalCfd};
+use condep_core::{CindDelta, CindViolation, NormalCind};
 use condep_model::fxhash::FxBuildHasher;
 use condep_model::{
     AttrId, Database, Interner, ModelError, RelId, Relation, Sym, SymValue, Tuple, TupleId,
@@ -650,60 +650,9 @@ impl ValidatorStream {
 
         // The one-pass symbolization layout: per relation, the union of
         // every group's key attributes, plus each group's slots into it.
-        let mut sets: Vec<BTreeSet<AttrId>> =
-            (0..db.schema().len()).map(|_| BTreeSet::new()).collect();
-        for g in validator.cfd_groups() {
-            sets[g.rel.index()].extend(g.attrs.iter().copied());
-            // Member RHS cells ride along in the row so pair-witness
-            // checks are symbol compares, not tuple-value compares.
-            sets[g.rel.index()].extend(g.members.iter().map(|m| m.rhs));
-        }
-        for g in validator.cind_groups() {
-            sets[g.rhs_rel.index()].extend(g.y.iter().copied());
-            for m in &g.members {
-                let cind = &validator.cinds()[m.idx];
-                sets[cind.lhs_rel().index()].extend(m.x_perm.iter().copied());
-            }
-        }
-        let sym_attrs: Vec<Vec<AttrId>> =
-            sets.into_iter().map(|s| s.into_iter().collect()).collect();
-        let slot_of = |rel: RelId, a: AttrId| -> u32 {
-            sym_attrs[rel.index()]
-                .iter()
-                .position(|x| *x == a)
-                .expect("every group key attribute is in its relation's layout") as u32
-        };
-        let cfd_group_slots = validator
-            .cfd_groups()
-            .iter()
-            .map(|g| g.attrs.iter().map(|a| slot_of(g.rel, *a)).collect())
-            .collect();
-        let cfd_rhs_slots = validator
-            .cfd_groups()
-            .iter()
-            .map(|g| g.members.iter().map(|m| slot_of(g.rel, m.rhs)).collect())
-            .collect();
-        let cind_y_slots = validator
-            .cind_groups()
-            .iter()
-            .map(|g| g.y.iter().map(|a| slot_of(g.rhs_rel, *a)).collect())
-            .collect();
-        let cind_x_slots = validator
-            .cind_groups()
-            .iter()
-            .map(|g| {
-                g.members
-                    .iter()
-                    .map(|m| {
-                        let cind = &validator.cinds()[m.idx];
-                        m.x_perm
-                            .iter()
-                            .map(|a| slot_of(cind.lhs_rel(), *a))
-                            .collect()
-                    })
-                    .collect()
-            })
-            .collect();
+        let sym_attrs = Self::layout_of(&validator, db.schema().len());
+        let (cfd_group_slots, cfd_rhs_slots, cind_y_slots, cind_x_slots) =
+            Self::slot_tables(&validator, &sym_attrs);
 
         // Seed the resident row cache: `Interner::from_database` has
         // interned every value of `db`, so this is pure lookups.
@@ -745,6 +694,246 @@ impl ValidatorStream {
         };
         stream.rebuild_member_syms();
         stream
+    }
+
+    /// The per-relation symbolization layout of a compiled suite: the
+    /// sorted union of every group's key attributes, member RHS cells
+    /// and CIND source/target columns.
+    fn layout_of(validator: &Validator, n_rels: usize) -> Vec<Vec<AttrId>> {
+        let mut sets: Vec<BTreeSet<AttrId>> = (0..n_rels).map(|_| BTreeSet::new()).collect();
+        for g in validator.cfd_groups() {
+            sets[g.rel.index()].extend(g.attrs.iter().copied());
+            // Member RHS cells ride along in the row so pair-witness
+            // checks are symbol compares, not tuple-value compares.
+            sets[g.rel.index()].extend(g.members.iter().map(|m| m.rhs));
+        }
+        for g in validator.cind_groups() {
+            sets[g.rhs_rel.index()].extend(g.y.iter().copied());
+            for m in &g.members {
+                let cind = &validator.cinds()[m.idx];
+                sets[cind.lhs_rel().index()].extend(m.x_perm.iter().copied());
+            }
+        }
+        sets.into_iter().map(|s| s.into_iter().collect()).collect()
+    }
+
+    /// Each group's slots into its relation's symbolized-row layout.
+    #[allow(clippy::type_complexity)]
+    fn slot_tables(
+        validator: &Validator,
+        sym_attrs: &[Vec<AttrId>],
+    ) -> (
+        Vec<Vec<u32>>,
+        Vec<Vec<u32>>,
+        Vec<Vec<u32>>,
+        Vec<Vec<Vec<u32>>>,
+    ) {
+        let slot_of = |rel: RelId, a: AttrId| -> u32 {
+            sym_attrs[rel.index()]
+                .iter()
+                .position(|x| *x == a)
+                .expect("every group key attribute is in its relation's layout") as u32
+        };
+        let cfd_group_slots = validator
+            .cfd_groups()
+            .iter()
+            .map(|g| g.attrs.iter().map(|a| slot_of(g.rel, *a)).collect())
+            .collect();
+        let cfd_rhs_slots = validator
+            .cfd_groups()
+            .iter()
+            .map(|g| g.members.iter().map(|m| slot_of(g.rel, m.rhs)).collect())
+            .collect();
+        let cind_y_slots = validator
+            .cind_groups()
+            .iter()
+            .map(|g| g.y.iter().map(|a| slot_of(g.rhs_rel, *a)).collect())
+            .collect();
+        let cind_x_slots = validator
+            .cind_groups()
+            .iter()
+            .map(|g| {
+                g.members
+                    .iter()
+                    .map(|m| {
+                        let cind = &validator.cinds()[m.idx];
+                        m.x_perm
+                            .iter()
+                            .map(|a| slot_of(cind.lhs_rel(), *a))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        (cfd_group_slots, cfd_rhs_slots, cind_y_slots, cind_x_slots)
+    }
+
+    /// Splices newly-promoted dependencies into the **live** suite,
+    /// without re-materializing: held [`TupleId`]s, existing violations
+    /// and all per-group state stay untouched. Only the affected groups
+    /// recompile (see [`Validator::add_dependencies`]), only the
+    /// relations whose symbolization layout grew re-cache their rows,
+    /// and only the new members' indexes are built. Returns the new
+    /// constraints' violations against the current database — sorted,
+    /// indexed by their final Σ indices, and already folded into
+    /// [`ValidatorStream::current_report`] (consumers mirroring the
+    /// report via [`SigmaReport::apply_delta`] should splice them in as
+    /// introduced violations).
+    pub fn add_dependencies(
+        &mut self,
+        cfds: Vec<NormalCfd>,
+        cinds: Vec<NormalCind>,
+    ) -> SigmaReport {
+        if cfds.is_empty() && cinds.is_empty() {
+            return SigmaReport::default();
+        }
+        // The initial sweep for the newcomers, compiled exactly as the
+        // spliced members are (uncovered singletons) so the violations
+        // transfer index-shifted but otherwise verbatim.
+        let sub = Validator::new_uncovered(cfds.clone(), cinds.clone());
+        let old_cfd_groups = self.validator.cfd_groups().len();
+        let old_cind_members: Vec<usize> = self
+            .validator
+            .cind_groups()
+            .iter()
+            .map(|g| g.members.len())
+            .collect();
+        let (cfd_range, cind_range) = self.validator.add_dependencies(cfds, cinds);
+
+        // Grow the symbolization layout, re-caching the rows of every
+        // relation whose layout changed. Interning the newly covered
+        // cells must happen before any index build below — filtered
+        // index construction expects key cells to be interned already.
+        let new_sym_attrs = Self::layout_of(&self.validator, self.db.schema().len());
+        {
+            let Self {
+                db,
+                interner,
+                sym_rows,
+                sym_attrs,
+                ..
+            } = self;
+            for (rel, inst) in db.iter() {
+                let r = rel.index();
+                if new_sym_attrs[r] == sym_attrs[r] {
+                    continue;
+                }
+                let attrs = &new_sym_attrs[r];
+                let mut rows = Vec::with_capacity(inst.len() * attrs.len());
+                for t in inst.iter() {
+                    rows.extend(attrs.iter().map(|a| interner.intern_value(&t[*a])));
+                }
+                sym_rows[r] = rows;
+            }
+        }
+        self.sym_attrs = new_sym_attrs;
+        let (a, b, c, d) = Self::slot_tables(&self.validator, &self.sym_attrs);
+        self.cfd_group_slots = a;
+        self.cfd_rhs_slots = b;
+        self.cind_y_slots = c;
+        self.cind_x_slots = d;
+        self.rebuild_member_syms();
+
+        // Live indexes for the spliced groups and members.
+        {
+            let Self {
+                validator,
+                db,
+                interner,
+                cfd_indexes,
+                cind_targets,
+                cind_sources,
+                ..
+            } = self;
+            for g in &validator.cfd_groups()[old_cfd_groups..] {
+                cfd_indexes.push(SymIndex::build_filtered_interned(
+                    db.relation(g.rel),
+                    &g.attrs,
+                    interner,
+                    |_| true,
+                ));
+            }
+            for (gi, g) in validator.cind_groups().iter().enumerate() {
+                if gi >= cind_targets.len() {
+                    cind_targets.push(SymIndex::build_filtered_interned(
+                        db.relation(g.rhs_rel),
+                        &g.y,
+                        interner,
+                        |t| g.yp.iter().all(|(a, v)| &t[*a] == v),
+                    ));
+                    cind_sources.push(Vec::new());
+                }
+                let start = old_cind_members.get(gi).copied().unwrap_or(0);
+                for m in &g.members[start..] {
+                    let cind = &validator.cinds()[m.idx];
+                    cind_sources[gi].push(SymIndex::build_filtered_interned(
+                        db.relation(cind.lhs_rel()),
+                        &m.x_perm,
+                        interner,
+                        |t| cind.triggers(t),
+                    ));
+                }
+            }
+        }
+
+        let mut report = sub.validate_sorted(&self.db);
+        for (i, _) in report.cfd.iter_mut() {
+            *i += cfd_range.start;
+        }
+        for (i, _) in report.cind.iter_mut() {
+            *i += cind_range.start;
+        }
+        self.live_cfd.extend(report.cfd.iter().cloned());
+        self.live_cind.extend(report.cind.iter().cloned());
+        report
+    }
+
+    /// Retires dependencies from the live suite (see
+    /// [`Validator::retire_dependencies`]): their violations leave the
+    /// live state and are returned — sorted, as the resolutions a
+    /// report mirror should apply. Indices stay allocated; later
+    /// [`ValidatorStream::add_dependencies`] calls append fresh ones.
+    pub fn retire_dependencies(&mut self, cfd_idxs: &[usize], cind_idxs: &[usize]) -> SigmaReport {
+        let log = self.validator.retire_dependencies(cfd_idxs, cind_idxs);
+        if log.is_empty() {
+            return SigmaReport::default();
+        }
+        // Replay the member removals in order so the per-member source
+        // indexes stay aligned with the recompiled groups.
+        for &(gi, mi) in &log.cind_members_removed {
+            self.cind_sources[gi].remove(mi);
+        }
+        // The symbolization layout stays a (possibly proper) superset of
+        // what the surviving groups need — keeping it avoids re-caching
+        // any rows, and the slot tables still resolve every attribute.
+        let (a, b, c, d) = Self::slot_tables(&self.validator, &self.sym_attrs);
+        self.cfd_group_slots = a;
+        self.cfd_rhs_slots = b;
+        self.cind_y_slots = c;
+        self.cind_x_slots = d;
+        self.rebuild_member_syms();
+
+        let mut resolved = SigmaReport::default();
+        let retired: HashSet<usize> = log.cfds.iter().copied().collect();
+        self.live_cfd.retain(|v| {
+            if retired.contains(&v.0) {
+                resolved.cfd.push(v.clone());
+                false
+            } else {
+                true
+            }
+        });
+        let retired: HashSet<usize> = log.cinds.iter().copied().collect();
+        self.live_cind.retain(|v| {
+            if retired.contains(&v.0) {
+                resolved.cind.push(v.clone());
+                false
+            } else {
+                true
+            }
+        });
+        resolved.sort();
+        resolved
     }
 
     /// Re-translates every member pattern against the current interner

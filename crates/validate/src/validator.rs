@@ -109,12 +109,42 @@ impl SigmaReport {
     }
 }
 
+/// Structural bookkeeping of one [`Validator::retire_dependencies`]
+/// call — everything a [`crate::ValidatorStream`] mirror needs to keep
+/// its per-member side arrays aligned with the recompiled groups.
+#[derive(Clone, Debug, Default)]
+pub struct RetireLog {
+    /// CFD indices actually retired by the call (deduplicated,
+    /// ascending; already-retired indices are skipped).
+    pub cfds: Vec<usize>,
+    /// CIND indices actually retired (deduplicated, ascending).
+    pub cinds: Vec<usize>,
+    /// `(group slot, member slot)` of each CIND member removal, in the
+    /// exact order performed — member slots shift with every removal,
+    /// so mirrors must replay these in order.
+    pub(crate) cind_members_removed: Vec<(usize, usize)>,
+}
+
+impl RetireLog {
+    /// Did the call change anything?
+    pub fn is_empty(&self) -> bool {
+        self.cfds.is_empty() && self.cinds.is_empty()
+    }
+}
+
 /// A compiled constraint suite: Σ grouped for batched evaluation.
 ///
 /// Construction groups the CFDs by `(relation, LHS attribute set)` and
 /// the CINDs by `(target relation, Y set, Yp pattern)`; validation then
 /// builds **one** group-by index per group — instead of one per
 /// constraint — and sweeps independent groups in parallel.
+///
+/// The suite is not frozen at compile time:
+/// [`Validator::add_dependencies`] splices new constraints into their
+/// `(relation, LHS)` / target groups and
+/// [`Validator::retire_dependencies`] surgically removes constraints
+/// from theirs — both recompile only the affected groups, never the
+/// whole suite.
 #[derive(Clone, Debug)]
 pub struct Validator {
     cfds: Vec<NormalCfd>,
@@ -123,8 +153,13 @@ pub struct Validator {
     cind_groups: Vec<CindGroup>,
     /// Per CFD index: its `(group slot, member slot, cover slot)` in
     /// `cfd_groups`. Dependencies dropped by a minimal-tier cover have
-    /// no slot (all-`usize::MAX` sentinel).
+    /// no slot (all-`usize::MAX` sentinel), as do retired ones.
     cfd_slots: Vec<(usize, usize, usize)>,
+    /// Per constraint: has it been retired? Retired constraints keep
+    /// their index (violation indices stay stable) but no group member
+    /// evaluates them any more.
+    retired_cfds: Vec<bool>,
+    retired_cinds: Vec<bool>,
     /// What the cover pass merged/dropped at compile time.
     cover_stats: CoverStats,
 }
@@ -258,14 +293,220 @@ impl Validator {
             }
         }
 
+        let retired_cfds = vec![false; cfds.len()];
+        let retired_cinds = vec![false; cinds.len()];
         Validator {
             cfds,
             cinds,
             cfd_groups,
             cind_groups,
             cfd_slots,
+            retired_cfds,
+            retired_cinds,
             cover_stats: cover.stats,
         }
+    }
+
+    /// Appends new constraints to the suite, splicing each into its
+    /// existing `(relation, LHS)` / target group (or opening a fresh
+    /// group) as an uncovered singleton member — no other group is
+    /// touched and no cover pass re-runs, so prior indices, slots and
+    /// reports all stay valid. Returns the index ranges assigned to the
+    /// new CFDs and CINDs.
+    ///
+    /// New members compile exactly as [`Validator::new_uncovered`]
+    /// would compile them, so their violations are byte-identical to an
+    /// uncovered compile of the grown suite.
+    pub fn add_dependencies(
+        &mut self,
+        cfds: Vec<NormalCfd>,
+        cinds: Vec<NormalCind>,
+    ) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        let cfd_start = self.cfds.len();
+        let cind_start = self.cinds.len();
+        for cfd in cfds {
+            let idx = self.cfds.len();
+            let (attrs, pattern) = canonical_pattern(&cfd);
+            let gi = self
+                .cfd_groups
+                .iter()
+                .position(|g| g.rel == cfd.rel() && g.attrs == attrs)
+                .unwrap_or_else(|| {
+                    self.cfd_groups.push(CfdGroup {
+                        rel: cfd.rel(),
+                        attrs,
+                        members: Vec::new(),
+                    });
+                    self.cfd_groups.len() - 1
+                });
+            let mi = self.cfd_groups[gi].members.len();
+            self.cfd_groups[gi].members.push(CfdMember {
+                pattern: pattern.clone(),
+                rhs: cfd.rhs(),
+                rhs_const: match cfd.rhs_pat() {
+                    PValue::Const(v) => Some(v.clone()),
+                    PValue::Any => None,
+                },
+                covers: vec![CfdCover { idx, pattern }],
+            });
+            self.cfd_slots.push((gi, mi, 0));
+            self.retired_cfds.push(false);
+            self.cfds.push(cfd);
+        }
+        for cind in cinds {
+            let idx = self.cinds.len();
+            let mut cols: Vec<(AttrId, AttrId)> = cind
+                .y()
+                .iter()
+                .copied()
+                .zip(cind.x().iter().copied())
+                .collect();
+            cols.sort_by_key(|(y, _)| *y);
+            let y: Vec<AttrId> = cols.iter().map(|(y, _)| *y).collect();
+            let x_perm: Vec<AttrId> = cols.into_iter().map(|(_, x)| x).collect();
+            let mut yp = cind.yp().to_vec();
+            yp.sort_by_key(|&(a, _)| a);
+            let gi = self
+                .cind_groups
+                .iter()
+                .position(|g| g.rhs_rel == cind.rhs_rel() && g.y == y && g.yp == yp)
+                .unwrap_or_else(|| {
+                    self.cind_groups.push(CindGroup {
+                        rhs_rel: cind.rhs_rel(),
+                        y,
+                        yp,
+                        members: Vec::new(),
+                    });
+                    self.cind_groups.len() - 1
+                });
+            self.cind_groups[gi].members.push(CindMember {
+                idx,
+                x_perm,
+                covers: vec![idx],
+            });
+            self.retired_cinds.push(false);
+            self.cinds.push(cind);
+        }
+        (cfd_start..self.cfds.len(), cind_start..self.cinds.len())
+    }
+
+    /// Retires constraints in place: their indices stay allocated (so
+    /// every historical report keeps meaning) but no member evaluates
+    /// them any more, and future sweeps emit nothing for them. Only the
+    /// groups that carried the retired constraints are recompiled.
+    ///
+    /// A retired CFD that was a cover **representative** is the delicate
+    /// case: emission sites never re-check `covers[0]`'s pattern, so the
+    /// surviving covers cannot simply inherit the old probe pattern —
+    /// each one is re-seated as its own singleton member instead (its
+    /// probe pattern becomes its own pattern, which is exactly the
+    /// uncovered compile of that constraint). Out-of-range indices
+    /// panic; already-retired indices are skipped.
+    pub fn retire_dependencies(&mut self, cfd_idxs: &[usize], cind_idxs: &[usize]) -> RetireLog {
+        let mut log = RetireLog::default();
+        let mut cfd_idxs = cfd_idxs.to_vec();
+        cfd_idxs.sort_unstable();
+        cfd_idxs.dedup();
+        for idx in cfd_idxs {
+            assert!(idx < self.cfds.len(), "retired CFD index out of range");
+            if self.retired_cfds[idx] {
+                continue;
+            }
+            self.retired_cfds[idx] = true;
+            log.cfds.push(idx);
+            let (gi, mi, ci) = self.cfd_slots[idx];
+            if gi == usize::MAX {
+                // Cover-dropped at compile time: nothing is compiled for
+                // this constraint, retiring it is pure bookkeeping.
+                continue;
+            }
+            let group = &mut self.cfd_groups[gi];
+            if ci > 0 {
+                group.members[mi].covers.remove(ci);
+            } else {
+                let removed = group.members.remove(mi);
+                for c in removed.covers.into_iter().skip(1) {
+                    group.members.push(CfdMember {
+                        pattern: c.pattern.clone(),
+                        rhs: removed.rhs,
+                        rhs_const: removed.rhs_const.clone(),
+                        covers: vec![c],
+                    });
+                }
+            }
+            // Slots moved for every constraint sharing the group (and
+            // for re-seated covers); recompute before the next lookup.
+            self.recompute_cfd_slots();
+        }
+        let mut cind_idxs = cind_idxs.to_vec();
+        cind_idxs.sort_unstable();
+        cind_idxs.dedup();
+        for idx in cind_idxs {
+            assert!(idx < self.cinds.len(), "retired CIND index out of range");
+            if self.retired_cinds[idx] {
+                continue;
+            }
+            self.retired_cinds[idx] = true;
+            log.cinds.push(idx);
+            let mut found = None;
+            'search: for (gi, g) in self.cind_groups.iter().enumerate() {
+                for (mi, m) in g.members.iter().enumerate() {
+                    if let Some(ci) = m.covers.iter().position(|&c| c == idx) {
+                        found = Some((gi, mi, ci));
+                        break 'search;
+                    }
+                }
+            }
+            let Some((gi, mi, ci)) = found else {
+                // Cover-dropped at compile time.
+                continue;
+            };
+            let remove_member = {
+                let member = &mut self.cind_groups[gi].members[mi];
+                member.covers.remove(ci);
+                if member.covers.is_empty() {
+                    true
+                } else {
+                    if ci == 0 {
+                        // CIND covers are payload-identical duplicates:
+                        // the next one takes over as member identity
+                        // with unchanged trigger/probe behavior.
+                        member.idx = member.covers[0];
+                    }
+                    false
+                }
+            };
+            if remove_member {
+                self.cind_groups[gi].members.remove(mi);
+                log.cind_members_removed.push((gi, mi));
+            }
+        }
+        log
+    }
+
+    /// Rebuilds the per-CFD slot table from the compiled groups (the
+    /// same triple loop construction runs).
+    fn recompute_cfd_slots(&mut self) {
+        const NO_SLOT: (usize, usize, usize) = (usize::MAX, usize::MAX, usize::MAX);
+        self.cfd_slots.clear();
+        self.cfd_slots.resize(self.cfds.len(), NO_SLOT);
+        for (gi, g) in self.cfd_groups.iter().enumerate() {
+            for (mi, m) in g.members.iter().enumerate() {
+                for (ci, c) in m.covers.iter().enumerate() {
+                    self.cfd_slots[c.idx] = (gi, mi, ci);
+                }
+            }
+        }
+    }
+
+    /// Has this CFD been retired?
+    pub fn is_cfd_retired(&self, idx: usize) -> bool {
+        self.retired_cfds[idx]
+    }
+
+    /// Has this CIND been retired?
+    pub fn is_cind_retired(&self, idx: usize) -> bool {
+        self.retired_cinds[idx]
     }
 
     /// What the compile-time cover pass merged/dropped.
@@ -656,6 +897,12 @@ impl Validator {
         tables: &SymTables,
         early_exit: bool,
     ) -> Vec<(usize, CindViolation)> {
+        // A group whose members were all retired keeps its slot (stream
+        // index tables stay aligned) but must not pay for a target
+        // index build.
+        if group.members.is_empty() {
+            return Vec::new();
+        }
         let target = db.relation(group.rhs_rel);
         // Symbolize the shared Yp filter; an unknown constant matches no
         // target tuple, leaving the index empty (every triggered source

@@ -32,6 +32,7 @@ fn main() {
         constant_rows_per_pair: 4,
         cind_count: 2,
         tuples: 20_000,
+        ..PlantedSigmaConfig::default()
     };
     let planted = clean_database_with_hidden_sigma(&cfg, &mut StdRng::seed_from_u64(seed));
     println!(

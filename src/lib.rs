@@ -60,7 +60,8 @@ pub mod prelude {
     pub use crate::chase::{ChaseConfig, TemplateDb};
     pub use crate::cind::{Cind, NormalCind};
     pub use crate::consistency::{checking, CheckingConfig, ConstraintSet};
-    pub use crate::discover::{DiscoveredSigma, DiscoveryConfig};
+    pub use crate::discover::online::{OnlineConfig, OnlineMiner};
+    pub use crate::discover::{DiscoveredSigma, DiscoveryConfig, SampleConfig};
     pub use crate::model::{
         AttrId, Database, Domain, PValue, PatternRow, RelId, Schema, Tuple, TupleId, Value,
     };

@@ -8,13 +8,17 @@
 use condep_cfd::{normalize as cfd_normalize, Cfd, CfdViolation, NormalCfd};
 use condep_consistency::{checking, CheckingConfig, ConstraintSet};
 use condep_core::{normalize as cind_normalize, Cind, CindViolation, NormalCind};
+use condep_discover::online::{OnlineConfig, OnlineMiner};
 use condep_discover::{DiscoveredSigma, DiscoveryConfig};
 use condep_model::{Database, ModelError, RelId, Schema, Tuple};
 use condep_repair::{RepairBudget, RepairCost, RepairReport};
 use condep_validate::{
-    CompactionStats, Mutation, SigmaDelta, SigmaReport, Validator, ValidatorStream,
+    CompactionStats, CoverRole, Mutation, RetireLog, SigmaCover, SigmaDelta, SigmaReport,
+    Validator, ValidatorStream,
 };
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// One detected violation, tagged with its source constraint.
@@ -157,6 +161,25 @@ impl QualitySuite {
         &self.validator
     }
 
+    /// Promotes additional (normal-form) dependencies into the compiled
+    /// suite, recompiling **only** the `(relation, LHS)` / target groups
+    /// they join — existing indices and any report computed so far keep
+    /// their meaning. Returns the Σ index ranges the newcomers occupy.
+    pub fn add_dependencies(
+        &mut self,
+        cfds: Vec<NormalCfd>,
+        cinds: Vec<NormalCind>,
+    ) -> (Range<usize>, Range<usize>) {
+        self.validator.add_dependencies(cfds, cinds)
+    }
+
+    /// Retires dependencies from the suite in place: their indices stay
+    /// allocated (historical reports keep meaning) but they are no
+    /// longer checked. Only the groups that carried them recompile.
+    pub fn retire_dependencies(&mut self, cfd_idxs: &[usize], cind_idxs: &[usize]) -> RetireLog {
+        self.validator.retire_dependencies(cfd_idxs, cind_idxs)
+    }
+
     /// Checks whether the suite itself is consistent, using algorithm
     /// `Checking` (Figure 9). `Some(witness)` certifies consistency;
     /// `None` means no witness was found (sound, not complete —
@@ -190,6 +213,7 @@ impl QualitySuite {
             sigma: initial,
             tuples_checked: tuples,
             stream,
+            online: None,
         };
         (monitor, report)
     }
@@ -297,14 +321,74 @@ pub struct QualityMonitor {
     /// The delta-maintained raw report (== the stream's live state).
     sigma: SigmaReport,
     tuples_checked: usize,
+    /// Online-discovery loop, when enabled.
+    online: Option<OnlineState>,
+}
+
+/// Counters of what a monitor's online-discovery loop has done.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OnlineActivity {
+    /// Proposal polls run (one per elapsed window).
+    pub polls: usize,
+    /// Dependencies proposed across all polls (pre-deduplication).
+    pub proposed: usize,
+    /// Dependencies promoted into the live suite.
+    pub promoted: usize,
+    /// Promoted dependencies later retired on confidence decay.
+    pub retired: usize,
+}
+
+/// The online-discovery state bound to a monitor: the incremental miner
+/// plus the bookkeeping of what it promoted.
+#[derive(Clone, Debug)]
+struct OnlineState {
+    miner: OnlineMiner,
+    /// `miner.ops()` at the last proposal poll.
+    polled_at: u64,
+    /// Σ indices of monitor-promoted dependencies — the only ones the
+    /// decay pass may retire (user-supplied Σ is never touched).
+    promoted_cfds: Vec<usize>,
+    promoted_cinds: Vec<usize>,
+    activity: OnlineActivity,
 }
 
 impl QualityMonitor {
+    /// Enables **online discovery**: an incremental [`OnlineMiner`] is
+    /// seeded from the current database and fed every effective
+    /// mutation the monitor ingests. Every `config.window` effective
+    /// mutations the monitor polls the miner's proposals, deduplicates
+    /// them against the live suite through the exact Σ cover, promotes
+    /// the genuinely new dependencies into the running validator (no
+    /// re-materialization, no re-sweep of Σ), and retires previously
+    /// promoted dependencies whose streamed confidence decayed below
+    /// `config.retire_confidence`.
+    pub fn with_online_discovery(mut self, config: OnlineConfig) -> Self {
+        let mut miner = OnlineMiner::new(self.stream.db().schema().clone(), config);
+        miner.seed(self.stream.db());
+        self.online = Some(OnlineState {
+            miner,
+            polled_at: 0,
+            promoted_cfds: Vec::new(),
+            promoted_cinds: Vec::new(),
+            activity: OnlineActivity::default(),
+        });
+        self
+    }
+
     /// Ingests one arriving tuple, returning the delta (violations
     /// introduced, and — for CIND target arrivals — resolved).
     pub fn insert(&mut self, rel: RelId, t: Tuple) -> Result<SigmaDelta, ModelError> {
+        let observed = self.online.is_some().then(|| t.clone());
         let delta = self.stream.insert_tuple(rel, t)?;
         self.consume(&delta);
+        // Only an *effective* insert (set semantics: a tuple id was
+        // born) reaches the miner's sketches.
+        if delta.ids.born.is_some() {
+            if let (Some(state), Some(t)) = (self.online.as_mut(), observed.as_ref()) {
+                state.miner.observe_insert(rel, t);
+            }
+            self.poll_online();
+        }
         Ok(delta)
     }
 
@@ -314,6 +398,10 @@ impl QualityMonitor {
     pub fn delete(&mut self, rel: RelId, t: &Tuple) -> Option<SigmaDelta> {
         let delta = self.stream.delete_tuple(rel, t)?;
         self.consume(&delta);
+        if let Some(state) = self.online.as_mut() {
+            state.miner.observe_delete(rel, t);
+        }
+        self.poll_online();
         Some(delta)
     }
 
@@ -325,11 +413,23 @@ impl QualityMonitor {
         old: &Tuple,
         new: Tuple,
     ) -> Result<Option<(SigmaDelta, SigmaDelta)>, ModelError> {
+        let observed = self.online.is_some().then(|| new.clone());
         let Some((del, ins)) = self.stream.update_tuple(rel, old, new)? else {
             return Ok(None);
         };
         self.consume(&del);
         self.consume(&ins);
+        if let Some(state) = self.online.as_mut() {
+            state.miner.observe_delete(rel, old);
+            // A merge-degenerate update (`new` already resident) births
+            // no id — the miner must then see only the deletion.
+            if ins.ids.born.is_some() {
+                if let Some(t) = observed.as_ref() {
+                    state.miner.observe_insert(rel, t);
+                }
+            }
+        }
+        self.poll_online();
         Ok(Some((del, ins)))
     }
 
@@ -341,11 +441,219 @@ impl QualityMonitor {
     /// the streamed deltas in application order; an ill-typed mutation
     /// applies nothing.
     pub fn ingest_batch(&mut self, muts: &[Mutation]) -> Result<Vec<SigmaDelta>, ModelError> {
+        let effective = if self.online.is_some() {
+            self.effective_mutations(muts)
+        } else {
+            Vec::new()
+        };
         let deltas = self.stream.apply_deltas(muts)?;
         for delta in &deltas {
             self.consume(delta);
         }
+        if let Some(state) = self.online.as_mut() {
+            for m in &effective {
+                state.miner.observe(m);
+            }
+        }
+        self.poll_online();
         Ok(deltas)
+    }
+
+    /// Replays a batch against the pre-batch database under set
+    /// semantics, returning only the insertions and deletions that
+    /// actually change the tuple set — what the online miner's sketches
+    /// must see. (Updates decompose; a merge-degenerate update
+    /// contributes only its deletion.)
+    fn effective_mutations(&self, muts: &[Mutation]) -> Vec<Mutation> {
+        let mut overlay: HashMap<(RelId, &Tuple), bool> = HashMap::new();
+        let db = self.stream.db();
+        let present = |overlay: &HashMap<(RelId, &Tuple), bool>, rel: RelId, t: &Tuple| {
+            overlay
+                .get(&(rel, t))
+                .copied()
+                .unwrap_or_else(|| db.relation(rel).contains(t))
+        };
+        let mut fed = Vec::new();
+        for m in muts {
+            match m {
+                Mutation::Insert { rel, tuple } => {
+                    if !present(&overlay, *rel, tuple) {
+                        overlay.insert((*rel, tuple), true);
+                        fed.push(m.clone());
+                    }
+                }
+                Mutation::Delete { rel, tuple } => {
+                    if present(&overlay, *rel, tuple) {
+                        overlay.insert((*rel, tuple), false);
+                        fed.push(m.clone());
+                    }
+                }
+                Mutation::Update { rel, old, new } => {
+                    if old != new && present(&overlay, *rel, old) {
+                        overlay.insert((*rel, old), false);
+                        fed.push(Mutation::Delete {
+                            rel: *rel,
+                            tuple: old.clone(),
+                        });
+                        if !present(&overlay, *rel, new) {
+                            overlay.insert((*rel, new), true);
+                            fed.push(Mutation::Insert {
+                                rel: *rel,
+                                tuple: new.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        fed
+    }
+
+    /// Runs one online-discovery poll when the configured window of
+    /// effective mutations has elapsed: decay-retire first (so a fading
+    /// dependency cannot suppress its own replacement in the cover),
+    /// then dedup-and-promote the current proposals.
+    fn poll_online(&mut self) {
+        let Some(mut state) = self.online.take() else {
+            return;
+        };
+        let window = (state.miner.config().window as u64).max(1);
+        if state.miner.ops() < state.polled_at + window {
+            self.online = Some(state);
+            return;
+        }
+        state.polled_at = state.miner.ops();
+        state.activity.polls += 1;
+
+        // Decay pass: only monitor-promoted dependencies are eligible.
+        let retire_confidence = state.miner.config().retire_confidence;
+        let decayed = |idx: &&usize, kind: u8| -> bool {
+            let v = self.stream.validator();
+            let i = **idx;
+            match kind {
+                0 if !v.is_cfd_retired(i) => state
+                    .miner
+                    .confidence_of_cfd(&v.cfds()[i])
+                    .is_some_and(|(_, c)| c < retire_confidence),
+                1 if !v.is_cind_retired(i) => state
+                    .miner
+                    .confidence_of_cind(&v.cinds()[i])
+                    .is_some_and(|(_, c)| c < retire_confidence),
+                _ => false,
+            }
+        };
+        let retire_cfds: Vec<usize> = state
+            .promoted_cfds
+            .iter()
+            .filter(|i| decayed(i, 0))
+            .copied()
+            .collect();
+        let retire_cinds: Vec<usize> = state
+            .promoted_cinds
+            .iter()
+            .filter(|i| decayed(i, 1))
+            .copied()
+            .collect();
+        if !retire_cfds.is_empty() || !retire_cinds.is_empty() {
+            state.activity.retired += retire_cfds.len() + retire_cinds.len();
+            self.retire_dependencies(&retire_cfds, &retire_cinds);
+        }
+
+        // Promotion pass: dedup proposals against the active suite via
+        // the exact Σ cover — a proposal that is (or is subsumed by) an
+        // active dependency merges away; only genuinely new rows
+        // splice in.
+        let proposals = state.miner.proposals();
+        state.activity.proposed += proposals.len();
+        if !proposals.is_empty() {
+            let validator = self.stream.validator();
+            let mut cover_cfds: Vec<NormalCfd> = (0..validator.cfds().len())
+                .filter(|&i| !validator.is_cfd_retired(i))
+                .map(|i| validator.cfds()[i].clone())
+                .collect();
+            let n_active_cfds = cover_cfds.len();
+            cover_cfds.extend(proposals.cfds.iter().map(|d| d.cfd.clone()));
+            let mut cover_cinds: Vec<NormalCind> = (0..validator.cinds().len())
+                .filter(|&i| !validator.is_cind_retired(i))
+                .map(|i| validator.cinds()[i].clone())
+                .collect();
+            let n_active_cinds = cover_cinds.len();
+            cover_cinds.extend(proposals.cinds.iter().map(|d| d.cind.clone()));
+            let cover = SigmaCover::exact(&cover_cfds, &cover_cinds);
+            let new_cfds: Vec<NormalCfd> = proposals
+                .cfds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| matches!(cover.cfd[n_active_cfds + i], CoverRole::Keep { .. }))
+                .map(|(_, d)| d.cfd.clone())
+                .collect();
+            let new_cinds: Vec<NormalCind> = proposals
+                .cinds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| matches!(cover.cind[n_active_cinds + i], CoverRole::Keep { .. }))
+                .map(|(_, d)| d.cind.clone())
+                .collect();
+            if !new_cfds.is_empty() || !new_cinds.is_empty() {
+                let cfd_start = validator.cfds().len();
+                let cind_start = validator.cinds().len();
+                state
+                    .promoted_cfds
+                    .extend(cfd_start..cfd_start + new_cfds.len());
+                state
+                    .promoted_cinds
+                    .extend(cind_start..cind_start + new_cinds.len());
+                state.activity.promoted += new_cfds.len() + new_cinds.len();
+                self.add_dependencies(new_cfds, new_cinds);
+            }
+        }
+        self.online = Some(state);
+    }
+
+    /// Promotes dependencies into the **live** monitored suite (see
+    /// [`ValidatorStream::add_dependencies`]): only the affected groups
+    /// recompile and the delta-maintained report mirror absorbs the
+    /// newcomers' violations. Returns those violations.
+    pub fn add_dependencies(
+        &mut self,
+        cfds: Vec<NormalCfd>,
+        cinds: Vec<NormalCind>,
+    ) -> SigmaReport {
+        let introduced = self.stream.add_dependencies(cfds, cinds);
+        self.sigma.cfd.extend(introduced.cfd.iter().cloned());
+        self.sigma.cind.extend(introduced.cind.iter().cloned());
+        self.sigma.sort();
+        introduced
+    }
+
+    /// Retires dependencies from the live monitored suite (see
+    /// [`ValidatorStream::retire_dependencies`]); their violations
+    /// leave the mirror and are returned.
+    pub fn retire_dependencies(&mut self, cfd_idxs: &[usize], cind_idxs: &[usize]) -> SigmaReport {
+        let resolved = self.stream.retire_dependencies(cfd_idxs, cind_idxs);
+        let gone: HashSet<usize> = cfd_idxs.iter().copied().collect();
+        self.sigma.cfd.retain(|(i, _)| !gone.contains(i));
+        let gone: HashSet<usize> = cind_idxs.iter().copied().collect();
+        self.sigma.cind.retain(|(i, _)| !gone.contains(i));
+        resolved
+    }
+
+    /// The online miner, when online discovery is enabled.
+    pub fn online_miner(&self) -> Option<&OnlineMiner> {
+        self.online.as_ref().map(|s| &s.miner)
+    }
+
+    /// What the online-discovery loop has done so far.
+    pub fn online_activity(&self) -> Option<OnlineActivity> {
+        self.online.as_ref().map(|s| s.activity)
+    }
+
+    /// Σ indices of the dependencies the online loop promoted (live and
+    /// since-retired alike), as `(cfds, cinds)`.
+    pub fn online_promoted(&self) -> Option<(&[usize], &[usize])> {
+        self.online
+            .as_ref()
+            .map(|s| (s.promoted_cfds.as_slice(), s.promoted_cinds.as_slice()))
     }
 
     /// Compacts the monitor's long-lived stream state (emptied key
@@ -375,6 +683,14 @@ impl QualityMonitor {
     /// The current database.
     pub fn db(&self) -> &Database {
         self.stream.db()
+    }
+
+    /// The live compiled suite under monitoring (reflects every
+    /// [`QualityMonitor::add_dependencies`] /
+    /// [`QualityMonitor::retire_dependencies`] and the online loop's
+    /// promotions).
+    pub fn validator(&self) -> &Validator {
+        self.stream.validator()
     }
 
     /// The full current report, resolved from the delta-maintained
@@ -555,6 +871,212 @@ mod tests {
                 "ranking must be (support, confidence) descending"
             );
         }
+    }
+
+    #[test]
+    fn monitor_add_and_retire_dependencies_keep_the_mirror_live() {
+        let suite = bank_suite();
+        let (mut monitor, initial) = suite.monitor(bank_database());
+        assert_eq!(initial.summary.total(), 2);
+        // Retire the whole suite out from under the live stream: every
+        // standing violation streams back as resolved.
+        let all_cfds: Vec<usize> = (0..suite.cfds().len()).collect();
+        let all_cinds: Vec<usize> = (0..suite.cinds().len()).collect();
+        let resolved = monitor.retire_dependencies(&[], &all_cinds);
+        assert_eq!(resolved.cind.len(), 1, "t10's ψ6 violation resolves");
+        assert_eq!(monitor.summary().cind_violations, 0);
+        let resolved = monitor.retire_dependencies(&all_cfds, &[]);
+        assert_eq!(resolved.cfd.len(), 1, "t12's ϕ3 violation resolves");
+        assert_eq!(monitor.summary().total(), 0);
+        // Splice the same dependencies back in: they take fresh Σ
+        // indices past the retired block and re-find both paper errors
+        // without re-validating from scratch.
+        let introduced = monitor.add_dependencies(suite.cfds().to_vec(), suite.cinds().to_vec());
+        assert_eq!(introduced.len(), 2);
+        assert!(introduced.cfd.iter().all(|(i, _)| *i >= suite.cfds().len()));
+        assert_eq!(monitor.summary().cfd_violations, 1);
+        assert_eq!(monitor.summary().cind_violations, 1);
+        // The delta engine stays live across the reshaped suite.
+        let interest = suite.schema().rel_id("interest").unwrap();
+        let bad = tuple!["GLA", "UK", "checking", "9.9%"];
+        assert!(!monitor.insert(interest, bad.clone()).unwrap().is_quiet());
+        assert!(monitor.summary().total() > 2);
+        monitor.delete(interest, &bad).unwrap();
+        assert_eq!(monitor.summary().total(), 2);
+        // And the mirror still equals a from-scratch batch check.
+        let fresh = suite.check(monitor.db());
+        assert_eq!(
+            monitor.summary().cfd_violations,
+            fresh.summary.cfd_violations
+        );
+        assert_eq!(
+            monitor.summary().cind_violations,
+            fresh.summary.cind_violations
+        );
+        monitor.report(); // debug-asserts mirror == stream state
+    }
+
+    fn city_schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .relation(
+                    "fact",
+                    &[
+                        ("city", condep_model::Domain::string()),
+                        ("country", condep_model::Domain::string()),
+                        ("zip", condep_model::Domain::string()),
+                    ],
+                )
+                .relation("cities", &[("name", condep_model::Domain::string())])
+                .finish(),
+        )
+    }
+
+    fn city_db() -> Database {
+        let mut db = Database::empty(city_schema());
+        let rows = [
+            ("EDI", "UK"),
+            ("EDI", "UK"),
+            ("EDI", "UK"),
+            ("NYC", "US"),
+            ("NYC", "US"),
+            ("NYC", "US"),
+            ("GLA", "UK"),
+            ("GLA", "UK"),
+        ];
+        for (i, (city, country)) in rows.iter().enumerate() {
+            db.insert_into("fact", tuple![*city, *country, format!("z{i}").as_str()])
+                .unwrap();
+        }
+        for city in ["EDI", "NYC", "GLA"] {
+            db.insert_into("cities", tuple![city]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn online_discovery_promotes_then_decay_retires_on_the_stream() {
+        let schema = city_schema();
+        let suite = QualitySuite::from_normal(schema.clone(), vec![], vec![]);
+        let (monitor, initial) = suite.monitor(city_db());
+        assert!(initial.summary.is_clean(), "no Σ, nothing to violate");
+        let mut monitor = monitor.with_online_discovery(OnlineConfig {
+            min_support: 2,
+            window: 4,
+            ..OnlineConfig::default()
+        });
+        let fact = schema.rel_id("fact").unwrap();
+        // Four clean arrivals: the fourth closes the first window and
+        // the poll promotes the planted dependencies into the live
+        // suite (city → country, the constant rows, fact[city] ⊆
+        // cities[name]) — all satisfied, so the mirror stays clean.
+        for (city, country, zip) in [
+            ("EDI", "UK", "z8"),
+            ("NYC", "US", "z9"),
+            ("GLA", "UK", "z10"),
+            ("EDI", "UK", "z11"),
+        ] {
+            monitor.insert(fact, tuple![city, country, zip]).unwrap();
+        }
+        let activity = monitor.online_activity().unwrap();
+        assert_eq!(activity.polls, 1);
+        assert!(activity.promoted > 0, "the planted Σ must promote");
+        assert_eq!(activity.retired, 0);
+        assert_eq!(monitor.summary().total(), 0, "clean data, clean suite");
+        let fd_idx = monitor
+            .validator()
+            .cfds()
+            .iter()
+            .position(|c| c.lhs_pat().is_all_any() && !c.is_constant_rhs())
+            .expect("the variable FD city → country is promoted");
+        let (promoted_cfds, promoted_cinds) = monitor.online_promoted().unwrap();
+        assert!(promoted_cfds.contains(&fd_idx));
+        assert!(!promoted_cinds.is_empty(), "fact[city] ⊆ cities[name]");
+        // A dirty arrival now violates the *promoted* dependencies.
+        monitor.insert(fact, tuple!["EDI", "US", "z99"]).unwrap();
+        assert!(monitor.summary().cfd_violations > 0);
+        let fresh = QualitySuite::from_normal(
+            schema.clone(),
+            monitor.validator().cfds().to_vec(),
+            monitor.validator().cinds().to_vec(),
+        )
+        .check(monitor.db());
+        assert_eq!(
+            monitor.summary().cfd_violations,
+            fresh.summary.cfd_violations
+        );
+        // Keep the dirt coming: at the next poll the EDI evidence has
+        // decayed below `retire_confidence` and the affected promotions
+        // retire, resolving their violations — the still-confident rest
+        // (NYC ⇒ US, GLA ⇒ UK, the CINDs) stays live.
+        monitor.insert(fact, tuple!["EDI", "US", "z12"]).unwrap();
+        monitor.insert(fact, tuple!["EDI", "US", "z13"]).unwrap();
+        monitor.insert(fact, tuple!["GLA", "UK", "z14"]).unwrap();
+        let activity = monitor.online_activity().unwrap();
+        assert_eq!(activity.polls, 2);
+        assert!(activity.retired > 0, "decayed promotions must retire");
+        assert!(monitor.validator().is_cfd_retired(fd_idx));
+        assert_eq!(
+            monitor.summary().total(),
+            0,
+            "retiring the decayed dependencies resolves their violations"
+        );
+        assert!(
+            monitor.validator().cfds().len() > activity.retired,
+            "the confident remainder stays live"
+        );
+        monitor.report(); // debug-asserts mirror == stream state
+    }
+
+    #[test]
+    fn batch_ingest_feeds_only_effective_mutations_to_the_miner() {
+        let suite = QualitySuite::from_normal(city_schema(), vec![], vec![]);
+        let (monitor, _) = suite.monitor(city_db());
+        let mut monitor = monitor.with_online_discovery(OnlineConfig::default());
+        assert_eq!(monitor.online_miner().unwrap().ops(), 0, "seed resets ops");
+        let fact = city_schema().rel_id("fact").unwrap();
+        monitor
+            .ingest_batch(&[
+                // Present already: a set-semantics no-op.
+                Mutation::Insert {
+                    rel: fact,
+                    tuple: tuple!["EDI", "UK", "z0"],
+                },
+                // Effective insert (1 op)...
+                Mutation::Insert {
+                    rel: fact,
+                    tuple: tuple!["EDI", "UK", "z8"],
+                },
+                // ... its duplicate within the same batch: no-op.
+                Mutation::Insert {
+                    rel: fact,
+                    tuple: tuple!["EDI", "UK", "z8"],
+                },
+                // Absent tuple: no-op.
+                Mutation::Delete {
+                    rel: fact,
+                    tuple: tuple!["ABD", "UK", "z9"],
+                },
+                // Merge-degenerate update: only the deletion is
+                // effective (1 op).
+                Mutation::Update {
+                    rel: fact,
+                    old: tuple!["EDI", "UK", "z8"],
+                    new: tuple!["NYC", "US", "z3"],
+                },
+                // Identity update: no-op.
+                Mutation::Update {
+                    rel: fact,
+                    old: tuple!["GLA", "UK", "z6"],
+                    new: tuple!["GLA", "UK", "z6"],
+                },
+            ])
+            .unwrap();
+        assert_eq!(
+            monitor.online_miner().unwrap().ops(),
+            2,
+            "only the effective mutations reach the sketches"
+        );
     }
 
     #[test]

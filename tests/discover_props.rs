@@ -22,6 +22,7 @@ fn planted_config(seed: u64) -> PlantedSigmaConfig {
         constant_rows_per_pair: 1 + (seed % 3) as usize,
         cind_count: (seed % 2) as usize,
         tuples: 120 + (seed % 7) as usize * 40,
+        ..PlantedSigmaConfig::default()
     }
 }
 
