@@ -32,6 +32,7 @@ use condep_bench::{ms, time_once, xorshift, FigureTable};
 use condep_cfd::NormalCfd;
 use condep_core::NormalCind;
 use condep_model::{tuple, Database, Domain, PValue, PatternRow, Schema, Tuple};
+use condep_telemetry::{Export, MetricsSnapshot};
 use condep_validate::{Mutation, Validator, ValidatorStream};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -274,6 +275,9 @@ fn main() {
         ("batch_1024", 1024),
     ];
     let mut times: Vec<Duration> = Vec::new();
+    // The batch-1024 stream's own telemetry (from its last run) rides
+    // along in the emitted JSON as the `metrics` section.
+    let mut metrics: Option<MetricsSnapshot> = None;
     for (label, batch) in configs {
         let mut best = Duration::MAX;
         for _ in 0..runs {
@@ -302,6 +306,9 @@ fn main() {
                 "{label}: delta state diverged from batch validation"
             );
             best = best.min(elapsed);
+            if label == "batch_1024" {
+                metrics = Some(stream.telemetry().snapshot());
+            }
         }
         times.push(best);
     }
@@ -418,6 +425,28 @@ fn main() {
         compact_stats.interned_bytes_reclaimed(),
     );
 
+    // The `metrics` JSON section: the batch-1024 stream's telemetry.
+    // Gated in smoke mode (CI) — it must parse and carry the keys the
+    // dashboards read.
+    let metrics = metrics.expect("batch_1024 configuration ran");
+    let metrics_json = metrics.to_json();
+    assert!(
+        condep_telemetry::json::is_valid(&metrics_json),
+        "metrics section must be valid JSON: {metrics_json}"
+    );
+    for key in [
+        "stream.materialize_us",
+        "stream.apply.window_us",
+        "stream.apply.windows",
+        "stream.mutations.inserts",
+        "stream.mutations.deletes",
+        "stream.probes.hash",
+        "stream.probes.slot",
+    ] {
+        assert!(metrics.get(key).is_some(), "metrics snapshot missing {key}");
+    }
+    println!("metrics gate: batch-1024 MetricsSnapshot renders valid JSON with required keys");
+
     if smoke {
         // Smoke-mode perf guard: a gross batch-1024 regression against
         // the last recorded full run fails CI. The smoke instance is 10×
@@ -459,6 +488,13 @@ fn main() {
     }
     let vs_single = single_us / per_op_us(times[3]);
     let vs_pre = PRE_HARDENING_SINGLE_US / per_op_us(times[3]);
+    // The compaction section through the shared `Export` trait instead
+    // of hand-rolled field formatting.
+    let mut compaction = MetricsSnapshot::default();
+    compact_stats.export("", &mut compaction);
+    compaction.counter("rounds", rounds as u64);
+    compaction.text("retention", "churn-invariant");
+    let compaction_json = compaction.to_json();
     let json = format!(
         "{{\n  \"bench\": \"batch\",\n  \"baseline\": \"per-mutation delete_tuple/insert_tuple deltas (same binary)\",\n  \
          \"pre_hardening_baseline\": \"BENCH_stream.json per-mutation cost before this hardening pass: {PRE_HARDENING_SINGLE_US} us/op\",\n  \
@@ -473,12 +509,9 @@ fn main() {
          per-mutation cost is memory-bound index/live-set maintenance identical in both paths; the cover row \
          runs the batch-1024 plan against a 2x-redundant (every-dependency-twice) suite compiled through the \
          exact Sigma cover, with an in-run gate that its report equals an uncovered compile's batch sweep\",\n  \
-         \"compaction\": {{\"rounds\": {rounds}, \"interned_strings_before\": {}, \
-         \"interned_strings_after\": {}, \"interned_bytes_reclaimed\": {}, \"retention_churn_invariant\": true}},\n  \
+         \"compaction\": {compaction_json},\n  \
+         \"metrics\": {metrics_json},\n  \
          \"results\": [\n{json_rows}  ]\n}}\n",
-        compact_stats.interned_strings_before,
-        compact_stats.interned_strings_after,
-        compact_stats.interned_bytes_reclaimed(),
     );
     let path = format!("{}/../../BENCH_batch.json", env!("CARGO_MANIFEST_DIR"));
     match std::fs::write(&path, &json) {

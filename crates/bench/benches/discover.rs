@@ -28,6 +28,7 @@ use condep_bench::{ms, time_once, FigureTable};
 use condep_core::implication::ImplicationConfig;
 use condep_discover::{discover, DiscoveredSigma, DiscoveryConfig, SampleConfig};
 use condep_gen::{clean_database_with_hidden_sigma, PlantedDatabase, PlantedSigmaConfig};
+use condep_telemetry::MetricsSnapshot;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -45,6 +46,7 @@ struct ScaleRow {
     recovered_cinds: usize,
     sampled_rows: usize,
     epsilon: f64,
+    metrics: MetricsSnapshot,
 }
 
 impl ScaleRow {
@@ -149,6 +151,7 @@ fn bench_config(
         recovered_cinds: found.cinds.len(),
         sampled_rows: sampling.sampled_rows,
         epsilon: sampling.epsilon,
+        metrics: found.metrics(),
     }
 }
 
@@ -259,6 +262,30 @@ fn main() {
     }
     table.finish("Dependency discovery over planted-sigma instances (all scales gated: planted sigma implied)");
 
+    // Telemetry gate (both modes): the sampled row's MetricsSnapshot
+    // must serialize to valid json and carry the phase/keep keys the
+    // dashboards key on.
+    {
+        let sampled = rows.last().expect("at least one row");
+        let metrics_json = sampled.metrics.to_json();
+        assert!(
+            condep_telemetry::json::is_valid(&metrics_json),
+            "discover MetricsSnapshot did not serialize to valid json:\n{metrics_json}"
+        );
+        for key in [
+            "discover.kept.cfds",
+            "discover.kept.cinds",
+            "discover.stats.lattice_nodes",
+            "discover.timings.mine_ms",
+            "discover.timings.confirm_ms",
+        ] {
+            assert!(
+                sampled.metrics.get(key).is_some(),
+                "discover MetricsSnapshot is missing required key {key}"
+            );
+        }
+    }
+
     if smoke {
         // Smoke-mode perf guard: the sampled path's per-row cost at the
         // 10K smoke scale is compared against the recorded 100K figure.
@@ -331,6 +358,7 @@ fn main() {
          \"engine\": \"condep-discover lattice-walk CFD miner over stripped partitions (SymTables + SymIndex counting-sort CSR) + unary CIND inclusion miner; sampled path: seeded per-relation reservoir -> Hoeffding interval estimates -> streaming full-scan confirmation\",\n  \
          \"timing\": \"best of 3 (100K) / 2 (1M) / 1 (10M), single-core\",\n  \
          \"headline\": {{\"tuples\": {}, \"mode\": \"sampled\", \"mine_ms\": {:.2}, \"confirm_ms\": {:.2}, \"discover_ms\": {:.2}, \"extrapolated_full_lattice_ms\": {:.2}, \"mining_speedup_vs_extrapolated\": {:.1}, \"all_planted_implied\": true}},\n  \
+         \"metrics\": {},\n  \
          \"results\": [\n{json_rows}  ]\n}}\n",
         at_10m.tuples,
         at_10m.mine_ms,
@@ -338,6 +366,7 @@ fn main() {
         at_10m.discover_ms,
         extrapolated_ms,
         mining_speedup,
+        at_10m.metrics.to_json(),
     );
     let path = format!("{}/../../BENCH_discover.json", env!("CARGO_MANIFEST_DIR"));
     match std::fs::write(&path, &json) {

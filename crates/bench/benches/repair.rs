@@ -255,6 +255,27 @@ fn main() {
     ]);
     table.finish("Cost-based repair of a 1%-dirty instance through the delta engine");
 
+    // Telemetry gate (both modes): the run's RepairReport::metrics must
+    // serialize to valid json and carry the round/fix summary keys.
+    let metrics_json = report.metrics.to_json();
+    assert!(
+        condep_telemetry::json::is_valid(&metrics_json),
+        "repair MetricsSnapshot did not serialize to valid json:\n{metrics_json}"
+    );
+    for key in [
+        "repair.rounds",
+        "repair.fixes.accepted",
+        "repair.fixes.rejected",
+        "repair.violations.initial",
+        "repair.violations.residual",
+        "repair.total_cost",
+    ] {
+        assert!(
+            report.metrics.get(key).is_some(),
+            "repair MetricsSnapshot is missing required key {key}"
+        );
+    }
+
     if smoke {
         println!("(smoke mode: BENCH_repair.json not rewritten)");
         return;
@@ -281,6 +302,7 @@ fn main() {
          \"engine\": \"condep-repair greedy equivalence-class repair; every fix delta-verified net-negative through ValidatorStream\",\n  \
          \"runs_per_point\": {runs},\n  \"timing\": \"best of {runs}\",\n  \
          \"headline\": {{\"tuples\": {n}, \"dirt\": \"1%\", \"cfds\": 200, \"cinds\": 1, \"fixes\": {fixes}, \"us_per_fix\": {us_per_fix:.1}}},\n  \
+         \"metrics\": {metrics_json},\n  \
          \"results\": [\n{json_rows}  ]\n}}\n",
     );
     let path = format!("{}/../../BENCH_repair.json", env!("CARGO_MANIFEST_DIR"));

@@ -16,6 +16,7 @@
 use condep_bench::{best_of, ms, xorshift, FigureTable};
 use condep_cfd::{find_violations_unordered, NormalCfd};
 use condep_model::{tuple, Database, Domain, PValue, PatternRow, Schema};
+use condep_telemetry::{Export, MetricsSnapshot};
 use condep_validate::Validator;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -205,6 +206,7 @@ fn main() {
     );
     let mut json_rows = String::new();
     let mut headline_speedup = 0.0f64;
+    let mut headline_metrics: Option<MetricsSnapshot> = None;
 
     for &n in sizes {
         let db = instance(&schema, n);
@@ -221,8 +223,14 @@ fn main() {
             assert_eq!(v1, v2, "detectors disagree on violation count");
 
             let speedup = ms(per_cfd) / ms(batched).max(1e-9);
-            if shape == "10-lhs-sets" && n == 100_000 {
+            if shape == "10-lhs-sets" && n == *sizes.last().unwrap() {
                 headline_speedup = speedup;
+                let mut m = MetricsSnapshot::default();
+                validator
+                    .compile_stats()
+                    .export("validator.compile", &mut m);
+                validator.cover_stats().export("validator.cover", &mut m);
+                headline_metrics = Some(m);
             }
             table.row(&[
                 &shape,
@@ -249,6 +257,26 @@ fn main() {
     }
     table.finish("Validator micro-bench: per-CFD loop vs batched sweep");
 
+    // Telemetry gate (both modes): the headline validator's compile +
+    // cover stats must export and serialize to valid json.
+    let headline_metrics = headline_metrics.expect("10-lhs-sets shape ran");
+    let metrics_json = headline_metrics.to_json();
+    assert!(
+        condep_telemetry::json::is_valid(&metrics_json),
+        "validator MetricsSnapshot did not serialize to valid json:\n{metrics_json}"
+    );
+    for key in [
+        "validator.compile.compile_us",
+        "validator.compile.cfd_groups",
+        "validator.compile.cfd_members",
+        "validator.cover.cfd_merged",
+    ] {
+        assert!(
+            headline_metrics.get(key).is_some(),
+            "validator MetricsSnapshot is missing required key {key}"
+        );
+    }
+
     if smoke {
         println!("(smoke mode: BENCH_validator.json not rewritten)");
         return;
@@ -258,6 +286,7 @@ fn main() {
          \"contender\": \"condep_validate::Validator::validate (shared group-by indexes, interned keys, parallel sweep)\",\n  \
          \"runs_per_point\": {runs},\n  \"timing\": \"best of {runs}\",\n  \
          \"headline\": {{\"shape\": \"10-lhs-sets\", \"tuples\": 100000, \"cfds\": 200, \"speedup\": {headline_speedup:.2}}},\n  \
+         \"metrics\": {metrics_json},\n  \
          \"results\": [\n{}  ]\n}}\n",
         json_rows.trim_end_matches(",\n").to_string() + "\n",
     );

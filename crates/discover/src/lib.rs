@@ -58,8 +58,17 @@ use condep_core::implication::ImplicationConfig;
 use condep_core::NormalCind;
 use condep_model::fxhash::FxBuildHasher;
 use condep_model::{Database, RelId, SymTables};
+use condep_telemetry::{Export, MetricsSnapshot, SpanKey, Stopwatch};
 use condep_validate::SigmaCover;
 use std::collections::HashMap;
+
+/// Static span keys: each [`discover`] phase also lands its wall time
+/// in the global registry ([`condep_telemetry::global`]) as a histogram
+/// across every run in the process. [`PhaseTimings`] is the per-run
+/// view of the same clocks.
+static SAMPLE_SPAN: SpanKey = SpanKey::new("discover.sample_us");
+static MINE_SPAN: SpanKey = SpanKey::new("discover.mine_us");
+static CONFIRM_SPAN: SpanKey = SpanKey::new("discover.confirm_us");
 
 mod cfd_miner;
 mod cind_miner;
@@ -164,6 +173,22 @@ pub struct SamplingStats {
     pub confirm_dropped: usize,
 }
 
+impl Export for SamplingStats {
+    fn export(&self, prefix: &str, out: &mut MetricsSnapshot) {
+        let k = |name| condep_telemetry::key(prefix, name);
+        out.counter(k("full_rows"), self.full_rows as u64);
+        out.counter(k("sampled_rows"), self.sampled_rows as u64);
+        out.counter(
+            k("relations_downsampled"),
+            self.relations_downsampled as u64,
+        );
+        out.float(k("epsilon"), self.epsilon);
+        out.float(k("delta"), self.delta);
+        out.counter(k("confirm_checked"), self.confirm_checked as u64);
+        out.counter(k("confirm_dropped"), self.confirm_dropped as u64);
+    }
+}
+
 /// Counters describing one discovery run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct DiscoveryStats {
@@ -198,6 +223,25 @@ pub struct DiscoveryStats {
     pub sampling: Option<SamplingStats>,
 }
 
+impl Export for DiscoveryStats {
+    fn export(&self, prefix: &str, out: &mut MetricsSnapshot) {
+        let k = |name| condep_telemetry::key(prefix, name);
+        out.counter(k("relations_profiled"), self.relations_profiled as u64);
+        out.counter(k("lattice_nodes"), self.lattice_nodes as u64);
+        out.counter(k("cfd_candidates"), self.cfd_candidates as u64);
+        out.counter(k("cind_candidates"), self.cind_candidates as u64);
+        out.counter(k("pruned.trivial"), self.pruned_trivial as u64);
+        out.counter(k("pruned.nonminimal"), self.pruned_nonminimal as u64);
+        out.counter(k("pruned.implied"), self.pruned_implied as u64);
+        out.counter(k("pruned.cover"), self.pruned_cover as u64);
+        out.counter(k("pruned.capped"), self.pruned_capped as u64);
+        out.counter(k("implication_checks"), self.implication_checks as u64);
+        if let Some(s) = &self.sampling {
+            s.export(&condep_telemetry::key(prefix, "sampling"), out);
+        }
+    }
+}
+
 /// Wall-clock phase breakdown of one [`discover`] run, in milliseconds.
 /// For an exact run everything is mining; a sampled run splits into the
 /// reservoir scan, the mining walk over the sample, and the full-data
@@ -211,6 +255,15 @@ pub struct PhaseTimings {
     pub mine_ms: f64,
     /// Full-scan confirmation of the keep-set (0 for exact runs).
     pub confirm_ms: f64,
+}
+
+impl Export for PhaseTimings {
+    fn export(&self, prefix: &str, out: &mut MetricsSnapshot) {
+        let k = |name| condep_telemetry::key(prefix, name);
+        out.float(k("sample_ms"), self.sample_ms);
+        out.float(k("mine_ms"), self.mine_ms);
+        out.float(k("confirm_ms"), self.confirm_ms);
+    }
 }
 
 /// The ranked result of one [`discover`] run.
@@ -246,6 +299,18 @@ impl DiscoveredSigma {
     pub fn cinds_normal(&self) -> Vec<NormalCind> {
         self.cinds.iter().map(|d| d.cind.clone()).collect()
     }
+
+    /// The run as one metrics snapshot: kept counts under
+    /// `discover.kept.*`, [`DiscoveryStats`] under `discover.stats.*`
+    /// and [`PhaseTimings`] under `discover.timings.*`.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        out.counter("discover.kept.cfds", self.cfds.len() as u64);
+        out.counter("discover.kept.cinds", self.cinds.len() as u64);
+        self.stats.export("discover.stats", &mut out);
+        self.timings.export("discover.timings", &mut out);
+        out
+    }
 }
 
 /// Mines a ranked Σ′ from `db`. Deterministic for a fixed
@@ -270,9 +335,10 @@ fn discover_sampled(
     config: &DiscoveryConfig,
     sample_cfg: &SampleConfig,
 ) -> DiscoveredSigma {
-    let sample_started = std::time::Instant::now();
+    let sample_clock = Stopwatch::start();
     let outcome = sample::reservoir_sample(db, sample_cfg);
-    let sample_ms = sample_started.elapsed().as_secs_f64() * 1e3;
+    SAMPLE_SPAN.record_us(sample_clock.elapsed_us());
+    let sample_ms = sample_clock.elapsed_ms();
     let full_total: usize = outcome.full_rows.iter().sum();
     let sampled_total: usize = outcome.sampled_rows.iter().sum();
     if !outcome.any_downsampled() {
@@ -299,10 +365,8 @@ fn discover_sampled(
         .fold(0.0_f64, f64::max);
     let fraction = sampled_total as f64 / full_total.max(1) as f64;
     let mining = sample::sampled_mining_config(config, fraction, epsilon);
-    let mine_started = std::time::Instant::now();
     let mut found = discover_exact(&outcome.db, &mining);
     found.timings.sample_ms = sample_ms;
-    found.timings.mine_ms = mine_started.elapsed().as_secs_f64() * 1e3;
     for d in &mut found.cfds {
         let (m, n) = outcome.rows(d.cfd.rel());
         d.interval = Some(cfd_interval(
@@ -324,9 +388,10 @@ fn discover_sampled(
             sample_cfg,
         ));
     }
-    let confirm_started = std::time::Instant::now();
+    let confirm_clock = Stopwatch::start();
     let confirmed = confirm::confirm(db, config, &mut found.cfds, &mut found.cinds);
-    found.timings.confirm_ms = confirm_started.elapsed().as_secs_f64() * 1e3;
+    CONFIRM_SPAN.record_us(confirm_clock.elapsed_us());
+    found.timings.confirm_ms = confirm_clock.elapsed_ms();
     // Exact figures may reorder the ranking the sample suggested.
     found
         .cfds
@@ -439,7 +504,7 @@ fn cind_interval(
 
 /// The exact (unsampled) mining pipeline.
 fn discover_exact(db: &Database, config: &DiscoveryConfig) -> DiscoveredSigma {
-    let mine_started = std::time::Instant::now();
+    let mine_clock = Stopwatch::start();
     let mut stats = DiscoveryStats::default();
     let (interner, tables) = SymTables::build(db);
 
@@ -557,12 +622,13 @@ fn discover_exact(db: &Database, config: &DiscoveryConfig) -> DiscoveredSigma {
     let mut keep_cind = cover.cind.iter().map(|r| r.is_kept());
     kept_cinds.retain(|_| keep_cind.next().expect("one role per kept CIND"));
 
+    MINE_SPAN.record_us(mine_clock.elapsed_us());
     DiscoveredSigma {
         cfds: kept_cfds,
         cinds: kept_cinds,
         stats,
         timings: PhaseTimings {
-            mine_ms: mine_started.elapsed().as_secs_f64() * 1e3,
+            mine_ms: mine_clock.elapsed_ms(),
             ..PhaseTimings::default()
         },
     }

@@ -7,6 +7,7 @@ use condep_chase::ops::forced_target_template;
 use condep_chase::TplValue;
 use condep_model::fxhash::FxBuildHasher;
 use condep_model::{AttrId, BaseType, Database, RelId, Tuple, Value};
+use condep_telemetry::{Registry, SpanTimer};
 use condep_validate::{Mutation, SigmaReport, Validator, ValidatorStream};
 use std::collections::{BTreeMap, HashMap};
 
@@ -127,6 +128,14 @@ pub fn repair(
     let mut log = RepairLog::default();
     let mut budget_exhausted = false;
     let mut fill_serial = 0u64;
+    // Run-local instrumentation: the round-latency distribution plus
+    // accept/reject/stale counters, returned on the report
+    // (`RepairReport::metrics`) next to the stream's own telemetry.
+    let registry = Registry::new();
+    let round_us = registry.histogram("repair.round_us");
+    let accepted_fixes = registry.counter("repair.fixes.accepted");
+    let rejected_fixes = registry.counter("repair.fixes.rejected");
+    let stale_fixes = registry.counter("repair.fixes.stale");
 
     'rounds: loop {
         let report = stream.current_report();
@@ -138,6 +147,9 @@ pub fn repair(
             break;
         }
         log.rounds += 1;
+        // Dropped at the end of the iteration (including the `break
+        // 'rounds` path), recording the round's wall time.
+        let _round_span = SpanTimer::start(&round_us);
         let plan = plan_round(&stream, &report, cost, &mut fill_serial);
         if plan.is_empty() {
             break;
@@ -155,6 +167,7 @@ pub fn repair(
                         // Ill-typed candidate (e.g. a forced constant
                         // outside the attribute's domain): skip it.
                         log.rejected += 1;
+                        rejected_fixes.incr();
                         continue;
                     }
                 };
@@ -163,6 +176,7 @@ pub fn repair(
                     // target tuple; the whole conflict is replanned next
                     // round.
                     log.stale += 1;
+                    stale_fixes.incr();
                     break;
                 }
                 if applied.net_change() < 0 {
@@ -180,6 +194,7 @@ pub fn repair(
                         fix,
                         target,
                     });
+                    accepted_fixes.incr();
                     progressed = true;
                     break;
                 }
@@ -190,6 +205,7 @@ pub fn repair(
                     .revert(revert)
                     .expect("revert of a just-applied mutation cannot fail");
                 log.rejected += 1;
+                rejected_fixes.incr();
             }
         }
         if !progressed {
@@ -210,6 +226,22 @@ pub fn repair(
             Fix::InsertTuple { .. } => tuples_inserted += 1,
         }
     }
+    // The summary values are re-set from the log so the key set (minus
+    // the histograms) is identical whether the `telemetry` feature is
+    // on or off; with it on they overwrite the registry's counters with
+    // the same values.
+    let mut metrics = registry.snapshot();
+    metrics.counter("repair.rounds", log.rounds as u64);
+    metrics.counter("repair.fixes.accepted", log.applied.len() as u64);
+    metrics.counter("repair.fixes.rejected", log.rejected as u64);
+    metrics.counter("repair.fixes.stale", log.stale as u64);
+    metrics.counter("repair.violations.initial", initial_violations as u64);
+    metrics.counter("repair.violations.residual", residual.len() as u64);
+    metrics.counter("repair.cells_edited", cells_edited as u64);
+    metrics.counter("repair.tuples_deleted", tuples_deleted as u64);
+    metrics.counter("repair.tuples_inserted", tuples_inserted as u64);
+    metrics.float("repair.total_cost", total_cost);
+    metrics.merge("", &stream.telemetry().snapshot());
     (
         stream.into_db(),
         RepairReport {
@@ -221,6 +253,7 @@ pub fn repair(
             tuples_inserted,
             total_cost,
             budget_exhausted,
+            metrics,
         },
     )
 }

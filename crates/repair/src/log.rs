@@ -1,6 +1,7 @@
 //! The auditable trail a repair run leaves behind.
 
 use condep_model::{AttrId, RelId, Tuple, TupleId};
+use condep_telemetry::MetricsSnapshot;
 use condep_validate::SigmaReport;
 use std::fmt;
 
@@ -109,6 +110,11 @@ pub struct RepairReport {
     pub total_cost: f64,
     /// Did the run stop on the cascade budget rather than at fixpoint?
     pub budget_exhausted: bool,
+    /// The run's metrics under `repair.*` (rounds, accept/reject/stale
+    /// counts, round-latency histogram, net cost) merged with the delta
+    /// stream's own telemetry under `stream.*`. With the `telemetry`
+    /// feature off only the summary counters remain.
+    pub metrics: MetricsSnapshot,
 }
 
 impl RepairReport {

@@ -1,0 +1,393 @@
+//! A tiny hand-rolled JSON surface: a pretty-printing writer and a
+//! syntax validator.
+//!
+//! The repo takes no external dependencies, so every report that
+//! leaves the engine as JSON (`BENCH_*.json`, `HealthSnapshot`) is
+//! assembled by hand. This module centralizes that assembly — one
+//! escaper, one float policy (non-finite → `null`), one indentation
+//! style — replacing the per-bench `format!` chains, and provides
+//! [`is_valid`] so tests can assert round-trippability without a
+//! parser dependency.
+
+/// Incremental writer producing pretty-printed (2-space indented) JSON.
+///
+/// The caller drives it with `begin_*`/`end_*`/`key`/`value_*` calls;
+/// commas and newlines are inserted automatically. The writer does not
+/// validate call order — mismatched begin/end pairs produce garbage —
+/// but [`is_valid`] in tests catches that.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One frame per open container: `true` once the container has at
+    /// least one element (so the next element needs a comma).
+    stack: Vec<bool>,
+    /// Set after `key(…)`: the next value continues the current line.
+    after_key: bool,
+}
+
+impl JsonWriter {
+    /// A fresh writer with no output.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer and returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.stack.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Positions the cursor for the next element: after a key it stays
+    /// on the line; inside a container it emits the comma/newline.
+    fn pre_element(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.out.push(',');
+            }
+            *has_elems = true;
+            self.newline_indent();
+        }
+    }
+
+    /// Opens a `{`.
+    pub fn begin_object(&mut self) {
+        self.pre_element();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost `{`.
+    pub fn end_object(&mut self) {
+        let had_elems = self.stack.pop().unwrap_or(false);
+        if had_elems {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Opens a `[`.
+    pub fn begin_array(&mut self) {
+        self.pre_element();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost `[`.
+    pub fn end_array(&mut self) {
+        let had_elems = self.stack.pop().unwrap_or(false);
+        if had_elems {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Emits an object key; the next `value_*`/`begin_*` call is its value.
+    pub fn key(&mut self, name: &str) {
+        self.pre_element();
+        self.out.push('"');
+        escape_into(name, &mut self.out);
+        self.out.push_str("\": ");
+        self.after_key = true;
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn value_u64(&mut self, v: u64) {
+        self.pre_element();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Emits a signed integer value.
+    pub fn value_i64(&mut self, v: i64) {
+        self.pre_element();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Emits a float; NaN and ±∞ have no JSON spelling and become `null`.
+    pub fn value_f64(&mut self, v: f64) {
+        self.pre_element();
+        if v.is_finite() {
+            // `{}` on f64 is the shortest representation that parses
+            // back exactly; it never produces exponent notation for
+            // the magnitudes metrics reach.
+            let repr = format!("{v}");
+            self.out.push_str(&repr);
+            // Keep integral floats visibly floats ("3.0", not "3").
+            if !repr.contains(['.', 'e', 'E']) {
+                self.out.push_str(".0");
+            }
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Emits a string value, escaped.
+    pub fn value_str(&mut self, v: &str) {
+        self.pre_element();
+        self.out.push('"');
+        escape_into(v, &mut self.out);
+        self.out.push('"');
+    }
+
+    /// Emits a boolean value.
+    pub fn value_bool(&mut self, v: bool) {
+        self.pre_element();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Emits a `null`.
+    pub fn value_null(&mut self) {
+        self.pre_element();
+        self.out.push_str("null");
+    }
+}
+
+/// Escapes `s` per RFC 8259 into `out` (quotes not included).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Checks that `s` is one syntactically valid JSON value.
+///
+/// A strict recursive-descent pass over the RFC 8259 grammar —
+/// no value materialization, no number range checks. Used by tests
+/// and the smoke bench to assert that hand-assembled reports parse.
+pub fn is_valid(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut at = skip_ws(b, 0);
+    match value(b, at) {
+        Some(end) => {
+            at = skip_ws(b, end);
+            at == b.len()
+        }
+        None => false,
+    }
+}
+
+fn skip_ws(b: &[u8], mut at: usize) -> usize {
+    while at < b.len() && matches!(b[at], b' ' | b'\t' | b'\n' | b'\r') {
+        at += 1;
+    }
+    at
+}
+
+/// Parses one JSON value starting at `at`; returns the index just past it.
+fn value(b: &[u8], at: usize) -> Option<usize> {
+    match b.get(at)? {
+        b'{' => object(b, at),
+        b'[' => array(b, at),
+        b'"' => string(b, at),
+        b't' => literal(b, at, b"true"),
+        b'f' => literal(b, at, b"false"),
+        b'n' => literal(b, at, b"null"),
+        b'-' | b'0'..=b'9' => number(b, at),
+        _ => None,
+    }
+}
+
+fn literal(b: &[u8], at: usize, lit: &[u8]) -> Option<usize> {
+    if b.len() >= at + lit.len() && &b[at..at + lit.len()] == lit {
+        Some(at + lit.len())
+    } else {
+        None
+    }
+}
+
+fn object(b: &[u8], at: usize) -> Option<usize> {
+    let mut at = skip_ws(b, at + 1);
+    if b.get(at) == Some(&b'}') {
+        return Some(at + 1);
+    }
+    loop {
+        at = string(b, at)?;
+        at = skip_ws(b, at);
+        if b.get(at) != Some(&b':') {
+            return None;
+        }
+        at = skip_ws(b, at + 1);
+        at = value(b, at)?;
+        at = skip_ws(b, at);
+        match b.get(at)? {
+            b',' => at = skip_ws(b, at + 1),
+            b'}' => return Some(at + 1),
+            _ => return None,
+        }
+    }
+}
+
+fn array(b: &[u8], at: usize) -> Option<usize> {
+    let mut at = skip_ws(b, at + 1);
+    if b.get(at) == Some(&b']') {
+        return Some(at + 1);
+    }
+    loop {
+        at = value(b, at)?;
+        at = skip_ws(b, at);
+        match b.get(at)? {
+            b',' => at = skip_ws(b, at + 1),
+            b']' => return Some(at + 1),
+            _ => return None,
+        }
+    }
+}
+
+fn string(b: &[u8], at: usize) -> Option<usize> {
+    if b.get(at) != Some(&b'"') {
+        return None;
+    }
+    let mut at = at + 1;
+    loop {
+        match b.get(at)? {
+            b'"' => return Some(at + 1),
+            b'\\' => match b.get(at + 1)? {
+                b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => at += 2,
+                b'u' => {
+                    if at + 6 > b.len() || !b[at + 2..at + 6].iter().all(u8::is_ascii_hexdigit) {
+                        return None;
+                    }
+                    at += 6;
+                }
+                _ => return None,
+            },
+            c if *c < 0x20 => return None,
+            _ => at += 1,
+        }
+    }
+}
+
+fn number(b: &[u8], at: usize) -> Option<usize> {
+    let mut at = at;
+    if b.get(at) == Some(&b'-') {
+        at += 1;
+    }
+    // Integer part: "0" alone or a nonzero digit followed by digits.
+    match b.get(at)? {
+        b'0' => at += 1,
+        b'1'..=b'9' => {
+            while at < b.len() && b[at].is_ascii_digit() {
+                at += 1;
+            }
+        }
+        _ => return None,
+    }
+    if b.get(at) == Some(&b'.') {
+        at += 1;
+        if !b.get(at)?.is_ascii_digit() {
+            return None;
+        }
+        while at < b.len() && b[at].is_ascii_digit() {
+            at += 1;
+        }
+    }
+    if matches!(b.get(at), Some(b'e') | Some(b'E')) {
+        at += 1;
+        if matches!(b.get(at), Some(b'+') | Some(b'-')) {
+            at += 1;
+        }
+        if !b.get(at)?.is_ascii_digit() {
+            return None;
+        }
+        while at < b.len() && b[at].is_ascii_digit() {
+            at += 1;
+        }
+    }
+    Some(at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_valid_nested_json() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name");
+        w.value_str("batch \"quoted\"\n");
+        w.key("runs");
+        w.begin_array();
+        w.value_u64(1);
+        w.value_f64(2.5);
+        w.value_bool(true);
+        w.value_null();
+        w.end_array();
+        w.key("empty_obj");
+        w.begin_object();
+        w.end_object();
+        w.key("empty_arr");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        let json = w.finish();
+        assert!(is_valid(&json), "invalid JSON:\n{json}");
+        assert!(json.contains("\\\"quoted\\\"\\n"));
+    }
+
+    #[test]
+    fn validator_accepts_the_grammar() {
+        for good in [
+            "0",
+            "-1.5e+10",
+            "\"\"",
+            "\"a\\u00e9b\"",
+            "[]",
+            "{}",
+            "[1, 2, 3]",
+            "{\"a\": {\"b\": [true, false, null]}}",
+            "  {\"x\": 1}  ",
+        ] {
+            assert!(is_valid(good), "should be valid: {good}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "01",
+            "1.",
+            "+1",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "nulll",
+            "[1] trailing",
+            "NaN",
+        ] {
+            assert!(!is_valid(bad), "should be invalid: {bad}");
+        }
+    }
+
+    #[test]
+    fn control_characters_escape_as_unicode() {
+        let mut out = String::new();
+        escape_into("a\u{01}b", &mut out);
+        assert_eq!(out, "a\\u0001b");
+    }
+}

@@ -1,0 +1,134 @@
+//! Static keys: zero-lookup handles into the process-wide registry.
+//!
+//! A `static` key names its metric once at compile time; the first
+//! record resolves it against [`global()`] and caches the handle in a
+//! `OnceLock`, so every later record is just the atomic op (plus the
+//! clock read for spans) — no name hashing, no registry lock. This is
+//! the idiomatic way to instrument code that has no natural place to
+//! store a handle (free functions like `discover`, constructors like
+//! `Validator::new`):
+//!
+//! ```
+//! use condep_telemetry::{SpanKey, CounterKey};
+//!
+//! static COMPILE_SPAN: SpanKey = SpanKey::new("validator.compile_us");
+//! static GROUPS_BUILT: CounterKey = CounterKey::new("validator.groups_built");
+//!
+//! fn compile() {
+//!     let _span = COMPILE_SPAN.enter(); // records on drop
+//!     GROUPS_BUILT.add(1);
+//! }
+//! # compile();
+//! ```
+//!
+//! Components with per-instance state (`ValidatorStream`) own their
+//! own [`Registry`] instead, keeping instances independent and tests
+//! deterministic under parallel execution.
+
+use crate::metrics::{Counter, Histogram, Registry, SpanTimer};
+use std::sync::OnceLock;
+
+/// The process-wide registry that static keys resolve against.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A `static`-friendly named histogram for span timing.
+#[derive(Debug)]
+pub struct SpanKey {
+    name: &'static str,
+    cell: OnceLock<Histogram>,
+}
+
+impl SpanKey {
+    /// A key for the histogram named `name` in the global registry.
+    pub const fn new(name: &'static str) -> SpanKey {
+        SpanKey {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The metric name this key resolves.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The cached histogram handle (resolved on first use).
+    pub fn histogram(&'static self) -> &'static Histogram {
+        self.cell.get_or_init(|| global().histogram(self.name))
+    }
+
+    /// Starts a span recording into this key's histogram on drop.
+    #[inline]
+    pub fn enter(&'static self) -> SpanTimer {
+        SpanTimer::start(self.histogram())
+    }
+
+    /// Records an already-measured duration.
+    #[inline]
+    pub fn record_us(&'static self, us: u64) {
+        self.histogram().record_us(us);
+    }
+}
+
+/// A `static`-friendly named counter.
+#[derive(Debug)]
+pub struct CounterKey {
+    name: &'static str,
+    cell: OnceLock<Counter>,
+}
+
+impl CounterKey {
+    /// A key for the counter named `name` in the global registry.
+    pub const fn new(name: &'static str) -> CounterKey {
+        CounterKey {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The metric name this key resolves.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The cached counter handle (resolved on first use).
+    pub fn counter(&'static self) -> &'static Counter {
+        self.cell.get_or_init(|| global().counter(self.name))
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        self.counter().add(n);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.counter().incr();
+    }
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+
+    static TEST_SPAN: SpanKey = SpanKey::new("telemetry.test.span_us");
+    static TEST_COUNT: CounterKey = CounterKey::new("telemetry.test.count");
+
+    #[test]
+    fn static_keys_resolve_once_against_the_global_registry() {
+        TEST_COUNT.add(2);
+        TEST_COUNT.incr();
+        assert!(TEST_COUNT.counter().get() >= 3);
+        // The global registry sees the same storage.
+        assert!(global().counter("telemetry.test.count").get() >= 3);
+
+        TEST_SPAN.enter().stop();
+        assert!(TEST_SPAN.histogram().snapshot().count >= 1);
+        assert_eq!(TEST_SPAN.name(), "telemetry.test.span_us");
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # condep-telemetry — the engine's instrument panel
+//!
+//! A dependency-free, deterministic metrics core shared by every layer
+//! of the condep engine: validation streams, the batch validator,
+//! repair, discovery, the quality monitor and the bench harness all
+//! record into the same small vocabulary of instruments and export
+//! through the same snapshot type.
+//!
+//! ## The pieces
+//!
+//! | Type | Role |
+//! |---|---|
+//! | [`Registry`] | named [`Counter`]/[`Gauge`]/[`Histogram`] instruments; get-or-create by dotted name, lock-free recording through clonable handles |
+//! | [`Histogram`] | log2-bucket µs latency distribution; deterministic p50/p90/p99/max summaries |
+//! | [`SpanTimer`] | RAII guard timing construction→drop into a histogram |
+//! | [`SpanKey`]/[`CounterKey`] | `static` keys with a `OnceLock`-cached handle into the [`global()`] registry — the fast path for free functions |
+//! | [`Journal`] | bounded ring buffer of [`StreamEvent`]s: per-window mutations, compactions, online promote/retire |
+//! | [`MetricsSnapshot`] | sorted `dotted.name → value` map; the unit of exchange, rendered to JSON deterministically |
+//! | [`Export`] | one trait every stats struct implements to render itself into a snapshot subtree |
+//! | [`json`] | the hand-rolled JSON writer + syntax validator behind every report the engine emits |
+//!
+//! ## Feature gating
+//!
+//! The `telemetry` cargo feature (default-on) selects between real
+//! instruments and zero-sized no-op mirrors with identical signatures.
+//! Call sites never `cfg`; a `--no-default-features` build compiles
+//! them to nothing. The export surface ([`MetricsSnapshot`],
+//! [`Export`], [`json`]) is always available — snapshots from a
+//! disabled build are simply empty.
+//!
+//! Enabled builds add a *runtime* kill switch on top:
+//! [`Registry::disabled`] hands out storage-less handles whose record
+//! calls cost one branch, which lets tests A/B the instrumented hot
+//! path inside a single binary.
+
+mod journal;
+pub mod json;
+mod key;
+mod metrics;
+mod snapshot;
+
+pub use journal::{Journal, JournalEvent, StreamEvent};
+pub use key::{global, CounterKey, SpanKey};
+pub use metrics::{Counter, Gauge, Histogram, Registry, SpanTimer, Stopwatch};
+pub use snapshot::{Export, HistogramSnapshot, MetricValue, MetricsSnapshot};
+
+/// Joins a dotted `prefix` and a metric `name` (`""` prefix = verbatim).
+pub fn key(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}

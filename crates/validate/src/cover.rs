@@ -78,6 +78,18 @@ pub struct CoverStats {
     pub cind_unknown_kept: usize,
 }
 
+impl condep_telemetry::Export for CoverStats {
+    fn export(&self, prefix: &str, out: &mut condep_telemetry::MetricsSnapshot) {
+        let k = |name| condep_telemetry::key(prefix, name);
+        out.counter(k("cfd_merged"), self.cfd_merged as u64);
+        out.counter(k("cfd_implied"), self.cfd_implied as u64);
+        out.counter(k("cfd_unknown_kept"), self.cfd_unknown_kept as u64);
+        out.counter(k("cind_merged"), self.cind_merged as u64);
+        out.counter(k("cind_implied"), self.cind_implied as u64);
+        out.counter(k("cind_unknown_kept"), self.cind_unknown_kept as u64);
+    }
+}
+
 /// The cover of one constraint suite: a role per original dependency,
 /// in the caller's index space.
 #[derive(Clone, Debug)]

@@ -52,6 +52,7 @@
 
 pub mod cover;
 mod stream;
+mod telemetry;
 mod validator;
 
 pub use condep_model::TupleId;
@@ -59,7 +60,8 @@ pub use cover::{CoverRole, CoverStats, SigmaCover};
 pub use stream::{
     Applied, CompactionStats, IdDelta, MovedTuple, Mutation, SigmaDelta, ValidatorStream,
 };
-pub use validator::{RetireLog, SigmaReport, Validator};
+pub use telemetry::StreamTelemetry;
+pub use validator::{CompileStats, RetireLog, SigmaReport, Validator};
 
 #[cfg(test)]
 mod tests {

@@ -94,6 +94,7 @@
 //!   reclaimed), all without disturbing live keys, violations or held
 //!   ids.
 
+use crate::telemetry::{MutKind, StreamTelemetry};
 use crate::validator::{CfdGroup, CfdMember, SigmaReport, Validator};
 use condep_cfd::{CfdDelta, CfdViolation, NormalCfd};
 use condep_core::{CindDelta, CindViolation, NormalCind};
@@ -103,6 +104,7 @@ use condep_model::{
     TupleIdMap, Value,
 };
 use condep_query::SymIndex;
+use condep_telemetry::{SpanTimer, Stopwatch};
 use std::collections::{BTreeSet, HashSet};
 
 /// One value-level database mutation, appliable through
@@ -334,6 +336,11 @@ pub struct ValidatorStream {
     member_syms_gen: usize,
     /// How many members are still untranslated (unknown constants).
     member_syms_pending: usize,
+    /// The stream's instrument panel: latency histograms, hot-path
+    /// counters and the bounded activity journal. Private per stream;
+    /// cloning a stream starts fresh telemetry (see
+    /// [`StreamTelemetry`]'s `Clone`).
+    telemetry: StreamTelemetry,
 }
 
 /// Copies a group key out of a pre-symbolized row.
@@ -525,6 +532,31 @@ impl CompactionStats {
     }
 }
 
+impl condep_telemetry::Export for CompactionStats {
+    fn export(&self, prefix: &str, out: &mut condep_telemetry::MetricsSnapshot) {
+        let k = |name| condep_telemetry::key(prefix, name);
+        out.counter(k("key_groups_dropped"), self.key_groups_dropped as u64);
+        out.counter(k("key_groups_live"), self.key_groups_live as u64);
+        out.counter(
+            k("interned_strings_before"),
+            self.interned_strings_before as u64,
+        );
+        out.counter(
+            k("interned_strings_after"),
+            self.interned_strings_after as u64,
+        );
+        out.counter(
+            k("interned_bytes_before"),
+            self.interned_bytes_before as u64,
+        );
+        out.counter(k("interned_bytes_after"), self.interned_bytes_after as u64);
+        out.counter(
+            k("interned_bytes_reclaimed"),
+            self.interned_bytes_reclaimed() as u64,
+        );
+    }
+}
+
 /// One scoped member of a [`PairScope`]: `(member slot, applicable
 /// original-Σ indices, old pairs)`, computed from the pre-deletion
 /// state. The cover fan-out is stashed alongside because applicability
@@ -601,6 +633,7 @@ impl ValidatorStream {
 
     /// Builds the live indexes and violation sets from a trusted report.
     fn materialize(validator: Validator, db: Database, report: SigmaReport) -> Self {
+        let build_clock = Stopwatch::start();
         let interner = Interner::from_database(&db);
         let cfd_indexes = validator
             .cfd_groups()
@@ -691,9 +724,33 @@ impl ValidatorStream {
             member_syms: Vec::new(),
             member_syms_gen: 0,
             member_syms_pending: 0,
+            telemetry: StreamTelemetry::new(),
         };
         stream.rebuild_member_syms();
         stream
+            .telemetry
+            .materialize_us
+            .record_us(build_clock.elapsed_us());
+        stream
+    }
+
+    /// The stream's instrument panel: latency distributions, hot-path
+    /// counters and the recent-activity journal.
+    pub fn telemetry(&self) -> &StreamTelemetry {
+        &self.telemetry
+    }
+
+    /// Turns recording on or off at runtime, **resetting** all recorded
+    /// state either way (counters to zero, journal emptied). With
+    /// recording off every instrumentation site costs one branch; the
+    /// compile-time equivalent is building without the `telemetry`
+    /// feature.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.telemetry = if enabled {
+            StreamTelemetry::new()
+        } else {
+            StreamTelemetry::disabled()
+        };
     }
 
     /// The per-relation symbolization layout of a compiled suite: the
@@ -787,6 +844,7 @@ impl ValidatorStream {
         if cfds.is_empty() && cinds.is_empty() {
             return SigmaReport::default();
         }
+        let (n_cfds, n_cinds) = (cfds.len(), cinds.len());
         // The initial sweep for the newcomers, compiled exactly as the
         // spliced members are (uncovered singletons) so the violations
         // transfer index-shifted but otherwise verbatim.
@@ -885,6 +943,8 @@ impl ValidatorStream {
         }
         self.live_cfd.extend(report.cfd.iter().cloned());
         self.live_cind.extend(report.cind.iter().cloned());
+        self.telemetry
+            .record_promote(n_cfds, n_cinds, report.cfd.len() + report.cind.len());
         report
     }
 
@@ -933,6 +993,11 @@ impl ValidatorStream {
             }
         });
         resolved.sort();
+        self.telemetry.record_retire(
+            log.cfds.len(),
+            log.cinds.len(),
+            resolved.cfd.len() + resolved.cind.len(),
+        );
         resolved
     }
 
@@ -1010,6 +1075,7 @@ impl ValidatorStream {
     /// rebuild (e.g. periodically, or when an index's distinct-key count
     /// far exceeds the relation's size).
     pub fn compact(&mut self) -> CompactionStats {
+        let span = SpanTimer::start(&self.telemetry.compact_us);
         let mut stats = CompactionStats {
             interned_strings_before: self.interner.len(),
             interned_bytes_before: self.interner.str_bytes(),
@@ -1088,6 +1154,8 @@ impl ValidatorStream {
         }
         stats.interned_strings_after = self.interner.len();
         stats.interned_bytes_after = self.interner.str_bytes();
+        span.stop();
+        self.telemetry.record_compaction(&stats);
         stats
     }
 
@@ -1161,13 +1229,21 @@ impl ValidatorStream {
     ///   carries a key no target held before, every orphaned source
     ///   tuple with that key is **resolved**.
     pub fn insert_tuple(&mut self, rel: RelId, t: Tuple) -> Result<SigmaDelta, ModelError> {
+        let span = SpanTimer::start(&self.telemetry.mutation_us);
+        let groups0 = self.telemetry.probes_total();
         self.db.check_tuple(rel, &t)?;
         let row = self.sym_row_intern(rel, &t);
         // Interning may have made a pending member pattern translatable;
         // matching below is sym-space, so refresh first (O(1) when
         // nothing is pending).
         self.refresh_member_syms();
-        self.insert_inner(rel, t, &row)
+        let delta = self.insert_inner(rel, t, &row)?;
+        span.stop();
+        // A resident tuple allocates no id: that is the no-op signal.
+        let effective = delta.ids.born.is_some();
+        self.telemetry
+            .record_single(MutKind::Insert, effective.then_some(&delta), groups0);
+        Ok(delta)
     }
 
     /// The insert engine. `row` is the tuple's pre-symbolized key-cell
@@ -1200,6 +1276,7 @@ impl ValidatorStream {
             cind_y_slots,
             cind_x_slots,
             member_syms,
+            telemetry,
             ..
         } = self;
         delta.ids.born = Some(ids[rel.index()].alloc(pos));
@@ -1207,6 +1284,8 @@ impl ValidatorStream {
         sym_rows[rel.index()].extend_from_slice(row);
         let mut key_buf: Vec<SymValue> = Vec::new();
         let mut cov_buf: Vec<usize> = Vec::new();
+        // Hot-loop accounting stays in a local; one flush at the end.
+        let mut hash_probes = 0u64;
 
         // Target-role updates first, so a self-referential CIND can be
         // satisfied by the arriving tuple itself (batch semantics allow
@@ -1218,6 +1297,7 @@ impl ValidatorStream {
             key_from_slots(row, &cind_y_slots[gi], &mut key_buf);
             // One hash probe for the whole target-role step: the slot
             // handle answers emptiness and takes the insert.
+            hash_probes += 1;
             let slot = cind_targets[gi].ensure_slot(&key_buf);
             let was_absent = !cind_targets[gi].occupied_at(slot);
             cind_targets[gi].insert_at(slot, pos as u32);
@@ -1263,6 +1343,7 @@ impl ValidatorStream {
             // One hash probe per (mutation, group): the slot handle makes
             // every witness read and the final insert O(1), shared
             // across all wildcard members asking about this key.
+            hash_probes += 1;
             let slot = idx.ensure_slot(&key_buf);
             for (mi, m) in g.members.iter().enumerate() {
                 if !member_matches_sym(&member_syms[gi][mi], &key_buf) {
@@ -1327,6 +1408,7 @@ impl ValidatorStream {
                     continue;
                 }
                 key_from_slots(row, &cind_x_slots[gi][mi], &mut key_buf);
+                hash_probes += 2;
                 sidx.insert_key(pos as u32, &key_buf);
                 if !cind_targets[gi].contains_key(&key_buf) {
                     let payload = t.project(cind.x());
@@ -1345,6 +1427,7 @@ impl ValidatorStream {
 
         live_cfd.extend(delta.cfd.introduced.iter().cloned());
         live_cind.extend(delta.cind.introduced.iter().cloned());
+        telemetry.hash_probes.add(hash_probes);
         Ok(delta)
     }
 
@@ -1354,7 +1437,13 @@ impl ValidatorStream {
     /// renumbering ([`SigmaDelta::moved`]). `None` when the tuple is not
     /// present.
     pub fn delete_tuple(&mut self, rel: RelId, t: &Tuple) -> Option<SigmaDelta> {
-        self.delete_inner(rel, t)
+        let span = SpanTimer::start(&self.telemetry.mutation_us);
+        let groups0 = self.telemetry.probes_total();
+        let delta = self.delete_inner(rel, t);
+        span.stop();
+        self.telemetry
+            .record_single(MutKind::Delete, delta.as_ref(), groups0);
+        delta
     }
 
     /// The delete engine. The tuple's (and the moved tuple's)
@@ -1388,8 +1477,14 @@ impl ValidatorStream {
             cind_y_slots,
             cind_x_slots,
             member_syms,
+            telemetry,
             ..
         } = self;
+        // Hot-loop accounting stays in locals; one flush at the end.
+        let mut hash_probes = 0u64;
+        let mut slot_probes = 0u64;
+        let mut pair_fast = 0u64;
+        let mut pair_recompute = 0u64;
         // The deleted and moved tuples' cached rows, copied out so the
         // cache itself can be mutated at the end of the deletion.
         let stride = sym_attrs[rel.index()].len();
@@ -1438,6 +1533,7 @@ impl ValidatorStream {
             // per-position slot record recovers the deleted tuple's
             // group directly, and the handle serves the witness read,
             // the pair-scope scans and the final removal.
+            slot_probes += 1;
             let slot_t = idx
                 .slot_of_pos(pos as u32)
                 .expect("deleted tuple is indexed in every group of its relation");
@@ -1482,6 +1578,7 @@ impl ValidatorStream {
             // record; distinct keys own distinct slots, so handle
             // equality is key equality.
             let slot_m: Option<u32> = row_m.as_ref().map(|_| {
+                slot_probes += 1;
                 idx.slot_of_pos(last as u32)
                     .expect("moved tuple is indexed in every group of its relation")
             });
@@ -1494,6 +1591,7 @@ impl ValidatorStream {
             // The deleted tuple's key group.
             let fmin = idx.min_at(slot_t).expect("deleted tuple is in its group");
             if fmin as usize != pos {
+                pair_fast += 1;
                 // `pos` was not the witness (fmin < pos survives, and a
                 // same-key moved tuple renumbers *above* fmin, since
                 // pos > fmin). Resolve the deleted tuple's own pair and
@@ -1567,6 +1665,7 @@ impl ValidatorStream {
                 // restructure. Stash the old pairs for recomputation.
                 // (A singleton group has no pairs on either side of the
                 // deletion — nothing to stash.)
+                pair_recompute += 1;
                 scopes.extend(stash_scope(
                     g,
                     gi,
@@ -1623,6 +1722,7 @@ impl ValidatorStream {
                         // The moved tuple lands *below* the group's old
                         // witness and becomes the new one: restructure
                         // (skipped for a singleton group — no pairs).
+                        pair_recompute += 1;
                         scopes.extend(stash_scope(g, gi, idx, sm, db.relation(rel), mt, m_matches));
                     }
                 }
@@ -1648,6 +1748,8 @@ impl ValidatorStream {
                     continue;
                 }
                 key_from_slots(row, &cind_x_slots[gi][mi], &mut key_buf);
+                slot_probes += 1;
+                hash_probes += 1;
                 let slot = sidx
                     .slot_of_pos(pos as u32)
                     .expect("triggered source is indexed");
@@ -1679,6 +1781,7 @@ impl ValidatorStream {
             // Probe-free: the slot record serves the removal and the
             // became-empty check; the key is only materialized on the
             // rare orphaning path below.
+            slot_probes += 1;
             let slot = cind_targets[gi]
                 .slot_of_pos(pos as u32)
                 .expect("deleted target is indexed");
@@ -1760,6 +1863,7 @@ impl ValidatorStream {
                     if cind.lhs_rel() != rel || !cind.triggers(mt) {
                         continue;
                     }
+                    slot_probes += 1;
                     let slot = sidx
                         .slot_of_pos(last as u32)
                         .expect("triggered source is indexed");
@@ -1787,6 +1891,7 @@ impl ValidatorStream {
                 // `slot_of_pos` hits exactly when the moved tuple passed
                 // the Yp filter at insert — no pattern re-scan needed.
                 if g.rhs_rel == rel {
+                    slot_probes += 1;
                     if let Some(slot) = cind_targets[gi].slot_of_pos(last as u32) {
                         cind_targets[gi].replace_at(slot, last as u32, pos as u32);
                     }
@@ -1855,6 +1960,10 @@ impl ValidatorStream {
             from: last,
             to: pos,
         });
+        telemetry.hash_probes.add(hash_probes);
+        telemetry.slot_probes.add(slot_probes);
+        telemetry.pair_fast.add(pair_fast);
+        telemetry.pair_recompute.add(pair_recompute);
         Some(delta)
     }
 
@@ -2005,6 +2114,8 @@ impl ValidatorStream {
     /// returns the error with **nothing** applied (unlike a sequential
     /// `apply` loop, which would stop half-way).
     pub fn apply_deltas(&mut self, muts: &[Mutation]) -> Result<Vec<SigmaDelta>, ModelError> {
+        let span = SpanTimer::start(&self.telemetry.window_us);
+        let groups0 = self.telemetry.probes_total();
         for m in muts {
             match m {
                 Mutation::Insert { rel, tuple } => self.db.check_tuple(*rel, tuple)?,
@@ -2058,6 +2169,8 @@ impl ValidatorStream {
                 }
             }
         }
+        span.stop();
+        self.telemetry.record_window(&out, groups0);
         Ok(out)
     }
 

@@ -6,8 +6,15 @@ use condep_core::{CindViolation, NormalCind};
 use condep_model::fxhash::FxBuildHasher;
 use condep_model::{AttrId, Database, Interner, PValue, RelId, SymTables, SymValue, Value};
 use condep_query::SymIndex;
+use condep_telemetry::{Export, MetricsSnapshot, SpanKey, Stopwatch};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Static span keys: suite compilation happens in free constructors
+/// with no registry in hand, so these record into the global registry
+/// ([`condep_telemetry::global`]) through a once-resolved cached handle.
+static COVER_SPAN: SpanKey = SpanKey::new("validator.cover_us");
+static COMPILE_SPAN: SpanKey = SpanKey::new("validator.compile_us");
 
 /// One original CFD carried by a compiled member: its index in the
 /// caller's Σ plus its own LHS pattern (aligned with the group's sorted
@@ -162,6 +169,42 @@ pub struct Validator {
     retired_cinds: Vec<bool>,
     /// What the cover pass merged/dropped at compile time.
     cover_stats: CoverStats,
+    /// How long compilation took and what it produced.
+    compile_stats: CompileStats,
+}
+
+/// Wall-clock and shape facts of one suite compilation.
+///
+/// The timings also land in the global registry under
+/// `validator.cover_us` / `validator.compile_us` (histograms across
+/// every compile in the process); this struct is the per-suite view.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Σ-cover pass time, µs. Zero when the caller supplied the cover
+    /// ([`Validator::with_cover`] / [`Validator::new_uncovered`]).
+    pub cover_us: u64,
+    /// Group-compilation time, µs (grouping, canonicalization, slots).
+    pub compile_us: u64,
+    /// Compiled `(relation, LHS)` CFD groups.
+    pub cfd_groups: usize,
+    /// Compiled `(target relation, Y, Yp)` CIND groups.
+    pub cind_groups: usize,
+    /// Compiled CFD tableau-row members across all groups.
+    pub cfd_members: usize,
+    /// Compiled CIND members across all groups.
+    pub cind_members: usize,
+}
+
+impl Export for CompileStats {
+    fn export(&self, prefix: &str, out: &mut MetricsSnapshot) {
+        let k = |name| condep_telemetry::key(prefix, name);
+        out.counter(k("cover_us"), self.cover_us);
+        out.counter(k("compile_us"), self.compile_us);
+        out.counter(k("cfd_groups"), self.cfd_groups as u64);
+        out.counter(k("cind_groups"), self.cind_groups as u64);
+        out.counter(k("cfd_members"), self.cfd_members as u64);
+        out.counter(k("cind_members"), self.cind_members as u64);
+    }
 }
 
 /// Databases below this tuple count are validated on the calling thread;
@@ -175,8 +218,13 @@ impl Validator {
     /// emission site fans violations back out to the caller's original
     /// indices — reports are byte-identical to an uncovered compile.
     pub fn new(cfds: Vec<NormalCfd>, cinds: Vec<NormalCind>) -> Self {
+        let clock = Stopwatch::start();
         let cover = SigmaCover::exact(&cfds, &cinds);
-        Validator::with_cover(cfds, cinds, &cover)
+        let cover_us = clock.elapsed_us();
+        COVER_SPAN.record_us(cover_us);
+        let mut v = Validator::with_cover(cfds, cinds, &cover);
+        v.compile_stats.cover_us = cover_us;
+        v
     }
 
     /// Compiles the suite with **no** cover pass: one member per
@@ -193,6 +241,7 @@ impl Validator {
     /// satisfaction-style monitoring, which is why [`Validator::new`]
     /// sticks to the exact tier.
     pub fn with_cover(cfds: Vec<NormalCfd>, cinds: Vec<NormalCind>, cover: &SigmaCover) -> Self {
+        let clock = Stopwatch::start();
         assert_eq!(cover.cfd.len(), cfds.len(), "cover/Σ length mismatch");
         assert_eq!(cover.cind.len(), cinds.len(), "cover/Σ length mismatch");
         let mut cfd_index: HashMap<(RelId, Vec<AttrId>), usize, FxBuildHasher> = HashMap::default();
@@ -295,6 +344,16 @@ impl Validator {
 
         let retired_cfds = vec![false; cfds.len()];
         let retired_cinds = vec![false; cinds.len()];
+        let compile_us = clock.elapsed_us();
+        COMPILE_SPAN.record_us(compile_us);
+        let compile_stats = CompileStats {
+            cover_us: 0,
+            compile_us,
+            cfd_groups: cfd_groups.len(),
+            cind_groups: cind_groups.len(),
+            cfd_members: cfd_groups.iter().map(|g| g.members.len()).sum(),
+            cind_members: cind_groups.iter().map(|g| g.members.len()).sum(),
+        };
         Validator {
             cfds,
             cinds,
@@ -304,6 +363,7 @@ impl Validator {
             retired_cfds,
             retired_cinds,
             cover_stats: cover.stats,
+            compile_stats,
         }
     }
 
@@ -512,6 +572,11 @@ impl Validator {
     /// What the compile-time cover pass merged/dropped.
     pub fn cover_stats(&self) -> CoverStats {
         self.cover_stats
+    }
+
+    /// How long compilation took and what shape it produced.
+    pub fn compile_stats(&self) -> CompileStats {
+        self.compile_stats
     }
 
     /// Number of compiled CFD tableau-row members (≤ the number of CFDs

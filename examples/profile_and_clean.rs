@@ -155,5 +155,46 @@ fn main() {
         after.summary.total() < report.summary.total() / 10,
         "repair must eliminate at least 90% of the violations"
     );
-    println!("\nProfile → discover → validate → repair, closed without a hand-written rule.");
+
+    // Keep monitoring the cleaned instance: churn a few windows of
+    // mutations through the delta engine, then poll the operator-facing
+    // health snapshot — live violation counters, window/mutation
+    // latency percentiles, the activity journal tail and the full
+    // metric set, all in one JSON document.
+    let (mut monitor, _) = suite.monitor(repaired.clone());
+    let fact = repaired.schema().rel_id("fact").unwrap();
+    let sample: Vec<Tuple> = repaired
+        .relation(fact)
+        .tuples()
+        .iter()
+        .take(40)
+        .cloned()
+        .collect();
+    for window in sample.chunks(10) {
+        let mut muts: Vec<Mutation> = window
+            .iter()
+            .map(|t| Mutation::Delete {
+                rel: fact,
+                tuple: t.clone(),
+            })
+            .collect();
+        muts.extend(window.iter().map(|t| Mutation::Insert {
+            rel: fact,
+            tuple: t.clone(),
+        }));
+        monitor.ingest_batch(&muts).unwrap();
+    }
+    let health = monitor.health();
+    println!(
+        "\n=== Health: {} live violations, {} windows journaled, window p50 {} µs / p99 {} µs ===",
+        health.summary.total(),
+        health.journal_total,
+        health.window_latency.p50_us,
+        health.window_latency.p99_us
+    );
+    println!("{}", health.to_json());
+
+    println!(
+        "\nProfile → discover → validate → repair → monitor, closed without a hand-written rule."
+    );
 }

@@ -25,6 +25,24 @@
 //! | [`validate`] | **batched Σ-validation engine**: Σ grouped by `(relation, LHS set)`, one shared group-by index per group over interned keys, parallel sweep; `ValidatorStream` delta engine (insert/delete/update with violation retraction, value-level `Mutation`/`apply`/`revert`, `SigmaReport::apply_delta` consumer rule) hardened for whole-life monitoring: position-stable `TupleId` handles, batched `apply_deltas` windows, and full `compact()` (emptied key groups + dead interned strings reclaimed) |
 //! | [`repair`] | **cost-based repair engine**: greedy equivalence-class CFD repair (union-find over conflicting cells, majority/constant targets), CIND orphans chased into inserted targets or deleted, every fix verified net-negative through the delta engine and rolled back otherwise |
 //! | [`report`] | high-level data-quality façade: compiles Σ into a batched validator, runs it against a database and aggregates violations; `QualityMonitor` keeps the full report live from streamed deltas; `QualitySuite::repair` cleans a database through the repair engine |
+//! | [`telemetry`] | **unified observability core** (dependency-free): named counter/gauge registries, log2-bucket µs histograms with deterministic p50/p90/p99, RAII span timers, a bounded event journal and a hand-rolled JSON writer |
+//!
+//! ## Observability
+//!
+//! Every layer reports through [`telemetry`]: a `ValidatorStream` owns
+//! a private registry + journal (probe counts, cache-hit rates,
+//! mutation/window latency, compactions — see
+//! `condep_validate::StreamTelemetry`), free constructors like
+//! `Validator::new` and `discover::discover` record phase spans into
+//! the process-global registry ([`telemetry::global`]), a repair run
+//! returns its round metrics on `RepairReport::metrics`, and
+//! [`report::QualityMonitor::health`] rolls the live state — violation
+//! counts, latency percentiles, the journal tail, online-miner
+//! activity — into one JSON-serializable [`report::HealthSnapshot`].
+//! All recording sites compile to nothing with the default-on
+//! `telemetry` cargo feature disabled; the export surface
+//! ([`telemetry::MetricsSnapshot`], [`telemetry::Export`], the JSON
+//! writer) stays available either way.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +68,7 @@ pub use condep_model as model;
 pub use condep_query as query;
 pub use condep_repair as repair;
 pub use condep_sat as sat;
+pub use condep_telemetry as telemetry;
 pub use condep_validate as validate;
 
 pub mod report;
@@ -66,7 +85,8 @@ pub mod prelude {
         AttrId, Database, Domain, PValue, PatternRow, RelId, Schema, Tuple, TupleId, Value,
     };
     pub use crate::repair::{RepairBudget, RepairCost, RepairReport};
-    pub use crate::report::{QualityMonitor, QualityReport, ViolationSummary};
+    pub use crate::report::{HealthSnapshot, QualityMonitor, QualityReport, ViolationSummary};
+    pub use crate::telemetry::{Export, MetricsSnapshot};
     pub use crate::validate::{
         CompactionStats, Mutation, SigmaDelta, SigmaReport, Validator, ValidatorStream,
     };

@@ -12,6 +12,8 @@ use condep_discover::online::{OnlineConfig, OnlineMiner};
 use condep_discover::{DiscoveredSigma, DiscoveryConfig};
 use condep_model::{Database, ModelError, RelId, Schema, Tuple};
 use condep_repair::{RepairBudget, RepairCost, RepairReport};
+use condep_telemetry::json::JsonWriter;
+use condep_telemetry::{Export, HistogramSnapshot, JournalEvent, MetricsSnapshot};
 use condep_validate::{
     CompactionStats, CoverRole, Mutation, RetireLog, SigmaCover, SigmaDelta, SigmaReport,
     Validator, ValidatorStream,
@@ -64,6 +66,15 @@ impl ViolationSummary {
     /// Is the database clean with respect to the suite?
     pub fn is_clean(&self) -> bool {
         self.total() == 0
+    }
+}
+
+impl Export for ViolationSummary {
+    fn export(&self, prefix: &str, out: &mut MetricsSnapshot) {
+        let k = |name| condep_telemetry::key(prefix, name);
+        out.counter(k("cfd"), self.cfd_violations as u64);
+        out.counter(k("cind"), self.cind_violations as u64);
+        out.counter(k("tuples_checked"), self.tuples_checked as u64);
     }
 }
 
@@ -336,6 +347,16 @@ pub struct OnlineActivity {
     pub promoted: usize,
     /// Promoted dependencies later retired on confidence decay.
     pub retired: usize,
+}
+
+impl Export for OnlineActivity {
+    fn export(&self, prefix: &str, out: &mut MetricsSnapshot) {
+        let k = |name| condep_telemetry::key(prefix, name);
+        out.counter(k("polls"), self.polls as u64);
+        out.counter(k("proposed"), self.proposed as u64);
+        out.counter(k("promoted"), self.promoted as u64);
+        out.counter(k("retired"), self.retired as u64);
+    }
 }
 
 /// The online-discovery state bound to a monitor: the incremental miner
@@ -693,6 +714,31 @@ impl QualityMonitor {
         self.stream.validator()
     }
 
+    /// A point-in-time health snapshot: live violation counts, the
+    /// stream's window/mutation latency percentiles, the tail of its
+    /// activity journal, the online loop's counters and the full metric
+    /// set — everything an operator dashboard polls, in one call and
+    /// one JSON document ([`HealthSnapshot::to_json`]).
+    pub fn health(&self) -> HealthSnapshot {
+        let telemetry = self.stream.telemetry();
+        let summary = self.summary();
+        let online = self.online_activity();
+        let mut metrics = telemetry.snapshot();
+        summary.export("monitor.violations", &mut metrics);
+        if let Some(a) = &online {
+            a.export("monitor.online", &mut metrics);
+        }
+        HealthSnapshot {
+            summary,
+            window_latency: telemetry.window_latency(),
+            mutation_latency: telemetry.mutation_latency(),
+            journal: telemetry.journal_tail(HEALTH_JOURNAL_TAIL),
+            journal_total: telemetry.journal().total(),
+            online,
+            metrics,
+        }
+    }
+
     /// The full current report, resolved from the delta-maintained
     /// mirror — equal to re-checking the database from scratch, without
     /// the sweep (and equal to the stream's own materialized state,
@@ -708,6 +754,89 @@ impl QualityMonitor {
             self.tuples_checked,
             self.sigma.clone(),
         )
+    }
+}
+
+/// How many of the newest journal events a [`HealthSnapshot`] carries.
+const HEALTH_JOURNAL_TAIL: usize = 32;
+
+/// What [`QualityMonitor::health`] returns: the monitor's live state as
+/// plain data, serializable to one JSON document.
+///
+/// With the `telemetry` cargo feature off (or a stream built disabled)
+/// the latency histograms read zero and the journal is empty; the
+/// violation counts and online counters are always live.
+#[derive(Clone, Debug)]
+pub struct HealthSnapshot {
+    /// Live violation counts (delta-maintained, no validation run).
+    pub summary: ViolationSummary,
+    /// Latency distribution of batched windows
+    /// ([`QualityMonitor::ingest_batch`]), with p50/p90/p99.
+    pub window_latency: HistogramSnapshot,
+    /// Latency distribution of single-mutation ingests.
+    pub mutation_latency: HistogramSnapshot,
+    /// The newest journal events (up to 32), oldest first: per-window
+    /// mutation/violation churn, compactions, online promote/retire.
+    pub journal: Vec<JournalEvent>,
+    /// Journal events recorded over the monitor's lifetime (≥
+    /// `journal.len()`; the ring forgets, this count does not).
+    pub journal_total: u64,
+    /// Online-discovery counters, when the loop is enabled.
+    pub online: Option<OnlineActivity>,
+    /// Every stream metric, plus the summary under
+    /// `monitor.violations.*` and the online counters under
+    /// `monitor.online.*`.
+    pub metrics: MetricsSnapshot,
+}
+
+impl HealthSnapshot {
+    /// Renders the snapshot as one pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("violations");
+        w.begin_object();
+        w.key("cfd");
+        w.value_u64(self.summary.cfd_violations as u64);
+        w.key("cind");
+        w.value_u64(self.summary.cind_violations as u64);
+        w.key("total");
+        w.value_u64(self.summary.total() as u64);
+        w.key("tuples_checked");
+        w.value_u64(self.summary.tuples_checked as u64);
+        w.end_object();
+        w.key("window_latency_us");
+        self.window_latency.write_json(&mut w);
+        w.key("mutation_latency_us");
+        self.mutation_latency.write_json(&mut w);
+        w.key("journal_total");
+        w.value_u64(self.journal_total);
+        w.key("journal");
+        w.begin_array();
+        for e in &self.journal {
+            e.write_json(&mut w);
+        }
+        w.end_array();
+        w.key("online");
+        match &self.online {
+            Some(a) => {
+                w.begin_object();
+                w.key("polls");
+                w.value_u64(a.polls as u64);
+                w.key("proposed");
+                w.value_u64(a.proposed as u64);
+                w.key("promoted");
+                w.value_u64(a.promoted as u64);
+                w.key("retired");
+                w.value_u64(a.retired as u64);
+                w.end_object();
+            }
+            None => w.value_null(),
+        }
+        w.key("metrics");
+        self.metrics.write_json(&mut w);
+        w.end_object();
+        w.finish()
     }
 }
 
@@ -1077,6 +1206,91 @@ mod tests {
             2,
             "only the effective mutations reach the sketches"
         );
+    }
+
+    #[test]
+    fn health_snapshot_after_a_240_mutation_oracle_run() {
+        let suite = bank_suite();
+        let (mut monitor, _) = suite.monitor(bank_database());
+        let interest = suite.schema().rel_id("interest").unwrap();
+        // 240 mutations in 24 windows of 10: each window inserts and
+        // then deletes five fresh tuples, so every mutation is
+        // effective yet the database (and its two paper errors) ends
+        // each window unchanged.
+        for w in 0..24 {
+            let mut muts = Vec::new();
+            for j in 0..5 {
+                let t = tuple![format!("C{w}_{j}").as_str(), "UK", "checking", "9.9%"];
+                muts.push(Mutation::Insert {
+                    rel: interest,
+                    tuple: t.clone(),
+                });
+                muts.push(Mutation::Delete {
+                    rel: interest,
+                    tuple: t,
+                });
+            }
+            let deltas = monitor.ingest_batch(&muts).unwrap();
+            assert_eq!(deltas.len(), 10, "all ten mutations are effective");
+        }
+
+        let health = monitor.health();
+        assert_eq!(health.summary.total(), 2, "the paper's two errors remain");
+        let lat = &health.window_latency;
+        assert_eq!(lat.count, 24, "one latency sample per window");
+        assert!(lat.sum_us >= lat.max_us);
+        assert!(lat.p50_us <= lat.p90_us && lat.p90_us <= lat.p99_us);
+        assert_eq!(health.journal_total, 24);
+        assert_eq!(health.journal.len(), 24, "tail capacity is 32");
+        for (i, e) in health.journal.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "oldest first, monotone seqs");
+            match e.event {
+                condep_telemetry::StreamEvent::Window {
+                    mutations,
+                    introduced,
+                    resolved,
+                    ..
+                } => {
+                    assert_eq!(mutations, 10);
+                    assert_eq!(introduced, resolved, "each window nets to zero");
+                }
+                ref other => panic!("unexpected journal event: {other:?}"),
+            }
+        }
+        // The metric roll-up carries the stream's counters and the
+        // monitor-level summary.
+        let m = &health.metrics;
+        assert_eq!(
+            m.get("stream.mutations.inserts"),
+            Some(&condep_telemetry::MetricValue::Counter(120))
+        );
+        assert_eq!(
+            m.get("stream.mutations.deletes"),
+            Some(&condep_telemetry::MetricValue::Counter(120))
+        );
+        assert_eq!(
+            m.get("monitor.violations.cfd"),
+            Some(&condep_telemetry::MetricValue::Counter(1))
+        );
+
+        // The snapshot round-trips through the JSON writer: valid
+        // syntax, all top-level sections present.
+        let json = health.to_json();
+        assert!(
+            condep_telemetry::json::is_valid(&json),
+            "health JSON must parse: {json}"
+        );
+        for key in [
+            "\"violations\"",
+            "\"window_latency_us\"",
+            "\"mutation_latency_us\"",
+            "\"journal\"",
+            "\"journal_total\"",
+            "\"online\"",
+            "\"metrics\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]
