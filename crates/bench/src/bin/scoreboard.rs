@@ -1,0 +1,214 @@
+//! The scenario-matrix scoreboard harness.
+//!
+//! ```text
+//! scoreboard run  [--out PATH] [--only NAME[,NAME…]]
+//! scoreboard diff BASE NEW [--latency F] [--latency-floor-us N]
+//!                          [--throughput F] [--counter F]
+//! scoreboard list
+//! ```
+//!
+//! `run` drives every matrix scenario through the generic runner,
+//! validates the emitted document (well-formed JSON + required key
+//! schema) and writes it — by default to `SCOREBOARD.json` at the repo
+//! root, the committed baseline. `diff` compares two scoreboard
+//! documents with class-aware thresholds and exits `2` on any gated
+//! regression; `scoreboard diff SCOREBOARD.json SCOREBOARD.json` is
+//! zero-regression by construction. CI runs the matrix with
+//! `--out target/…` and diffs against the committed baseline with
+//! loose timing thresholds — counters still gate exactly.
+
+use condep_bench::scenario::{matrix, run_scenario, ScenarioResult};
+use condep_bench::scoreboard::{diff, emit, validate, Thresholds};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn default_out() -> PathBuf {
+    PathBuf::from(format!(
+        "{}/../../SCOREBOARD.json",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("list") => {
+            for s in matrix() {
+                println!("{:24} seed 0x{:X}", s.name, s.seed);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: scoreboard run [--out PATH] [--only NAME[,NAME…]]\n       \
+                 scoreboard diff BASE NEW [--latency F] [--latency-floor-us N] \
+                 [--throughput F] [--counter F]\n       scoreboard list"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let out = flag_value(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_out);
+    let only: Option<Vec<&str>> = flag_value(args, "--only").map(|v| v.split(',').collect());
+
+    let scenarios: Vec<_> = matrix()
+        .into_iter()
+        .filter(|s| only.as_ref().is_none_or(|names| names.contains(&s.name)))
+        .collect();
+    if scenarios.is_empty() {
+        eprintln!("scoreboard: no scenario matches --only");
+        return ExitCode::FAILURE;
+    }
+
+    let mut results: Vec<ScenarioResult> = Vec::with_capacity(scenarios.len());
+    for s in &scenarios {
+        let r = run_scenario(s);
+        print_result(&r);
+        results.push(r);
+    }
+
+    let doc = emit(&results);
+    // Self-gate before writing: the emitted document must satisfy its
+    // own schema.
+    if let Err(e) = validate(&doc) {
+        eprintln!("scoreboard: emitted document failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(dir) = out.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&out, &doc) {
+        Ok(()) => {
+            println!("\n(scoreboard: {})", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("scoreboard: cannot write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_result(r: &ScenarioResult) {
+    println!(
+        "{:24} rows {:>6}  churn {:>5} ops ({:>9.0} ops/s)  \
+         p50/p90/p99 {:>5}/{:>5}/{:>5} µs [{}]  violations {} -> {} -> {}{}",
+        r.name,
+        r.rows,
+        r.churn_ops,
+        r.churn_ops_per_s,
+        r.latency.p50_us,
+        r.latency.p90_us,
+        r.latency.p99_us,
+        r.latency.source,
+        r.violations.initial,
+        r.violations.residual,
+        r.violations.after_churn,
+        match &r.repair {
+            Some(rep) => format!(
+                "  repair {}+/{}-{}",
+                rep.accepted,
+                rep.rejected,
+                if rep.poisoned_classes > 0 {
+                    format!("  flips {}/{}", rep.majority_flips, rep.poisoned_classes)
+                } else {
+                    String::new()
+                }
+            ),
+            None => String::new(),
+        },
+    );
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    // Positional args are the two paths; every `--flag` consumes the
+    // token after it.
+    let mut positional: Vec<&str> = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        positional.push(a);
+    }
+    let [base_path, new_path] = positional.as_slice() else {
+        eprintln!("usage: scoreboard diff BASE NEW [--latency F] [--latency-floor-us N] [--throughput F] [--counter F]");
+        return ExitCode::FAILURE;
+    };
+
+    let mut t = Thresholds::default();
+    let parse = |v: Option<&str>, name: &str| -> Option<f64> {
+        v.map(|s| {
+            s.parse::<f64>()
+                .unwrap_or_else(|_| panic!("scoreboard: bad {name} value {s:?}"))
+        })
+    };
+    if let Some(v) = parse(flag_value(args, "--latency"), "--latency") {
+        t.latency_frac = v;
+    }
+    if let Some(v) = parse(flag_value(args, "--latency-floor-us"), "--latency-floor-us") {
+        t.latency_floor_us = v;
+    }
+    if let Some(v) = parse(flag_value(args, "--throughput"), "--throughput") {
+        t.throughput_frac = v;
+    }
+    if let Some(v) = parse(flag_value(args, "--counter"), "--counter") {
+        t.counter_frac = v;
+    }
+
+    let load = |path: &str| -> Result<condep_telemetry::json::JsonValue, String> {
+        let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        validate(&doc).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("scoreboard: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = diff(&base, &new, &t);
+    for msg in &report.incomparable {
+        println!("INCOMPARABLE  {msg}");
+    }
+    for a in &report.added {
+        println!("ADDED         {a} (no baseline entry)");
+    }
+    for r in &report.regressions {
+        println!(
+            "REGRESSION    {}.{}  {:?}  {} -> {}",
+            r.scenario, r.path, r.class, r.base, r.new
+        );
+    }
+    println!(
+        "scoreboard diff: {} compared, {} improved, {} regressed, {} incomparable",
+        report.compared,
+        report.improvements,
+        report.regressions.len(),
+        report.incomparable.len()
+    );
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

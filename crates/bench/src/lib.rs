@@ -13,6 +13,9 @@
 //! finishes quickly; set `CONDEP_BENCH_SCALE=full` to run the paper-size
 //! sweeps (20 relations × up to 20K constraints, 100-relation scaling).
 
+pub mod scenario;
+pub mod scoreboard;
+
 use std::fmt::Display;
 use std::fs;
 use std::path::PathBuf;

@@ -32,6 +32,7 @@
 pub mod constraints;
 pub mod data;
 pub mod schema;
+pub mod workload;
 
 pub use constraints::{generate_sigma, HiddenWitness, SigmaGenConfig};
 pub use data::{
@@ -39,3 +40,7 @@ pub use data::{
     DirtyDataConfig, InjectedDirt, PlantedDatabase, PlantedSigmaConfig,
 };
 pub use schema::{random_schema, SchemaGenConfig};
+pub use workload::{
+    adversarial_majority_dirt, churn_plan, AdversarialDatabase, AdversarialDirtConfig, ChurnConfig,
+    ChurnOp, ChurnPlan, PoisonedClass,
+};

@@ -1,0 +1,544 @@
+//! Workload-shaped mutation generators for the scenario scoreboard.
+//!
+//! Where [`data`](crate::data) builds *instances*, this module builds
+//! *schedules*: deterministic streams of inserts/deletes against a
+//! planted database ([`churn_plan`]) and targeted majority-flipping
+//! noise ([`adversarial_majority_dirt`]) — each with machine-checkable
+//! ground truth so a harness can score what a stream/repair run did
+//! against what the generator actually planted.
+
+use crate::data::{PlantedDatabase, PlantedSigmaConfig};
+use condep_model::{RelId, Tuple, Value};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Parameters of [`churn_plan`].
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Total mutations to schedule (inserts + deletes).
+    pub ops: usize,
+    /// Steady-state window size (mutations per `apply_deltas` batch).
+    /// `1` degenerates to a single-mutation schedule.
+    pub window: usize,
+    /// When non-zero, every 4th window is a *burst* of this many
+    /// mutations instead of `window` — the bursty-churn scenario's
+    /// latency-tail driver. `0` keeps every window at `window`.
+    pub burst: usize,
+    /// Key-skew exponent: class draws for pair 0 follow
+    /// `⌊u^(1+skew) · cardinality⌋` for uniform `u`, so `0.0` is
+    /// uniform and larger values concentrate churn on the low classes
+    /// (hot keys). Negative values are treated as `0.0`.
+    pub skew: f64,
+    /// Probability that a scheduled insert breaks pair 0's value lock
+    /// (its `d0` class drawn ≠ its `k0` class) — a guaranteed new
+    /// violation against the planted variable FD. `0.0` keeps every
+    /// insert clean.
+    pub dirt_rate: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            ops: 1024,
+            window: 16,
+            burst: 0,
+            skew: 0.0,
+            dirt_rate: 0.0,
+        }
+    }
+}
+
+/// One scheduled mutation against the planted `fact` relation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChurnOp {
+    /// Insert this tuple.
+    Insert(Tuple),
+    /// Delete this tuple (always a tuple a *prior* op of the same plan
+    /// inserted, so replaying the plan in order keeps every delete
+    /// effective).
+    Delete(Tuple),
+}
+
+/// A deterministic mutation schedule plus its ground truth.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnPlan {
+    /// The relation every op targets (the planted `fact`).
+    pub rel: RelId,
+    /// The schedule, pre-batched into `apply_deltas` windows. Window
+    /// sizes follow [`ChurnConfig::window`]/[`ChurnConfig::burst`];
+    /// the last window may be short.
+    pub windows: Vec<Vec<ChurnOp>>,
+    /// Ground truth: how many scheduled inserts break pair 0's value
+    /// lock (each introduces at least one violation on arrival).
+    pub dirty_inserts: usize,
+    /// Ground truth: pair-0 class draws per class, across all
+    /// scheduled inserts — the skew histogram.
+    pub class_draws: Vec<u64>,
+}
+
+impl ChurnPlan {
+    /// Total scheduled mutations.
+    pub fn ops(&self) -> usize {
+        self.windows.iter().map(Vec::len).sum()
+    }
+}
+
+/// Draws a class in `0..cardinality` skewed toward low classes:
+/// `⌊u^(1+skew) · cardinality⌋` for uniform `u ∈ [0,1)`. `skew ≤ 0`
+/// is the uniform draw.
+fn skewed_class<R: Rng>(rng: &mut R, cardinality: usize, skew: f64) -> usize {
+    if skew <= 0.0 {
+        return rng.gen_range(0..cardinality);
+    }
+    // 53 uniform mantissa bits → u ∈ [0, 1).
+    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let x = u.powf(1.0 + skew);
+    ((x * cardinality as f64) as usize).min(cardinality - 1)
+}
+
+/// Builds a deterministic churn schedule against `planted`'s `fact`
+/// relation: fresh inserts (ids `c0, c1, …` — disjoint from the
+/// planted `t{i}` namespace) whose pair-0 class follows the configured
+/// skew, interleaved with deletes of previously scheduled inserts
+/// (every 3rd op, FIFO), pre-batched into windows per
+/// [`ChurnConfig::window`]/[`ChurnConfig::burst`].
+///
+/// Inserts honor every pair's value lock except when the dirt coin
+/// ([`ChurnConfig::dirt_rate`]) fires, in which case pair 0's
+/// dependent cell is drawn from a *different* class than its key —
+/// ground truth for violation-introduction counts
+/// ([`ChurnPlan::dirty_inserts`]).
+///
+/// Deterministic for a fixed `(planted, cfg, seed)`.
+pub fn churn_plan<R: Rng>(
+    planted: &PlantedDatabase,
+    sigma: &PlantedSigmaConfig,
+    cfg: &ChurnConfig,
+    rng: &mut R,
+) -> ChurnPlan {
+    assert!(cfg.window >= 1, "windows hold at least one mutation");
+    let card = sigma.pair_cardinality;
+    let rel = planted.db.schema().rel_id("fact").expect("planted shape");
+
+    let mut windows = Vec::new();
+    let mut current: Vec<ChurnOp> = Vec::new();
+    let mut pending: VecDeque<Tuple> = VecDeque::new();
+    let mut class_draws = vec![0u64; card];
+    let mut dirty_inserts = 0usize;
+    let mut serial = 0usize;
+
+    let window_quota = |w: usize| {
+        if cfg.burst > 0 && w % 4 == 3 {
+            cfg.burst.max(1)
+        } else {
+            cfg.window
+        }
+    };
+
+    for op in 0..cfg.ops {
+        if op % 3 == 2 && !pending.is_empty() {
+            let victim = pending.pop_front().expect("non-empty");
+            current.push(ChurnOp::Delete(victim));
+        } else {
+            let mut values = Vec::with_capacity(1 + 2 * sigma.fd_pairs);
+            values.push(Value::str(format!("c{serial}")));
+            serial += 1;
+            for p in 0..sigma.fd_pairs {
+                let h = if p == 0 {
+                    let h = skewed_class(rng, card, cfg.skew);
+                    class_draws[h] += 1;
+                    h
+                } else {
+                    rng.gen_range(0..card)
+                };
+                values.push(Value::str(format!("k{p}_{h}")));
+                let g = if p == 0 && cfg.dirt_rate > 0.0 && rng.gen_bool(cfg.dirt_rate) {
+                    dirty_inserts += 1;
+                    // Any class but `h`: the lock is guaranteed broken.
+                    (h + 1 + rng.gen_range(0..card - 1)) % card
+                } else {
+                    h
+                };
+                values.push(Value::str(format!("d{p}_{g}")));
+            }
+            let t = Tuple::new(values);
+            pending.push_back(t.clone());
+            current.push(ChurnOp::Insert(t));
+        }
+        if current.len() >= window_quota(windows.len()) {
+            windows.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        windows.push(current);
+    }
+
+    ChurnPlan {
+        rel,
+        windows,
+        dirty_inserts,
+        class_draws,
+    }
+}
+
+/// Parameters of [`adversarial_majority_dirt`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdversarialDirtConfig {
+    /// How many `(pair, class)` slots to poison. Slots round-robin the
+    /// stable pairs and walk up through the non-constant classes, so
+    /// `classes ≤ stable_pairs · (pair_cardinality −
+    /// constant_rows_per_pair)` must hold.
+    pub classes: usize,
+    /// Conflicting copies injected per poisoned class, all agreeing on
+    /// one *wrong* dependent value. Choose `copies` above the class's
+    /// clean support and a count-based majority heuristic flips: it
+    /// keeps the dirty value and "repairs" the clean rows.
+    pub copies: usize,
+}
+
+/// Ground truth for one poisoned equivalence class.
+#[derive(Clone, Debug)]
+pub struct PoisonedClass {
+    /// The poisoned column pair.
+    pub pair: usize,
+    /// The poisoned class index within the pair.
+    pub class: usize,
+    /// The shared key value (`k{p}_{h}`) of the class.
+    pub key: Value,
+    /// The planted-clean dependent value (`d{p}_{h}`) — what a correct
+    /// repair should converge the class to.
+    pub clean_value: Value,
+    /// The injected dependent value (`adv{p}_{h}`) — what a fooled
+    /// majority vote converges to instead.
+    pub dirty_value: Value,
+    /// Clean resident rows of this class in the planted instance (the
+    /// honest votes).
+    pub clean_rows: usize,
+    /// Conflicting copies actually inserted (the dishonest votes).
+    pub injected: usize,
+}
+
+/// A poisoned instance plus its per-class ground truth.
+#[derive(Clone, Debug)]
+pub struct AdversarialDatabase {
+    /// The planted instance with the poison rows appended.
+    pub db: condep_model::Database,
+    /// One entry per poisoned `(pair, class)` slot.
+    pub poisoned: Vec<PoisonedClass>,
+}
+
+/// Injects **majority-flipping** dirt: for each targeted `(pair,
+/// class)` slot, inserts [`AdversarialDirtConfig::copies`] fresh rows
+/// that all share the class key and all agree on one wrong dependent
+/// value. Unlike [`dirtied_database`](crate::data::dirtied_database)'s
+/// independent typos, the conflicting rows *coordinate* — when they
+/// outnumber the class's clean support, a count-based majority repair
+/// heuristic elects the dirty value and edits the clean rows, and the
+/// returned ground truth lets a harness count exactly how many classes
+/// flipped.
+///
+/// Only stable (non-drifting) pairs and non-constant classes are
+/// targeted: constant tableau rows pin their class's dependent value
+/// by pattern, which a majority vote cannot flip, so poisoning them
+/// would not probe the heuristic. Other pairs of each poison row keep
+/// their value locks — every introduced violation is attributable to
+/// its slot.
+///
+/// Deterministic for a fixed `(planted, cfg, seed)`.
+pub fn adversarial_majority_dirt<R: Rng>(
+    planted: &PlantedDatabase,
+    sigma: &PlantedSigmaConfig,
+    cfg: &AdversarialDirtConfig,
+    rng: &mut R,
+) -> AdversarialDatabase {
+    let stable_pairs = sigma.fd_pairs - sigma.drift_pairs;
+    assert!(stable_pairs >= 1, "need a stable pair to poison");
+    let free_classes = sigma.pair_cardinality - sigma.constant_rows_per_pair;
+    assert!(
+        cfg.classes <= stable_pairs * free_classes,
+        "not enough non-constant (pair, class) slots to poison"
+    );
+
+    let mut db = planted.db.clone();
+    let schema = db.schema().clone();
+    let fact = schema.rel_id("fact").expect("planted shape");
+    let fact_rs = schema.relation(fact).expect("in range");
+
+    // Classes each pair gets poisoned on — the *other*-pair cells of a
+    // poison row must avoid them, or one slot's filler rows would cast
+    // extra clean votes in another slot's election and skew its ground
+    // truth.
+    let mut poisoned_on_pair = vec![std::collections::BTreeSet::new(); sigma.fd_pairs];
+    for i in 0..cfg.classes {
+        poisoned_on_pair[i % stable_pairs].insert(sigma.constant_rows_per_pair + i / stable_pairs);
+    }
+    let safe_classes: Vec<Vec<usize>> = poisoned_on_pair
+        .iter()
+        .map(|hit| {
+            (0..sigma.pair_cardinality)
+                .filter(|h| !hit.contains(h))
+                .collect()
+        })
+        .collect();
+    assert!(
+        safe_classes.iter().all(|s| !s.is_empty()),
+        "every pair needs at least one unpoisoned class for filler cells"
+    );
+
+    let mut poisoned = Vec::with_capacity(cfg.classes);
+    let mut serial = 0usize;
+    for i in 0..cfg.classes {
+        let pair = i % stable_pairs;
+        let class = sigma.constant_rows_per_pair + i / stable_pairs;
+        let key = Value::str(format!("k{pair}_{class}"));
+        let clean_value = Value::str(format!("d{pair}_{class}"));
+        let dirty_value = Value::str(format!("adv{pair}_{class}"));
+
+        let k_attr = fact_rs.attr_id(&format!("k{pair}")).expect("planted");
+        let clean_rows = db
+            .relation(fact)
+            .iter()
+            .filter(|t| t[k_attr] == key)
+            .count();
+
+        let mut injected = 0usize;
+        for _ in 0..cfg.copies {
+            let mut values = Vec::with_capacity(1 + 2 * sigma.fd_pairs);
+            values.push(Value::str(format!("adv{serial}")));
+            serial += 1;
+            for (q, safe) in safe_classes.iter().enumerate().take(sigma.fd_pairs) {
+                if q == pair {
+                    values.push(key.clone());
+                    values.push(dirty_value.clone());
+                } else {
+                    let g = safe[rng.gen_range(0..safe.len())];
+                    values.push(Value::str(format!("k{q}_{g}")));
+                    values.push(Value::str(format!("d{q}_{g}")));
+                }
+            }
+            if db.insert(fact, Tuple::new(values)).expect("well-typed") {
+                injected += 1;
+            }
+        }
+
+        poisoned.push(PoisonedClass {
+            pair,
+            class,
+            key,
+            clean_value,
+            dirty_value,
+            clean_rows,
+            injected,
+        });
+    }
+
+    AdversarialDatabase { db, poisoned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::clean_database_with_hidden_sigma;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn sigma() -> PlantedSigmaConfig {
+        PlantedSigmaConfig {
+            fd_pairs: 2,
+            pair_cardinality: 8,
+            constant_rows_per_pair: 2,
+            cind_count: 1,
+            tuples: 400,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn churn_plan_is_deterministic_for_a_fixed_seed() {
+        let cfg = sigma();
+        let churn = ChurnConfig {
+            ops: 500,
+            window: 16,
+            burst: 64,
+            skew: 1.5,
+            dirt_rate: 0.1,
+        };
+        for seed in 0..5u64 {
+            let planted = clean_database_with_hidden_sigma(&cfg, &mut StdRng::seed_from_u64(seed));
+            let a = churn_plan(
+                &planted,
+                &cfg,
+                &churn,
+                &mut StdRng::seed_from_u64(seed ^ 0xC0),
+            );
+            let b = churn_plan(
+                &planted,
+                &cfg,
+                &churn,
+                &mut StdRng::seed_from_u64(seed ^ 0xC0),
+            );
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn churn_plan_batches_bursts_and_conserves_ops() {
+        let cfg = sigma();
+        let planted = clean_database_with_hidden_sigma(&cfg, &mut StdRng::seed_from_u64(7));
+        let churn = ChurnConfig {
+            ops: 1000,
+            window: 16,
+            burst: 128,
+            ..Default::default()
+        };
+        let plan = churn_plan(&planted, &cfg, &churn, &mut StdRng::seed_from_u64(8));
+        assert_eq!(plan.ops(), 1000);
+        for (w, window) in plan.windows.iter().enumerate() {
+            let quota = if w % 4 == 3 { 128 } else { 16 };
+            if w + 1 < plan.windows.len() {
+                assert_eq!(window.len(), quota, "window {w}");
+            } else {
+                assert!(window.len() <= quota, "last window may be short");
+            }
+        }
+        // Every delete targets an earlier insert of the same plan.
+        let mut live: Vec<&Tuple> = Vec::new();
+        for op in plan.windows.iter().flatten() {
+            match op {
+                ChurnOp::Insert(t) => live.push(t),
+                ChurnOp::Delete(t) => {
+                    let at = live.iter().position(|l| *l == t).expect("prior insert");
+                    live.remove(at);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_class_draws_and_uniform_does_not() {
+        let cfg = PlantedSigmaConfig {
+            pair_cardinality: 64,
+            ..sigma()
+        };
+        let planted = clean_database_with_hidden_sigma(&cfg, &mut StdRng::seed_from_u64(3));
+        let run = |skew: f64| {
+            let churn = ChurnConfig {
+                ops: 6000,
+                window: 64,
+                skew,
+                ..Default::default()
+            };
+            churn_plan(&planted, &cfg, &churn, &mut StdRng::seed_from_u64(4)).class_draws
+        };
+        let skewed = run(2.0);
+        let uniform = run(0.0);
+        let mean = |d: &[u64]| d.iter().sum::<u64>() as f64 / d.len() as f64;
+        let max = |d: &[u64]| *d.iter().max().unwrap() as f64;
+        assert!(
+            max(&skewed) > 3.0 * mean(&skewed),
+            "skew 2.0 concentrates on hot classes: max {} mean {}",
+            max(&skewed),
+            mean(&skewed)
+        );
+        assert!(
+            max(&uniform) < 2.5 * mean(&uniform),
+            "uniform draws stay flat: max {} mean {}",
+            max(&uniform),
+            mean(&uniform)
+        );
+    }
+
+    #[test]
+    fn dirt_rate_ground_truth_matches_the_scheduled_lock_breaks() {
+        let cfg = sigma();
+        let planted = clean_database_with_hidden_sigma(&cfg, &mut StdRng::seed_from_u64(11));
+        let churn = ChurnConfig {
+            ops: 2000,
+            window: 32,
+            dirt_rate: 0.1,
+            ..Default::default()
+        };
+        let plan = churn_plan(&planted, &cfg, &churn, &mut StdRng::seed_from_u64(12));
+        // Structural recount: inserts whose pair-0 d-class ≠ k-class.
+        let fact_rs = planted.db.schema().relation(plan.rel).unwrap();
+        let k0 = fact_rs.attr_id("k0").unwrap();
+        let d0 = fact_rs.attr_id("d0").unwrap();
+        let mut broken = 0usize;
+        let mut inserts = 0usize;
+        for op in plan.windows.iter().flatten() {
+            if let ChurnOp::Insert(t) = op {
+                inserts += 1;
+                let k = t[k0].as_str().unwrap().to_string();
+                let d = t[d0].as_str().unwrap().to_string();
+                if k.trim_start_matches("k0_") != d.trim_start_matches("d0_") {
+                    broken += 1;
+                }
+            }
+        }
+        assert_eq!(plan.dirty_inserts, broken);
+        let rate = broken as f64 / inserts as f64;
+        assert!((0.03..=0.25).contains(&rate), "observed dirt rate {rate}");
+    }
+
+    #[test]
+    fn adversarial_dirt_flips_class_majorities_with_ground_truth() {
+        let cfg = PlantedSigmaConfig {
+            fd_pairs: 2,
+            pair_cardinality: 16,
+            constant_rows_per_pair: 2,
+            cind_count: 0,
+            tuples: 600,
+            ..Default::default()
+        };
+        let planted = clean_database_with_hidden_sigma(&cfg, &mut StdRng::seed_from_u64(21));
+        let adv = AdversarialDirtConfig {
+            classes: 4,
+            copies: 80,
+        };
+        let poisoned =
+            adversarial_majority_dirt(&planted, &cfg, &adv, &mut StdRng::seed_from_u64(22));
+        let again = adversarial_majority_dirt(&planted, &cfg, &adv, &mut StdRng::seed_from_u64(22));
+        assert_eq!(
+            poisoned.db.total_tuples(),
+            again.db.total_tuples(),
+            "deterministic"
+        );
+        assert_eq!(poisoned.poisoned.len(), 4);
+
+        let fact = poisoned.db.schema().rel_id("fact").unwrap();
+        let fact_rs = poisoned.db.schema().relation(fact).unwrap();
+        for slot in &poisoned.poisoned {
+            assert_eq!(slot.injected, adv.copies, "unique ids never collide");
+            assert!(
+                slot.class >= cfg.constant_rows_per_pair,
+                "constant classes are never poisoned"
+            );
+            let k = fact_rs.attr_id(&format!("k{}", slot.pair)).unwrap();
+            let d = fact_rs.attr_id(&format!("d{}", slot.pair)).unwrap();
+            let (mut dirty, mut clean) = (0usize, 0usize);
+            for t in poisoned.db.relation(fact).iter() {
+                if t[k] == slot.key {
+                    if t[d] == slot.dirty_value {
+                        dirty += 1;
+                    } else if t[d] == slot.clean_value {
+                        clean += 1;
+                    }
+                }
+            }
+            assert_eq!(dirty, slot.injected);
+            assert_eq!(clean, slot.clean_rows);
+            // The poison is a strict majority: the precondition for
+            // flipping a count-based repair vote.
+            assert!(
+                dirty > clean,
+                "pair {} class {}: {dirty} dirty vs {clean} clean",
+                slot.pair,
+                slot.class
+            );
+        }
+        let total: usize = poisoned.poisoned.iter().map(|p| p.injected).sum();
+        assert_eq!(
+            poisoned.db.total_tuples(),
+            planted.db.total_tuples() + total
+        );
+    }
+}

@@ -315,6 +315,192 @@ fn number(b: &[u8], at: usize) -> Option<usize> {
     Some(at)
 }
 
+/// A parsed JSON document — the value tree [`parse`] produces.
+///
+/// Object member order is preserved (the writer emits deterministic
+/// order, so round-trips stay comparable). Numbers are `f64`, which is
+/// lossless for every count the metric surfaces emit (< 2^53).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, members in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walks a `.`-separated member path from this value.
+    pub fn at(&self, path: &str) -> Option<&JsonValue> {
+        path.split('.').try_fold(self, |v, key| v.get(key))
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(vs) => Some(vs),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `s` into a [`JsonValue`] tree (`None` on any syntax error).
+///
+/// Accepts exactly the grammar [`is_valid`] accepts; the scoreboard
+/// diff uses this to materialize two reports and walk them key by key.
+pub fn parse(s: &str) -> Option<JsonValue> {
+    let b = s.as_bytes();
+    let at = skip_ws(b, 0);
+    let (v, end) = parse_value(b, at)?;
+    (skip_ws(b, end) == b.len()).then_some(v)
+}
+
+fn parse_value(b: &[u8], at: usize) -> Option<(JsonValue, usize)> {
+    match b.get(at)? {
+        b'{' => parse_object(b, at),
+        b'[' => parse_array(b, at),
+        b'"' => {
+            let (s, end) = parse_string(b, at)?;
+            Some((JsonValue::Str(s), end))
+        }
+        b't' => literal(b, at, b"true").map(|end| (JsonValue::Bool(true), end)),
+        b'f' => literal(b, at, b"false").map(|end| (JsonValue::Bool(false), end)),
+        b'n' => literal(b, at, b"null").map(|end| (JsonValue::Null, end)),
+        b'-' | b'0'..=b'9' => {
+            let end = number(b, at)?;
+            let n = std::str::from_utf8(&b[at..end]).ok()?.parse().ok()?;
+            Some((JsonValue::Num(n), end))
+        }
+        _ => None,
+    }
+}
+
+fn parse_object(b: &[u8], at: usize) -> Option<(JsonValue, usize)> {
+    let mut members = Vec::new();
+    let mut at = skip_ws(b, at + 1);
+    if b.get(at) == Some(&b'}') {
+        return Some((JsonValue::Object(members), at + 1));
+    }
+    loop {
+        let (key, end) = parse_string(b, at)?;
+        at = skip_ws(b, end);
+        if b.get(at) != Some(&b':') {
+            return None;
+        }
+        let (v, end) = parse_value(b, skip_ws(b, at + 1))?;
+        members.push((key, v));
+        at = skip_ws(b, end);
+        match b.get(at)? {
+            b',' => at = skip_ws(b, at + 1),
+            b'}' => return Some((JsonValue::Object(members), at + 1)),
+            _ => return None,
+        }
+    }
+}
+
+fn parse_array(b: &[u8], at: usize) -> Option<(JsonValue, usize)> {
+    let mut elems = Vec::new();
+    let mut at = skip_ws(b, at + 1);
+    if b.get(at) == Some(&b']') {
+        return Some((JsonValue::Array(elems), at + 1));
+    }
+    loop {
+        let (v, end) = parse_value(b, at)?;
+        elems.push(v);
+        at = skip_ws(b, end);
+        match b.get(at)? {
+            b',' => at = skip_ws(b, at + 1),
+            b']' => return Some((JsonValue::Array(elems), at + 1)),
+            _ => return None,
+        }
+    }
+}
+
+fn parse_string(b: &[u8], at: usize) -> Option<(String, usize)> {
+    // Validate first (one pass, shared grammar), then decode over the
+    // checked span so the decoder can assume well-formed escapes.
+    let end = string(b, at)?;
+    let body = std::str::from_utf8(&b[at + 1..end - 1]).ok()?;
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'b' => out.push('\u{08}'),
+            'f' => out.push('\u{0c}'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex4 = |cs: &mut std::str::Chars<'_>| -> Option<u32> {
+                    let h: String = cs.by_ref().take(4).collect();
+                    (h.len() == 4).then(|| u32::from_str_radix(&h, 16).ok())?
+                };
+                let mut code = hex4(&mut chars)?;
+                if (0xD800..0xDC00).contains(&code) {
+                    // A high surrogate must pair with `\uDCxx`.
+                    if chars.next() != Some('\\') || chars.next() != Some('u') {
+                        return None;
+                    }
+                    let low = hex4(&mut chars)?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return None;
+                    }
+                    code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                }
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some((out, end))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,5 +575,74 @@ mod tests {
         let mut out = String::new();
         escape_into("a\u{01}b", &mut out);
         assert_eq!(out, "a\\u0001b");
+    }
+
+    #[test]
+    fn parse_materializes_the_value_tree() {
+        let v =
+            parse("{\"a\": {\"b\": [1, 2.5, -3e2]}, \"s\": \"x\\ny\", \"t\": true, \"n\": null}")
+                .expect("valid");
+        assert_eq!(
+            v.at("a.b").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            v.at("a.b").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x\ny"));
+        assert_eq!(v.get("t"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("n"), Some(&JsonValue::Null));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.at("a.b.c"), None);
+    }
+
+    #[test]
+    fn parse_decodes_escapes_including_surrogate_pairs() {
+        assert_eq!(
+            parse("\"a\\u00e9\\t\\\\b\""),
+            Some(JsonValue::Str("aé\t\\b".to_string()))
+        );
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\""),
+            Some(JsonValue::Str("😀".to_string()))
+        );
+        assert_eq!(parse("\"\\ud83d\""), None, "lone high surrogate");
+    }
+
+    #[test]
+    fn parse_round_trips_the_writer() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name");
+        w.value_str("batch \"quoted\"\n");
+        w.key("runs");
+        w.begin_array();
+        w.value_u64(1);
+        w.value_f64(2.5);
+        w.value_null();
+        w.end_array();
+        w.end_object();
+        let json = w.finish();
+        let v = parse(&json).expect("writer output parses");
+        assert_eq!(
+            v.get("name").and_then(JsonValue::as_str),
+            Some("batch \"quoted\"\n")
+        );
+        assert_eq!(
+            v.get("runs"),
+            Some(&JsonValue::Array(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(2.5),
+                JsonValue::Null
+            ]))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_what_is_valid_rejects() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "01", "[1] trailing", "nulll"] {
+            assert_eq!(parse(bad), None, "should not parse: {bad}");
+        }
     }
 }

@@ -104,6 +104,19 @@ mod enabled {
         }
     }
 
+    impl HistogramCore {
+        /// Zeroes every bucket and summary cell in place, so handles
+        /// already pointing at this core observe a fresh histogram.
+        fn reset(&self) {
+            for b in &self.buckets {
+                b.store(0, Relaxed);
+            }
+            self.count.store(0, Relaxed);
+            self.sum.store(0, Relaxed);
+            self.max.store(0, Relaxed);
+        }
+    }
+
     /// A log2-bucket microsecond latency histogram handle.
     #[derive(Clone, Debug, Default)]
     pub struct Histogram(Option<Arc<HistogramCore>>);
@@ -353,6 +366,28 @@ mod enabled {
             ))
         }
 
+        /// Zeroes every registered instrument **in place**: names stay
+        /// registered and every handle already handed out (including
+        /// the `SpanKey`/`CounterKey` handles cached into the global
+        /// registry) keeps recording — into freshly zeroed storage.
+        ///
+        /// This is the per-run isolation hook for harnesses that drive
+        /// many workloads through one process: reset between runs and a
+        /// run's snapshot matches what a fresh process would have
+        /// recorded.
+        pub fn reset(&self) {
+            let Some(inner) = &self.inner else {
+                return;
+            };
+            for (_, slot) in inner.lock().unwrap().iter() {
+                match slot {
+                    Slot::Counter(c) => c.store(0, Relaxed),
+                    Slot::Gauge(g) => g.store(0, Relaxed),
+                    Slot::Histogram(h) => h.reset(),
+                }
+            }
+        }
+
         /// Snapshots every registered instrument, sorted by name.
         pub fn snapshot(&self) -> MetricsSnapshot {
             let mut out = MetricsSnapshot::new();
@@ -514,6 +549,9 @@ mod disabled {
         pub fn histogram(&self, _name: &str) -> Histogram {
             Histogram
         }
+        /// No-op.
+        #[inline(always)]
+        pub fn reset(&self) {}
         /// Always empty.
         #[inline(always)]
         pub fn snapshot(&self) -> MetricsSnapshot {
@@ -635,5 +673,50 @@ mod tests {
         let reg = Registry::new();
         reg.counter("dual");
         reg.gauge("dual");
+    }
+
+    #[test]
+    fn reset_run_reproduces_a_fresh_registry_snapshot() {
+        // The deterministic "run" both registries replay.
+        let run = |reg: &Registry| {
+            reg.counter("run.ops").add(42);
+            reg.gauge("run.level").set(-7);
+            let h = reg.histogram("run.lat_us");
+            for us in [3, 10, 10, 100, 1000] {
+                h.record_us(us);
+            }
+        };
+        // Pollute a registry with a first run — and hold handles issued
+        // *before* the reset, as a long-lived caller (or a cached
+        // SpanKey into the global registry) would.
+        let reg = Registry::new();
+        run(&reg);
+        let stale_counter = reg.counter("run.ops");
+        let stale_hist = reg.histogram("run.lat_us");
+        reg.reset();
+        assert_eq!(stale_counter.get(), 0, "reset zeroes in place");
+        assert_eq!(stale_hist.snapshot().count, 0);
+        // Replay the run on the reset registry — recording through the
+        // pre-reset handles, which must still point at live storage.
+        stale_counter.add(42);
+        reg.gauge("run.level").set(-7);
+        for us in [3, 10, 10, 100, 1000] {
+            stale_hist.record_us(us);
+        }
+        // A fresh registry running the same ops snapshots identically.
+        let fresh = Registry::new();
+        run(&fresh);
+        assert_eq!(
+            reg.snapshot().to_json(),
+            fresh.snapshot().to_json(),
+            "a reset run must reproduce a fresh-process snapshot"
+        );
+    }
+
+    #[test]
+    fn reset_on_a_disabled_registry_is_a_no_op() {
+        let reg = Registry::disabled();
+        reg.reset();
+        assert!(reg.snapshot().is_empty());
     }
 }

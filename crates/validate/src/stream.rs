@@ -740,6 +740,14 @@ impl ValidatorStream {
         &self.telemetry
     }
 
+    /// Rebounds the telemetry journal to keep the newest `capacity`
+    /// events (min 1; default 256) — a long-running monitor can retain
+    /// a full event tail instead of the last 256. Shrinking evicts the
+    /// oldest retained events; totals and sequence numbers survive.
+    pub fn set_journal_capacity(&mut self, capacity: usize) {
+        self.telemetry.set_journal_capacity(capacity);
+    }
+
     /// Turns recording on or off at runtime, **resetting** all recorded
     /// state either way (counters to zero, journal emptied). With
     /// recording off every instrumentation site costs one branch; the

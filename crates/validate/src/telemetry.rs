@@ -38,7 +38,8 @@ use condep_telemetry::{
     StreamEvent,
 };
 
-/// How many journal events a stream retains.
+/// How many journal events a stream retains by default
+/// ([`StreamTelemetry::set_journal_capacity`] rebounds it at runtime).
 const JOURNAL_CAPACITY: usize = 256;
 
 /// Which primitive a single-mutation call performed.
@@ -132,6 +133,15 @@ impl StreamTelemetry {
     /// The activity journal.
     pub fn journal(&self) -> &Journal {
         &self.journal
+    }
+
+    /// Rebounds the activity journal to keep the newest `capacity`
+    /// events (min 1; the default is 256). Long scenario runs raise it
+    /// to retain a full event tail; shrinking evicts the oldest
+    /// retained events immediately. Sequence numbers and the lifetime
+    /// total are unaffected.
+    pub fn set_journal_capacity(&mut self, capacity: usize) {
+        self.journal.set_capacity(capacity);
     }
 
     /// The newest `n` journal events, oldest first.

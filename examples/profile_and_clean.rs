@@ -194,6 +194,27 @@ fn main() {
     );
     println!("{}", health.to_json());
 
+    // Close with one scoreboard scenario: the same pipeline this
+    // example walked by hand, driven by the scenario-matrix harness
+    // (`cargo run -p condep-bench --bin scoreboard -- run`) and scored
+    // into a diffable entry.
+    let scenario = condep_bench::scenario::by_name("adversarial_dirt").unwrap();
+    let result = condep_bench::scenario::run_scenario(&scenario);
+    let repair = result.repair.expect("the scenario runs a repair pass");
+    println!(
+        "\n=== Scoreboard scenario '{}': {} rows, violations {} -> {}, repair {}+/{}- , \
+         majority flips {}/{} ===",
+        result.name,
+        result.rows,
+        result.violations.initial,
+        result.violations.residual,
+        repair.accepted,
+        repair.rejected,
+        repair.majority_flips,
+        repair.poisoned_classes,
+    );
+    println!("{}", condep_bench::scoreboard::emit(&[result]));
+
     println!(
         "\nProfile → discover → validate → repair → monitor, closed without a hand-written rule."
     );

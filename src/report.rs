@@ -685,6 +685,15 @@ impl QualityMonitor {
         self.stream.compact()
     }
 
+    /// Rebounds the stream's activity journal to keep the newest
+    /// `capacity` events (min 1; default 256), so a monitor driving a
+    /// long scenario can retain its full event tail. Shrinking evicts
+    /// the oldest retained events; [`HealthSnapshot::journal_total`]
+    /// and sequence numbers are unaffected.
+    pub fn set_journal_capacity(&mut self, capacity: usize) {
+        self.stream.set_journal_capacity(capacity);
+    }
+
     /// Folds one streamed delta into the mirrored report through the
     /// consumer rule ([`SigmaReport::apply_delta`]).
     fn consume(&mut self, delta: &SigmaDelta) {
