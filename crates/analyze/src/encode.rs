@@ -1,0 +1,297 @@
+//! SAT encoding of single-relation CFD consistency.
+//!
+//! The key fact (BravoFM07, consistency analysis): a CFD set over one
+//! relation is satisfiable by *some* nonempty instance iff it is
+//! satisfiable by a **single tuple** — CFD satisfaction is closed under
+//! subinstances, so any witness instance yields a one-tuple witness.
+//! That makes the encoding small: one propositional variable per
+//! `(attribute, value)` choice for a single hypothetical tuple.
+//!
+//! - **Finite attribute**: exactly-one over the domain's values.
+//! - **Infinite attribute**: at-most-one over the constants Σ mentions
+//!   for it; all-false means "some fresh value" that matches no
+//!   mentioned constant (an infinite domain always has one).
+//! - **Constant-RHS CFD** `(X → A, (pat ‖ c))`: a single tuple violates
+//!   it iff the pattern matches and `t[A] ≠ c`, giving the clause
+//!   `¬pat₁ ∨ … ∨ ¬patₖ ∨ (A=c)`. Variable-RHS CFDs are vacuous on one
+//!   tuple and contribute nothing (and therefore can never sit in an
+//!   unsat core).
+
+use condep_cfd::NormalCfd;
+use condep_model::{AttrId, RelId, Schema, Tuple, Value};
+use condep_sat::{Cnf, Lit, SolveResult, Solver, SolverConfig, Var};
+
+use crate::AnalyzeConfig;
+
+/// Outcome of deciding one relation's CFD set.
+#[derive(Debug, Clone)]
+pub enum RelationVerdict {
+    /// A single-tuple witness for the relation.
+    Sat(Tuple),
+    /// No nonempty instance of the relation satisfies the set; the
+    /// payload is a **minimal** unsat core of the caller's indices.
+    Unsat(Vec<usize>),
+    /// The solver's conflict budget tripped before a decision.
+    Unknown,
+}
+
+/// Per-attribute variable block for the single hypothetical tuple.
+struct AttrVars {
+    finite: bool,
+    /// Domain values (finite) or Σ-mentioned constants (infinite).
+    values: Vec<Value>,
+    vars: Vec<Var>,
+}
+
+struct Encoding {
+    cnf: Cnf,
+    attrs: Vec<AttrVars>,
+    /// Caller indices of CFDs that contributed a clause.
+    contributing: Vec<usize>,
+}
+
+/// Encode the active CFD subset for `rel` into CNF over one tuple.
+fn encode(schema: &Schema, rel: RelId, active: &[(usize, &NormalCfd)]) -> Encoding {
+    let rs = schema.relation(rel).expect("relation in schema");
+    let mut cnf = Cnf::new();
+    let mut attrs: Vec<AttrVars> = Vec::with_capacity(rs.arity());
+
+    for (attr, a) in rs.iter() {
+        if let Some(values) = a.domain().values() {
+            let vars = cnf.fresh_vars(values.len());
+            let lits: Vec<Lit> = vars.iter().map(|v| v.pos()).collect();
+            cnf.add_exactly_one(&lits);
+            attrs.push(AttrVars {
+                finite: true,
+                values: values.to_vec(),
+                vars,
+            });
+        } else {
+            // Collect the constants Σ mentions for this infinite attr.
+            let mut mentioned: Vec<Value> = Vec::new();
+            for (_, cfd) in active {
+                for (pos, &la) in cfd.lhs().iter().enumerate() {
+                    if la == attr {
+                        if let Some(v) = cfd.lhs_pat().cell(pos).as_const() {
+                            if !mentioned.contains(v) {
+                                mentioned.push(v.clone());
+                            }
+                        }
+                    }
+                }
+                if cfd.rhs() == attr {
+                    if let Some(v) = cfd.rhs_pat().as_const() {
+                        if !mentioned.contains(v) {
+                            mentioned.push(v.clone());
+                        }
+                    }
+                }
+            }
+            let vars = cnf.fresh_vars(mentioned.len());
+            let lits: Vec<Lit> = vars.iter().map(|v| v.pos()).collect();
+            if lits.len() > 1 {
+                cnf.add_at_most_one(&lits);
+            }
+            attrs.push(AttrVars {
+                finite: false,
+                values: mentioned,
+                vars,
+            });
+        }
+        debug_assert_eq!(attrs.len() - 1, attr.index());
+    }
+
+    // Literal asserting `t[attr] = v`, or None when the value is
+    // outside a finite domain (unsatisfiable by any tuple).
+    let value_lit = |attrs: &[AttrVars], attr: AttrId, v: &Value| -> Option<Lit> {
+        let av = &attrs[attr.index()];
+        av.values
+            .iter()
+            .position(|x| x == v)
+            .map(|i| av.vars[i].pos())
+    };
+
+    let mut contributing = Vec::new();
+    'cfd: for &(idx, cfd) in active {
+        let Some(rhs_const) = cfd.rhs_pat().as_const() else {
+            continue; // variable RHS: vacuous on a single tuple
+        };
+        let mut clause: Vec<Lit> = Vec::new();
+        for (pos, &la) in cfd.lhs().iter().enumerate() {
+            if let Some(v) = cfd.lhs_pat().cell(pos).as_const() {
+                match value_lit(&attrs, la, v) {
+                    // Premise constant outside the finite domain: the
+                    // row can never match, the CFD is vacuous.
+                    None => continue 'cfd,
+                    Some(lit) => clause.push(!lit),
+                }
+            }
+        }
+        // An RHS constant outside the finite domain contributes no
+        // literal: the conclusion can never hold, so the clause keeps
+        // only the negated premise (empty if the premise is
+        // all-wildcard).
+        if let Some(lit) = value_lit(&attrs, cfd.rhs(), rhs_const) {
+            clause.push(lit);
+        }
+        cnf.add_clause(clause);
+        contributing.push(idx);
+    }
+
+    Encoding {
+        cnf,
+        attrs,
+        contributing,
+    }
+}
+
+/// Extend an encoding with pinned cell values (used by the chase).
+/// Returns `false` when a pin is unsatisfiable (finite domain missing
+/// the value).
+fn apply_pins(enc: &mut Encoding, pins: &[(AttrId, Value)]) -> bool {
+    for (attr, v) in pins {
+        let av = &mut enc.attrs[attr.index()];
+        let pos = match av.values.iter().position(|x| x == v) {
+            Some(p) => Some(p),
+            None if av.finite => return false,
+            None => {
+                // Infinite attr pinned to an unmentioned constant:
+                // introduce its variable so clauses stay sound (it can
+                // never equal a *different* mentioned constant).
+                av.values.push(v.clone());
+                let var = enc.cnf.fresh_var();
+                av.vars.push(var);
+                let lits: Vec<Lit> = av.vars.iter().map(|x| x.pos()).collect();
+                if lits.len() > 1 {
+                    enc.cnf.add_at_most_one(&lits);
+                }
+                Some(av.values.len() - 1)
+            }
+        };
+        if let Some(p) = pos {
+            let lit = enc.attrs[attr.index()].vars[p].pos();
+            enc.cnf.add_unit(lit);
+        }
+    }
+    true
+}
+
+fn solve(enc: &Encoding, config: &AnalyzeConfig) -> SolveResult {
+    if enc.cnf.is_trivially_unsat() {
+        return SolveResult::Unsat;
+    }
+    Solver::with_config(
+        &enc.cnf,
+        SolverConfig {
+            max_conflicts: config.max_conflicts,
+        },
+    )
+    .solve()
+}
+
+/// Decode a model into the witness tuple. Fresh values for
+/// unconstrained infinite attrs avoid every mentioned constant plus
+/// the caller's `avoid` set (so the witness prefers not to trigger
+/// CIND conditions it doesn't have to).
+fn decode(
+    schema: &Schema,
+    rel: RelId,
+    enc: &Encoding,
+    model: &[bool],
+    avoid: &[(AttrId, Value)],
+) -> Tuple {
+    let rs = schema.relation(rel).expect("relation in schema");
+    let mut cells: Vec<Value> = Vec::with_capacity(rs.arity());
+    for (attr, a) in rs.iter() {
+        let av = &enc.attrs[attr.index()];
+        let chosen = av
+            .vars
+            .iter()
+            .position(|v| model[v.index()])
+            .map(|i| av.values[i].clone());
+        match chosen {
+            Some(v) => cells.push(v),
+            None => {
+                debug_assert!(!av.finite, "exactly-one guarantees a finite choice");
+                let extra: Vec<&Value> = avoid
+                    .iter()
+                    .filter(|(x, _)| *x == attr)
+                    .map(|(_, v)| v)
+                    .collect();
+                let fresh = a
+                    .domain()
+                    .fresh_value(av.values.iter().chain(extra.iter().copied()))
+                    .expect("infinite domain always has a fresh value");
+                cells.push(fresh);
+            }
+        }
+    }
+    Tuple::new(cells)
+}
+
+/// Decide consistency of `cfds` (pairs of caller index + CFD, all on
+/// `rel`) over a single hypothetical tuple, with pinned cells.
+///
+/// On `Unsat` the returned core is shrunk by deletion until minimal:
+/// every index is necessary (dropping any one makes the rest — plus
+/// the pins — satisfiable). `avoid` only biases fresh-value choice in
+/// the witness; it never affects the verdict.
+pub(crate) fn relation_consistency_pinned(
+    schema: &Schema,
+    rel: RelId,
+    cfds: &[(usize, &NormalCfd)],
+    pins: &[(AttrId, Value)],
+    avoid: &[(AttrId, Value)],
+    config: &AnalyzeConfig,
+) -> RelationVerdict {
+    let run = |active: &[(usize, &NormalCfd)]| -> (SolveResult, Encoding) {
+        let mut enc = encode(schema, rel, active);
+        if !apply_pins(&mut enc, pins) {
+            return (SolveResult::Unsat, enc);
+        }
+        let r = solve(&enc, config);
+        (r, enc)
+    };
+
+    let (result, enc) = run(cfds);
+    match result {
+        SolveResult::Sat(model) => RelationVerdict::Sat(decode(schema, rel, &enc, &model, avoid)),
+        SolveResult::Unknown => RelationVerdict::Unknown,
+        SolveResult::Unsat => {
+            // Deletion-based shrink over the clause-contributing
+            // subset. Non-contributing CFDs (variable RHS, dead rows)
+            // can never be core members.
+            let mut core: Vec<usize> = enc.contributing.clone();
+            for candidate in enc.contributing {
+                let trial: Vec<(usize, &NormalCfd)> = cfds
+                    .iter()
+                    .filter(|(i, _)| core.contains(i) && *i != candidate)
+                    .copied()
+                    .collect();
+                let (r, _) = run(&trial);
+                if matches!(r, SolveResult::Unsat) {
+                    core.retain(|&i| i != candidate);
+                }
+                // Sat or Unknown: keep the candidate (conservative —
+                // with the default budget tiny encodings never trip).
+            }
+            core.sort_unstable();
+            RelationVerdict::Unsat(core)
+        }
+    }
+}
+
+/// Decide consistency of one relation's CFD set (public entry used by
+/// the Σ driver, discovery's keep stage, and `condep-consistency`).
+///
+/// `cfds` pairs each CFD with the caller's index for it; core indices
+/// and the [`crate::SigmaLint`] catalogue are reported in that
+/// numbering.
+pub fn relation_consistency(
+    schema: &Schema,
+    rel: RelId,
+    cfds: &[(usize, &NormalCfd)],
+    config: &AnalyzeConfig,
+) -> RelationVerdict {
+    relation_consistency_pinned(schema, rel, cfds, &[], &[], config)
+}

@@ -194,6 +194,7 @@ fn main() {
                 &RepairCost::uniform(),
                 &RepairBudget::default(),
             )
+            .expect("bench sigmas are satisfiable by construction")
         });
         // Acceptance gate: zero residual CFD violations, CIND residual
         // only with an exhausted cascade budget; and the repaired

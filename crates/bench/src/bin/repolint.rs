@@ -1,0 +1,260 @@
+//! Repo-level lint pass for the telemetry conventions CI enforces next
+//! to `fmt` and `clippy`:
+//!
+//! 1. **Key naming** — every string literal passed to `SpanKey` /
+//!    `CounterKey` construction outside `crates/telemetry` must be dot-lowercase
+//!    (`layer.what` segments of `[a-z0-9_]`) and its first segment must
+//!    be documented as a `` `<prefix>.*` `` row in the metric-naming
+//!    table of `crates/telemetry/README.md`.
+//! 2. **Feature twins** — any file using `#[cfg(feature = "telemetry")]`
+//!    must either gate the whole file (`#![cfg(feature = "telemetry")]`)
+//!    or carry a `#[cfg(not(feature = "telemetry"))]` no-op twin, so a
+//!    `--no-default-features` build never loses an item silently.
+//!
+//! Run from anywhere in the workspace: `cargo run -p condep-bench --bin
+//! repolint`. Exits 1 with one line per finding.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(format!("{}/../..", env!("CARGO_MANIFEST_DIR")))
+}
+
+/// Directories the walk never descends into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "shims", "node_modules"];
+
+fn rust_sources(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(root) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !SKIP_DIRS.contains(&name) {
+                rust_sources(&path, out);
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Is `name` a dotted lowercase metric path (`layer.what[_us]`)?
+fn dot_lowercase(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('.').collect();
+    segments.len() >= 2
+        && segments.iter().all(|s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// Every `` `<prefix>.*` `` the telemetry README's naming table blesses.
+fn documented_prefixes(readme: &str) -> Vec<String> {
+    let mut prefixes = Vec::new();
+    for line in readme.lines() {
+        let mut rest = line;
+        while let Some(start) = rest.find('`') {
+            let tail = &rest[start + 1..];
+            let Some(end) = tail.find('`') else { break };
+            let span = &tail[..end];
+            if let Some(prefix) = span.strip_suffix(".*") {
+                if dot_lowercase(&format!("{prefix}.x")) {
+                    prefixes.push(prefix.to_string());
+                }
+            }
+            rest = &tail[end + 1..];
+        }
+    }
+    prefixes
+}
+
+/// Extracts the string-literal arguments of `<kind>::new("…")` calls.
+fn key_literals<'a>(source: &'a str, kind: &str) -> Vec<&'a str> {
+    let needle = format!("{kind}::new(\"");
+    let mut found = Vec::new();
+    let mut rest = source;
+    while let Some(at) = rest.find(&needle) {
+        let tail = &rest[at + needle.len()..];
+        if let Some(end) = tail.find('"') {
+            found.push(&tail[..end]);
+            rest = &tail[end..];
+        } else {
+            break;
+        }
+    }
+    found
+}
+
+/// Rule 1 over one file's source; returns human-readable findings.
+fn check_key_names(rel: &str, source: &str, prefixes: &[String]) -> Vec<String> {
+    let mut findings = Vec::new();
+    for kind in ["SpanKey", "CounterKey"] {
+        for name in key_literals(source, kind) {
+            if !dot_lowercase(name) {
+                findings.push(format!(
+                    "{rel}: {kind} \"{name}\" is not dot-lowercase (want layer.what)"
+                ));
+                continue;
+            }
+            let layer = name.split('.').next().unwrap_or("");
+            if !prefixes.iter().any(|p| p == layer) {
+                findings.push(format!(
+                    "{rel}: {kind} \"{name}\" uses prefix `{layer}.*` that is not documented \
+                     in crates/telemetry/README.md's naming table"
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Rule 2 over one file's source.
+fn check_cfg_twin(rel: &str, source: &str) -> Vec<String> {
+    let gated = source.contains("#[cfg(feature = \"telemetry\")]");
+    if !gated {
+        return Vec::new();
+    }
+    let whole_file = source.contains("#![cfg(feature = \"telemetry\")]");
+    let twin = source.contains("#[cfg(not(feature = \"telemetry\"))]");
+    if whole_file || twin {
+        return Vec::new();
+    }
+    vec![format!(
+        "{rel}: gates items on feature \"telemetry\" without a \
+         #[cfg(not(feature = \"telemetry\"))] no-op twin (or a whole-file #![cfg])"
+    )]
+}
+
+fn main() -> ExitCode {
+    let root = repo_root();
+    let readme_path = root.join("crates/telemetry/README.md");
+    let readme = match fs::read_to_string(&readme_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("repolint: cannot read {}: {e}", readme_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let prefixes = documented_prefixes(&readme);
+    if prefixes.is_empty() {
+        eprintln!("repolint: no `prefix.*` rows found in the telemetry README naming table");
+        return ExitCode::FAILURE;
+    }
+
+    let mut sources = Vec::new();
+    rust_sources(&root, &mut sources);
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &sources {
+        let Ok(source) = fs::read_to_string(path) else {
+            continue;
+        };
+        scanned += 1;
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .display()
+            .to_string();
+        // The telemetry crate documents the mechanism and uses scratch
+        // key names in its own doctests/tests; only the twin rule
+        // applies to it.
+        if !rel.starts_with("crates/telemetry") {
+            findings.extend(check_key_names(&rel, &source, &prefixes));
+        }
+        findings.extend(check_cfg_twin(&rel, &source));
+    }
+
+    if findings.is_empty() {
+        println!(
+            "repolint: {scanned} files clean ({} documented prefixes)",
+            prefixes.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("repolint: {f}");
+        }
+        eprintln!("repolint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_lowercase_accepts_metric_paths_only() {
+        assert!(dot_lowercase("discover.sample_us"));
+        assert!(dot_lowercase("stream.probes.slot"));
+        assert!(!dot_lowercase("Discover.sample"));
+        assert!(!dot_lowercase("flat"));
+        assert!(!dot_lowercase("a..b"));
+        assert!(!dot_lowercase("a.b-c"));
+    }
+
+    #[test]
+    fn prefixes_come_from_backticked_star_rows() {
+        let readme = "| `stream.*` | stream |\n| `validator.*` | v |\nplain text";
+        assert_eq!(documented_prefixes(readme), vec!["stream", "validator"]);
+    }
+
+    #[test]
+    fn key_literals_are_extracted_and_checked() {
+        // Assembled at runtime so the lint's own source stays clean
+        // under its self-scan.
+        let src = format!(
+            "static S: SpanKey = SpanKey::{call}(\"discover.mine_us\");\n\
+             static C: CounterKey = CounterKey::{call}(\"Bad.Name\");",
+            call = "new"
+        );
+        assert_eq!(key_literals(&src, "SpanKey"), vec!["discover.mine_us"]);
+        let prefixes = vec!["discover".to_string()];
+        let findings = check_key_names("f.rs", &src, &prefixes);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("Bad.Name"));
+    }
+
+    #[test]
+    fn cfg_twin_rule_accepts_whole_file_gates_and_twins() {
+        let gated_only = "#[cfg(feature = \"telemetry\")] fn a() {}";
+        assert_eq!(check_cfg_twin("f.rs", gated_only).len(), 1);
+        let with_twin =
+            "#[cfg(feature = \"telemetry\")] fn a() {}\n#[cfg(not(feature = \"telemetry\"))] fn a() {}";
+        assert!(check_cfg_twin("f.rs", with_twin).is_empty());
+        let whole = "#![cfg(feature = \"telemetry\")]\nfn a() {}";
+        assert!(check_cfg_twin("f.rs", whole).is_empty());
+        assert!(check_cfg_twin("f.rs", "fn a() {}").is_empty());
+    }
+
+    #[test]
+    fn the_real_repo_is_clean() {
+        // The CI step runs the binary; this keeps `cargo test` parity.
+        let root = repo_root();
+        let readme = std::fs::read_to_string(root.join("crates/telemetry/README.md")).unwrap();
+        let prefixes = documented_prefixes(&readme);
+        assert!(!prefixes.is_empty());
+        let mut sources = Vec::new();
+        rust_sources(&root, &mut sources);
+        assert!(sources.len() > 50, "walk found too few files");
+        for path in sources {
+            let Ok(source) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let rel = path.strip_prefix(&root).unwrap().display().to_string();
+            if !rel.starts_with("crates/telemetry") {
+                assert_eq!(
+                    check_key_names(&rel, &source, &prefixes),
+                    Vec::<String>::new()
+                );
+            }
+            assert_eq!(check_cfg_twin(&rel, &source), Vec::<String>::new());
+        }
+    }
+}

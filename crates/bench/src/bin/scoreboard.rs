@@ -103,6 +103,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
 }
 
 fn print_result(r: &ScenarioResult) {
+    if let Some(sl) = &r.sigma_lint {
+        println!(
+            "{:24} {} families  sat/unsat/unknown {}/{}/{}  core cfds {}  \
+             lints {}  misses {}",
+            r.name,
+            sl.families,
+            sl.sat,
+            sl.unsat,
+            sl.unknown,
+            sl.core_cfds,
+            sl.lints,
+            sl.expectation_misses,
+        );
+        return;
+    }
     println!(
         "{:24} rows {:>6}  churn {:>5} ops ({:>9.0} ops/s)  \
          p50/p90/p99 {:>5}/{:>5}/{:>5} µs [{}]  violations {} -> {} -> {}{}",

@@ -119,6 +119,11 @@ pub struct Scenario {
     /// When non-zero, retire + re-add pair 0's planted dependencies
     /// every this many churn windows — live Σ churn.
     pub sigma_churn_every: usize,
+    /// When set, the scenario is a **static-analysis sweep**: run the
+    /// Σ analyzer over this many seeds of `condep-gen`'s expectation-
+    /// carrying families instead of the data pipeline. Every counter
+    /// it produces is deterministic and gates exactly.
+    pub sigma_lint: Option<usize>,
 }
 
 /// Elapsed wall time per pass, microseconds (informational — the diff
@@ -210,6 +215,29 @@ pub struct StreamStats {
     pub probe_hit_rate: f64,
 }
 
+/// Σ static-analysis sweep counters (the `sigma_lint` scenario).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SigmaLintStats {
+    /// Families analyzed across all seeds.
+    pub families: u64,
+    /// `Sat` verdicts (each with a witness that re-validated).
+    pub sat: u64,
+    /// `Unsat` verdicts (each with a minimal core).
+    pub unsat: u64,
+    /// `Unknown` verdicts (budgeted-chase give-ups).
+    pub unknown: u64,
+    /// Total unsat-core CFDs across all `Unsat` verdicts.
+    pub core_cfds: u64,
+    /// Total Σ lints raised.
+    pub lints: u64,
+    /// Sat witnesses that re-validated through `Validator` (must equal
+    /// `sat`).
+    pub witness_ok: u64,
+    /// Families whose analysis missed the generator's expectation
+    /// (must stay 0).
+    pub expectation_misses: u64,
+}
+
 /// Live-Σ churn counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SigmaChurnStats {
@@ -253,6 +281,8 @@ pub struct ScenarioResult {
     pub online: Option<(u64, u64, u64, u64)>,
     /// Live-Σ churn counters.
     pub sigma_churn: SigmaChurnStats,
+    /// Static-analysis sweep counters (the `sigma_lint` scenario).
+    pub sigma_lint: Option<SigmaLintStats>,
     /// The monitor's full end-of-run metric set (plus
     /// `monitor.violations.*` / `monitor.online.*`).
     pub metrics: MetricsSnapshot,
@@ -292,6 +322,7 @@ pub fn matrix() -> Vec<Scenario> {
                 window: 256,
             }),
             sigma_churn_every: 0,
+            sigma_lint: None,
         },
         Scenario {
             name: "bursty_churn",
@@ -309,6 +340,7 @@ pub fn matrix() -> Vec<Scenario> {
             }),
             online: None,
             sigma_churn_every: 0,
+            sigma_lint: None,
         },
         Scenario {
             name: "singleton_churn",
@@ -326,6 +358,7 @@ pub fn matrix() -> Vec<Scenario> {
             }),
             online: None,
             sigma_churn_every: 0,
+            sigma_lint: None,
         },
         Scenario {
             name: "hot_key_skew",
@@ -347,6 +380,7 @@ pub fn matrix() -> Vec<Scenario> {
             }),
             online: None,
             sigma_churn_every: 0,
+            sigma_lint: None,
         },
         Scenario {
             name: "adversarial_dirt",
@@ -369,6 +403,7 @@ pub fn matrix() -> Vec<Scenario> {
             churn: ChurnSpec::None,
             online: None,
             sigma_churn_every: 0,
+            sigma_lint: None,
         },
         Scenario {
             name: "many_small_relations",
@@ -387,6 +422,7 @@ pub fn matrix() -> Vec<Scenario> {
             },
             online: None,
             sigma_churn_every: 0,
+            sigma_lint: None,
         },
         Scenario {
             name: "one_huge_relation",
@@ -409,6 +445,7 @@ pub fn matrix() -> Vec<Scenario> {
             },
             online: None,
             sigma_churn_every: 0,
+            sigma_lint: None,
         },
         Scenario {
             name: "sigma_churn",
@@ -426,6 +463,24 @@ pub fn matrix() -> Vec<Scenario> {
             }),
             online: None,
             sigma_churn_every: 8,
+            sigma_lint: None,
+        },
+        Scenario {
+            name: "sigma_lint",
+            seed: 0x51F0,
+            // The data-pipeline fields are inert for an analysis sweep.
+            data: DataShape::ManyRelations {
+                relations: 0,
+                tuples_per_relation: 0,
+                sigma_cardinality: 0,
+            },
+            dirt: Dirt::None,
+            discover: None,
+            repair: false,
+            churn: ChurnSpec::None,
+            online: None,
+            sigma_churn_every: 0,
+            sigma_lint: Some(24),
         },
     ]
 }
@@ -696,8 +751,95 @@ fn churn_windows(
     }
 }
 
+/// Runs a static-analysis sweep: `seeds` instances of every Σ family,
+/// each analyzed and held to its generator-declared expectation.
+fn run_sigma_lint(s: &Scenario, seeds: usize) -> ScenarioResult {
+    use condep_analyze::{analyze, AnalyzeConfig, SigmaVerdict};
+    use condep_gen::{sigma_families, ExpectedVerdict};
+
+    let config = AnalyzeConfig::default();
+    let mut stats = SigmaLintStats::default();
+    let mut constraints = 0u64;
+    let t0 = Instant::now();
+    for i in 0..seeds as u64 {
+        for family in sigma_families(s.seed ^ i) {
+            stats.families += 1;
+            constraints += (family.cfds.len() + family.cinds.len()) as u64;
+            let analysis = analyze(&family.schema, &family.cfds, &family.cinds, &config);
+            stats.lints += analysis.lints.len() as u64;
+            let mut hit = analysis.lints.len() == family.expect.lints;
+            match &analysis.verdict {
+                SigmaVerdict::Sat(w) => {
+                    stats.sat += 1;
+                    hit &= family.expect.verdict == ExpectedVerdict::Sat;
+                    let v =
+                        condep_validate::Validator::new(family.cfds.clone(), family.cinds.clone());
+                    if v.validate(&w.db).is_empty() {
+                        stats.witness_ok += 1;
+                    } else {
+                        hit = false;
+                    }
+                }
+                SigmaVerdict::Unsat(core) => {
+                    stats.unsat += 1;
+                    stats.core_cfds += core.cfds.len() as u64;
+                    hit &= family.expect.verdict == ExpectedVerdict::Unsat
+                        && core.cfds.len() == family.expect.core_size;
+                }
+                SigmaVerdict::Unknown(_) => {
+                    stats.unknown += 1;
+                    hit &= family.expect.verdict == ExpectedVerdict::Unknown;
+                }
+            }
+            if !hit {
+                stats.expectation_misses += 1;
+            }
+        }
+    }
+    let sigma_us = t0.elapsed().as_micros() as u64;
+
+    let mut metrics = MetricsSnapshot::new();
+    metrics.counter("analyze.families", stats.families);
+    metrics.counter("analyze.verdict.sat", stats.sat);
+    metrics.counter("analyze.verdict.unsat", stats.unsat);
+    metrics.counter("analyze.verdict.unknown", stats.unknown);
+    metrics.counter("analyze.core.cfds", stats.core_cfds);
+    metrics.counter("analyze.lints", stats.lints);
+    metrics.counter("analyze.witness.ok", stats.witness_ok);
+    metrics.counter("analyze.expectation.misses", stats.expectation_misses);
+
+    ScenarioResult {
+        name: s.name,
+        seed: s.seed,
+        rows: constraints,
+        relations: stats.families,
+        churn_ops: 0,
+        passes: vec!["sigma_lint"],
+        elapsed: ElapsedUs {
+            sigma: sigma_us,
+            ..ElapsedUs::default()
+        },
+        validate_tuples_per_s: 0.0,
+        churn_ops_per_s: 0.0,
+        latency: LatencySummary {
+            source: "window",
+            ..LatencySummary::default()
+        },
+        violations: ViolationCounts::default(),
+        repair: None,
+        stream: StreamStats::default(),
+        online: None,
+        sigma_churn: SigmaChurnStats::default(),
+        sigma_lint: Some(stats),
+        metrics,
+    }
+}
+
 /// Runs one scenario end to end and captures its result.
 pub fn run_scenario(s: &Scenario) -> ScenarioResult {
+    if let Some(seeds) = s.sigma_lint {
+        return run_sigma_lint(s, seeds);
+    }
     let mut rng = StdRng::seed_from_u64(s.seed);
     let mut passes: Vec<&'static str> = vec!["generate"];
 
@@ -739,7 +881,9 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
     let (db, repair_outcome, repair_us) = if s.repair {
         passes.push("repair");
         let t0 = Instant::now();
-        let (repaired, report) = suite.repair(db, &RepairCost::default(), &RepairBudget::default());
+        let (repaired, report) = suite
+            .repair(db, &RepairCost::default(), &RepairBudget::default())
+            .expect("scenario sigmas are satisfiable by construction");
         let repair_us = t0.elapsed().as_micros() as u64;
         violations.residual = report.residual.len() as u64;
         violations.after_churn = violations.residual;
@@ -901,6 +1045,7 @@ pub fn run_scenario(s: &Scenario) -> ScenarioResult {
             )
         }),
         sigma_churn,
+        sigma_lint: None,
         metrics: health.metrics,
     }
 }

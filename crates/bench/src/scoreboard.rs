@@ -182,6 +182,34 @@ fn write_entry(w: &mut JsonWriter, r: &ScenarioResult) {
     w.value_u64(r.sigma_churn.readds);
     w.end_object();
 
+    // Static-analysis sweep counters: null for pipeline scenarios (the
+    // diff flattener skips nulls), an exact-gated counter block for the
+    // `sigma_lint` scenario.
+    w.key("sigma_lint");
+    match &r.sigma_lint {
+        Some(sl) => {
+            w.begin_object();
+            w.key("families");
+            w.value_u64(sl.families);
+            w.key("sat");
+            w.value_u64(sl.sat);
+            w.key("unsat");
+            w.value_u64(sl.unsat);
+            w.key("unknown");
+            w.value_u64(sl.unknown);
+            w.key("core_cfds");
+            w.value_u64(sl.core_cfds);
+            w.key("lints");
+            w.value_u64(sl.lints);
+            w.key("witness_ok");
+            w.value_u64(sl.witness_ok);
+            w.key("expectation_misses");
+            w.value_u64(sl.expectation_misses);
+            w.end_object();
+        }
+        None => w.value_null(),
+    }
+
     w.key("metrics");
     r.metrics.write_json(w);
     w.end_object();
@@ -511,6 +539,7 @@ mod tests {
     #[test]
     fn classify_knows_the_path_classes() {
         assert_eq!(classify("violations.residual"), MetricClass::Counter);
+        assert_eq!(classify("sigma_lint.core_cfds"), MetricClass::Counter);
         assert_eq!(classify("repair.accepted"), MetricClass::Counter);
         assert_eq!(classify("elapsed_us.validate"), MetricClass::Latency);
         assert_eq!(classify("latency_us.p99"), MetricClass::Latency);

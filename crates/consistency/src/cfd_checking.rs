@@ -17,7 +17,6 @@
 
 use condep_cfd::NormalCfd;
 use condep_model::{AttrId, PValue, RelId, Schema, Tuple, Value};
-use condep_sat::{Cnf, SolveResult, Solver, Var};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -247,91 +246,28 @@ impl<R: Rng> CfdChecker for ChaseCfdChecker<R> {
 /// tuple may equal none of them). Each constant-RHS CFD becomes the
 /// clause `⋀ premise vars → conclusion var`. Complete, since single-tuple
 /// satisfaction depends only on which pattern constants the tuple hits.
+///
+/// The encoding itself lives in `condep-analyze` — this checker is a
+/// thin adapter over [`condep_analyze::relation_consistency`], so the
+/// repo has exactly one SAT encoding of per-relation CFD consistency
+/// (shared with the Σ lint pass, `Validator::analysis`, and discovery's
+/// keep stage). Runs the solver without a conflict budget, preserving
+/// this checker's completeness contract.
 pub struct SatCfdChecker;
 
 impl CfdChecker for SatCfdChecker {
     fn check(&mut self, schema: &Schema, rel: RelId, cfds: &[NormalCfd]) -> Option<Tuple> {
-        let rs = schema.relation(rel).ok()?;
-        let mut cnf = Cnf::new();
-        // Value variables per attribute.
-        let mut value_vars: HashMap<(AttrId, Value), Var> = HashMap::new();
-        let mut per_attr: BTreeMap<AttrId, Vec<Value>> = BTreeMap::new();
-        for (a, attr) in rs.iter() {
-            if let Some(vs) = attr.domain().values() {
-                per_attr.insert(a, vs.to_vec());
-            }
-        }
-        // Infinite attributes: only their mentioned constants matter.
-        for cfd in cfds {
-            for (a, v) in cfd.pattern_constants() {
-                let entry = per_attr.entry(a).or_default();
-                if !entry.contains(&v) {
-                    // Only for infinite attrs: finite domains are already
-                    // complete (pattern constants are domain members).
-                    let is_finite = rs.attribute(a).map(|at| at.is_finite()).unwrap_or(false);
-                    if !is_finite {
-                        entry.push(v);
-                    }
-                }
-            }
-        }
-        for (a, values) in &per_attr {
-            let vars: Vec<Var> = values.iter().map(|_| cnf.fresh_var()).collect();
-            let lits: Vec<_> = vars.iter().map(|v| v.pos()).collect();
-            let is_finite = rs.attribute(*a).map(|at| at.is_finite()).unwrap_or(false);
-            if is_finite {
-                cnf.add_exactly_one(&lits);
-            } else {
-                cnf.add_at_most_one(&lits);
-            }
-            for (v, var) in values.iter().zip(vars) {
-                value_vars.insert((*a, v.clone()), var);
-            }
-        }
-        // One clause per constant-RHS CFD.
-        for cfd in cfds {
-            let PValue::Const(conclusion) = cfd.rhs_pat() else {
-                continue;
-            };
-            let mut clause: Vec<condep_sat::Lit> = Vec::new();
-            let mut encodable = true;
-            for (a, cell) in cfd.lhs().iter().zip(cfd.lhs_pat().cells()) {
-                if let PValue::Const(c) = cell {
-                    match value_vars.get(&(*a, c.clone())) {
-                        Some(v) => clause.push(v.neg()),
-                        None => {
-                            // Finite domain not containing the constant:
-                            // the premise can never fire.
-                            encodable = false;
-                            break;
-                        }
-                    }
-                }
-            }
-            if !encodable {
-                continue;
-            }
-            // A missing conclusion variable means the constant lies
-            // outside a finite domain: the premise must never fire, so
-            // the clause stays conclusion-free.
-            if let Some(v) = value_vars.get(&(cfd.rhs(), conclusion.clone())) {
-                clause.push(v.pos());
-            }
-            cnf.add_clause(clause);
-        }
-        match Solver::new(&cnf).solve() {
-            SolveResult::Sat(model) => {
-                // Decode: assigned constants per attribute.
-                let mut assignment: BTreeMap<AttrId, Value> = BTreeMap::new();
-                for ((a, v), var) in &value_vars {
-                    if model[var.index()] {
-                        assignment.insert(*a, v.clone());
-                    }
-                }
-                materialize(schema, rel, cfds, &assignment)
-            }
-            SolveResult::Unsat => None,
-            SolveResult::Unknown => None,
+        let active: Vec<(usize, &NormalCfd)> = cfds.iter().enumerate().collect();
+        let config = condep_analyze::AnalyzeConfig {
+            max_conflicts: None,
+            ..condep_analyze::AnalyzeConfig::default()
+        };
+        match condep_analyze::relation_consistency(schema, rel, &active, &config) {
+            condep_analyze::RelationVerdict::Sat(t) => Some(t),
+            condep_analyze::RelationVerdict::Unsat(_) => None,
+            // Unreachable without a conflict budget; treat as "no
+            // witness found" like the chase checker does.
+            condep_analyze::RelationVerdict::Unknown => None,
         }
     }
 }

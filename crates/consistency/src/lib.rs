@@ -27,6 +27,20 @@
 //! * [`random_checking`] — algorithm `RandomChecking` (Figure 5) with
 //!   the Section 5.2 improvement (interleaved `CFD_Checking`);
 //! * [`checking`] — algorithm `Checking` (Figure 9), the combination.
+//!
+//! ## Relationship to `condep-analyze`
+//!
+//! This crate keeps the *paper-faithful* algorithm stack used by the
+//! figure benchmarks. For everyday Σ triage prefer
+//! `condep_analyze::analyze` — the SAT-backed static-analysis pass with
+//! verdicts, **minimal unsat cores**, and lints — which `Validator`,
+//! `repair`, and discovery already call. The two share one SAT
+//! encoding: [`SatCfdChecker`] is a thin adapter over
+//! `condep_analyze::relation_consistency`, so there is a single
+//! consistency entry point under the hood. The remaining modules here
+//! (chase checker, `G[Σ]` graph, preprocessing, random checking) stay
+//! because the paper's Figures 9–11 measure them; treat them as the
+//! reproduction surface, not the API of record.
 
 pub mod cfd_checking;
 pub mod checking;

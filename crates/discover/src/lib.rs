@@ -53,6 +53,7 @@
 //! `min_confidence = 1.0` every member of Σ′ is satisfied by the input
 //! instance (property-tested at the workspace root).
 
+use condep_analyze::AnalyzeConfig;
 use condep_cfd::NormalCfd;
 use condep_core::implication::ImplicationConfig;
 use condep_core::NormalCind;
@@ -208,6 +209,13 @@ pub struct DiscoveryStats {
     /// Ranked candidates dropped because the higher-ranked keeps already
     /// imply them.
     pub pruned_implied: usize,
+    /// Ranked candidates dropped because keeping them would make the
+    /// emitted Σ′ inconsistent on their relation (no nonempty instance
+    /// could satisfy it — the shape approximate mining produces when two
+    /// near-constant rows disagree). Checked with the SAT-backed
+    /// analyzer; `Unknown` keeps the candidate, which matches the
+    /// implication tier's budget convention.
+    pub pruned_inconsistent: usize,
     /// Kept dependencies the final Σ-cover pass removed: pattern rows
     /// merged into a subsuming keep, payload-identical CIND duplicates,
     /// and keeps the *rest* of the kept set implies (the greedy walk
@@ -233,6 +241,7 @@ impl Export for DiscoveryStats {
         out.counter(k("pruned.trivial"), self.pruned_trivial as u64);
         out.counter(k("pruned.nonminimal"), self.pruned_nonminimal as u64);
         out.counter(k("pruned.implied"), self.pruned_implied as u64);
+        out.counter(k("pruned.inconsistent"), self.pruned_inconsistent as u64);
         out.counter(k("pruned.cover"), self.pruned_cover as u64);
         out.counter(k("pruned.capped"), self.pruned_capped as u64);
         out.counter(k("implication_checks"), self.implication_checks as u64);
@@ -561,6 +570,25 @@ fn discover_exact(db: &Database, config: &DiscoveryConfig) -> DiscoveredSigma {
                 continue;
             }
         }
+        let mut same_rel: Vec<(usize, &NormalCfd)> = kept_sigma
+            .iter()
+            .filter(|k| k.rel() == cand.cfd.rel())
+            .enumerate()
+            .collect();
+        same_rel.push((same_rel.len(), &cand.cfd));
+        if matches!(
+            condep_analyze::relation_consistency(
+                schema,
+                cand.cfd.rel(),
+                &same_rel,
+                &AnalyzeConfig::default(),
+            ),
+            condep_analyze::RelationVerdict::Unsat(_)
+        ) {
+            stats.pruned_inconsistent += 1;
+            continue;
+        }
+        drop(same_rel);
         *kept_here += 1;
         kept_sigma.push(cand.cfd.clone());
         kept_cfds.push(cand);
@@ -943,5 +971,27 @@ mod tests {
         assert!(per_rel.values().all(|&n| n <= 1));
         assert!(capped.cinds.len() <= 1);
         assert!(capped.stats.pruned_capped > 0);
+    }
+
+    /// Keep-stage post-condition: the emitted Σ′ is never inconsistent.
+    /// Mined-from-data rows rarely conflict by construction, so this
+    /// asserts the analyzer agrees (`Sat`) and that nothing was pruned
+    /// on the clean fixture — the `pruned_inconsistent` counter is a
+    /// safety net for sampled / online drift, not the happy path.
+    #[test]
+    fn kept_sigma_is_always_consistent() {
+        let db = city_db();
+        let found = discover(&db, &config(2));
+        assert!(!found.is_empty());
+        let cfds: Vec<NormalCfd> = found.cfds.iter().map(|d| d.cfd.clone()).collect();
+        let cinds: Vec<NormalCind> = found.cinds.iter().map(|d| d.cind.clone()).collect();
+        let analysis =
+            condep_analyze::analyze(db.schema(), &cfds, &cinds, &AnalyzeConfig::default());
+        assert!(
+            analysis.verdict.is_sat(),
+            "discovered sigma must be satisfiable: {:?}",
+            analysis.verdict
+        );
+        assert_eq!(found.stats.pruned_inconsistent, 0);
     }
 }

@@ -32,6 +32,7 @@
 pub mod constraints;
 pub mod data;
 pub mod schema;
+pub mod sigma_families;
 pub mod workload;
 
 pub use constraints::{generate_sigma, HiddenWitness, SigmaGenConfig};
@@ -40,6 +41,7 @@ pub use data::{
     DirtyDataConfig, InjectedDirt, PlantedDatabase, PlantedSigmaConfig,
 };
 pub use schema::{random_schema, SchemaGenConfig};
+pub use sigma_families::{sigma_families, ExpectedVerdict, FamilyExpectation, SigmaFamily};
 pub use workload::{
     adversarial_majority_dirt, churn_plan, AdversarialDatabase, AdversarialDirtConfig, ChurnConfig,
     ChurnOp, ChurnPlan, PoisonedClass,

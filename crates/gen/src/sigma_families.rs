@@ -1,0 +1,433 @@
+//! Seeded Σ families with **known** static-analysis outcomes.
+//!
+//! Each [`SigmaFamily`] is a small hand-shaped constraint set whose
+//! verdict under `condep-analyze` is forced by construction — the
+//! expectation is part of the family, so scenario harnesses can gate
+//! verdict counts and unsat-core sizes *exactly* rather than loosely.
+//! The seed varies the inessential surface (constant names, witness
+//! draws) without ever moving a family off its expected verdict.
+//!
+//! This crate deliberately does **not** depend on `condep-analyze`;
+//! the families are plain data plus an expectation, and the analyzer's
+//! own tests / the `sigma_lint` scoreboard scenario close the loop.
+
+use condep_cfd::NormalCfd;
+use condep_core::NormalCind;
+use condep_model::{Domain, PValue, PatternRow, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use crate::constraints::{generate_sigma, SigmaGenConfig};
+use crate::schema::{random_schema, SchemaGenConfig};
+
+/// What the static analyzer must say about a family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpectedVerdict {
+    /// A witness database exists and the analyzer finds it.
+    Sat,
+    /// Provably inconsistent, with a minimal core of exactly
+    /// [`FamilyExpectation::core_size`] CFDs.
+    Unsat,
+    /// The budgeted chase must give up — the family is crafted so no
+    /// sound polynomial procedure can settle it (Theorem 4.2 territory).
+    Unknown,
+}
+
+/// The exact outcome a family is constructed to produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FamilyExpectation {
+    /// The forced verdict.
+    pub verdict: ExpectedVerdict,
+    /// Exact minimal-core size (0 unless `verdict` is `Unsat`).
+    pub core_size: usize,
+    /// Exact number of Σ lints the row/domain tier must raise.
+    pub lints: usize,
+}
+
+/// One seeded constraint set with its forced analysis outcome.
+#[derive(Clone, Debug)]
+pub struct SigmaFamily {
+    /// Stable family kind name (used as a telemetry label).
+    pub name: &'static str,
+    /// The schema the constraints live over.
+    pub schema: Arc<Schema>,
+    /// The CFDs of Σ.
+    pub cfds: Vec<NormalCfd>,
+    /// The CINDs of Σ.
+    pub cinds: Vec<NormalCind>,
+    /// What the analyzer must conclude.
+    pub expect: FamilyExpectation,
+}
+
+fn pool_constant(rng: &mut StdRng) -> String {
+    format!("k{}", rng.gen_range(0..997u32))
+}
+
+/// Two distinct constants from the seeded pool.
+fn distinct_pair(rng: &mut StdRng) -> (String, String) {
+    let a = pool_constant(rng);
+    loop {
+        let b = pool_constant(rng);
+        if b != a {
+            return (a, b);
+        }
+    }
+}
+
+fn rs_schema(attrs: &[(&str, Domain)]) -> Arc<Schema> {
+    Arc::new(Schema::builder().relation("r", attrs).finish())
+}
+
+/// CFD-only consistent draw around a hidden witness: always `Sat`.
+fn consistent_cfds(rng: &mut StdRng) -> SigmaFamily {
+    let schema = random_schema(
+        &SchemaGenConfig {
+            relations: 2,
+            attrs_min: 3,
+            attrs_max: 4,
+            finite_ratio: 0.25,
+            finite_dom_min: 2,
+            finite_dom_max: 4,
+        },
+        rng,
+    );
+    // cfd_fraction 1.0: CINDs could push a guaranteed-Sat set to
+    // `Unknown` when the chase starts from a non-witness tuple; pure
+    // CFDs keep the per-relation SAT tier complete.
+    let (cfds, cinds, witness) = generate_sigma(
+        &schema,
+        &SigmaGenConfig {
+            cardinality: 6,
+            cfd_fraction: 1.0,
+            consistent: true,
+            constant_pool: 4,
+            witness_bias: 1.0,
+        },
+        rng,
+    );
+    debug_assert!(witness.is_some() && cinds.is_empty());
+    SigmaFamily {
+        name: "consistent_cfds",
+        schema,
+        cfds,
+        cinds: Vec::new(),
+        expect: FamilyExpectation {
+            verdict: ExpectedVerdict::Sat,
+            core_size: 0,
+            lints: 0,
+        },
+    }
+}
+
+/// The paper's Example 3.2: four CFDs, jointly inconsistent, every
+/// proper subset consistent — the canonical size-4 minimal core.
+fn example_3_2() -> SigmaFamily {
+    let (schema, cfds) = condep_cfd::fixtures::example_3_2();
+    SigmaFamily {
+        name: "example_3_2",
+        schema,
+        cfds,
+        cinds: Vec::new(),
+        expect: FamilyExpectation {
+            verdict: ExpectedVerdict::Unsat,
+            core_size: 4,
+            lints: 0,
+        },
+    }
+}
+
+/// Two always-firing rows that force one infinite attribute to two
+/// different constants; a third, harmless row rides along so the core
+/// is a strict subset of Σ.
+fn pair_clash(rng: &mut StdRng) -> SigmaFamily {
+    let schema = rs_schema(&[("a", Domain::string()), ("b", Domain::string())]);
+    let (u, v) = distinct_pair(rng);
+    let w = pool_constant(rng);
+    let cfds = vec![
+        NormalCfd::parse(
+            &schema,
+            "r",
+            &[],
+            PatternRow::all_any(0),
+            "b",
+            PValue::constant(u.as_str()),
+        )
+        .unwrap(),
+        NormalCfd::parse(
+            &schema,
+            "r",
+            &[],
+            PatternRow::all_any(0),
+            "b",
+            PValue::constant(v.as_str()),
+        )
+        .unwrap(),
+        NormalCfd::parse(
+            &schema,
+            "r",
+            &["b"],
+            PatternRow::new([PValue::constant(u.as_str())]),
+            "a",
+            PValue::constant(w.as_str()),
+        )
+        .unwrap(),
+    ];
+    SigmaFamily {
+        name: "pair_clash",
+        schema,
+        cfds,
+        cinds: Vec::new(),
+        expect: FamilyExpectation {
+            verdict: ExpectedVerdict::Unsat,
+            // Rows 0 and 1 clash on `b`; row 2 is satisfiable alongside
+            // either one alone. Lint tier sees the same pair.
+            core_size: 2,
+            lints: 1,
+        },
+    }
+}
+
+/// A domain-covering chain: every value of a finite attribute forces
+/// `y = u`, and a wildcard row forces `y = v` — all three rows are
+/// needed, so the minimal core is exactly the chain plus the clash.
+fn domain_chain(rng: &mut StdRng) -> SigmaFamily {
+    let schema = rs_schema(&[
+        ("x", Domain::finite_strs(&["d0", "d1"])),
+        ("y", Domain::string()),
+    ]);
+    let (u, v) = distinct_pair(rng);
+    let mut cfds = Vec::new();
+    for d in ["d0", "d1"] {
+        cfds.push(
+            NormalCfd::parse(
+                &schema,
+                "r",
+                &["x"],
+                PatternRow::new([PValue::constant(d)]),
+                "y",
+                PValue::constant(u.as_str()),
+            )
+            .unwrap(),
+        );
+    }
+    cfds.push(
+        NormalCfd::parse(
+            &schema,
+            "r",
+            &["x"],
+            PatternRow::all_any(1),
+            "y",
+            PValue::constant(v.as_str()),
+        )
+        .unwrap(),
+    );
+    SigmaFamily {
+        name: "domain_chain",
+        schema,
+        cfds,
+        cinds: Vec::new(),
+        expect: FamilyExpectation {
+            verdict: ExpectedVerdict::Unsat,
+            core_size: 3,
+            // The wildcard row subsumes each chain row one-way while
+            // disagreeing on the constant: two redundant-conflict lints.
+            lints: 2,
+        },
+    }
+}
+
+/// Satisfiable Σ that still deserves exactly two lints: a key-group
+/// conflict behind a dodgeable premise, and a row whose LHS constant
+/// lies outside its finite domain (unreachable, hence vacuous).
+fn lint_rows(rng: &mut StdRng) -> SigmaFamily {
+    let schema = rs_schema(&[
+        ("x", Domain::finite_strs(&["a", "b"])),
+        ("y", Domain::string()),
+    ]);
+    let (u, v) = distinct_pair(rng);
+    let cfds = vec![
+        NormalCfd::parse(
+            &schema,
+            "r",
+            &["x"],
+            PatternRow::new([PValue::constant("a")]),
+            "y",
+            PValue::constant(u.as_str()),
+        )
+        .unwrap(),
+        NormalCfd::parse(
+            &schema,
+            "r",
+            &["x"],
+            PatternRow::new([PValue::constant("a")]),
+            "y",
+            PValue::constant(v.as_str()),
+        )
+        .unwrap(),
+        // "c" is outside dom(x) = {a, b}: the premise can never fire.
+        NormalCfd::parse(
+            &schema,
+            "r",
+            &["x"],
+            PatternRow::new([PValue::constant("c")]),
+            "y",
+            PValue::constant(u.as_str()),
+        )
+        .unwrap(),
+    ];
+    SigmaFamily {
+        name: "lint_rows",
+        schema,
+        cfds,
+        cinds: Vec::new(),
+        expect: FamilyExpectation {
+            // x = b satisfies everything vacuously.
+            verdict: ExpectedVerdict::Sat,
+            core_size: 0,
+            lints: 2,
+        },
+    }
+}
+
+fn two_rel_schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::builder()
+            .relation("r", &[("a", Domain::string())])
+            .relation("s", &[("k", Domain::string()), ("c", Domain::string())])
+            .finish(),
+    )
+}
+
+/// A CIND whose obligation the chase can discharge: `r[a] ⊆ s[k]` with
+/// a target condition the target's own CFD agrees with.
+fn cind_bridge(rng: &mut StdRng) -> SigmaFamily {
+    let schema = two_rel_schema();
+    let p = pool_constant(rng);
+    let cfds = vec![NormalCfd::parse(
+        &schema,
+        "s",
+        &[],
+        PatternRow::all_any(0),
+        "c",
+        PValue::constant(p.as_str()),
+    )
+    .unwrap()];
+    let cinds = vec![NormalCind::parse(
+        &schema,
+        "r",
+        &["a"],
+        &[],
+        "s",
+        &["k"],
+        &[("c", Value::str(p.as_str()))],
+    )
+    .unwrap()];
+    SigmaFamily {
+        name: "cind_bridge",
+        schema,
+        cfds,
+        cinds,
+        expect: FamilyExpectation {
+            verdict: ExpectedVerdict::Sat,
+            core_size: 0,
+            lints: 0,
+        },
+    }
+}
+
+/// A CIND into a relation whose CFDs clash: Σ is truly inconsistent
+/// (an `r` tuple forces an `s` tuple; `s` admits none; and `r` alone
+/// violates the CIND), but proving that needs the cross-relation
+/// argument the per-relation tier cannot make — the chase gives up and
+/// the verdict is soundly `Unknown`, mirroring Theorem 4.2's wall.
+fn cind_trap(rng: &mut StdRng) -> SigmaFamily {
+    let schema = two_rel_schema();
+    let (u, v) = distinct_pair(rng);
+    let mut cfds = Vec::new();
+    for val in [u.as_str(), v.as_str()] {
+        cfds.push(
+            NormalCfd::parse(
+                &schema,
+                "s",
+                &[],
+                PatternRow::all_any(0),
+                "c",
+                PValue::constant(val),
+            )
+            .unwrap(),
+        );
+    }
+    let cinds = vec![NormalCind::parse(&schema, "r", &["a"], &[], "s", &["k"], &[]).unwrap()];
+    SigmaFamily {
+        name: "cind_trap",
+        schema,
+        cfds,
+        cinds,
+        expect: FamilyExpectation {
+            verdict: ExpectedVerdict::Unknown,
+            core_size: 0,
+            // The clashing pair on `s` is a key-group conflict.
+            lints: 1,
+        },
+    }
+}
+
+/// Two CINDs that pin the same target tuple to different conditions:
+/// satisfiable with two `s` tuples, but the one-tuple-per-relation
+/// chase cannot represent that — deterministic `Unknown` from the
+/// chase's occupied-slot give-up, not from any random budget.
+fn cind_split_target(rng: &mut StdRng) -> SigmaFamily {
+    let schema = two_rel_schema();
+    let (p, q) = distinct_pair(rng);
+    let cinds = vec![
+        NormalCind::parse(
+            &schema,
+            "r",
+            &["a"],
+            &[],
+            "s",
+            &["k"],
+            &[("c", Value::str(p.as_str()))],
+        )
+        .unwrap(),
+        NormalCind::parse(
+            &schema,
+            "r",
+            &["a"],
+            &[],
+            "s",
+            &["k"],
+            &[("c", Value::str(q.as_str()))],
+        )
+        .unwrap(),
+    ];
+    SigmaFamily {
+        name: "cind_split_target",
+        schema,
+        cfds: Vec::new(),
+        cinds,
+        expect: FamilyExpectation {
+            // A single `s` tuple (no `r` tuples) satisfies Σ outright,
+            // and the analyzer finds it by chasing from the `s` witness.
+            verdict: ExpectedVerdict::Sat,
+            core_size: 0,
+            lints: 0,
+        },
+    }
+}
+
+/// One seeded instance of each family kind, in a stable order.
+pub fn sigma_families(seed: u64) -> Vec<SigmaFamily> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51F0_FA41);
+    vec![
+        consistent_cfds(&mut rng),
+        example_3_2(),
+        pair_clash(&mut rng),
+        domain_chain(&mut rng),
+        lint_rows(&mut rng),
+        cind_bridge(&mut rng),
+        cind_trap(&mut rng),
+        cind_split_target(&mut rng),
+    ]
+}

@@ -8,7 +8,9 @@ use condep_chase::TplValue;
 use condep_model::fxhash::FxBuildHasher;
 use condep_model::{AttrId, BaseType, Database, RelId, Tuple, Value};
 use condep_telemetry::{Registry, SpanTimer};
-use condep_validate::{Mutation, SigmaReport, Validator, ValidatorStream};
+use condep_validate::{
+    Mutation, SigmaLint, SigmaReport, SigmaVerdict, UnsatSigma, Validator, ValidatorStream,
+};
 use std::collections::{BTreeMap, HashMap};
 
 /// Termination bounds of the fixpoint loop.
@@ -109,6 +111,12 @@ impl Fix {
 /// seeds the engine's delta stream directly — no re-validation sweep —
 /// and is cross-checked against the database in debug builds.
 ///
+/// **Pre-flight gate:** Σ is statically analyzed first and a *proven*
+/// unsatisfiable Σ is refused with [`UnsatSigma`] naming a minimal
+/// conflicting core — repairing toward a Σ no nonempty database can
+/// satisfy would only chase contradictory majorities around the budget.
+/// `Unknown` verdicts (possible with CINDs) are admitted.
+///
 /// Returns the repaired database together with the auditable
 /// [`RepairReport`].
 pub fn repair(
@@ -117,7 +125,10 @@ pub fn repair(
     initial: SigmaReport,
     cost: &RepairCost,
     budget: &RepairBudget,
-) -> (Database, RepairReport) {
+) -> Result<(Database, RepairReport), UnsatSigma> {
+    if let SigmaVerdict::Unsat(core) = validator.analysis(db.schema()).verdict {
+        return Err(UnsatSigma { core: core.cfds });
+    }
     let mut initial = initial;
     initial.sort();
     let initial_violations = initial.len();
@@ -214,6 +225,7 @@ pub fn repair(
     }
 
     let residual = stream.current_report();
+    let lints = suspect_majority_lints(&stream, &log);
     let mut cells_edited = 0;
     let mut tuples_deleted = 0;
     let mut tuples_inserted = 0;
@@ -241,8 +253,9 @@ pub fn repair(
     metrics.counter("repair.tuples_deleted", tuples_deleted as u64);
     metrics.counter("repair.tuples_inserted", tuples_inserted as u64);
     metrics.float("repair.total_cost", total_cost);
+    metrics.counter("repair.lints.suspect_majority", lints.len() as u64);
     metrics.merge("", &stream.telemetry().snapshot());
-    (
+    Ok((
         stream.into_db(),
         RepairReport {
             log,
@@ -254,8 +267,54 @@ pub fn repair(
             total_cost,
             budget_exhausted,
             metrics,
+            lints,
         },
-    )
+    ))
+}
+
+/// Post-hoc blind-spot detection over the accepted audit log: group
+/// every kept CFD-motivated single-cell edit by `(relation, attribute,
+/// motive CFD's LHS key in the pre-edit tuple, new value)`. When a
+/// whole class of cells (3+) was rewritten toward one value, the
+/// "majority" that won may itself have been coordinated dirt outvoting
+/// the clean data — exactly what the adversarial
+/// `count_majority_flips` scoring measures against ground truth, but
+/// detectable without it. Advisory only: repair behavior is unchanged.
+fn suspect_majority_lints(stream: &ValidatorStream, log: &RepairLog) -> Vec<SigmaLint> {
+    let cfds = stream.validator().cfds();
+    let mut classes: BTreeMap<(RelId, AttrId, Vec<Value>, Value), usize> = BTreeMap::new();
+    for a in &log.applied {
+        let Motive::Cfd(ci) = a.motive else { continue };
+        let Fix::EditCells {
+            rel,
+            old,
+            new,
+            attrs,
+        } = &a.fix
+        else {
+            continue;
+        };
+        if attrs.len() != 1 {
+            continue;
+        }
+        let attr = attrs[0];
+        let key = old.project(cfds[ci].lhs());
+        *classes
+            .entry((*rel, attr, key, new[attr].clone()))
+            .or_default() += 1;
+    }
+    classes
+        .into_iter()
+        .filter(|(_, rewritten)| *rewritten >= 3)
+        .map(
+            |((rel, attr, _, value), rewritten)| SigmaLint::SuspectMajority {
+                rel,
+                attr,
+                value,
+                rewritten,
+            },
+        )
+        .collect()
 }
 
 /// Plans one round of fixes against a snapshot of the live state:

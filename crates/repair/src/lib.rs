@@ -50,6 +50,7 @@ mod cost;
 mod engine;
 mod log;
 
+pub use condep_validate::{SigmaLint, UnsatSigma};
 pub use cost::RepairCost;
 pub use engine::{repair, RepairBudget};
 pub use log::{AppliedFix, Fix, Motive, RepairLog, RepairReport};
@@ -82,6 +83,7 @@ mod tests {
             &RepairCost::uniform(),
             &RepairBudget::default(),
         )
+        .expect("fixture sigmas are satisfiable")
     }
 
     #[test]
@@ -271,7 +273,8 @@ mod tests {
             tuple_insert: 5.0,
             ..RepairCost::uniform()
         };
-        let (repaired, report) = repair(validator, db, initial, &cost, &RepairBudget::default());
+        let (repaired, report) =
+            repair(validator, db, initial, &cost, &RepairBudget::default()).unwrap();
         assert!(report.is_clean());
         assert_eq!(report.tuples_deleted, 1);
         assert_eq!(report.tuples_inserted, 0);
@@ -289,7 +292,8 @@ mod tests {
             max_rounds: 0,
             max_fixes: usize::MAX,
         };
-        let (repaired, report) = repair(validator, db, initial, &RepairCost::uniform(), &budget);
+        let (repaired, report) =
+            repair(validator, db, initial, &RepairCost::uniform(), &budget).unwrap();
         assert!(report.budget_exhausted);
         assert_eq!(report.fixes_applied(), 0);
         assert_eq!(report.residual.len(), 2);

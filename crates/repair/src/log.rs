@@ -2,7 +2,7 @@
 
 use condep_model::{AttrId, RelId, Tuple, TupleId};
 use condep_telemetry::MetricsSnapshot;
-use condep_validate::SigmaReport;
+use condep_validate::{SigmaLint, SigmaReport};
 use std::fmt;
 
 /// Which constraint motivated a fix (index into the compiled suite's
@@ -115,6 +115,12 @@ pub struct RepairReport {
     /// stream's own telemetry under `stream.*`. With the `telemetry`
     /// feature off only the summary counters remain.
     pub metrics: MetricsSnapshot,
+    /// Advisory findings about the run itself — today
+    /// [`SigmaLint::SuspectMajority`]: every accepted edit of one key
+    /// class converged on a single value, the shape coordinated dirt
+    /// takes when it outvotes the clean data. Detection only; the
+    /// applied fixes are unchanged.
+    pub lints: Vec<SigmaLint>,
 }
 
 impl RepairReport {

@@ -55,6 +55,10 @@ mod stream;
 mod telemetry;
 mod validator;
 
+pub use condep_analyze::{
+    AnalyzeConfig, BudgetTrip, SigmaAnalysis, SigmaLint, SigmaVerdict, UnsatCore, UnsatSigma,
+    Witness,
+};
 pub use condep_model::TupleId;
 pub use cover::{CoverRole, CoverStats, SigmaCover};
 pub use stream::{

@@ -1,14 +1,16 @@
 //! The batched Σ-validator.
 
 use crate::cover::{canonical_pattern, CoverRole, CoverStats, SigmaCover};
+use condep_analyze::{AnalyzeConfig, SigmaAnalysis, SigmaLint, SigmaVerdict, UnsatSigma};
 use condep_cfd::{CfdViolation, NormalCfd};
 use condep_core::{CindViolation, NormalCind};
 use condep_model::fxhash::FxBuildHasher;
-use condep_model::{AttrId, Database, Interner, PValue, RelId, SymTables, SymValue, Value};
+use condep_model::{AttrId, Database, Interner, PValue, RelId, Schema, SymTables, SymValue, Value};
 use condep_query::SymIndex;
 use condep_telemetry::{Export, MetricsSnapshot, SpanKey, Stopwatch};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Static span keys: suite compilation happens in free constructors
 /// with no registry in hand, so these record into the global registry
@@ -171,6 +173,10 @@ pub struct Validator {
     cover_stats: CoverStats,
     /// How long compilation took and what it produced.
     compile_stats: CompileStats,
+    /// Advisory Σ lints from the analyzer's cheap tier (key-group row
+    /// conflicts), refreshed on every add/retire. Indexed in this
+    /// suite's Σ numbering.
+    lints: Vec<SigmaLint>,
 }
 
 /// Wall-clock and shape facts of one suite compilation.
@@ -354,6 +360,9 @@ impl Validator {
             cfd_members: cfd_groups.iter().map(|g| g.members.len()).sum(),
             cind_members: cind_groups.iter().map(|g| g.members.len()).sum(),
         };
+        // Cheap-tier static analysis: every construction surfaces
+        // conflicting/redundant key-group rows without any solving.
+        let lints = condep_analyze::row_lints(&cfds, &AnalyzeConfig::default());
         Validator {
             cfds,
             cinds,
@@ -364,7 +373,26 @@ impl Validator {
             retired_cinds,
             cover_stats: cover.stats,
             compile_stats,
+            lints,
         }
+    }
+
+    /// Like [`Validator::new`], but runs the full static analyzer
+    /// first and **refuses** an unsatisfiable Σ: validating or
+    /// repairing against a Σ no nonempty database can satisfy is
+    /// meaningless. The error carries a minimal unsat core in the
+    /// caller's Σ numbering. `Unknown` verdicts (possible with CINDs)
+    /// are admitted — the gate only rejects *proven* inconsistency.
+    pub fn strict(
+        schema: &Arc<Schema>,
+        cfds: Vec<NormalCfd>,
+        cinds: Vec<NormalCind>,
+    ) -> Result<Validator, UnsatSigma> {
+        let analysis = condep_analyze::analyze(schema, &cfds, &cinds, &AnalyzeConfig::default());
+        if let SigmaVerdict::Unsat(core) = analysis.verdict {
+            return Err(UnsatSigma { core: core.cfds });
+        }
+        Ok(Validator::new(cfds, cinds))
     }
 
     /// Appends new constraints to the suite, splicing each into its
@@ -447,6 +475,7 @@ impl Validator {
             self.retired_cinds.push(false);
             self.cinds.push(cind);
         }
+        self.refresh_lints();
         (cfd_start..self.cfds.len(), cind_start..self.cinds.len())
     }
 
@@ -541,7 +570,61 @@ impl Validator {
                 log.cind_members_removed.push((gi, mi));
             }
         }
+        self.refresh_lints();
         log
+    }
+
+    /// The active (non-retired) Σ plus maps from the compacted slices
+    /// back to this suite's indices.
+    fn active_sigma(&self) -> (Vec<NormalCfd>, Vec<usize>, Vec<NormalCind>, Vec<usize>) {
+        let mut cfds = Vec::new();
+        let mut cfd_map = Vec::new();
+        for (i, cfd) in self.cfds.iter().enumerate() {
+            if !self.retired_cfds[i] {
+                cfds.push(cfd.clone());
+                cfd_map.push(i);
+            }
+        }
+        let mut cinds = Vec::new();
+        let mut cind_map = Vec::new();
+        for (i, cind) in self.cinds.iter().enumerate() {
+            if !self.retired_cinds[i] {
+                cinds.push(cind.clone());
+                cind_map.push(i);
+            }
+        }
+        (cfds, cfd_map, cinds, cind_map)
+    }
+
+    /// Re-runs the cheap lint tier over the active Σ (after
+    /// add/retire), translating indices back into suite numbering.
+    fn refresh_lints(&mut self) {
+        let (cfds, cfd_map, _, _) = self.active_sigma();
+        let mut lints = condep_analyze::row_lints(&cfds, &AnalyzeConfig::default());
+        for lint in &mut lints {
+            lint.remap(&cfd_map, &[]);
+        }
+        self.lints = lints;
+    }
+
+    /// Advisory Σ lints from the analyzer's cheap tier (conflicting or
+    /// redundant constant rows on a key group), computed at
+    /// construction and refreshed on every add/retire. Indices are in
+    /// this suite's Σ numbering. The full verdict (SAT consistency,
+    /// unsat cores, domain reachability) is [`Validator::analysis`].
+    pub fn lints(&self) -> &[SigmaLint] {
+        &self.lints
+    }
+
+    /// Full static analysis of the active Σ against `schema`:
+    /// SAT-backed consistency with a witness or a minimal unsat core,
+    /// a budgeted chase when CINDs are present, and the complete lint
+    /// catalogue. Indices in the result are in this suite's Σ
+    /// numbering (retired dependencies are excluded from analysis).
+    pub fn analysis(&self, schema: &Arc<Schema>) -> SigmaAnalysis {
+        let (cfds, cfd_map, cinds, cind_map) = self.active_sigma();
+        condep_analyze::analyze(schema, &cfds, &cinds, &AnalyzeConfig::default())
+            .remap(&cfd_map, &cind_map)
     }
 
     /// Rebuilds the per-CFD slot table from the compiled groups (the

@@ -114,11 +114,13 @@ fn main() {
     // so the repaired instance is never worse — here it comes back
     // clean.
     let start = Instant::now();
-    let (repaired, fix_report) = suite.repair(
-        dirty.db.clone(),
-        &RepairCost::uniform(),
-        &RepairBudget::default(),
-    );
+    let (repaired, fix_report) = suite
+        .repair(
+            dirty.db.clone(),
+            &RepairCost::uniform(),
+            &RepairBudget::default(),
+        )
+        .expect("the example sigma is satisfiable");
     println!("=== Repair ({:.1?}): {fix_report} ===", start.elapsed());
     let after = suite.check(&repaired);
     assert!(

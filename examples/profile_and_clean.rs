@@ -139,11 +139,13 @@ fn main() {
 
     // Repair through the cost-based engine — every fix delta-verified.
     let start = Instant::now();
-    let (repaired, fix_report) = suite.repair(
-        dirty.db.clone(),
-        &RepairCost::uniform(),
-        &RepairBudget::default(),
-    );
+    let (repaired, fix_report) = suite
+        .repair(
+            dirty.db.clone(),
+            &RepairCost::uniform(),
+            &RepairBudget::default(),
+        )
+        .expect("the example sigma is satisfiable");
     println!("=== Repair ({:.1?}): {fix_report} ===", start.elapsed());
     let after = suite.check(&repaired);
     println!(

@@ -16,6 +16,7 @@
 //! | [`model`] | relational substrate: values, finite/infinite domains, schemas, tuples, databases, pattern rows and the match order `≍` |
 //! | [`query`] | in-memory execution engine: predicates, hash indexes, select/project/join/anti-join, logical plans |
 //! | [`sat`] | DPLL SAT solver (stands in for SAT4j) |
+//! | [`analyze`] | **static analysis of Σ**: SAT-backed consistency verdicts (`Sat` + witness database, `Unsat` + minimal core in Σ indices, `Unknown` on budget), a budgeted CFD+CIND chase, and the advisory `SigmaLint` catalogue — the pre-flight gate behind `Validator::strict`, discovery's keep stage and `repair()` |
 //! | [`cfd`] | CFDs: syntax, normal form, satisfaction, violations, exact consistency & implication |
 //! | [`cind`] | **the paper's contribution** — CINDs: syntax, semantics, normal form (Prop 3.1), consistency witness (Thm 3.2), inference system `I` (Fig 3), implication (Thms 3.4/3.5), minimal cover |
 //! | [`chase`] | the bounded-pool chase of Section 5.1 (`IND(ψ)`/`FD(φ)`, `chaseI`, valuations) |
@@ -57,6 +58,7 @@
 //! assert_eq!(violations.len(), 1);
 //! ```
 
+pub use condep_analyze as analyze;
 pub use condep_cfd as cfd;
 pub use condep_chase as chase;
 pub use condep_consistency as consistency;

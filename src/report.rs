@@ -238,14 +238,27 @@ impl QualitySuite {
     /// [`SigmaDelta`]s prove it strictly net-negative, rolled back
     /// otherwise. Returns the repaired database and the auditable
     /// [`RepairReport`] (fixes, costs, residual violations).
+    ///
+    /// A Σ the static analyzer **proves** unsatisfiable is refused up
+    /// front with [`condep_validate::UnsatSigma`] carrying a minimal
+    /// conflicting core — see [`QualitySuite::analysis`].
     pub fn repair(
         &self,
         db: Database,
         cost: &RepairCost,
         budget: &RepairBudget,
-    ) -> (Database, RepairReport) {
+    ) -> Result<(Database, RepairReport), condep_validate::UnsatSigma> {
         let initial = self.validator.validate_sorted(&db);
         condep_repair::repair(self.validator.clone(), db, initial, cost, budget)
+    }
+
+    /// Full static analysis of the suite's Σ: SAT-backed consistency
+    /// with a witness database or a minimal unsat core, a budgeted
+    /// chase for CFD+CIND interaction, and the advisory
+    /// [`condep_validate::SigmaLint`] catalogue. The cheap lint tier is
+    /// also always available as `validator().lints()`.
+    pub fn analysis(&self) -> condep_validate::SigmaAnalysis {
+        self.validator.analysis(&self.schema)
     }
 
     /// The offending tuples, resolved against `db` — what a repair tool

@@ -81,7 +81,8 @@ proptest! {
             initial.clone(),
             &RepairCost::uniform(),
             &budget,
-        );
+        )
+        .expect("property sigmas are satisfiable by construction");
 
         // Soundness: never worse than the input, and the returned
         // residual is exactly what a fresh sweep finds.
@@ -200,7 +201,8 @@ proptest! {
                 initial,
                 &RepairCost::uniform(),
                 &RepairBudget::default(),
-            );
+            )
+            .expect("property sigmas are satisfiable by construction");
             if report.fixes_applied() > 0 {
                 fixed_cases += 1;
             }
@@ -251,7 +253,8 @@ proptest! {
             initial,
             &RepairCost::uniform(),
             &RepairBudget::default(),
-        );
+        )
+        .expect("property sigmas are satisfiable by construction");
         prop_assert!(report.is_clean());
         prop_assert_eq!(report.fixes_applied(), 0);
         prop_assert_eq!(repaired.total_tuples(), total);
